@@ -1,0 +1,114 @@
+"""Ablations of HDFace's design choices (beyond the paper's own figures).
+
+Quantifies the decisions DESIGN.md calls out:
+
+* **decorrelated squaring** - the paper's ``V (x) V`` with a shared sign
+  stream degenerates to 1; the rotation-decorrelated square is what makes
+  the magnitude stage work.
+* **gamma compression** - square-root compression of magnitudes/counts is
+  what lifts query similarity above the stochastic noise floor.
+* **adaptive learning** - novelty-weighted + iterative refinement versus
+  plain single-pass bundling.
+* **packed binary backend** - XOR+popcount Hamming kernel versus the dense
+  int8 path (the FPGA-native representation).
+"""
+
+import numpy as np
+import pytest
+
+from common import CONFIG, fmt_row, write_report
+
+from repro.core import (
+    StochasticCodec,
+    pack_bits,
+    packed_hamming_distance,
+    random_hypervector,
+)
+from repro.learning import HDCClassifier
+from repro.pipeline import HDFacePipeline
+
+
+def test_ablation_decorrelated_squaring():
+    """Naive self-product claims a^2 = 1; decorrelated squaring is correct."""
+    codec = StochasticCodec(8192, 0)
+    values = np.linspace(-0.9, 0.9, 30)
+    hv = codec.construct(values)
+    naive = codec.decode(codec.multiply(hv, hv))
+    correct = codec.decode(codec.square(hv))
+    naive_err = float(np.abs(naive - values**2).mean())
+    correct_err = float(np.abs(correct - values**2).mean())
+    lines = [
+        f"naive V*V mean error        : {naive_err:.3f}",
+        f"decorrelated square error   : {correct_err:.3f}",
+    ]
+    write_report("ablation_squaring", lines)
+    assert naive_err > 10 * correct_err
+
+
+def test_ablation_gamma_compression(face2):
+    """Gamma compression should help (or at least not hurt) accuracy."""
+    xtr, ytr, xte, yte = face2
+    k = int(ytr.max()) + 1
+    accs = {}
+    for gamma in (False, True):
+        pipe = HDFacePipeline(k, dim=CONFIG["dim"], cell_size=8,
+                              magnitude="l1", gamma=gamma,
+                              epochs=CONFIG["hd_epochs"], seed_or_rng=0)
+        accs[gamma] = pipe.fit(xtr, ytr).score(xte, yte)
+    lines = [
+        f"gamma off : {accs[False]:.3f}",
+        f"gamma on  : {accs[True]:.3f}",
+    ]
+    write_report("ablation_gamma", lines)
+    assert accs[True] >= accs[False] - 0.08
+
+
+def test_ablation_adaptive_learning(face2):
+    """Adaptive refinement versus plain single-pass bundling."""
+    xtr, ytr, xte, yte = face2
+    k = int(ytr.max()) + 1
+    pipe = HDFacePipeline(k, dim=CONFIG["dim"], cell_size=8,
+                          magnitude=CONFIG["magnitude"],
+                          epochs=CONFIG["hd_epochs"], seed_or_rng=0)
+    qtr = pipe.extract(xtr)
+    qte = pipe.extract(xte)
+    scores = {}
+    for label, kwargs in (
+        ("single-pass plain", dict(epochs=0, adaptive=False)),
+        ("single-pass adaptive", dict(epochs=0, adaptive=True)),
+        ("adaptive + refinement", dict(epochs=CONFIG["hd_epochs"], adaptive=True)),
+    ):
+        clf = HDCClassifier(k, seed_or_rng=0, **kwargs).fit(qtr, ytr)
+        scores[label] = clf.score(qte, yte)
+    widths = (24, 10)
+    lines = [fmt_row(("configuration", "accuracy"), widths), "-" * 36]
+    for label, acc in scores.items():
+        lines.append(fmt_row((label, f"{acc:.3f}"), widths))
+    write_report("ablation_adaptive", lines)
+    assert scores["adaptive + refinement"] >= scores["single-pass plain"] - 0.05
+
+
+def test_ablation_packed_backend_equivalence():
+    """Packed XOR+popcount Hamming equals the dense computation."""
+    rng = np.random.default_rng(0)
+    a = random_hypervector(4096, rng, shape=(32,))
+    b = random_hypervector(4096, rng, shape=(32,))
+    dense = (a != b).sum(axis=1)
+    packed = packed_hamming_distance(pack_bits(a), pack_bits(b))
+    assert (dense == packed).all()
+
+
+def test_packed_hamming_throughput(benchmark):
+    """Benchmark: packed Hamming kernel (the FPGA-native similarity)."""
+    rng = np.random.default_rng(0)
+    a = pack_bits(random_hypervector(4096, rng, shape=(256,)))
+    b = pack_bits(random_hypervector(4096, rng))
+    benchmark(packed_hamming_distance, a, b)
+
+
+def test_dense_hamming_throughput(benchmark):
+    """Benchmark: dense int8 Hamming for comparison with the packed path."""
+    rng = np.random.default_rng(0)
+    a = random_hypervector(4096, rng, shape=(256,))
+    b = random_hypervector(4096, rng)
+    benchmark(lambda: (a != b).sum(axis=1))

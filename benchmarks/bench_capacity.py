@@ -1,0 +1,65 @@
+"""Hypervector capacity sweep (the Sec. 6.3 capacity narrative).
+
+The paper attributes the accuracy-vs-D trend to hypervector memorization
+capacity.  This bench measures it directly: member similarity of bundles
+versus bundle size (against the closed-form ``sqrt(2/(pi n))`` law) and
+cleanup recall versus dimensionality - the mechanism behind Fig. 5a.
+"""
+
+import numpy as np
+
+from common import fmt_row, write_report
+
+from repro.core.capacity import (
+    capacity_estimate,
+    expected_member_similarity,
+    measure_member_similarity,
+    measure_recall_accuracy,
+)
+
+BUNDLE_SIZES = (3, 9, 27, 81)
+DIMS = (512, 2048, 8192)
+
+
+def test_capacity_report():
+    widths = (8, 12, 12, 12)
+    lines = [fmt_row(("n", "theory", "measured", ""), widths), "-" * 44]
+    for n in BUNDLE_SIZES:
+        theory = expected_member_similarity(n)
+        measured = measure_member_similarity(8192, n, trials=20, seed_or_rng=0)
+        lines.append(fmt_row(
+            (n, f"{theory:.4f}", f"{measured:.4f}", ""), widths))
+    lines.append("")
+    lines.append(fmt_row(("D", "capacity", "recall@cap/2", "recall@4cap"), widths))
+    lines.append("-" * 50)
+    for dim in DIMS:
+        cap = capacity_estimate(dim, n_distractors=100)
+        below = measure_recall_accuracy(dim, max(cap // 2, 2), trials=15,
+                                        seed_or_rng=0)
+        above = measure_recall_accuracy(dim, cap * 4, trials=15, seed_or_rng=0)
+        lines.append(fmt_row(
+            (dim, cap, f"{below:.2f}", f"{above:.2f}"), widths))
+    lines.append("")
+    lines.append("shape: member similarity follows sqrt(2/(pi n)); capacity "
+                 "and recall grow with D (the Sec. 6.3 mechanism)")
+    write_report("capacity", lines)
+
+
+def test_member_similarity_matches_theory():
+    for n in (9, 27):
+        measured = measure_member_similarity(8192, n, trials=20, seed_or_rng=1)
+        assert abs(measured - expected_member_similarity(n)) < 0.04
+
+
+def test_recall_improves_with_dimension():
+    n_items = capacity_estimate(512, 100) * 4
+    low = measure_recall_accuracy(512, n_items, trials=15, seed_or_rng=0)
+    high = measure_recall_accuracy(8192, n_items, trials=15, seed_or_rng=0)
+    assert high >= low
+
+
+def test_bundle_throughput(benchmark):
+    """Benchmark: majority bundling of 64 hypervectors at D=4096."""
+    from repro.core import bundle, random_hypervector
+    hvs = random_hypervector(4096, 0, shape=(64,))
+    benchmark(bundle, hvs)

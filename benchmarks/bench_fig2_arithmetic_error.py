@@ -1,0 +1,65 @@
+"""Figure 2: relative error of the stochastic primitives vs dimensionality.
+
+Regenerates the three panels (construction, average, multiplication) plus
+the square-root and division series, checks the ``1/sqrt(D)`` decay the
+figure shows, and benchmarks the primitive throughput.
+"""
+
+import numpy as np
+
+from common import CONFIG, fmt_row, write_report
+
+from repro.core import StochasticCodec
+from repro.core.analysis import error_vs_dimension
+
+OPERATIONS = ("construction", "average", "multiplication", "sqrt", "divide")
+
+
+def test_fig2_error_series():
+    """Print measured mean-absolute error per operation per dimensionality."""
+    dims = CONFIG["fig2_dims"]
+    trials = CONFIG["fig2_trials"]
+    series = {
+        op: error_vs_dimension(dims, op, trials=max(trials // (4 if op in ("sqrt", "divide") else 1), 20), seed=0)
+        for op in OPERATIONS
+    }
+    widths = (16,) + (10,) * len(dims)
+    lines = [fmt_row(("operation",) + tuple(f"D={d}" for d in dims), widths),
+             "-" * (16 + 12 * len(dims))]
+    for op in OPERATIONS:
+        lines.append(fmt_row(
+            (op,) + tuple(f"{series[op][d]:.4f}" for d in dims), widths))
+    lines.append("")
+    lines.append("paper shape: error decreases with D for every operation")
+    write_report("fig2_arithmetic_error", lines)
+
+    # The figure's claim: monotone decay (allowing small-sample jitter on
+    # the iterative ops) and roughly 1/sqrt(D) scaling for the core three.
+    for op in ("construction", "average", "multiplication"):
+        errs = [series[op][d] for d in dims]
+        assert errs[-1] < errs[0] / 2, op
+    ratio = series["construction"][dims[0]] / series["construction"][dims[-1]]
+    expected = np.sqrt(dims[-1] / dims[0])
+    assert 0.4 * expected < ratio < 2.5 * expected
+
+
+def test_construction_throughput(benchmark):
+    """Benchmark: batched construction of 1k values at D=4096."""
+    codec = StochasticCodec(4096, 0)
+    values = np.linspace(-1, 1, 1000)
+    benchmark(codec.construct, values)
+
+
+def test_multiplication_throughput(benchmark):
+    """Benchmark: batched stochastic multiplication at D=4096."""
+    codec = StochasticCodec(4096, 0)
+    a = codec.construct(np.linspace(-1, 1, 1000))
+    b = codec.construct(np.linspace(1, -1, 1000))
+    benchmark(codec.multiply, a, b)
+
+
+def test_sqrt_throughput(benchmark):
+    """Benchmark: batched binary-search square root at D=4096."""
+    codec = StochasticCodec(4096, 0)
+    a = codec.construct(np.linspace(0, 1, 256))
+    benchmark(codec.sqrt, a, 8)

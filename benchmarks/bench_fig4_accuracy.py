@@ -1,0 +1,106 @@
+"""Figure 4: classification accuracy of HDFace vs DNN vs SVM on all datasets.
+
+Four systems per dataset, exactly the paper's comparison:
+
+* ``HDC (orig-HOG)``  - classic HOG + nonlinear encoder + HDC (config 1);
+* ``HDFace (stoch)``  - HOG fully in hyperspace + HDC (config 2);
+* ``DNN``             - classic HOG + MLP;
+* ``SVM``             - classic HOG + linear SVM.
+
+Expected shape: HDC-based systems competitive with (or better than) DNN and
+SVM, and the stochastic-HOG configuration within a few points of the
+original-space configuration ("the same quality of detection").
+"""
+
+import numpy as np
+import pytest
+
+from common import CONFIG, fmt_row, write_report
+
+from repro.learning import HDCClassifier, LinearSVM, MLPClassifier, NonlinearEncoder
+from repro.pipeline import HDFacePipeline
+
+SYSTEMS = ("HDC(orig-HOG)", "HDFace(stoch)", "DNN", "SVM")
+
+
+@pytest.fixture(scope="module")
+def accuracy_table(datasets, hog_features):
+    table = {}
+    for name, (xtr, ytr, xte, yte) in datasets.items():
+        k = int(ytr.max()) + 1
+        ftr, _, fte, _ = hog_features[name]
+        row = {}
+
+        dim = CONFIG["datasets"][name]["dim"]
+        enc = NonlinearEncoder(dim, ftr.shape[1], seed_or_rng=0)
+        hdc = HDCClassifier(k, epochs=20, seed_or_rng=0).fit(enc.encode(ftr), ytr)
+        row["HDC(orig-HOG)"] = hdc.score(enc.encode(fte), yte)
+
+        pipe = HDFacePipeline(k, dim=dim, cell_size=8,
+                              magnitude=CONFIG["magnitude"],
+                              epochs=CONFIG["hd_epochs"], seed_or_rng=0)
+        pipe.fit(xtr, ytr)
+        row["HDFace(stoch)"] = pipe.score(xte, yte)
+
+        dnn = MLPClassifier(ftr.shape[1], k, hidden=CONFIG["dnn_hidden"],
+                            epochs=CONFIG["dnn_epochs"], seed_or_rng=0).fit(ftr, ytr)
+        row["DNN"] = dnn.score(fte, yte)
+
+        svm = LinearSVM(ftr.shape[1], k, epochs=20, seed_or_rng=0).fit(ftr, ytr)
+        row["SVM"] = svm.score(fte, yte)
+        table[name] = row
+    return table
+
+
+def test_fig4_report(accuracy_table):
+    """Print the Fig. 4 grouped-bar data as a table."""
+    widths = (8,) + (15,) * len(SYSTEMS)
+    lines = [fmt_row(("dataset",) + SYSTEMS, widths), "-" * 70]
+    for name, row in accuracy_table.items():
+        lines.append(fmt_row(
+            (name,) + tuple(f"{row[s]:.3f}" for s in SYSTEMS), widths))
+    means = {s: np.mean([r[s] for r in accuracy_table.values()]) for s in SYSTEMS}
+    lines.append("-" * 70)
+    lines.append(fmt_row(
+        ("mean",) + tuple(f"{means[s]:.3f}" for s in SYSTEMS), widths))
+    lines.append("")
+    lines.append("paper shape: HDC >= DNN >= SVM on average; stochastic HOG "
+                 "within a few points of original-space HOG")
+    write_report("fig4_accuracy", lines)
+
+
+def test_every_system_above_chance(accuracy_table, datasets):
+    for name, row in accuracy_table.items():
+        k = int(datasets[name][1].max()) + 1
+        for system, acc in row.items():
+            assert acc > 1.0 / k + 0.05, f"{system} on {name}: {acc}"
+
+
+def test_hdc_competitive_with_dnn(accuracy_table):
+    """Paper: HDC accuracy is on average >= DNN's (3.9 points in the paper);
+    we require it within a small margin in the reduced setting."""
+    hdc = np.mean([r["HDC(orig-HOG)"] for r in accuracy_table.values()])
+    dnn = np.mean([r["DNN"] for r in accuracy_table.values()])
+    assert hdc > dnn - 0.08
+
+
+def test_stochastic_hog_matches_original(accuracy_table):
+    """Paper: 'our stochastic hyperdimensional feature extraction provides
+    the same quality of detection as feature extraction in original space'
+    - on the binary tasks, where the reduced-scale bench has headroom."""
+    for name, row in accuracy_table.items():
+        if name == "EMOTION":
+            continue  # 7-class at smoke scale is noise-limited
+        assert row["HDFace(stoch)"] > row["HDC(orig-HOG)"] - 0.2, name
+
+
+def test_hdface_training_throughput(benchmark, face2):
+    """Benchmark: end-to-end HDFace fit on a small training set."""
+    xtr, ytr = face2[0][:16], face2[1][:16]
+    k = int(face2[1].max()) + 1
+
+    def train():
+        return HDFacePipeline(k, dim=1024, cell_size=8, magnitude="l1",
+                              epochs=3, seed_or_rng=0).fit(xtr, ytr)
+
+    benchmark.pedantic(train, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and writes its
+rows to ``benchmarks/results/<name>.txt`` (also echoed to stdout when pytest
+runs with ``-s``).  Set ``REPRO_BENCH_SCALE=full`` for the larger
+configurations; the default ``smoke`` scale keeps the whole harness in the
+minutes range while preserving every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark scale: "smoke" (default, laptop-minutes) or "full".
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+#: Per-scale knobs used across benches.  ``datasets`` gives, per Table 1
+#: task, the generated image size, split sizes and the dimensionality the
+#: accuracy benches use for it (the 7-class task needs the full D=4k).
+CONFIG = {
+    "smoke": {
+        "datasets": {
+            # the 7-class task needs high dimensionality (Fig. 5a): D=8k
+            "EMOTION": {"size": 48, "train": 105, "test": 49, "dim": 8192},
+            "FACE1": {"size": 32, "train": 80, "test": 60, "dim": 2048},
+            "FACE2": {"size": 32, "train": 80, "test": 60, "dim": 2048},
+        },
+        "dim": 2048,
+        "dims_sweep": (512, 1024, 2048, 4096),
+        "magnitude": "l1",
+        "hd_epochs": 10,
+        "dnn_hidden": (128, 128),
+        "dnn_epochs": 30,
+        "error_rates": (0.0, 0.02, 0.08, 0.14),
+        "robust_dims": (1024, 4096),
+        "fig2_dims": (512, 1024, 2048, 4096, 8192),
+        "fig2_trials": 200,
+    },
+    "full": {
+        "datasets": {
+            "EMOTION": {"size": 48, "train": 280, "test": 140, "dim": 4096},
+            "FACE1": {"size": 64, "train": 160, "test": 80, "dim": 4096},
+            "FACE2": {"size": 48, "train": 200, "test": 100, "dim": 4096},
+        },
+        "dim": 4096,
+        "dims_sweep": (1024, 2048, 4096, 8192, 10240),
+        "magnitude": "l2_scaled",
+        "hd_epochs": 20,
+        "dnn_hidden": (256, 256),
+        "dnn_epochs": 40,
+        "error_rates": (0.0, 0.01, 0.02, 0.04, 0.08, 0.12, 0.14),
+        "robust_dims": (1024, 4096, 10240),
+        "fig2_dims": (512, 1024, 2048, 4096, 8192, 10240),
+        "fig2_trials": 500,
+    },
+}[SCALE]
+
+
+def write_report(name, lines):
+    """Persist one benchmark's table to results/<name>.txt and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n=== {name} (scale={SCALE}) ===")
+    print(text)
+    return text
+
+
+def fmt_row(cells, widths):
+    """Fixed-width row formatting for the report tables."""
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))

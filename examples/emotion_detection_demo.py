@@ -1,0 +1,61 @@
+"""Seven-class emotion detection with HDFace (the EMOTION benchmark).
+
+Trains HDFace on the synthetic FER-analog emotion dataset, compares it
+against the DNN and SVM baselines over the *same* HOG features (paper
+Fig. 4's protocol), and prints a confusion matrix plus the dimensionality
+trend of Fig. 5a / Fig. 6b: emotion predictions are unreliable at D=1k and
+stabilize at D=4k.
+
+Run:  python examples/emotion_detection_demo.py
+"""
+
+import numpy as np
+
+from repro import HDFacePipeline, HOGPipeline
+from repro.datasets import EMOTIONS, make_emotion_dataset
+from repro.learning import confusion_matrix
+from repro.viz import ascii_image
+
+
+def main():
+    size = 48
+    print("Generating the synthetic emotion dataset (7 classes) ...")
+    train_x, train_y = make_emotion_dataset(280, size=size, seed_or_rng=0)
+    test_x, test_y = make_emotion_dataset(70, size=size, seed_or_rng=1)
+
+    print("A 'happy' sample and a 'surprise' sample:")
+    for wanted in ("happy", "surprise"):
+        idx = int(np.argmax(train_y == EMOTIONS.index(wanted)))
+        print(f"--- {wanted} ---")
+        print(ascii_image(train_x[idx], width=40))
+
+    print("\nBaselines over classic HOG features:")
+    for kind, kwargs in (("svm", {}), ("dnn", {"hidden": (128, 128)})):
+        pipe = HOGPipeline(kind, 7, image_size=size, seed_or_rng=0, **kwargs)
+        acc = pipe.fit(train_x, train_y).score(test_x, test_y)
+        print(f"  {kind.upper():4s}: {acc:.3f}")
+
+    print("\nHDFace at increasing dimensionality (Fig. 5a / 6b trend):")
+    best = None
+    for dim in (1024, 4096):
+        pipe = HDFacePipeline(7, dim=dim, cell_size=8, magnitude="l1",
+                              epochs=20, seed_or_rng=0)
+        acc = pipe.fit(train_x, train_y).score(test_x, test_y)
+        print(f"  D={dim:5d}: {acc:.3f}")
+        best = pipe
+
+    print("\nConfusion matrix of the D=4096 model (rows = truth):")
+    pred = best.predict(test_x)
+    mat = confusion_matrix(test_y, pred, n_classes=7)
+    header = "          " + " ".join(f"{e[:4]:>5s}" for e in EMOTIONS)
+    print(header)
+    for i, row in enumerate(mat):
+        print(f"{EMOTIONS[i]:>9s} " + " ".join(f"{v:5d}" for v in row))
+
+    print("\nPaper shape: low-D predictions are noisy; D=4k separates the "
+          "expressive classes (happy/surprise) cleanly while neighbouring "
+          "emotions (fear/surprise, sad/angry) still confuse - as in FER.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Sliding-window face detection over a composite scene (paper Fig. 6).
+
+Builds a cluttered scene with faces pasted at known positions, trains
+HDFace detectors at two dimensionalities, scans the scene with an
+overlapping window, and renders the detection maps - reproducing the
+paper's visual comparison where the low-D detector mispredicts windows
+that the D=4k detector gets right.
+
+Writes PGM overlays (viewable with any image tool) next to this script.
+
+Run:  python examples/face_detection_demo.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import HDFacePipeline, SlidingWindowDetector
+from repro.datasets import make_face_dataset
+from repro.pipeline import make_scene
+from repro.viz import ascii_image, ascii_map, render_detection, write_pgm
+
+WINDOW = 24
+SCENE_SIZE = 96
+FACE_SPOTS = ((0, 24), (48, 60))
+DIMS = (512, 4096)
+
+
+def main():
+    out_dir = Path(__file__).parent
+    print("Composing a test scene with faces at", FACE_SPOTS)
+    scene, truth = make_scene(SCENE_SIZE, FACE_SPOTS, window=WINDOW,
+                              seed_or_rng=7)
+    print(ascii_image(scene, width=64))
+
+    print("\nGenerating training data ...")
+    train_x, train_y = make_face_dataset(160, size=WINDOW, seed_or_rng=0)
+
+    for dim in DIMS:
+        print(f"\n--- HDFace detector at D={dim} ---")
+        pipe = HDFacePipeline(2, dim=dim, cell_size=8, magnitude="l1",
+                              epochs=10, seed_or_rng=0).fit(train_x, train_y)
+        detector = SlidingWindowDetector(pipe, window=WINDOW,
+                                         stride=WINDOW // 2)
+        result = detector.scan(scene)
+        print("detection map (# = face window):")
+        print(ascii_map(result.detections))
+        n_hits = int(result.detections.sum())
+        print(f"{n_hits} windows flagged "
+              f"({result.detections.size} scanned)")
+        overlay = render_detection(scene, result)
+        path = out_dir / f"detection_D{dim}.pgm"
+        write_pgm(path, overlay)
+        print(f"overlay written to {path}")
+
+    print("\nPaper shape: the low-D map flags spurious windows; "
+          "the D=4k map concentrates on the true face locations.")
+
+
+if __name__ == "__main__":
+    main()

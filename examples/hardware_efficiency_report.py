@@ -1,0 +1,107 @@
+"""Hardware efficiency walkthrough (paper Fig. 7 and Sec. 6.5).
+
+Uses the op-count cost models and the cycle-level datapath simulator to
+answer: *why* does HDFace map so well to an FPGA, and where do the paper's
+speedup/energy numbers come from?
+
+Prints, for each Table 1 workload:
+
+* the operation mix of the HDFace pipeline vs the HOG+DNN baseline;
+* modeled training/inference time and energy on the Cortex-A53 and the
+  Kintex-7, with the speedup/efficiency ratios next to the paper's;
+* a cycle-level simulation of the FPGA datapath with lane utilization.
+
+Run:  python examples/hardware_efficiency_report.py
+"""
+
+from repro.hardware import (
+    CORTEX_A53,
+    KINTEX7_FPGA,
+    HDDatapathSimulator,
+    dnn_inference_cost,
+    dnn_training_cost,
+    fig7_report,
+    hd_hog_profile,
+    hd_hog_trace,
+    hdface_inference_cost,
+    hdface_training_cost,
+    hog_profile,
+    workload_for_dataset,
+)
+
+PAPER = {
+    ("cpu", "training"): (6.1, 3.0),
+    ("fpga", "training"): (4.6, 12.1),
+    ("cpu", "inference"): (1.4, 1.7),
+    ("fpga", "inference"): (2.9, 2.6),
+}
+
+
+def show_op_mix():
+    w = workload_for_dataset("EMOTION")
+    shape = (w.image_size, w.image_size)
+    hd = hd_hog_profile(shape, w.dim)
+    fp = hog_profile(shape)
+    print("per-image operation mix (EMOTION, 48x48, D=4096):")
+    print(f"  HDFace pipeline : {hd.get('bit'):.2e} bit ops, "
+          f"{hd.get('int_add'):.2e} int adds, {hd.get('rng_bit'):.2e} rng bits, "
+          f"0 float ops")
+    print(f"  classic HOG     : {fp.get('fp_mul') + fp.get('fp_add'):.2e} float "
+          f"ops, {fp.get('fp_atan'):.2e} atan, {fp.get('fp_sqrt'):.2e} sqrt")
+    print("  -> HDFace trades float transcendentals for massive, regular "
+          "bitwise parallelism: LUT fabric, not DSPs.\n")
+
+
+def show_costs():
+    print("modeled end-to-end costs (paper Table 1 workload sizes):")
+    for name in ("EMOTION", "FACE1", "FACE2"):
+        w = workload_for_dataset(name)
+        print(f"\n  {name} ({w.image_size}x{w.image_size}, "
+              f"{w.n_train} training images)")
+        for key, plat in (("cpu", CORTEX_A53), ("fpga", KINTEX7_FPGA)):
+            ht, he = hdface_training_cost(w, plat)
+            dt, de = dnn_training_cost(w, plat)
+            it_h, ie_h = hdface_inference_cost(w, plat)
+            it_d, ie_d = dnn_inference_cost(w, plat)
+            print(f"    {plat.name:16s} train: HDFace {ht:9.1f}s vs DNN "
+                  f"{dt:9.1f}s  ({dt / ht:5.2f}x, paper "
+                  f"{PAPER[(key, 'training')][0]}x)")
+            print(f"    {'':16s} infer: HDFace {it_h * 1e3:8.2f}ms vs DNN "
+                  f"{it_d * 1e3:8.2f}ms ({it_d / it_h:5.2f}x, paper "
+                  f"{PAPER[(key, 'inference')][0]}x)")
+            del he, de, ie_h, ie_d
+
+
+def show_simulation():
+    print("\ncycle-level FPGA datapath simulation (one 48x48 image, D=4096):")
+    lanes = int(KINTEX7_FPGA.throughput["bit"])
+    sim = HDDatapathSimulator(lanes=lanes, pipeline_depth=4)
+    res = sim.run(hd_hog_trace((48, 48), 4096))
+    print(f"  lanes            : {res.lanes}")
+    print(f"  cycles           : {res.cycles:,}")
+    print(f"  lane utilization : {res.utilization * 100:.1f}%")
+    print(f"  latency @200 MHz : {res.seconds(KINTEX7_FPGA.freq_hz) * 1e3:.2f} ms")
+    print(f"  stall cycles     : {res.stall_cycles:,} "
+          "(binary-search readback dependencies)")
+
+
+def show_summary():
+    print("\nFig. 7 summary (averages across datasets):")
+    rows = fig7_report()
+    for (plat, phase), (ps, pe) in PAPER.items():
+        sel = [r for r in rows if r.platform == plat and r.phase == phase]
+        speed = sum(r.speedup for r in sel) / len(sel)
+        energy = sum(r.energy_efficiency for r in sel) / len(sel)
+        print(f"  {plat:4s} {phase:9s}: {speed:6.2f}x speed "
+              f"(paper {ps}x), {energy:6.2f}x energy (paper {pe}x)")
+
+
+def main():
+    show_op_mix()
+    show_costs()
+    show_simulation()
+    show_summary()
+
+
+if __name__ == "__main__":
+    main()

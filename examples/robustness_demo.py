@@ -1,0 +1,75 @@
+"""Bit-error robustness comparison (paper Table 2, condensed).
+
+Injects random bit errors into three systems trained on the same task:
+
+* HDFace with feature extraction *and* learning in hyperspace;
+* an HDC classifier fed by HOG running on the original fixed-point
+  representation;
+* a quantized DNN (16-bit and 4-bit weights).
+
+Prints the quality-loss table and the paper's headline: the holographic
+representation barely notices error rates that cripple the original
+datapath and the high-precision DNN.
+
+Run:  python examples/robustness_demo.py
+"""
+
+from repro import HDFacePipeline, HOGPipeline
+from repro.datasets import make_face_dataset
+from repro.learning import MLPClassifier
+from repro.noise import (
+    dnn_robustness,
+    hdface_hyperspace_robustness,
+    hdface_original_hog_robustness,
+)
+
+RATES = (0.0, 0.02, 0.08, 0.14)
+
+
+def main():
+    size = 32
+    print("Generating data and training the three systems ...")
+    train_x, train_y = make_face_dataset(120, size=size, seed_or_rng=0)
+    test_x, test_y = make_face_dataset(60, size=size, seed_or_rng=1)
+
+    hdface = HDFacePipeline(2, dim=4096, cell_size=8, magnitude="l1",
+                            epochs=10, seed_or_rng=0).fit(train_x, train_y)
+
+    orig = HOGPipeline("hdc", 2, image_size=size, dim=4096,
+                       seed_or_rng=0).fit(train_x, train_y)
+
+    hog = HOGPipeline("svm", 2, image_size=size)
+    ftr, fte = hog.features(train_x), hog.features(test_x)
+    mlp = MLPClassifier(ftr.shape[1], 2, hidden=(128, 128), epochs=30,
+                        seed_or_rng=0).fit(ftr, train_y)
+    full_acc = mlp.score(fte, test_y)
+
+    print("Running fault campaigns ...")
+    rows = {
+        "HDFace (hyperspace HOG+learn)": hdface_hyperspace_robustness(
+            hdface, test_x, test_y, RATES, seed_or_rng=0),
+        "HDC over original-space HOG": hdface_original_hog_robustness(
+            orig, test_x, test_y, RATES, bits=16, seed_or_rng=0),
+        "DNN 16-bit weights": dnn_robustness(
+            mlp, fte, test_y, RATES, 16, reference_accuracy=full_acc,
+            seed_or_rng=0),
+        "DNN 4-bit weights": dnn_robustness(
+            mlp, fte, test_y, RATES, 4, reference_accuracy=full_acc,
+            seed_or_rng=0),
+    }
+
+    print("\nquality loss (accuracy points) per bit-error rate:")
+    header = f"{'system':34s}" + "".join(f"{str(int(r * 100)) + '%':>7s}" for r in RATES)
+    print(header)
+    print("-" * len(header))
+    for name, res in rows.items():
+        losses = res.losses()
+        print(f"{name:34s}" + "".join(f"{losses[r]:7.1f}" for r in RATES))
+
+    print("\nPaper shape (Table 2): the fully-hyperspace row stays nearly "
+          "flat; errors in the original HOG datapath or in high-precision "
+          "DNN weights cost many points at the same rates.")
+
+
+if __name__ == "__main__":
+    main()

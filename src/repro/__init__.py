@@ -1,0 +1,51 @@
+"""HDFace: robust and holographic face detection with hyperdimensional computing.
+
+A from-scratch reproduction of *"Neural Computation for Robust and
+Holographic Face Detection"* (DAC 2022): stochastic arithmetic over binary
+hypervectors, HOG feature extraction fully in hyperspace, adaptive
+hyperdimensional classification, DNN/SVM baselines, synthetic face/emotion
+datasets, bit-error robustness campaigns, and CPU/FPGA efficiency models.
+
+Quickstart
+----------
+>>> from repro import HDFacePipeline
+>>> from repro.datasets import make_face_dataset
+>>> xtr, ytr = make_face_dataset(40, size=24, seed_or_rng=0)
+>>> pipe = HDFacePipeline(n_classes=2, dim=1024, magnitude="l1",
+...                       epochs=5, seed_or_rng=0).fit(xtr, ytr)
+>>> bool(pipe.score(xtr, ytr) > 0.5)
+True
+
+Subpackages
+-----------
+``repro.core``
+    Hypervectors, the HDC algebra and the stochastic arithmetic codec.
+``repro.features``
+    Classic HOG and the hyperspace HOG extractor.
+``repro.learning``
+    HDC classifier, encoders, DNN and SVM baselines, quantization.
+``repro.datasets``
+    Synthetic Table-1 datasets (faces, emotions, clutter).
+``repro.noise``
+    Bit-error fault models and Table-2 robustness campaigns.
+``repro.hardware``
+    Op-count cost models, platform definitions, cycle-level simulator.
+``repro.pipeline``
+    End-to-end HDFace, baselines and the sliding-window detector.
+``repro.viz``
+    Headless rendering of images and detection maps.
+"""
+
+from .core import DEFAULT_DIM, StochasticCodec
+from .pipeline import HDFacePipeline, HOGPipeline, SlidingWindowDetector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StochasticCodec",
+    "HDFacePipeline",
+    "HOGPipeline",
+    "SlidingWindowDetector",
+    "DEFAULT_DIM",
+    "__version__",
+]

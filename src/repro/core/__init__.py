@@ -1,0 +1,65 @@
+"""Core hyperdimensional computing substrate.
+
+Exports the HDC algebra (:mod:`~repro.core.ops`), hypervector utilities
+(:mod:`~repro.core.hypervector`), the item/level codebooks
+(:mod:`~repro.core.spaces`), the stochastic arithmetic codec
+(:mod:`~repro.core.stochastic`) and its error analysis
+(:mod:`~repro.core.analysis`).
+"""
+
+from .capacity import (
+    capacity_estimate,
+    expected_member_similarity,
+    measure_member_similarity,
+    measure_recall_accuracy,
+)
+from .hypervector import (
+    DEFAULT_DIM,
+    as_rng,
+    from_binary,
+    is_bipolar,
+    pack_bits,
+    packed_hamming_distance,
+    packed_popcount,
+    random_hypervector,
+    to_binary,
+    unpack_bits,
+)
+from .ops import (
+    bind,
+    bundle,
+    cosine_similarity,
+    hamming_similarity,
+    nearest,
+    permute,
+    similarity,
+)
+from .spaces import ItemMemory, LevelMemory
+from .stochastic import StochasticCodec
+
+__all__ = [
+    "DEFAULT_DIM",
+    "as_rng",
+    "random_hypervector",
+    "is_bipolar",
+    "to_binary",
+    "from_binary",
+    "pack_bits",
+    "unpack_bits",
+    "packed_popcount",
+    "packed_hamming_distance",
+    "bundle",
+    "bind",
+    "permute",
+    "similarity",
+    "cosine_similarity",
+    "hamming_similarity",
+    "nearest",
+    "ItemMemory",
+    "LevelMemory",
+    "StochasticCodec",
+    "capacity_estimate",
+    "expected_member_similarity",
+    "measure_member_similarity",
+    "measure_recall_accuracy",
+]

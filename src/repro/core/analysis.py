@@ -1,0 +1,126 @@
+"""Error analysis of the stochastic primitives (reproduces paper Fig. 2).
+
+Every stochastic primitive decodes to its true value plus zero-mean noise
+whose standard deviation shrinks as ``1 / sqrt(D)``.  This module provides
+both the closed-form predictions and Monte-Carlo measurement harnesses; the
+Fig. 2 bench plots measured mean absolute error against dimensionality for
+construction, weighted average, and multiplication, and checks the
+``1/sqrt(D)`` decay.
+
+Theory (signs ``s_i`` i.i.d. with mean ``a``):
+
+* construction: ``Var[decode] = (1 - a^2) / D``
+* average (p=1/2): a fresh Bernoulli selection between two sign streams, so
+  ``Var = (1 - m^2) / D`` with ``m = (a + b) / 2``
+* multiplication: product stream has mean ``ab``;
+  ``Var = (1 - (ab)^2) / D`` for independent operands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hypervector import as_rng
+from .stochastic import StochasticCodec
+
+__all__ = [
+    "construction_std",
+    "average_std",
+    "multiplication_std",
+    "measure_construction_error",
+    "measure_average_error",
+    "measure_multiplication_error",
+    "measure_sqrt_error",
+    "measure_divide_error",
+    "error_vs_dimension",
+]
+
+
+def construction_std(value, dim):
+    """Predicted std of ``decode(construct(value))`` about ``value``."""
+    value = np.asarray(value, dtype=np.float64)
+    return np.sqrt(np.maximum(1.0 - value**2, 0.0) / dim)
+
+
+def average_std(a, b, dim, p=0.5):
+    """Predicted std of the decoded weighted average of ``a`` and ``b``."""
+    m = p * np.asarray(a, np.float64) + (1 - p) * np.asarray(b, np.float64)
+    return np.sqrt(np.maximum(1.0 - m**2, 0.0) / dim)
+
+
+def multiplication_std(a, b, dim):
+    """Predicted std of the decoded product of independent ``a``, ``b``."""
+    ab = np.asarray(a, np.float64) * np.asarray(b, np.float64)
+    return np.sqrt(np.maximum(1.0 - ab**2, 0.0) / dim)
+
+
+def _sample_values(n, rng, low=-1.0, high=1.0):
+    return rng.uniform(low, high, size=n)
+
+
+def measure_construction_error(dim, trials=200, seed_or_rng=None):
+    """Mean absolute decode error of construction over random values."""
+    rng = as_rng(seed_or_rng)
+    codec = StochasticCodec(dim, rng)
+    values = _sample_values(trials, rng)
+    decoded = codec.decode(codec.construct(values))
+    return float(np.abs(decoded - values).mean())
+
+
+def measure_average_error(dim, trials=200, seed_or_rng=None):
+    """Mean absolute error of the stochastic average of random value pairs."""
+    rng = as_rng(seed_or_rng)
+    codec = StochasticCodec(dim, rng)
+    a = _sample_values(trials, rng)
+    b = _sample_values(trials, rng)
+    avg = codec.add_half(codec.construct(a), codec.construct(b))
+    return float(np.abs(codec.decode(avg) - (a + b) / 2).mean())
+
+
+def measure_multiplication_error(dim, trials=200, seed_or_rng=None):
+    """Mean absolute error of the stochastic product of random value pairs."""
+    rng = as_rng(seed_or_rng)
+    codec = StochasticCodec(dim, rng)
+    a = _sample_values(trials, rng)
+    b = _sample_values(trials, rng)
+    prod = codec.multiply(codec.construct(a), codec.construct(b))
+    return float(np.abs(codec.decode(prod) - a * b).mean())
+
+
+def measure_sqrt_error(dim, trials=50, iters=12, seed_or_rng=None):
+    """Mean absolute error of the binary-search square root on [0, 1]."""
+    rng = as_rng(seed_or_rng)
+    codec = StochasticCodec(dim, rng)
+    a = _sample_values(trials, rng, low=0.0, high=1.0)
+    root = codec.sqrt(codec.construct(a), iters=iters)
+    return float(np.abs(codec.decode(root) - np.sqrt(a)).mean())
+
+
+def measure_divide_error(dim, trials=50, iters=12, seed_or_rng=None):
+    """Mean absolute error of binary-search division with ``|a| <= |b|``."""
+    rng = as_rng(seed_or_rng)
+    codec = StochasticCodec(dim, rng)
+    b = rng.uniform(0.3, 1.0, size=trials) * rng.choice([-1.0, 1.0], size=trials)
+    ratio = rng.uniform(-1.0, 1.0, size=trials)
+    a = ratio * b
+    q = codec.divide(codec.construct(a), codec.construct(b), iters=iters)
+    return float(np.abs(codec.decode(q) - ratio).mean())
+
+
+def error_vs_dimension(dims, operation="construction", trials=200, seed=0):
+    """Measured mean absolute error for each dimensionality in ``dims``.
+
+    ``operation`` is one of ``construction``, ``average``, ``multiplication``,
+    ``sqrt``, ``divide``.  Returns a dict ``{dim: error}`` - the data series
+    behind Fig. 2.
+    """
+    measure = {
+        "construction": measure_construction_error,
+        "average": measure_average_error,
+        "multiplication": measure_multiplication_error,
+        "sqrt": measure_sqrt_error,
+        "divide": measure_divide_error,
+    }.get(operation)
+    if measure is None:
+        raise ValueError(f"unknown operation {operation!r}")
+    return {int(d): measure(int(d), trials=trials, seed_or_rng=seed) for d in dims}

@@ -1,0 +1,158 @@
+"""Hypervector primitives: generation, validation, and bit-packing.
+
+A *hypervector* in this library is a NumPy array whose last axis has length
+``D`` (the dimensionality, typically 1,000-10,000) and whose elements are the
+bipolar values ``+1`` / ``-1`` stored as ``int8``.  All operations in
+:mod:`repro.core` are batched: an array of shape ``(..., D)`` is treated as a
+stack of hypervectors and processed in one vectorized NumPy call, which is how
+HDFace processes every pixel of an image simultaneously.
+
+The binary view used by the paper's hardware (Section 6.5) maps ``+1 -> 1``
+and ``-1 -> 0``.  :func:`pack_bits` / :func:`unpack_bits` convert between the
+dense bipolar representation and a 64x smaller ``uint64`` packed form whose
+Hamming arithmetic uses population counts - the exact operation an FPGA LUT
+fabric executes.  The packed backend exists so the hardware model in
+:mod:`repro.hardware` is exercised against a faithful software reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_DIM",
+    "as_rng",
+    "random_hypervector",
+    "is_bipolar",
+    "ensure_bipolar",
+    "to_binary",
+    "from_binary",
+    "pack_bits",
+    "unpack_bits",
+    "packed_popcount",
+    "packed_hamming_distance",
+]
+
+#: Default dimensionality used across the library.  The paper identifies
+#: ``D = 4k`` as the accuracy/efficiency sweet spot (Fig. 5a).
+DEFAULT_DIM = 4096
+
+
+def as_rng(seed_or_rng=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, generator or None.
+
+    Every stochastic component in the library accepts a ``seed_or_rng``
+    argument and normalizes it through this helper, so experiments are
+    reproducible end-to-end from a single integer seed.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def random_hypervector(dim, seed_or_rng=None, p=0.5, shape=()):
+    """Draw random bipolar hypervector(s).
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality ``D`` of each hypervector.
+    seed_or_rng:
+        Seed or generator for reproducibility.
+    p:
+        Probability that a component equals ``+1``.  ``p = 0.5`` gives the
+        dense random hypervectors used for item memories; other values give
+        the biased vectors of Section 4.1 ("+1 appears with probability p").
+    shape:
+        Leading batch shape; the result has shape ``shape + (dim,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int8`` array of ``+1``/``-1`` with shape ``shape + (dim,)``.
+    """
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = as_rng(seed_or_rng)
+    draws = rng.random(tuple(shape) + (dim,))
+    return np.where(draws < p, 1, -1).astype(np.int8)
+
+
+def is_bipolar(hv) -> bool:
+    """Return True if every element of ``hv`` is exactly ``+1`` or ``-1``."""
+    arr = np.asarray(hv)
+    return bool(np.isin(arr, (-1, 1)).all())
+
+
+def ensure_bipolar(hv, name="hypervector"):
+    """Validate and return ``hv`` as an ``int8`` bipolar array.
+
+    Raises
+    ------
+    ValueError
+        If any element is not ``+1`` or ``-1``.
+    """
+    arr = np.asarray(hv)
+    if not is_bipolar(arr):
+        raise ValueError(f"{name} must contain only +1/-1 elements")
+    return arr.astype(np.int8, copy=False)
+
+
+def to_binary(hv):
+    """Map a bipolar hypervector to the {0, 1} domain (``+1 -> 1``)."""
+    return ((np.asarray(hv) + 1) // 2).astype(np.uint8)
+
+
+def from_binary(bits):
+    """Map a {0, 1} hypervector back to the bipolar domain (``1 -> +1``)."""
+    return (np.asarray(bits).astype(np.int16) * 2 - 1).astype(np.int8)
+
+
+def pack_bits(hv):
+    """Pack a bipolar hypervector into ``uint64`` words (``+1 -> 1`` bit).
+
+    The last axis of length ``D`` becomes ``ceil(D / 64)`` words; if ``D`` is
+    not a multiple of 64 the tail bits are zero (and :func:`unpack_bits`
+    needs the original ``dim`` to drop them).
+    """
+    bits = to_binary(hv)
+    dim = bits.shape[-1]
+    pad = (-dim) % 64
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1
+        )
+    words = np.packbits(bits, axis=-1, bitorder="little")
+    return words.view(np.uint64) if words.flags["C_CONTIGUOUS"] else np.ascontiguousarray(words).view(np.uint64)
+
+
+def unpack_bits(words, dim):
+    """Unpack ``uint64`` words produced by :func:`pack_bits` to bipolar form."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")[..., :dim]
+    return from_binary(bits)
+
+
+def packed_popcount(words):
+    """Population count per packed hypervector (sum over the word axis)."""
+    words = np.asarray(words, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+        counts = np.bitwise_count(words)
+    else:  # pragma: no cover - exercised only on NumPy < 2.0
+        counts = np.unpackbits(
+            np.ascontiguousarray(words).view(np.uint8), axis=-1
+        ).sum(axis=-1, dtype=np.int64)
+        return counts
+    return counts.sum(axis=-1, dtype=np.int64)
+
+
+def packed_hamming_distance(a, b):
+    """Hamming distance between packed hypervectors (XOR + popcount).
+
+    This is the FPGA-native similarity kernel of Section 6.5: a LUT computes
+    XOR, a popcount tree reduces it.  ``a`` and ``b`` broadcast against each
+    other over leading axes.
+    """
+    return packed_popcount(np.bitwise_xor(np.asarray(a, np.uint64), np.asarray(b, np.uint64)))

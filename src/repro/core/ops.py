@@ -1,0 +1,147 @@
+"""The classical HDC algebra: bundling, binding, permutation, similarity.
+
+These are the three primitives the paper builds on (Section 4.1):
+
+* **Bundling** ``(+)`` - elementwise majority; memorizes a set of
+  hypervectors into one that stays similar to each input.
+* **Binding** ``(*)`` - elementwise product; associates two hypervectors
+  into one that is dissimilar to both but preserves distances.
+* **Permutation** ``(rho)`` - a single rotational shift; encodes position.
+
+Similarity ``delta`` follows the paper's definition
+``delta(V1, V2) = (V1 . V2) / D`` plus the Hamming variant that the binary
+hardware uses.  All functions are batched over leading axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bundle",
+    "bind",
+    "permute",
+    "similarity",
+    "cosine_similarity",
+    "hamming_similarity",
+    "nearest",
+]
+
+
+def bundle(hvs, rng=None, axis=0):
+    """Bundle hypervectors by elementwise majority vote.
+
+    Parameters
+    ----------
+    hvs:
+        Array of shape ``(n, ..., D)`` (or any axis selected by ``axis``)
+        holding the hypervectors to memorize together.
+    rng:
+        Optional generator used to break ties (even vote counts).  Without a
+        generator, ties break deterministically toward ``+1``; passing a
+        generator gives the unbiased randomized tie-break that keeps bundles
+        of two vectors exactly half-similar to each in expectation.
+    axis:
+        Axis along which to bundle.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int8`` bipolar bundle with the bundling axis removed.
+    """
+    stack = np.asarray(hvs)
+    total = stack.sum(axis=axis, dtype=np.int64)
+    out = np.sign(total).astype(np.int8)
+    ties = out == 0
+    if ties.any():
+        if rng is None:
+            out[ties] = 1
+        else:
+            out[ties] = rng.choice(np.array([-1, 1], dtype=np.int8), size=int(ties.sum()))
+    return out
+
+
+def bind(a, b):
+    """Bind two hypervectors with the elementwise product (self-inverse)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.dtype == np.int8 and b.dtype == np.int8:
+        # Bipolar fast path: the product of +-1 values stays within int8.
+        return a * b
+    return (a.astype(np.int16) * b.astype(np.int16)).astype(np.int8)
+
+
+def permute(hv, shifts=1):
+    """Apply the rotational permutation ``rho`` (roll along the last axis).
+
+    ``permute(hv, k)`` rotates by ``k``; negative ``k`` inverts.  Rotation
+    preserves all pairwise similarities while making the result nearly
+    orthogonal to the input, which is why Section 4 uses it to preserve
+    position - and why :mod:`repro.core.stochastic` uses it to decorrelate an
+    operand from itself before squaring.
+    """
+    return np.roll(np.asarray(hv), shifts, axis=-1)
+
+
+def similarity(a, b):
+    """The paper's similarity ``delta(a, b) = (a . b) / D``.
+
+    Accepts batched inputs that broadcast against each other; the dot product
+    is taken over the last axis.  For bipolar inputs the result lies in
+    ``[-1, 1]``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return (a * b).sum(axis=-1) / a.shape[-1]
+
+
+def cosine_similarity(a, b, eps=1e-12):
+    """Cosine similarity; identical to ``delta`` for bipolar vectors but also
+    valid for the float class-accumulator hypervectors used in learning."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    num = (a * b).sum(axis=-1)
+    den = np.linalg.norm(a, axis=-1) * np.linalg.norm(b, axis=-1)
+    return num / np.maximum(den, eps)
+
+
+def hamming_similarity(a, b):
+    """Fraction of matching components, in ``[0, 1]``.
+
+    Related to ``delta`` by ``delta = 2 * hamming_similarity - 1`` for
+    bipolar vectors; this is the metric the packed binary backend computes
+    with XOR + popcount.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return (a == b).mean(axis=-1)
+
+
+def nearest(query, memory, metric="cosine"):
+    """Index of the most similar row of ``memory`` for each query.
+
+    Parameters
+    ----------
+    query:
+        Array ``(..., D)``.
+    memory:
+        Array ``(k, D)`` of reference hypervectors (e.g. class vectors).
+    metric:
+        ``"cosine"``, ``"dot"`` (the paper's delta) or ``"hamming"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer indices shaped like ``query`` without its last axis.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    memory = np.asarray(memory, dtype=np.float64)
+    if metric == "cosine":
+        scores = cosine_similarity(query[..., None, :], memory)
+    elif metric == "dot":
+        scores = similarity(query[..., None, :], memory)
+    elif metric == "hamming":
+        scores = hamming_similarity(query[..., None, :], memory)
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    return scores.argmax(axis=-1)

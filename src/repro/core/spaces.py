@@ -1,0 +1,174 @@
+"""Item and level memories: symbol and pixel-intensity hypervector codebooks.
+
+Two codebooks appear in HDFace:
+
+* :class:`ItemMemory` - an associative store of independent random
+  hypervectors for discrete symbols (cell positions, histogram bins, class
+  labels).  Independent random hypervectors in high dimension are nearly
+  orthogonal, so bound/bundled records can be decomposed again by a cleanup
+  search.
+
+* :class:`LevelMemory` - the paper's *base hypervector generation*
+  (Section 3, Fig. 1a): two random hypervectors represent the extreme
+  colours (black/white) and intermediate intensities are produced by vector
+  quantization, taking a growing fraction of components from one extreme so
+  that ``delta(H_mid, H_white) ~= delta(H_mid, H_black) ~= 0.5``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hypervector import as_rng, random_hypervector
+from .ops import nearest, similarity
+
+__all__ = ["ItemMemory", "LevelMemory"]
+
+
+class ItemMemory:
+    """Associative memory of independent random hypervectors.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality.
+    seed_or_rng:
+        Source of randomness; vectors are drawn lazily on first access so
+        the memory only stores the symbols actually used.
+
+    Examples
+    --------
+    >>> mem = ItemMemory(dim=1024, seed_or_rng=0)
+    >>> face = mem["face"]
+    >>> mem.cleanup(face)
+    'face'
+    """
+
+    def __init__(self, dim, seed_or_rng=None):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = int(dim)
+        self._rng = as_rng(seed_or_rng)
+        self._vectors = {}
+        self._order = []
+
+    def __getitem__(self, symbol):
+        """Return (drawing if needed) the hypervector for ``symbol``."""
+        if symbol not in self._vectors:
+            self._vectors[symbol] = random_hypervector(self.dim, self._rng)
+            self._order.append(symbol)
+        return self._vectors[symbol]
+
+    def __contains__(self, symbol):
+        return symbol in self._vectors
+
+    def __len__(self):
+        return len(self._vectors)
+
+    def symbols(self):
+        """Symbols in insertion order."""
+        return list(self._order)
+
+    def matrix(self):
+        """All stored vectors stacked ``(n_symbols, dim)`` in insertion order."""
+        if not self._order:
+            return np.zeros((0, self.dim), dtype=np.int8)
+        return np.stack([self._vectors[s] for s in self._order])
+
+    def cleanup(self, query, metric="cosine"):
+        """Return the stored symbol most similar to ``query``.
+
+        This is HDC's noise-tolerant associative recall: even heavily
+        corrupted queries resolve to the right symbol because independent
+        codewords sit ~0 similarity apart.
+        """
+        if not self._order:
+            raise LookupError("cleanup on empty ItemMemory")
+        idx = int(nearest(np.asarray(query), self.matrix(), metric=metric))
+        return self._order[idx]
+
+
+class LevelMemory:
+    """Correlative intensity codebook between two extreme hypervectors.
+
+    ``levels`` hypervectors interpolate between ``low`` (e.g. black) and
+    ``high`` (e.g. white): level ``j`` copies a random - but *nested* -
+    subset of ``round(j / (levels-1) * D)`` components from the high vector
+    and the rest from the low vector.  Nesting the flipped subsets makes the
+    code *correlative*: adjacent intensities get nearly identical
+    hypervectors, distant intensities nearly orthogonal ones, exactly the
+    property HOG gradients need to survive the trip through hyperspace.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality ``D``.
+    levels:
+        Number of quantization levels (the paper's ``2**n`` for ``n``-bit
+        pixels; 256 by default).
+    low, high:
+        Optional explicit extreme hypervectors; drawn at random if omitted.
+    seed_or_rng:
+        Randomness source for the extremes and for the flip order.
+    """
+
+    def __init__(self, dim, levels=256, low=None, high=None, seed_or_rng=None):
+        if levels < 2:
+            raise ValueError(f"levels must be >= 2, got {levels}")
+        rng = as_rng(seed_or_rng)
+        self.dim = int(dim)
+        self.levels = int(levels)
+        self.low = random_hypervector(dim, rng) if low is None else np.asarray(low, np.int8)
+        self.high = random_hypervector(dim, rng) if high is None else np.asarray(high, np.int8)
+        if self.low.shape != (self.dim,) or self.high.shape != (self.dim,):
+            raise ValueError("low/high must have shape (dim,)")
+        # A single random permutation of component indices defines which
+        # components flip first; level j takes the first k_j permuted
+        # components from `high`, guaranteeing nested (correlative) codes.
+        self._flip_order = rng.permutation(self.dim)
+        counts = np.round(np.linspace(0.0, self.dim, self.levels)).astype(np.int64)
+        table = np.tile(self.low, (self.levels, 1))
+        for j, k in enumerate(counts):
+            idx = self._flip_order[:k]
+            table[j, idx] = self.high[idx]
+        self._table = table.astype(np.int8)
+
+    @property
+    def table(self):
+        """The full ``(levels, dim)`` codebook (read-only view)."""
+        view = self._table.view()
+        view.flags.writeable = False
+        return view
+
+    def encode_level(self, level):
+        """Hypervector(s) for integer level indices in ``[0, levels)``."""
+        level = np.asarray(level)
+        if ((level < 0) | (level >= self.levels)).any():
+            raise ValueError("level index out of range")
+        return self._table[level]
+
+    def encode(self, value, vmin=0.0, vmax=1.0):
+        """Hypervector(s) for continuous values by nearest-level quantization.
+
+        ``value`` may be a scalar or an array (e.g. a whole image); the
+        result appends a dimension axis, so an ``(H, W)`` image becomes the
+        ``(H, W, D)`` stack of pixel hypervectors of Fig. 1a.
+        """
+        value = np.asarray(value, dtype=np.float64)
+        if vmax <= vmin:
+            raise ValueError("vmax must exceed vmin")
+        frac = np.clip((value - vmin) / (vmax - vmin), 0.0, 1.0)
+        idx = np.round(frac * (self.levels - 1)).astype(np.int64)
+        return self._table[idx]
+
+    def decode(self, hv):
+        """Recover the level fraction in ``[0, 1]`` most similar to ``hv``.
+
+        Uses the similarity to the extremes rather than a full table scan:
+        ``delta(hv, high)`` grows linearly with the flipped fraction.
+        """
+        hv = np.asarray(hv)
+        sim_high = similarity(hv, self.high)
+        sim_low = similarity(hv, self.low)
+        # sim_high - sim_low spans ~[-1, 1] from level 0 to level L-1.
+        return np.clip((sim_high - sim_low + 1.0) / 2.0, 0.0, 1.0)

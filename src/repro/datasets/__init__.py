@@ -1,0 +1,28 @@
+"""Synthetic datasets standing in for the paper's Table 1 benchmarks."""
+
+from .emotion import EMOTIONS, draw_emotion_face, make_emotion_dataset
+from .faces import (
+    NONFACE_KINDS,
+    FaceParams,
+    draw_face,
+    draw_nonface,
+    make_face_dataset,
+    random_face_params,
+)
+from .registry import SPECS, DatasetSpec, load, names
+
+__all__ = [
+    "FaceParams",
+    "random_face_params",
+    "draw_face",
+    "draw_nonface",
+    "make_face_dataset",
+    "NONFACE_KINDS",
+    "EMOTIONS",
+    "draw_emotion_face",
+    "make_emotion_dataset",
+    "DatasetSpec",
+    "SPECS",
+    "load",
+    "names",
+]

@@ -1,0 +1,118 @@
+"""Dataset registry reproducing Table 1's inventory at multiple scales.
+
+Table 1 of the paper:
+
+=========  ===========  =======  =========  ================================
+name       image size   classes  train set  description
+=========  ===========  =======  =========  ================================
+EMOTION    48 x 48      7        36,685     facial emotion detection (FER)
+FACE1      1024 x 1024  2        40,172     HD face detection
+FACE2     512 x 512    2        522,441    face detection
+=========  ===========  =======  =========  ================================
+
+The registry exposes each dataset at three scales:
+
+* ``paper`` - Table 1's image sizes and training-set sizes (generatable,
+  but impractically slow for the hyperspace pipeline on a laptop).
+* ``bench`` - reduced sizes used by the benchmark harness (same tasks and
+  class structure; tens of minutes of total compute).
+* ``test`` - tiny configurations for the unit/integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hypervector import as_rng
+from .emotion import make_emotion_dataset
+from .faces import make_face_dataset
+
+__all__ = ["DatasetSpec", "SPECS", "load", "names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table 1 at one scale."""
+
+    name: str
+    image_size: int
+    n_classes: int
+    train_size: int
+    test_size: int
+    description: str
+
+    def generate(self, seed_or_rng=None):
+        """Return ``(train_x, train_y, test_x, test_y)``."""
+        rng = as_rng(seed_or_rng)
+        n = self.train_size + self.test_size
+        if self.n_classes == 7:
+            images, labels = make_emotion_dataset(n, self.image_size, seed_or_rng=rng)
+        else:
+            images, labels = make_face_dataset(n, self.image_size, seed_or_rng=rng)
+        return (
+            images[: self.train_size],
+            labels[: self.train_size],
+            images[self.train_size :],
+            labels[self.train_size :],
+        )
+
+
+def _spec_table():
+    rows = {
+        # name: (paper_size, classes, paper_train, description)
+        "EMOTION": (48, 7, 36685, "Facial Emotion Detection (FER analog)"),
+        "FACE1": (1024, 2, 40172, "HD Face Detection (Face Mask Lite analog)"),
+        "FACE2": (512, 2, 522441, "Face Detection (Angelova et al. analog)"),
+    }
+    bench = {
+        # name: (size, train, test) - reduced but same task shape
+        "EMOTION": (48, 280, 140),
+        "FACE1": (64, 160, 80),
+        "FACE2": (48, 200, 100),
+    }
+    test = {
+        "EMOTION": (24, 42, 21),
+        "FACE1": (24, 24, 12),
+        "FACE2": (24, 24, 12),
+    }
+    specs = {}
+    for name, (size, k, train, desc) in rows.items():
+        specs[(name, "paper")] = DatasetSpec(name, size, k, train, max(train // 5, 1), desc)
+        b_size, b_train, b_test = bench[name]
+        specs[(name, "bench")] = DatasetSpec(name, b_size, k, b_train, b_test, desc)
+        t_size, t_train, t_test = test[name]
+        specs[(name, "test")] = DatasetSpec(name, t_size, k, t_train, t_test, desc)
+    return specs
+
+
+SPECS = _spec_table()
+
+
+def names():
+    """Dataset names in Table 1 order."""
+    return ["EMOTION", "FACE1", "FACE2"]
+
+
+def load(name, scale="bench", seed=0):
+    """Generate a registered dataset.
+
+    Parameters
+    ----------
+    name:
+        ``"EMOTION"``, ``"FACE1"`` or ``"FACE2"``.
+    scale:
+        ``"paper"``, ``"bench"`` or ``"test"`` (see module docstring).
+    seed:
+        Generation seed; the same (name, scale, seed) triple always yields
+        identical data.
+
+    Returns
+    -------
+    (train_x, train_y, test_x, test_y)
+    """
+    key = (name.upper(), scale)
+    if key not in SPECS:
+        raise KeyError(f"no dataset {name!r} at scale {scale!r}")
+    return SPECS[key].generate(np.random.default_rng(seed))

@@ -1,0 +1,175 @@
+"""Procedural drawing primitives for the synthetic image datasets.
+
+The paper evaluates on three image datasets (Table 1) that are not
+redistributable here, so :mod:`repro.datasets` generates procedural
+equivalents - parametric faces, emotion faces and structured non-face
+clutter - built from the primitives in this module: soft ellipses, strokes,
+curves, gratings, blob textures, illumination gradients and sensor noise.
+
+All functions draw into float64 images in ``[0, 1]`` and are deterministic
+given a :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import gaussian_filter, rotate
+
+__all__ = [
+    "blank",
+    "normalize01",
+    "add_ellipse",
+    "add_stroke",
+    "add_curve",
+    "add_rectangle",
+    "add_grating",
+    "blob_texture",
+    "smooth_noise",
+    "illumination_gradient",
+    "add_sensor_noise",
+    "rotate_image",
+]
+
+
+def blank(size, value=0.0):
+    """A ``size x size`` image filled with ``value``."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return np.full((size, size), float(value), dtype=np.float64)
+
+
+def normalize01(img):
+    """Clip to ``[0, 1]`` (the range the pixel encoders require)."""
+    return np.clip(np.asarray(img, dtype=np.float64), 0.0, 1.0)
+
+
+def _grid(img):
+    h, w = img.shape
+    return np.mgrid[0:h, 0:w].astype(np.float64)
+
+
+def add_ellipse(img, cy, cx, ry, rx, value, angle=0.0, softness=0.5):
+    """Draw a filled ellipse with a soft edge.
+
+    ``softness`` is the half-width (in pixels) of the smooth transition at
+    the boundary; 0 gives a hard edge.  ``angle`` rotates the ellipse
+    (radians).  The ellipse *replaces* underlying pixels weighted by its
+    coverage, so later shapes occlude earlier ones like painted layers.
+    """
+    if ry <= 0 or rx <= 0:
+        raise ValueError("ellipse radii must be positive")
+    yy, xx = _grid(img)
+    dy, dx = yy - cy, xx - cx
+    if angle:
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        dy, dx = cos_a * dy - sin_a * dx, sin_a * dy + cos_a * dx
+    dist = np.sqrt((dy / ry) ** 2 + (dx / rx) ** 2)
+    if softness > 0:
+        edge = softness / max(min(ry, rx), 1e-6)
+        cover = np.clip((1.0 + edge - dist) / (2 * edge), 0.0, 1.0)
+    else:
+        cover = (dist <= 1.0).astype(np.float64)
+    img[:] = img * (1.0 - cover) + value * cover
+    return img
+
+
+def add_stroke(img, y0, x0, y1, x1, value, thickness=1.0):
+    """Draw a straight stroke of the given thickness (soft-edged)."""
+    yy, xx = _grid(img)
+    vy, vx = y1 - y0, x1 - x0
+    length_sq = vy * vy + vx * vx
+    if length_sq == 0:
+        return add_ellipse(img, y0, x0, max(thickness, 0.5), max(thickness, 0.5), value)
+    t = np.clip(((yy - y0) * vy + (xx - x0) * vx) / length_sq, 0.0, 1.0)
+    dist = np.hypot(yy - (y0 + t * vy), xx - (x0 + t * vx))
+    cover = np.clip(thickness / 2.0 + 0.5 - dist, 0.0, 1.0)
+    img[:] = img * (1.0 - cover) + value * cover
+    return img
+
+
+def add_curve(img, cy, cx, half_width, curvature, value, thickness=1.0):
+    """Draw a horizontal parabolic curve (mouths, eyebrows).
+
+    The curve spans ``[cx - half_width, cx + half_width]`` and bends by
+    ``curvature`` pixels at its ends relative to the center: positive
+    curvature bends the ends *up* (a smile when used for a mouth, since row
+    indices grow downward the end rows are ``cy - curvature``).
+    """
+    if half_width <= 0:
+        raise ValueError("half_width must be positive")
+    xs = np.linspace(cx - half_width, cx + half_width, int(max(8, 4 * half_width)))
+    rel = (xs - cx) / half_width
+    ys = cy - curvature * rel**2
+    for i in range(len(xs) - 1):
+        add_stroke(img, ys[i], xs[i], ys[i + 1], xs[i + 1], value, thickness)
+    return img
+
+
+def add_rectangle(img, y0, x0, y1, x1, value):
+    """Fill an axis-aligned rectangle (clipped to the image)."""
+    h, w = img.shape
+    ya, yb = sorted((int(round(y0)), int(round(y1))))
+    xa, xb = sorted((int(round(x0)), int(round(x1))))
+    img[max(ya, 0) : min(yb, h), max(xa, 0) : min(xb, w)] = value
+    return img
+
+
+def add_grating(img, period, angle, contrast=0.5, phase=0.0):
+    """Overlay a sinusoidal grating (striped texture for non-face clutter)."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    yy, xx = _grid(img)
+    axis = yy * np.sin(angle) + xx * np.cos(angle)
+    wave = 0.5 + 0.5 * np.sin(2 * np.pi * axis / period + phase)
+    img[:] = np.clip(img * (1 - contrast) + wave * contrast, 0.0, 1.0)
+    return img
+
+
+def blob_texture(size, rng, n_blobs=8, value_range=(0.2, 0.9)):
+    """Random soft blobs - organic non-face clutter."""
+    img = blank(size, float(rng.uniform(0.1, 0.5)))
+    lo, hi = value_range
+    for _ in range(n_blobs):
+        add_ellipse(
+            img,
+            rng.uniform(0, size),
+            rng.uniform(0, size),
+            rng.uniform(size * 0.05, size * 0.3),
+            rng.uniform(size * 0.05, size * 0.3),
+            rng.uniform(lo, hi),
+            angle=rng.uniform(0, np.pi),
+            softness=rng.uniform(0.5, 2.0),
+        )
+    return img
+
+
+def smooth_noise(size, rng, sigma=None, contrast=1.0):
+    """Low-frequency noise field (blurred white noise), like natural texture."""
+    sigma = size / 8.0 if sigma is None else sigma
+    field = gaussian_filter(rng.random((size, size)), sigma=sigma)
+    span = field.max() - field.min()
+    if span > 0:
+        field = (field - field.min()) / span
+    return normalize01(0.5 + (field - 0.5) * contrast)
+
+
+def illumination_gradient(img, strength, angle, rng=None):
+    """Multiply by a linear illumination ramp (lighting variation)."""
+    yy, xx = _grid(img)
+    h, w = img.shape
+    axis = (yy / h) * np.sin(angle) + (xx / w) * np.cos(angle)
+    axis = (axis - axis.min()) / max(axis.max() - axis.min(), 1e-9)
+    ramp = 1.0 - strength / 2.0 + strength * axis
+    return normalize01(img * ramp)
+
+
+def add_sensor_noise(img, sigma, rng):
+    """Additive Gaussian pixel noise, clipped to ``[0, 1]``."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    return normalize01(img + rng.normal(0.0, sigma, img.shape))
+
+
+def rotate_image(img, angle_deg):
+    """Small in-plane rotation with edge-value padding (pose jitter)."""
+    return normalize01(rotate(img, angle_deg, reshape=False, mode="nearest", order=1))

@@ -1,0 +1,28 @@
+"""Feature extraction: classic and hyperspace HOG/HAAR/conv, plus LBP."""
+
+from .gradients import cell_grid, central_gradients, gradient_magnitude, orientation_bins
+from .haar import HaarExtractor, HaarFeature, integral_image
+from .conv_hd import DEFAULT_FILTERS, HDConvExtractor
+from .haar_hd import HDHaarExtractor
+from .hog import HOGDescriptor
+from .hog_hd import HDHOGExtractor, HDHOGResult
+from .lbp import LBPDescriptor, lbp_codes, uniform_mapping
+
+__all__ = [
+    "central_gradients",
+    "gradient_magnitude",
+    "orientation_bins",
+    "cell_grid",
+    "HOGDescriptor",
+    "HDHOGExtractor",
+    "HDHOGResult",
+    "HaarExtractor",
+    "HDHaarExtractor",
+    "HDConvExtractor",
+    "DEFAULT_FILTERS",
+    "HaarFeature",
+    "integral_image",
+    "LBPDescriptor",
+    "lbp_codes",
+    "uniform_mapping",
+]

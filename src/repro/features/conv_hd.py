@@ -1,0 +1,188 @@
+"""Fixed-filter convolutional feature extraction in hyperspace.
+
+The paper's introduction lists "pre-trained convolution layers" alongside
+HOG/HAAR/LBP as static feature extractors, and Section 2 notes they all
+reduce to the same arithmetic.  This module closes the set: a small bank of
+classic 3x3 filters (Sobel pair, Laplacian, diagonal edges) evaluated
+entirely on pixel hypervectors.
+
+A convolution tap sum ``y = sum_i w_i * x_i`` maps to one n-ary weighted
+stochastic average: weights ``|w_i| / W`` select components, negative taps
+contribute the *negated* pixel hypervector, and the result represents
+``y / W`` (the constant ``W = sum |w_i|`` rescale is irrelevant after
+cosine classification).  Rectification is the hyperspace absolute value,
+optional gamma compression is the hyperspace square root, and spatial
+pooling is HDC bundling over the pool window - the same machinery as the
+HOG pipeline, exercising every stochastic primitive once more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng, random_hypervector
+from ..core.stochastic import StochasticCodec
+
+__all__ = ["HDConvExtractor", "DEFAULT_FILTERS"]
+
+#: Classic 3x3 filter bank: vertical/horizontal Sobel, Laplacian, the two
+#: diagonal edge kernels.
+DEFAULT_FILTERS = {
+    "sobel_x": np.array([[-1, -2, -1], [0, 0, 0], [1, 2, 1]], dtype=float),
+    "sobel_y": np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=float),
+    "laplacian": np.array([[0, 1, 0], [1, -4, 1], [0, 1, 0]], dtype=float),
+    "diag_main": np.array([[2, 1, 0], [1, 0, -1], [0, -1, -2]], dtype=float),
+    "diag_anti": np.array([[0, 1, 2], [-1, 0, 1], [-2, -1, 0]], dtype=float),
+}
+
+
+class HDConvExtractor:
+    """Convolution + rectify + pool, computed on hypervectors.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality.
+    filters:
+        Mapping name -> 2-D kernel; defaults to :data:`DEFAULT_FILTERS`.
+    pool_size:
+        Side of the square mean-pooling windows.
+    levels:
+        Pixel-intensity codebook size.
+    gamma:
+        Hyperspace sqrt compression of the rectified responses (same
+        rationale as the HOG pipeline's gamma stage).
+    sqrt_iters:
+        Binary-search iterations for the gamma square root.
+    seed_or_rng:
+        Randomness for the codec, codebook and keys.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> ext = HDConvExtractor(dim=1024, pool_size=8, seed_or_rng=0)
+    >>> ext.extract(np.zeros((16, 16))).shape
+    (1024,)
+    """
+
+    def __init__(self, dim=4096, filters=None, pool_size=4, levels=256,
+                 gamma=True, sqrt_iters=8, seed_or_rng=None, codec=None):
+        rng = as_rng(seed_or_rng)
+        self.codec = codec if codec is not None else StochasticCodec(dim, rng)
+        self.dim = self.codec.dim
+        self.filters = dict(DEFAULT_FILTERS if filters is None else filters)
+        if not self.filters:
+            raise ValueError("filter bank must not be empty")
+        for name, kernel in self.filters.items():
+            kernel = np.asarray(kernel, dtype=np.float64)
+            if kernel.ndim != 2 or not kernel.any():
+                raise ValueError(f"filter {name!r} must be a non-zero 2-D kernel")
+            self.filters[name] = kernel
+        self.pool_size = int(pool_size)
+        if self.pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.levels = int(levels)
+        self.gamma = bool(gamma)
+        self.sqrt_iters = int(sqrt_iters)
+        self._rng = rng
+        grid = np.linspace(0.0, 1.0, self.levels)
+        self._pixel_table = self.codec.construct(grid)
+        self._filter_keys = {
+            name: random_hypervector(self.dim, rng)
+            for name in sorted(self.filters)
+        }
+
+    # ------------------------------------------------------------------
+    def encode_pixels(self, image):
+        """Intensity-codebook pixel hypervectors ``(H, W, D)``."""
+        img = np.asarray(image, dtype=np.float64)
+        if img.ndim != 2:
+            raise ValueError(f"expected a 2-D image, got {img.shape}")
+        idx = np.round(np.clip(img, 0, 1) * (self.levels - 1)).astype(np.int64)
+        return self._pixel_table[idx]
+
+    def convolve(self, pixel_hvs, kernel):
+        """'Valid' hyperspace convolution: response HVs ``(H', W', D)``.
+
+        Represents ``conv(image, kernel) / sum|kernel|`` - each output
+        component is drawn from the tap whose weight won the categorical
+        selection, negated for negative taps.
+        """
+        kernel = np.asarray(kernel, dtype=np.float64)
+        kh, kw = kernel.shape
+        h, w, _ = pixel_hvs.shape
+        if h < kh or w < kw:
+            raise ValueError("image smaller than the kernel")
+        taps = []
+        weights = []
+        for dy in range(kh):
+            for dx in range(kw):
+                weight = kernel[dy, dx]
+                if weight == 0.0:
+                    continue
+                view = pixel_hvs[dy : h - kh + 1 + dy, dx : w - kw + 1 + dx]
+                taps.append(view if weight > 0 else (-view).astype(np.int8))
+                weights.append(abs(weight))
+        stack = np.stack(taps)  # (n_taps, H', W', D)
+        return self.codec.mean(stack, weights=np.asarray(weights))
+
+    def _rectify(self, resp):
+        """Hyperspace absolute value (plus optional gamma sqrt)."""
+        signs = np.asarray(self.codec.sign_of(resp))
+        flip = np.where(signs < 0, -1, 1).astype(np.int8)
+        mag = (resp * flip[..., None]).astype(np.int8)
+        if self.gamma:
+            mag = self.codec.sqrt(mag, iters=self.sqrt_iters)
+        return mag
+
+    def pool(self, resp_hvs):
+        """Mean-pool by bundling: ``(n_py, n_px, D)`` int32 bundles."""
+        h, w, _ = resp_hvs.shape
+        p = self.pool_size
+        n_py, n_px = h // p, w // p
+        if n_py == 0 or n_px == 0:
+            raise ValueError("response map smaller than one pool window")
+        cropped = resp_hvs[: n_py * p, : n_px * p]
+        blocks = cropped.reshape(n_py, p, n_px, p, self.dim)
+        return blocks.sum(axis=(1, 3), dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    def feature_maps(self, image):
+        """Pooled bundles per filter: ``{name: (n_py, n_px, D)}``."""
+        pixel_hvs = self.encode_pixels(image)
+        out = {}
+        for name in sorted(self.filters):
+            resp = self.convolve(pixel_hvs, self.filters[name])
+            out[name] = self.pool(self._rectify(resp))
+        return out
+
+    def readout(self, image):
+        """Decode pooled responses to scalars: ``{name: (n_py, n_px)}``.
+
+        Comparable (up to the ``1/sum|kernel|`` scale, rectification and
+        gamma) with a float convolution + abs + mean-pool reference.
+        """
+        pooled = self.feature_maps(image)
+        p2 = self.pool_size**2
+        return {
+            name: self.codec.decode(bundle.astype(np.float64)) / p2
+            for name, bundle in pooled.items()
+        }
+
+    def extract(self, image):
+        """Query hypervector ``(D,)``: key-bound bundle over filters/cells."""
+        pooled = self.feature_maps(image)
+        query = np.zeros(self.dim, dtype=np.float32)
+        p2 = float(self.pool_size**2)
+        for name, bundle in pooled.items():
+            key = self._filter_keys[name].astype(np.float32)
+            n_py, n_px, _ = bundle.shape
+            offsets = (np.arange(n_py)[:, None] * n_px + np.arange(n_px)).ravel()
+            flat = bundle.reshape(-1, self.dim).astype(np.float32) / p2
+            for offset, cell in zip(offsets, flat):
+                query += np.roll(key, int(offset)) * cell
+        return query
+
+    def extract_batch(self, images):
+        """Query hypervectors for a batch ``(n, D)``."""
+        return np.stack([self.extract(im) for im in np.asarray(images)])

@@ -1,0 +1,95 @@
+"""Shared image-gradient utilities for the feature extractors.
+
+Both the classic (original-space) HOG of :mod:`repro.features.hog` and the
+hyperspace HOG of :mod:`repro.features.hog_hd` use the paper's gradient
+definition (Sec. 4.3): central differences halved,
+
+    ``Gx = (C[y+1, x] - C[y-1, x]) / 2``,
+    ``Gy = (C[y, x+1] - C[y, x-1]) / 2``,
+
+with replicate padding at the border.  Keeping one definition in one place
+guarantees the two pipelines compute the *same* mathematical function, so
+accuracy differences between them are attributable to the stochastic
+representation alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "central_gradients",
+    "gradient_magnitude",
+    "orientation_bins",
+    "cell_grid",
+]
+
+
+def central_gradients(image):
+    """Halved central-difference gradients ``(Gx, Gy)`` of a 2-D image.
+
+    Follows the paper's axis convention: ``Gx`` differences along rows
+    (vertical neighbours ``C[2,1] - C[0,1]``) and ``Gy`` along columns.
+    Borders use replicate padding so output shapes match the input.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 2:
+        raise ValueError(f"expected 2-D image, got shape {img.shape}")
+    padded = np.pad(img, 1, mode="edge")
+    gx = (padded[2:, 1:-1] - padded[:-2, 1:-1]) / 2.0
+    gy = (padded[1:-1, 2:] - padded[1:-1, :-2]) / 2.0
+    return gx, gy
+
+
+def gradient_magnitude(gx, gy, mode="l2"):
+    """Gradient magnitude per pixel.
+
+    ``mode="l2"`` is the true Euclidean magnitude; ``mode="l2_scaled"`` is
+    the paper's ``sqrt((Gx^2 + Gy^2) / 2)`` (off by a constant ``1/sqrt(2)``
+    that cancels downstream); ``mode="l1"`` is the cheap ``|Gx| + |Gy|``
+    approximation offered as a fast option.
+    """
+    gx = np.asarray(gx, dtype=np.float64)
+    gy = np.asarray(gy, dtype=np.float64)
+    if mode == "l2":
+        return np.hypot(gx, gy)
+    if mode == "l2_scaled":
+        return np.sqrt((gx**2 + gy**2) / 2.0)
+    if mode == "l1":
+        return np.abs(gx) + np.abs(gy)
+    raise ValueError(f"unknown magnitude mode {mode!r}")
+
+
+def orientation_bins(gx, gy, n_bins, signed=True):
+    """Hard-assign each pixel's gradient direction to an orientation bin.
+
+    ``signed=True`` bins the full circle ``[0, 2*pi)`` into ``n_bins`` equal
+    sectors (the paper's quadrant-aware scheme); ``signed=False`` folds
+    opposite directions together over ``[0, pi)`` as in Dalal-Triggs HOG.
+    """
+    angles = np.arctan2(np.asarray(gy, np.float64), np.asarray(gx, np.float64))
+    if signed:
+        angles = np.mod(angles, 2.0 * np.pi)
+        width = 2.0 * np.pi / n_bins
+    else:
+        angles = np.mod(angles, np.pi)
+        width = np.pi / n_bins
+    bins = np.floor(angles / width).astype(np.int64)
+    return np.clip(bins, 0, n_bins - 1)
+
+
+def cell_grid(shape, cell_size):
+    """Number of whole ``cell_size x cell_size`` cells fitting in ``shape``.
+
+    Returns ``(n_cells_y, n_cells_x)``; trailing pixels that do not fill a
+    whole cell are ignored, as in standard HOG implementations.
+    """
+    h, w = shape
+    if cell_size <= 0:
+        raise ValueError("cell_size must be positive")
+    n_y, n_x = h // cell_size, w // cell_size
+    if n_y == 0 or n_x == 0:
+        raise ValueError(
+            f"image {shape} smaller than one {cell_size}x{cell_size} cell"
+        )
+    return n_y, n_x

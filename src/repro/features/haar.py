@@ -1,0 +1,153 @@
+"""HAAR-like rectangle features (paper Sec. 2's alternative extractor).
+
+The paper lists HAAR-like features alongside HOG as the standard face
+detection front ends.  This implementation follows Viola-Jones: features
+are differences of rectangular sums computed in O(1) each from an integral
+image.  Four feature shapes are supported:
+
+* ``edge_h`` / ``edge_v`` - two adjacent rectangles (horizontal/vertical);
+* ``line_h`` / ``line_v`` - three stacked rectangles (middle minus sides);
+* ``quad`` - four rectangles in a checkerboard.
+
+A :class:`HaarExtractor` samples a fixed random bank of such features for a
+given window size, so the descriptor is deterministic per seed and usable
+as a drop-in front end for any of the learners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hypervector import as_rng
+
+__all__ = ["integral_image", "HaarFeature", "HaarExtractor", "HAAR_KINDS"]
+
+HAAR_KINDS = ("edge_h", "edge_v", "line_h", "line_v", "quad")
+
+
+def integral_image(image):
+    """Summed-area table with a zero top row/left column.
+
+    ``ii[y, x]`` is the sum of all pixels above and left of ``(y, x)``
+    exclusive, so any rectangle sum is four lookups.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 2:
+        raise ValueError("expected a 2-D image")
+    ii = np.zeros((img.shape[0] + 1, img.shape[1] + 1), dtype=np.float64)
+    ii[1:, 1:] = img.cumsum(axis=0).cumsum(axis=1)
+    return ii
+
+
+def _rect_sum(ii, y, x, h, w):
+    return ii[y + h, x + w] - ii[y, x + w] - ii[y + h, x] + ii[y, x]
+
+
+@dataclass(frozen=True)
+class HaarFeature:
+    """One rectangle feature: kind + bounding box (y, x, h, w)."""
+
+    kind: str
+    y: int
+    x: int
+    h: int
+    w: int
+
+    def __post_init__(self):
+        if self.kind not in HAAR_KINDS:
+            raise ValueError(f"unknown HAAR kind {self.kind!r}")
+        if self.h <= 0 or self.w <= 0:
+            raise ValueError("feature box must have positive size")
+
+    def evaluate(self, ii):
+        """Feature response from an integral image (normalized by area)."""
+        y, x, h, w = self.y, self.x, self.h, self.w
+        if self.kind == "edge_h":
+            half = w // 2
+            val = _rect_sum(ii, y, x, h, half) - _rect_sum(ii, y, x + half, h, half)
+        elif self.kind == "edge_v":
+            half = h // 2
+            val = _rect_sum(ii, y, x, half, w) - _rect_sum(ii, y + half, x, half, w)
+        elif self.kind == "line_h":
+            third = w // 3
+            mid = _rect_sum(ii, y, x + third, h, third)
+            side = _rect_sum(ii, y, x, h, third) + _rect_sum(ii, y, x + 2 * third, h, third)
+            val = mid - side / 2.0
+        elif self.kind == "line_v":
+            third = h // 3
+            mid = _rect_sum(ii, y + third, x, third, w)
+            side = _rect_sum(ii, y, x, third, w) + _rect_sum(ii, y + 2 * third, x, third, w)
+            val = mid - side / 2.0
+        else:  # quad
+            hh, hw = self.h // 2, self.w // 2
+            val = (
+                _rect_sum(ii, y, x, hh, hw)
+                + _rect_sum(ii, y + hh, x + hw, hh, hw)
+                - _rect_sum(ii, y, x + hw, hh, hw)
+                - _rect_sum(ii, y + hh, x, hh, hw)
+            )
+        return val / (self.h * self.w)
+
+
+class HaarExtractor:
+    """Random bank of HAAR-like features over a fixed window.
+
+    Parameters
+    ----------
+    window:
+        Image side the bank is defined on (inputs must match).
+    n_features:
+        Bank size.
+    min_size:
+        Minimum feature box side in pixels.
+    seed_or_rng:
+        Bank sampling randomness (the bank is frozen at construction).
+    """
+
+    def __init__(self, window, n_features=200, min_size=4, seed_or_rng=None):
+        if window < min_size:
+            raise ValueError("window smaller than the minimum feature size")
+        rng = as_rng(seed_or_rng)
+        self.window = int(window)
+        self.features = []
+        while len(self.features) < n_features:
+            kind = str(rng.choice(HAAR_KINDS))
+            h = int(rng.integers(min_size, self.window + 1))
+            w = int(rng.integers(min_size, self.window + 1))
+            # Round sizes so the sub-rectangles tile exactly.
+            if kind == "edge_h":
+                w -= w % 2
+            elif kind == "edge_v":
+                h -= h % 2
+            elif kind == "line_h":
+                w -= w % 3
+            elif kind == "line_v":
+                h -= h % 3
+            else:
+                h -= h % 2
+                w -= w % 2
+            if h < min_size or w < min_size:
+                continue
+            y = int(rng.integers(0, self.window - h + 1))
+            x = int(rng.integers(0, self.window - w + 1))
+            self.features.append(HaarFeature(kind, y, x, h, w))
+
+    @property
+    def n_features(self):
+        return len(self.features)
+
+    def extract(self, image):
+        """Feature vector ``(n_features,)`` for one window-sized image."""
+        img = np.asarray(image, dtype=np.float64)
+        if img.shape != (self.window, self.window):
+            raise ValueError(
+                f"expected a ({self.window}, {self.window}) image, got {img.shape}"
+            )
+        ii = integral_image(img)
+        return np.array([f.evaluate(ii) for f in self.features])
+
+    def extract_batch(self, images):
+        """Feature matrix ``(n, n_features)`` for an image batch."""
+        return np.stack([self.extract(im) for im in np.asarray(images)])

@@ -1,0 +1,200 @@
+"""Histogram-of-Oriented-Gradients over the original data representation.
+
+This is the reference feature extractor the paper's baselines use (Sec. 6.2:
+"All learning modules use the same HOG feature extraction") and also the
+fault-injection victim for the ``HDFace+Learn`` rows of Table 2, where HOG
+runs on *original* (fixed-point) data and loses all holographic protection.
+
+Two entry points:
+
+* :class:`HOGDescriptor` - float reference implementation with hard
+  orientation binning (matching the HD pipeline) and optional block
+  normalization.
+* :meth:`HOGDescriptor.extract_with_injector` - the same pipeline with an
+  injection callback invoked on each intermediate buffer, which the noise
+  campaign uses to flip bits of the fixed-point datapath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gradients import cell_grid, central_gradients, gradient_magnitude, orientation_bins
+
+__all__ = ["HOGDescriptor"]
+
+
+class HOGDescriptor:
+    """Classic HOG feature extractor.
+
+    Parameters
+    ----------
+    cell_size:
+        Side of the square pixel cells (8 in standard HOG; smaller for the
+        reduced-resolution experiment images).
+    n_bins:
+        Number of orientation bins (the paper uses 8 signed bins).
+    signed:
+        Whether orientation covers the full circle (paper) or half circle
+        (Dalal-Triggs).
+    block_size:
+        Cells per normalization block side; ``0`` disables block
+        normalization (the HD pipeline has no block stage, so disabling it
+        makes the two pipelines compute identical descriptors up to scale).
+    magnitude:
+        ``"l2"``, ``"l2_scaled"`` or ``"l1"`` (see
+        :func:`repro.features.gradients.gradient_magnitude`).
+    gamma:
+        Dalal-Triggs square-root compression: cell features become
+        ``sqrt(vote fraction) * mean(sqrt(magnitude))`` instead of the plain
+        normalized histogram.  Matches the hyperspace extractor's gamma
+        stage so both pipelines compute the same descriptor.
+    eps:
+        Normalization stabilizer.
+
+    Examples
+    --------
+    >>> hog = HOGDescriptor(cell_size=8, n_bins=8)
+    >>> feats = hog.extract(np.random.default_rng(0).random((32, 32)))
+    >>> feats.shape
+    (128,)
+    """
+
+    def __init__(self, cell_size=8, n_bins=8, signed=True, block_size=0,
+                 magnitude="l2_scaled", gamma=True, eps=1e-6):
+        if n_bins <= 0:
+            raise ValueError("n_bins must be positive")
+        if block_size < 0:
+            raise ValueError("block_size must be >= 0")
+        self.cell_size = int(cell_size)
+        self.n_bins = int(n_bins)
+        self.signed = bool(signed)
+        self.block_size = int(block_size)
+        self.magnitude = magnitude
+        self.gamma = bool(gamma)
+        self.eps = float(eps)
+
+    # ------------------------------------------------------------------
+    def feature_length(self, image_shape):
+        """Length of the descriptor for an image of ``image_shape``."""
+        n_y, n_x = cell_grid(image_shape, self.cell_size)
+        if self.block_size:
+            b_y = n_y - self.block_size + 1
+            b_x = n_x - self.block_size + 1
+            if b_y <= 0 or b_x <= 0:
+                raise ValueError("image too small for the block size")
+            return b_y * b_x * self.block_size**2 * self.n_bins
+        return n_y * n_x * self.n_bins
+
+    def cell_histograms(self, image, injector=None):
+        """Per-cell orientation histograms, shape ``(n_y, n_x, n_bins)``.
+
+        Each pixel's magnitude is added to its hard-assigned orientation bin
+        and the histogram is divided by the cell pixel count - the same mean
+        scaling the hyperspace pipeline produces, so descriptors from the
+        two pipelines agree up to stochastic noise.
+        """
+        img = np.asarray(image, dtype=np.float64)
+        if injector is not None:
+            img = injector(img, "pixels")
+        gx, gy = central_gradients(img)
+        if injector is not None:
+            gx = injector(gx, "gx")
+            gy = injector(gy, "gy")
+        mag = gradient_magnitude(gx, gy, self.magnitude)
+        if injector is not None:
+            mag = injector(mag, "magnitude")
+        bins = orientation_bins(gx, gy, self.n_bins, self.signed)
+
+        n_y, n_x = cell_grid(img.shape, self.cell_size)
+        c = self.cell_size
+        mag = mag[: n_y * c, : n_x * c].reshape(n_y, c, n_x, c)
+        bins = bins[: n_y * c, : n_x * c].reshape(n_y, c, n_x, c)
+        hist = np.zeros((n_y, n_x, self.n_bins), dtype=np.float64)
+        for b in range(self.n_bins):
+            hist[:, :, b] = np.where(bins == b, mag, 0.0).sum(axis=(1, 3))
+        hist /= c * c
+        if injector is not None:
+            hist = injector(hist, "histogram")
+        return hist
+
+    def cell_features(self, image, injector=None):
+        """Factored (gamma-aware) cell descriptor, shape ``(n_y, n_x, n_bins)``.
+
+        Each feature is ``weight(fraction) * mean in-bin magnitude`` where
+        the magnitude and the count weight are square-root compressed when
+        ``gamma`` is on.  With ``gamma=False`` this reduces exactly to
+        :meth:`cell_histograms`.  This is the quantity the hyperspace
+        pipeline represents, so it is the default descriptor.
+        """
+        img = np.asarray(image, dtype=np.float64)
+        if injector is not None:
+            img = injector(img, "pixels")
+        gx, gy = central_gradients(img)
+        if injector is not None:
+            gx = injector(gx, "gx")
+            gy = injector(gy, "gy")
+        mag = gradient_magnitude(gx, gy, self.magnitude)
+        if self.gamma:
+            mag = np.sqrt(np.maximum(mag, 0.0))
+        if injector is not None:
+            mag = injector(mag, "magnitude")
+        bins = orientation_bins(gx, gy, self.n_bins, self.signed)
+
+        n_y, n_x = cell_grid(img.shape, self.cell_size)
+        c = self.cell_size
+        mag = mag[: n_y * c, : n_x * c].reshape(n_y, c, n_x, c)
+        bins = bins[: n_y * c, : n_x * c].reshape(n_y, c, n_x, c)
+        feats = np.zeros((n_y, n_x, self.n_bins), dtype=np.float64)
+        for b in range(self.n_bins):
+            member = bins == b
+            count = member.sum(axis=(1, 3))
+            total = np.where(member, mag, 0.0).sum(axis=(1, 3))
+            mean_mag = np.where(count > 0, total / np.maximum(count, 1), 0.0)
+            frac = count / (c * c)
+            weight = np.sqrt(frac) if self.gamma else frac
+            feats[:, :, b] = weight * mean_mag
+        if injector is not None:
+            feats = injector(feats, "histogram")
+        return feats
+
+    def _normalize_blocks(self, hist):
+        """L2 block normalization over ``block_size`` x ``block_size`` cells."""
+        bs = self.block_size
+        n_y, n_x, _ = hist.shape
+        blocks = []
+        for by in range(n_y - bs + 1):
+            for bx in range(n_x - bs + 1):
+                block = hist[by : by + bs, bx : bx + bs].ravel()
+                norm = np.sqrt((block**2).sum() + self.eps**2)
+                blocks.append(block / norm)
+        return np.concatenate(blocks)
+
+    def extract(self, image):
+        """Full HOG descriptor as a flat ``float64`` feature vector."""
+        return self.extract_with_injector(image, None)
+
+    def extract_with_injector(self, image, injector):
+        """Descriptor with an optional fault ``injector(array, stage)`` hook.
+
+        The injector is called with each intermediate buffer (stages
+        ``pixels``, ``gx``, ``gy``, ``magnitude``, ``histogram``,
+        ``features``) and must return an array of the same shape; the noise
+        campaign's fixed-point bit flipper plugs in here to reproduce the
+        ``HDFace+Learn`` rows of Table 2.
+        """
+        hist = self.cell_features(image, injector)
+        if self.block_size:
+            feats = self._normalize_blocks(hist)
+        else:
+            feats = hist.ravel()
+        if injector is not None:
+            feats = injector(feats, "features")
+        return feats
+
+    def extract_batch(self, images, injector=None):
+        """Stack descriptors for an ``(n, H, W)`` batch: ``(n, n_features)``."""
+        images = np.asarray(images)
+        if images.ndim != 3:
+            raise ValueError(f"expected (n, H, W) batch, got {images.shape}")
+        return np.stack([self.extract_with_injector(im, injector) for im in images])

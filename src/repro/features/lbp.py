@@ -1,0 +1,106 @@
+"""Local Binary Patterns (paper Sec. 2's third classic extractor).
+
+Standard LBP(8,1): each pixel is compared against its 8 neighbours
+clockwise, producing an 8-bit code; per-cell code histograms form the
+descriptor.  The ``uniform`` mapping collapses the 256 codes into the 58
+uniform patterns (at most two 0/1 transitions around the ring) plus one
+bin for everything else - the variant used in face analysis since
+Ahonen et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gradients import cell_grid
+
+__all__ = ["lbp_codes", "uniform_mapping", "LBPDescriptor"]
+
+#: Neighbour offsets clockwise from the top-left, the conventional order.
+_OFFSETS = ((-1, -1), (-1, 0), (-1, 1), (0, 1), (1, 1), (1, 0), (1, -1), (0, -1))
+
+
+def lbp_codes(image):
+    """8-bit LBP code per pixel (replicate-padded borders)."""
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 2:
+        raise ValueError("expected a 2-D image")
+    padded = np.pad(img, 1, mode="edge")
+    center = padded[1:-1, 1:-1]
+    codes = np.zeros(img.shape, dtype=np.uint8)
+    for bit, (dy, dx) in enumerate(_OFFSETS):
+        neighbour = padded[1 + dy : padded.shape[0] - 1 + dy,
+                           1 + dx : padded.shape[1] - 1 + dx]
+        codes |= ((neighbour >= center).astype(np.uint8) << bit)
+    return codes
+
+
+def _transitions(code):
+    ring = [(code >> i) & 1 for i in range(8)]
+    return sum(ring[i] != ring[(i + 1) % 8] for i in range(8))
+
+
+def uniform_mapping():
+    """Map the 256 LBP codes to 59 labels (58 uniform + 1 catch-all).
+
+    Returns an ``(256,)`` int array; uniform codes get consecutive labels
+    in code order, non-uniform codes share the final label 58.
+    """
+    mapping = np.full(256, 58, dtype=np.int64)
+    label = 0
+    for code in range(256):
+        if _transitions(code) <= 2:
+            mapping[code] = label
+            label += 1
+    return mapping
+
+
+class LBPDescriptor:
+    """Per-cell LBP histogram descriptor.
+
+    Parameters
+    ----------
+    cell_size:
+        Pixels per (square) histogram cell.
+    uniform:
+        Use the 59-bin uniform mapping instead of raw 256-bin histograms.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> desc = LBPDescriptor(cell_size=8)
+    >>> desc.extract(np.zeros((16, 16))).shape
+    (236,)
+    """
+
+    def __init__(self, cell_size=8, uniform=True):
+        self.cell_size = int(cell_size)
+        self.uniform = bool(uniform)
+        self._mapping = uniform_mapping() if uniform else None
+
+    @property
+    def n_bins(self):
+        return 59 if self.uniform else 256
+
+    def feature_length(self, image_shape):
+        """Descriptor length for a given image shape."""
+        n_y, n_x = cell_grid(image_shape, self.cell_size)
+        return n_y * n_x * self.n_bins
+
+    def extract(self, image):
+        """Flat, per-cell-normalized histogram descriptor."""
+        codes = lbp_codes(image)
+        if self.uniform:
+            codes = self._mapping[codes]
+        n_y, n_x = cell_grid(codes.shape, self.cell_size)
+        c = self.cell_size
+        cells = codes[: n_y * c, : n_x * c].reshape(n_y, c, n_x, c)
+        cells = cells.transpose(0, 2, 1, 3).reshape(n_y, n_x, c * c)
+        hist = np.zeros((n_y, n_x, self.n_bins), dtype=np.float64)
+        for b in range(self.n_bins):
+            hist[:, :, b] = (cells == b).sum(axis=2)
+        return (hist / (c * c)).ravel()
+
+    def extract_batch(self, images):
+        """Descriptor matrix ``(n, feature_length)`` for a batch."""
+        return np.stack([self.extract(im) for im in np.asarray(images)])

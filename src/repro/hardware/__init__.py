@@ -1,0 +1,57 @@
+"""Hardware performance/energy models and the cycle-level datapath simulator."""
+
+from .opcount import (
+    OperationProfile,
+    dnn_forward_profile,
+    dnn_training_profile,
+    encoder_profile,
+    hd_hog_profile,
+    hdc_infer_profile,
+    hdc_learn_profile,
+    hog_profile,
+)
+from .platforms import CORTEX_A53, KINTEX7_FPGA, PLATFORMS, Platform
+from .report import (
+    DNN_EPOCHS,
+    HD_EPOCHS,
+    EfficiencyRow,
+    WorkloadSpec,
+    dnn_inference_cost,
+    dnn_training_cost,
+    epoch_time_grid,
+    fig7_report,
+    hdface_inference_cost,
+    hdface_training_cost,
+    workload_for_dataset,
+)
+from .simulator import HDDatapathSimulator, SimulationResult, VectorOp, hd_hog_trace
+
+__all__ = [
+    "OperationProfile",
+    "hd_hog_profile",
+    "hog_profile",
+    "dnn_forward_profile",
+    "dnn_training_profile",
+    "hdc_learn_profile",
+    "hdc_infer_profile",
+    "encoder_profile",
+    "Platform",
+    "CORTEX_A53",
+    "KINTEX7_FPGA",
+    "PLATFORMS",
+    "WorkloadSpec",
+    "EfficiencyRow",
+    "workload_for_dataset",
+    "hdface_training_cost",
+    "hdface_inference_cost",
+    "dnn_training_cost",
+    "dnn_inference_cost",
+    "fig7_report",
+    "epoch_time_grid",
+    "HD_EPOCHS",
+    "DNN_EPOCHS",
+    "HDDatapathSimulator",
+    "SimulationResult",
+    "VectorOp",
+    "hd_hog_trace",
+]

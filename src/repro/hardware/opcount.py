@@ -1,0 +1,270 @@
+"""Operation-count profiles of every workload in the evaluation.
+
+The hardware comparison (paper Sec. 6.5, Fig. 7) is driven by *what kind of
+operations* each pipeline executes: HDFace is bitwise logic, narrow integer
+adds and RNG bits over hypervectors; original-space HOG is floating-point
+arithmetic with square roots and arc-tangents; the DNN is dense fp32
+multiply-accumulate.  This module counts those operations for each workload
+so the platform models in :mod:`repro.hardware.platforms` can convert them
+into time and energy.
+
+Operation classes
+-----------------
+``bit``      one-bit logic operation (AND/OR/XOR/select lane)
+``int_add``  narrow (<=16-bit) integer add/accumulate
+``rng_bit``  one pseudorandom bit (LFSR lane on hardware)
+``fp_mul`` / ``fp_add`` / ``fp_div``  fp32 arithmetic
+``fp_sqrt`` / ``fp_atan``             fp32 iterative/transcendental
+``mem_bytes`` bytes moved through the memory hierarchy
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "OperationProfile",
+    "hd_hog_profile",
+    "hog_profile",
+    "dnn_forward_profile",
+    "dnn_training_profile",
+    "hdc_learn_profile",
+    "hdc_infer_profile",
+    "encoder_profile",
+]
+
+OP_CLASSES = (
+    "bit", "int_add", "rng_bit",
+    "fp_mul", "fp_add", "fp_div", "fp_sqrt", "fp_atan",
+    "mem_bytes",
+)
+
+
+@dataclass
+class OperationProfile:
+    """Bag of operation counts, addable and scalable."""
+
+    counts: dict = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self):
+        unknown = set(self.counts) - set(OP_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown op classes: {sorted(unknown)}")
+        self.counts = {k: float(v) for k, v in self.counts.items() if v}
+
+    def __add__(self, other):
+        merged = dict(self.counts)
+        for k, v in other.counts.items():
+            merged[k] = merged.get(k, 0.0) + v
+        return OperationProfile(merged, label=self.label or other.label)
+
+    def __mul__(self, factor):
+        return OperationProfile(
+            {k: v * factor for k, v in self.counts.items()}, label=self.label
+        )
+
+    __rmul__ = __mul__
+
+    def get(self, op):
+        """Count of one op class (0 if absent)."""
+        return self.counts.get(op, 0.0)
+
+    def total_ops(self):
+        """All operations except memory traffic."""
+        return sum(v for k, v in self.counts.items() if k != "mem_bytes")
+
+
+# ----------------------------------------------------------------------
+# HDFace stochastic pipeline
+# ----------------------------------------------------------------------
+def hd_hog_profile(image_shape, dim, n_bins=8, magnitude="l2_scaled",
+                   sqrt_iters=8, gamma=True, cell_size=8):
+    """Per-image operation counts of the hyperspace HOG pipeline.
+
+    Counts follow the implementation in
+    :class:`repro.features.hog_hd.HDHOGExtractor` stage by stage.  Per
+    hypervector primitive: a weighted average is ``D`` select bit-ops plus
+    ``D`` RNG bits; a multiplication is ``2 D`` bit-ops; a decode readout is
+    ``D`` bit-ops plus ``D`` add lanes; a binary-search iteration costs one
+    average, one square (or product) and one decode.
+    """
+    h, w = image_shape
+    px = float(h * w)
+    d = float(dim)
+    counts = {"bit": 0.0, "int_add": 0.0, "rng_bit": 0.0, "mem_bytes": 0.0}
+
+    def average(n):
+        counts["bit"] += n * d
+        counts["rng_bit"] += n * d
+
+    def multiply(n):
+        counts["bit"] += 2 * n * d
+
+    def decode(n):
+        counts["bit"] += n * d
+        counts["int_add"] += n * d
+
+    def square(n):
+        # decorrelate (2 binds + rotate) + multiply
+        counts["bit"] += 2 * n * d
+        multiply(n)
+
+    # stage 1: pixel codebook lookup - pure memory traffic
+    counts["mem_bytes"] += px * d / 8.0
+
+    # stage 2: gradients - two stochastic subtractions per pixel
+    average(2 * px)
+
+    # stage 4: binning - two sign readouts, two conditional negations, and
+    # per interior boundary one constant construction, one product and one
+    # comparison readout
+    decode(2 * px)
+    counts["bit"] += 2 * px * d  # conditional negation lanes
+    boundaries = max(n_bins // 4 - 1, 0)
+    if boundaries:
+        counts["rng_bit"] += boundaries * px * d  # constant construction
+        counts["bit"] += boundaries * px * d
+        multiply(boundaries * px)
+        decode(boundaries * px)
+
+    # stage 3: magnitude
+    if magnitude == "l2_scaled":
+        square(2 * px)
+        average(px)
+        sqrt_units = px
+    else:  # l1: two abs (signs already computed) + one average
+        counts["bit"] += 2 * px * d
+        average(px)
+        sqrt_units = 0.0
+    if gamma:
+        sqrt_units += px
+    if sqrt_units:
+        per_iter = sqrt_units
+        for _ in range(int(sqrt_iters)):
+            average(per_iter)       # midpoint
+            square(per_iter)        # mid^2
+            decode(per_iter)        # comparison readout
+            counts["bit"] += 2 * per_iter * d  # bound selects
+        average(sqrt_units)          # final midpoint
+        decode(sqrt_units)           # hoisted target readout (once)
+
+    # stage 5: histogram bundling - masked accumulate of every pixel into
+    # its bin lane
+    counts["bit"] += px * d
+    counts["int_add"] += px * d
+
+    # stage 6: query bundling - bind + accumulate per (cell, bin)
+    n_cells = (h // cell_size) * (w // cell_size)
+    feats = n_cells * n_bins
+    counts["bit"] += feats * d
+    counts["int_add"] += feats * d
+
+    counts["mem_bytes"] += px * d / 8.0 * 6  # streamed intermediate tensors
+    return OperationProfile(counts, label=f"hd_hog{image_shape}xD{dim}")
+
+
+# ----------------------------------------------------------------------
+# Original-space HOG
+# ----------------------------------------------------------------------
+def hog_profile(image_shape, n_bins=8, cell_size=8, gamma=True):
+    """Per-image operation counts of classic HOG on fp32 data."""
+    h, w = image_shape
+    px = float(h * w)
+    counts = {
+        # gradients: two subtractions + two halvings per pixel
+        "fp_add": 2 * px,
+        "fp_mul": 2 * px,
+        # magnitude: two squares, one add, one sqrt
+        "fp_sqrt": px * (2.0 if gamma else 1.0),
+        "fp_atan": px,  # orientation
+        "mem_bytes": px * 4 * 4,
+    }
+    counts["fp_mul"] += 2 * px
+    counts["fp_add"] += px
+    # histogram accumulate + per-cell normalization
+    counts["fp_add"] += px
+    n_cells = (h // cell_size) * (w // cell_size)
+    counts["fp_div"] = n_cells * n_bins
+    return OperationProfile(counts, label=f"hog{image_shape}")
+
+
+# ----------------------------------------------------------------------
+# DNN
+# ----------------------------------------------------------------------
+def dnn_forward_profile(layer_sizes):
+    """Per-sample fp32 MACs of one forward pass."""
+    macs = sum(a * b for a, b in zip(layer_sizes[:-1], layer_sizes[1:]))
+    params = macs + sum(layer_sizes[1:])
+    return OperationProfile(
+        {"fp_mul": macs, "fp_add": macs, "mem_bytes": params * 4.0},
+        label=f"dnn_fwd{tuple(layer_sizes)}",
+    )
+
+
+def dnn_training_profile(layer_sizes):
+    """Per-sample cost of one training step (forward + backward + update).
+
+    The backward pass costs about two forwards (grad wrt activations and
+    weights) and the optimizer touches every parameter once.
+    """
+    fwd = dnn_forward_profile(layer_sizes)
+    macs = fwd.get("fp_mul")
+    update = OperationProfile(
+        {"fp_mul": macs * 0.05, "fp_add": macs * 0.05}, label="sgd_update"
+    )
+    prof = fwd * 3.0 + update
+    prof.label = f"dnn_train{tuple(layer_sizes)}"
+    return prof
+
+
+# ----------------------------------------------------------------------
+# HDC learning / inference over query hypervectors
+# ----------------------------------------------------------------------
+def hdc_learn_profile(dim, n_classes):
+    """Per-sample cost of one adaptive HDC update.
+
+    Similarity against every class (integer MACs over ``D``) plus a scaled
+    accumulate into at most two class vectors.
+    """
+    d = float(dim)
+    return OperationProfile(
+        {"int_add": (n_classes + 2) * d, "bit": n_classes * d,
+         "mem_bytes": (n_classes + 2) * d * 2},
+        label=f"hdc_learn(D={dim})",
+    )
+
+
+def hdc_infer_profile(dim, n_classes):
+    """Per-sample cost of an HDC similarity search."""
+    d = float(dim)
+    return OperationProfile(
+        {"int_add": n_classes * d, "bit": n_classes * d,
+         "mem_bytes": n_classes * d / 4},
+        label=f"hdc_infer(D={dim})",
+    )
+
+
+def encoder_profile(dim, n_features):
+    """Per-sample cost of the nonlinear (cos) encoder (configuration 1)."""
+    d = float(dim)
+    return OperationProfile(
+        {"fp_mul": d * n_features, "fp_add": d * n_features, "fp_atan": d,
+         "mem_bytes": d * n_features * 4},
+        label=f"encoder(D={dim})",
+    )
+
+
+def levelid_encoder_profile(dim, n_features):
+    """Per-sample cost of the classical binary record encoder.
+
+    Level-hypervector lookup, ID binding (XOR lanes) and integer bundling
+    per feature - the conventional HDC encoding whose HOG front end the
+    Sec. 2 motivation measures (the binary encoder is cheap; HOG dominates).
+    """
+    d = float(dim)
+    return OperationProfile(
+        {"bit": d * n_features, "int_add": d * n_features,
+         "mem_bytes": d * n_features / 8},
+        label=f"levelid_encoder(D={dim})",
+    )

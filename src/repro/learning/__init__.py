@@ -1,0 +1,26 @@
+"""Learning algorithms: the HDC classifier and the DNN/SVM baselines."""
+
+from .binary_inference import BinaryHDCEngine
+from .encoders import LevelIDEncoder, NonlinearEncoder, RandomProjectionEncoder
+from .hdc_classifier import HDCClassifier
+from .metrics import accuracy, confusion_matrix, quality_loss
+from .mlp import MLPClassifier
+from .quantization import QuantizedMLP, dequantize, flip_int_bits, quantize
+from .svm import LinearSVM
+
+__all__ = [
+    "HDCClassifier",
+    "BinaryHDCEngine",
+    "MLPClassifier",
+    "LinearSVM",
+    "QuantizedMLP",
+    "quantize",
+    "dequantize",
+    "flip_int_bits",
+    "NonlinearEncoder",
+    "RandomProjectionEncoder",
+    "LevelIDEncoder",
+    "accuracy",
+    "confusion_matrix",
+    "quality_loss",
+]

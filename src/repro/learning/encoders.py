@@ -1,0 +1,122 @@
+"""Encoders mapping original-space feature vectors into hyperspace.
+
+These implement the *first* HDFace configuration of Section 6.2: "HOG
+feature extraction running on original space ... HDC exploits non-linear
+encoder to map extracted features into high dimension".  (The second
+configuration needs no encoder because :class:`repro.features.hog_hd`
+already outputs hypervectors.)
+
+Three standard encoders are provided:
+
+* :class:`NonlinearEncoder` - ``cos(W x + b)`` random-Fourier-style
+  projection, the encoder used across the OnlineHD line of work.
+* :class:`RandomProjectionEncoder` - ``sign(W x)`` bipolar projection.
+* :class:`LevelIDEncoder` - the classical record encoding: bind a random
+  per-feature ID hypervector with the level hypervector of the quantized
+  feature value and bundle over features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng, random_hypervector
+from ..core.spaces import LevelMemory
+
+__all__ = ["NonlinearEncoder", "RandomProjectionEncoder", "LevelIDEncoder"]
+
+
+class NonlinearEncoder:
+    """Random nonlinear projection ``H = cos(W x + b)``.
+
+    Parameters
+    ----------
+    dim:
+        Output hypervector dimensionality.
+    n_features:
+        Input feature-vector length.
+    binary:
+        If True, the output is sign-quantized to bipolar values (matching
+        the binary hardware); otherwise the raw cosines are returned.
+    bandwidth:
+        Standard deviation of the Gaussian projection rows; plays the role
+        of an RBF kernel bandwidth.
+    """
+
+    def __init__(self, dim, n_features, binary=False, bandwidth=1.0, seed_or_rng=None):
+        rng = as_rng(seed_or_rng)
+        self.dim = int(dim)
+        self.n_features = int(n_features)
+        self.binary = bool(binary)
+        self.weights = rng.normal(0.0, bandwidth, size=(self.dim, self.n_features))
+        self.bias = rng.uniform(0.0, 2.0 * np.pi, size=self.dim)
+
+    def encode(self, features):
+        """Encode ``(n_features,)`` or ``(n, n_features)`` arrays."""
+        x = np.asarray(features, dtype=np.float64)
+        single = x.ndim == 1
+        x = np.atleast_2d(x)
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        h = np.cos(x @ self.weights.T + self.bias)
+        if self.binary:
+            h = np.where(h >= 0, 1, -1).astype(np.int8)
+        return h[0] if single else h
+
+
+class RandomProjectionEncoder:
+    """Bipolar random projection ``H = sign(W x)``."""
+
+    def __init__(self, dim, n_features, seed_or_rng=None):
+        rng = as_rng(seed_or_rng)
+        self.dim = int(dim)
+        self.n_features = int(n_features)
+        self.weights = rng.normal(0.0, 1.0, size=(self.dim, self.n_features))
+
+    def encode(self, features):
+        """Encode ``(n_features,)`` or ``(n, n_features)`` arrays."""
+        x = np.asarray(features, dtype=np.float64)
+        single = x.ndim == 1
+        x = np.atleast_2d(x)
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        h = np.where(x @ self.weights.T >= 0, 1, -1).astype(np.int8)
+        return h[0] if single else h
+
+
+class LevelIDEncoder:
+    """Record encoding: bundle of ``ID_j (*) Level(x_j)`` over features.
+
+    Feature values are min-max quantized into ``levels`` correlative
+    hypervectors (:class:`repro.core.spaces.LevelMemory`), bound to an
+    independent random ID hypervector per feature position, and summed.
+    """
+
+    def __init__(self, dim, n_features, levels=64, value_range=(0.0, 1.0),
+                 seed_or_rng=None):
+        rng = as_rng(seed_or_rng)
+        self.dim = int(dim)
+        self.n_features = int(n_features)
+        self.vmin, self.vmax = map(float, value_range)
+        if self.vmax <= self.vmin:
+            raise ValueError("value_range must be increasing")
+        self.levels = LevelMemory(dim, levels=levels, seed_or_rng=rng)
+        self.ids = random_hypervector(dim, rng, shape=(self.n_features,))
+
+    def encode(self, features):
+        """Encode ``(n_features,)`` or ``(n, n_features)`` arrays to int32 sums."""
+        x = np.asarray(features, dtype=np.float64)
+        single = x.ndim == 1
+        x = np.atleast_2d(x)
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        level_hvs = self.levels.encode(x, vmin=self.vmin, vmax=self.vmax)
+        bound = level_hvs.astype(np.int32) * self.ids[None, :, :].astype(np.int32)
+        h = bound.sum(axis=1, dtype=np.int32)
+        return h[0] if single else h

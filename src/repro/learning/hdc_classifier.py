@@ -1,0 +1,218 @@
+"""Adaptive hyperdimensional classification (paper Section 5).
+
+The HDC model is one hypervector per class.  Learning has two phases:
+
+1. **Single-pass memorization** - each training query is added to its class
+   accumulator, weighted by ``1 - delta(query, class)``: samples the class
+   already explains add little ("eliminates redundant information
+   memorization ... to eliminate overfitting"), novel samples add a lot.
+   This is the saturation-avoiding bundling the paper describes.
+2. **Adaptive refinement** - a few epochs revisit the data; each
+   misclassified query is added to the correct class and subtracted from the
+   wrongly-predicted class, again scaled by how confident the mistake was.
+
+Inference is a similarity search: the query gets the label of the most
+similar class hypervector.  Queries arrive already in hyperspace (from
+:class:`repro.features.hog_hd.HDHOGExtractor` or an encoder from
+:mod:`repro.learning.encoders`), so there is no encoding step here - the
+property that makes HDFace end-to-end holographic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng
+
+__all__ = ["HDCClassifier"]
+
+
+class HDCClassifier:
+    """One-hypervector-per-class classifier with adaptive training.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes (2 for face/no-face, 7 for emotions).
+    lr:
+        Learning rate of the adaptive refinement updates.
+    epochs:
+        Refinement epochs after the single-pass phase (0 = single-pass only,
+        the ablation configuration).
+    batch_size:
+        Queries processed per refinement step; updates within a batch use
+        the same model snapshot (mini-batch approximation of the paper's
+        per-sample rule, which keeps everything vectorized).
+    adaptive:
+        If False, single-pass accumulation uses plain bundling without the
+        ``1 - delta`` novelty weighting (ablation).
+    seed_or_rng:
+        Shuffling randomness.
+
+    Attributes
+    ----------
+    class_hvs_:
+        ``(n_classes, D)`` float64 class accumulators after :meth:`fit`.
+    """
+
+    def __init__(self, n_classes, lr=1.0, epochs=20, batch_size=64,
+                 adaptive=True, seed_or_rng=None):
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        self.n_classes = int(n_classes)
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.adaptive = bool(adaptive)
+        self._rng = as_rng(seed_or_rng)
+        self.class_hvs_ = None
+        self.history_ = []
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self):
+        if self.class_hvs_ is None:
+            raise RuntimeError("classifier is not fitted")
+
+    def _normalized_model(self):
+        norms = np.linalg.norm(self.class_hvs_, axis=1, keepdims=True)
+        return self.class_hvs_ / np.maximum(norms, 1e-12)
+
+    def similarities(self, queries):
+        """Cosine similarity of each query to each class: ``(n, n_classes)``."""
+        self._check_fitted()
+        q = np.asarray(queries, dtype=np.float64)
+        single = q.ndim == 1
+        q = np.atleast_2d(q)
+        qn = q / np.maximum(np.linalg.norm(q, axis=1, keepdims=True), 1e-12)
+        sims = qn @ self._normalized_model().T
+        return sims[0] if single else sims
+
+    def predict(self, queries):
+        """Label of the most similar class hypervector per query."""
+        sims = self.similarities(queries)
+        return np.asarray(sims).argmax(axis=-1)
+
+    def score(self, queries, labels):
+        """Mean accuracy on the given queries."""
+        return float((self.predict(queries) == np.asarray(labels)).mean())
+
+    # ------------------------------------------------------------------
+    def _single_pass(self, queries, labels):
+        dim = queries.shape[1]
+        self.class_hvs_ = np.zeros((self.n_classes, dim), dtype=np.float64)
+        if not self.adaptive:
+            for k in range(self.n_classes):
+                self.class_hvs_[k] = queries[labels == k].sum(axis=0)
+            return
+        # Novelty-weighted accumulation, processed in chunks so early
+        # samples shape the weighting of later ones.
+        order = self._rng.permutation(len(queries))
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            q = queries[idx]
+            y = labels[idx]
+            norms = np.linalg.norm(self.class_hvs_, axis=1)
+            if norms.max() == 0:
+                weight = np.ones(len(idx))
+            else:
+                sims = self.similarities(q)
+                weight = 1.0 - sims[np.arange(len(idx)), y]
+            np.add.at(self.class_hvs_, y, weight[:, None] * q)
+
+    def _refine_epoch(self, queries, labels):
+        order = self._rng.permutation(len(queries))
+        errors = 0
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            q = queries[idx]
+            y = labels[idx]
+            sims = self.similarities(q)
+            pred = sims.argmax(axis=1)
+            wrong = pred != y
+            errors += int(wrong.sum())
+            if not wrong.any():
+                continue
+            qw = q[wrong]
+            yw = y[wrong]
+            pw = pred[wrong]
+            rows = np.arange(len(qw))
+            gain_true = self.lr * (1.0 - sims[wrong, yw])[:, None]
+            gain_pred = self.lr * (1.0 - sims[wrong, pw])[:, None]
+            np.add.at(self.class_hvs_, yw, gain_true * qw)
+            np.add.at(self.class_hvs_, pw, -gain_pred * qw)
+            del rows
+        return errors
+
+    def fit(self, queries, labels):
+        """Train on query hypervectors ``(n, D)`` and integer labels ``(n,)``.
+
+        Returns ``self``.  ``history_`` records the per-epoch training error
+        count of the refinement phase.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if queries.ndim != 2:
+            raise ValueError(f"queries must be (n, D), got {queries.shape}")
+        if len(queries) != len(labels):
+            raise ValueError("queries and labels length mismatch")
+        if labels.min() < 0 or labels.max() >= self.n_classes:
+            raise ValueError("labels out of range")
+        self.history_ = []
+        self._single_pass(queries, labels)
+        for _ in range(self.epochs):
+            errors = self._refine_epoch(queries, labels)
+            self.history_.append(errors)
+            if errors == 0:
+                break
+        return self
+
+    def partial_fit(self, queries, labels):
+        """Online update with a new batch (no revisiting of old data).
+
+        Implements the paper's "online on-device learning" mode: the novelty
+        -weighted single-pass rule absorbs the batch into the existing class
+        hypervectors, followed by one adaptive refinement pass over just
+        this batch.  The first call initializes the model.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if queries.ndim != 2:
+            raise ValueError(f"queries must be (n, D), got {queries.shape}")
+        if len(queries) != len(labels):
+            raise ValueError("queries and labels length mismatch")
+        if labels.min() < 0 or labels.max() >= self.n_classes:
+            raise ValueError("labels out of range")
+        if self.class_hvs_ is None:
+            self.class_hvs_ = np.zeros((self.n_classes, queries.shape[1]))
+        elif self.class_hvs_.shape[1] != queries.shape[1]:
+            raise ValueError("query dimensionality changed between batches")
+        norms = np.linalg.norm(self.class_hvs_, axis=1)
+        if norms.max() == 0:
+            weight = np.ones(len(queries))
+        else:
+            sims = self.similarities(queries)
+            weight = 1.0 - sims[np.arange(len(queries)), labels]
+        np.add.at(self.class_hvs_, labels, weight[:, None] * queries)
+        self._refine_epoch(queries, labels)
+        return self
+
+    # ------------------------------------------------------------------
+    def bipolar_model(self):
+        """Sign-quantized ``(n_classes, D)`` int8 model.
+
+        This is the binary model the FPGA datapath stores (Sec. 6.5) and the
+        object the Table 2 campaign flips bits in.
+        """
+        self._check_fitted()
+        model = np.sign(self.class_hvs_)
+        model[model == 0] = 1
+        return model.astype(np.int8)
+
+    def with_model(self, class_hvs):
+        """Clone carrying an explicit model (used after fault injection)."""
+        clone = HDCClassifier(
+            self.n_classes, lr=self.lr, epochs=self.epochs,
+            batch_size=self.batch_size, adaptive=self.adaptive,
+        )
+        clone.class_hvs_ = np.asarray(class_hvs, dtype=np.float64).copy()
+        return clone

@@ -1,0 +1,39 @@
+"""Evaluation metrics shared by all classifiers and the benchmark harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion_matrix", "quality_loss"]
+
+
+def accuracy(y_true, y_pred):
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have identical shapes")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true, y_pred, n_classes=None):
+    """Confusion matrix ``M[i, j]`` = count of true class i predicted as j."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    mat = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(mat, (y_true, y_pred), 1)
+    return mat
+
+
+def quality_loss(clean_accuracy, noisy_accuracy):
+    """Accuracy degradation in percentage points (Table 2's metric).
+
+    The paper reports robustness as *quality loss*: how many points of
+    accuracy an error rate costs relative to the clean model.  Floors at 0
+    so stochastic flukes where noise helps do not report negative loss.
+    """
+    return max(0.0, float(clean_accuracy) - float(noisy_accuracy)) * 100.0

@@ -1,0 +1,178 @@
+"""DNN baseline: a NumPy multilayer perceptron trained with Adam.
+
+The paper's DNN baseline is a four-layer network over HOG features with two
+hidden layers whose sizes are swept in Fig. 5b (best at 1024x1024).  This is
+a from-scratch implementation - ReLU activations, softmax cross-entropy,
+mini-batch Adam, optional L2 regularization - with deterministic seeding so
+every benchmark is reproducible.
+
+The weights are exposed as plain arrays so
+:mod:`repro.learning.quantization` can produce the 16/8/4-bit fixed-point
+inference models whose robustness Table 2 measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng
+
+__all__ = ["MLPClassifier"]
+
+
+def _one_hot(labels, n_classes):
+    out = np.zeros((len(labels), n_classes), dtype=np.float64)
+    out[np.arange(len(labels)), labels] = 1.0
+    return out
+
+
+def _softmax(z):
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier:
+    """Fully-connected ReLU network with softmax output.
+
+    Parameters
+    ----------
+    n_features:
+        Input dimensionality.
+    n_classes:
+        Output classes.
+    hidden:
+        Tuple of hidden-layer widths; ``(1024, 1024)`` reproduces the
+        paper's best DNN configuration (a "four layer neural network" -
+        input, two hidden, output).
+    lr, beta1, beta2, eps:
+        Adam hyperparameters.
+    l2:
+        L2 weight-decay coefficient.
+    seed_or_rng:
+        Initialization and shuffling randomness.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> net = MLPClassifier(4, 2, hidden=(16,), epochs=30, seed_or_rng=0)
+    >>> x = np.random.default_rng(0).normal(size=(64, 4))
+    >>> y = (x[:, 0] > 0).astype(int)
+    >>> net.fit(x, y).score(x, y) > 0.9
+    True
+    """
+
+    def __init__(self, n_features, n_classes, hidden=(1024, 1024), lr=3e-3,
+                 epochs=30, batch_size=32, l2=1e-5, beta1=0.9, beta2=0.999,
+                 eps=1e-8, seed_or_rng=None):
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        self.n_features = int(n_features)
+        self.n_classes = int(n_classes)
+        self.hidden = tuple(int(h) for h in hidden)
+        if any(h <= 0 for h in self.hidden):
+            raise ValueError("hidden sizes must be positive")
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.l2 = float(l2)
+        self.beta1, self.beta2, self.eps = float(beta1), float(beta2), float(eps)
+        self._rng = as_rng(seed_or_rng)
+        sizes = (self.n_features,) + self.hidden + (self.n_classes,)
+        self.weights = [
+            self._rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self.biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        self.loss_history_ = []
+
+    # ------------------------------------------------------------------
+    def _forward(self, x, weights=None, biases=None):
+        """Return pre-activations and activations of every layer."""
+        weights = self.weights if weights is None else weights
+        biases = self.biases if biases is None else biases
+        activations = [x]
+        for i, (w, b) in enumerate(zip(weights, biases)):
+            z = activations[-1] @ w + b
+            if i < len(weights) - 1:
+                activations.append(np.maximum(z, 0.0))
+            else:
+                activations.append(z)
+        return activations
+
+    def predict_proba(self, x, weights=None, biases=None):
+        """Softmax class probabilities ``(n, n_classes)``.
+
+        ``weights``/``biases`` override the trained parameters; the
+        quantized/faulty inference paths use this hook.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        logits = self._forward(x, weights, biases)[-1]
+        return _softmax(logits)
+
+    def predict(self, x, weights=None, biases=None):
+        """Most probable class per sample."""
+        return self.predict_proba(x, weights, biases).argmax(axis=1)
+
+    def score(self, x, y):
+        """Mean accuracy."""
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    # ------------------------------------------------------------------
+    def fit(self, x, y):
+        """Train with mini-batch Adam; returns ``self``."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(f"expected (n, {self.n_features}) inputs, got {x.shape}")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("labels out of range")
+        targets = _one_hot(y, self.n_classes)
+        m_w = [np.zeros_like(w) for w in self.weights]
+        v_w = [np.zeros_like(w) for w in self.weights]
+        m_b = [np.zeros_like(b) for b in self.biases]
+        v_b = [np.zeros_like(b) for b in self.biases]
+        step = 0
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            order = self._rng.permutation(len(x))
+            epoch_loss = 0.0
+            for start in range(0, len(order), self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, tb = x[idx], targets[idx]
+                acts = self._forward(xb)
+                probs = _softmax(acts[-1])
+                eps_clip = 1e-12
+                epoch_loss += float(
+                    -np.log(np.maximum(probs[np.arange(len(idx)), y[idx]], eps_clip)).sum()
+                )
+                delta = (probs - tb) / len(idx)
+                step += 1
+                for layer in reversed(range(len(self.weights))):
+                    grad_w = acts[layer].T @ delta + self.l2 * self.weights[layer]
+                    grad_b = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights[layer].T) * (acts[layer] > 0)
+                    m_w[layer] = self.beta1 * m_w[layer] + (1 - self.beta1) * grad_w
+                    v_w[layer] = self.beta2 * v_w[layer] + (1 - self.beta2) * grad_w**2
+                    m_b[layer] = self.beta1 * m_b[layer] + (1 - self.beta1) * grad_b
+                    v_b[layer] = self.beta2 * v_b[layer] + (1 - self.beta2) * grad_b**2
+                    mw_hat = m_w[layer] / (1 - self.beta1**step)
+                    vw_hat = v_w[layer] / (1 - self.beta2**step)
+                    mb_hat = m_b[layer] / (1 - self.beta1**step)
+                    vb_hat = v_b[layer] / (1 - self.beta2**step)
+                    self.weights[layer] -= self.lr * mw_hat / (np.sqrt(vw_hat) + self.eps)
+                    self.biases[layer] -= self.lr * mb_hat / (np.sqrt(vb_hat) + self.eps)
+            self.loss_history_.append(epoch_loss / len(x))
+        return self
+
+    # ------------------------------------------------------------------
+    def parameter_count(self):
+        """Total trainable parameters (drives the hardware cost model)."""
+        return int(
+            sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+        )
+
+    def layer_sizes(self):
+        """Tuple of layer widths including input and output."""
+        return (self.n_features,) + self.hidden + (self.n_classes,)

@@ -1,0 +1,178 @@
+"""Fixed-point quantization of model parameters and arrays.
+
+Table 2 evaluates the DNN at 16-, 8- and 4-bit weight precision and injects
+random bit errors into the stored representation.  This module provides the
+symmetric two's-complement fixed-point codec those experiments use, plus a
+:class:`QuantizedMLP` wrapper that runs inference from quantized weights.
+
+The same codec quantizes the intermediate buffers of the original-space HOG
+pipeline for the ``HDFace+Learn`` rows (bit errors in feature extraction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng
+
+__all__ = ["quantize", "dequantize", "flip_int_bits", "QuantizedMLP"]
+
+
+def default_headroom_bits(bits):
+    """Integer headroom a ``bits``-wide embedded Q-format typically reserves.
+
+    Fixed-point DNN implementations pick a Qm.n split once (to keep
+    accumulators overflow-safe and share one format across layers); the
+    spare integer bits grow with the word width - Q4.11-style for 16-bit,
+    Q2.5 for 8-bit, Q1.2 for 4-bit.  This headroom is what makes
+    high-precision models *fragile*: a flipped high-order bit injects a
+    weight ``2**headroom`` times the real weight range (Table 2's DNN
+    trend).  With pure per-tensor max scaling (headroom 0 at every width)
+    the expected corruption energy is provably precision-independent and
+    the paper's trend disappears.
+    """
+    return bits // 4
+
+
+def quantize(arr, bits, scale=None, headroom_bits=None):
+    """Symmetric fixed-point quantization to ``bits`` (two's complement).
+
+    Parameters
+    ----------
+    arr:
+        Float array.
+    bits:
+        Total bits per value, including the sign (2..32).
+    scale:
+        Value mapped to the top of the *data* range; defaults to
+        ``max(|arr|)``.
+    headroom_bits:
+        Extra integer bits above the data range (see
+        :func:`default_headroom_bits`); the effective full-scale becomes
+        ``scale * 2**headroom_bits``.
+
+    Returns
+    -------
+    (codes, scale):
+        ``codes`` is an ``int32`` array in ``[-(2^(bits-1)-1), 2^(bits-1)-1]``
+        and ``scale`` the effective full-scale needed by :func:`dequantize`.
+    """
+    if not 2 <= bits <= 32:
+        raise ValueError(f"bits must be in [2, 32], got {bits}")
+    arr = np.asarray(arr, dtype=np.float64)
+    if scale is None:
+        scale = float(np.abs(arr).max())
+    if headroom_bits is None:
+        headroom_bits = default_headroom_bits(bits)
+    if scale == 0.0:
+        return np.zeros(arr.shape, dtype=np.int32), 1.0
+    scale = scale * float(2**headroom_bits)
+    qmax = 2 ** (bits - 1) - 1
+    codes = np.clip(np.round(arr / scale * qmax), -qmax, qmax).astype(np.int32)
+    return codes, scale
+
+
+def dequantize(codes, scale, bits):
+    """Inverse of :func:`quantize`."""
+    qmax = 2 ** (bits - 1) - 1
+    return np.asarray(codes, dtype=np.float64) * (scale / qmax)
+
+
+def flip_int_bits(codes, bits, rate, seed_or_rng=None, mode="per_value"):
+    """Inject random bit errors into a two's-complement representation.
+
+    ``mode="per_value"`` (default, Table 2's semantics): each stored value
+    is hit with probability ``rate``; a hit flips one uniformly-chosen bit.
+    A flipped sign or high-magnitude bit changes the value drastically,
+    which is why high-precision (headroom-carrying) DNNs are fragile, while
+    degradation stays *gradual* in the rate - the paper's trend.
+
+    ``mode="per_bit"``: every stored bit flips independently with
+    probability ``rate`` (the harsher model; ~``bits`` times the exposure).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if mode not in ("per_value", "per_bit"):
+        raise ValueError(f"unknown mode {mode!r}")
+    rng = as_rng(seed_or_rng)
+    codes = np.asarray(codes, dtype=np.int64)
+    if rate == 0.0:
+        return codes.astype(np.int32)
+    mask_bits = (1 << bits) - 1
+    unsigned = codes & mask_bits  # two's-complement view in `bits` bits
+    if mode == "per_value":
+        hit = rng.random(codes.shape) < rate
+        which = rng.integers(0, bits, size=codes.shape)
+        flip_mask = np.where(hit, np.int64(1) << which, 0)
+    else:
+        flips = rng.random(codes.shape + (bits,)) < rate
+        flip_mask = (flips * (1 << np.arange(bits))).sum(axis=-1).astype(np.int64)
+    corrupted = unsigned ^ flip_mask
+    # Sign-extend back from `bits` to int64.
+    sign_bit = 1 << (bits - 1)
+    corrupted = (corrupted ^ sign_bit) - sign_bit
+    return corrupted.astype(np.int32)
+
+
+class QuantizedMLP:
+    """Inference wrapper holding a fixed-point copy of an MLP's parameters.
+
+    Parameters
+    ----------
+    mlp:
+        A trained :class:`repro.learning.mlp.MLPClassifier`.
+    bits:
+        Weight/bias precision (16, 8 or 4 in the paper).
+
+    Notes
+    -----
+    Quantization itself costs accuracy at low precision (the paper reports
+    4-bit costing 2.7 points versus 16-bit), and bit errors cost more at
+    high precision; :meth:`predict_with_bit_errors` reproduces both effects.
+    """
+
+    def __init__(self, mlp, bits):
+        self.mlp = mlp
+        self.bits = int(bits)
+        self.weight_codes = []
+        self.weight_scales = []
+        self.bias_codes = []
+        self.bias_scales = []
+        for w, b in zip(mlp.weights, mlp.biases):
+            wc, ws = quantize(w, self.bits)
+            bc, bs = quantize(b, self.bits)
+            self.weight_codes.append(wc)
+            self.weight_scales.append(ws)
+            self.bias_codes.append(bc)
+            self.bias_scales.append(bs)
+
+    def _materialize(self, rate=0.0, seed_or_rng=None):
+        rng = as_rng(seed_or_rng)
+        weights, biases = [], []
+        for wc, ws, bc, bs in zip(
+            self.weight_codes, self.weight_scales, self.bias_codes, self.bias_scales
+        ):
+            if rate > 0.0:
+                wc = flip_int_bits(wc, self.bits, rate, rng)
+                bc = flip_int_bits(bc, self.bits, rate, rng)
+            weights.append(dequantize(wc, ws, self.bits))
+            biases.append(dequantize(bc, bs, self.bits))
+        return weights, biases
+
+    def predict(self, x):
+        """Predict from clean quantized parameters."""
+        weights, biases = self._materialize()
+        return self.mlp.predict(x, weights=weights, biases=biases)
+
+    def predict_with_bit_errors(self, x, rate, seed_or_rng=None):
+        """Predict after flipping stored parameter bits at ``rate``."""
+        weights, biases = self._materialize(rate, seed_or_rng)
+        return self.mlp.predict(x, weights=weights, biases=biases)
+
+    def score(self, x, y, rate=0.0, seed_or_rng=None):
+        """Accuracy of (optionally corrupted) quantized inference."""
+        if rate > 0.0:
+            pred = self.predict_with_bit_errors(x, rate, seed_or_rng)
+        else:
+            pred = self.predict(x)
+        return float((pred == np.asarray(y)).mean())

@@ -1,0 +1,27 @@
+"""Bit-error fault models and robustness campaigns (Table 2)."""
+
+from .bitflip import (
+    FixedPointFaultInjector,
+    HypervectorFaultInjector,
+    flip_bipolar,
+    flip_fixed_point,
+    stuck_at,
+)
+from .campaign import (
+    RobustnessResult,
+    dnn_robustness,
+    hdface_hyperspace_robustness,
+    hdface_original_hog_robustness,
+)
+
+__all__ = [
+    "flip_bipolar",
+    "stuck_at",
+    "flip_fixed_point",
+    "HypervectorFaultInjector",
+    "FixedPointFaultInjector",
+    "RobustnessResult",
+    "hdface_hyperspace_robustness",
+    "hdface_original_hog_robustness",
+    "dnn_robustness",
+]

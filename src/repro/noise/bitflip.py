@@ -1,0 +1,141 @@
+"""Random bit-error injection models (Table 2's fault model).
+
+The paper's robustness study flips randomly-selected bits in three places:
+
+* **hypervector components** (HDFace's holographic representation) -
+  :func:`flip_bipolar` flips the sign of each component independently;
+* **fixed-point datapath values** (HOG running on the original
+  representation) - :func:`flip_fixed_point` quantizes a float buffer to
+  ``bits``-wide fixed point, flips stored bits, and dequantizes;
+* **quantized DNN weights** - handled by
+  :func:`repro.learning.quantization.flip_int_bits`.
+
+The two injector classes are pluggable ``injector(array, stage)`` callbacks
+for the feature-extraction pipelines (see
+:meth:`repro.features.hog_hd.HDHOGExtractor.extract_histogram` and
+:meth:`repro.features.hog.HOGDescriptor.extract_with_injector`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng
+from ..learning.quantization import dequantize, flip_int_bits, quantize
+
+__all__ = [
+    "flip_bipolar",
+    "stuck_at",
+    "flip_fixed_point",
+    "HypervectorFaultInjector",
+    "FixedPointFaultInjector",
+]
+
+#: Pipeline stages carrying hypervector tensors.
+HD_STAGES = ("pixels", "gx", "gy", "magnitude", "histogram")
+#: Pipeline stages of the original-space HOG.
+ORIGINAL_STAGES = ("pixels", "gx", "gy", "magnitude", "histogram", "features")
+
+
+def flip_bipolar(hv, rate, seed_or_rng=None):
+    """Flip the sign of each bipolar component independently with ``rate``.
+
+    In the binary hardware view a component is one stored bit, so this is a
+    uniform random bit error.  Works on integer bundle tensors too, where a
+    "flip" negates the whole component - a conservative (strictly harsher)
+    model of a fault in a bundled counter.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    arr = np.asarray(hv)
+    if rate == 0.0:
+        return arr.copy()
+    rng = as_rng(seed_or_rng)
+    flips = rng.random(arr.shape, dtype=np.float32) < rate
+    out = arr.copy()
+    out[flips] = -out[flips]
+    return out
+
+
+def stuck_at(hv, rate, value=1, seed_or_rng=None):
+    """Stuck-at faults: each component is pinned to ``value`` with ``rate``.
+
+    Models permanently defective memory cells (stuck-at-1 / stuck-at-0 in
+    the binary view, i.e. +1 / -1 bipolar).  Unlike a flip, a stuck cell
+    only corrupts components that disagreed with it, so the expected
+    similarity damage is half that of :func:`flip_bipolar` at equal rate -
+    a distinction the nanoscale-hardware HDC literature leans on.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if value not in (-1, 1):
+        raise ValueError("stuck value must be +1 or -1")
+    arr = np.asarray(hv)
+    if rate == 0.0:
+        return arr.copy()
+    rng = as_rng(seed_or_rng)
+    stuck = rng.random(arr.shape, dtype=np.float32) < rate
+    out = arr.copy()
+    out[stuck] = value
+    return out
+
+
+def flip_fixed_point(arr, rate, bits=16, seed_or_rng=None, scale=None):
+    """Bit errors on a float buffer stored as ``bits``-wide fixed point.
+
+    Quantize -> flip each stored bit with probability ``rate`` ->
+    dequantize.  A flipped high-order or sign bit produces a large value
+    error, which is why the original representation is fragile (Sec. 2's
+    motivation: 2 % bit error on HOG costs 12 % accuracy).
+    """
+    rng = as_rng(seed_or_rng)
+    codes, s = quantize(arr, bits, scale=scale)
+    corrupted = flip_int_bits(codes, bits, rate, rng)
+    return dequantize(corrupted, s, bits).reshape(np.asarray(arr).shape)
+
+
+class HypervectorFaultInjector:
+    """Stage callback flipping hypervector components at a fixed rate.
+
+    Parameters
+    ----------
+    rate:
+        Per-component flip probability.
+    stages:
+        Which pipeline stages to corrupt (default: all hypervector stages).
+    seed_or_rng:
+        Fault randomness.
+    """
+
+    def __init__(self, rate, stages=HD_STAGES, seed_or_rng=None):
+        self.rate = float(rate)
+        self.stages = tuple(stages)
+        self._rng = as_rng(seed_or_rng)
+        self.calls = 0
+
+    def __call__(self, hv, stage):
+        if stage not in self.stages or self.rate == 0.0:
+            return hv
+        self.calls += 1
+        return flip_bipolar(hv, self.rate, self._rng)
+
+
+class FixedPointFaultInjector:
+    """Stage callback for the original-space HOG fixed-point datapath.
+
+    Every selected stage buffer is treated as ``bits``-wide fixed-point
+    storage whose bits flip with probability ``rate``.
+    """
+
+    def __init__(self, rate, bits=16, stages=ORIGINAL_STAGES, seed_or_rng=None):
+        self.rate = float(rate)
+        self.bits = int(bits)
+        self.stages = tuple(stages)
+        self._rng = as_rng(seed_or_rng)
+        self.calls = 0
+
+    def __call__(self, arr, stage):
+        if stage not in self.stages or self.rate == 0.0:
+            return arr
+        self.calls += 1
+        return flip_fixed_point(arr, self.rate, self.bits, self._rng)

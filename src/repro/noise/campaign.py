@@ -1,0 +1,128 @@
+"""Fault-injection campaigns reproducing Table 2 and the Sec. 2 motivation.
+
+Each campaign sweeps a bit-error rate and reports accuracy and *quality
+loss* (accuracy drop versus the clean run, in percentage points):
+
+* :func:`hdface_hyperspace_robustness` - the ``HDFace+HoG+Learn`` rows:
+  errors hit hypervector components during feature extraction *and* the
+  stored bipolar class model.  Holographic redundancy keeps losses tiny.
+* :func:`hdface_original_hog_robustness` - the ``HDFace+Learn`` rows: HOG
+  runs on the original fixed-point representation (errors there are
+  catastrophic), learning still hyperdimensional.
+* :func:`dnn_robustness` - the DNN rows at 16/8/4-bit weight precision.
+
+All campaigns reuse precomputed clean features where the fault model
+permits, so a full Table 2 sweep stays laptop-scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng
+from ..learning.metrics import quality_loss
+from ..learning.quantization import QuantizedMLP
+from .bitflip import FixedPointFaultInjector, HypervectorFaultInjector, flip_bipolar
+
+__all__ = [
+    "hdface_hyperspace_robustness",
+    "hdface_original_hog_robustness",
+    "dnn_robustness",
+    "RobustnessResult",
+]
+
+
+class RobustnessResult(dict):
+    """Mapping ``rate -> accuracy`` with a quality-loss view."""
+
+    #: Optional external loss baseline (e.g. the full-precision DNN), so the
+    #: rate-0 cell can show pure quantization cost as in Table 2.
+    reference_accuracy = None
+
+    @property
+    def clean_accuracy(self):
+        if 0.0 not in self:
+            raise KeyError("campaign did not include rate 0.0")
+        return self[0.0]
+
+    def losses(self):
+        """``{rate: quality loss in percentage points}`` (Table 2 cells)."""
+        base = self.reference_accuracy
+        if base is None:
+            base = self.clean_accuracy
+        return {rate: quality_loss(base, acc) for rate, acc in self.items()}
+
+
+#: Memory-resident hypervector structures, where physical bit errors live:
+#: the pixel-codebook output buffer and the histogram accumulator (plus the
+#: class model, handled separately).  Intermediate combinational stages
+#: (gx/gy/magnitude wires) are not storage and are excluded by default.
+MEMORY_STAGES = ("pixels", "histogram")
+
+
+def hdface_hyperspace_robustness(pipeline, images, labels, rates,
+                                 seed_or_rng=None, stages=MEMORY_STAGES,
+                                 attack_model=True):
+    """Bit errors on the fully-hyperspace HDFace (``HDFace+HoG+Learn``).
+
+    For each rate, hypervector components are flipped in the memory-
+    resident pipeline buffers (``stages``, default :data:`MEMORY_STAGES`)
+    and (if ``attack_model``) in the stored class model.  A class-model
+    "bit error" negates the affected component - the dominant effect of a
+    flipped sign bit in the stored hypervector.  Pass
+    ``stages=repro.noise.bitflip.HD_STAGES`` for the harsher every-stage
+    exposure.
+    """
+    rng = as_rng(seed_or_rng)
+    labels = np.asarray(labels)
+    model_clean = pipeline.classifier.class_hvs_
+    result = RobustnessResult()
+    for rate in rates:
+        rate = float(rate)
+        injector = None
+        if rate > 0.0:
+            injector = HypervectorFaultInjector(rate, stages=stages, seed_or_rng=rng)
+        model = flip_bipolar(model_clean, rate, rng) if (attack_model and rate > 0) else None
+        pred = pipeline.predict(images, injector=injector, model=model)
+        result[rate] = float((pred == labels).mean())
+    return result
+
+
+def hdface_original_hog_robustness(pipeline, images, labels, rates, bits=16,
+                                   seed_or_rng=None):
+    """Bit errors on original-representation HOG feeding encoded HDC.
+
+    ``pipeline`` is an ``HOGPipeline(model="hdc", ...)``; errors corrupt the
+    fixed-point buffers of every HOG stage while the HDC model stays clean -
+    the configuration whose fragility "entirely removes the advantage of
+    our hyperdimensional model" (Sec. 6.6).
+    """
+    rng = as_rng(seed_or_rng)
+    labels = np.asarray(labels)
+    result = RobustnessResult()
+    for rate in rates:
+        rate = float(rate)
+        injector = FixedPointFaultInjector(rate, bits=bits, seed_or_rng=rng) if rate > 0 else None
+        pred = pipeline.predict(images, injector=injector)
+        result[rate] = float((pred == labels).mean())
+    return result
+
+
+def dnn_robustness(mlp, features, labels, rates, bits, reference_accuracy=None,
+                   seed_or_rng=None):
+    """Bit errors on quantized DNN weights (the paper's DNN rows).
+
+    ``reference_accuracy`` - when given - anchors the loss baseline to the
+    *full-precision* model, so the rate-0 row shows the pure quantization
+    cost (the paper's 1.6 % / 2.7 % entries for 8- and 4-bit).
+    """
+    rng = as_rng(seed_or_rng)
+    labels = np.asarray(labels)
+    quantized = QuantizedMLP(mlp, bits)
+    result = RobustnessResult()
+    for rate in rates:
+        rate = float(rate)
+        result[rate] = quantized.score(features, labels, rate=rate, seed_or_rng=rng)
+    if reference_accuracy is not None:
+        result.reference_accuracy = float(reference_accuracy)
+    return result

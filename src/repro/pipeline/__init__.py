@@ -1,0 +1,18 @@
+"""End-to-end pipelines: HDFace, baselines and the sliding-window detector."""
+
+from .baselines import HOGPipeline
+from .detector import DetectionMap, SlidingWindowDetector, make_scene
+from .hdface import HDFacePipeline
+from .multiscale import Detection, PyramidDetector, non_max_suppression, pyramid
+
+__all__ = [
+    "HDFacePipeline",
+    "HOGPipeline",
+    "SlidingWindowDetector",
+    "DetectionMap",
+    "make_scene",
+    "Detection",
+    "PyramidDetector",
+    "non_max_suppression",
+    "pyramid",
+]

@@ -1,0 +1,117 @@
+"""Baseline pipelines: classic HOG features into DNN, SVM or encoded HDC.
+
+These are the comparison systems of paper Fig. 4 and Table 2:
+
+* ``"dnn"`` - HOG -> 4-layer MLP (the paper's DNN baseline);
+* ``"svm"`` - HOG -> linear SVM;
+* ``"hdc"`` - HOG -> nonlinear encoder -> HDC classifier (HDFace
+  configuration 1: learning in hyperspace but feature extraction on the
+  original representation).
+
+All three share one :class:`repro.features.hog.HOGDescriptor`, honouring the
+paper's "all learning modules use the same HOG feature extraction".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng
+from ..features.hog import HOGDescriptor
+from ..learning.encoders import NonlinearEncoder
+from ..learning.hdc_classifier import HDCClassifier
+from ..learning.mlp import MLPClassifier
+from ..learning.svm import LinearSVM
+
+__all__ = ["HOGPipeline"]
+
+
+class HOGPipeline:
+    """Classic-HOG front end with a selectable back-end learner.
+
+    Parameters
+    ----------
+    model:
+        ``"dnn"``, ``"svm"`` or ``"hdc"``.
+    n_classes:
+        Output classes.
+    image_size:
+        Side of the (square) input images; fixes the HOG feature length so
+        the back end can be constructed eagerly.
+    cell_size, n_bins, magnitude, gamma:
+        HOG parameters (shared with the hyperspace pipeline for fair
+        comparison).
+    hidden:
+        Hidden sizes of the DNN back end.
+    dim:
+        Hypervector dimensionality of the HDC back end.
+    epochs:
+        Training epochs of the selected back end.
+    seed_or_rng:
+        Randomness for the back end (HOG itself is deterministic).
+    """
+
+    def __init__(self, model, n_classes, image_size, cell_size=8, n_bins=8,
+                 magnitude="l2_scaled", gamma=True, hidden=(1024, 1024),
+                 dim=4096, epochs=None, seed_or_rng=None, **model_kwargs):
+        if model not in ("dnn", "svm", "hdc"):
+            raise ValueError(f"unknown model {model!r}")
+        rng = as_rng(seed_or_rng)
+        self.model_kind = model
+        self.n_classes = int(n_classes)
+        self.hog = HOGDescriptor(cell_size=cell_size, n_bins=n_bins,
+                                 magnitude=magnitude, gamma=gamma)
+        self.n_features = self.hog.feature_length((image_size, image_size))
+        self.encoder = None
+        if model == "dnn":
+            self.learner = MLPClassifier(
+                self.n_features, n_classes, hidden=hidden,
+                epochs=30 if epochs is None else epochs,
+                seed_or_rng=rng, **model_kwargs,
+            )
+        elif model == "svm":
+            self.learner = LinearSVM(
+                self.n_features, n_classes,
+                epochs=20 if epochs is None else epochs,
+                seed_or_rng=rng, **model_kwargs,
+            )
+        else:
+            self.encoder = NonlinearEncoder(dim, self.n_features, seed_or_rng=rng)
+            self.learner = HDCClassifier(
+                n_classes, epochs=20 if epochs is None else epochs,
+                seed_or_rng=rng, **model_kwargs,
+            )
+
+    # ------------------------------------------------------------------
+    def extract(self, images, injector=None):
+        """HOG features (encoded into hyperspace for the HDC back end)."""
+        feats = self.hog.extract_batch(np.asarray(images), injector)
+        if self.encoder is not None:
+            feats = self.encoder.encode(feats)
+        return feats
+
+    def features(self, images, injector=None):
+        """Raw HOG features without encoding (for feature-level reuse)."""
+        return self.hog.extract_batch(np.asarray(images), injector)
+
+    def fit(self, images, labels, injector=None):
+        """Extract features and train the back end; returns ``self``."""
+        self.learner.fit(self.extract(images, injector), np.asarray(labels))
+        return self
+
+    def fit_features(self, feats, labels):
+        """Train on precomputed raw HOG features."""
+        feats = np.asarray(feats)
+        if self.encoder is not None:
+            feats = self.encoder.encode(feats)
+        self.learner.fit(feats, np.asarray(labels))
+        return self
+
+    def predict(self, images, injector=None):
+        """Predict labels for an image batch."""
+        return self.learner.predict(self.extract(images, injector))
+
+    def score(self, images, labels, injector=None):
+        """Mean accuracy on an image batch."""
+        pred = self.predict(images, injector)
+        return float((pred == np.asarray(labels)).mean())

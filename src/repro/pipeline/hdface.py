@@ -1,0 +1,101 @@
+"""End-to-end HDFace: stochastic hyperspace HOG -> HDC classification.
+
+This is the system of paper Fig. 1: raw images are encoded into pixel
+hypervectors, HOG runs entirely in hyperspace, and the resulting query
+hypervectors feed the adaptive HDC classifier directly (no encoding step).
+The pipeline object also exposes the fault-injection hooks the robustness
+campaign uses and a bipolar (binary) inference mode matching the FPGA
+datapath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng
+from ..features.hog_hd import HDHOGExtractor
+from ..learning.hdc_classifier import HDCClassifier
+
+__all__ = ["HDFacePipeline"]
+
+
+class HDFacePipeline:
+    """The full HDFace system (configuration 2 of paper Sec. 6.2).
+
+    Parameters
+    ----------
+    n_classes:
+        Output classes.
+    dim:
+        Hypervector dimensionality shared by feature extraction and
+        learning (the paper's single-D design).
+    cell_size, n_bins, magnitude, sqrt_iters, gamma:
+        Forwarded to :class:`repro.features.hog_hd.HDHOGExtractor`.
+    epochs, lr, adaptive:
+        Forwarded to :class:`repro.learning.hdc_classifier.HDCClassifier`.
+    seed_or_rng:
+        Single seed controlling extractor and classifier randomness.
+
+    Examples
+    --------
+    >>> from repro.datasets import make_face_dataset
+    >>> xtr, ytr = make_face_dataset(24, size=24, seed_or_rng=0)
+    >>> pipe = HDFacePipeline(2, dim=512, cell_size=8, magnitude="l1",
+    ...                       epochs=5, seed_or_rng=0).fit(xtr, ytr)
+    >>> pipe.predict(xtr[:2]).shape
+    (2,)
+    """
+
+    def __init__(self, n_classes, dim=4096, cell_size=8, n_bins=8,
+                 magnitude="l2_scaled", sqrt_iters=8, gamma=True, epochs=20,
+                 lr=1.0, adaptive=True, seed_or_rng=None):
+        rng = as_rng(seed_or_rng)
+        self.extractor = HDHOGExtractor(
+            dim=dim, cell_size=cell_size, n_bins=n_bins, magnitude=magnitude,
+            sqrt_iters=sqrt_iters, gamma=gamma, seed_or_rng=rng,
+        )
+        self.classifier = HDCClassifier(
+            n_classes, lr=lr, epochs=epochs, adaptive=adaptive, seed_or_rng=rng,
+        )
+        self.dim = self.extractor.dim
+        self.n_classes = int(n_classes)
+
+    # ------------------------------------------------------------------
+    def extract(self, images, injector=None):
+        """Query hypervectors for a batch of images ``(n, H, W)``."""
+        return self.extractor.extract_batch(images, injector)
+
+    def fit(self, images, labels, injector=None):
+        """Extract queries and train the HDC classifier; returns ``self``."""
+        queries = self.extract(images, injector)
+        self.classifier.fit(queries, np.asarray(labels))
+        return self
+
+    def fit_queries(self, queries, labels):
+        """Train on precomputed query hypervectors (reused across sweeps)."""
+        self.classifier.fit(np.asarray(queries), np.asarray(labels))
+        return self
+
+    def predict(self, images, injector=None, model=None):
+        """Predict labels for images.
+
+        ``injector`` corrupts the feature-extraction stages; ``model``
+        substitutes an (optionally corrupted) class-hypervector matrix,
+        enabling the Table 2 fault campaigns end to end.
+        """
+        queries = self.extract(images, injector)
+        return self.predict_queries(queries, model=model)
+
+    def predict_queries(self, queries, model=None):
+        """Predict from precomputed queries."""
+        clf = self.classifier if model is None else self.classifier.with_model(model)
+        return clf.predict(np.asarray(queries))
+
+    def score(self, images, labels, injector=None, model=None):
+        """Mean accuracy on an image batch."""
+        pred = self.predict(images, injector=injector, model=model)
+        return float((pred == np.asarray(labels)).mean())
+
+    def similarities(self, images, injector=None):
+        """Per-class similarity scores (detector confidence)."""
+        return self.classifier.similarities(self.extract(images, injector))

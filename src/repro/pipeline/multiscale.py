@@ -1,0 +1,122 @@
+"""Multi-scale detection: image pyramids and non-maximum suppression.
+
+The paper's Fig. 6 scans one window size; real deployments (the
+surveillance / camera use-cases of Sec. 1) need faces found at any size.
+This module extends the sliding-window detector with the standard tooling:
+
+* :func:`downscale` / :func:`pyramid` - area-averaged image pyramid;
+* :class:`PyramidDetector` - runs a fixed-window detector at every pyramid
+  level and maps hits back to original coordinates;
+* :func:`non_max_suppression` - greedy IoU-based suppression of
+  overlapping detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import zoom
+
+__all__ = ["Detection", "downscale", "pyramid", "non_max_suppression",
+           "PyramidDetector"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected box in original-image coordinates."""
+
+    y: float
+    x: float
+    size: float
+    score: float
+
+    @property
+    def box(self):
+        """(y0, x0, y1, x1)."""
+        return (self.y, self.x, self.y + self.size, self.x + self.size)
+
+
+def downscale(image, factor):
+    """Downscale a square image by ``factor`` (>1) with interpolation."""
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1")
+    img = np.asarray(image, dtype=np.float64)
+    if factor == 1.0:
+        return img.copy()
+    out = zoom(img, 1.0 / factor, order=1, mode="nearest")
+    return np.clip(out, 0.0, 1.0)
+
+
+def pyramid(image, scale_step=1.5, min_size=16):
+    """Yield ``(scaled_image, factor)`` pairs until below ``min_size``."""
+    if scale_step <= 1.0:
+        raise ValueError("scale_step must exceed 1")
+    factor = 1.0
+    img = np.asarray(image, dtype=np.float64)
+    while min(img.shape) / factor >= min_size:
+        yield downscale(img, factor), factor
+        factor *= scale_step
+
+
+def iou(a, b):
+    """Intersection-over-union of two detections."""
+    ay0, ax0, ay1, ax1 = a.box
+    by0, bx0, by1, bx1 = b.box
+    ih = max(0.0, min(ay1, by1) - max(ay0, by0))
+    iw = max(0.0, min(ax1, bx1) - max(ax0, bx0))
+    inter = ih * iw
+    union = a.size**2 + b.size**2 - inter
+    return inter / union if union > 0 else 0.0
+
+
+def non_max_suppression(detections, iou_threshold=0.3):
+    """Greedy NMS: keep the best-scoring box, drop overlaps, repeat."""
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError("iou_threshold must be in [0, 1]")
+    remaining = sorted(detections, key=lambda d: d.score, reverse=True)
+    kept = []
+    while remaining:
+        best = remaining.pop(0)
+        kept.append(best)
+        remaining = [d for d in remaining if iou(best, d) < iou_threshold]
+    return kept
+
+
+class PyramidDetector:
+    """Fixed-window detector applied across an image pyramid.
+
+    Parameters
+    ----------
+    detector:
+        A :class:`repro.pipeline.detector.SlidingWindowDetector` whose
+        window size defines the base scale.
+    scale_step:
+        Pyramid downscale ratio between levels.
+    score_threshold:
+        Minimum face-margin for a window to become a detection.
+    iou_threshold:
+        NMS suppression threshold.
+    """
+
+    def __init__(self, detector, scale_step=1.5, score_threshold=0.0,
+                 iou_threshold=0.3):
+        self.detector = detector
+        self.scale_step = float(scale_step)
+        self.score_threshold = float(score_threshold)
+        self.iou_threshold = float(iou_threshold)
+
+    def detect(self, scene):
+        """All-scale detections after NMS, best score first."""
+        window = self.detector.window
+        raw = []
+        for level, factor in pyramid(scene, self.scale_step, min_size=window):
+            dmap = self.detector.scan(level)
+            for iy in range(dmap.scores.shape[0]):
+                for ix in range(dmap.scores.shape[1]):
+                    score = float(dmap.scores[iy, ix])
+                    if score > self.score_threshold:
+                        y, x = dmap.window_origin(iy, ix)
+                        raw.append(Detection(
+                            y * factor, x * factor, window * factor, score))
+        return non_max_suppression(raw, self.iou_threshold)

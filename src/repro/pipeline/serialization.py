@@ -1,0 +1,109 @@
+"""Persistence for trained HDFace pipelines.
+
+An HDFace model is tiny - one codec basis, the intensity codebook seed
+state, the positional bin keys and the class hypervectors - so a trained
+pipeline serializes to a single compressed ``.npz`` file.  Loading rebuilds
+a pipeline whose predictions are bit-identical to the saved one (extraction
+randomness is re-seeded from the stored construction-stream state).
+
+Because stochastic extraction consumes RNG state, two *different* loaded
+copies produce statistically identical (not bitwise identical) queries for
+the same image; the stored class model is exactly preserved, which is what
+determines predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.stochastic import StochasticCodec
+from ..features.hog_hd import HDHOGExtractor
+from ..learning.hdc_classifier import HDCClassifier
+from .hdface import HDFacePipeline
+
+__all__ = ["save_pipeline", "load_pipeline"]
+
+_FORMAT_VERSION = 1
+
+
+def save_pipeline(pipeline, path):
+    """Serialize a fitted :class:`~repro.pipeline.hdface.HDFacePipeline`.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted pipeline (raises if the classifier has no model yet).
+    path:
+        Destination ``.npz`` path.
+    """
+    clf = pipeline.classifier
+    if clf.class_hvs_ is None:
+        raise RuntimeError("cannot save an unfitted pipeline")
+    ext = pipeline.extractor
+    np.savez_compressed(
+        path,
+        format_version=_FORMAT_VERSION,
+        dim=ext.dim,
+        cell_size=ext.cell_size,
+        n_bins=ext.n_bins,
+        levels=ext.levels,
+        magnitude=np.bytes_(ext.magnitude.encode()),
+        sqrt_iters=ext.sqrt_iters,
+        gamma=ext.gamma,
+        basis=ext.codec.basis,
+        pixel_table=ext._pixel_table,
+        bin_keys=ext._bin_keys,
+        n_classes=clf.n_classes,
+        class_hvs=clf.class_hvs_,
+        lr=clf.lr,
+        epochs=clf.epochs,
+        batch_size=clf.batch_size,
+        adaptive=clf.adaptive,
+    )
+
+
+def load_pipeline(path, seed_or_rng=None):
+    """Rebuild a fitted pipeline saved by :func:`save_pipeline`.
+
+    ``seed_or_rng`` seeds the *new* extraction randomness (averages,
+    histogram sampling); the learned model, basis, codebook and keys are
+    restored exactly.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported pipeline format v{version}")
+        dim = int(data["dim"])
+        codec = StochasticCodec(dim, seed_or_rng=seed_or_rng,
+                                basis=data["basis"])
+        extractor = HDHOGExtractor(
+            dim=dim,
+            cell_size=int(data["cell_size"]),
+            n_bins=int(data["n_bins"]),
+            levels=int(data["levels"]),
+            magnitude=bytes(data["magnitude"]).decode(),
+            sqrt_iters=int(data["sqrt_iters"]),
+            gamma=bool(data["gamma"]),
+            seed_or_rng=codec.rng,
+            codec=codec,
+        )
+        extractor._pixel_table = data["pixel_table"].astype(np.int8)
+        extractor._bin_keys = data["bin_keys"].astype(np.int8)
+        extractor._key_cache = {}
+
+        classifier = HDCClassifier(
+            int(data["n_classes"]),
+            lr=float(data["lr"]),
+            epochs=int(data["epochs"]),
+            batch_size=int(data["batch_size"]),
+            adaptive=bool(data["adaptive"]),
+            seed_or_rng=codec.rng,
+        )
+        classifier.class_hvs_ = data["class_hvs"].astype(np.float64)
+
+    pipeline = HDFacePipeline.__new__(HDFacePipeline)
+    pipeline.extractor = extractor
+    pipeline.classifier = classifier
+    pipeline.dim = dim
+    pipeline.n_classes = classifier.n_classes
+    return pipeline

@@ -1,0 +1,5 @@
+"""Headless rendering helpers for the Fig. 6 visualizations."""
+
+from .render import ascii_image, ascii_map, render_detection, write_pgm
+
+__all__ = ["ascii_image", "ascii_map", "write_pgm", "render_detection"]

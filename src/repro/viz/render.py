@@ -1,0 +1,77 @@
+"""Text and PGM rendering of images and detection maps (paper Fig. 6).
+
+The benchmark harness runs headless, so Fig. 6's visual comparison is
+reproduced as ASCII art (for the console) and binary PGM files (for any
+image viewer).  ``render_detection`` overlays the sliding-window detection
+grid on a scene the way the paper paints detected windows blue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_image", "ascii_map", "write_pgm", "render_detection"]
+
+#: Dark-to-bright luminance ramp for ASCII rendering.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(img, width=64):
+    """Render a grayscale image in [0, 1] as an ASCII-art string."""
+    img = np.asarray(img, dtype=np.float64)
+    if img.ndim != 2:
+        raise ValueError("expected a 2-D image")
+    h, w = img.shape
+    width = min(width, w)
+    step = max(w // width, 1)
+    # Characters are ~2x taller than wide; skip every other row.
+    sampled = img[:: 2 * step, ::step]
+    idx = np.clip((sampled * (len(_RAMP) - 1)).round().astype(int), 0, len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in idx)
+
+
+def ascii_map(values, true_char="#", false_char=".", fmt=None):
+    """Render a 2-D boolean or score map as a compact character grid.
+
+    Boolean maps use ``true_char`` / ``false_char``; float maps are printed
+    with ``fmt`` (default two decimals) one cell per entry.
+    """
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError("expected a 2-D map")
+    if values.dtype == bool:
+        return "\n".join(
+            "".join(true_char if v else false_char for v in row) for row in values
+        )
+    fmt = fmt or "{:+.2f}"
+    return "\n".join(" ".join(fmt.format(float(v)) for v in row) for row in values)
+
+
+def write_pgm(path, img):
+    """Write a [0, 1] grayscale image as a binary 8-bit PGM file."""
+    img = np.asarray(img, dtype=np.float64)
+    if img.ndim != 2:
+        raise ValueError("expected a 2-D image")
+    data = np.clip(img * 255.0, 0, 255).astype(np.uint8)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{data.shape[1]} {data.shape[0]}\n255\n".encode("ascii"))
+        fh.write(data.tobytes())
+
+
+def render_detection(scene, detection_map, shade=0.35):
+    """Overlay detected windows on a scene (brightening them).
+
+    Returns a new image where every window the detector flagged is blended
+    toward white - the grayscale counterpart of the paper's blue boxes.
+    """
+    scene = np.asarray(scene, dtype=np.float64).copy()
+    det = detection_map
+    for iy in range(det.detections.shape[0]):
+        for ix in range(det.detections.shape[1]):
+            if det.detections[iy, ix]:
+                y, x = det.window_origin(iy, ix)
+                patch = scene[y : y + det.window, x : x + det.window]
+                scene[y : y + det.window, x : x + det.window] = (
+                    patch * (1 - shade) + shade
+                )
+    return np.clip(scene, 0.0, 1.0)

@@ -1,0 +1,53 @@
+"""Shared fixtures: codecs, images and datasets reused across the suite.
+
+Session-scoped fixtures hold the expensive objects (large codecs, generated
+datasets) so the suite stays fast; tests must not mutate them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StochasticCodec
+from repro.datasets import make_emotion_dataset, make_face_dataset
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def codec():
+    """High-dimensional codec: decode noise ~0.011, tight assertions OK."""
+    return StochasticCodec(8192, seed_or_rng=0)
+
+
+@pytest.fixture(scope="session")
+def small_codec():
+    """Low-dimensional codec for fast pipeline-level tests."""
+    return StochasticCodec(512, seed_or_rng=0)
+
+
+@pytest.fixture(scope="session")
+def disc_image():
+    """Structured 16x16 test image: bright disc on dark background."""
+    yy, xx = np.mgrid[0:16, 0:16]
+    r = np.hypot(yy - 8, xx - 8)
+    return np.clip(1.0 - r / 8.0, 0.0, 1.0) * 0.8 + 0.1
+
+
+@pytest.fixture(scope="session")
+def face_data():
+    """Tiny face/no-face dataset: (train_x, train_y, test_x, test_y)."""
+    xtr, ytr = make_face_dataset(48, size=24, seed_or_rng=0)
+    xte, yte = make_face_dataset(24, size=24, seed_or_rng=1)
+    return xtr, ytr, xte, yte
+
+
+@pytest.fixture(scope="session")
+def emotion_data():
+    """Tiny 7-class emotion dataset."""
+    xtr, ytr = make_emotion_dataset(56, size=24, seed_or_rng=0)
+    xte, yte = make_emotion_dataset(28, size=24, seed_or_rng=1)
+    return xtr, ytr, xte, yte

@@ -1,0 +1,85 @@
+"""Tests for the primitive error analysis behind Fig. 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    average_std,
+    construction_std,
+    error_vs_dimension,
+    measure_average_error,
+    measure_construction_error,
+    measure_divide_error,
+    measure_multiplication_error,
+    measure_sqrt_error,
+    multiplication_std,
+)
+
+
+class TestTheory:
+    def test_construction_std_formula(self):
+        assert construction_std(0.0, 4096) == pytest.approx(1 / 64)
+        assert construction_std(1.0, 4096) == 0.0
+
+    def test_average_std_at_midpoint(self):
+        # average of +1 and -1 represents 0 -> maximal variance
+        assert average_std(1.0, -1.0, 1024) == pytest.approx(1 / 32)
+
+    def test_multiplication_std_formula(self):
+        assert multiplication_std(1.0, 1.0, 256) == 0.0
+        assert multiplication_std(0.0, 0.5, 1024) == pytest.approx(1 / 32)
+
+    def test_construction_measurement_matches_theory(self):
+        # mean |error| of N(0, sigma) is sigma * sqrt(2/pi); values vary so
+        # just check the same order of magnitude.
+        dim = 4096
+        measured = measure_construction_error(dim, trials=400, seed_or_rng=0)
+        typical = float(construction_std(0.5, dim))
+        assert 0.3 * typical < measured < 3.0 * typical
+
+
+class TestMeasurement:
+    @pytest.mark.parametrize("measure", [
+        measure_construction_error,
+        measure_average_error,
+        measure_multiplication_error,
+    ])
+    def test_error_positive_and_small(self, measure):
+        err = measure(2048, trials=100, seed_or_rng=0)
+        assert 0.0 < err < 0.1
+
+    def test_sqrt_error_small(self):
+        assert measure_sqrt_error(4096, trials=20, seed_or_rng=0) < 0.1
+
+    def test_divide_error_small(self):
+        assert measure_divide_error(4096, trials=20, seed_or_rng=0) < 0.12
+
+    def test_reproducible(self):
+        a = measure_construction_error(1024, trials=50, seed_or_rng=7)
+        b = measure_construction_error(1024, trials=50, seed_or_rng=7)
+        assert a == b
+
+
+class TestErrorVsDimension:
+    def test_decreasing_trend(self):
+        # the headline Fig. 2 shape
+        series = error_vs_dimension([512, 2048, 8192], "construction",
+                                    trials=300, seed=0)
+        errs = [series[512], series[2048], series[8192]]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_multiplication_trend(self):
+        series = error_vs_dimension([512, 8192], "multiplication",
+                                    trials=300, seed=0)
+        assert series[512] > series[8192]
+
+    def test_inverse_sqrt_scaling(self):
+        series = error_vs_dimension([1024, 16384], "construction",
+                                    trials=500, seed=0)
+        # 16x the dimension -> ~4x smaller error
+        ratio = series[1024] / series[16384]
+        assert 2.5 < ratio < 6.5
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            error_vs_dimension([256], "cube")

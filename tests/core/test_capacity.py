@@ -1,0 +1,66 @@
+"""Tests for the bundling-capacity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import (
+    capacity_estimate,
+    expected_member_similarity,
+    measure_member_similarity,
+    measure_recall_accuracy,
+)
+
+
+class TestClosedForms:
+    def test_single_item_full_similarity(self):
+        assert expected_member_similarity(1) == 1.0
+
+    def test_similarity_decays_with_bundle_size(self):
+        sims = [expected_member_similarity(n) for n in (3, 11, 101)]
+        assert sims[0] > sims[1] > sims[2] > 0
+
+    def test_inverse_sqrt_law(self):
+        assert expected_member_similarity(100) == pytest.approx(
+            expected_member_similarity(25) / 2
+        )
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            expected_member_similarity(0)
+
+    def test_capacity_grows_with_dim(self):
+        assert capacity_estimate(8192, 100) > capacity_estimate(1024, 100)
+
+    def test_capacity_shrinks_with_distractors(self):
+        assert capacity_estimate(4096, 10) >= capacity_estimate(4096, 10000)
+
+    def test_capacity_invalid_args(self):
+        with pytest.raises(ValueError):
+            capacity_estimate(0, 10)
+
+
+class TestMeasurements:
+    def test_measured_matches_theory(self):
+        for n in (5, 21):
+            measured = measure_member_similarity(8192, n, trials=30,
+                                                 seed_or_rng=0)
+            assert measured == pytest.approx(
+                expected_member_similarity(n), abs=0.03)
+
+    def test_recall_perfect_below_capacity(self):
+        n_ok = capacity_estimate(4096, 100) // 2
+        acc = measure_recall_accuracy(4096, max(n_ok, 2), trials=20,
+                                      seed_or_rng=0)
+        assert acc == 1.0
+
+    def test_recall_degrades_far_beyond_capacity(self):
+        small_dim = 256
+        n_over = capacity_estimate(small_dim, 100) * 40
+        acc = measure_recall_accuracy(small_dim, n_over, trials=20,
+                                      seed_or_rng=0)
+        assert acc < 1.0
+
+    def test_reproducible(self):
+        a = measure_recall_accuracy(512, 10, trials=10, seed_or_rng=3)
+        b = measure_recall_accuracy(512, 10, trials=10, seed_or_rng=3)
+        assert a == b

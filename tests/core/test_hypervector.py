@@ -1,0 +1,119 @@
+"""Tests for hypervector generation, validation and bit packing."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import (
+    as_rng,
+    ensure_bipolar,
+    from_binary,
+    is_bipolar,
+    pack_bits,
+    packed_hamming_distance,
+    packed_popcount,
+    random_hypervector,
+    to_binary,
+    unpack_bits,
+)
+
+
+class TestAsRng:
+    def test_seed_gives_reproducible_generator(self):
+        assert as_rng(7).integers(1000) == as_rng(7).integers(1000)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestRandomHypervector:
+    def test_shape_and_dtype(self):
+        hv = random_hypervector(256, 0, shape=(3, 2))
+        assert hv.shape == (3, 2, 256)
+        assert hv.dtype == np.int8
+
+    def test_values_are_bipolar(self):
+        hv = random_hypervector(1000, 0)
+        assert set(np.unique(hv)) <= {-1, 1}
+
+    def test_bias_probability(self):
+        hv = random_hypervector(20000, 0, p=0.8)
+        assert abs((hv == 1).mean() - 0.8) < 0.02
+
+    def test_extreme_bias(self):
+        assert (random_hypervector(100, 0, p=1.0) == 1).all()
+        assert (random_hypervector(100, 0, p=0.0) == -1).all()
+
+    def test_independent_vectors_nearly_orthogonal(self):
+        rng = np.random.default_rng(0)
+        a = random_hypervector(10000, rng)
+        b = random_hypervector(10000, rng)
+        assert abs(float(a @ b.astype(np.int64)) / 10000) < 0.05
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValueError):
+            random_hypervector(0)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            random_hypervector(10, p=1.5)
+
+
+class TestBipolarChecks:
+    def test_is_bipolar_true(self):
+        assert is_bipolar(np.array([1, -1, 1], dtype=np.int8))
+
+    def test_is_bipolar_false_on_zero(self):
+        assert not is_bipolar(np.array([1, 0, -1]))
+
+    def test_ensure_bipolar_casts(self):
+        out = ensure_bipolar(np.array([1.0, -1.0]))
+        assert out.dtype == np.int8
+
+    def test_ensure_bipolar_raises(self):
+        with pytest.raises(ValueError, match="must contain only"):
+            ensure_bipolar(np.array([2, 1]))
+
+
+class TestBinaryConversion:
+    def test_roundtrip(self):
+        hv = random_hypervector(64, 0)
+        assert (from_binary(to_binary(hv)) == hv).all()
+
+    def test_mapping_convention(self):
+        assert to_binary(np.array([1, -1], dtype=np.int8)).tolist() == [1, 0]
+
+
+class TestPacking:
+    @pytest.mark.parametrize("dim", [64, 128, 4096, 100, 65])
+    def test_pack_unpack_roundtrip(self, dim):
+        hv = random_hypervector(dim, 3)
+        assert (unpack_bits(pack_bits(hv), dim) == hv).all()
+
+    def test_packed_shape(self):
+        hv = random_hypervector(128, 0, shape=(5,))
+        assert pack_bits(hv).shape == (5, 2)
+
+    def test_popcount_matches_dense(self):
+        hv = random_hypervector(4096, 0)
+        assert packed_popcount(pack_bits(hv)) == (hv == 1).sum()
+
+    def test_hamming_distance_matches_dense(self):
+        a = random_hypervector(4096, 0)
+        b = random_hypervector(4096, 1)
+        expected = int((a != b).sum())
+        assert packed_hamming_distance(pack_bits(a), pack_bits(b)) == expected
+
+    def test_hamming_distance_self_is_zero(self):
+        w = pack_bits(random_hypervector(512, 0))
+        assert packed_hamming_distance(w, w) == 0
+
+    def test_batched_hamming(self):
+        a = random_hypervector(256, 0, shape=(4,))
+        b = random_hypervector(256, 1, shape=(4,))
+        dist = packed_hamming_distance(pack_bits(a), pack_bits(b))
+        assert dist.shape == (4,)
+        assert (dist == (a != b).sum(axis=1)).all()

@@ -1,0 +1,139 @@
+"""Tests for the HDC algebra: bundle, bind, permute, similarity, cleanup."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import random_hypervector
+from repro.core.ops import (
+    bind,
+    bundle,
+    cosine_similarity,
+    hamming_similarity,
+    nearest,
+    permute,
+    similarity,
+)
+
+
+@pytest.fixture
+def three_hvs():
+    rng = np.random.default_rng(0)
+    return random_hypervector(10000, rng, shape=(3,))
+
+
+class TestBundle:
+    def test_majority_of_identical_is_identity(self, three_hvs):
+        a = three_hvs[0]
+        assert (bundle(np.stack([a, a, a])) == a).all()
+
+    def test_bundle_similar_to_all_inputs(self, three_hvs):
+        out = bundle(three_hvs)
+        for hv in three_hvs:
+            assert similarity(out, hv) > 0.3
+
+    def test_result_is_bipolar(self, three_hvs):
+        assert set(np.unique(bundle(three_hvs))) <= {-1, 1}
+
+    def test_tie_break_deterministic_without_rng(self):
+        a = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        assert (bundle(a) == 1).all()
+
+    def test_tie_break_random_is_unbiased(self):
+        rng = np.random.default_rng(0)
+        a = np.stack([np.ones(10000, np.int8), -np.ones(10000, np.int8)])
+        out = bundle(a, rng=rng)
+        assert abs(out.mean()) < 0.05
+
+    def test_bundle_axis(self, three_hvs):
+        stacked = np.stack([three_hvs, -three_hvs], axis=1)  # (3, 2, D)
+        out = bundle(stacked, axis=1)
+        assert out.shape == (3, 10000)
+
+
+class TestBind:
+    def test_self_inverse(self, three_hvs):
+        a, b = three_hvs[0], three_hvs[1]
+        assert (bind(bind(a, b), b) == a).all()
+
+    def test_result_dissimilar_to_inputs(self, three_hvs):
+        a, b = three_hvs[0], three_hvs[1]
+        bound = bind(a, b)
+        assert abs(similarity(bound, a)) < 0.05
+        assert abs(similarity(bound, b)) < 0.05
+
+    def test_distance_preserving(self, three_hvs):
+        a, b, k = three_hvs
+        # binding both with the same key preserves their similarity
+        assert similarity(bind(a, k), bind(b, k)) == pytest.approx(
+            similarity(a, b)
+        )
+
+    def test_float_inputs_work(self):
+        a = np.array([1.0, -1.0])
+        assert bind(a, a).tolist() == [1, 1]
+
+
+class TestPermute:
+    def test_roll_and_inverse(self, three_hvs):
+        a = three_hvs[0]
+        assert (permute(permute(a, 5), -5) == a).all()
+
+    def test_permuted_nearly_orthogonal(self, three_hvs):
+        a = three_hvs[0]
+        assert abs(similarity(permute(a), a)) < 0.05
+
+    def test_preserves_similarity(self, three_hvs):
+        a, b = three_hvs[0], three_hvs[1]
+        assert similarity(permute(a, 3), permute(b, 3)) == pytest.approx(
+            similarity(a, b)
+        )
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self, three_hvs):
+        assert similarity(three_hvs[0], three_hvs[0]) == pytest.approx(1.0)
+
+    def test_negation_is_minus_one(self, three_hvs):
+        assert similarity(three_hvs[0], -three_hvs[0]) == pytest.approx(-1.0)
+
+    def test_hamming_relation(self, three_hvs):
+        a, b = three_hvs[0], three_hvs[1]
+        assert similarity(a, b) == pytest.approx(2 * hamming_similarity(a, b) - 1)
+
+    def test_cosine_equals_delta_for_bipolar(self, three_hvs):
+        a, b = three_hvs[0], three_hvs[1]
+        assert cosine_similarity(a, b) == pytest.approx(similarity(a, b))
+
+    def test_cosine_scale_invariant(self, three_hvs):
+        a, b = three_hvs[0].astype(float), three_hvs[1].astype(float)
+        assert cosine_similarity(3.0 * a, b) == pytest.approx(cosine_similarity(a, b))
+
+    def test_batched_broadcast(self, three_hvs):
+        sims = similarity(three_hvs, three_hvs[0])
+        assert sims.shape == (3,)
+        assert sims[0] == pytest.approx(1.0)
+
+
+class TestNearest:
+    def test_exact_match(self, three_hvs):
+        for i in range(3):
+            assert nearest(three_hvs[i], three_hvs) == i
+
+    def test_noisy_match(self, three_hvs):
+        rng = np.random.default_rng(5)
+        noisy = three_hvs[1].copy()
+        flip = rng.random(noisy.shape) < 0.3
+        noisy[flip] = -noisy[flip]
+        assert nearest(noisy, three_hvs) == 1
+
+    @pytest.mark.parametrize("metric", ["cosine", "dot", "hamming"])
+    def test_all_metrics(self, three_hvs, metric):
+        assert nearest(three_hvs[2], three_hvs, metric=metric) == 2
+
+    def test_unknown_metric_raises(self, three_hvs):
+        with pytest.raises(ValueError, match="unknown metric"):
+            nearest(three_hvs[0], three_hvs, metric="euclid")
+
+    def test_batched_queries(self, three_hvs):
+        idx = nearest(three_hvs, three_hvs)
+        assert idx.tolist() == [0, 1, 2]

@@ -1,0 +1,116 @@
+"""Tests for item and level memories (Fig. 1a base hypervector generation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import similarity
+from repro.core.spaces import ItemMemory, LevelMemory
+
+
+class TestItemMemory:
+    def test_lazy_allocation(self):
+        mem = ItemMemory(256, 0)
+        assert len(mem) == 0
+        mem["face"]
+        assert len(mem) == 1 and "face" in mem
+
+    def test_same_symbol_same_vector(self):
+        mem = ItemMemory(256, 0)
+        assert (mem["a"] == mem["a"]).all()
+
+    def test_different_symbols_nearly_orthogonal(self):
+        mem = ItemMemory(10000, 0)
+        assert abs(similarity(mem["a"], mem["b"])) < 0.05
+
+    def test_cleanup_exact(self):
+        mem = ItemMemory(1024, 0)
+        for s in ("face", "no-face", "maybe"):
+            mem[s]
+        assert mem.cleanup(mem["no-face"]) == "no-face"
+
+    def test_cleanup_noisy(self):
+        mem = ItemMemory(4096, 0)
+        for s in "abcde":
+            mem[s]
+        rng = np.random.default_rng(1)
+        noisy = mem["c"].copy()
+        flip = rng.random(4096) < 0.35
+        noisy[flip] = -noisy[flip]
+        assert mem.cleanup(noisy) == "c"
+
+    def test_cleanup_empty_raises(self):
+        with pytest.raises(LookupError):
+            ItemMemory(64, 0).cleanup(np.ones(64, np.int8))
+
+    def test_matrix_order(self):
+        mem = ItemMemory(64, 0)
+        mem["x"], mem["y"]
+        assert mem.symbols() == ["x", "y"]
+        assert mem.matrix().shape == (2, 64)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            ItemMemory(0)
+
+
+class TestLevelMemory:
+    @pytest.fixture(scope="class")
+    def mem(self):
+        return LevelMemory(dim=8192, levels=256, seed_or_rng=0)
+
+    def test_extremes_nearly_orthogonal(self, mem):
+        assert abs(similarity(mem.low, mem.high)) < 0.05
+
+    def test_endpoints_match_extremes(self, mem):
+        assert (mem.encode_level(0) == mem.low).all()
+        assert (mem.encode_level(255) == mem.high).all()
+
+    def test_midpoint_half_similar_to_both(self, mem):
+        mid = mem.encode_level(128)
+        # the paper's vector quantization property (Sec. 3)
+        assert similarity(mid, mem.high) == pytest.approx(0.5, abs=0.06)
+        assert similarity(mid, mem.low) == pytest.approx(0.5, abs=0.06)
+
+    def test_adjacent_levels_highly_similar(self, mem):
+        assert similarity(mem.encode_level(100), mem.encode_level(101)) > 0.98
+
+    def test_similarity_monotone_in_distance(self, mem):
+        ref = mem.encode_level(0)
+        sims = [float(similarity(ref, mem.encode_level(j))) for j in (0, 64, 128, 192, 255)]
+        assert all(a > b for a, b in zip(sims, sims[1:]))
+
+    def test_encode_continuous_image(self, mem):
+        img = np.linspace(0, 1, 12).reshape(3, 4)
+        hvs = mem.encode(img)
+        assert hvs.shape == (3, 4, 8192)
+
+    def test_encode_clips_out_of_range(self, mem):
+        assert (mem.encode(2.0) == mem.high).all()
+        assert (mem.encode(-1.0) == mem.low).all()
+
+    def test_decode_roundtrip(self, mem):
+        for v in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert mem.decode(mem.encode(v)) == pytest.approx(v, abs=0.05)
+
+    def test_level_out_of_range_raises(self, mem):
+        with pytest.raises(ValueError):
+            mem.encode_level(256)
+
+    def test_bad_levels_raises(self):
+        with pytest.raises(ValueError):
+            LevelMemory(64, levels=1)
+
+    def test_bad_range_raises(self, mem):
+        with pytest.raises(ValueError):
+            mem.encode(0.5, vmin=1.0, vmax=0.0)
+
+    def test_explicit_endpoints(self):
+        low = np.ones(128, np.int8)
+        high = -np.ones(128, np.int8)
+        mem = LevelMemory(128, levels=16, low=low, high=high, seed_or_rng=0)
+        assert (mem.encode_level(0) == low).all()
+        assert (mem.encode_level(15) == high).all()
+
+    def test_table_read_only(self, mem):
+        with pytest.raises(ValueError):
+            mem.table[0, 0] = 5

@@ -1,0 +1,256 @@
+"""Tests for the stochastic arithmetic codec (paper Section 4).
+
+The codec at D=8192 has decode noise ~0.011 (one sigma), so value
+assertions use an absolute tolerance of 0.05 (>4 sigma).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import similarity
+from repro.core.stochastic import StochasticCodec
+
+TOL = 0.05
+
+
+class TestConstructDecode:
+    @pytest.mark.parametrize("value", [-1.0, -0.7, -0.25, 0.0, 0.33, 0.8, 1.0])
+    def test_roundtrip(self, codec, value):
+        assert codec.decode(codec.construct(value)) == pytest.approx(value, abs=TOL)
+
+    def test_construct_shape_and_dtype(self, codec):
+        hv = codec.construct(np.zeros((2, 3)))
+        assert hv.shape == (2, 3, codec.dim)
+        assert hv.dtype == np.int8
+
+    def test_batched_roundtrip(self, codec):
+        vals = np.linspace(-1, 1, 13).reshape(13)
+        assert np.abs(codec.decode(codec.construct(vals)) - vals).max() < TOL
+
+    def test_out_of_range_raises(self, codec):
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            codec.construct(1.5)
+
+    def test_representation_is_similarity_to_basis(self, codec):
+        hv = codec.construct(0.6)
+        # delta(V_a, V_1) = a, the paper's defining property
+        assert similarity(hv, codec.basis) == pytest.approx(0.6, abs=TOL)
+
+    def test_one_is_basis(self, codec):
+        assert (codec.construct(1.0) == codec.basis).all()
+
+    def test_zero_orthogonal_to_basis(self, codec):
+        assert abs(codec.decode(codec.zero())) < TOL
+
+    def test_explicit_basis(self):
+        basis = np.ones(256, np.int8)
+        c = StochasticCodec(256, 0, basis=basis)
+        assert (c.basis == basis).all()
+
+    def test_bad_basis_raises(self):
+        with pytest.raises(ValueError):
+            StochasticCodec(256, 0, basis=np.zeros(256))
+
+    def test_bad_dim_raises(self):
+        with pytest.raises(ValueError):
+            StochasticCodec(0)
+
+
+class TestNegation:
+    def test_negate_value(self, codec):
+        hv = codec.construct(0.4)
+        assert codec.decode(codec.negate(hv)) == pytest.approx(-0.4, abs=TOL)
+
+    def test_negate_is_elementwise_minus(self, codec):
+        hv = codec.construct(0.4)
+        assert (codec.negate(hv) == -hv).all()
+
+
+class TestAverage:
+    def test_add_half(self, codec):
+        a, b = 0.6, -0.2
+        out = codec.add_half(codec.construct(a), codec.construct(b))
+        assert codec.decode(out) == pytest.approx((a + b) / 2, abs=TOL)
+
+    def test_sub_half(self, codec):
+        a, b = 0.3, 0.9
+        out = codec.sub_half(codec.construct(a), codec.construct(b))
+        assert codec.decode(out) == pytest.approx((a - b) / 2, abs=TOL)
+
+    @pytest.mark.parametrize("p", [0.0, 0.25, 0.5, 0.9, 1.0])
+    def test_weighted(self, codec, p):
+        a, b = 0.8, -0.6
+        out = codec.average(codec.construct(a), codec.construct(b), p)
+        assert codec.decode(out) == pytest.approx(p * a + (1 - p) * b, abs=TOL)
+
+    def test_invalid_weight_raises(self, codec):
+        va = codec.construct(0.0)
+        with pytest.raises(ValueError):
+            codec.average(va, va, 1.2)
+
+    def test_batched(self, codec):
+        a = codec.construct(np.full(4, 0.5))
+        b = codec.construct(np.full(4, -0.5))
+        out = codec.add_half(a, b)
+        assert out.shape == (4, codec.dim)
+        assert np.abs(codec.decode(out)).max() < TOL
+
+    def test_scale(self, codec):
+        out = codec.scale(codec.construct(0.8), 0.5)
+        assert codec.decode(out) == pytest.approx(0.4, abs=TOL)
+
+    def test_scale_bad_factor(self, codec):
+        with pytest.raises(ValueError):
+            codec.scale(codec.construct(0.5), 1.5)
+
+
+class TestMean:
+    def test_uniform(self, codec):
+        vals = np.array([0.2, 0.6, -0.5, 0.1])
+        out = codec.mean(codec.construct(vals))
+        assert codec.decode(out) == pytest.approx(vals.mean(), abs=TOL)
+
+    def test_weighted(self, codec):
+        vals = np.array([1.0, -1.0])
+        out = codec.mean(codec.construct(vals), weights=np.array([3.0, 1.0]))
+        assert codec.decode(out) == pytest.approx(0.5, abs=TOL)
+
+    def test_weight_length_mismatch(self, codec):
+        with pytest.raises(ValueError):
+            codec.mean(codec.construct(np.zeros(3)), weights=np.ones(2))
+
+    def test_negative_weights_raise(self, codec):
+        with pytest.raises(ValueError):
+            codec.mean(codec.construct(np.zeros(2)), weights=np.array([-1.0, 2.0]))
+
+
+class TestMultiplication:
+    @pytest.mark.parametrize("a,b", [(0.5, 0.5), (-0.7, 0.4), (0.9, -0.9), (0.0, 0.8)])
+    def test_product(self, codec, a, b):
+        out = codec.multiply(codec.construct(a), codec.construct(b))
+        assert codec.decode(out) == pytest.approx(a * b, abs=TOL)
+
+    def test_multiply_by_one_is_identity_value(self, codec):
+        va = codec.construct(0.6)
+        out = codec.multiply(va, codec.one())
+        assert codec.decode(out) == pytest.approx(0.6, abs=TOL)
+
+    def test_naive_self_product_degenerates(self, codec):
+        # V (x) V with a shared sign stream wrongly claims a*a = 1 - the
+        # pitfall the decorrelation fixes.
+        va = codec.construct(0.3)
+        assert codec.decode(codec.multiply(va, va)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_square_uses_decorrelation(self, codec):
+        va = codec.construct(0.6)
+        assert codec.decode(codec.square(va)) == pytest.approx(0.36, abs=TOL)
+
+    def test_square_of_negative(self, codec):
+        va = codec.construct(-0.8)
+        assert codec.decode(codec.square(va)) == pytest.approx(0.64, abs=TOL)
+
+    def test_decorrelate_preserves_value(self, codec):
+        va = codec.construct(0.45)
+        assert codec.decode(codec.decorrelate(va)) == pytest.approx(0.45, abs=TOL)
+
+    def test_decorrelate_decorrelates(self, codec):
+        va = codec.construct(0.0)
+        d = codec.decorrelate(va)
+        signs_a = va * codec.basis
+        signs_d = d * codec.basis
+        corr = float((signs_a.astype(np.int64) * signs_d).mean())
+        assert abs(corr) < TOL
+
+    def test_decorrelate_noop_shift_raises(self, codec):
+        with pytest.raises(ValueError):
+            codec.decorrelate(codec.construct(0.2), shift=0)
+
+
+class TestComparison:
+    def test_greater(self, codec):
+        assert codec.compare(codec.construct(0.5), codec.construct(-0.5)) == 1
+
+    def test_less(self, codec):
+        assert codec.compare(codec.construct(-0.2), codec.construct(0.2)) == -1
+
+    def test_equal_with_tolerance(self, codec):
+        va, vb = codec.construct(0.3), codec.construct(0.3)
+        assert codec.compare(va, vb, tolerance=0.1) == 0
+
+    def test_sign_of(self, codec):
+        assert codec.sign_of(codec.construct(0.4)) == 1
+        assert codec.sign_of(codec.construct(-0.4)) == -1
+        assert codec.sign_of(codec.construct(0.0), tolerance=0.1) == 0
+
+    def test_alpha_vector_represents_half_difference(self, codec):
+        alpha = codec.alpha_vector(codec.construct(0.8), codec.construct(0.2))
+        assert codec.decode(alpha) == pytest.approx(0.3, abs=TOL)
+
+    def test_batched_compare(self, codec):
+        a = codec.construct(np.array([0.5, -0.5]))
+        b = codec.construct(np.array([-0.5, 0.5]))
+        assert codec.compare(a, b).tolist() == [1, -1]
+
+    def test_noise_floor(self, codec):
+        assert codec.noise_floor() == pytest.approx(3.0 / np.sqrt(codec.dim))
+
+
+class TestSqrt:
+    @pytest.mark.parametrize("value", [0.04, 0.25, 0.49, 0.81, 1.0])
+    def test_sqrt_unbiased(self, codec, value):
+        # Result noise scales as sigma / (2 sqrt(a)), so assert on the mean
+        # of a batch rather than a single noisy instance.
+        out = codec.sqrt(codec.construct(np.full(16, value)), iters=12)
+        assert codec.decode(out).mean() == pytest.approx(np.sqrt(value), abs=0.05)
+
+    def test_sqrt_single_instance(self, codec):
+        out = codec.sqrt(codec.construct(0.49), iters=12)
+        assert codec.decode(out) == pytest.approx(0.7, abs=0.1)
+
+    def test_sqrt_of_zero_converges_to_zero(self, codec):
+        out = codec.sqrt(codec.construct(np.zeros(8)), iters=12)
+        assert abs(codec.decode(out).mean()) < 0.1
+
+    def test_batched_sqrt_shape(self, codec):
+        vals = np.array([[0.09, 0.36], [0.64, 0.25]])
+        out = codec.sqrt(codec.construct(vals), iters=12)
+        assert out.shape == (2, 2, codec.dim)
+        assert np.abs(codec.decode(out) - np.sqrt(vals)).max() < 0.15
+
+
+class TestDivide:
+    @pytest.mark.parametrize("a,b", [(0.2, 0.5), (0.45, 0.9), (-0.3, 0.6), (0.3, -0.6)])
+    def test_quotient(self, codec, a, b):
+        out = codec.divide(codec.construct(a), codec.construct(b), iters=12)
+        assert codec.decode(out) == pytest.approx(a / b, abs=0.08)
+
+    def test_saturates_at_one(self, codec):
+        out = codec.divide(codec.construct(0.9), codec.construct(0.3), iters=12)
+        assert codec.decode(out) == pytest.approx(1.0, abs=0.05)
+
+    def test_sign_handling_both_negative(self, codec):
+        out = codec.divide(codec.construct(-0.2), codec.construct(-0.4), iters=12)
+        assert codec.decode(out) == pytest.approx(0.5, abs=0.08)
+
+
+class TestRerandomize:
+    def test_preserves_value(self, codec):
+        va = codec.construct(0.62)
+        assert codec.decode(codec.rerandomize(va)) == pytest.approx(0.62, abs=TOL)
+
+    def test_breaks_correlation(self, codec):
+        va = codec.construct(0.0)
+        vr = codec.rerandomize(va)
+        corr = float((va.astype(np.int64) * vr).mean())
+        assert abs(corr) < TOL
+
+
+class TestErrorScaling:
+    def test_noise_shrinks_with_dimension(self):
+        # The Fig. 2 trend: construction error ~ 1/sqrt(D).
+        errs = []
+        for dim in (256, 4096):
+            c = StochasticCodec(dim, 0)
+            vals = np.linspace(-0.9, 0.9, 50)
+            errs.append(float(np.abs(c.decode(c.construct(vals)) - vals).mean()))
+        assert errs[1] < errs[0] / 2

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the stochastic arithmetic laws.
+
+Each property is checked at D=4096, where decode noise is ~1.6% (one
+sigma); tolerances are set at >5 sigma so the suite is stable across seeds
+while still catching systematic bias.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stochastic import StochasticCodec
+
+DIM = 4096
+TOL = 0.09  # ~5.7 sigma at D=4096
+
+values = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+unit_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@pytest.fixture(scope="module")
+def make_codec():
+    cache = {}
+
+    def factory(seed):
+        if seed not in cache:
+            cache[seed] = StochasticCodec(DIM, seed)
+        return cache[seed]
+
+    return factory
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=values, seed=seeds)
+def test_construct_decode_inverse(make_codec, a, seed):
+    codec = make_codec(seed % 4)
+    assert abs(float(codec.decode(codec.construct(a))) - a) < TOL
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=values, seed=seeds)
+def test_negation_antisymmetric(make_codec, a, seed):
+    codec = make_codec(seed % 4)
+    hv = codec.construct(a)
+    assert abs(float(codec.decode(codec.negate(hv))) + a) < TOL
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=values, b=values, seed=seeds)
+def test_average_is_midpoint(make_codec, a, b, seed):
+    codec = make_codec(seed % 4)
+    out = codec.add_half(codec.construct(a), codec.construct(b))
+    assert abs(float(codec.decode(out)) - (a + b) / 2) < TOL
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=values, b=values, seed=seeds)
+def test_average_commutative_in_value(make_codec, a, b, seed):
+    codec = make_codec(seed % 4)
+    ab = codec.decode(codec.add_half(codec.construct(a), codec.construct(b)))
+    ba = codec.decode(codec.add_half(codec.construct(b), codec.construct(a)))
+    assert abs(float(ab) - float(ba)) < 2 * TOL
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=values, b=values, seed=seeds)
+def test_multiplication_correct_and_commutative(make_codec, a, b, seed):
+    codec = make_codec(seed % 4)
+    va, vb = codec.construct(a), codec.construct(b)
+    ab = float(codec.decode(codec.multiply(va, vb)))
+    ba = float(codec.decode(codec.multiply(vb, va)))
+    assert abs(ab - a * b) < TOL
+    assert ab == ba  # elementwise product is exactly commutative
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=values, seed=seeds)
+def test_multiplication_by_one_identity(make_codec, a, seed):
+    codec = make_codec(seed % 4)
+    out = codec.multiply(codec.construct(a), codec.one())
+    assert abs(float(codec.decode(out)) - a) < TOL
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=values, seed=seeds)
+def test_square_nonnegative_and_correct(make_codec, a, seed):
+    codec = make_codec(seed % 4)
+    sq = float(codec.decode(codec.square(codec.construct(a))))
+    assert sq > a * a - TOL
+    assert abs(sq - a * a) < TOL
+
+
+@settings(max_examples=15, deadline=None)
+@given(a=st.floats(min_value=0.05, max_value=1.0), seed=seeds)
+def test_sqrt_inverts_square(make_codec, a, seed):
+    # Result noise scales as sigma / (2 sqrt(a)); assert on the mean of 8
+    # independent replicas so the property is stable across orderings.
+    codec = make_codec(seed % 4)
+    roots = codec.decode(codec.sqrt(codec.construct(np.full(8, a)), iters=12))
+    assert abs(float(np.mean(roots)) - np.sqrt(a)) < 0.08
+
+
+@settings(max_examples=20, deadline=None)
+@given(ratio=st.floats(min_value=-0.9, max_value=0.9),
+       b=st.floats(min_value=0.4, max_value=1.0), seed=seeds)
+def test_divide_inverts_multiply(make_codec, ratio, b, seed):
+    # Quotient noise scales as sigma / b, hence the divisor floor; the
+    # tolerance sits ~5 sigma above the worst case.
+    codec = make_codec(seed % 4)
+    a = ratio * b
+    out = codec.divide(codec.construct(a), codec.construct(b), iters=12)
+    assert abs(float(codec.decode(out)) - ratio) < 0.15
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=values, b=values, seed=seeds)
+def test_compare_consistent_with_values(make_codec, a, b, seed):
+    codec = make_codec(seed % 4)
+    if abs(a - b) < 0.2:  # skip cases inside the noise band
+        return
+    got = codec.compare(codec.construct(a), codec.construct(b))
+    assert got == (1 if a > b else -1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=values, seed=seeds)
+def test_decorrelate_value_invariant(make_codec, a, seed):
+    codec = make_codec(seed % 4)
+    hv = codec.construct(a)
+    assert abs(float(codec.decode(codec.decorrelate(hv))) - a) < TOL
+
+
+@settings(max_examples=20, deadline=None)
+@given(vals=st.lists(values, min_size=2, max_size=6), seed=seeds)
+def test_mean_matches_arithmetic_mean(make_codec, vals, seed):
+    codec = make_codec(seed % 4)
+    arr = np.array(vals)
+    out = codec.mean(codec.construct(arr))
+    assert abs(float(codec.decode(out)) - arr.mean()) < TOL

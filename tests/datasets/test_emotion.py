@@ -1,0 +1,82 @@
+"""Tests for the synthetic 7-class emotion dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.emotion import (
+    EMOTIONS,
+    draw_emotion_face,
+    emotion_params,
+    make_emotion_dataset,
+)
+
+
+class TestEmotionParams:
+    def test_seven_emotions(self):
+        assert len(EMOTIONS) == 7
+
+    def test_unknown_emotion_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown emotion"):
+            emotion_params("bored", rng)
+
+    def test_happy_smiles_sad_frowns(self, rng):
+        happy = emotion_params("happy", rng, jitter=0.0)
+        sad = emotion_params("sad", rng, jitter=0.0)
+        assert happy.mouth_curve > 0 > sad.mouth_curve
+
+    def test_surprise_opens_mouth_and_eyes(self, rng):
+        surprise = emotion_params("surprise", rng, jitter=0.0)
+        neutral = emotion_params("neutral", rng, jitter=0.0)
+        assert surprise.mouth_openness > neutral.mouth_openness
+        assert surprise.eye_r > neutral.eye_r
+
+    def test_angry_lowers_brows(self, rng):
+        angry = emotion_params("angry", rng, jitter=0.0)
+        assert angry.brow_curve < 0
+
+
+class TestDrawEmotionFace:
+    @pytest.mark.parametrize("emotion", EMOTIONS)
+    def test_all_emotions_render(self, emotion, rng):
+        img = draw_emotion_face(32, emotion, rng)
+        assert img.shape == (32, 32)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_emotions_visually_distinct(self):
+        rng = np.random.default_rng(0)
+        happy = draw_emotion_face(48, "happy", rng, jitter=0.0)
+        rng = np.random.default_rng(0)
+        surprise = draw_emotion_face(48, "surprise", rng, jitter=0.0)
+        assert np.abs(happy - surprise).max() > 0.2
+
+
+class TestMakeEmotionDataset:
+    def test_shapes(self):
+        x, y = make_emotion_dataset(21, size=24, seed_or_rng=0)
+        assert x.shape == (21, 24, 24)
+        assert y.min() >= 0 and y.max() <= 6
+
+    def test_balanced_classes(self):
+        _, y = make_emotion_dataset(70, size=16, seed_or_rng=0)
+        counts = np.bincount(y, minlength=7)
+        assert (counts == 10).all()
+
+    def test_reproducible(self):
+        a = make_emotion_dataset(14, size=16, seed_or_rng=3)
+        b = make_emotion_dataset(14, size=16, seed_or_rng=3)
+        assert (a[0] == b[0]).all()
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            make_emotion_dataset(0)
+
+    def test_classes_learnable_above_chance(self, emotion_data):
+        xtr, ytr, xte, yte = emotion_data
+        from repro.features import HOGDescriptor
+        from repro.learning import LinearSVM
+        hog = HOGDescriptor(cell_size=8, n_bins=8)
+        ftr, fte = hog.extract_batch(xtr), hog.extract_batch(xte)
+        svm = LinearSVM(ftr.shape[1], 7, epochs=15, seed_or_rng=0).fit(ftr, ytr)
+        # 7-class chance is ~0.14; the synthetic classes overlap on purpose,
+        # so we only require clearly-above-chance performance at this size
+        assert svm.score(fte, yte) > 0.3

@@ -1,0 +1,133 @@
+"""Tests for the synthetic face / non-face generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.faces import (
+    NONFACE_KINDS,
+    FaceParams,
+    draw_face,
+    draw_nonface,
+    make_face_dataset,
+    random_face_params,
+)
+
+
+class TestDrawFace:
+    def test_range_and_shape(self):
+        img = draw_face(48)
+        assert img.shape == (48, 48)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic_without_rng(self):
+        assert (draw_face(32) == draw_face(32)).all()
+
+    def test_canonical_geometry(self):
+        img = draw_face(48)
+        p = FaceParams()
+        # head interior is skin-toned, background is darker
+        assert img[24, 24] > img[2, 2]
+        # eyes darker than surrounding skin
+        eye_y = int((p.center_y + p.eye_y * p.head_ry) * 48)
+        eye_x = int((p.center_x + p.eye_dx * p.head_rx) * 48)
+        assert img[eye_y, eye_x] < img[24, 24]
+
+    def test_scale_invariant_rendering(self):
+        small = draw_face(24)
+        big = draw_face(96)
+        # downsampled large face resembles the small one
+        down = big.reshape(24, 4, 24, 4).mean(axis=(1, 3))
+        corr = np.corrcoef(small.ravel(), down.ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_rng_adds_noise(self, rng):
+        p = FaceParams(noise_sigma=0.05, illumination=0.2)
+        a = draw_face(32, p, np.random.default_rng(0))
+        b = draw_face(32, p, np.random.default_rng(1))
+        assert not np.allclose(a, b)
+
+    def test_mouth_openness_draws_mouth_blob(self):
+        closed = draw_face(48, FaceParams(mouth_openness=0.0))
+        open_ = draw_face(48, FaceParams(mouth_openness=1.0))
+        assert not np.allclose(closed, open_)
+
+
+class TestRandomFaceParams:
+    def test_zero_jitter_is_canonical(self, rng):
+        p = random_face_params(rng, jitter=0.0)
+        canon = FaceParams()
+        assert p.center_y == canon.center_y
+        assert p.head_ry == canon.head_ry
+
+    def test_jitter_varies(self):
+        rng = np.random.default_rng(0)
+        a = random_face_params(rng)
+        b = random_face_params(rng)
+        assert a.center_x != b.center_x
+
+    def test_params_stay_plausible(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = random_face_params(rng)
+            assert 0.3 < p.center_y < 0.7
+            assert p.head_ry > 0.2
+            assert p.mouth_openness >= 0.0
+
+
+class TestDrawNonface:
+    @pytest.mark.parametrize("kind", NONFACE_KINDS)
+    def test_all_kinds_render(self, kind, rng):
+        img = draw_nonface(32, rng, kind)
+        assert img.shape == (32, 32)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_unknown_kind_raises(self, rng):
+        with pytest.raises(ValueError):
+            draw_nonface(32, rng, "fractal")
+
+    def test_random_kind_selection(self):
+        rng = np.random.default_rng(0)
+        imgs = [draw_nonface(16, rng) for _ in range(8)]
+        assert len({img.tobytes() for img in imgs}) == 8
+
+
+class TestMakeFaceDataset:
+    def test_shapes_and_labels(self):
+        x, y = make_face_dataset(20, size=24, seed_or_rng=0)
+        assert x.shape == (20, 24, 24)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_face_fraction(self):
+        x, y = make_face_dataset(40, size=16, face_fraction=0.25, seed_or_rng=0)
+        assert y.sum() == 10
+
+    def test_reproducible(self):
+        a = make_face_dataset(10, size=16, seed_or_rng=5)
+        b = make_face_dataset(10, size=16, seed_or_rng=5)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+    def test_different_seeds_differ(self):
+        a, _ = make_face_dataset(10, size=16, seed_or_rng=1)
+        b, _ = make_face_dataset(10, size=16, seed_or_rng=2)
+        assert not np.allclose(a, b)
+
+    def test_shuffled(self):
+        _, y = make_face_dataset(40, size=16, seed_or_rng=0)
+        # not all faces first
+        assert y[: y.sum()].sum() < y.sum()
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            make_face_dataset(0)
+        with pytest.raises(ValueError):
+            make_face_dataset(10, face_fraction=1.5)
+
+    def test_classes_are_separable(self, face_data):
+        # the tasks must be learnable, otherwise every accuracy bench is noise
+        xtr, ytr, xte, yte = face_data
+        from repro.features import HOGDescriptor
+        from repro.learning import LinearSVM
+        hog = HOGDescriptor(cell_size=8, n_bins=8)
+        ftr, fte = hog.extract_batch(xtr), hog.extract_batch(xte)
+        svm = LinearSVM(ftr.shape[1], 2, epochs=15, seed_or_rng=0).fit(ftr, ytr)
+        assert svm.score(fte, yte) > 0.8

@@ -1,0 +1,72 @@
+"""Tests for the Table 1 dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import SPECS, DatasetSpec, load, names
+
+
+class TestSpecs:
+    def test_table1_names(self):
+        assert names() == ["EMOTION", "FACE1", "FACE2"]
+
+    def test_paper_scale_matches_table1(self):
+        emotion = SPECS[("EMOTION", "paper")]
+        assert emotion.image_size == 48
+        assert emotion.n_classes == 7
+        assert emotion.train_size == 36685
+        face1 = SPECS[("FACE1", "paper")]
+        assert face1.image_size == 1024 and face1.train_size == 40172
+        face2 = SPECS[("FACE2", "paper")]
+        assert face2.image_size == 512 and face2.train_size == 522441
+
+    def test_all_scales_present(self):
+        for name in names():
+            for scale in ("paper", "bench", "test"):
+                assert (name, scale) in SPECS
+
+    def test_bench_smaller_than_paper(self):
+        for name in names():
+            assert SPECS[(name, "bench")].train_size < SPECS[(name, "paper")].train_size
+
+
+class TestLoad:
+    def test_load_test_scale(self):
+        xtr, ytr, xte, yte = load("EMOTION", scale="test", seed=0)
+        spec = SPECS[("EMOTION", "test")]
+        assert xtr.shape == (spec.train_size, spec.image_size, spec.image_size)
+        assert len(xte) == spec.test_size
+        assert ytr.max() < spec.n_classes
+
+    def test_load_face_binary(self):
+        _, ytr, _, _ = load("FACE1", scale="test", seed=0)
+        assert set(ytr) <= {0, 1}
+
+    def test_case_insensitive(self):
+        a = load("face2", scale="test", seed=1)
+        b = load("FACE2", scale="test", seed=1)
+        assert (a[0] == b[0]).all()
+
+    def test_deterministic_per_seed(self):
+        a = load("EMOTION", scale="test", seed=4)
+        b = load("EMOTION", scale="test", seed=4)
+        assert (a[0] == b[0]).all()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load("MNIST", scale="test")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            load("EMOTION", scale="huge")
+
+
+class TestDatasetSpecGenerate:
+    def test_split_sizes(self):
+        spec = DatasetSpec("X", 16, 2, 10, 5, "custom")
+        xtr, ytr, xte, yte = spec.generate(0)
+        assert len(xtr) == 10 and len(xte) == 5
+
+    def test_seven_class_routes_to_emotion(self):
+        spec = DatasetSpec("X", 16, 7, 14, 7, "custom")
+        _, ytr, _, _ = spec.generate(0)
+        assert ytr.max() >= 2  # more than binary labels present

@@ -1,0 +1,136 @@
+"""Tests for the procedural drawing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synth
+
+
+class TestBlank:
+    def test_shape_and_value(self):
+        img = synth.blank(8, 0.3)
+        assert img.shape == (8, 8) and (img == 0.3).all()
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            synth.blank(0)
+
+
+class TestNormalize:
+    def test_clips(self):
+        out = synth.normalize01(np.array([-1.0, 0.5, 2.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+
+class TestEllipse:
+    def test_center_painted(self):
+        img = synth.blank(16)
+        synth.add_ellipse(img, 8, 8, 4, 4, 1.0)
+        assert img[8, 8] == pytest.approx(1.0)
+
+    def test_outside_untouched(self):
+        img = synth.blank(16)
+        synth.add_ellipse(img, 8, 8, 3, 3, 1.0, softness=0.0)
+        assert img[0, 0] == 0.0
+
+    def test_soft_edge_intermediate(self):
+        img = synth.blank(32)
+        synth.add_ellipse(img, 16, 16, 8, 8, 1.0, softness=2.0)
+        edge_vals = img[16, 22:27]
+        assert ((edge_vals > 0.01) & (edge_vals < 0.99)).any()
+
+    def test_rotation_changes_footprint(self):
+        a = synth.add_ellipse(synth.blank(32), 16, 16, 12, 4, 1.0)
+        b = synth.add_ellipse(synth.blank(32), 16, 16, 12, 4, 1.0, angle=np.pi / 2)
+        assert not np.allclose(a, b)
+        # 90-degree rotation is a transpose of the footprint
+        assert np.allclose(a, b.T, atol=0.35)
+
+    def test_bad_radii(self):
+        with pytest.raises(ValueError):
+            synth.add_ellipse(synth.blank(8), 4, 4, 0, 2, 1.0)
+
+    def test_occlusion_order(self):
+        img = synth.blank(16, 0.0)
+        synth.add_ellipse(img, 8, 8, 6, 6, 0.5)
+        synth.add_ellipse(img, 8, 8, 2, 2, 1.0, softness=0.0)
+        assert img[8, 8] == 1.0
+
+
+class TestStroke:
+    def test_line_painted_along_path(self):
+        img = synth.blank(16)
+        synth.add_stroke(img, 2, 2, 13, 13, 1.0, thickness=1.5)
+        assert img[7, 7] > 0.5 and img[8, 8] > 0.5
+
+    def test_degenerate_stroke_is_dot(self):
+        img = synth.blank(16)
+        synth.add_stroke(img, 8, 8, 8, 8, 1.0, thickness=2.0)
+        assert img[8, 8] > 0.5
+        assert img[0, 0] == 0.0
+
+
+class TestCurve:
+    def test_smile_ends_above_center(self):
+        img = synth.blank(32)
+        synth.add_curve(img, 20, 16, 10, 5.0, 1.0, thickness=1.5)
+        center_rows = np.nonzero(img[:, 16])[0]
+        end_rows = np.nonzero(img[:, 6])[0]
+        assert end_rows.mean() < center_rows.mean()  # ends bend up
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            synth.add_curve(synth.blank(8), 4, 4, 0, 1.0, 1.0)
+
+
+class TestTextures:
+    def test_grating_periodicity(self):
+        img = synth.blank(32, 0.5)
+        synth.add_grating(img, period=8, angle=0.0, contrast=1.0)
+        # horizontal axis: values repeat every 8 columns
+        assert np.allclose(img[0, 0], img[0, 8], atol=1e-6)
+
+    def test_grating_bad_period(self):
+        with pytest.raises(ValueError):
+            synth.add_grating(synth.blank(8), 0, 0.0)
+
+    def test_blob_texture_range(self, rng):
+        img = synth.blob_texture(32, rng)
+        assert img.shape == (32, 32)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_smooth_noise_is_smooth(self, rng):
+        img = synth.smooth_noise(64, rng)
+        rough = np.abs(np.diff(np.random.default_rng(0).random(64))).mean()
+        smooth = np.abs(np.diff(img[32])).mean()
+        assert smooth < rough / 2
+
+    def test_rectangle_clipped(self):
+        img = synth.blank(8)
+        synth.add_rectangle(img, -5, -5, 4, 4, 1.0)
+        assert img[0, 0] == 1.0 and img[5, 5] == 0.0
+
+
+class TestPhotometric:
+    def test_illumination_gradient_direction(self):
+        img = synth.blank(32, 0.5)
+        out = synth.illumination_gradient(img, 0.5, 0.0)  # ramp along x
+        assert out[:, -1].mean() > out[:, 0].mean()
+
+    def test_illumination_preserves_range(self):
+        out = synth.illumination_gradient(synth.blank(16, 1.0), 0.8, 1.0)
+        assert out.max() <= 1.0
+
+    def test_sensor_noise_statistics(self, rng):
+        out = synth.add_sensor_noise(synth.blank(64, 0.5), 0.05, rng)
+        assert abs(out.std() - 0.05) < 0.01
+
+    def test_sensor_noise_negative_sigma(self, rng):
+        with pytest.raises(ValueError):
+            synth.add_sensor_noise(synth.blank(8), -0.1, rng)
+
+    def test_rotation_preserves_shape_and_range(self):
+        img = synth.add_ellipse(synth.blank(32), 16, 16, 10, 4, 1.0)
+        out = synth.rotate_image(img, 15.0)
+        assert out.shape == img.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0

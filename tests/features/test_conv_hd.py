@@ -1,0 +1,100 @@
+"""Tests for convolutional feature extraction in hyperspace."""
+
+import numpy as np
+import pytest
+from scipy.ndimage import convolve as nd_convolve
+
+from repro.features.conv_hd import DEFAULT_FILTERS, HDConvExtractor
+
+
+@pytest.fixture(scope="module")
+def ext():
+    return HDConvExtractor(dim=4096, pool_size=4, gamma=False, seed_or_rng=0)
+
+
+class TestConstruction:
+    def test_empty_bank_raises(self):
+        with pytest.raises(ValueError):
+            HDConvExtractor(dim=256, filters={})
+
+    def test_zero_kernel_raises(self):
+        with pytest.raises(ValueError):
+            HDConvExtractor(dim=256, filters={"z": np.zeros((3, 3))})
+
+    def test_bad_pool_raises(self):
+        with pytest.raises(ValueError):
+            HDConvExtractor(dim=256, pool_size=0)
+
+    def test_default_bank(self, ext):
+        assert set(ext.filters) == set(DEFAULT_FILTERS)
+
+
+class TestConvolve:
+    def test_output_shape_valid_mode(self, ext):
+        pix = ext.encode_pixels(np.zeros((10, 12)))
+        resp = ext.convolve(pix, DEFAULT_FILTERS["sobel_x"])
+        assert resp.shape == (8, 10, 4096)
+
+    def test_image_smaller_than_kernel(self, ext):
+        pix = ext.encode_pixels(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            ext.convolve(pix, DEFAULT_FILTERS["sobel_x"])
+
+    def test_sobel_on_edge_matches_reference(self, ext):
+        """Decoded hyperspace Sobel tracks the float Sobel up to 1/sum|w|."""
+        yy, xx = np.mgrid[0:12, 0:12]
+        img = (xx >= 6).astype(float)
+        pix = ext.encode_pixels(img)
+        kernel = DEFAULT_FILTERS["sobel_y"]
+        resp = ext.codec.decode(ext.convolve(pix, kernel))
+        ref = nd_convolve(img, kernel[::-1, ::-1], mode="constant")[1:-1, 1:-1]
+        ref = ref / np.abs(kernel).sum()
+        assert np.abs(resp - ref).mean() < 0.05
+        assert np.corrcoef(resp.ravel(), ref.ravel())[0, 1] > 0.9
+
+    def test_flat_image_zero_response(self, ext):
+        pix = ext.encode_pixels(np.full((8, 8), 0.5))
+        resp = ext.codec.decode(ext.convolve(pix, DEFAULT_FILTERS["sobel_x"]))
+        assert np.abs(resp).max() < 0.08
+
+
+class TestPooling:
+    def test_pool_shape(self, ext):
+        pix = ext.encode_pixels(np.zeros((18, 18)))
+        resp = ext.convolve(pix, DEFAULT_FILTERS["laplacian"])  # 16x16
+        pooled = ext.pool(resp)
+        assert pooled.shape == (4, 4, 4096)
+
+    def test_pool_too_small_raises(self):
+        small = HDConvExtractor(dim=256, pool_size=32, seed_or_rng=0)
+        pix = small.encode_pixels(np.zeros((10, 10)))
+        resp = small.convolve(pix, DEFAULT_FILTERS["sobel_x"])
+        with pytest.raises(ValueError):
+            small.pool(resp)
+
+    def test_pooled_bundle_decodes_to_mean(self, ext):
+        """Bundle decode / pool area ~= mean of member values."""
+        img = np.tile(np.linspace(0, 1, 12)[None, :], (12, 1))
+        readout = ext.readout(img)
+        assert set(readout) == set(DEFAULT_FILTERS)
+        # sobel_y on a horizontal ramp: constant positive response
+        sy = readout["sobel_y"]
+        assert sy.std() < 0.1
+
+
+class TestQueries:
+    def test_query_shape(self, ext):
+        assert ext.extract(np.zeros((12, 12))).shape == (4096,)
+
+    def test_batch(self, ext):
+        assert ext.extract_batch(np.zeros((2, 12, 12))).shape == (2, 4096)
+
+    def test_supports_learning(self):
+        from repro.datasets import make_face_dataset
+        from repro.learning import HDCClassifier
+        ext = HDConvExtractor(dim=4096, pool_size=6, gamma=True, seed_or_rng=0)
+        xtr, ytr = make_face_dataset(60, size=20, seed_or_rng=0)
+        xte, yte = make_face_dataset(30, size=20, seed_or_rng=1)
+        clf = HDCClassifier(2, epochs=10, seed_or_rng=0)
+        clf.fit(ext.extract_batch(xtr), ytr)
+        assert clf.score(ext.extract_batch(xte), yte) > 0.65

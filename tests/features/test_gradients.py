@@ -1,0 +1,104 @@
+"""Tests for the shared gradient utilities."""
+
+import numpy as np
+import pytest
+
+from repro.features.gradients import (
+    cell_grid,
+    central_gradients,
+    gradient_magnitude,
+    orientation_bins,
+)
+
+
+class TestCentralGradients:
+    def test_constant_image_zero_gradient(self):
+        gx, gy = central_gradients(np.full((8, 8), 0.5))
+        assert np.allclose(gx, 0) and np.allclose(gy, 0)
+
+    def test_vertical_ramp(self):
+        # image increasing down the rows -> Gx = slope/... halved diff
+        img = np.tile(np.arange(8, dtype=float)[:, None], (1, 8)) / 10
+        gx, gy = central_gradients(img)
+        assert np.allclose(gx[1:-1], 0.1)  # (0.2 difference)/2
+        assert np.allclose(gy, 0.0)
+
+    def test_horizontal_ramp(self):
+        img = np.tile(np.arange(8, dtype=float)[None, :], (8, 1)) / 10
+        gx, gy = central_gradients(img)
+        assert np.allclose(gy[:, 1:-1], 0.1)
+        assert np.allclose(gx, 0.0)
+
+    def test_border_replication_halves_edge_gradient(self):
+        img = np.tile(np.arange(4, dtype=float)[:, None], (1, 4))
+        gx, _ = central_gradients(img)
+        # first row: (img[1] - img[0]) / 2 with replicate padding
+        assert np.allclose(gx[0], 0.5)
+
+    def test_output_shapes(self):
+        gx, gy = central_gradients(np.zeros((5, 7)))
+        assert gx.shape == (5, 7) and gy.shape == (5, 7)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            central_gradients(np.zeros((3, 3, 3)))
+
+
+class TestGradientMagnitude:
+    def test_l2(self):
+        assert gradient_magnitude(3.0, 4.0, "l2") == pytest.approx(5.0)
+
+    def test_l2_scaled_is_l2_over_sqrt2(self):
+        assert gradient_magnitude(1.0, 1.0, "l2_scaled") == pytest.approx(1.0)
+        assert gradient_magnitude(3.0, 4.0, "l2_scaled") == pytest.approx(5 / np.sqrt(2))
+
+    def test_l1(self):
+        assert gradient_magnitude(-3.0, 4.0, "l1") == pytest.approx(7.0)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            gradient_magnitude(1.0, 1.0, "l3")
+
+    def test_array_input(self):
+        gx = np.array([1.0, 0.0])
+        gy = np.array([0.0, 2.0])
+        assert gradient_magnitude(gx, gy, "l2").tolist() == [1.0, 2.0]
+
+
+class TestOrientationBins:
+    def test_signed_cardinal_directions(self):
+        gx = np.array([1.0, 0.0, -1.0, 0.0])
+        gy = np.array([0.0, 1.0, 0.0, -1.0])
+        bins = orientation_bins(gx, gy, 8, signed=True)
+        # angles 0, pi/2, pi, 3pi/2 -> bins 0, 2, 4, 6 (sector width pi/4)
+        assert bins.tolist() == [0, 2, 4, 6]
+
+    def test_signed_diagonals(self):
+        bins = orientation_bins(np.array([1.0]), np.array([1.0]), 8, signed=True)
+        assert bins[0] == 1  # 45 degrees -> second sector
+
+    def test_unsigned_folds_opposites(self):
+        a = orientation_bins(np.array([1.0]), np.array([0.5]), 9, signed=False)
+        b = orientation_bins(np.array([-1.0]), np.array([-0.5]), 9, signed=False)
+        assert a[0] == b[0]
+
+    def test_bins_in_range(self):
+        rng = np.random.default_rng(0)
+        bins = orientation_bins(rng.normal(size=100), rng.normal(size=100), 8)
+        assert bins.min() >= 0 and bins.max() < 8
+
+
+class TestCellGrid:
+    def test_exact_division(self):
+        assert cell_grid((16, 24), 8) == (2, 3)
+
+    def test_truncates_partial_cells(self):
+        assert cell_grid((17, 23), 8) == (2, 2)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError, match="smaller than one"):
+            cell_grid((4, 16), 8)
+
+    def test_bad_cell_size_raises(self):
+        with pytest.raises(ValueError):
+            cell_grid((16, 16), 0)

@@ -1,0 +1,119 @@
+"""Tests for HAAR-like rectangle features."""
+
+import numpy as np
+import pytest
+
+from repro.features.haar import HaarExtractor, HaarFeature, integral_image
+
+
+class TestIntegralImage:
+    def test_total_sum_in_corner(self):
+        img = np.arange(12, dtype=float).reshape(3, 4)
+        ii = integral_image(img)
+        assert ii[-1, -1] == img.sum()
+
+    def test_zero_border(self):
+        ii = integral_image(np.ones((3, 3)))
+        assert (ii[0] == 0).all() and (ii[:, 0] == 0).all()
+
+    def test_rectangle_sums(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((8, 8))
+        ii = integral_image(img)
+        # arbitrary interior rectangle
+        y, x, h, w = 2, 3, 4, 2
+        expected = img[y : y + h, x : x + w].sum()
+        got = ii[y + h, x + w] - ii[y, x + w] - ii[y + h, x] + ii[y, x]
+        assert got == pytest.approx(expected)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            integral_image(np.zeros(5))
+
+
+class TestHaarFeature:
+    def test_edge_h_detects_vertical_edge(self):
+        img = np.zeros((8, 8))
+        img[:, 4:] = 1.0
+        ii = integral_image(img)
+        feat = HaarFeature("edge_h", 0, 0, 8, 8)
+        # left half dark, right half bright -> strongly negative
+        assert feat.evaluate(ii) < -0.2
+
+    def test_edge_v_detects_horizontal_edge(self):
+        img = np.zeros((8, 8))
+        img[4:, :] = 1.0
+        ii = integral_image(img)
+        feat = HaarFeature("edge_v", 0, 0, 8, 8)
+        assert feat.evaluate(ii) < -0.2
+
+    def test_line_h_detects_bright_stripe(self):
+        img = np.zeros((6, 9))
+        img[:, 3:6] = 1.0
+        ii = integral_image(img)
+        feat = HaarFeature("line_h", 0, 0, 6, 9)
+        assert feat.evaluate(ii) > 0.2
+
+    def test_quad_checkerboard(self):
+        img = np.zeros((8, 8))
+        img[:4, :4] = 1.0
+        img[4:, 4:] = 1.0
+        ii = integral_image(img)
+        feat = HaarFeature("quad", 0, 0, 8, 8)
+        assert feat.evaluate(ii) > 0.4
+
+    def test_uniform_image_zero_response(self):
+        ii = integral_image(np.full((8, 8), 0.6))
+        for kind in ("edge_h", "edge_v", "quad"):
+            assert HaarFeature(kind, 0, 0, 8, 8).evaluate(ii) == pytest.approx(0.0)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            HaarFeature("blob", 0, 0, 4, 4)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            HaarFeature("quad", 0, 0, 0, 4)
+
+
+class TestHaarExtractor:
+    def test_bank_size(self):
+        ext = HaarExtractor(window=24, n_features=50, seed_or_rng=0)
+        assert ext.n_features == 50
+
+    def test_deterministic_bank(self):
+        a = HaarExtractor(24, n_features=20, seed_or_rng=3)
+        b = HaarExtractor(24, n_features=20, seed_or_rng=3)
+        assert a.features == b.features
+
+    def test_features_fit_window(self):
+        ext = HaarExtractor(16, n_features=100, seed_or_rng=0)
+        for f in ext.features:
+            assert 0 <= f.y and f.y + f.h <= 16
+            assert 0 <= f.x and f.x + f.w <= 16
+
+    def test_extract_shape(self):
+        ext = HaarExtractor(16, n_features=30, seed_or_rng=0)
+        assert ext.extract(np.zeros((16, 16))).shape == (30,)
+
+    def test_extract_wrong_size_raises(self):
+        ext = HaarExtractor(16, n_features=5, seed_or_rng=0)
+        with pytest.raises(ValueError):
+            ext.extract(np.zeros((24, 24)))
+
+    def test_extract_batch(self):
+        ext = HaarExtractor(16, n_features=10, seed_or_rng=0)
+        out = ext.extract_batch(np.zeros((4, 16, 16)))
+        assert out.shape == (4, 10)
+
+    def test_window_too_small_raises(self):
+        with pytest.raises(ValueError):
+            HaarExtractor(2, min_size=4)
+
+    def test_features_separate_faces_from_clutter(self, face_data):
+        xtr, ytr, _, _ = face_data
+        ext = HaarExtractor(24, n_features=150, seed_or_rng=0)
+        feats = ext.extract_batch(xtr)
+        from repro.learning import LinearSVM
+        svm = LinearSVM(feats.shape[1], 2, epochs=15, seed_or_rng=0).fit(feats, ytr)
+        assert svm.score(feats, ytr) > 0.8

@@ -1,0 +1,82 @@
+"""Tests for HAAR feature extraction in hyperspace."""
+
+import numpy as np
+import pytest
+
+from repro.features.haar import HaarExtractor
+from repro.features.haar_hd import HDHaarExtractor
+
+
+@pytest.fixture(scope="module")
+def ext():
+    return HDHaarExtractor(window=16, n_features=40, dim=4096, seed_or_rng=0)
+
+
+class TestBankSharing:
+    def test_same_bank_as_original_space(self, ext):
+        ref = HaarExtractor(16, n_features=40, seed_or_rng=0)
+        assert ext.features == ref.features
+
+    def test_n_features(self, ext):
+        assert ext.n_features == 40
+
+
+class TestPixelEncoding:
+    def test_shape(self, ext):
+        assert ext.encode_pixels(np.zeros((16, 16))).shape == (16, 16, 4096)
+
+    def test_wrong_size_raises(self, ext):
+        with pytest.raises(ValueError):
+            ext.encode_pixels(np.zeros((8, 8)))
+
+
+class TestFeatureValues:
+    def test_uniform_image_zero_responses(self):
+        # gamma off: the raw half-differences of a flat image decode to ~0
+        # (gamma's sqrt would amplify the noise floor around zero)
+        ext = HDHaarExtractor(window=16, n_features=40, dim=4096,
+                              gamma=False, seed_or_rng=0)
+        vals = ext.readout(np.full((16, 16), 0.6))
+        assert np.abs(vals).max() < 0.08
+
+    def test_readout_tracks_original_space(self, ext):
+        """Decoded hyperspace responses correlate with the float bank."""
+        rng = np.random.default_rng(0)
+        yy, xx = np.mgrid[0:16, 0:16]
+        img = np.clip((xx >= 8) * 0.8 + rng.random((16, 16)) * 0.1, 0, 1)
+        ref = HaarExtractor(16, n_features=40, seed_or_rng=0).extract(img)
+        got = ext.readout(img)
+        corr = np.corrcoef(ref, got)[0, 1]
+        assert corr > 0.7
+
+    def test_edge_feature_sign(self):
+        """A known bright-right edge makes edge_h features negative."""
+        ext = HDHaarExtractor(window=16, n_features=60, dim=4096, seed_or_rng=1)
+        img = np.zeros((16, 16))
+        img[:, 8:] = 1.0
+        vals = ext.readout(img)
+        ref = HaarExtractor(16, n_features=60, seed_or_rng=1).extract(img)
+        strong = np.abs(ref) > 0.2
+        if strong.any():
+            assert (np.sign(vals[strong]) == np.sign(ref[strong])).mean() > 0.8
+
+
+class TestQueries:
+    def test_query_shape(self, ext):
+        q = ext.extract(np.zeros((16, 16)))
+        assert q.shape == (4096,)
+
+    def test_batch(self, ext):
+        qs = ext.extract_batch(np.zeros((3, 16, 16)))
+        assert qs.shape == (3, 4096)
+
+    def test_queries_support_learning(self):
+        """HD-HAAR front end trains an HDC classifier above chance."""
+        from repro.datasets import make_face_dataset
+        from repro.learning import HDCClassifier
+        xtr, ytr = make_face_dataset(60, size=16, seed_or_rng=0)
+        xte, yte = make_face_dataset(30, size=16, seed_or_rng=1)
+        ext = HDHaarExtractor(window=16, n_features=120, dim=4096, seed_or_rng=0)
+        clf = HDCClassifier(2, epochs=10, seed_or_rng=0)
+        clf.fit(ext.extract_batch(xtr), ytr)
+        assert clf.score(ext.extract_batch(xte), yte) > 0.65

@@ -1,0 +1,136 @@
+"""Tests for the classic (original-space) HOG descriptor."""
+
+import numpy as np
+import pytest
+
+from repro.features.hog import HOGDescriptor
+
+
+@pytest.fixture
+def hog():
+    return HOGDescriptor(cell_size=8, n_bins=8)
+
+
+class TestConstruction:
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            HOGDescriptor(n_bins=0)
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            HOGDescriptor(block_size=-1)
+
+    def test_feature_length_no_blocks(self, hog):
+        assert hog.feature_length((16, 16)) == 2 * 2 * 8
+
+    def test_feature_length_with_blocks(self):
+        hog = HOGDescriptor(cell_size=8, n_bins=8, block_size=2)
+        # 4x4 cells -> 3x3 blocks of 2x2 cells
+        assert hog.feature_length((32, 32)) == 9 * 4 * 8
+
+    def test_feature_length_block_too_big(self):
+        hog = HOGDescriptor(cell_size=8, block_size=3)
+        with pytest.raises(ValueError):
+            hog.feature_length((16, 16))
+
+
+class TestHistograms:
+    def test_constant_image_zero_histogram(self, hog):
+        hist = hog.cell_histograms(np.full((16, 16), 0.7))
+        assert np.allclose(hist, 0.0)
+
+    def test_histogram_shape(self, hog):
+        assert hog.cell_histograms(np.zeros((24, 16))).shape == (3, 2, 8)
+
+    def test_vertical_edge_votes_one_direction(self, hog):
+        img = np.zeros((16, 16))
+        img[:, 8:] = 1.0
+        hist = hog.cell_histograms(img)
+        winning = hist.sum(axis=(0, 1)).argmax()
+        # gradient points along +y (columns) -> angle pi/2 -> bin 2 of 8
+        assert winning == 2
+
+    def test_histogram_nonnegative(self, hog, disc_image):
+        assert (hog.cell_histograms(disc_image) >= 0).all()
+
+    def test_scaling_by_cell_area(self):
+        # doubling cell area halves nothing: histogram is mean-normalized,
+        # so a uniform edge density gives comparable values at both sizes
+        img = np.tile([0.0, 1.0], (16, 8))
+        h1 = HOGDescriptor(cell_size=8, n_bins=8).cell_histograms(img)
+        h2 = HOGDescriptor(cell_size=16, n_bins=8).cell_histograms(img)
+        assert h1.sum() == pytest.approx(4 * h2.sum(), rel=0.2)
+
+
+class TestCellFeatures:
+    def test_gamma_false_equals_histogram(self, disc_image):
+        hog = HOGDescriptor(cell_size=8, n_bins=8, gamma=False)
+        feats = hog.cell_features(disc_image)
+        hist = hog.cell_histograms(disc_image)
+        assert np.allclose(feats, hist)
+
+    def test_gamma_compresses_upward(self, disc_image):
+        plain = HOGDescriptor(cell_size=8, gamma=False).cell_features(disc_image)
+        gamma = HOGDescriptor(cell_size=8, gamma=True).cell_features(disc_image)
+        # sqrt compression boosts sub-1 values
+        assert gamma.sum() > plain.sum()
+
+    def test_extract_flattens(self, hog, disc_image):
+        feats = hog.extract(disc_image)
+        assert feats.shape == (hog.feature_length(disc_image.shape),)
+
+    def test_extract_batch(self, hog):
+        imgs = np.random.default_rng(0).random((3, 16, 16))
+        feats = hog.extract_batch(imgs)
+        assert feats.shape == (3, hog.feature_length((16, 16)))
+
+    def test_extract_batch_requires_3d(self, hog):
+        with pytest.raises(ValueError):
+            hog.extract_batch(np.zeros((16, 16)))
+
+    def test_deterministic(self, hog, disc_image):
+        assert (hog.extract(disc_image) == hog.extract(disc_image)).all()
+
+
+class TestBlockNormalization:
+    def test_normalized_blocks_unit_scale(self, disc_image):
+        hog = HOGDescriptor(cell_size=8, n_bins=8, block_size=2)
+        img = np.random.default_rng(0).random((32, 32))
+        feats = hog.extract(img)
+        blocks = feats.reshape(-1, 4 * 8)
+        norms = np.linalg.norm(blocks, axis=1)
+        assert (norms <= 1.0 + 1e-9).all()
+        assert norms.max() > 0.5
+
+    def test_block_norm_illumination_invariance(self):
+        hog = HOGDescriptor(cell_size=8, n_bins=8, block_size=2, gamma=False)
+        img = np.random.default_rng(1).random((32, 32))
+        bright = np.clip(img * 0.5, 0, 1)
+        a = hog.extract(img * 0.9)
+        b = hog.extract(bright * 0.9)
+        # same structure at half contrast -> nearly identical after norm
+        cos = a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+        assert cos > 0.98
+
+
+class TestInjector:
+    def test_injector_sees_all_stages(self, hog, disc_image):
+        stages = []
+
+        def injector(arr, stage):
+            stages.append(stage)
+            return arr
+
+        hog.extract_with_injector(disc_image, injector)
+        assert stages == ["pixels", "gx", "gy", "magnitude", "histogram", "features"]
+
+    def test_identity_injector_no_change(self, hog, disc_image):
+        out = hog.extract_with_injector(disc_image, lambda a, s: a)
+        assert np.allclose(out, hog.extract(disc_image))
+
+    def test_injector_can_corrupt(self, hog, disc_image):
+        def zero_gradients(arr, stage):
+            return np.zeros_like(arr) if stage in ("gx", "gy") else arr
+
+        out = hog.extract_with_injector(disc_image, zero_gradients)
+        assert np.allclose(out, 0.0)

@@ -1,0 +1,193 @@
+"""Tests for the hyperspace HOG extractor (paper Sec. 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.features.hog import HOGDescriptor
+from repro.features.hog_hd import HDHOGExtractor
+
+
+@pytest.fixture(scope="module")
+def ext():
+    """Mid-sized extractor shared by read-only tests."""
+    return HDHOGExtractor(dim=2048, cell_size=8, n_bins=8, magnitude="l1",
+                          seed_or_rng=0)
+
+
+class TestConstruction:
+    def test_bins_must_divide_by_four(self):
+        with pytest.raises(ValueError, match="divisible by 4"):
+            HDHOGExtractor(dim=256, n_bins=6)
+
+    def test_unknown_magnitude(self):
+        with pytest.raises(ValueError):
+            HDHOGExtractor(dim=256, magnitude="l3")
+
+    def test_shared_codec(self):
+        from repro.core import StochasticCodec
+        codec = StochasticCodec(256, 0)
+        ext = HDHOGExtractor(codec=codec, cell_size=4)
+        assert ext.dim == 256 and ext.codec is codec
+
+
+class TestPixelEncoding:
+    def test_shape(self, ext):
+        hvs = ext.encode_pixels(np.zeros((4, 6)))
+        assert hvs.shape == (4, 6, 2048)
+
+    def test_codebook_deterministic(self, ext):
+        img = np.full((2, 2), 0.5)
+        assert (ext.encode_pixels(img) == ext.encode_pixels(img)).all()
+
+    def test_values_decode_to_intensity(self, ext):
+        img = np.array([[0.0, 0.25], [0.75, 1.0]])
+        decoded = ext.codec.decode(ext.encode_pixels(img))
+        assert np.abs(decoded - img).max() < 0.1
+
+    def test_out_of_range_raises(self, ext):
+        with pytest.raises(ValueError):
+            ext.encode_pixels(np.full((2, 2), 1.5))
+
+    def test_non_2d_raises(self, ext):
+        with pytest.raises(ValueError):
+            ext.encode_pixels(np.zeros((2, 2, 2)))
+
+
+class TestGradients:
+    def test_gradient_values(self, ext):
+        # vertical ramp with 0.1/row slope: the halved central difference
+        # over two rows represents (0.2)/2 = 0.1 in the interior, Gy = 0
+        img = np.tile(np.linspace(0.1, 0.9, 9)[:, None], (1, 9))
+        v_gx, v_gy = ext.gradients(ext.encode_pixels(img))
+        gx = ext.codec.decode(v_gx)
+        gy = ext.codec.decode(v_gy)
+        assert np.abs(gx[1:-1] - 0.1).max() < 0.09
+        assert np.abs(gy).max() < 0.12
+
+    def test_gradient_shapes(self, ext):
+        v_gx, v_gy = ext.gradients(ext.encode_pixels(np.zeros((5, 7))))
+        assert v_gx.shape == (5, 7, 2048)
+        assert v_gy.shape == (5, 7, 2048)
+
+
+class TestAngleBins:
+    @pytest.mark.parametrize("direction,expected", [
+        ((0.3, 0.05), 0),   # ~0 deg
+        ((0.3, 0.3), 1),    # 45 deg boundary region -> bin 0 or 1
+        ((0.05, 0.3), 1),   # ~90 deg -> bin 1 (second half of Q1 fold)
+    ])
+    def test_quadrant_one(self, ext, direction, expected):
+        gx, gy = direction
+        v_gx = ext.codec.construct(np.full((32,), gx))
+        v_gy = ext.codec.construct(np.full((32,), gy))
+        bins, _, _ = ext.angle_bins(v_gx, v_gy)
+        # majority vote across 32 independent replicas
+        vote = np.bincount(bins, minlength=8).argmax()
+        assert abs(vote - expected) <= 1
+
+    def test_opposite_gradient_opposite_half(self, ext):
+        v_gx = ext.codec.construct(np.full((32,), -0.3))
+        v_gy = ext.codec.construct(np.full((32,), -0.1))
+        bins, signs_x, signs_y = ext.angle_bins(v_gx, v_gy)
+        assert (np.bincount(bins, minlength=8)[4:6].sum()) > 16
+        assert (signs_x < 0).mean() > 0.9
+        assert (signs_y < 0).mean() > 0.9
+
+    def test_agreement_with_classic_bins(self, ext, disc_image):
+        from repro.features.gradients import central_gradients, orientation_bins
+        gx, gy = central_gradients(disc_image)
+        classic = orientation_bins(gx, gy, 8, signed=True)
+        pix = ext.encode_pixels(disc_image)
+        v_gx, v_gy = ext.gradients(pix)
+        hd_bins, _, _ = ext.angle_bins(v_gx, v_gy)
+        strong = np.hypot(gx, gy) > 0.1  # weak gradients are noise-dominated
+        agreement = (hd_bins[strong] == classic[strong]).mean()
+        assert agreement > 0.6
+
+
+class TestHistogramAndQuery:
+    def test_readout_matches_classic(self, ext, disc_image):
+        classic = HOGDescriptor(cell_size=8, n_bins=8, magnitude="l1",
+                                gamma=True).cell_features(disc_image)
+        result = ext.extract_histogram(disc_image)
+        decoded = ext.readout_histogram(result)
+        corr = np.corrcoef(classic.ravel(), decoded.ravel())[0, 1]
+        assert corr > 0.8
+
+    def test_counts_sum_to_cell_pixels(self, ext, disc_image):
+        result = ext.extract_histogram(disc_image)
+        assert (result.counts.sum(axis=2) == result.cell_pixels).all()
+
+    def test_result_grid(self, ext):
+        result = ext.extract_histogram(np.zeros((16, 24)))
+        assert result.grid == (2, 3, 8)
+        assert result.fractions.max() <= 1.0
+
+    def test_query_shape_and_dtype(self, ext, disc_image):
+        q = ext.extract(disc_image)
+        assert q.shape == (2048,)
+        assert q.dtype == np.float32
+
+    def test_query_similarity_tracks_descriptor_similarity(self, ext):
+        rng = np.random.default_rng(3)
+        yy, xx = np.mgrid[0:16, 0:16]
+        face_like = np.clip(1 - np.hypot(yy - 8, xx - 8) / 8, 0, 1)
+        stripes = (xx % 4 < 2).astype(float)
+        q_same_a = ext.extract(np.clip(face_like + rng.normal(0, .02, (16,16)), 0, 1))
+        q_same_b = ext.extract(np.clip(face_like + rng.normal(0, .02, (16,16)), 0, 1))
+        q_diff = ext.extract(np.clip(stripes + rng.normal(0, .02, (16,16)), 0, 1))
+
+        def cos(a, b):
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+
+        assert cos(q_same_a, q_same_b) > cos(q_same_a, q_diff)
+
+    def test_extract_batch(self, ext):
+        imgs = np.random.default_rng(0).random((3, 16, 16))
+        qs = ext.extract_batch(imgs)
+        assert qs.shape == (3, 2048)
+
+    def test_extract_batch_requires_3d(self, ext):
+        with pytest.raises(ValueError):
+            ext.extract_batch(np.zeros((16, 16)))
+
+
+class TestInjector:
+    def test_injector_sees_hypervector_stages(self, ext, disc_image):
+        stages = []
+
+        def injector(hv, stage):
+            stages.append(stage)
+            return hv
+
+        ext.extract_histogram(disc_image, injector)
+        assert stages == ["pixels", "gx", "gy", "magnitude", "histogram"]
+
+    def test_moderate_flips_barely_change_readout(self, disc_image):
+        from repro.noise import HypervectorFaultInjector
+        ext = HDHOGExtractor(dim=4096, cell_size=8, magnitude="l1", seed_or_rng=0)
+        clean = ext.readout_histogram(ext.extract_histogram(disc_image))
+        injector = HypervectorFaultInjector(0.02, seed_or_rng=0)
+        noisy = ext.readout_histogram(ext.extract_histogram(disc_image, injector))
+        # holographic robustness: 2% flips shift the decoded features by
+        # only a few percent of their range
+        assert np.abs(noisy - clean).mean() < 0.05
+
+
+class TestMagnitudeModes:
+    def test_l2_scaled_matches_classic_l2_scaled(self, disc_image):
+        ext = HDHOGExtractor(dim=4096, cell_size=8, magnitude="l2_scaled",
+                             seed_or_rng=0)
+        classic = HOGDescriptor(cell_size=8, magnitude="l2_scaled",
+                                gamma=True).cell_features(disc_image)
+        decoded = ext.readout_histogram(ext.extract_histogram(disc_image))
+        corr = np.corrcoef(classic.ravel(), decoded.ravel())[0, 1]
+        assert corr > 0.75
+
+    def test_gamma_off(self, disc_image):
+        ext = HDHOGExtractor(dim=2048, cell_size=8, magnitude="l1",
+                             gamma=False, seed_or_rng=0)
+        classic = HOGDescriptor(cell_size=8, magnitude="l1",
+                                gamma=False).cell_features(disc_image)
+        decoded = ext.readout_histogram(ext.extract_histogram(disc_image))
+        assert np.abs(decoded - classic).mean() < 0.03

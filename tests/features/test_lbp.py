@@ -1,0 +1,89 @@
+"""Tests for the Local Binary Pattern descriptor."""
+
+import numpy as np
+import pytest
+
+from repro.features.lbp import LBPDescriptor, lbp_codes, uniform_mapping
+
+
+class TestLBPCodes:
+    def test_constant_image_all_ones_code(self):
+        # neighbours >= center everywhere -> all 8 bits set
+        codes = lbp_codes(np.full((5, 5), 0.5))
+        assert (codes == 255).all()
+
+    def test_bright_center_zero_code(self):
+        img = np.zeros((3, 3))
+        img[1, 1] = 1.0
+        assert lbp_codes(img)[1, 1] == 0
+
+    def test_codes_are_uint8(self):
+        codes = lbp_codes(np.random.default_rng(0).random((6, 6)))
+        assert codes.dtype == np.uint8
+
+    def test_monotone_illumination_invariance(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((8, 8))
+        # LBP depends only on local ordering -> invariant to gain/offset
+        assert (lbp_codes(img) == lbp_codes(img * 0.5 + 0.2)).all()
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            lbp_codes(np.zeros(9))
+
+
+class TestUniformMapping:
+    def test_58_uniform_patterns(self):
+        mapping = uniform_mapping()
+        assert (mapping < 58).sum() == 58
+
+    def test_all_zero_and_all_one_are_uniform(self):
+        mapping = uniform_mapping()
+        assert mapping[0] != 58
+        assert mapping[255] != 58
+
+    def test_alternating_pattern_not_uniform(self):
+        mapping = uniform_mapping()
+        assert mapping[0b01010101] == 58
+
+    def test_mapping_shape(self):
+        assert uniform_mapping().shape == (256,)
+
+
+class TestLBPDescriptor:
+    def test_uniform_length(self):
+        desc = LBPDescriptor(cell_size=8, uniform=True)
+        assert desc.feature_length((16, 16)) == 4 * 59
+
+    def test_raw_length(self):
+        desc = LBPDescriptor(cell_size=8, uniform=False)
+        assert desc.feature_length((16, 16)) == 4 * 256
+
+    def test_histograms_normalized(self):
+        desc = LBPDescriptor(cell_size=8)
+        feats = desc.extract(np.random.default_rng(0).random((16, 16)))
+        # each cell histogram sums to 1 (every pixel votes once)
+        per_cell = feats.reshape(4, 59).sum(axis=1)
+        assert np.allclose(per_cell, 1.0)
+
+    def test_extract_batch(self):
+        desc = LBPDescriptor(cell_size=8)
+        out = desc.extract_batch(np.zeros((3, 16, 16)))
+        assert out.shape == (3, desc.feature_length((16, 16)))
+
+    def test_discriminates_textures(self):
+        desc = LBPDescriptor(cell_size=8)
+        yy, xx = np.mgrid[0:16, 0:16]
+        stripes = (xx % 4 < 2).astype(float)
+        checker = (((xx // 2) + (yy // 2)) % 2).astype(float)
+        a, b = desc.extract(stripes), desc.extract(checker)
+        cos = a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+        assert cos < 0.9
+
+    def test_faces_vs_clutter_learnable(self, face_data):
+        xtr, ytr, _, _ = face_data
+        desc = LBPDescriptor(cell_size=8)
+        feats = desc.extract_batch(xtr)
+        from repro.learning import LinearSVM
+        svm = LinearSVM(feats.shape[1], 2, epochs=15, seed_or_rng=0).fit(feats, ytr)
+        assert svm.score(feats, ytr) > 0.8

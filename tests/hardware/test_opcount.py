@@ -1,0 +1,116 @@
+"""Tests for the workload operation profiles."""
+
+import pytest
+
+from repro.hardware.opcount import (
+    OperationProfile,
+    dnn_forward_profile,
+    dnn_training_profile,
+    encoder_profile,
+    hd_hog_profile,
+    hdc_infer_profile,
+    hdc_learn_profile,
+    hog_profile,
+)
+
+
+class TestOperationProfile:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            OperationProfile({"bogus": 1.0})
+
+    def test_addition_merges(self):
+        a = OperationProfile({"bit": 10, "fp_mul": 5})
+        b = OperationProfile({"bit": 1, "int_add": 2})
+        c = a + b
+        assert c.get("bit") == 11 and c.get("int_add") == 2 and c.get("fp_mul") == 5
+
+    def test_scaling(self):
+        p = OperationProfile({"bit": 3}) * 4
+        assert p.get("bit") == 12
+
+    def test_zero_counts_dropped(self):
+        p = OperationProfile({"bit": 0, "fp_mul": 1})
+        assert "bit" not in p.counts
+
+    def test_total_ops_excludes_memory(self):
+        p = OperationProfile({"bit": 5, "mem_bytes": 100})
+        assert p.total_ops() == 5
+
+
+class TestHDHOGProfile:
+    def test_scales_linearly_with_pixels(self):
+        small = hd_hog_profile((16, 16), 1024)
+        big = hd_hog_profile((32, 32), 1024)
+        assert big.get("bit") == pytest.approx(4 * small.get("bit"), rel=0.15)
+
+    def test_scales_linearly_with_dim(self):
+        d1 = hd_hog_profile((16, 16), 1024)
+        d4 = hd_hog_profile((16, 16), 4096)
+        assert d4.get("bit") == pytest.approx(4 * d1.get("bit"), rel=0.1)
+
+    def test_l1_cheaper_than_l2(self):
+        l1 = hd_hog_profile((16, 16), 1024, magnitude="l1", gamma=False)
+        l2 = hd_hog_profile((16, 16), 1024, magnitude="l2_scaled", gamma=False)
+        assert l1.total_ops() < l2.total_ops()
+
+    def test_no_float_ops(self):
+        prof = hd_hog_profile((16, 16), 1024)
+        assert prof.get("fp_mul") == 0 and prof.get("fp_atan") == 0
+
+    def test_gamma_adds_sqrt_cost(self):
+        plain = hd_hog_profile((16, 16), 1024, magnitude="l1", gamma=False)
+        gamma = hd_hog_profile((16, 16), 1024, magnitude="l1", gamma=True)
+        assert gamma.total_ops() > plain.total_ops()
+
+
+class TestHOGProfile:
+    def test_uses_transcendentals(self):
+        prof = hog_profile((32, 32))
+        assert prof.get("fp_atan") == 32 * 32
+        assert prof.get("fp_sqrt") > 0
+
+    def test_no_binary_ops(self):
+        assert hog_profile((16, 16)).get("bit") == 0
+
+
+class TestDNNProfiles:
+    def test_forward_mac_count(self):
+        prof = dnn_forward_profile((10, 20, 5))
+        assert prof.get("fp_mul") == 10 * 20 + 20 * 5
+
+    def test_training_about_3x_forward(self):
+        fwd = dnn_forward_profile((100, 50, 10))
+        train = dnn_training_profile((100, 50, 10))
+        assert 2.5 < train.get("fp_mul") / fwd.get("fp_mul") < 3.6
+
+
+class TestHDCProfiles:
+    def test_learn_more_expensive_than_infer(self):
+        learn = hdc_learn_profile(4096, 2)
+        infer = hdc_infer_profile(4096, 2)
+        assert learn.total_ops() > infer.total_ops()
+
+    def test_scales_with_classes(self):
+        two = hdc_infer_profile(1024, 2)
+        seven = hdc_infer_profile(1024, 7)
+        assert seven.get("int_add") > two.get("int_add")
+
+    def test_encoder_dominated_by_projection(self):
+        prof = encoder_profile(4096, 288)
+        assert prof.get("fp_mul") == 4096 * 288
+
+
+class TestLevelIDEncoderProfile:
+    def test_binary_encoder_has_no_float_ops(self):
+        from repro.hardware.opcount import levelid_encoder_profile
+        prof = levelid_encoder_profile(4096, 288)
+        assert prof.get("fp_mul") == 0 and prof.get("fp_atan") == 0
+        assert prof.get("bit") == 4096 * 288
+
+    def test_binary_encoder_cheaper_than_nonlinear(self):
+        from repro.hardware.opcount import encoder_profile, levelid_encoder_profile
+        from repro.hardware.platforms import CORTEX_A53
+        cos_t = CORTEX_A53.time(encoder_profile(4096, 288))
+        bin_t = CORTEX_A53.time(levelid_encoder_profile(4096, 288))
+        assert bin_t < cos_t

@@ -1,0 +1,73 @@
+"""Tests for the CPU/FPGA platform cost models."""
+
+import pytest
+
+from repro.hardware.opcount import OperationProfile, hd_hog_profile, hog_profile
+from repro.hardware.platforms import CORTEX_A53, KINTEX7_FPGA, PLATFORMS, Platform
+
+
+class TestPlatformMechanics:
+    @pytest.fixture
+    def toy(self):
+        return Platform(
+            name="toy", freq_hz=1e6,
+            throughput={"bit": 10.0, "fp_mul": 1.0},
+            energy_pj={"bit": 1.0, "fp_mul": 10.0},
+            static_power_w=0.0,
+            mem_bytes_per_cycle=100.0,
+        )
+
+    def test_cycles_sum_over_op_classes(self, toy):
+        prof = OperationProfile({"bit": 100, "fp_mul": 10})
+        assert toy.cycles(prof) == pytest.approx(100 / 10 + 10 / 1)
+
+    def test_memory_bound_workload(self, toy):
+        prof = OperationProfile({"bit": 10, "mem_bytes": 100000})
+        assert toy.cycles(prof) == pytest.approx(1000.0)
+
+    def test_time_uses_frequency(self, toy):
+        prof = OperationProfile({"fp_mul": 1e6})
+        assert toy.time(prof) == pytest.approx(1.0)
+
+    def test_energy_sums_dynamic(self, toy):
+        prof = OperationProfile({"bit": 1e12})
+        assert toy.energy(prof) == pytest.approx(1.0)
+
+    def test_static_power_adds(self):
+        plat = Platform("s", 1e6, {"bit": 1.0}, {"bit": 0.0}, static_power_w=2.0)
+        prof = OperationProfile({"bit": 1e6})  # takes 1 second
+        assert plat.energy(prof) == pytest.approx(2.0)
+
+    def test_stochastic_efficiency_applied(self, toy):
+        toy.stochastic_efficiency = (10.0, 5.0)
+        prof = OperationProfile({"bit": 100})
+        assert toy.time(prof, stochastic=True) == pytest.approx(toy.time(prof) / 10)
+        assert toy.energy(prof, stochastic=True) == pytest.approx(toy.energy(prof) / 5)
+
+
+class TestShippedPlatforms:
+    def test_registry(self):
+        assert set(PLATFORMS) == {"cpu", "fpga"}
+
+    def test_fpga_bit_parallelism_exceeds_cpu(self):
+        assert KINTEX7_FPGA.throughput["bit"] > CORTEX_A53.throughput["bit"]
+
+    def test_cpu_clock_faster_than_fpga(self):
+        assert CORTEX_A53.freq_hz > KINTEX7_FPGA.freq_hz
+
+    def test_fp_cheap_bits_cheaper(self):
+        # on both platforms a bit op costs less energy than an fp32 multiply
+        for plat in PLATFORMS.values():
+            assert plat.energy_pj["bit"] < plat.energy_pj["fp_mul"]
+
+    def test_hd_workload_prefers_fpga(self):
+        # the HDC workload runs disproportionately faster on the FPGA than
+        # the float workload does: the architectural story of Sec. 6.5
+        hd = hd_hog_profile((48, 48), 4096)
+        fp = hog_profile((48, 48))
+        hd_gain = CORTEX_A53.time(hd) / KINTEX7_FPGA.time(hd)
+        fp_gain = CORTEX_A53.time(fp) / KINTEX7_FPGA.time(fp)
+        assert hd_gain > fp_gain
+
+    def test_atan_is_expensive_on_cpu(self):
+        assert CORTEX_A53.throughput["fp_atan"] < CORTEX_A53.throughput["fp_mul"]

@@ -1,0 +1,108 @@
+"""Tests for the cycle-level FPGA datapath simulator."""
+
+import pytest
+
+from repro.hardware.simulator import (
+    HDDatapathSimulator,
+    VectorOp,
+    hd_hog_trace,
+)
+
+
+class TestVectorOp:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            VectorOp("divide", 64)
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            VectorOp("logic", 0)
+
+
+class TestSimulator:
+    def test_single_op_beats(self):
+        sim = HDDatapathSimulator(lanes=64, pipeline_depth=2)
+        res = sim.run([VectorOp("logic", 256)])
+        # 4 issue beats + pipeline drain
+        assert res.cycles == 4 + 2
+        assert res.busy_beats == 4
+
+    def test_independent_ops_overlap(self):
+        sim = HDDatapathSimulator(lanes=64, pipeline_depth=4)
+        ops = [VectorOp("logic", 256) for _ in range(10)]
+        res = sim.run(ops)
+        # back-to-back issue: 40 beats + one final drain
+        assert res.cycles == 40 + 4
+        assert res.stall_cycles == 0
+
+    def test_dependent_ops_stall(self):
+        sim = HDDatapathSimulator(lanes=64, pipeline_depth=4)
+        ops = [VectorOp("logic", 64),
+               VectorOp("logic", 64, depends_on_previous=True)]
+        res = sim.run(ops)
+        assert res.stall_cycles == 4
+
+    def test_popcount_latency_longer(self):
+        sim = HDDatapathSimulator(lanes=256, pipeline_depth=2)
+        dep_logic = sim.run([VectorOp("logic", 256),
+                             VectorOp("logic", 256, depends_on_previous=True)])
+        dep_pop = sim.run([VectorOp("popcount", 256),
+                           VectorOp("logic", 256, depends_on_previous=True)])
+        assert dep_pop.cycles > dep_logic.cycles
+
+    def test_utilization_bounded(self):
+        sim = HDDatapathSimulator(lanes=128)
+        res = sim.run([VectorOp("logic", 1024) for _ in range(5)])
+        assert 0.0 < res.utilization <= 1.0
+
+    def test_wider_fabric_faster(self):
+        ops = [VectorOp("logic", 65536) for _ in range(4)]
+        narrow = HDDatapathSimulator(lanes=1024).run(ops)
+        wide = HDDatapathSimulator(lanes=8192).run(ops)
+        assert wide.cycles < narrow.cycles
+
+    def test_seconds_conversion(self):
+        sim = HDDatapathSimulator(lanes=64)
+        res = sim.run([VectorOp("logic", 64)])
+        assert res.seconds(1e6) == pytest.approx(res.cycles / 1e6)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            HDDatapathSimulator(lanes=0)
+
+
+class TestTraceGeneration:
+    def test_trace_nonempty_and_valid(self):
+        trace = hd_hog_trace((16, 16), 1024)
+        assert len(trace) > 10
+        assert all(isinstance(op, VectorOp) for op in trace)
+
+    def test_l1_trace_shorter(self):
+        l2 = hd_hog_trace((16, 16), 1024, magnitude="l2_scaled", gamma=False)
+        l1 = hd_hog_trace((16, 16), 1024, magnitude="l1", gamma=False)
+        assert len(l1) < len(l2)
+
+    def test_binary_search_serializes(self):
+        trace = hd_hog_trace((16, 16), 1024)
+        assert any(op.depends_on_previous for op in trace)
+
+
+class TestAgreementWithAnalyticModel:
+    def test_simulated_cycles_track_analytic_estimate(self):
+        """The cycle-level simulator and the throughput model must agree
+        on the *shape* of the cost (within pipeline overhead)."""
+        from repro.hardware.opcount import hd_hog_profile
+        dim = 2048
+        shape = (24, 24)
+        sim = HDDatapathSimulator(lanes=65536, pipeline_depth=4)
+        res = sim.run(hd_hog_trace(shape, dim))
+        prof = hd_hog_profile(shape, dim)
+        # analytic compute beats on an equally wide fabric
+        analytic = (prof.get("bit") + prof.get("rng_bit") + prof.get("int_add")) / 65536
+        assert res.cycles == pytest.approx(analytic, rel=0.6)
+
+    def test_simulator_scaling_with_image(self):
+        sim = HDDatapathSimulator(lanes=65536)
+        small = sim.run(hd_hog_trace((16, 16), 2048))
+        big = sim.run(hd_hog_trace((32, 32), 2048))
+        assert 2.5 < big.cycles / small.cycles < 5.5

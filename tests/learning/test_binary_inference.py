@@ -1,0 +1,116 @@
+"""Tests for the packed binary inference engine (FPGA datapath)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import random_hypervector
+from repro.learning.binary_inference import BinaryHDCEngine
+from repro.learning.hdc_classifier import HDCClassifier
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    protos = random_hypervector(2048, rng, shape=(3,)).astype(np.float64)
+    xs, ys = [], []
+    for k in range(3):
+        for _ in range(40):
+            xs.append(protos[k] + rng.normal(0, 0.8, 2048))
+            ys.append(k)
+    x, y = np.asarray(xs), np.asarray(ys)
+    clf = HDCClassifier(3, epochs=10, seed_or_rng=0).fit(x, y)
+    return clf, x, y
+
+
+class TestConstruction:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BinaryHDCEngine(HDCClassifier(2))
+
+    def test_model_is_packed(self, trained):
+        clf, _, _ = trained
+        engine = BinaryHDCEngine(clf)
+        assert engine.model_packed.shape == (3, 2048 // 64)
+        assert engine.model_packed.dtype == np.uint64
+
+    def test_model_bits(self, trained):
+        clf, _, _ = trained
+        assert BinaryHDCEngine(clf).model_bits == 3 * 2048
+
+
+class TestInference:
+    def test_matches_binarized_float_path(self, trained):
+        """Packed Hamming argmin == cosine argmax over the binarized pair."""
+        clf, x, _ = trained
+        engine = BinaryHDCEngine(clf)
+        binary_clf = clf.with_model(engine.model_bipolar)
+        q_bin = engine.binarize(x).astype(np.float64)
+        assert (engine.predict(x) == binary_clf.predict(q_bin)).mean() > 0.95
+
+    def test_accuracy_close_to_float(self, trained):
+        clf, x, y = trained
+        engine = BinaryHDCEngine(clf)
+        assert engine.score(x, y) > clf.score(x, y) - 0.1
+
+    def test_distances_shape(self, trained):
+        clf, x, _ = trained
+        assert BinaryHDCEngine(clf).distances(x[:5]).shape == (5, 3)
+
+    def test_binarize_handles_zeros(self, trained):
+        clf, _, _ = trained
+        engine = BinaryHDCEngine(clf)
+        out = engine.binarize(np.zeros((1, 2048)))
+        assert (out == 1).all()
+
+
+class TestModelBitErrors:
+    def test_zero_rate_is_clean(self, trained):
+        clf, x, _ = trained
+        engine = BinaryHDCEngine(clf)
+        assert (engine.predict_with_model_bit_errors(x, 0.0, 0)
+                == engine.predict(x)).all()
+
+    def test_graceful_degradation(self, trained):
+        """Accuracy decays gradually with the stored-model error rate."""
+        clf, x, y = trained
+        engine = BinaryHDCEngine(clf)
+        accs = []
+        for rate in (0.0, 0.1, 0.45):
+            pred = engine.predict_with_model_bit_errors(x, rate, 3)
+            accs.append(float((pred == y).mean()))
+        assert accs[0] > 0.9
+        assert accs[1] > 0.8  # holographic: 10% of stored bits barely matter
+        assert accs[0] >= accs[2] - 0.05
+
+    def test_bad_rate(self, trained):
+        clf, x, _ = trained
+        with pytest.raises(ValueError):
+            BinaryHDCEngine(clf).predict_with_model_bit_errors(x, 1.5)
+
+
+class TestPartialFit:
+    def test_online_learning_converges(self):
+        rng = np.random.default_rng(1)
+        protos = random_hypervector(1024, rng, shape=(2,)).astype(np.float64)
+        clf = HDCClassifier(2, epochs=5, seed_or_rng=0)
+        for _ in range(6):
+            xs, ys = [], []
+            for k in range(2):
+                for _ in range(10):
+                    xs.append(protos[k] + rng.normal(0, 1.0, 1024))
+                    ys.append(k)
+            clf.partial_fit(np.asarray(xs), np.asarray(ys))
+        test_x = np.stack([protos[0], protos[1]])
+        assert (clf.predict(test_x) == np.array([0, 1])).all()
+
+    def test_partial_fit_validates(self):
+        clf = HDCClassifier(2)
+        with pytest.raises(ValueError):
+            clf.partial_fit(np.zeros((2, 8)), np.array([0, 5]))
+
+    def test_dim_change_rejected(self):
+        clf = HDCClassifier(2, seed_or_rng=0)
+        clf.partial_fit(np.random.default_rng(0).normal(size=(4, 16)),
+                        np.array([0, 1, 0, 1]))
+        with pytest.raises(ValueError, match="dimensionality"):
+            clf.partial_fit(np.zeros((2, 8)), np.array([0, 1]))

@@ -1,0 +1,113 @@
+"""Tests for the original-space-to-hyperspace encoders."""
+
+import numpy as np
+import pytest
+
+from repro.learning.encoders import (
+    LevelIDEncoder,
+    NonlinearEncoder,
+    RandomProjectionEncoder,
+)
+
+ENCODERS = [
+    lambda: NonlinearEncoder(2048, 10, seed_or_rng=0),
+    lambda: RandomProjectionEncoder(2048, 10, seed_or_rng=0),
+    lambda: LevelIDEncoder(2048, 10, seed_or_rng=0),
+]
+
+
+@pytest.mark.parametrize("factory", ENCODERS)
+class TestCommonBehaviour:
+    def test_single_and_batch_shapes(self, factory):
+        enc = factory()
+        x = np.random.default_rng(0).random(10)
+        assert enc.encode(x).shape == (2048,)
+        assert enc.encode(np.tile(x, (4, 1))).shape == (4, 2048)
+
+    def test_deterministic(self, factory):
+        enc = factory()
+        x = np.random.default_rng(0).random(10)
+        assert np.allclose(enc.encode(x), enc.encode(x))
+
+    def test_feature_count_checked(self, factory):
+        enc = factory()
+        with pytest.raises(ValueError, match="features"):
+            enc.encode(np.zeros(7))
+
+    def test_similar_inputs_similar_codes(self, factory):
+        enc = factory()
+        rng = np.random.default_rng(1)
+        x = rng.random(10)
+        near = np.clip(x + rng.normal(0, 0.01, 10), 0, 1)
+        far = rng.random(10)
+
+        def cos(a, b):
+            a, b = np.asarray(a, float), np.asarray(b, float)
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+
+        assert cos(enc.encode(x), enc.encode(near)) > cos(enc.encode(x), enc.encode(far))
+
+
+class TestNonlinearEncoder:
+    def test_output_range_float(self):
+        enc = NonlinearEncoder(512, 4, seed_or_rng=0)
+        h = enc.encode(np.random.default_rng(0).random(4))
+        assert h.min() >= -1.0 and h.max() <= 1.0
+
+    def test_binary_mode(self):
+        enc = NonlinearEncoder(512, 4, binary=True, seed_or_rng=0)
+        h = enc.encode(np.random.default_rng(0).random(4))
+        assert set(np.unique(h)) <= {-1, 1}
+
+    def test_bandwidth_changes_code(self):
+        x = np.random.default_rng(0).random(4)
+        a = NonlinearEncoder(512, 4, bandwidth=0.1, seed_or_rng=0).encode(x)
+        b = NonlinearEncoder(512, 4, bandwidth=10.0, seed_or_rng=0).encode(x)
+        assert not np.allclose(a, b)
+
+
+class TestRandomProjectionEncoder:
+    def test_bipolar_output(self):
+        enc = RandomProjectionEncoder(512, 4, seed_or_rng=0)
+        h = enc.encode(np.random.default_rng(0).random(4))
+        assert set(np.unique(h)) <= {-1, 1}
+
+    def test_scale_invariant(self):
+        enc = RandomProjectionEncoder(512, 4, seed_or_rng=0)
+        x = np.random.default_rng(0).random(4)
+        assert (enc.encode(x) == enc.encode(3.0 * x)).all()
+
+
+class TestLevelIDEncoder:
+    def test_bad_value_range(self):
+        with pytest.raises(ValueError):
+            LevelIDEncoder(256, 4, value_range=(1.0, 0.0))
+
+    def test_integer_codes(self):
+        enc = LevelIDEncoder(512, 4, seed_or_rng=0)
+        h = enc.encode(np.random.default_rng(0).random(4))
+        assert h.dtype == np.int32
+        assert np.abs(h).max() <= 4  # bounded by n_features
+
+    def test_preserves_value_locality(self):
+        enc = LevelIDEncoder(4096, 1, levels=64, seed_or_rng=0)
+        base = enc.encode(np.array([0.5]))
+        near = enc.encode(np.array([0.52]))
+        far = enc.encode(np.array([0.95]))
+
+        def cos(a, b):
+            a, b = a.astype(float), b.astype(float)
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+
+        assert cos(base, near) > cos(base, far)
+
+
+class TestEncodersSupportLearning:
+    def test_hdc_on_encoded_features(self):
+        from repro.learning import HDCClassifier
+        rng = np.random.default_rng(0)
+        x = rng.random((120, 10))
+        y = (x[:, 0] + x[:, 1] > 1.0).astype(int)
+        enc = NonlinearEncoder(2048, 10, seed_or_rng=0)
+        clf = HDCClassifier(2, epochs=15, seed_or_rng=0).fit(enc.encode(x), y)
+        assert clf.score(enc.encode(x), y) > 0.9

@@ -1,0 +1,138 @@
+"""Tests for the adaptive HDC classifier (paper Sec. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import random_hypervector
+from repro.learning.hdc_classifier import HDCClassifier
+
+
+def _cluster_data(n_per_class, dim, n_classes, noise=0.6, seed=0):
+    """Noisy copies of one prototype hypervector per class."""
+    rng = np.random.default_rng(seed)
+    protos = random_hypervector(dim, rng, shape=(n_classes,)).astype(np.float64)
+    xs, ys = [], []
+    for k in range(n_classes):
+        for _ in range(n_per_class):
+            sample = protos[k] + rng.normal(0, noise, dim)
+            xs.append(sample)
+            ys.append(k)
+    order = rng.permutation(len(xs))
+    return np.asarray(xs)[order], np.asarray(ys)[order]
+
+
+class TestValidation:
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            HDCClassifier(1)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            HDCClassifier(2).predict(np.zeros((1, 8)))
+
+    def test_queries_must_be_2d(self):
+        with pytest.raises(ValueError):
+            HDCClassifier(2).fit(np.zeros(8), np.zeros(1, dtype=int))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            HDCClassifier(2).fit(np.zeros((3, 8)), np.zeros(2, dtype=int))
+
+    def test_labels_out_of_range(self):
+        with pytest.raises(ValueError):
+            HDCClassifier(2).fit(np.zeros((2, 8)), np.array([0, 5]))
+
+
+class TestLearning:
+    def test_separable_clusters_learned(self):
+        x, y = _cluster_data(30, 1024, 3)
+        clf = HDCClassifier(3, epochs=10, seed_or_rng=0).fit(x, y)
+        assert clf.score(x, y) > 0.95
+
+    def test_generalizes_to_fresh_samples(self):
+        x, y = _cluster_data(30, 1024, 2, seed=0)
+        xt, yt = _cluster_data(10, 1024, 2, seed=0)  # same prototypes
+        clf = HDCClassifier(2, epochs=10, seed_or_rng=0).fit(x, y)
+        assert clf.score(xt, yt) > 0.9
+
+    def test_single_pass_only(self):
+        x, y = _cluster_data(30, 1024, 2)
+        clf = HDCClassifier(2, epochs=0, seed_or_rng=0).fit(x, y)
+        assert clf.score(x, y) > 0.9
+        assert clf.history_ == []
+
+    def test_adaptive_beats_plain_on_overlapping_data(self):
+        x, y = _cluster_data(60, 512, 3, noise=2.0, seed=2)
+        plain = HDCClassifier(3, epochs=0, adaptive=False, seed_or_rng=0).fit(x, y)
+        adaptive = HDCClassifier(3, epochs=15, seed_or_rng=0).fit(x, y)
+        assert adaptive.score(x, y) >= plain.score(x, y)
+
+    def test_history_records_errors(self):
+        x, y = _cluster_data(20, 512, 2, noise=1.5)
+        clf = HDCClassifier(2, epochs=5, seed_or_rng=0).fit(x, y)
+        assert len(clf.history_) >= 1
+        assert all(isinstance(e, int) for e in clf.history_)
+
+    def test_early_stop_at_zero_errors(self):
+        x, y = _cluster_data(20, 2048, 2, noise=0.1)
+        clf = HDCClassifier(2, epochs=50, seed_or_rng=0).fit(x, y)
+        # easily separable -> converges long before 50 epochs
+        assert len(clf.history_) < 50
+
+    def test_model_shape(self):
+        x, y = _cluster_data(5, 256, 4)
+        clf = HDCClassifier(4, epochs=2, seed_or_rng=0).fit(x, y)
+        assert clf.class_hvs_.shape == (4, 256)
+
+    def test_deterministic_given_seed(self):
+        x, y = _cluster_data(20, 256, 2, noise=1.0)
+        a = HDCClassifier(2, epochs=5, seed_or_rng=9).fit(x, y)
+        b = HDCClassifier(2, epochs=5, seed_or_rng=9).fit(x, y)
+        assert np.allclose(a.class_hvs_, b.class_hvs_)
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        x, y = _cluster_data(30, 1024, 3)
+        return HDCClassifier(3, epochs=10, seed_or_rng=0).fit(x, y), x, y
+
+    def test_similarities_shape(self, fitted):
+        clf, x, _ = fitted
+        assert clf.similarities(x[:5]).shape == (5, 3)
+
+    def test_single_query_similarities(self, fitted):
+        clf, x, _ = fitted
+        assert clf.similarities(x[0]).shape == (3,)
+
+    def test_similarity_bounded(self, fitted):
+        clf, x, _ = fitted
+        sims = clf.similarities(x)
+        assert sims.min() >= -1.0001 and sims.max() <= 1.0001
+
+    def test_predicted_class_has_max_similarity(self, fitted):
+        clf, x, _ = fitted
+        sims = clf.similarities(x[:10])
+        assert (clf.predict(x[:10]) == sims.argmax(axis=1)).all()
+
+
+class TestBipolarModel:
+    def test_bipolar_values(self):
+        x, y = _cluster_data(10, 512, 2)
+        clf = HDCClassifier(2, epochs=3, seed_or_rng=0).fit(x, y)
+        model = clf.bipolar_model()
+        assert set(np.unique(model)) <= {-1, 1}
+        assert model.dtype == np.int8
+
+    def test_bipolar_model_still_classifies(self):
+        x, y = _cluster_data(30, 2048, 2)
+        clf = HDCClassifier(2, epochs=10, seed_or_rng=0).fit(x, y)
+        binary = clf.with_model(clf.bipolar_model())
+        assert binary.score(x, y) > 0.9
+
+    def test_with_model_is_independent_copy(self):
+        x, y = _cluster_data(10, 256, 2)
+        clf = HDCClassifier(2, epochs=2, seed_or_rng=0).fit(x, y)
+        clone = clf.with_model(np.zeros_like(clf.class_hvs_))
+        assert not np.allclose(clone.class_hvs_, clf.class_hvs_)
+        assert np.allclose(clf.class_hvs_, clf.class_hvs_)

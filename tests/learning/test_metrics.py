@@ -1,0 +1,53 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.learning.metrics import accuracy, confusion_matrix, quality_loss
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_partial(self):
+        assert accuracy([0, 1, 1, 0], [0, 1, 0, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0, 1, 1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_when_perfect(self):
+        mat = confusion_matrix([0, 1, 2], [0, 1, 2])
+        assert (mat == np.eye(3, dtype=int)).all()
+
+    def test_off_diagonal_counts(self):
+        mat = confusion_matrix([0, 0, 1], [1, 1, 1])
+        assert mat[0, 1] == 2 and mat[1, 1] == 1
+
+    def test_explicit_class_count(self):
+        mat = confusion_matrix([0], [0], n_classes=4)
+        assert mat.shape == (4, 4)
+
+    def test_total_equals_samples(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 3, 50)
+        p = rng.integers(0, 3, 50)
+        assert confusion_matrix(y, p).sum() == 50
+
+
+class TestQualityLoss:
+    def test_percentage_points(self):
+        assert quality_loss(0.95, 0.90) == pytest.approx(5.0)
+
+    def test_floored_at_zero(self):
+        assert quality_loss(0.90, 0.95) == 0.0
+
+    def test_zero_loss_when_equal(self):
+        assert quality_loss(0.8, 0.8) == 0.0

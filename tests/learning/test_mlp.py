@@ -1,0 +1,108 @@
+"""Tests for the NumPy MLP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.learning.mlp import MLPClassifier
+
+
+def _xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    return x, y
+
+
+def _linear_data(n=200, dim=6, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, dim))
+    y = (x[:, :2].sum(axis=1) > 0).astype(int)
+    return x, y
+
+
+class TestValidation:
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(4, 1)
+
+    def test_bad_hidden(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(4, 2, hidden=(0,))
+
+    def test_feature_mismatch(self):
+        net = MLPClassifier(4, 2, hidden=(8,))
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((5, 3)), np.zeros(5, dtype=int))
+
+    def test_labels_out_of_range(self):
+        net = MLPClassifier(3, 2, hidden=(8,))
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((2, 3)), np.array([0, 2]))
+
+
+class TestTraining:
+    def test_learns_linear_task(self):
+        x, y = _linear_data()
+        net = MLPClassifier(6, 2, hidden=(16,), epochs=30, seed_or_rng=0).fit(x, y)
+        assert net.score(x, y) > 0.95
+
+    def test_learns_xor(self):
+        x, y = _xor_data()
+        net = MLPClassifier(2, 2, hidden=(32, 32), epochs=150, lr=5e-3,
+                            seed_or_rng=0).fit(x, y)
+        assert net.score(x, y) > 0.9
+
+    def test_loss_decreases(self):
+        x, y = _linear_data()
+        net = MLPClassifier(6, 2, hidden=(16,), epochs=20, seed_or_rng=0).fit(x, y)
+        assert net.loss_history_[-1] < net.loss_history_[0]
+
+    def test_deterministic_given_seed(self):
+        x, y = _linear_data()
+        a = MLPClassifier(6, 2, hidden=(8,), epochs=5, seed_or_rng=3).fit(x, y)
+        b = MLPClassifier(6, 2, hidden=(8,), epochs=5, seed_or_rng=3).fit(x, y)
+        assert all(np.allclose(w1, w2) for w1, w2 in zip(a.weights, b.weights))
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 4))
+        y = np.abs(x[:, :3]).argmax(axis=1)
+        net = MLPClassifier(4, 3, hidden=(32,), epochs=60, seed_or_rng=0).fit(x, y)
+        assert net.score(x, y) > 0.85
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def net(self):
+        x, y = _linear_data()
+        return MLPClassifier(6, 2, hidden=(16,), epochs=20, seed_or_rng=0).fit(x, y), x, y
+
+    def test_proba_sums_to_one(self, net):
+        model, x, _ = net
+        probs = model.predict_proba(x[:10])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_proba_shape(self, net):
+        model, x, _ = net
+        assert model.predict_proba(x[0]).shape == (1, 2)
+
+    def test_predict_matches_argmax(self, net):
+        model, x, _ = net
+        assert (model.predict(x) == model.predict_proba(x).argmax(axis=1)).all()
+
+    def test_weight_override_changes_output(self, net):
+        model, x, _ = net
+        zeroed = [np.zeros_like(w) for w in model.weights]
+        zero_b = [np.zeros_like(b) for b in model.biases]
+        probs = model.predict_proba(x[:5], weights=zeroed, biases=zero_b)
+        assert np.allclose(probs, 0.5)
+
+
+class TestIntrospection:
+    def test_parameter_count(self):
+        net = MLPClassifier(4, 2, hidden=(8, 8))
+        assert net.parameter_count() == (4 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2)
+
+    def test_layer_sizes(self):
+        net = MLPClassifier(10, 3, hidden=(64, 32))
+        assert net.layer_sizes() == (10, 64, 32, 3)

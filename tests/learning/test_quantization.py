@@ -1,0 +1,155 @@
+"""Tests for fixed-point quantization and bit-error injection."""
+
+import numpy as np
+import pytest
+
+from repro.learning.mlp import MLPClassifier
+from repro.learning.quantization import (
+    QuantizedMLP,
+    dequantize,
+    flip_int_bits,
+    quantize,
+)
+
+
+class TestQuantize:
+    def test_roundtrip_accuracy_16bit(self):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=100)
+        codes, scale = quantize(arr, 16, headroom_bits=0)
+        back = dequantize(codes, scale, 16)
+        assert np.abs(back - arr).max() < np.abs(arr).max() / 2**14
+
+    def test_lower_precision_coarser(self):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=200)
+        err = {}
+        for bits in (4, 8, 16):
+            codes, scale = quantize(arr, bits)
+            err[bits] = np.abs(dequantize(codes, scale, bits) - arr).max()
+        assert err[16] < err[8] < err[4]
+
+    def test_range_respected(self):
+        codes, _ = quantize(np.array([-5.0, 5.0]), 4)
+        assert codes.min() >= -7 and codes.max() <= 7
+
+    def test_zero_array(self):
+        codes, scale = quantize(np.zeros(5), 8)
+        assert (codes == 0).all() and scale == 1.0
+
+    def test_explicit_scale(self):
+        codes, scale = quantize(np.array([0.5]), 8, scale=1.0, headroom_bits=0)
+        assert scale == 1.0
+        assert codes[0] == round(0.5 * 127)
+
+    def test_default_headroom_grows_with_width(self):
+        from repro.learning.quantization import default_headroom_bits
+        assert default_headroom_bits(16) > default_headroom_bits(8) > default_headroom_bits(4)
+        assert default_headroom_bits(4) >= 0
+
+    def test_headroom_expands_full_scale(self):
+        arr = np.array([1.0])
+        _, plain = quantize(arr, 8, headroom_bits=0)
+        _, wide = quantize(arr, 8, headroom_bits=3)
+        assert wide == pytest.approx(8 * plain)
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(2), 1)
+
+
+class TestFlipIntBits:
+    def test_rate_zero_identity(self):
+        codes = np.arange(-5, 6, dtype=np.int32)
+        assert (flip_int_bits(codes, 8, 0.0, 0) == codes).all()
+
+    def test_per_bit_rate_one_flips_everything(self):
+        codes = np.zeros(10, dtype=np.int32)
+        out = flip_int_bits(codes, 8, 1.0, 0, mode="per_bit")
+        # all 8 bits flipped: 0b11111111 -> -1 in two's complement
+        assert (out == -1).all()
+
+    def test_per_value_rate_one_flips_single_bit(self):
+        codes = np.zeros(200, dtype=np.int32)
+        out = flip_int_bits(codes, 8, 1.0, 0, mode="per_value")
+        # exactly one bit flips per value -> all results are powers of two
+        # in the 8-bit two's-complement view
+        unsigned = out.astype(np.int64) & 0xFF
+        assert (np.bitwise_count(unsigned.astype(np.uint64)) == 1).all()
+
+    def test_values_stay_in_bit_range(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(-127, 128, size=500).astype(np.int32)
+        for mode in ("per_value", "per_bit"):
+            out = flip_int_bits(codes, 8, 0.3, 1, mode=mode)
+            assert out.min() >= -128 and out.max() <= 127
+
+    def test_per_bit_flip_fraction_statistics(self):
+        codes = np.zeros(20000, dtype=np.int32)
+        out = flip_int_bits(codes, 16, 0.05, 0, mode="per_bit")
+        changed = (out != 0).mean()
+        # P(at least one of 16 bits flips) = 1 - 0.95^16 ~ 0.56
+        assert abs(changed - (1 - 0.95**16)) < 0.03
+
+    def test_per_value_flip_fraction_statistics(self):
+        codes = np.zeros(20000, dtype=np.int32)
+        out = flip_int_bits(codes, 16, 0.05, 0, mode="per_value")
+        assert abs((out != 0).mean() - 0.05) < 0.01
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            flip_int_bits(np.zeros(2, np.int32), 8, 1.5)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            flip_int_bits(np.zeros(2, np.int32), 8, 0.1, mode="burst")
+
+    def test_reproducible(self):
+        codes = np.arange(100, dtype=np.int32)
+        a = flip_int_bits(codes, 8, 0.1, 42)
+        b = flip_int_bits(codes, 8, 0.1, 42)
+        assert (a == b).all()
+
+
+class TestQuantizedMLP:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 8))
+        y = (x[:, 0] - x[:, 1] > 0).astype(int)
+        net = MLPClassifier(8, 2, hidden=(16,), epochs=40, seed_or_rng=0).fit(x, y)
+        return net, x, y
+
+    def test_16bit_matches_float(self, trained):
+        net, x, y = trained
+        q = QuantizedMLP(net, 16)
+        assert abs(q.score(x, y) - net.score(x, y)) < 0.02
+
+    def test_quantization_cost_grows_at_low_precision(self, trained):
+        net, x, y = trained
+        accs = {bits: QuantizedMLP(net, bits).score(x, y) for bits in (16, 8, 4, 3)}
+        assert accs[16] >= accs[3] - 0.02  # monotone-ish trend with slack
+        assert accs[16] > 0.9
+
+    def test_high_precision_fragile_low_precision_robust(self, trained):
+        # Table 2's key DNN trend: at the same bit-error rate, the 16-bit
+        # model loses more accuracy than the 4-bit model.  Low rates
+        # separate the precisions cleanly (at high rates both saturate).
+        net, x, y = trained
+        rate = 0.02
+        rng_seed = 7
+        losses = {}
+        for bits in (16, 4):
+            q = QuantizedMLP(net, bits)
+            clean = q.score(x, y)
+            noisy = np.mean([
+                q.score(x, y, rate=rate, seed_or_rng=rng_seed + i) for i in range(10)
+            ])
+            losses[bits] = clean - noisy
+        assert losses[16] > losses[4]
+
+    def test_bit_errors_reduce_accuracy(self, trained):
+        net, x, y = trained
+        q = QuantizedMLP(net, 16)
+        noisy = np.mean([q.score(x, y, rate=0.1, seed_or_rng=i) for i in range(5)])
+        assert noisy < q.score(x, y)

@@ -1,0 +1,83 @@
+"""Tests for the Pegasos linear SVM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.learning.svm import LinearSVM
+
+
+def _blobs(n_per, centers, seed=0, spread=0.5):
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for k, c in enumerate(centers):
+        xs.append(rng.normal(0, spread, size=(n_per, len(c))) + np.asarray(c))
+        ys.append(np.full(n_per, k))
+    x = np.vstack(xs)
+    y = np.concatenate(ys)
+    order = rng.permutation(len(x))
+    return x[order], y[order]
+
+
+class TestValidation:
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            LinearSVM(4, 1)
+
+    def test_feature_mismatch(self):
+        svm = LinearSVM(4, 2)
+        with pytest.raises(ValueError):
+            svm.predict(np.zeros((2, 3)))
+
+    def test_labels_out_of_range(self):
+        svm = LinearSVM(2, 2)
+        with pytest.raises(ValueError):
+            svm.fit(np.zeros((2, 2)), np.array([0, 3]))
+
+
+class TestTraining:
+    def test_binary_blobs(self):
+        x, y = _blobs(60, [(-2, 0), (2, 0)])
+        svm = LinearSVM(2, 2, epochs=10, seed_or_rng=0).fit(x, y)
+        assert svm.score(x, y) > 0.97
+
+    def test_multiclass_blobs(self):
+        x, y = _blobs(50, [(-3, 0), (3, 0), (0, 4)])
+        svm = LinearSVM(2, 3, epochs=15, seed_or_rng=0).fit(x, y)
+        assert svm.score(x, y) > 0.95
+
+    def test_bias_handles_offset_classes(self):
+        # both classes on the same ray, separated only by distance from 0:
+        # impossible without a bias term
+        x, y = _blobs(60, [(1, 1), (4, 4)], spread=0.4)
+        svm = LinearSVM(2, 2, epochs=20, seed_or_rng=0).fit(x, y)
+        assert svm.score(x, y) > 0.9
+
+    def test_deterministic(self):
+        x, y = _blobs(30, [(-1, 0), (1, 0)])
+        a = LinearSVM(2, 2, epochs=5, seed_or_rng=5).fit(x, y)
+        b = LinearSVM(2, 2, epochs=5, seed_or_rng=5).fit(x, y)
+        assert np.allclose(a.weights, b.weights)
+
+    def test_projection_bounds_norm(self):
+        x, y = _blobs(50, [(-1, 0), (1, 0)])
+        lam = 1e-2
+        svm = LinearSVM(2, 2, lam=lam, epochs=10, project=True, seed_or_rng=0).fit(x, y)
+        assert np.linalg.norm(svm.weights, axis=1).max() <= 1 / np.sqrt(lam) + 1e-6
+
+    def test_generalization(self):
+        x, y = _blobs(60, [(-2, 1), (2, -1)], seed=0)
+        xt, yt = _blobs(30, [(-2, 1), (2, -1)], seed=1)
+        svm = LinearSVM(2, 2, epochs=10, seed_or_rng=0).fit(x, y)
+        assert svm.score(xt, yt) > 0.95
+
+
+class TestInference:
+    def test_decision_function_shape(self):
+        x, y = _blobs(20, [(-1, 0), (1, 0)])
+        svm = LinearSVM(2, 2, epochs=3, seed_or_rng=0).fit(x, y)
+        assert svm.decision_function(x).shape == (len(x), 2)
+
+    def test_predict_is_argmax_margin(self):
+        x, y = _blobs(20, [(-1, 0), (1, 0), (0, 2)])
+        svm = LinearSVM(2, 3, epochs=5, seed_or_rng=0).fit(x, y)
+        assert (svm.predict(x) == svm.decision_function(x).argmax(axis=1)).all()

@@ -1,0 +1,141 @@
+"""Tests for the bit-error fault models."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import random_hypervector
+from repro.noise.bitflip import (
+    FixedPointFaultInjector,
+    HypervectorFaultInjector,
+    flip_bipolar,
+    flip_fixed_point,
+)
+
+
+class TestFlipBipolar:
+    def test_rate_zero_is_copy(self):
+        hv = random_hypervector(256, 0)
+        out = flip_bipolar(hv, 0.0)
+        assert (out == hv).all()
+        assert out is not hv  # must not alias the input
+
+    def test_rate_one_negates(self):
+        hv = random_hypervector(256, 0)
+        assert (flip_bipolar(hv, 1.0, 0) == -hv).all()
+
+    def test_flip_fraction(self):
+        hv = random_hypervector(50000, 0)
+        out = flip_bipolar(hv, 0.1, 1)
+        assert abs((out != hv).mean() - 0.1) < 0.01
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            flip_bipolar(np.ones(4, np.int8), 1.5)
+
+    def test_reproducible(self):
+        hv = random_hypervector(1000, 0)
+        assert (flip_bipolar(hv, 0.2, 9) == flip_bipolar(hv, 0.2, 9)).all()
+
+    def test_works_on_integer_bundles(self):
+        bundle = np.array([5, -3, 0, 7], dtype=np.int16)
+        out = flip_bipolar(bundle, 1.0, 0)
+        assert (out == -bundle).all()
+
+    def test_similarity_degrades_gracefully(self):
+        # the holographic property: similarity shrinks linearly, not
+        # catastrophically, with the flip rate
+        hv = random_hypervector(20000, 0)
+        sims = []
+        for rate in (0.05, 0.2, 0.4):
+            noisy = flip_bipolar(hv, rate, 2)
+            sims.append(float((noisy * hv.astype(np.int64)).mean()))
+        assert sims[0] > sims[1] > sims[2] > 0
+        assert sims[0] == pytest.approx(1 - 2 * 0.05, abs=0.02)
+
+
+class TestFlipFixedPoint:
+    def test_rate_zero_near_identity(self):
+        arr = np.linspace(-1, 1, 32)
+        out = flip_fixed_point(arr, 0.0, bits=16)
+        assert np.abs(out - arr).max() < 1e-3
+
+    def test_errors_can_be_large(self):
+        # a high-order bit flip in fixed point produces outliers far beyond
+        # the data range - the fragility of the original representation
+        arr = np.full(5000, 0.5)
+        out = flip_fixed_point(arr, 0.05, bits=16, seed_or_rng=0)
+        assert np.abs(out).max() > 2.0
+
+    def test_preserves_shape(self):
+        arr = np.zeros((4, 5, 6))
+        assert flip_fixed_point(arr, 0.1, seed_or_rng=0).shape == (4, 5, 6)
+
+    def test_mean_disturbance_grows_with_rate(self):
+        arr = np.full(2000, 0.3)
+        errs = [
+            np.abs(flip_fixed_point(arr, r, 16, seed_or_rng=1) - arr).mean()
+            for r in (0.01, 0.05, 0.2)
+        ]
+        assert errs[0] < errs[1] < errs[2]
+
+
+class TestHypervectorFaultInjector:
+    def test_only_selected_stages_corrupted(self):
+        inj = HypervectorFaultInjector(0.5, stages=("gx",), seed_or_rng=0)
+        hv = random_hypervector(1000, 0)
+        assert (inj(hv, "pixels") == hv).all()
+        assert (inj(hv, "gx") != hv).any()
+
+    def test_call_counter(self):
+        inj = HypervectorFaultInjector(0.1, seed_or_rng=0)
+        hv = random_hypervector(64, 0)
+        inj(hv, "pixels")
+        inj(hv, "gx")
+        inj(hv, "not-a-stage")
+        assert inj.calls == 2
+
+    def test_zero_rate_passthrough(self):
+        inj = HypervectorFaultInjector(0.0, seed_or_rng=0)
+        hv = random_hypervector(64, 0)
+        assert (inj(hv, "pixels") == hv).all()
+        assert inj.calls == 0
+
+
+class TestFixedPointFaultInjector:
+    def test_corrupts_selected_stage(self):
+        inj = FixedPointFaultInjector(0.3, bits=16, stages=("magnitude",),
+                                      seed_or_rng=0)
+        arr = np.random.default_rng(0).random(100)
+        assert np.allclose(inj(arr, "pixels"), arr)
+        assert not np.allclose(inj(arr, "magnitude"), arr)
+
+    def test_bits_parameter_respected(self):
+        arr = np.full(2000, 0.5)
+        coarse = FixedPointFaultInjector(1.0, bits=4, seed_or_rng=0)(arr, "pixels")
+        # with all bits flipped, values land inside the 4-bit code range
+        assert np.isfinite(coarse).all()
+
+
+class TestStuckAt:
+    def test_rate_zero_copy(self):
+        hv = random_hypervector(128, 0)
+        out = __import__("repro.noise.bitflip", fromlist=["stuck_at"]).stuck_at(hv, 0.0)
+        assert (out == hv).all() and out is not hv
+
+    def test_rate_one_all_stuck(self):
+        from repro.noise.bitflip import stuck_at
+        hv = random_hypervector(128, 0)
+        assert (stuck_at(hv, 1.0, value=-1, seed_or_rng=0) == -1).all()
+
+    def test_invalid_value(self):
+        from repro.noise.bitflip import stuck_at
+        with pytest.raises(ValueError):
+            stuck_at(np.ones(4, np.int8), 0.1, value=0)
+
+    def test_half_the_damage_of_flips(self):
+        from repro.noise.bitflip import flip_bipolar, stuck_at
+        hv = random_hypervector(50000, 0)
+        rate = 0.2
+        flip_damage = (flip_bipolar(hv, rate, 1) != hv).mean()
+        stuck_damage = (stuck_at(hv, rate, 1, seed_or_rng=1) != hv).mean()
+        assert abs(stuck_damage - flip_damage / 2) < 0.02

@@ -1,0 +1,97 @@
+"""Tests for the Table 2 robustness campaigns (small-scale)."""
+
+import numpy as np
+import pytest
+
+from repro.learning import MLPClassifier
+from repro.noise.campaign import (
+    RobustnessResult,
+    dnn_robustness,
+    hdface_hyperspace_robustness,
+    hdface_original_hog_robustness,
+)
+from repro.pipeline import HDFacePipeline, HOGPipeline
+
+
+@pytest.fixture(scope="module")
+def face_task():
+    from repro.datasets import make_face_dataset
+    xtr, ytr = make_face_dataset(48, size=24, seed_or_rng=0)
+    xte, yte = make_face_dataset(24, size=24, seed_or_rng=1)
+    return xtr, ytr, xte, yte
+
+
+class TestRobustnessResult:
+    def test_losses_relative_to_clean(self):
+        res = RobustnessResult({0.0: 0.9, 0.1: 0.8})
+        assert res.losses()[0.1] == pytest.approx(10.0)
+        assert res.losses()[0.0] == 0.0
+
+    def test_reference_accuracy_override(self):
+        res = RobustnessResult({0.0: 0.9})
+        res.reference_accuracy = 0.95
+        assert res.losses()[0.0] == pytest.approx(5.0)
+
+    def test_missing_clean_raises(self):
+        with pytest.raises(KeyError):
+            RobustnessResult({0.1: 0.5}).clean_accuracy
+
+
+class TestHDFaceHyperspace:
+    def test_holographic_robustness(self, face_task):
+        xtr, ytr, xte, yte = face_task
+        pipe = HDFacePipeline(2, dim=2048, cell_size=8, magnitude="l1",
+                              epochs=10, seed_or_rng=0).fit(xtr, ytr)
+        res = hdface_hyperspace_robustness(
+            pipe, xte, yte, rates=(0.0, 0.02, 0.30), seed_or_rng=0)
+        assert set(res) == {0.0, 0.02, 0.30}
+        losses = res.losses()
+        # 2% flips should cost almost nothing; even 30% should not collapse
+        # to chance given the holographic representation
+        assert losses[0.02] <= 10.0
+        assert res[0.30] >= 0.5 - 0.25  # stays above catastrophic failure
+
+    def test_clean_rate_matches_pipeline_score(self, face_task):
+        xtr, ytr, xte, yte = face_task
+        pipe = HDFacePipeline(2, dim=1024, cell_size=8, magnitude="l1",
+                              epochs=5, seed_or_rng=0).fit(xtr, ytr)
+        res = hdface_hyperspace_robustness(pipe, xte, yte, rates=(0.0,))
+        # extraction is stochastic, so allow re-extraction jitter
+        assert res[0.0] == pytest.approx(pipe.score(xte, yte), abs=0.15)
+
+
+class TestOriginalHOG:
+    def test_fixed_point_errors_hurt_more(self, face_task):
+        xtr, ytr, xte, yte = face_task
+        pipe = HOGPipeline("hdc", 2, image_size=24, dim=2048,
+                           seed_or_rng=0).fit(xtr, ytr)
+        res = hdface_original_hog_robustness(
+            pipe, xte, yte, rates=(0.0, 0.1), bits=16, seed_or_rng=0)
+        # fragile original representation: 10% bit errors cause real damage
+        assert res[0.1] < res[0.0]
+
+
+class TestDNNRobustness:
+    def test_loss_grows_with_rate(self, face_task):
+        xtr, ytr, xte, yte = face_task
+        hog_pipe = HOGPipeline("svm", 2, image_size=24)
+        ftr = hog_pipe.features(xtr)
+        fte = hog_pipe.features(xte)
+        mlp = MLPClassifier(ftr.shape[1], 2, hidden=(32,), epochs=30,
+                            seed_or_rng=0).fit(ftr, ytr)
+        res = dnn_robustness(mlp, fte, yte, rates=(0.0, 0.05, 0.3), bits=16,
+                             seed_or_rng=0)
+        assert res[0.3] <= res[0.0]
+
+    def test_reference_accuracy_recorded(self, face_task):
+        xtr, ytr, xte, yte = face_task
+        hog_pipe = HOGPipeline("svm", 2, image_size=24)
+        ftr, fte = hog_pipe.features(xtr), hog_pipe.features(xte)
+        mlp = MLPClassifier(ftr.shape[1], 2, hidden=(16,), epochs=20,
+                            seed_or_rng=0).fit(ftr, ytr)
+        full = mlp.score(fte, yte)
+        res = dnn_robustness(mlp, fte, yte, rates=(0.0,), bits=4,
+                             reference_accuracy=full, seed_or_rng=0)
+        assert res.reference_accuracy == pytest.approx(full)
+        # the 0% cell now reports pure quantization cost (>= 0)
+        assert res.losses()[0.0] >= 0.0

@@ -1,0 +1,63 @@
+"""Tests for the HOG->{DNN, SVM, encoded HDC} baseline pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.baselines import HOGPipeline
+
+
+class TestConstruction:
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            HOGPipeline("forest", 2, image_size=24)
+
+    def test_feature_count_from_image_size(self):
+        pipe = HOGPipeline("svm", 2, image_size=24, cell_size=8, n_bins=8)
+        assert pipe.n_features == 3 * 3 * 8
+
+    def test_encoder_only_for_hdc(self):
+        assert HOGPipeline("svm", 2, image_size=24).encoder is None
+        assert HOGPipeline("hdc", 2, image_size=24, dim=512).encoder is not None
+
+
+@pytest.mark.parametrize("model", ["svm", "dnn", "hdc"])
+class TestAllBackends:
+    def test_fit_predict_score(self, model, face_data):
+        xtr, ytr, xte, yte = face_data
+        kwargs = {"hidden": (32, 32)} if model == "dnn" else {}
+        if model == "hdc":
+            kwargs["dim"] = 2048
+        pipe = HOGPipeline(model, 2, image_size=24, seed_or_rng=0, **kwargs)
+        pipe.fit(xtr, ytr)
+        assert pipe.score(xte, yte) > 0.75
+        assert pipe.predict(xte[:3]).shape == (3,)
+
+    def test_fit_features_path(self, model, face_data):
+        xtr, ytr, xte, yte = face_data
+        kwargs = {"hidden": (32, 32)} if model == "dnn" else {}
+        if model == "hdc":
+            kwargs["dim"] = 2048
+        pipe = HOGPipeline(model, 2, image_size=24, seed_or_rng=0, **kwargs)
+        pipe.fit_features(pipe.features(xtr), ytr)
+        assert pipe.score(xte, yte) > 0.7
+
+
+class TestFeatureSharing:
+    def test_features_identical_across_backends(self, face_data):
+        """Paper Sec. 6.2: all learners see the same HOG features."""
+        xtr, _, _, _ = face_data
+        a = HOGPipeline("svm", 2, image_size=24, seed_or_rng=0)
+        b = HOGPipeline("dnn", 2, image_size=24, seed_or_rng=0, hidden=(8,))
+        assert np.allclose(a.features(xtr[:4]), b.features(xtr[:4]))
+
+    def test_injector_reaches_hog(self, face_data):
+        xtr, _, _, _ = face_data
+        pipe = HOGPipeline("svm", 2, image_size=24, seed_or_rng=0)
+        stages = []
+        pipe.features(xtr[:1], injector=lambda a, s: stages.append(s) or a)
+        assert "magnitude" in stages
+
+    def test_hdc_encoding_changes_dimensionality(self, face_data):
+        xtr, _, _, _ = face_data
+        pipe = HOGPipeline("hdc", 2, image_size=24, dim=1024, seed_or_rng=0)
+        assert pipe.extract(xtr[:2]).shape == (2, 1024)

@@ -1,0 +1,81 @@
+"""Tests for the sliding-window detector and scene composition (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.detector import SlidingWindowDetector, make_scene
+from repro.pipeline.hdface import HDFacePipeline
+
+
+@pytest.fixture(scope="module")
+def face_pipe(face_data):
+    xtr, ytr, _, _ = face_data
+    return HDFacePipeline(2, dim=2048, cell_size=8, magnitude="l1",
+                          epochs=10, seed_or_rng=0).fit(xtr, ytr)
+
+
+class TestMakeScene:
+    def test_scene_shape_and_truth(self):
+        scene, truth = make_scene(72, [(0, 0), (48, 48)], window=24,
+                                  seed_or_rng=0)
+        assert scene.shape == (72, 72)
+        assert truth == [(0, 0, 24), (48, 48, 24)]
+
+    def test_face_does_not_fit_raises(self):
+        with pytest.raises(ValueError):
+            make_scene(48, [(40, 40)], window=24)
+
+    def test_faces_pasted(self):
+        scene_with, _ = make_scene(72, [(24, 24)], window=24, seed_or_rng=0)
+        scene_without, _ = make_scene(72, [], window=24, seed_or_rng=0)
+        region = (slice(24, 48), slice(24, 48))
+        assert not np.allclose(scene_with[region], scene_without[region])
+
+    def test_range(self):
+        scene, _ = make_scene(48, [(12, 12)], window=24, seed_or_rng=1)
+        assert scene.min() >= 0.0 and scene.max() <= 1.0
+
+
+class TestWindows:
+    def test_window_grid(self, face_pipe):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=12)
+        crops, grid = det.windows(np.zeros((48, 48)))
+        assert grid == (3, 3)
+        assert crops.shape == (9, 24, 24)
+
+    def test_stride_defaults_to_half_window(self, face_pipe):
+        det = SlidingWindowDetector(face_pipe, window=24)
+        assert det.stride == 12
+
+    def test_scene_too_small(self, face_pipe):
+        det = SlidingWindowDetector(face_pipe, window=24)
+        with pytest.raises(ValueError):
+            det.windows(np.zeros((16, 16)))
+
+
+class TestScan:
+    def test_detection_map_structure(self, face_pipe):
+        scene, _ = make_scene(48, [(12, 12)], window=24, seed_or_rng=0)
+        det = SlidingWindowDetector(face_pipe, window=24, stride=12)
+        result = det.scan(scene)
+        assert result.scores.shape == result.detections.shape == (3, 3)
+        assert result.detections.dtype == bool
+
+    def test_face_window_scores_higher_than_background(self, face_pipe):
+        scene, _ = make_scene(72, [(24, 24)], window=24, seed_or_rng=0)
+        det = SlidingWindowDetector(face_pipe, window=24, stride=24)
+        result = det.scan(scene)
+        face_score = result.scores[1, 1]
+        background = np.delete(result.scores.ravel(), 4)
+        assert face_score > background.mean()
+
+    def test_window_origin(self, face_pipe):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8)
+        result_origin = (2 * 8, 3 * 8)
+        scene = np.zeros((48, 48))
+        scan = det.scan(scene)
+        del scan
+        assert det.stride == 8
+        from repro.pipeline.detector import DetectionMap
+        dm = DetectionMap(np.zeros((4, 4)), np.zeros((4, 4), bool), 8, 24)
+        assert dm.window_origin(2, 3) == result_origin

@@ -1,0 +1,109 @@
+"""Tests for the multi-scale pyramid detector and NMS."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.multiscale import (
+    Detection,
+    PyramidDetector,
+    downscale,
+    iou,
+    non_max_suppression,
+    pyramid,
+)
+
+
+class TestDownscale:
+    def test_identity_factor(self):
+        img = np.random.default_rng(0).random((16, 16))
+        assert np.allclose(downscale(img, 1.0), img)
+
+    def test_halving(self):
+        img = np.ones((32, 32))
+        out = downscale(img, 2.0)
+        assert out.shape == (16, 16)
+        assert np.allclose(out, 1.0)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            downscale(np.zeros((8, 8)), 0.5)
+
+    def test_preserves_structure(self):
+        yy, xx = np.mgrid[0:32, 0:32]
+        img = (xx >= 16).astype(float)
+        out = downscale(img, 2.0)
+        assert out[:, :6].mean() < 0.2 and out[:, -6:].mean() > 0.8
+
+
+class TestPyramid:
+    def test_levels_shrink_geometrically(self):
+        levels = list(pyramid(np.zeros((64, 64)), scale_step=2.0, min_size=16))
+        sizes = [lvl.shape[0] for lvl, _ in levels]
+        assert sizes == [64, 32, 16]
+
+    def test_factors(self):
+        factors = [f for _, f in pyramid(np.zeros((64, 64)), 2.0, 16)]
+        assert factors == [1.0, 2.0, 4.0]
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError):
+            list(pyramid(np.zeros((8, 8)), 1.0))
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        d = Detection(0, 0, 10, 1.0)
+        assert iou(d, d) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou(Detection(0, 0, 10, 1.0), Detection(20, 20, 10, 1.0)) == 0.0
+
+    def test_half_overlap(self):
+        a = Detection(0, 0, 10, 1.0)
+        b = Detection(0, 5, 10, 1.0)
+        assert iou(a, b) == pytest.approx(50 / 150)
+
+
+class TestNMS:
+    def test_keeps_best_of_cluster(self):
+        dets = [Detection(0, 0, 10, 0.5), Detection(1, 1, 10, 0.9),
+                Detection(2, 0, 10, 0.3)]
+        kept = non_max_suppression(dets, iou_threshold=0.3)
+        assert len(kept) == 1 and kept[0].score == 0.9
+
+    def test_keeps_distant_detections(self):
+        dets = [Detection(0, 0, 10, 0.5), Detection(50, 50, 10, 0.4)]
+        assert len(non_max_suppression(dets)) == 2
+
+    def test_empty_input(self):
+        assert non_max_suppression([]) == []
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            non_max_suppression([], iou_threshold=2.0)
+
+    def test_sorted_by_score(self):
+        dets = [Detection(0, 0, 5, 0.2), Detection(50, 0, 5, 0.9),
+                Detection(0, 50, 5, 0.5)]
+        kept = non_max_suppression(dets)
+        assert [d.score for d in kept] == [0.9, 0.5, 0.2]
+
+
+class TestPyramidDetector:
+    def test_finds_larger_than_window_face(self, face_data):
+        """A face twice the window size is found via the pyramid."""
+        from repro.pipeline import HDFacePipeline, SlidingWindowDetector, make_scene
+        xtr, ytr, _, _ = face_data  # 24x24 training faces
+        pipe = HDFacePipeline(2, dim=2048, cell_size=8, magnitude="l1",
+                              epochs=10, seed_or_rng=0).fit(xtr, ytr)
+        base = SlidingWindowDetector(pipe, window=24, stride=12)
+        # scene with one 48x48 face (2x the window)
+        scene, _ = make_scene(96, [(24, 24)], window=48, seed_or_rng=3)
+        detector = PyramidDetector(base, scale_step=2.0, score_threshold=0.0)
+        detections = detector.detect(scene)
+        assert detections, "no detections at any scale"
+        big = [d for d in detections if d.size > 24]
+        assert big, "pyramid produced no up-scaled detections"
+        # the best large detection overlaps the true face region
+        truth = Detection(24, 24, 48, 1.0)
+        assert max(iou(d, truth) for d in big) > 0.25

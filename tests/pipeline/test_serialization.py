@@ -1,0 +1,79 @@
+"""Tests for pipeline save/load."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import HDFacePipeline
+from repro.pipeline.serialization import load_pipeline, save_pipeline
+
+
+@pytest.fixture(scope="module")
+def fitted(face_data):
+    xtr, ytr, _, _ = face_data
+    pipe = HDFacePipeline(2, dim=1024, cell_size=8, magnitude="l1",
+                          epochs=5, seed_or_rng=0)
+    return pipe.fit(xtr, ytr)
+
+
+class TestSave:
+    def test_unfitted_raises(self, tmp_path):
+        pipe = HDFacePipeline(2, dim=256, cell_size=8)
+        with pytest.raises(RuntimeError):
+            save_pipeline(pipe, tmp_path / "x.npz")
+
+    def test_file_created(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_pipeline(fitted, path)
+        assert path.exists() and path.stat().st_size > 0
+
+
+class TestRoundtrip:
+    def test_configuration_restored(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_pipeline(fitted, path)
+        loaded = load_pipeline(path, seed_or_rng=0)
+        assert loaded.dim == fitted.dim
+        assert loaded.extractor.cell_size == fitted.extractor.cell_size
+        assert loaded.extractor.magnitude == fitted.extractor.magnitude
+        assert loaded.extractor.gamma == fitted.extractor.gamma
+
+    def test_model_exactly_preserved(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_pipeline(fitted, path)
+        loaded = load_pipeline(path, seed_or_rng=0)
+        assert np.array_equal(loaded.classifier.class_hvs_,
+                              fitted.classifier.class_hvs_)
+        assert np.array_equal(loaded.extractor.codec.basis,
+                              fitted.extractor.codec.basis)
+        assert np.array_equal(loaded.extractor._pixel_table,
+                              fitted.extractor._pixel_table)
+
+    def test_predictions_statistically_identical(self, fitted, face_data, tmp_path):
+        _, _, xte, yte = face_data
+        path = tmp_path / "model.npz"
+        save_pipeline(fitted, path)
+        loaded = load_pipeline(path, seed_or_rng=1)
+        orig_acc = fitted.score(xte, yte)
+        load_acc = loaded.score(xte, yte)
+        assert abs(orig_acc - load_acc) < 0.25  # extraction noise only
+
+    def test_query_classification_identical(self, fitted, face_data, tmp_path):
+        """Precomputed queries classify identically: the model is exact."""
+        _, _, xte, _ = face_data
+        queries = fitted.extract(xte[:6])
+        path = tmp_path / "model.npz"
+        save_pipeline(fitted, path)
+        loaded = load_pipeline(path, seed_or_rng=2)
+        assert (loaded.predict_queries(queries)
+                == fitted.predict_queries(queries)).all()
+
+    def test_version_check(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_pipeline(fitted, path)
+        with np.load(path) as data:
+            contents = {k: data[k] for k in data.files}
+        contents["format_version"] = np.array(99)
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **contents)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_pipeline(bad)

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.task == "face" and args.dim == 4096
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_bad_magnitude_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--magnitude", "l3"])
+
+
+class TestCommands:
+    def test_train_and_evaluate_roundtrip(self, tmp_path):
+        model = tmp_path / "m.npz"
+        out = io.StringIO()
+        code = main([
+            "train", "--dim", "512", "--size", "24",
+            "--train-samples", "24", "--test-samples", "12",
+            "--epochs", "3", "--save", str(model),
+        ], out=out)
+        assert code == 0
+        assert model.exists()
+        assert "test accuracy" in out.getvalue()
+
+        out = io.StringIO()
+        code = main([
+            "evaluate", str(model), "--size", "24", "--samples", "12",
+        ], out=out)
+        assert code == 0
+        assert "accuracy on 12 fresh samples" in out.getvalue()
+
+    def test_detect_writes_overlay(self, tmp_path):
+        overlay = tmp_path / "scene.pgm"
+        out = io.StringIO()
+        code = main([
+            "detect", "--dim", "512", "--scene-size", "72",
+            "--window", "24", "--output", str(overlay),
+        ], out=out)
+        assert code == 0
+        assert overlay.exists()
+        assert "detection map" in out.getvalue()
+
+    def test_report(self):
+        out = io.StringIO()
+        assert main(["report", "--dim", "2048"], out=out) == 0
+        text = out.getvalue()
+        assert "speedup" in text and "per-epoch" in text

@@ -1,0 +1,126 @@
+"""Cross-module integration tests: small versions of the paper experiments.
+
+These run miniature versions of each evaluation-section experiment to pin
+the *shapes* the benchmark harness later reproduces at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import HDFacePipeline, HOGPipeline
+from repro.datasets import load
+from repro.noise import (
+    dnn_robustness,
+    hdface_hyperspace_robustness,
+    hdface_original_hog_robustness,
+)
+
+
+@pytest.fixture(scope="module")
+def face_task():
+    return load("FACE2", scale="test", seed=0)
+
+
+class TestFig4Shape:
+    """All four learners reach competitive accuracy on the shared task."""
+
+    def test_all_systems_learn_face_task(self, face_data):
+        xtr, ytr, xte, yte = face_data
+        scores = {}
+        scores["hdface"] = HDFacePipeline(
+            2, dim=2048, cell_size=8, magnitude="l1", epochs=10, seed_or_rng=0
+        ).fit(xtr, ytr).score(xte, yte)
+        for kind in ("svm", "hdc"):
+            scores[kind] = HOGPipeline(
+                kind, 2, image_size=24, dim=2048, seed_or_rng=0
+            ).fit(xtr, ytr).score(xte, yte)
+        scores["dnn"] = HOGPipeline(
+            "dnn", 2, image_size=24, hidden=(32, 32), seed_or_rng=0
+        ).fit(xtr, ytr).score(xte, yte)
+        for name, acc in scores.items():
+            assert acc > 0.7, f"{name} failed to learn: {acc}"
+        # stochastic-HOG HDFace stays within reach of encoded HDC (paper:
+        # "same quality of detection")
+        assert scores["hdface"] > scores["hdc"] - 0.2
+
+
+class TestTable2Shape:
+    """Hyperspace HDFace out-survives original-space HOG under bit errors."""
+
+    def test_robustness_ordering(self, face_data):
+        xtr, ytr, xte, yte = face_data
+        rates = (0.0, 0.08)
+        hd = HDFacePipeline(2, dim=2048, cell_size=8, magnitude="l1",
+                            epochs=10, seed_or_rng=0).fit(xtr, ytr)
+        hd_res = hdface_hyperspace_robustness(hd, xte, yte, rates, seed_or_rng=0)
+
+        orig = HOGPipeline("hdc", 2, image_size=24, dim=2048,
+                           seed_or_rng=0).fit(xtr, ytr)
+        orig_res = hdface_original_hog_robustness(orig, xte, yte, rates,
+                                                  bits=16, seed_or_rng=0)
+        # average over repeated trials to stabilize the tiny test set
+        hd_loss = hd_res.losses()[0.08]
+        orig_loss = orig_res.losses()[0.08]
+        assert hd_loss <= orig_loss + 10.0
+
+    def test_dnn_precision_tradeoff(self, face_data):
+        from repro.learning import MLPClassifier
+        xtr, ytr, xte, yte = face_data
+        pipe = HOGPipeline("svm", 2, image_size=24)
+        ftr, fte = pipe.features(xtr), pipe.features(xte)
+        mlp = MLPClassifier(ftr.shape[1], 2, hidden=(32,), epochs=40,
+                            seed_or_rng=0).fit(ftr, ytr)
+        res16 = dnn_robustness(mlp, fte, yte, (0.0, 0.1), 16, seed_or_rng=0)
+        res4 = dnn_robustness(mlp, fte, yte, (0.0, 0.1), 4, seed_or_rng=0)
+        # 16-bit clean >= 4-bit clean (quantization cost)...
+        assert res16[0.0] >= res4[0.0] - 0.1
+        # ...but 16-bit loses at least as much under errors (fragility)
+        assert res16.losses()[0.1] >= res4.losses()[0.1] - 10.0
+
+
+class TestFig5Shape:
+    def test_dimensionality_improves_accuracy(self, face_task):
+        xtr, ytr, xte, yte = face_task
+        accs = []
+        for dim in (256, 2048):
+            pipe = HDFacePipeline(2, dim=dim, cell_size=8, magnitude="l1",
+                                  epochs=10, seed_or_rng=0).fit(xtr, ytr)
+            accs.append(pipe.score(xte, yte))
+        assert accs[-1] >= accs[0]
+
+
+class TestFig6Shape:
+    def test_detection_map_workflow(self, face_data):
+        from repro.pipeline import SlidingWindowDetector, make_scene
+        from repro.viz import ascii_map, render_detection
+        xtr, ytr, _, _ = face_data
+        pipe = HDFacePipeline(2, dim=2048, cell_size=8, magnitude="l1",
+                              epochs=10, seed_or_rng=0).fit(xtr, ytr)
+        scene, truth = make_scene(72, [(24, 24)], window=24, seed_or_rng=0)
+        det = SlidingWindowDetector(pipe, window=24, stride=24)
+        result = det.scan(scene)
+        overlay = render_detection(scene, result)
+        assert overlay.shape == scene.shape
+        text = ascii_map(result.detections)
+        assert len(text.splitlines()) == result.detections.shape[0]
+
+
+class TestFig7Shape:
+    def test_report_structure(self):
+        from repro.hardware import fig7_report
+        rows = fig7_report(datasets=("EMOTION",))
+        assert {r.phase for r in rows} == {"training", "inference"}
+        assert {r.platform for r in rows} == {"cpu", "fpga"}
+        training = [r for r in rows if r.phase == "training"]
+        assert all(r.speedup > 1 for r in training)
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_same_predictions(self, face_data):
+        xtr, ytr, xte, _ = face_data
+        preds = []
+        for _ in range(2):
+            pipe = HDFacePipeline(2, dim=1024, cell_size=8, magnitude="l1",
+                                  epochs=5, seed_or_rng=42).fit(xtr, ytr)
+            preds.append(pipe.predict(xte))
+        assert (preds[0] == preds[1]).all()

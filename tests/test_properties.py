@@ -1,0 +1,99 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold for *any* input in the domain: dataset images
+stay in [0, 1]; integral-image rectangle sums match brute force; LBP is
+invariant to monotone intensity maps; packing round-trips; bundling
+preserves membership similarity; HOG features are finite and non-negative.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypervector import pack_bits, random_hypervector, unpack_bits
+from repro.core.ops import bundle, similarity
+from repro.datasets.emotion import EMOTIONS, draw_emotion_face
+from repro.datasets.faces import draw_face, draw_nonface, random_face_params
+from repro.features.haar import integral_image
+from repro.features.hog import HOGDescriptor
+from repro.features.lbp import lbp_codes
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, jitter=st.floats(min_value=0.0, max_value=1.0),
+       size=st.sampled_from([16, 24, 48]))
+def test_faces_always_in_unit_range(seed, jitter, size):
+    rng = np.random.default_rng(seed)
+    img = draw_face(size, random_face_params(rng, jitter), rng)
+    assert img.shape == (size, size)
+    assert img.min() >= 0.0 and img.max() <= 1.0
+    assert np.isfinite(img).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, size=st.sampled_from([16, 32]))
+def test_nonfaces_always_in_unit_range(seed, size):
+    rng = np.random.default_rng(seed)
+    img = draw_nonface(size, rng)
+    assert img.min() >= 0.0 and img.max() <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, emotion=st.sampled_from(EMOTIONS))
+def test_emotions_always_in_unit_range(seed, emotion):
+    rng = np.random.default_rng(seed)
+    img = draw_emotion_face(24, emotion, rng)
+    assert img.min() >= 0.0 and img.max() <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds,
+       y=st.integers(0, 7), x=st.integers(0, 7),
+       h=st.integers(1, 8), w=st.integers(1, 8))
+def test_integral_image_rectangle_sums(seed, y, x, h, w):
+    rng = np.random.default_rng(seed)
+    img = rng.random((16, 16))
+    ii = integral_image(img)
+    brute = img[y : y + h, x : x + w].sum()
+    fast = ii[y + h, x + w] - ii[y, x + w] - ii[y + h, x] + ii[y, x]
+    assert abs(brute - fast) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, gain=st.floats(min_value=0.1, max_value=0.9),
+       offset=st.floats(min_value=0.0, max_value=0.1))
+def test_lbp_monotone_invariance(seed, gain, offset):
+    rng = np.random.default_rng(seed)
+    img = rng.random((12, 12))
+    assert (lbp_codes(img) == lbp_codes(img * gain + offset)).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, dim=st.sampled_from([64, 100, 129, 4096]))
+def test_pack_unpack_roundtrip(seed, dim):
+    hv = random_hypervector(dim, seed)
+    assert (unpack_bits(pack_bits(hv), dim) == hv).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, n=st.integers(min_value=3, max_value=9))
+def test_bundle_similar_to_members(seed, n):
+    if n % 2 == 0:
+        n += 1  # odd counts avoid ties
+    hvs = random_hypervector(4096, seed, shape=(n,))
+    out = bundle(hvs)
+    sims = [float(similarity(out, hv)) for hv in hvs]
+    # every member is much more similar to the bundle than a random vector
+    assert min(sims) > 0.1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_hog_features_finite_nonnegative(seed):
+    rng = np.random.default_rng(seed)
+    img = rng.random((16, 16))
+    feats = HOGDescriptor(cell_size=8, n_bins=8).extract(img)
+    assert np.isfinite(feats).all()
+    assert (feats >= 0).all()

@@ -1,0 +1,77 @@
+"""Tests for the headless rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz.render import ascii_image, ascii_map, render_detection, write_pgm
+
+
+class TestAsciiImage:
+    def test_dark_and_bright(self):
+        out = ascii_image(np.zeros((4, 8)))
+        assert set(out.replace("\n", "")) == {" "}
+        out = ascii_image(np.ones((4, 8)))
+        assert set(out.replace("\n", "")) == {"@"}
+
+    def test_width_limits_columns(self):
+        out = ascii_image(np.random.default_rng(0).random((16, 64)), width=16)
+        assert max(len(line) for line in out.splitlines()) <= 16
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            ascii_image(np.zeros(8))
+
+
+class TestAsciiMap:
+    def test_boolean_map(self):
+        out = ascii_map(np.array([[True, False], [False, True]]))
+        assert out == "#.\n.#"
+
+    def test_float_map_formatting(self):
+        out = ascii_map(np.array([[0.5]]))
+        assert out == "+0.50"
+
+    def test_custom_chars(self):
+        out = ascii_map(np.array([[True]]), true_char="X")
+        assert out == "X"
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            ascii_map(np.zeros(4, dtype=bool))
+
+
+class TestWritePgm:
+    def test_roundtrip_header_and_bytes(self, tmp_path):
+        img = np.linspace(0, 1, 12).reshape(3, 4)
+        path = tmp_path / "out.pgm"
+        write_pgm(path, img)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n4 3\n255\n")
+        pixels = np.frombuffer(data.split(b"255\n", 1)[1], dtype=np.uint8)
+        assert pixels.shape == (12,)
+        assert pixels[-1] == 255 and pixels[0] == 0
+
+    def test_non_2d_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros(4))
+
+
+class TestRenderDetection:
+    def test_detected_windows_brightened(self):
+        from repro.pipeline.detector import DetectionMap
+        scene = np.zeros((32, 32))
+        det = DetectionMap(
+            scores=np.array([[1.0, -1.0], [-1.0, -1.0]]),
+            detections=np.array([[True, False], [False, False]]),
+            stride=16, window=16,
+        )
+        out = render_detection(scene, det)
+        assert out[:16, :16].mean() > 0.2
+        assert out[16:, 16:].mean() == 0.0
+
+    def test_original_scene_untouched(self):
+        from repro.pipeline.detector import DetectionMap
+        scene = np.zeros((16, 16))
+        det = DetectionMap(np.ones((1, 1)), np.ones((1, 1), bool), 16, 16)
+        render_detection(scene, det)
+        assert scene.sum() == 0.0
