@@ -57,7 +57,8 @@ def detection_maps(scene, train_set):
                               magnitude=CONFIG["magnitude"],
                               epochs=CONFIG["hd_epochs"], seed_or_rng=0)
         pipe.fit(xtr, ytr)
-        det = SlidingWindowDetector(pipe, window=WINDOW, stride=WINDOW // 2)
+        det = SlidingWindowDetector(pipe, window=WINDOW, stride=WINDOW // 2,
+                                    engine="shared")
         maps[dim] = det.scan(scene_img)
     return maps, truth, scene_img
 
@@ -103,12 +104,18 @@ def test_faces_score_above_background(detection_maps):
         assert dmap.scores[truth_map].mean() > dmap.scores[~truth_map].mean()
 
 
-def test_scan_throughput(benchmark, detection_maps, scene):
-    """Benchmark: full-scene scan at the smallest configured D."""
+@pytest.mark.parametrize("engine", ["shared", "legacy"])
+def test_scan_throughput(benchmark, detection_maps, scene, engine):
+    """Benchmark: full-scene scan at the smallest configured D, per engine.
+
+    See bench_detector_throughput for the systematic shared-vs-legacy
+    comparison across strides; this is the one-number Fig. 6 smoke timing.
+    """
     scene_img, _ = scene
     from repro.datasets import make_face_dataset
     xtr, ytr = make_face_dataset(16, size=WINDOW, seed_or_rng=0)
     pipe = HDFacePipeline(2, dim=512, cell_size=8, magnitude="l1",
                           epochs=3, seed_or_rng=0).fit(xtr, ytr)
-    det = SlidingWindowDetector(pipe, window=WINDOW, stride=WINDOW)
+    det = SlidingWindowDetector(pipe, window=WINDOW, stride=WINDOW,
+                                engine=engine)
     benchmark.pedantic(det.scan, args=(scene_img,), rounds=1, iterations=1)

@@ -65,6 +65,36 @@ def test_two_percent_error_hurts_original_hog(face2):
     assert loss >= 0.0
 
 
+def test_shared_engine_modeled_op_reduction():
+    """Modeled op savings of sharing feature extraction across windows.
+
+    The same motivation at detection time: with overlapping windows the
+    per-window pipeline repeats the expensive per-pixel stages, and the
+    repetition factor grows quadratically as the stride shrinks.  The
+    op-count model quantifies what the shared-feature engine removes.
+    """
+    from repro.hardware.opcount import (
+        perwindow_detection_profile,
+        shared_detection_profile,
+    )
+    scene, window, dim = (96, 96), 24, CONFIG["dim"]
+    lines = [f"scene {scene[0]}x{scene[1]}, window {window}, D={dim} "
+             f"(modeled, Cortex-A53)"]
+    reductions = {}
+    for stride in (window, window // 2, window // 4):
+        shared = shared_detection_profile(scene, window, stride, dim)
+        perwin = perwindow_detection_profile(scene, window, stride, dim)
+        ratio = perwin.total_ops() / shared.total_ops()
+        reductions[stride] = ratio
+        lines.append(
+            f"stride {stride:>2}: per-window {CORTEX_A53.time(perwin)*1e3:8.1f} ms"
+            f"  shared {CORTEX_A53.time(shared)*1e3:8.1f} ms"
+            f"  op reduction {ratio:5.1f}x")
+    write_report("motivation_shared_engine", lines)
+    assert reductions[window // 4] > reductions[window]  # grows with overlap
+    assert reductions[window // 4] > 5.0
+
+
 def test_hog_profile_evaluation_speed(benchmark):
     """Benchmark: op-count profile construction cost."""
     benchmark(hog_profile, (512, 512))

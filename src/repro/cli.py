@@ -59,6 +59,15 @@ def build_parser():
     detect.add_argument("--scene-size", type=int, default=96)
     detect.add_argument("--window", type=int, default=24)
     detect.add_argument("--seed", type=int, default=7)
+    detect.add_argument("--stride", type=int, default=None,
+                        help="window step in pixels (default: window / 2)")
+    detect.add_argument("--engine", choices=("shared", "perwindow", "legacy"),
+                        default="shared",
+                        help="shared-feature engine (fast), keyed per-window "
+                             "reference, or the legacy crop path")
+    detect.add_argument("--profile", action="store_true",
+                        help="print stage timings, op counts and the modeled "
+                             "Cortex-A53 time for the scan")
     detect.add_argument("--output", metavar="PGM", help="overlay image path")
 
     report = sub.add_parser("report", help="hardware efficiency report")
@@ -124,12 +133,30 @@ def _cmd_detect(args, out):
                       int(rng.integers(0, margin + 1))))
     scene, truth = make_scene(args.scene_size, spots, window=args.window,
                               seed_or_rng=args.seed)
+    profiler = None
+    if args.profile:
+        from .profiling import Profiler
+        profiler = Profiler()
     detector = SlidingWindowDetector(pipe, window=args.window,
-                                     stride=args.window // 2)
+                                     stride=args.stride or args.window // 2,
+                                     engine=args.engine, profiler=profiler)
     result = detector.scan(scene)
     print(f"faces pasted at {truth}", file=out)
     print("detection map (# = face window):", file=out)
     print(ascii_map(result.detections), file=out)
+    if profiler is not None:
+        n_windows = result.scores.size
+        seconds = profiler.total_seconds()
+        print(profiler.table(f"profile ({args.engine} engine)"), file=out)
+        print(f"throughput: {n_windows / seconds:.1f} windows/s "
+              f"({n_windows} windows in {seconds:.3f}s)", file=out)
+        totals = profiler.op_totals()
+        if totals:
+            from .hardware.opcount import profile_from_counts
+            from .hardware.platforms import CORTEX_A53
+            prof = profile_from_counts(totals, label=f"{args.engine} scan")
+            print(f"modeled Cortex-A53 time for the counted ops: "
+                  f"{CORTEX_A53.time(prof):.3f}s", file=out)
     if args.output:
         write_pgm(args.output, render_detection(scene, result))
         print(f"overlay written to {args.output}", file=out)

@@ -13,6 +13,7 @@ from .capacity import (
     measure_member_similarity,
     measure_recall_accuracy,
 )
+from .keyed_noise import KeyedNoise
 from .hypervector import (
     DEFAULT_DIM,
     as_rng,
@@ -58,6 +59,7 @@ __all__ = [
     "ItemMemory",
     "LevelMemory",
     "StochasticCodec",
+    "KeyedNoise",
     "capacity_estimate",
     "expected_member_similarity",
     "measure_member_similarity",

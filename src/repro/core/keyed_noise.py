@@ -1,0 +1,120 @@
+"""Position-keyed deterministic noise streams for stochastic hypervector ops.
+
+The :class:`repro.core.stochastic.StochasticCodec` draws its randomness from
+a *stateful* generator: the bits a fair-coin average consumes depend on every
+draw that happened before it.  That is fine for one-shot extraction, but it
+makes shared computation impossible to validate - a sliding-window detector
+that extracts overlapping windows from cached whole-image intermediates can
+never reproduce what a per-window re-extraction would have drawn.
+
+:class:`KeyedNoise` removes the order dependence.  Each ``(seed, stage,
+row)`` triple names one reproducible stream (a counter-based Philox
+generator keyed by a hash of the stage name mixed with the row index), and
+asking for a row of a stage always replays the same values no matter how
+many other draws happened in between.  A consumer that addresses its draws
+by *absolute scene position* - generate the rows its region covers, slice
+the columns of interest - therefore gets bitwise-identical randomness
+whether it processes the scene in one pass, in cache-sized row strips,
+window by window, or in any other decomposition.  This is the property the
+shared-feature detection engine's equivalence test rests on (see
+``docs/performance.md``).
+
+Row granularity (rather than one monolithic stream per stage) is what makes
+the addressing cheap: a consumer touching rows ``[r0, r1)`` generates only
+those rows' streams, so strip-wise extraction pays no redundant RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["KeyedNoise", "stage_key"]
+
+_MASK63 = (1 << 63) - 1
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def stage_key(stage):
+    """Stable 64-bit key for a stage name (independent of ``PYTHONHASHSEED``)."""
+    digest = hashlib.blake2s(str(stage).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _mix(value):
+    """splitmix64 finalizer: decorrelates sequential key material."""
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK64
+    return value ^ (value >> 31)
+
+
+class KeyedNoise:
+    """Deterministic, (stage, row)-addressable randomness source.
+
+    Parameters
+    ----------
+    seed:
+        Base seed shared by every stream this instance produces.  Two
+        instances with the same seed replay identical streams.
+
+    Examples
+    --------
+    >>> noise = KeyedNoise(0)
+    >>> a = noise.coin_mask("gx", 3, 2, 64)     # rows 3-4, 64 lanes each
+    >>> b = noise.coin_mask("gx", 3, 2, 64)     # replay, any time later
+    >>> bool((a == b).all())
+    True
+    >>> c = noise.coin_mask("gx", 4, 1, 64)     # row 4 alone: same values
+    >>> bool((a[1] == c[0]).all())
+    True
+    """
+
+    def __init__(self, seed):
+        self.seed = int(seed) & _MASK63
+        self._stage_keys = {}
+
+    def _row_generator(self, stage, row):
+        """A fresh counter-based generator for ``(seed, stage, row)``."""
+        skey = self._stage_keys.get(stage)
+        if skey is None:
+            skey = stage_key(stage)
+            self._stage_keys[stage] = skey
+        key2 = _mix((skey + int(row) * _GOLDEN) & _MASK64)
+        return np.random.Generator(
+            np.random.Philox(key=np.array([self.seed, key2], dtype=np.uint64))
+        )
+
+    # ------------------------------------------------------------------
+    def coin_mask(self, stage, row0, n_rows, row_elems):
+        """Fair-coin selection masks: ``(n_rows, row_elems)`` int8, 0 / -1.
+
+        Row ``i`` of the result is the stream of absolute row ``row0 + i``,
+        regardless of how the request is split.  The layout matches what
+        :meth:`StochasticCodec.average` uses for its 0.5-weight fast path,
+        so ``(a & m) | (b & ~m)`` implements the stochastic half-sum.
+        """
+        n_rows = int(n_rows)
+        row_elems = int(row_elems)
+        n_bytes = (row_elems + 7) // 8
+        buf = np.empty((n_rows, n_bytes), dtype=np.uint8)
+        for i in range(n_rows):
+            gen = self._row_generator(stage, int(row0) + i)
+            buf[i] = gen.integers(0, 256, size=n_bytes, dtype=np.uint8)
+        bits = np.unpackbits(buf, axis=1)[:, :row_elems]
+        return (0 - bits).view(np.int8)
+
+    def uniform(self, stage, row0, n_rows, row_elems):
+        """float32 uniforms in [0, 1): ``(n_rows, row_elems)``.
+
+        Same row addressing as :meth:`coin_mask`; used for the stochastic
+        construction draws.
+        """
+        n_rows = int(n_rows)
+        row_elems = int(row_elems)
+        buf = np.empty((n_rows, row_elems), dtype=np.float32)
+        for i in range(n_rows):
+            gen = self._row_generator(stage, int(row0) + i)
+            buf[i] = gen.random(row_elems, dtype=np.float32)
+        return buf

@@ -35,19 +35,115 @@ no encoding step (paper Sec. 5).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.hypervector import as_rng, random_hypervector
-from ..core.stochastic import StochasticCodec
+from ..core.keyed_noise import KeyedNoise
+from ..core.stochastic import StochasticCodec, _bitselect, _bool_mask
 from .gradients import cell_grid
 
-__all__ = ["HDHOGExtractor", "HDHOGResult"]
+__all__ = ["HDHOGExtractor", "HDHOGResult", "HDHOGFields"]
 
 
 def _identity_injector(hv, stage):
     return hv
+
+
+class _KeyedOps:
+    """Codec facade whose randomness is position-keyed instead of stateful.
+
+    Wraps a :class:`StochasticCodec` but replaces every rng-consuming
+    primitive (fair-coin averages, constructions, the square-root search)
+    with draws from a :class:`KeyedNoise` stream addressed by the op's
+    sequence number and the *absolute* scene position of each element.  Two
+    extractions that execute the same op sequence over regions of the same
+    scene therefore agree bitwise wherever their regions overlap - the
+    property that lets the shared-feature detection engine compute the
+    expensive per-pixel stages once and slice them per window, while the
+    per-window reference path recomputes them and still lands on identical
+    hypervectors.
+
+    The op counter advances only on rng-consuming calls, and the op
+    sequence of an extraction is fixed by the extractor configuration (not
+    by the data or the region size), so corresponding ops in different
+    decompositions of the same scene always read the same stream.
+    """
+
+    def __init__(self, codec, noise, scene_shape, origin, size):
+        self.codec = codec
+        self.noise = noise
+        self.scene_width = int(scene_shape[1])
+        y0, x0 = origin
+        h, w = size
+        self.row0 = int(y0)
+        self.n_rows = int(h)
+        self._cols = slice(int(x0), int(x0) + int(w))
+        self._op = 0
+
+    def _stage(self, kind):
+        name = f"hog.{self._op}.{kind}"
+        self._op += 1
+        return name
+
+    def _rows_of(self, flat):
+        """Reshape per-row stream values to (rows, W, D) and slice columns."""
+        full = flat.reshape(self.n_rows, self.scene_width, self.codec.dim)
+        return full[:, self._cols]
+
+    # -- rng-consuming primitives, keyed ------------------------------
+    def add_half(self, a, b):
+        mask = self._rows_of(self.noise.coin_mask(
+            self._stage("coin"), self.row0, self.n_rows,
+            self.scene_width * self.codec.dim))
+        return _bitselect(mask, np.asarray(a, np.int8), np.asarray(b, np.int8))
+
+    def sub_half(self, a, b):
+        return self.add_half(a, self.codec.negate(b))
+
+    def construct(self, values):
+        values = np.asarray(values, dtype=np.float64)
+        p_plus = ((1.0 + values[..., None]) / 2.0).astype(np.float32)
+        draws = self._rows_of(self.noise.uniform(
+            self._stage("uniform"), self.row0, self.n_rows,
+            self.scene_width * self.codec.dim))
+        mask = _bool_mask(draws < p_plus)
+        return _bitselect(mask, self.codec.basis, self.codec._neg_basis)
+
+    def sqrt(self, hv, iters=12):
+        hv = np.asarray(hv, np.int8)
+        batch = hv.shape[:-1]
+        low = self.construct(np.zeros(batch))
+        high = self.codec.one(batch)
+        target = self.codec.decode(hv)
+        for _ in range(int(iters)):
+            mid = self.add_half(low, high)
+            mid_sq = self.codec.square(mid)
+            mask = _bool_mask(self.codec.decode(mid_sq) > target)[..., None]
+            high = _bitselect(mask, mid, high)
+            low = _bitselect(mask, low, mid)
+        return self.add_half(low, high)
+
+    # -- deterministic primitives delegate to the codec ----------------
+    def negate(self, hv):
+        return self.codec.negate(hv)
+
+    def multiply(self, a, b):
+        return self.codec.multiply(a, b)
+
+    def square(self, hv):
+        return self.codec.square(hv)
+
+    def decode(self, hv):
+        return self.codec.decode(hv)
+
+    def compare(self, a, b, tolerance=0.0):
+        return self.codec.compare(a, b, tolerance)
+
+    def sign_of(self, hv, tolerance=0.0):
+        return self.codec.sign_of(hv, tolerance)
 
 
 @dataclass
@@ -79,6 +175,36 @@ class HDHOGResult:
     def fractions(self):
         """Vote-count fractions ``counts / cell_pixels``."""
         return self.counts / float(self.cell_pixels)
+
+
+@dataclass
+class HDHOGFields:
+    """Whole-image per-pixel products of the shared extraction pass.
+
+    Holds everything the expensive stages (pixel encoding, gradients,
+    magnitudes, angle binning) produce, at pixel granularity, so that any
+    window's cell histograms can be assembled afterwards by pure integer
+    aggregation - no hypervector arithmetic left.
+
+    Attributes
+    ----------
+    mag:
+        ``(H, W, D)`` int8 magnitude hypervector per pixel.
+    bins:
+        ``(H, W)`` int64 orientation bin index per pixel.
+    """
+
+    mag: np.ndarray
+    bins: np.ndarray
+
+    @property
+    def shape(self):
+        """(H, W) of the underlying image."""
+        return self.bins.shape
+
+    def nbytes(self):
+        """Approximate memory footprint of the cached fields."""
+        return int(self.mag.nbytes + self.bins.nbytes)
 
 
 class HDHOGExtractor:
@@ -138,6 +264,7 @@ class HDHOGExtractor:
         self.sqrt_iters = int(sqrt_iters)
         self.gamma = bool(gamma)
         self._rng = rng
+        self._keyed_noise = None
         # Deterministic per-intensity codebook: the paper's base hypervector
         # generation assigns *one* hypervector per pixel value (Fig. 1a).
         grid = np.linspace(0.0, 1.0, self.levels)
@@ -167,15 +294,18 @@ class HDHOGExtractor:
     # ------------------------------------------------------------------
     # stage 2: gradients
     # ------------------------------------------------------------------
-    def gradients(self, pixel_hvs):
+    def gradients(self, pixel_hvs, ops=None):
         """Hyperspace gradients ``(V_Gx, V_Gy)``, replicate-padded borders.
 
         Each output hypervector represents the halved central difference of
         Sec. 4.3, computed by the stochastic subtraction ``V_a (+) (-V_b)``.
+        ``ops`` substitutes the randomness source (the shared-feature engine
+        passes a position-keyed facade); default is the stateful codec.
         """
+        ops = self.codec if ops is None else ops
         p = np.pad(pixel_hvs, ((1, 1), (1, 1), (0, 0)), mode="edge")
-        v_gx = self.codec.sub_half(p[2:, 1:-1], p[:-2, 1:-1])
-        v_gy = self.codec.sub_half(p[1:-1, 2:], p[1:-1, :-2])
+        v_gx = ops.sub_half(p[2:, 1:-1], p[:-2, 1:-1])
+        v_gy = ops.sub_half(p[1:-1, 2:], p[1:-1, :-2])
         return v_gx, v_gy
 
     # ------------------------------------------------------------------
@@ -186,30 +316,32 @@ class HDHOGExtractor:
         flip = np.where(signs < 0, -1, 1).astype(np.int8)
         return (hv * flip[..., None]).astype(np.int8, copy=False)
 
-    def magnitudes(self, v_gx, v_gy, signs_x=None, signs_y=None):
+    def magnitudes(self, v_gx, v_gy, signs_x=None, signs_y=None, ops=None):
         """Magnitude hypervectors for every pixel.
 
         ``l2_scaled`` follows the paper: square each gradient (decorrelated),
         average (which contributes the /2), then the binary-search square
         root.  ``l1`` uses hyperspace absolute values and one average.
+        ``ops`` substitutes the randomness source (see :meth:`gradients`).
         """
+        ops = self.codec if ops is None else ops
         if self.magnitude == "l2_scaled":
-            sq = self.codec.add_half(self.codec.square(v_gx), self.codec.square(v_gy))
-            mag = self.codec.sqrt(sq, iters=self.sqrt_iters)
+            sq = ops.add_half(ops.square(v_gx), ops.square(v_gy))
+            mag = ops.sqrt(sq, iters=self.sqrt_iters)
         else:
             if signs_x is None:
-                signs_x = np.asarray(self.codec.sign_of(v_gx))
+                signs_x = np.asarray(ops.sign_of(v_gx))
             if signs_y is None:
-                signs_y = np.asarray(self.codec.sign_of(v_gy))
-            mag = self.codec.add_half(self._abs(v_gx, signs_x), self._abs(v_gy, signs_y))
+                signs_y = np.asarray(ops.sign_of(v_gy))
+            mag = ops.add_half(self._abs(v_gx, signs_x), self._abs(v_gy, signs_y))
         if self.gamma:
-            mag = self.codec.sqrt(mag, iters=self.sqrt_iters)
+            mag = ops.sqrt(mag, iters=self.sqrt_iters)
         return mag
 
     # ------------------------------------------------------------------
     # stage 4: angle binning
     # ------------------------------------------------------------------
-    def angle_bins(self, v_gx, v_gy):
+    def angle_bins(self, v_gx, v_gy, ops=None):
         """Signed orientation bin per pixel via the paper's tan comparisons.
 
         Returns the integer bin array plus the gradient sign arrays (reused
@@ -218,11 +350,13 @@ class HDHOGExtractor:
         within the quadrant fold comes from comparing ``|Gy|`` against
         ``r |Gx|`` (boundary tangent ``r <= 1``) or ``|Gy| / r`` against
         ``|Gx|`` (``r > 1``), each realized as the decoded sign of the
-        paper's alpha hypervector.
+        paper's alpha hypervector.  ``ops`` substitutes the randomness
+        source (see :meth:`gradients`).
         """
+        ops = self.codec if ops is None else ops
         batch = v_gx.shape[:-1]
-        signs_x = np.asarray(self.codec.sign_of(v_gx))
-        signs_y = np.asarray(self.codec.sign_of(v_gy))
+        signs_x = np.asarray(ops.sign_of(v_gx))
+        signs_y = np.asarray(ops.sign_of(v_gy))
         abs_gx = self._abs(v_gx, signs_x)
         abs_gy = self._abs(v_gy, signs_y)
 
@@ -235,14 +369,14 @@ class HDHOGExtractor:
             if abs(r) <= 1.0:
                 # alpha = (|Gy| - r |Gx|) / 2 ; r|Gx| built by stochastic
                 # multiplication with a freshly constructed constant.
-                r_gx = self.codec.multiply(self.codec.construct(np.full(batch, r)), abs_gx)
-                count += (np.asarray(self.codec.compare(abs_gy, r_gx)) > 0).astype(np.int64)
+                r_gx = ops.multiply(ops.construct(np.full(batch, r)), abs_gx)
+                count += (np.asarray(ops.compare(abs_gy, r_gx)) > 0).astype(np.int64)
             else:
                 # alpha = ((1/r) |Gy| - |Gx|) / 2 for steep boundaries.
-                inv_gy = self.codec.multiply(
-                    self.codec.construct(np.full(batch, 1.0 / r)), abs_gy
+                inv_gy = ops.multiply(
+                    ops.construct(np.full(batch, 1.0 / r)), abs_gy
                 )
-                count += (np.asarray(self.codec.compare(inv_gy, abs_gx)) > 0).astype(np.int64)
+                count += (np.asarray(ops.compare(inv_gy, abs_gx)) > 0).astype(np.int64)
 
         per_quad = self.n_bins // 4
         q1 = (signs_x >= 0) & (signs_y >= 0)
@@ -365,6 +499,168 @@ class HDHOGExtractor:
         if images.ndim != 3:
             raise ValueError(f"expected (n, H, W) batch, got {images.shape}")
         return np.stack([self.extract(im, injector) for im in images])
+
+    # ------------------------------------------------------------------
+    # shared-feature pass: whole-image fields, window slicing
+    # ------------------------------------------------------------------
+    def _noise(self):
+        """Keyed noise source, derived deterministically from the codec basis.
+
+        Tied to the basis (not the stateful rng) so that creating it never
+        perturbs the draw sequence of the legacy per-image pipeline, and so
+        that extractors built from the same seed replay the same streams.
+        """
+        if self._keyed_noise is None:
+            digest = hashlib.blake2s(self.codec.basis.tobytes(),
+                                     digest_size=8).digest()
+            self._keyed_noise = KeyedNoise(int.from_bytes(digest, "little"))
+        return self._keyed_noise
+
+    def _fields_region(self, scene, origin, size, injector=None):
+        """Stages 1-4 over one region of ``scene`` with position-keyed noise.
+
+        The region is extracted with a one-pixel context ring (clamped at
+        the scene border, which reproduces the replicate padding of
+        :meth:`gradients` there), so gradients at region edges use the true
+        neighbouring scene pixels.  Together with the keyed noise this makes
+        the per-pixel output independent of the region decomposition.
+        """
+        inject = injector or _identity_injector
+        scene = np.asarray(scene, dtype=np.float64)
+        if scene.ndim != 2:
+            raise ValueError(f"expected 2-D scene, got {scene.shape}")
+        if scene.min() < -1e-9 or scene.max() > 1.0 + 1e-9:
+            raise ValueError("scene values must lie in [0, 1]")
+        sh, sw = scene.shape
+        y0, x0 = (int(origin[0]), int(origin[1]))
+        h, w = (int(size[0]), int(size[1]))
+        if y0 < 0 or x0 < 0 or y0 + h > sh or x0 + w > sw:
+            raise ValueError(f"region {origin}+{size} outside scene {scene.shape}")
+        rows = np.clip(np.arange(y0 - 1, y0 + h + 1), 0, sh - 1)
+        cols = np.clip(np.arange(x0 - 1, x0 + w + 1), 0, sw - 1)
+        idx = np.round(np.clip(scene[np.ix_(rows, cols)], 0, 1)
+                       * (self.levels - 1)).astype(np.int64)
+        pix = inject(self._pixel_table[idx], "pixels")
+
+        ops = _KeyedOps(self.codec, self._noise(), scene.shape, (y0, x0), (h, w))
+        v_gx = ops.sub_half(pix[2:, 1:-1], pix[:-2, 1:-1])
+        v_gy = ops.sub_half(pix[1:-1, 2:], pix[1:-1, :-2])
+        v_gx = inject(v_gx, "gx")
+        v_gy = inject(v_gy, "gy")
+        bins, signs_x, signs_y = self.angle_bins(v_gx, v_gy, ops=ops)
+        v_mag = self.magnitudes(v_gx, v_gy, signs_x, signs_y, ops=ops)
+        v_mag = inject(v_mag, "magnitude")
+        return HDHOGFields(np.ascontiguousarray(v_mag, dtype=np.int8), bins)
+
+    def extract_fields(self, scene, injector=None, strip_rows=None):
+        """One shared pass over a whole scene: per-pixel magnitudes and bins.
+
+        Runs pixel encoding, gradients, angle binning and magnitudes *once*
+        over the full image with position-keyed noise, returning an
+        :class:`HDHOGFields` from which any window's histogram follows by
+        integer aggregation (:meth:`cell_grid_at`, :meth:`cell_histograms`).
+        This is the whole-image half of the shared-feature detection engine.
+
+        The scene is processed in horizontal strips of ``strip_rows`` rows
+        (auto-sized to keep each intermediate tensor cache-resident when
+        None): the stochastic ops are memory-bound, and working on
+        megabyte-scale tiles instead of the full ``(H, W, D)`` tensors is
+        about 2x faster on large scenes.  Thanks to the position-keyed
+        noise and the gradient context ring, the result is bitwise
+        independent of the strip decomposition.
+        """
+        scene = np.asarray(scene, dtype=np.float64)
+        if scene.ndim != 2:
+            raise ValueError(f"expected 2-D scene, got {scene.shape}")
+        h, w = scene.shape
+        if strip_rows is None:
+            # ~2 MB int8 per intermediate tensor, at least 8 rows per strip.
+            strip_rows = max(8, (1 << 21) // max(w * self.dim, 1))
+        strip_rows = int(strip_rows)
+        if strip_rows >= h:
+            return self._fields_region(scene, (0, 0), scene.shape, injector)
+        mag = np.empty((h, w, self.dim), dtype=np.int8)
+        bins = np.empty((h, w), dtype=np.int64)
+        for r0 in range(0, h, strip_rows):
+            r1 = min(r0 + strip_rows, h)
+            part = self._fields_region(scene, (r0, 0), (r1 - r0, w), injector)
+            mag[r0:r1] = part.mag
+            bins[r0:r1] = part.bins
+        return HDHOGFields(mag, bins)
+
+    def window_fields(self, scene, origin, window, injector=None):
+        """Per-window recompute of the fields - the equivalence reference.
+
+        Re-runs stages 1-4 on just the ``window``-square region anchored at
+        ``origin``, drawing the *same* keyed noise the whole-scene pass
+        would.  The result is bitwise equal to
+        ``extract_fields(scene)`` sliced at the window, which is what the
+        shared-vs-per-window equivalence test pins.
+        """
+        return self._fields_region(scene, origin, (int(window), int(window)),
+                                   injector)
+
+    def window_query(self, scene, origin, window, injector=None):
+        """Reference query hypervector for one window (slow path).
+
+        Recomputes every stage for the window alone; used as the legacy
+        per-window baseline the shared engine is validated against.
+        """
+        fields = self.window_fields(scene, origin, window, injector)
+        result = self.cell_histograms(fields.mag, fields.bins)
+        if injector is not None:
+            result.bundles = injector(result.bundles, "histogram")
+        return self.bundle_query(result)
+
+    def cell_grid_at(self, fields, row_starts, col_starts):
+        """Cell histograms for cells anchored at arbitrary pixel offsets.
+
+        For every anchor ``(y, x)`` in ``row_starts x col_starts`` this
+        produces the same (cell, bin) bundle and vote count
+        :meth:`cell_histograms` computes for the ``cell_size``-square block
+        at that anchor - but via one per-bin cumulative-sum (box-filter)
+        pass over the whole field instead of per-window re-aggregation, so
+        overlapping windows share all of it.  Integer arithmetic
+        throughout: the output is bitwise equal to the per-window
+        reference.
+
+        Returns an :class:`HDHOGResult` whose grid axes index
+        ``row_starts`` and ``col_starts``.
+        """
+        c = self.cell_size
+        h, w = fields.shape
+        ys = np.asarray(row_starts, dtype=np.int64)
+        xs = np.asarray(col_starts, dtype=np.int64)
+        if ys.size == 0 or xs.size == 0:
+            raise ValueError("need at least one row and one column anchor")
+        if ((ys < 0) | (ys + c > h)).any() or ((xs < 0) | (xs + c > w)).any():
+            raise ValueError("cell anchors must keep the cell inside the field")
+        bundles = np.empty((len(ys), len(xs), self.n_bins, self.dim),
+                           dtype=np.int16)
+        counts = np.empty((len(ys), len(xs), self.n_bins), dtype=np.int64)
+        bands = np.empty((len(ys), w, self.dim), dtype=np.int16)
+        cbands = np.empty((len(ys), w), dtype=np.int64)
+        for b in range(self.n_bins):
+            member = fields.bins == b
+            mask = (0 - member.view(np.int8))[..., None]
+            masked = fields.mag & mask
+            # Box sums in two banded passes: collapse the cell_size rows at
+            # each row anchor, then the cell_size columns at each column
+            # anchor within the band array.  Only anchor bands are touched,
+            # and a cell sums at most cell_size^2 values of +-1, so int16
+            # holds every intermediate.  Integer sums are order-invariant,
+            # which keeps the result bitwise equal to the per-window
+            # aggregation of :meth:`cell_histograms`.
+            for i, y in enumerate(ys):
+                np.sum(masked[y : y + c], axis=0, dtype=np.int16,
+                       out=bands[i])
+                np.sum(member[y : y + c], axis=0, dtype=np.int64,
+                       out=cbands[i])
+            for j, x in enumerate(xs):
+                np.sum(bands[:, x : x + c], axis=1, dtype=np.int16,
+                       out=bundles[:, j, b])
+                counts[:, j, b] = cbands[:, x : x + c].sum(axis=1)
+        return HDHOGResult(bundles, counts, c * c)
 
     def readout_histogram(self, result):
         """Decode the factored histogram to scalars ``(n_y, n_x, B)``.

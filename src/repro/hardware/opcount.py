@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "OperationProfile",
+    "profile_from_counts",
     "hd_hog_profile",
+    "hd_hog_fields_profile",
+    "hd_hog_aggregate_profile",
+    "shared_detection_profile",
+    "perwindow_detection_profile",
     "hog_profile",
     "dnn_forward_profile",
     "dnn_training_profile",
@@ -78,12 +83,20 @@ class OperationProfile:
 # ----------------------------------------------------------------------
 # HDFace stochastic pipeline
 # ----------------------------------------------------------------------
-def hd_hog_profile(image_shape, dim, n_bins=8, magnitude="l2_scaled",
-                   sqrt_iters=8, gamma=True, cell_size=8):
-    """Per-image operation counts of the hyperspace HOG pipeline.
+def profile_from_counts(counts, label="measured"):
+    """Wrap raw op counters (e.g. from :class:`repro.profiling.Profiler`)
+    into an :class:`OperationProfile` so the platform models can convert a
+    *measured* run into modeled time and energy."""
+    return OperationProfile(dict(counts), label=label)
 
-    Counts follow the implementation in
-    :class:`repro.features.hog_hd.HDHOGExtractor` stage by stage.  Per
+
+def hd_hog_fields_profile(image_shape, dim, n_bins=8, magnitude="l2_scaled",
+                          sqrt_iters=8, gamma=True):
+    """Per-image operation counts of HOG-HD stages 1-4 (the *fields* pass).
+
+    Pixel encoding, gradients, angle binning and magnitudes - the per-pixel
+    hypervector work that :meth:`HDHOGExtractor.extract_fields` runs once
+    over a whole scene and the legacy path repeats per window.  Counts per
     hypervector primitive: a weighted average is ``D`` select bit-ops plus
     ``D`` RNG bits; a multiplication is ``2 D`` bit-ops; a decode readout is
     ``D`` bit-ops plus ``D`` add lanes; a binary-search iteration costs one
@@ -149,19 +162,104 @@ def hd_hog_profile(image_shape, dim, n_bins=8, magnitude="l2_scaled",
         average(sqrt_units)          # final midpoint
         decode(sqrt_units)           # hoisted target readout (once)
 
-    # stage 5: histogram bundling - masked accumulate of every pixel into
-    # its bin lane
-    counts["bit"] += px * d
-    counts["int_add"] += px * d
+    counts["mem_bytes"] += px * d / 8.0 * 6  # streamed intermediate tensors
+    return OperationProfile(counts, label=f"hd_hog_fields{image_shape}xD{dim}")
 
-    # stage 6: query bundling - bind + accumulate per (cell, bin)
+
+def hd_hog_aggregate_profile(image_shape, dim, n_bins=8, cell_size=8):
+    """Per-image operation counts of HOG-HD stages 5-6 (aggregation).
+
+    Histogram bundling (masked accumulate of every pixel into its bin lane)
+    plus query bundling (bind + accumulate per (cell, bin)).
+    """
+    h, w = image_shape
+    px = float(h * w)
+    d = float(dim)
+    counts = {"bit": px * d, "int_add": px * d}
     n_cells = (h // cell_size) * (w // cell_size)
     feats = n_cells * n_bins
     counts["bit"] += feats * d
     counts["int_add"] += feats * d
+    return OperationProfile(counts, label=f"hd_hog_agg{image_shape}xD{dim}")
 
-    counts["mem_bytes"] += px * d / 8.0 * 6  # streamed intermediate tensors
-    return OperationProfile(counts, label=f"hd_hog{image_shape}xD{dim}")
+
+def hd_hog_profile(image_shape, dim, n_bins=8, magnitude="l2_scaled",
+                   sqrt_iters=8, gamma=True, cell_size=8):
+    """Per-image operation counts of the full hyperspace HOG pipeline.
+
+    Composition of :func:`hd_hog_fields_profile` (stages 1-4) and
+    :func:`hd_hog_aggregate_profile` (stages 5-6); counts follow the
+    implementation in :class:`repro.features.hog_hd.HDHOGExtractor` stage
+    by stage.
+    """
+    prof = (hd_hog_fields_profile(image_shape, dim, n_bins=n_bins,
+                                  magnitude=magnitude, sqrt_iters=sqrt_iters,
+                                  gamma=gamma)
+            + hd_hog_aggregate_profile(image_shape, dim, n_bins=n_bins,
+                                       cell_size=cell_size))
+    prof.label = f"hd_hog{image_shape}xD{dim}"
+    return prof
+
+
+# ----------------------------------------------------------------------
+# Sliding-window detection: shared-feature engine vs per-window recompute
+# ----------------------------------------------------------------------
+def _window_grid(scene_shape, window, stride):
+    h, w = scene_shape
+    if h < window or w < window:
+        raise ValueError("scene smaller than the detection window")
+    return ((h - window) // stride + 1), ((w - window) // stride + 1)
+
+
+def shared_detection_profile(scene_shape, window, stride, dim, n_classes=2,
+                             n_bins=8, magnitude="l2_scaled", sqrt_iters=8,
+                             gamma=True, cell_size=8):
+    """Modeled op counts of the shared-feature engine scanning one scene.
+
+    One whole-scene fields pass, one per-bin box-filter cell-grid pass
+    (membership select + two running-sum passes per bin), then per window
+    only the cheap assembly (bind + weighted accumulate per (cell, bin))
+    and one row of the batched similarity matmul.
+    """
+    h, w = scene_shape
+    px = float(h * w)
+    d = float(dim)
+    n_wy, n_wx = _window_grid(scene_shape, window, stride)
+    n_windows = n_wy * n_wx
+    prof = hd_hog_fields_profile(scene_shape, dim, n_bins=n_bins,
+                                 magnitude=magnitude, sqrt_iters=sqrt_iters,
+                                 gamma=gamma)
+    prof = prof + OperationProfile(
+        {"bit": n_bins * px * d, "int_add": 2 * n_bins * px * d,
+         "mem_bytes": n_bins * px * d / 4},
+        label="cell_grid",
+    )
+    feats = (window // cell_size) ** 2 * n_bins
+    prof = prof + OperationProfile(
+        {"bit": feats * d, "int_add": feats * d}) * n_windows
+    prof = prof + hdc_infer_profile(dim, n_classes) * n_windows
+    prof.label = f"shared_detect{scene_shape}w{window}s{stride}xD{dim}"
+    return prof
+
+
+def perwindow_detection_profile(scene_shape, window, stride, dim, n_classes=2,
+                                n_bins=8, magnitude="l2_scaled", sqrt_iters=8,
+                                gamma=True, cell_size=8):
+    """Modeled op counts of the legacy per-window path on the same scan.
+
+    Every window re-runs the full per-image pipeline from raw pixels, so
+    overlapping windows repeat the expensive fields stages; this is the
+    baseline the shared engine is measured against.
+    """
+    n_wy, n_wx = _window_grid(scene_shape, window, stride)
+    n_windows = n_wy * n_wx
+    per = (hd_hog_profile((window, window), dim, n_bins=n_bins,
+                          magnitude=magnitude, sqrt_iters=sqrt_iters,
+                          gamma=gamma, cell_size=cell_size)
+           + hdc_infer_profile(dim, n_classes))
+    prof = per * n_windows
+    prof.label = f"perwindow_detect{scene_shape}w{window}s{stride}xD{dim}"
+    return prof
 
 
 # ----------------------------------------------------------------------

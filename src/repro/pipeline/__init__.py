@@ -2,6 +2,7 @@
 
 from .baselines import HOGPipeline
 from .detector import DetectionMap, SlidingWindowDetector, make_scene
+from .engine import SharedFeatureEngine
 from .hdface import HDFacePipeline
 from .multiscale import Detection, PyramidDetector, non_max_suppression, pyramid
 
@@ -9,6 +10,7 @@ __all__ = [
     "HDFacePipeline",
     "HOGPipeline",
     "SlidingWindowDetector",
+    "SharedFeatureEngine",
     "DetectionMap",
     "make_scene",
     "Detection",

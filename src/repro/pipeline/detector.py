@@ -6,6 +6,20 @@ painted.  :class:`SlidingWindowDetector` reproduces that, returning the
 per-window face-confidence map that the Fig. 6 bench renders at different
 dimensionalities (false detections at D=1k disappear by D=4k).
 
+Three execution engines scan the same window grid:
+
+* ``"shared"`` (default for HD pipelines) - the
+  :class:`~repro.pipeline.engine.SharedFeatureEngine`: per-pixel feature
+  stages run once over the whole scene, every window's query is sliced out
+  of the cached cell-histogram grid, and all windows are classified by one
+  batched similarity matmul.
+* ``"perwindow"`` - the keyed reference path: every window re-extracts its
+  fields from scratch with position-keyed noise.  Bitwise identical scores
+  to ``"shared"`` (the equivalence tests rely on this), at per-window cost.
+* ``"legacy"`` - the original crop-based path through
+  ``pipeline.similarities`` with the stateful codec rng; kept as the speed
+  baseline and for non-HD pipelines.
+
 The module also builds the composite test scenes: a clutter background with
 faces pasted at known locations, so detection quality is measurable
 (window-level precision/recall against ground truth).
@@ -19,8 +33,13 @@ import numpy as np
 
 from ..core.hypervector import as_rng
 from ..datasets.faces import draw_face, draw_nonface, random_face_params
+from ..hardware.opcount import hd_hog_profile, hdc_infer_profile
+from ..profiling import NULL_PROFILER
+from .engine import SharedFeatureEngine
 
 __all__ = ["SlidingWindowDetector", "DetectionMap", "make_scene"]
+
+ENGINES = ("shared", "perwindow", "legacy")
 
 
 @dataclass
@@ -66,32 +85,110 @@ class SlidingWindowDetector:
     face_class:
         Index of the face class in the pipeline's outputs (1 by
         convention of :func:`repro.datasets.faces.make_face_dataset`).
+    engine:
+        ``"shared"``, ``"perwindow"``, ``"legacy"``, ``"auto"`` (shared
+        when the pipeline exposes the HD shared-pass API, legacy
+        otherwise), or a ready :class:`~repro.pipeline.engine.
+        SharedFeatureEngine` instance to reuse its cache across detectors.
+    profiler:
+        Optional :class:`repro.profiling.Profiler`; scan stages are timed
+        and op-counted on it (and on the engine, for shared mode).
     """
 
-    def __init__(self, pipeline, window, stride=None, face_class=1):
+    def __init__(self, pipeline, window, stride=None, face_class=1,
+                 engine="auto", profiler=None):
         self.pipeline = pipeline
         self.window = int(window)
         self.stride = int(stride) if stride else max(self.window // 2, 1)
         self.face_class = int(face_class)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.engine = None
+        if isinstance(engine, SharedFeatureEngine):
+            self.mode = "shared"
+            self.engine = engine
+            if profiler is not None:
+                self.engine.profiler = self.profiler
+        else:
+            if engine == "auto":
+                engine = "shared" if self._has_shared_api() else "legacy"
+            if engine not in ENGINES:
+                raise ValueError(f"unknown engine {engine!r}; "
+                                 f"expected one of {ENGINES}")
+            self.mode = engine
+            if engine == "shared":
+                self.engine = SharedFeatureEngine(pipeline.extractor,
+                                                  profiler=self.profiler)
 
-    def windows(self, scene):
-        """All window crops and their grid shape: ``(crops, (n_wy, n_wx))``."""
-        scene = np.asarray(scene, dtype=np.float64)
-        h, w = scene.shape
+    def _has_shared_api(self):
+        extractor = getattr(self.pipeline, "extractor", None)
+        return (hasattr(extractor, "extract_fields")
+                and hasattr(self.pipeline, "classifier"))
+
+    def origins(self, scene_shape):
+        """Window origins and grid shape: ``(list[(y, x)], (n_wy, n_wx))``."""
+        h, w = scene_shape
         if h < self.window or w < self.window:
             raise ValueError("scene smaller than the detection window")
         ys = range(0, h - self.window + 1, self.stride)
         xs = range(0, w - self.window + 1, self.stride)
+        return [(y, x) for y in ys for x in xs], (len(ys), len(xs))
+
+    def windows(self, scene):
+        """All window crops and their grid shape: ``(crops, (n_wy, n_wx))``."""
+        scene = np.asarray(scene, dtype=np.float64)
+        origins, grid = self.origins(scene.shape)
         crops = np.stack([
             scene[y : y + self.window, x : x + self.window]
-            for y in ys for x in xs
+            for y, x in origins
         ])
-        return crops, (len(list(ys)), len(list(xs)))
+        return crops, grid
+
+    def _window_queries(self, scene, origins, injector):
+        """Query hypervectors for every window, per the selected engine."""
+        if self.mode == "shared":
+            return self.engine.window_queries(scene, origins, self.window,
+                                              injector)
+        ext = self.pipeline.extractor
+        with self.profiler.stage("perwindow"):
+            queries = np.stack([
+                ext.window_query(scene, origin, self.window, injector)
+                for origin in origins
+            ])
+        self.profiler.add_profile(
+            "perwindow",
+            hd_hog_profile((self.window, self.window), ext.dim,
+                           n_bins=ext.n_bins, magnitude=ext.magnitude,
+                           sqrt_iters=ext.sqrt_iters, gamma=ext.gamma,
+                           cell_size=ext.cell_size) * len(origins),
+            items=len(origins),
+        )
+        return queries
 
     def scan(self, scene, injector=None):
-        """Classify every window; returns a :class:`DetectionMap`."""
-        crops, (n_wy, n_wx) = self.windows(scene)
-        sims = self.pipeline.similarities(crops, injector=injector)
+        """Classify every window; returns a :class:`DetectionMap`.
+
+        Shared and per-window engines produce bitwise-identical scores;
+        the legacy engine is statistically equivalent but draws different
+        stochastic noise.
+        """
+        scene = np.asarray(scene, dtype=np.float64)
+        prof = self.profiler
+        if self.mode == "legacy":
+            with prof.stage("legacy_scan"):
+                crops, (n_wy, n_wx) = self.windows(scene)
+                sims = self.pipeline.similarities(crops, injector=injector)
+            prof.add_ops("legacy_scan", items=n_wy * n_wx)
+        else:
+            origins, (n_wy, n_wx) = self.origins(scene.shape)
+            queries = self._window_queries(scene, origins, injector)
+            with prof.stage("classify"):
+                sims = self.pipeline.classifier.similarities(queries)
+            prof.add_profile(
+                "classify",
+                hdc_infer_profile(self.pipeline.dim,
+                                  self.pipeline.n_classes) * len(origins),
+                items=len(origins),
+            )
         sims = np.atleast_2d(np.asarray(sims))
         margin = sims[:, self.face_class] - np.delete(sims, self.face_class, axis=1).max(axis=1)
         scores = margin.reshape(n_wy, n_wx)

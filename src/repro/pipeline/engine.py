@@ -1,0 +1,231 @@
+"""Shared-feature detection engine: extract once, slice per window.
+
+The legacy sliding-window detector re-runs the whole hyperspace HOG
+pipeline on every window crop, so with stride < window the expensive
+per-pixel stages (pixel encoding, gradients, angle binning, magnitudes)
+are recomputed for every pixel once per overlapping window.
+:class:`SharedFeatureEngine` restructures the scan around the shared-pass
+API of :class:`repro.features.hog_hd.HDHOGExtractor`:
+
+1. **Fields once** - ``extract_fields`` runs stages 1-4 a single time over
+   the whole scene with position-keyed noise, yielding per-pixel magnitude
+   hypervectors and orientation bins (:class:`~repro.features.hog_hd.
+   HDHOGFields`).
+2. **Cell grid once** - ``cell_grid_at`` box-filters those fields into
+   (cell, bin) bundles at the union of every cell anchor any window needs,
+   so overlapping windows share all histogram accumulation.
+3. **Cheap per-window assembly** - each window's feature bundle is a pure
+   slice of the cached grid, bound to positional keys and summed into its
+   query hypervector.
+
+Because the extractor's keyed noise is addressed by absolute scene
+position, the queries this engine assembles are *bitwise identical* to a
+per-window recompute (``HDHOGExtractor.window_query``) - the equivalence
+the engine tests pin down.
+
+Scene fields (and the grids derived from them) are kept in a small LRU
+cache keyed by the scene contents, so an image-pyramid detector that
+revisits levels - or any caller that rescans the same scene - skips
+straight to assembly.  A :class:`repro.profiling.Profiler` can be attached
+to time the stages and count their operations in the vocabulary of
+:mod:`repro.hardware.opcount`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from ..features.hog_hd import HDHOGResult
+from ..hardware.opcount import hd_hog_fields_profile
+from ..profiling import NULL_PROFILER
+
+__all__ = ["SharedFeatureEngine", "scene_key"]
+
+
+def scene_key(scene):
+    """Content hash of a scene: cache key for its extracted fields."""
+    arr = np.ascontiguousarray(scene, dtype=np.float64)
+    digest = hashlib.blake2s(arr.tobytes(), digest_size=16).digest()
+    return (arr.shape, digest)
+
+
+class _CacheEntry:
+    """Fields for one scene plus the cell grids already derived from them."""
+
+    __slots__ = ("fields", "grids")
+
+    def __init__(self, fields):
+        self.fields = fields
+        self.grids = {}
+
+    def nbytes(self):
+        total = self.fields.nbytes()
+        for grid in self.grids.values():
+            total += int(grid.bundles.nbytes + grid.counts.nbytes)
+        return total
+
+
+class SharedFeatureEngine:
+    """Whole-image feature extraction with per-window slicing and caching.
+
+    Parameters
+    ----------
+    extractor:
+        An :class:`repro.features.hog_hd.HDHOGExtractor` (or anything
+        exposing its shared-pass API: ``extract_fields``, ``cell_grid_at``,
+        ``bundle_query``, ``cell_size``, ``dim``).
+    cache_size:
+        Maximum number of scenes whose fields stay cached (LRU).  An image
+        pyramid wants this at least as deep as its number of levels.
+    profiler:
+        Optional :class:`repro.profiling.Profiler`; stages ``fields``,
+        ``cell_grid`` and ``assemble`` are timed and op-counted on it.
+
+    Examples
+    --------
+    >>> from repro.features.hog_hd import HDHOGExtractor
+    >>> ext = HDHOGExtractor(dim=256, cell_size=8, magnitude="l1",
+    ...                      seed_or_rng=0)
+    >>> eng = SharedFeatureEngine(ext)
+    >>> scene = np.random.default_rng(0).random((32, 32))
+    >>> q = eng.window_queries(scene, [(0, 0), (8, 8)], window=16)
+    >>> q.shape
+    (2, 256)
+    """
+
+    def __init__(self, extractor, cache_size=8, profiler=None):
+        self.extractor = extractor
+        self.cache_size = int(cache_size)
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._cache = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # scene-fields cache
+    # ------------------------------------------------------------------
+    def _entry(self, scene):
+        """Cached fields for ``scene``, extracting (and evicting) as needed."""
+        key = scene_key(scene)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = _CacheEntry(self._extract_fields(scene))
+        self._cache[key] = entry
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return entry
+
+    def _extract_fields(self, scene, injector=None):
+        ext = self.extractor
+        with self.profiler.stage("fields"):
+            fields = ext.extract_fields(scene, injector)
+        self.profiler.add_profile(
+            "fields",
+            hd_hog_fields_profile(fields.shape, ext.dim, n_bins=ext.n_bins,
+                                  magnitude=ext.magnitude,
+                                  sqrt_iters=ext.sqrt_iters, gamma=ext.gamma),
+            items=fields.shape[0] * fields.shape[1],
+        )
+        return fields
+
+    def scene_fields(self, scene):
+        """Per-pixel fields for ``scene`` (cached)."""
+        return self._entry(scene).fields
+
+    def cache_info(self):
+        """Cache statistics: hits, misses, entries, approximate bytes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._cache),
+            "bytes": sum(e.nbytes() for e in self._cache.values()),
+        }
+
+    def clear(self):
+        """Drop every cached scene (counters keep accumulating)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # window queries
+    # ------------------------------------------------------------------
+    def _anchors(self, origins, window):
+        """Union of cell anchors needed by ``origins``: sorted rows, cols."""
+        c = self.extractor.cell_size
+        if window % c:
+            raise ValueError(
+                f"window {window} not divisible by cell_size {c}")
+        n = window // c
+        ys = sorted({int(y) + c * i for y, _ in origins for i in range(n)})
+        xs = sorted({int(x) + c * i for _, x in origins for i in range(n)})
+        return np.asarray(ys, dtype=np.int64), np.asarray(xs, dtype=np.int64), n
+
+    def _grid(self, fields, grids, ys, xs):
+        """Cell grid at the anchor union (cached per scene entry)."""
+        gkey = (ys.tobytes(), xs.tobytes())
+        grid = grids.get(gkey)
+        if grid is not None:
+            return grid
+        ext = self.extractor
+        with self.profiler.stage("cell_grid"):
+            grid = ext.cell_grid_at(fields, ys, xs)
+        h, w = fields.shape
+        px_d = float(h * w) * ext.dim
+        self.profiler.add_ops(
+            "cell_grid", items=len(ys) * len(xs),
+            bit=ext.n_bins * px_d, int_add=2 * ext.n_bins * px_d,
+            mem_bytes=ext.n_bins * px_d / 4,
+        )
+        grids[gkey] = grid
+        return grid
+
+    def window_queries(self, scene, origins, window, injector=None):
+        """Query hypervectors ``(n_windows, D)`` for windows at ``origins``.
+
+        Each row is bitwise identical to
+        ``extractor.window_query(scene, origin, window)`` - the per-window
+        recompute - but the expensive stages run once for the whole scene.
+
+        ``injector`` (fault-injection hook) bypasses the cache: corrupted
+        fields are computed fresh and never stored, so later clean scans of
+        the same scene are unaffected.
+        """
+        window = int(window)
+        origins = [(int(y), int(x)) for y, x in origins]
+        if not origins:
+            raise ValueError("need at least one window origin")
+        if injector is None:
+            entry = self._entry(scene)
+            fields, grids = entry.fields, entry.grids
+        else:
+            fields, grids = self._extract_fields(scene, injector), {}
+        ys, xs, n = self._anchors(origins, window)
+        grid = self._grid(fields, grids, ys, xs)
+
+        ext = self.extractor
+        c = ext.cell_size
+        offsets = c * np.arange(n, dtype=np.int64)
+        queries = np.empty((len(origins), ext.dim), dtype=np.float32)
+        with self.profiler.stage("assemble"):
+            for k, (y, x) in enumerate(origins):
+                ri = np.searchsorted(ys, y + offsets)
+                ci = np.searchsorted(xs, x + offsets)
+                sub = HDHOGResult(grid.bundles[np.ix_(ri, ci)],
+                                  grid.counts[np.ix_(ri, ci)],
+                                  grid.cell_pixels)
+                if injector is not None:
+                    sub.bundles = injector(sub.bundles, "histogram")
+                queries[k] = ext.bundle_query(sub)
+        feats_d = float(n * n * ext.n_bins) * ext.dim
+        self.profiler.add_ops("assemble", items=len(origins),
+                              bit=feats_d * len(origins),
+                              int_add=feats_d * len(origins))
+        return queries

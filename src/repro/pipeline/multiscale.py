@@ -86,6 +86,14 @@ def non_max_suppression(detections, iou_threshold=0.3):
 class PyramidDetector:
     """Fixed-window detector applied across an image pyramid.
 
+    When the wrapped detector runs the shared-feature engine (the default
+    for HD pipelines), each pyramid level's whole-image fields land in the
+    engine's LRU cache keyed by the level's contents - so repeated
+    ``detect`` calls on the same scene (tracking, parameter sweeps) skip
+    extraction entirely and go straight to window assembly.  Size the
+    engine cache at least as deep as the pyramid (``n_levels ~=
+    log(scene / window) / log(scale_step) + 1``).
+
     Parameters
     ----------
     detector:
@@ -112,11 +120,8 @@ class PyramidDetector:
         raw = []
         for level, factor in pyramid(scene, self.scale_step, min_size=window):
             dmap = self.detector.scan(level)
-            for iy in range(dmap.scores.shape[0]):
-                for ix in range(dmap.scores.shape[1]):
-                    score = float(dmap.scores[iy, ix])
-                    if score > self.score_threshold:
-                        y, x = dmap.window_origin(iy, ix)
-                        raw.append(Detection(
-                            y * factor, x * factor, window * factor, score))
+            for iy, ix in np.argwhere(dmap.scores > self.score_threshold):
+                y, x = dmap.window_origin(int(iy), int(ix))
+                raw.append(Detection(y * factor, x * factor, window * factor,
+                                     float(dmap.scores[iy, ix])))
         return non_max_suppression(raw, self.iou_threshold)

@@ -1,0 +1,137 @@
+"""Stage timers and operation counters for the detection engine.
+
+The shared-feature detection engine's whole point is a measurable speedup,
+so the speedup has to be measurable: this module provides the lightweight
+instrumentation threaded through feature extraction and detection.  A
+:class:`Profiler` collects, per named stage,
+
+* wall-clock seconds (via a context manager around the stage),
+* abstract operation counts in the same operation classes the hardware
+  cost models use (``bit``, ``int_add``, ``rng_bit``, ... - see
+  :data:`repro.hardware.opcount.OP_CLASSES`),
+* a free-form item count (windows scanned, pixels encoded, ...).
+
+Because the op counters speak the ``opcount`` vocabulary, a profile of a
+real run converts straight into an :class:`~repro.hardware.opcount.
+OperationProfile` (via :func:`repro.hardware.opcount.profile_from_counts`)
+and from there into modeled time/energy on any platform - the CLI's
+``detect --profile`` prints both the measured and the modeled view.
+
+The profiler is allocation-light and safe to leave in hot paths: a
+disabled profiler reduces every call to a cheap early return.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Profiler", "StageStats", "NULL_PROFILER"]
+
+
+@dataclass
+class StageStats:
+    """Accumulated measurements for one named stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    items: float = 0.0
+    ops: dict = field(default_factory=dict)
+
+    def total_ops(self):
+        """All counted operations except memory traffic."""
+        return sum(v for k, v in self.ops.items() if k != "mem_bytes")
+
+
+class Profiler:
+    """Collects per-stage timings and op counts across a detection run.
+
+    Parameters
+    ----------
+    enabled:
+        When False every method is a no-op, so instrumented code can keep
+        one unconditional call site.
+
+    Examples
+    --------
+    >>> prof = Profiler()
+    >>> with prof.stage("fields"):
+    ...     pass
+    >>> prof.add_ops("fields", items=9, bit=1024)
+    >>> prof.stats["fields"].calls
+    1
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = bool(enabled)
+        self.stats = OrderedDict()
+
+    def _get(self, name):
+        if name not in self.stats:
+            self.stats[name] = StageStats()
+        return self.stats[name]
+
+    @contextmanager
+    def stage(self, name):
+        """Time one stage; nests and repeats accumulate."""
+        if not self.enabled:
+            yield self
+            return
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            stat = self._get(name)
+            stat.calls += 1
+            stat.seconds += time.perf_counter() - start
+
+    def add_ops(self, name, items=0.0, **counts):
+        """Attribute operation counts (opcount classes) to a stage."""
+        if not self.enabled:
+            return
+        stat = self._get(name)
+        stat.items += float(items)
+        for op, n in counts.items():
+            if n:
+                stat.ops[op] = stat.ops.get(op, 0.0) + float(n)
+
+    def add_profile(self, name, profile, items=0.0):
+        """Attribute an :class:`OperationProfile`'s counts to a stage."""
+        self.add_ops(name, items=items, **profile.counts)
+
+    # ------------------------------------------------------------------
+    def total_seconds(self):
+        """Wall-clock total across stages (stages are assumed disjoint)."""
+        return sum(s.seconds for s in self.stats.values())
+
+    def op_totals(self):
+        """Summed op counts across stages, keyed by operation class."""
+        totals = {}
+        for stat in self.stats.values():
+            for op, n in stat.ops.items():
+                totals[op] = totals.get(op, 0.0) + n
+        return totals
+
+    def reset(self):
+        """Drop all collected stats (counters start over)."""
+        self.stats.clear()
+
+    def table(self, title="profile"):
+        """Human-readable per-stage report (the CLI's ``--profile`` output)."""
+        lines = [f"{title}:"]
+        header = f"  {'stage':<18} {'calls':>6} {'seconds':>9} {'items':>10} {'ops':>12}"
+        lines.append(header)
+        for name, stat in self.stats.items():
+            ops = stat.total_ops()
+            ops_s = f"{ops:.3g}" if ops else "-"
+            items_s = f"{stat.items:.0f}" if stat.items else "-"
+            lines.append(f"  {name:<18} {stat.calls:>6d} {stat.seconds:>9.4f} "
+                         f"{items_s:>10} {ops_s:>12}")
+        lines.append(f"  {'total':<18} {'':>6} {self.total_seconds():>9.4f}")
+        return "\n".join(lines)
+
+
+#: Shared disabled profiler for call sites that were given none.
+NULL_PROFILER = Profiler(enabled=False)

@@ -114,3 +114,29 @@ class TestLevelIDEncoderProfile:
         cos_t = CORTEX_A53.time(encoder_profile(4096, 288))
         bin_t = CORTEX_A53.time(levelid_encoder_profile(4096, 288))
         assert bin_t < cos_t
+
+
+class TestDetectionProfiles:
+    def test_fields_plus_aggregate_compose_to_full(self):
+        from repro.hardware.opcount import (
+            hd_hog_aggregate_profile,
+            hd_hog_fields_profile,
+        )
+        full = hd_hog_profile((24, 24), 2048)
+        parts = (hd_hog_fields_profile((24, 24), 2048)
+                 + hd_hog_aggregate_profile((24, 24), 2048))
+        assert parts.counts == full.counts
+
+    def test_shared_cheaper_than_perwindow_when_overlapping(self):
+        from repro.hardware.opcount import (
+            perwindow_detection_profile,
+            shared_detection_profile,
+        )
+        shared = shared_detection_profile((96, 96), 24, 6, 2048)
+        perwin = perwindow_detection_profile((96, 96), 24, 6, 2048)
+        assert shared.total_ops() < perwin.total_ops() / 5
+
+    def test_scene_smaller_than_window_rejected(self):
+        from repro.hardware.opcount import shared_detection_profile
+        with pytest.raises(ValueError):
+            shared_detection_profile((16, 16), 24, 8, 1024)

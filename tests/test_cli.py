@@ -56,6 +56,30 @@ class TestCommands:
         assert overlay.exists()
         assert "detection map" in out.getvalue()
 
+    def test_detect_profile_reports_throughput(self):
+        out = io.StringIO()
+        code = main([
+            "detect", "--dim", "512", "--scene-size", "48",
+            "--window", "24", "--stride", "8", "--profile",
+        ], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "profile (shared engine)" in text
+        assert "fields" in text and "windows/s" in text
+        assert "modeled Cortex-A53" in text
+
+    def test_detect_engine_choices(self):
+        for engine in ("shared", "perwindow", "legacy"):
+            out = io.StringIO()
+            code = main([
+                "detect", "--dim", "256", "--scene-size", "48",
+                "--window", "24", "--engine", engine, "--profile",
+            ], out=out)
+            assert code == 0
+            assert f"profile ({engine} engine)" in out.getvalue()
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--engine", "warp"])
+
     def test_report(self):
         out = io.StringIO()
         assert main(["report", "--dim", "2048"], out=out) == 0

@@ -1,0 +1,88 @@
+"""Tests for the stage-timer / op-counter instrumentation layer."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.opcount import profile_from_counts
+from repro.hardware.platforms import CORTEX_A53
+from repro.profiling import NULL_PROFILER, Profiler, StageStats
+
+
+class TestStageStats:
+    def test_total_ops_excludes_memory(self):
+        stats = StageStats(ops={"bit": 10.0, "int_add": 5.0,
+                                "mem_bytes": 100.0})
+        assert stats.total_ops() == 15.0
+
+
+class TestProfiler:
+    def test_stage_times_accumulate(self):
+        prof = Profiler()
+        with prof.stage("a"):
+            pass
+        with prof.stage("a"):
+            pass
+        assert prof.stats["a"].calls == 2
+        assert prof.stats["a"].seconds >= 0.0
+
+    def test_add_ops_accumulates(self):
+        prof = Profiler()
+        prof.add_ops("x", items=3, bit=100, rng_bit=50)
+        prof.add_ops("x", items=2, bit=10)
+        assert prof.stats["x"].items == 5
+        assert prof.stats["x"].ops == {"bit": 110.0, "rng_bit": 50.0}
+
+    def test_zero_counts_not_recorded(self):
+        prof = Profiler()
+        prof.add_ops("x", bit=0)
+        assert prof.stats["x"].ops == {}
+
+    def test_add_profile(self):
+        prof = Profiler()
+        prof.add_profile("y", profile_from_counts({"bit": 7.0}), items=1)
+        assert prof.stats["y"].ops["bit"] == 7.0
+
+    def test_op_totals_sum_across_stages(self):
+        prof = Profiler()
+        prof.add_ops("a", bit=1, int_add=2)
+        prof.add_ops("b", bit=10)
+        assert prof.op_totals() == {"bit": 11.0, "int_add": 2.0}
+
+    def test_total_seconds_and_reset(self):
+        prof = Profiler()
+        with prof.stage("a"):
+            pass
+        assert prof.total_seconds() >= 0.0
+        prof.reset()
+        assert prof.stats == {} and prof.total_seconds() == 0.0
+
+    def test_table_lists_every_stage(self):
+        prof = Profiler()
+        with prof.stage("fields"):
+            pass
+        prof.add_ops("fields", items=9, bit=1024)
+        text = prof.table("scan")
+        assert "scan:" in text and "fields" in text and "total" in text
+
+    def test_disabled_profiler_records_nothing(self):
+        prof = Profiler(enabled=False)
+        with prof.stage("a"):
+            prof.add_ops("a", bit=5)
+        assert prof.stats == {}
+
+    def test_null_profiler_is_disabled(self):
+        assert NULL_PROFILER.enabled is False
+
+
+class TestOpcountBridge:
+    def test_measured_counts_convert_to_platform_time(self):
+        prof = Profiler()
+        prof.add_ops("fields", bit=1e6, int_add=1e5, rng_bit=1e6,
+                     mem_bytes=1e5)
+        platform_profile = profile_from_counts(prof.op_totals())
+        assert CORTEX_A53.time(platform_profile) > 0.0
+        assert CORTEX_A53.energy(platform_profile) > 0.0
+
+    def test_unknown_op_class_rejected(self):
+        with pytest.raises(ValueError):
+            profile_from_counts({"quantum_flops": 1.0})
