@@ -21,7 +21,7 @@ import time
 import numpy as np
 import pytest
 
-from common import CONFIG, write_report
+from common import CONFIG, write_json, write_report
 
 from repro.pipeline import HDFacePipeline, SlidingWindowDetector, make_scene
 from repro.profiling import Profiler
@@ -72,13 +72,25 @@ def test_detector_throughput_report(measurements):
              f"magnitude={CONFIG['magnitude']}",
              f"{'stride':>6} {'engine':>10} {'windows':>8} "
              f"{'seconds':>8} {'win/s':>8} {'vs legacy':>9}"]
+    rows = []
     for stride, per_engine in measurements.items():
         legacy_s = per_engine["legacy"][0]
         for engine, (seconds, dmap) in per_engine.items():
             n = dmap.scores.size
             lines.append(f"{stride:>6} {engine:>10} {n:>8} {seconds:>8.3f} "
                          f"{n / seconds:>8.1f} {legacy_s / seconds:>8.1f}x")
+            rows.append({
+                "engine": engine, "backend": "dense", "stride": stride,
+                "windows": int(n), "seconds": seconds,
+                "windows_per_s": n / seconds,
+                "speedup_vs_legacy": legacy_s / seconds,
+            })
     write_report("detector_throughput", lines)
+    write_json("detector_throughput", {
+        "config": {"scene": SCENE, "window": WINDOW, "dim": CONFIG["dim"],
+                   "magnitude": CONFIG["magnitude"], "strides": list(STRIDES)},
+        "rows": rows,
+    })
 
 
 def test_shared_bitwise_equals_perwindow(measurements):

@@ -9,6 +9,7 @@ minutes range while preserving every qualitative shape.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -67,6 +68,21 @@ def write_report(name, lines):
     print(f"\n=== {name} (scale={SCALE}) ===")
     print(text)
     return text
+
+
+def write_json(name, payload):
+    """Persist machine-readable results to results/<name>.json.
+
+    ``payload`` should carry the run configuration alongside the measured
+    rows (wall time, windows/s, backend, ...) so the perf trajectory can be
+    diffed across commits; the scale knob is stamped in automatically.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("scale", SCALE)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def fmt_row(cells, widths):

@@ -65,6 +65,13 @@ def build_parser():
                         default="shared",
                         help="shared-feature engine (fast), keyed per-window "
                              "reference, or the legacy crop path")
+    detect.add_argument("--backend", choices=("dense", "packed"),
+                        default="dense",
+                        help="dense float hot path, or bit-packed uint64 "
+                             "XOR+popcount (shared engine only)")
+    detect.add_argument("--workers", type=int, default=1,
+                        help="threads for the strip-parallel fields pass "
+                             "(shared engine)")
     detect.add_argument("--profile", action="store_true",
                         help="print stage timings, op counts and the modeled "
                              "Cortex-A53 time for the scan")
@@ -139,7 +146,9 @@ def _cmd_detect(args, out):
         profiler = Profiler()
     detector = SlidingWindowDetector(pipe, window=args.window,
                                      stride=args.stride or args.window // 2,
-                                     engine=args.engine, profiler=profiler)
+                                     engine=args.engine, profiler=profiler,
+                                     backend=args.backend,
+                                     workers=args.workers)
     result = detector.scan(scene)
     print(f"faces pasted at {truth}", file=out)
     print("detection map (# = face window):", file=out)
@@ -147,7 +156,9 @@ def _cmd_detect(args, out):
     if profiler is not None:
         n_windows = result.scores.size
         seconds = profiler.total_seconds()
-        print(profiler.table(f"profile ({args.engine} engine)"), file=out)
+        print(profiler.table(
+            f"profile ({args.engine} engine, {args.backend} backend)"),
+            file=out)
         print(f"throughput: {n_windows / seconds:.1f} windows/s "
               f"({n_windows} windows in {seconds:.3f}s)", file=out)
         totals = profiler.op_totals()

@@ -26,6 +26,13 @@ from .hypervector import (
     to_binary,
     unpack_bits,
 )
+from .packed import (
+    PackedClassModel,
+    packed_bind,
+    packed_majority,
+    packed_nearest,
+    pairwise_hamming,
+)
 from .ops import (
     bind,
     bundle,
@@ -49,6 +56,11 @@ __all__ = [
     "unpack_bits",
     "packed_popcount",
     "packed_hamming_distance",
+    "packed_bind",
+    "packed_majority",
+    "packed_nearest",
+    "pairwise_hamming",
+    "PackedClassModel",
     "bundle",
     "bind",
     "permute",

@@ -31,6 +31,8 @@ __all__ = [
     "unpack_bits",
     "packed_popcount",
     "packed_hamming_distance",
+    "packed_words",
+    "packed_tail_mask",
 ]
 
 #: Default dimensionality used across the library.  The paper identifies
@@ -110,12 +112,38 @@ def from_binary(bits):
     return (np.asarray(bits).astype(np.int16) * 2 - 1).astype(np.int8)
 
 
+def packed_words(dim):
+    """Number of ``uint64`` words a ``dim``-component hypervector packs into."""
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    return (int(dim) + 63) // 64
+
+
+def packed_tail_mask(dim):
+    """``(packed_words(dim),)`` uint64 mask that zeroes the pad bits.
+
+    :func:`pack_bits` stores component ``i`` at bit ``i % 64`` of word
+    ``i // 64`` (little bit order), so when ``dim`` is not a multiple of 64
+    the pad occupies the *high* bits of the last word.  ANDing with this
+    mask clears them, which keeps popcount-based arithmetic truthful on
+    words whose pads were set by a complementing operation (e.g. the XNOR
+    bind in :mod:`repro.core.packed`).
+    """
+    mask = np.full(packed_words(dim), np.uint64(0xFFFFFFFFFFFFFFFF),
+                   dtype=np.uint64)
+    rem = int(dim) % 64
+    if rem:
+        mask[-1] = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
+    return mask
+
+
 def pack_bits(hv):
     """Pack a bipolar hypervector into ``uint64`` words (``+1 -> 1`` bit).
 
     The last axis of length ``D`` becomes ``ceil(D / 64)`` words; if ``D`` is
     not a multiple of 64 the tail bits are zero (and :func:`unpack_bits`
-    needs the original ``dim`` to drop them).
+    needs the original ``dim`` to drop them).  Empty leading batch shapes
+    pack to empty word arrays of the right trailing width.
     """
     bits = to_binary(hv)
     dim = bits.shape[-1]
@@ -130,14 +158,28 @@ def pack_bits(hv):
 
 def unpack_bits(words, dim):
     """Unpack ``uint64`` words produced by :func:`pack_bits` to bipolar form."""
+    words = np.asarray(words, dtype=np.uint64)
+    expected = packed_words(dim)
+    if words.shape[-1] != expected:
+        raise ValueError(
+            f"dim {dim} needs {expected} words per vector, got {words.shape[-1]}")
     as_bytes = np.ascontiguousarray(words).view(np.uint8)
     bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")[..., :dim]
     return from_binary(bits)
 
 
-def packed_popcount(words):
-    """Population count per packed hypervector (sum over the word axis)."""
+def packed_popcount(words, dim=None):
+    """Population count per packed hypervector (sum over the word axis).
+
+    ``dim`` - when given - masks the pad bits of the last word before
+    counting, so vectors whose pads were polluted (by complementing ops or
+    fault injection on the raw words) still count only their ``dim`` real
+    components.  Arrays straight out of :func:`pack_bits` have zero pads
+    and need no mask.
+    """
     words = np.asarray(words, dtype=np.uint64)
+    if dim is not None:
+        words = words & packed_tail_mask(dim)
     if hasattr(np, "bitwise_count"):
         counts = np.bitwise_count(words)
     else:  # pragma: no cover - exercised only on NumPy < 2.0
@@ -148,11 +190,13 @@ def packed_popcount(words):
     return counts.sum(axis=-1, dtype=np.int64)
 
 
-def packed_hamming_distance(a, b):
+def packed_hamming_distance(a, b, dim=None):
     """Hamming distance between packed hypervectors (XOR + popcount).
 
     This is the FPGA-native similarity kernel of Section 6.5: a LUT computes
     XOR, a popcount tree reduces it.  ``a`` and ``b`` broadcast against each
-    other over leading axes.
+    other over leading axes; ``dim`` masks pad bits (see
+    :func:`packed_popcount`).
     """
-    return packed_popcount(np.bitwise_xor(np.asarray(a, np.uint64), np.asarray(b, np.uint64)))
+    xor = np.bitwise_xor(np.asarray(a, np.uint64), np.asarray(b, np.uint64))
+    return packed_popcount(xor, dim=dim)

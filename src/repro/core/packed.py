@@ -1,0 +1,230 @@
+"""Batched compute kernels over bit-packed (``uint64``) hypervectors.
+
+The paper's hardware story (Sec. 6.5) processes *binary* hypervectors as
+64-bit words: XOR gates bind, popcount trees measure similarity, and
+majority (thresholded popcount) bundles.  :mod:`repro.core.hypervector`
+provides the representation (:func:`~repro.core.hypervector.pack_bits` /
+:func:`~repro.core.hypervector.unpack_bits`); this module provides the
+*batched operations* on it, so the detection pipeline can run its hot path
+on words that are 64x denser than the ``int8`` bipolar arrays:
+
+* :func:`packed_bind` - the bipolar component-wise product.  Under the
+  ``+1 -> 1`` bit convention the product's sign bit is the **XNOR** of the
+  operand bits, i.e. one XOR plus a complement per word lane.
+* :func:`packed_majority` - majority-vote bundling across a feature axis,
+  computed entirely in the packed domain with bit-sliced vertical counters
+  (the software mirror of a carry-save adder tree) and a bit-sliced
+  threshold comparator.  No unpacking, no integer tensors.
+* :func:`pairwise_hamming` / :func:`packed_nearest` - the XOR + popcount
+  similarity search of the FPGA datapath, batched as ``(n, k)``.
+* :class:`PackedClassModel` - a sign-quantized, packed class-hypervector
+  matrix with the exact inference semantics of
+  :class:`repro.learning.binary_inference.BinaryHDCEngine` (Hamming argmin
+  against the sign-quantized model), reusable by the detection engine.
+
+Every function is dimension-aware: pad bits (``D`` not a multiple of 64)
+are masked out of results and never counted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hypervector import (
+    pack_bits,
+    packed_hamming_distance,
+    packed_tail_mask,
+    packed_words,
+)
+
+__all__ = [
+    "packed_bind",
+    "packed_majority",
+    "pairwise_hamming",
+    "packed_nearest",
+    "PackedClassModel",
+]
+
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ZERO = np.uint64(0)
+
+
+def packed_bind(a, b, dim):
+    """Bipolar multiply in the packed domain: per-lane XNOR, pads cleared.
+
+    With ``+1 -> 1`` bits, ``(+1)*(+1) = (+1)`` and ``(+1)*(-1) = (-1)``
+    make the product bit ``NOT (a XOR b)``.  The complement would set the
+    pad bits of the last word, so they are masked back to zero - results
+    stay interchangeable with :func:`~repro.core.hypervector.pack_bits`
+    output.  ``a`` and ``b`` broadcast over leading axes.
+    """
+    out = ~np.bitwise_xor(np.asarray(a, np.uint64), np.asarray(b, np.uint64))
+    return out & packed_tail_mask(dim)
+
+
+def _plane_count(n_features):
+    """Bit planes needed to count up to ``n_features`` votes."""
+    return max(int(n_features), 1).bit_length()
+
+
+def packed_majority(packed, dim, valid=None):
+    """Majority-vote bundling over the feature axis, in the packed domain.
+
+    Parameters
+    ----------
+    packed:
+        ``(..., F, W)`` uint64 sign bits (``+1 -> 1``) of ``F`` features,
+        each ``W = packed_words(dim)`` words wide.
+    dim:
+        Real component count; pad bits of the result are zeroed.
+    valid:
+        Optional ``(..., F)`` boolean mask; invalid features cast no vote
+        (their lanes are zeroed and the majority threshold shrinks
+        accordingly).  With zero valid features every component ties.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(..., W)`` uint64: bit ``d`` is 1 iff at least half of the valid
+        features have bit ``d`` set - the sign (``0 -> +1`` convention) of
+        the bipolar component-wise sum.  Ties resolve to ``+1``, matching
+        the sign-quantization convention used everywhere else.
+
+    Notes
+    -----
+    The per-component vote counts are accumulated as *bit-sliced vertical
+    counters*: plane ``i`` holds bit ``i`` of the running count for all 64
+    components of a word at once, and adding a feature is a ripple-carry
+    over the planes (one XOR + one AND each).  The ``count >= threshold``
+    readout is a bit-sliced magnitude comparator over the same planes.
+    This is exactly the carry-save adder + comparator tree an FPGA majority
+    gate synthesizes to, executed on 64-component word lanes.
+    """
+    words = np.asarray(packed, dtype=np.uint64)
+    if words.ndim < 2:
+        raise ValueError(f"expected (..., F, W) packed array, got {words.shape}")
+    batch = words.shape[:-2]
+    n_feat = words.shape[-2]
+    n_words = words.shape[-1]
+    if n_words != packed_words(dim):
+        raise ValueError(
+            f"dim {dim} needs {packed_words(dim)} words, got {n_words}")
+    tail = packed_tail_mask(dim)
+    if n_feat == 0:
+        # no votes: every component ties, and ties resolve to +1
+        return np.broadcast_to(tail, batch + (n_words,)).copy()
+
+    if valid is not None:
+        valid = np.asarray(valid, dtype=bool)
+        if valid.shape != batch + (n_feat,):
+            raise ValueError(
+                f"valid mask {valid.shape} does not match features "
+                f"{batch + (n_feat,)}")
+        lane_mask = np.where(valid[..., None], _ONES, _ZERO)
+        votes = valid.sum(axis=-1, dtype=np.int64)
+    else:
+        votes = np.full(batch, n_feat, dtype=np.int64) if batch else n_feat
+
+    n_planes = _plane_count(n_feat)
+    planes = [np.zeros(batch + (n_words,), dtype=np.uint64)
+              for _ in range(n_planes)]
+    for f in range(n_feat):
+        carry = words[..., f, :]
+        if valid is not None:
+            carry = carry & lane_mask[..., f, :]
+        for i in range(n_planes):
+            plane = planes[i]
+            planes[i] = plane ^ carry
+            carry = plane & carry
+
+    # threshold: sign(2*count - V) >= 0  <=>  count >= ceil(V / 2)
+    thresh = ((np.asarray(votes, dtype=np.uint64) + np.uint64(1))
+              >> np.uint64(1))[..., None]
+    greater = np.zeros(batch + (n_words,), dtype=np.uint64)
+    equal = np.full(batch + (n_words,), _ONES, dtype=np.uint64)
+    for i in reversed(range(n_planes)):
+        t_bit = (thresh >> np.uint64(i)) & np.uint64(1)
+        t_mask = np.where(t_bit.astype(bool), _ONES, _ZERO)
+        greater |= equal & planes[i] & ~t_mask
+        equal &= ~(planes[i] ^ t_mask)
+    return (greater | equal) & tail
+
+
+def pairwise_hamming(queries, model, dim=None):
+    """Hamming distances of every query to every model row: ``(n, k)``.
+
+    ``queries`` is ``(n, W)`` (or ``(W,)``), ``model`` is ``(k, W)``;
+    ``dim`` masks pad bits before counting.
+    """
+    q = np.atleast_2d(np.asarray(queries, dtype=np.uint64))
+    m = np.atleast_2d(np.asarray(model, dtype=np.uint64))
+    return packed_hamming_distance(q[:, None, :], m[None, :, :], dim=dim)
+
+
+def packed_nearest(queries, model, dim=None):
+    """Hamming-nearest model row per query: ``(labels, distances)``.
+
+    The packed analogue of a similarity search - ``distances`` is the
+    ``(n, k)`` matrix from :func:`pairwise_hamming` and ``labels`` its
+    argmin, which is the Hamming-argmin inference rule of the FPGA
+    datapath (ties resolve to the lowest class index, matching
+    ``numpy.argmin`` and :class:`~repro.learning.binary_inference.
+    BinaryHDCEngine`).
+    """
+    distances = pairwise_hamming(queries, model, dim=dim)
+    return distances.argmin(axis=1), distances
+
+
+class PackedClassModel:
+    """Sign-quantized, bit-packed class model for Hamming-argmin inference.
+
+    The detection engine's packed backend classifies window queries against
+    this object with one XOR + popcount pass; the semantics are identical
+    to :class:`repro.learning.binary_inference.BinaryHDCEngine` (sign
+    quantization with ``0 -> +1``, Hamming argmin), just factored so the
+    model can be built once and shared by batched callers that already
+    hold *packed* queries.
+
+    Parameters
+    ----------
+    model_bipolar:
+        ``(n_classes, D)`` array of ``+1`` / ``-1``.
+    """
+
+    def __init__(self, model_bipolar):
+        model = np.asarray(model_bipolar)
+        if model.ndim != 2:
+            raise ValueError(f"model must be (n_classes, D), got {model.shape}")
+        self.n_classes, self.dim = model.shape
+        self.packed = pack_bits(model.astype(np.int8, copy=False))
+
+    @classmethod
+    def from_classifier(cls, classifier):
+        """Build from a fitted HDC classifier (sign-quantize ``class_hvs_``)."""
+        if getattr(classifier, "class_hvs_", None) is None:
+            raise RuntimeError("classifier is not fitted")
+        model = np.sign(classifier.class_hvs_)
+        model[model == 0] = 1
+        return cls(model.astype(np.int8))
+
+    @property
+    def nbytes(self):
+        """Stored model size in bytes (the packed hardware footprint)."""
+        return int(self.packed.nbytes)
+
+    def distances(self, packed_queries):
+        """Hamming distance of each packed query to each class: ``(n, k)``."""
+        return pairwise_hamming(packed_queries, self.packed, dim=self.dim)
+
+    def similarities(self, packed_queries):
+        """Normalized similarities ``1 - 2 * hamming / D`` in ``[-1, 1]``.
+
+        This is exactly the dot product of the underlying bipolar vectors
+        divided by ``D``, so downstream margin logic written for cosine
+        similarities keeps its sign semantics.
+        """
+        return 1.0 - 2.0 * self.distances(packed_queries) / float(self.dim)
+
+    def predict(self, packed_queries):
+        """Label of the Hamming-nearest class per packed query."""
+        return self.distances(packed_queries).argmin(axis=1)

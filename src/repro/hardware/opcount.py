@@ -13,6 +13,8 @@ Operation classes
 ``bit``      one-bit logic operation (AND/OR/XOR/select lane)
 ``int_add``  narrow (<=16-bit) integer add/accumulate
 ``rng_bit``  one pseudorandom bit (LFSR lane on hardware)
+``word64``   one 64-bit word operation on packed hypervectors
+             (XOR/AND of a word, or one popcount-tree reduction of it)
 ``fp_mul`` / ``fp_add`` / ``fp_div``  fp32 arithmetic
 ``fp_sqrt`` / ``fp_atan``             fp32 iterative/transcendental
 ``mem_bytes`` bytes moved through the memory hierarchy
@@ -35,11 +37,13 @@ __all__ = [
     "dnn_training_profile",
     "hdc_learn_profile",
     "hdc_infer_profile",
+    "packed_infer_profile",
+    "packed_assemble_profile",
     "encoder_profile",
 ]
 
 OP_CLASSES = (
-    "bit", "int_add", "rng_bit",
+    "bit", "int_add", "rng_bit", "word64",
     "fp_mul", "fp_add", "fp_div", "fp_sqrt", "fp_atan",
     "mem_bytes",
 )
@@ -341,6 +345,45 @@ def hdc_infer_profile(dim, n_classes):
          "mem_bytes": n_classes * d / 4},
         label=f"hdc_infer(D={dim})",
     )
+
+
+def packed_infer_profile(dim, n_classes):
+    """Per-query cost of the packed Hamming-argmin similarity search.
+
+    One XOR word op plus one popcount-tree reduction per model word per
+    class (:class:`repro.core.packed.PackedClassModel`), with the packed
+    model streaming through memory at 8 bytes per word - the 64x traffic
+    reduction over the dense ``int8`` path is the point of the backend.
+    """
+    w = float((int(dim) + 63) // 64)
+    return OperationProfile(
+        {"word64": 2 * n_classes * w, "int_add": n_classes,
+         "mem_bytes": (n_classes + 1) * w * 8},
+        label=f"packed_infer(D={dim})",
+    )
+
+
+def packed_assemble_profile(window, dim, cell_size=8, n_bins=8):
+    """Per-window cost of packed query assembly (XNOR bind + majority).
+
+    ``F = (window / cell_size)^2 * n_bins`` packed features are bound to
+    their positional keys (XOR + pad mask per word) and bundled by the
+    bit-sliced vertical-counter majority of
+    :func:`repro.core.packed.packed_majority`: a ripple-carry add per
+    feature (one XOR + one AND per plane per word) and a bit-sliced
+    threshold comparator readout over the ``ceil(log2(F + 1))`` planes.
+    """
+    n = int(window) // int(cell_size)
+    feats = n * n * n_bins
+    w = float((int(dim) + 63) // 64)
+    planes = float(max(feats, 1).bit_length())
+    counts = {
+        "word64": 2 * feats * w            # bind: XOR + mask
+        + 2 * feats * planes * w           # vertical counters: XOR + AND
+        + 4 * planes * w,                  # threshold comparator readout
+        "mem_bytes": (feats + 1) * w * 8,
+    }
+    return OperationProfile(counts, label=f"packed_assemble(w{window},D{dim})")
 
 
 def encoder_profile(dim, n_features):

@@ -97,6 +97,7 @@ CORTEX_A53 = Platform(
         "bit": 128.0,      # 128-bit NEON bitwise op per cycle
         "int_add": 16.0,   # 16 x 8-bit NEON adds per cycle
         "rng_bit": 64.0,   # xorshift64 word per cycle
+        "word64": 2.0,     # two 64-bit lanes of a NEON op (CNT+ADDV fused)
         "fp_mul": 2.0,
         "fp_add": 2.0,
         "fp_div": 1.0 / 12.0,
@@ -104,7 +105,7 @@ CORTEX_A53 = Platform(
         "fp_atan": 1.0 / 70.0,  # libm atan2f on in-order ARM
     },
     energy_pj={
-        "bit": 0.25, "int_add": 2.0, "rng_bit": 0.5,
+        "bit": 0.25, "int_add": 2.0, "rng_bit": 0.5, "word64": 4.0,
         "fp_mul": 25.0, "fp_add": 20.0, "fp_div": 200.0,
         "fp_sqrt": 300.0, "fp_atan": 1200.0, "mem_bytes": 15.0,
     },
@@ -124,6 +125,7 @@ KINTEX7_FPGA = Platform(
         "bit": 65536.0,    # LUT fabric: tens of thousands of logic lanes
         "int_add": 8192.0, # popcount/accumulate trees
         "rng_bit": 65536.0,  # parallel LFSRs
+        "word64": 1024.0,  # 64-wide word lanes carved from the LUT fabric
         "fp_mul": 280.0,   # 840 DSP48s / 3 per fp32 MAC
         "fp_add": 280.0,
         "fp_div": 4.0,
@@ -131,7 +133,7 @@ KINTEX7_FPGA = Platform(
         "fp_atan": 4.0,
     },
     energy_pj={
-        "bit": 0.08, "int_add": 0.8, "rng_bit": 0.05,
+        "bit": 0.08, "int_add": 0.8, "rng_bit": 0.05, "word64": 5.0,
         "fp_mul": 18.0, "fp_add": 15.0, "fp_div": 80.0,
         "fp_sqrt": 60.0, "fp_atan": 60.0, "mem_bytes": 10.0,
     },

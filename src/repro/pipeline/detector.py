@@ -32,8 +32,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.hypervector import as_rng
+from ..core.packed import PackedClassModel
 from ..datasets.faces import draw_face, draw_nonface, random_face_params
-from ..hardware.opcount import hd_hog_profile, hdc_infer_profile
+from ..hardware.opcount import (
+    hd_hog_profile,
+    hdc_infer_profile,
+    packed_infer_profile,
+)
 from ..profiling import NULL_PROFILER
 from .engine import SharedFeatureEngine
 
@@ -89,23 +94,33 @@ class SlidingWindowDetector:
         ``"shared"``, ``"perwindow"``, ``"legacy"``, ``"auto"`` (shared
         when the pipeline exposes the HD shared-pass API, legacy
         otherwise), or a ready :class:`~repro.pipeline.engine.
-        SharedFeatureEngine` instance to reuse its cache across detectors.
+        SharedFeatureEngine` instance to reuse its cache across detectors
+        (the detector adopts that engine's backend).
+    backend:
+        ``"dense"`` (float reference) or ``"packed"`` (bit-packed binary
+        hot path with :class:`~repro.core.packed.PackedClassModel`
+        Hamming-argmin classification; shared engine only).
+    workers:
+        Thread count for the strip-parallel fields pass inside the shared
+        engine.  1 = serial; results are bitwise identical either way.
     profiler:
         Optional :class:`repro.profiling.Profiler`; scan stages are timed
         and op-counted on it (and on the engine, for shared mode).
     """
 
     def __init__(self, pipeline, window, stride=None, face_class=1,
-                 engine="auto", profiler=None):
+                 engine="auto", profiler=None, backend="dense", workers=1):
         self.pipeline = pipeline
         self.window = int(window)
         self.stride = int(stride) if stride else max(self.window // 2, 1)
         self.face_class = int(face_class)
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.engine = None
+        self._packed_model = None
         if isinstance(engine, SharedFeatureEngine):
             self.mode = "shared"
             self.engine = engine
+            self.backend = engine.backend
             if profiler is not None:
                 self.engine.profiler = self.profiler
         else:
@@ -114,10 +129,34 @@ class SlidingWindowDetector:
             if engine not in ENGINES:
                 raise ValueError(f"unknown engine {engine!r}; "
                                  f"expected one of {ENGINES}")
+            if backend not in ("dense", "packed"):
+                raise ValueError(f"unknown backend {backend!r}; "
+                                 "expected 'dense' or 'packed'")
+            if backend == "packed" and engine != "shared":
+                raise ValueError(
+                    "backend='packed' requires the shared engine "
+                    f"(got engine={engine!r})")
             self.mode = engine
+            self.backend = backend
             if engine == "shared":
                 self.engine = SharedFeatureEngine(pipeline.extractor,
-                                                  profiler=self.profiler)
+                                                  profiler=self.profiler,
+                                                  backend=backend,
+                                                  workers=workers)
+
+    def packed_model(self):
+        """Sign-quantized packed class model (cached until the model refits).
+
+        Classification against it follows
+        :class:`repro.learning.binary_inference.BinaryHDCEngine` semantics
+        exactly: sign quantization with ``0 -> +1``, Hamming argmin.
+        """
+        hvs = self.pipeline.classifier.class_hvs_
+        cached = self._packed_model
+        if cached is None or cached[0] is not hvs:
+            model = PackedClassModel.from_classifier(self.pipeline.classifier)
+            self._packed_model = cached = (hvs, model)
+        return cached[1]
 
     def _has_shared_api(self):
         extractor = getattr(self.pipeline, "extractor", None)
@@ -167,9 +206,13 @@ class SlidingWindowDetector:
     def scan(self, scene, injector=None):
         """Classify every window; returns a :class:`DetectionMap`.
 
-        Shared and per-window engines produce bitwise-identical scores;
-        the legacy engine is statistically equivalent but draws different
-        stochastic noise.
+        Shared and per-window engines produce bitwise-identical scores
+        (dense backend); the legacy engine is statistically equivalent but
+        draws different stochastic noise.  The packed backend scores with
+        the Hamming-argmin semantics of
+        :class:`~repro.learning.binary_inference.BinaryHDCEngine` - margins
+        are ``(d_other - d_face) * 2 / D``, sign-compatible with the dense
+        cosine margins.
         """
         scene = np.asarray(scene, dtype=np.float64)
         prof = self.profiler
@@ -181,14 +224,25 @@ class SlidingWindowDetector:
         else:
             origins, (n_wy, n_wx) = self.origins(scene.shape)
             queries = self._window_queries(scene, origins, injector)
-            with prof.stage("classify"):
-                sims = self.pipeline.classifier.similarities(queries)
-            prof.add_profile(
-                "classify",
-                hdc_infer_profile(self.pipeline.dim,
-                                  self.pipeline.n_classes) * len(origins),
-                items=len(origins),
-            )
+            if self.backend == "packed":
+                model = self.packed_model()
+                with prof.stage("classify"):
+                    sims = model.similarities(queries)
+                prof.add_profile(
+                    "classify",
+                    packed_infer_profile(model.dim,
+                                         model.n_classes) * len(origins),
+                    items=len(origins),
+                )
+            else:
+                with prof.stage("classify"):
+                    sims = self.pipeline.classifier.similarities(queries)
+                prof.add_profile(
+                    "classify",
+                    hdc_infer_profile(self.pipeline.dim,
+                                      self.pipeline.n_classes) * len(origins),
+                    items=len(origins),
+                )
         sims = np.atleast_2d(np.asarray(sims))
         margin = sims[:, self.face_class] - np.delete(sims, self.face_class, axis=1).max(axis=1)
         scores = margin.reshape(n_wy, n_wx)

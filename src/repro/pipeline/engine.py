@@ -23,26 +23,53 @@ position, the queries this engine assembles are *bitwise identical* to a
 per-window recompute (``HDHOGExtractor.window_query``) - the equivalence
 the engine tests pin down.
 
+Two compute backends execute stages 2-3:
+
+* ``backend="dense"`` - the reference float path: int16 histogram bundles,
+  float32 key binding and weighted accumulation, and a float similarity
+  matmul downstream.  Bitwise identical to the per-window recompute.
+* ``backend="packed"`` - the hardware-faithful binary path (paper Sec.
+  6.5): cached fields and cell grids are sign-quantized and bit-packed 64
+  components per ``uint64`` word (~8x smaller cache entries, so the LRU
+  holds ~8x more scenes at the same byte budget), window assembly is an
+  XNOR bind plus a bit-sliced majority vote over word lanes
+  (:func:`repro.core.packed.packed_majority`), and classification is one
+  XOR + popcount pass against the sign-quantized class model
+  (:class:`repro.core.packed.PackedClassModel`) - no float arithmetic on
+  the per-window path.  Scores follow
+  :class:`~repro.learning.binary_inference.BinaryHDCEngine` semantics
+  (Hamming argmin); the accuracy gap against the dense backend is
+  quantified in ``benchmarks/bench_packed_backend.py``.
+
 Scene fields (and the grids derived from them) are kept in a small LRU
 cache keyed by the scene contents, so an image-pyramid detector that
 revisits levels - or any caller that rescans the same scene - skips
-straight to assembly.  A :class:`repro.profiling.Profiler` can be attached
-to time the stages and count their operations in the vocabulary of
+straight to assembly.  The cache and counters are guarded by a lock and
+the extraction stages are pure, so concurrent ``window_queries`` calls
+from a worker pool (see :class:`repro.pipeline.multiscale.
+PyramidDetector`) are safe and return bitwise-identical results to serial
+execution.  A :class:`repro.profiling.Profiler` can be attached to time
+the stages and count their operations in the vocabulary of
 :mod:`repro.hardware.opcount`.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
 
-from ..features.hog_hd import HDHOGResult
-from ..hardware.opcount import hd_hog_fields_profile
+from ..core.hypervector import pack_bits, packed_words, unpack_bits
+from ..core.packed import packed_majority
+from ..features.hog_hd import HDHOGFields, HDHOGResult
+from ..hardware.opcount import hd_hog_fields_profile, packed_assemble_profile
 from ..profiling import NULL_PROFILER
 
-__all__ = ["SharedFeatureEngine", "scene_key"]
+__all__ = ["SharedFeatureEngine", "scene_key", "BACKENDS"]
+
+BACKENDS = ("dense", "packed")
 
 
 def scene_key(scene):
@@ -50,6 +77,54 @@ def scene_key(scene):
     arr = np.ascontiguousarray(scene, dtype=np.float64)
     digest = hashlib.blake2s(arr.tobytes(), digest_size=16).digest()
     return (arr.shape, digest)
+
+
+class _PackedFields:
+    """Sign-packed per-pixel fields: the packed backend's cache payload.
+
+    The magnitude hypervectors are bipolar, so packing them is lossless;
+    ``dense()`` reconstitutes an :class:`~repro.features.hog_hd.
+    HDHOGFields` bit-for-bit when a new anchor set needs the integer
+    box-filter pass.
+    """
+
+    __slots__ = ("mag_packed", "bins", "dim")
+
+    def __init__(self, fields, dim):
+        self.mag_packed = pack_bits(fields.mag)
+        self.bins = fields.bins
+        self.dim = int(dim)
+
+    @property
+    def shape(self):
+        """(H, W) of the underlying image."""
+        return self.bins.shape
+
+    def nbytes(self):
+        """True packed footprint of the cached fields."""
+        return int(self.mag_packed.nbytes + self.bins.nbytes)
+
+    def dense(self):
+        """Exact dense reconstruction (transient, never cached)."""
+        return HDHOGFields(unpack_bits(self.mag_packed, self.dim), self.bins)
+
+
+class _PackedGrid:
+    """Sign-packed cell-histogram grid plus the vote counts.
+
+    ``packed`` is ``(n_y, n_x, B, W)`` uint64 - the sign (``0 -> +1``) of
+    each (cell, bin) bundle - and ``counts`` keeps the integer votes so
+    empty bins can be excluded from the majority during assembly.
+    """
+
+    __slots__ = ("packed", "counts")
+
+    def __init__(self, packed, counts):
+        self.packed = packed
+        self.counts = counts
+
+    def nbytes(self):
+        return int(self.packed.nbytes + self.counts.nbytes)
 
 
 class _CacheEntry:
@@ -62,9 +137,13 @@ class _CacheEntry:
         self.grids = {}
 
     def nbytes(self):
+        """True byte footprint of the entry, whatever the backend stores."""
         total = self.fields.nbytes()
         for grid in self.grids.values():
-            total += int(grid.bundles.nbytes + grid.counts.nbytes)
+            if isinstance(grid, _PackedGrid):
+                total += grid.nbytes()
+            else:
+                total += int(grid.bundles.nbytes + grid.counts.nbytes)
         return total
 
 
@@ -83,6 +162,15 @@ class SharedFeatureEngine:
     profiler:
         Optional :class:`repro.profiling.Profiler`; stages ``fields``,
         ``cell_grid`` and ``assemble`` are timed and op-counted on it.
+    backend:
+        ``"dense"`` (float reference, bitwise equal to the per-window
+        recompute) or ``"packed"`` (bit-packed binary path; see the module
+        docstring).  Decides both what the cache stores and what
+        :meth:`window_queries` returns.
+    workers:
+        Thread count for the strip-parallel fields pass (the stochastic
+        per-pixel stages release the GIL inside NumPy).  1 = serial.
+        Results are bitwise independent of the worker count.
 
     Examples
     --------
@@ -96,38 +184,69 @@ class SharedFeatureEngine:
     (2, 256)
     """
 
-    def __init__(self, extractor, cache_size=8, profiler=None):
+    def __init__(self, extractor, cache_size=8, profiler=None,
+                 backend="dense", workers=1):
         self.extractor = extractor
         self.cache_size = int(cache_size)
         if self.cache_size < 1:
             raise ValueError("cache_size must be at least 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        self.backend = backend
+        self.workers = int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._cache = OrderedDict()
+        self._lock = threading.RLock()
+        self._packed_keys = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # scene-fields cache
     # ------------------------------------------------------------------
     def _entry(self, scene):
-        """Cached fields for ``scene``, extracting (and evicting) as needed."""
+        """Cached fields for ``scene``, extracting (and evicting) as needed.
+
+        Thread-safe: the dict and counters are touched under the lock, the
+        slow extraction runs outside it.  If two threads race on the same
+        uncached scene both extract (the keyed noise makes their results
+        bitwise identical) and the first insert wins.
+        """
         key = scene_key(scene)
-        entry = self._cache.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._cache.move_to_end(key)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                return entry
+            self.misses += 1
+        fields = self._extract_fields(scene)
+        if self.backend == "packed":
+            fields = _PackedFields(fields, self.extractor.dim)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                entry = _CacheEntry(fields)
+                self._cache[key] = entry
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+                    self.evictions += 1
+            else:
+                self._cache.move_to_end(key)
             return entry
-        self.misses += 1
-        entry = _CacheEntry(self._extract_fields(scene))
-        self._cache[key] = entry
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-        return entry
 
     def _extract_fields(self, scene, injector=None):
         ext = self.extractor
         with self.profiler.stage("fields"):
-            fields = ext.extract_fields(scene, injector)
+            if self.workers > 1:
+                fields = ext.extract_fields(scene, injector,
+                                            workers=self.workers)
+            else:
+                fields = ext.extract_fields(scene, injector)
         self.profiler.add_profile(
             "fields",
             hd_hog_fields_profile(fields.shape, ext.dim, n_bins=ext.n_bins,
@@ -138,21 +257,31 @@ class SharedFeatureEngine:
         return fields
 
     def scene_fields(self, scene):
-        """Per-pixel fields for ``scene`` (cached)."""
+        """Per-pixel fields for ``scene`` (cached).
+
+        Dense backend returns :class:`~repro.features.hog_hd.HDHOGFields`;
+        the packed backend returns its packed cache payload (call
+        ``.dense()`` for the bipolar reconstruction).
+        """
         return self._entry(scene).fields
 
     def cache_info(self):
-        """Cache statistics: hits, misses, entries, approximate bytes."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._cache),
-            "bytes": sum(e.nbytes() for e in self._cache.values()),
-        }
+        """Cache statistics: backend, hit/miss/eviction counters, true bytes."""
+        with self._lock:
+            return {
+                "backend": self.backend,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._cache),
+                "capacity": self.cache_size,
+                "bytes": sum(e.nbytes() for e in self._cache.values()),
+            }
 
     def clear(self):
         """Drop every cached scene (counters keep accumulating)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     # ------------------------------------------------------------------
     # window queries
@@ -168,12 +297,8 @@ class SharedFeatureEngine:
         xs = sorted({int(x) + c * i for _, x in origins for i in range(n)})
         return np.asarray(ys, dtype=np.int64), np.asarray(xs, dtype=np.int64), n
 
-    def _grid(self, fields, grids, ys, xs):
-        """Cell grid at the anchor union (cached per scene entry)."""
-        gkey = (ys.tobytes(), xs.tobytes())
-        grid = grids.get(gkey)
-        if grid is not None:
-            return grid
+    def _dense_grid(self, fields, ys, xs):
+        """One profiled ``cell_grid_at`` pass over dense fields."""
         ext = self.extractor
         with self.profiler.stage("cell_grid"):
             grid = ext.cell_grid_at(fields, ys, xs)
@@ -184,15 +309,56 @@ class SharedFeatureEngine:
             bit=ext.n_bins * px_d, int_add=2 * ext.n_bins * px_d,
             mem_bytes=ext.n_bins * px_d / 4,
         )
-        grids[gkey] = grid
         return grid
 
-    def window_queries(self, scene, origins, window, injector=None):
-        """Query hypervectors ``(n_windows, D)`` for windows at ``origins``.
+    def _grid(self, entry_fields, grids, ys, xs):
+        """Cell grid at the anchor union (cached per scene entry).
 
-        Each row is bitwise identical to
-        ``extractor.window_query(scene, origin, window)`` - the per-window
-        recompute - but the expensive stages run once for the whole scene.
+        For the packed backend the dense box-filter result is
+        sign-quantized and packed before it enters the cache; the dense
+        intermediates are transient.
+        """
+        gkey = (ys.tobytes(), xs.tobytes())
+        with self._lock:
+            grid = grids.get(gkey)
+        if grid is not None:
+            return grid
+        if isinstance(entry_fields, _PackedFields):
+            dense_grid = self._dense_grid(entry_fields.dense(), ys, xs)
+            grid = self._pack_grid(dense_grid)
+        else:
+            grid = self._dense_grid(entry_fields, ys, xs)
+        with self._lock:
+            grids.setdefault(gkey, grid)
+            return grids[gkey]
+
+    def _pack_grid(self, dense_grid):
+        """Sign-quantize (``0 -> +1``) and bit-pack a dense cell grid."""
+        signs = np.where(dense_grid.bundles >= 0, 1, -1).astype(np.int8)
+        return _PackedGrid(pack_bits(signs), dense_grid.counts)
+
+    def _window_keys_packed(self, n):
+        """Packed positional keys for an ``n x n``-cell window (cached)."""
+        with self._lock:
+            keys = self._packed_keys.get(n)
+            if keys is None:
+                keys = pack_bits(self.extractor._keys(n, n))
+                self._packed_keys[n] = keys
+            return keys
+
+    def window_queries(self, scene, origins, window, injector=None):
+        """Query hypervectors for windows at ``origins``.
+
+        Dense backend: float32 ``(n_windows, D)`` rows, each bitwise
+        identical to ``extractor.window_query(scene, origin, window)`` -
+        the per-window recompute - but with the expensive stages run once
+        for the whole scene.
+
+        Packed backend: uint64 ``(n_windows, ceil(D / 64))`` packed binary
+        queries - each window's sign-quantized (cell, bin) bundles bound to
+        the positional keys by XNOR and bundled by a majority vote over the
+        non-empty bins, entirely in the packed domain.  Classify them with
+        :class:`repro.core.packed.PackedClassModel`.
 
         ``injector`` (fault-injection hook) bypasses the cache: corrupted
         fields are computed fresh and never stored, so later clean scans of
@@ -207,9 +373,16 @@ class SharedFeatureEngine:
             fields, grids = entry.fields, entry.grids
         else:
             fields, grids = self._extract_fields(scene, injector), {}
+            if self.backend == "packed":
+                fields = _PackedFields(fields, self.extractor.dim)
         ys, xs, n = self._anchors(origins, window)
         grid = self._grid(fields, grids, ys, xs)
+        if self.backend == "packed":
+            return self._assemble_packed(grid, origins, ys, xs, n, injector)
+        return self._assemble_dense(grid, origins, ys, xs, n, injector)
 
+    def _assemble_dense(self, grid, origins, ys, xs, n, injector):
+        """Float reference assembly: slice, bind, weight, accumulate."""
         ext = self.extractor
         c = ext.cell_size
         offsets = c * np.arange(n, dtype=np.int64)
@@ -228,4 +401,39 @@ class SharedFeatureEngine:
         self.profiler.add_ops("assemble", items=len(origins),
                               bit=feats_d * len(origins),
                               int_add=feats_d * len(origins))
+        return queries
+
+    def _assemble_packed(self, grid, origins, ys, xs, n, injector):
+        """Packed assembly: gather cells, XNOR-bind keys, majority-bundle.
+
+        Fully vectorized over windows; the only per-feature work is the
+        bit-sliced vertical-counter accumulation inside
+        :func:`~repro.core.packed.packed_majority`.  ``injector`` (stage
+        ``"histogram"``) corrupts the packed cell words before binding.
+        """
+        ext = self.extractor
+        dim = ext.dim
+        c = ext.cell_size
+        offsets = c * np.arange(n, dtype=np.int64)
+        oy = np.asarray([y for y, _ in origins], dtype=np.int64)
+        ox = np.asarray([x for _, x in origins], dtype=np.int64)
+        with self.profiler.stage("assemble"):
+            ri = np.searchsorted(ys, oy[:, None] + offsets[None, :])
+            ci = np.searchsorted(xs, ox[:, None] + offsets[None, :])
+            cells = grid.packed[ri[:, :, None], ci[:, None, :]]
+            counts = grid.counts[ri[:, :, None], ci[:, None, :]]
+            if injector is not None:
+                cells = injector(cells, "histogram")
+            keys = self._window_keys_packed(n)
+            bound = ~np.bitwise_xor(cells, keys[None])
+            n_feat = n * n * ext.n_bins
+            flat = bound.reshape(len(origins), n_feat, packed_words(dim))
+            valid = (counts > 0).reshape(len(origins), n_feat)
+            queries = packed_majority(flat, dim, valid=valid)
+        self.profiler.add_profile(
+            "assemble",
+            packed_assemble_profile(n * c, dim, cell_size=c,
+                                    n_bins=ext.n_bins) * len(origins),
+            items=len(origins),
+        )
         return queries

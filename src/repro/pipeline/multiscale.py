@@ -105,21 +105,41 @@ class PyramidDetector:
         Minimum face-margin for a window to become a detection.
     iou_threshold:
         NMS suppression threshold.
+    workers:
+        Threads scanning pyramid levels concurrently.  Levels are
+        independent, the engine's scene cache is thread-safe, and the
+        heavy NumPy kernels release the GIL, so ``workers > 1`` overlaps
+        the levels' extraction work; detections are identical to the
+        serial pass (levels are collected in order).  Legacy-engine
+        detectors (stateful codec rng) always scan serially.
     """
 
     def __init__(self, detector, scale_step=1.5, score_threshold=0.0,
-                 iou_threshold=0.3):
+                 iou_threshold=0.3, workers=1):
         self.detector = detector
         self.scale_step = float(scale_step)
         self.score_threshold = float(score_threshold)
         self.iou_threshold = float(iou_threshold)
+        self.workers = int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+    def _scan_levels(self, levels):
+        """Detection map per level, in level order."""
+        scan = self.detector.scan
+        if self.workers > 1 and getattr(self.detector, "mode", "") != "legacy":
+            from concurrent.futures import ThreadPoolExecutor
+            workers = min(self.workers, len(levels))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(lambda lf: scan(lf[0]), levels))
+        return [scan(level) for level, _ in levels]
 
     def detect(self, scene):
         """All-scale detections after NMS, best score first."""
         window = self.detector.window
+        levels = list(pyramid(scene, self.scale_step, min_size=window))
         raw = []
-        for level, factor in pyramid(scene, self.scale_step, min_size=window):
-            dmap = self.detector.scan(level)
+        for (level, factor), dmap in zip(levels, self._scan_levels(levels)):
             for iy, ix in np.argwhere(dmap.scores > self.score_threshold):
                 y, x = dmap.window_origin(int(iy), int(ix))
                 raw.append(Detection(y * factor, x * factor, window * factor,

@@ -23,6 +23,7 @@ disabled profiler reduces every call to a cheap early return.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -67,6 +68,9 @@ class Profiler:
     def __init__(self, enabled=True):
         self.enabled = bool(enabled)
         self.stats = OrderedDict()
+        # counter updates are guarded so concurrent pipeline workers
+        # (PyramidDetector / SharedFeatureEngine threads) don't lose ticks
+        self._lock = threading.Lock()
 
     def _get(self, name):
         if name not in self.stats:
@@ -75,7 +79,11 @@ class Profiler:
 
     @contextmanager
     def stage(self, name):
-        """Time one stage; nests and repeats accumulate."""
+        """Time one stage; nests and repeats accumulate.
+
+        Concurrent stages sum their wall-clock, so under a worker pool a
+        stage's ``seconds`` is aggregate thread-time, not elapsed time.
+        """
         if not self.enabled:
             yield self
             return
@@ -83,19 +91,22 @@ class Profiler:
         try:
             yield self
         finally:
-            stat = self._get(name)
-            stat.calls += 1
-            stat.seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                stat = self._get(name)
+                stat.calls += 1
+                stat.seconds += elapsed
 
     def add_ops(self, name, items=0.0, **counts):
         """Attribute operation counts (opcount classes) to a stage."""
         if not self.enabled:
             return
-        stat = self._get(name)
-        stat.items += float(items)
-        for op, n in counts.items():
-            if n:
-                stat.ops[op] = stat.ops.get(op, 0.0) + float(n)
+        with self._lock:
+            stat = self._get(name)
+            stat.items += float(items)
+            for op, n in counts.items():
+                if n:
+                    stat.ops[op] = stat.ops.get(op, 0.0) + float(n)
 
     def add_profile(self, name, profile, items=0.0):
         """Attribute an :class:`OperationProfile`'s counts to a stage."""

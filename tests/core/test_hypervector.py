@@ -11,6 +11,8 @@ from repro.core.hypervector import (
     pack_bits,
     packed_hamming_distance,
     packed_popcount,
+    packed_tail_mask,
+    packed_words,
     random_hypervector,
     to_binary,
     unpack_bits,
@@ -117,3 +119,39 @@ class TestPacking:
         dist = packed_hamming_distance(pack_bits(a), pack_bits(b))
         assert dist.shape == (4,)
         assert (dist == (a != b).sum(axis=1)).all()
+
+    @pytest.mark.parametrize("dim", [65, 100, 127])
+    def test_popcount_ignores_poisoned_pad_bits(self, dim):
+        # complementing ops (XNOR bind) set the pad bits; with dim= given
+        # the count must still see only the real components
+        hv = random_hypervector(dim, 5)
+        words = pack_bits(hv)
+        poisoned = words | ~packed_tail_mask(dim)
+        assert packed_popcount(poisoned, dim=dim) == (hv == 1).sum()
+        assert packed_popcount(words) == (hv == 1).sum()
+
+    def test_hamming_ignores_poisoned_pad_bits(self):
+        dim = 70
+        a, b = random_hypervector(dim, 0), random_hypervector(dim, 1)
+        pa = pack_bits(a) | ~packed_tail_mask(dim)
+        assert packed_hamming_distance(pa, pack_bits(b), dim=dim) == (a != b).sum()
+
+    def test_unpack_validates_word_count(self):
+        words = pack_bits(random_hypervector(128, 0))
+        with pytest.raises(ValueError):
+            unpack_bits(words, 129)  # needs 3 words, got 2
+
+    @pytest.mark.parametrize("dim", [64, 65])
+    def test_empty_batch_roundtrip(self, dim):
+        empty = np.empty((0, dim), dtype=np.int8)
+        words = pack_bits(empty)
+        assert words.shape == (0, packed_words(dim))
+        assert unpack_bits(words, dim).shape == (0, dim)
+        assert packed_popcount(words, dim=dim).shape == (0,)
+
+    def test_packed_words_and_tail_mask(self):
+        assert packed_words(64) == 1 and packed_words(65) == 2
+        assert packed_tail_mask(64)[-1] == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert packed_tail_mask(65)[-1] == np.uint64(1)
+        with pytest.raises(ValueError):
+            packed_words(0)

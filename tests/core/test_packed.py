@@ -1,0 +1,206 @@
+"""Tests for the batched packed-domain kernels (core/packed.py).
+
+Every kernel is validated against the dense bipolar computation it
+replaces; the hypothesis properties cover awkward dimensionalities (odd
+``D``, pad bits) and batch shapes (including empty batches) that fixed
+examples tend to miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypervector import (
+    pack_bits,
+    packed_tail_mask,
+    packed_words,
+    unpack_bits,
+)
+from repro.core.packed import (
+    PackedClassModel,
+    packed_bind,
+    packed_majority,
+    packed_nearest,
+    pairwise_hamming,
+)
+from repro.core.hypervector import random_hypervector
+
+dims = st.integers(min_value=1, max_value=200)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def dense_majority(stack, valid=None):
+    """Reference: sign of the bipolar column sum, ties -> +1."""
+    stack = np.asarray(stack, dtype=np.int64)
+    if valid is not None:
+        stack = stack * np.asarray(valid, dtype=np.int64)[..., None]
+    total = stack.sum(axis=-2)
+    return np.where(total >= 0, 1, -1).astype(np.int8)
+
+
+class TestPackedBind:
+    @pytest.mark.parametrize("dim", [64, 65, 100, 4096])
+    def test_matches_dense_product(self, dim):
+        a = random_hypervector(dim, 0, shape=(3,))
+        b = random_hypervector(dim, 1, shape=(3,))
+        bound = packed_bind(pack_bits(a), pack_bits(b), dim)
+        assert (unpack_bits(bound, dim) == a * b).all()
+
+    def test_pad_bits_stay_zero(self):
+        dim = 67
+        a, b = random_hypervector(dim, 0), random_hypervector(dim, 1)
+        bound = packed_bind(pack_bits(a), pack_bits(b), dim)
+        assert (bound & ~packed_tail_mask(dim) == 0).all()
+
+    def test_broadcasts(self):
+        dim = 128
+        a = pack_bits(random_hypervector(dim, 0, shape=(4,)))
+        b = pack_bits(random_hypervector(dim, 1))
+        assert packed_bind(a, b, dim).shape == (4, packed_words(dim))
+
+
+class TestPackedMajority:
+    @pytest.mark.parametrize("dim", [64, 65, 100])
+    @pytest.mark.parametrize("n_feat", [1, 2, 5, 8])
+    def test_matches_dense_sign_sum(self, dim, n_feat):
+        stack = random_hypervector(dim, dim + n_feat, shape=(n_feat,))
+        out = packed_majority(pack_bits(stack), dim)
+        assert (unpack_bits(out, dim) == dense_majority(stack)).all()
+
+    def test_even_count_ties_resolve_positive(self):
+        dim = 64
+        stack = np.stack([np.ones((dim,), np.int8), -np.ones((dim,), np.int8)])
+        out = packed_majority(pack_bits(stack), dim)
+        assert (unpack_bits(out, dim) == 1).all()
+
+    def test_valid_mask_matches_dense(self):
+        rng = np.random.default_rng(0)
+        dim, n_feat = 100, 7
+        stack = random_hypervector(dim, 1, shape=(4, n_feat))
+        valid = rng.random((4, n_feat)) < 0.6
+        out = packed_majority(pack_bits(stack), dim, valid=valid)
+        assert (unpack_bits(out, dim) == dense_majority(stack, valid)).all()
+
+    def test_all_invalid_gives_all_positive(self):
+        dim = 70
+        stack = random_hypervector(dim, 2, shape=(3,))
+        valid = np.zeros(3, dtype=bool)
+        out = packed_majority(pack_bits(stack), dim, valid=valid)
+        assert (unpack_bits(out, dim) == 1).all()
+
+    def test_zero_features_gives_all_positive(self):
+        dim = 65
+        empty = np.empty((0, dim), dtype=np.int8)
+        out = packed_majority(pack_bits(empty).reshape(0, packed_words(dim)),
+                              dim)
+        assert (unpack_bits(out, dim) == 1).all()
+
+    def test_empty_batch(self):
+        dim = 128
+        stack = np.empty((0, 5, packed_words(dim)), dtype=np.uint64)
+        assert packed_majority(stack, dim).shape == (0, packed_words(dim))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            packed_majority(np.zeros((3, 2), np.uint64), 64)  # 64 needs 1 word
+        with pytest.raises(ValueError):
+            packed_majority(np.zeros((3, 1), np.uint64), 64,
+                            valid=np.ones(4, bool))
+
+    @settings(max_examples=40, deadline=None)
+    @given(dim=dims, n_feat=st.integers(min_value=1, max_value=9), seed=seeds)
+    def test_property_odd_dims(self, dim, n_feat, seed):
+        stack = random_hypervector(dim, seed, shape=(n_feat,))
+        out = packed_majority(pack_bits(stack), dim)
+        assert (unpack_bits(out, dim) == dense_majority(stack)).all()
+        # pads of the result are always clear
+        assert (out & ~packed_tail_mask(dim) == 0).all()
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(dim=dims, seed=seeds)
+    def test_pack_unpack_roundtrip(self, dim, seed):
+        hv = random_hypervector(dim, seed, shape=(2,))
+        assert (unpack_bits(pack_bits(hv), dim) == hv).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(dim=dims)
+    def test_empty_batch_roundtrip(self, dim):
+        empty = np.empty((0, dim), dtype=np.int8)
+        assert unpack_bits(pack_bits(empty), dim).shape == (0, dim)
+
+
+class TestHammingSearch:
+    def test_pairwise_matches_dense(self):
+        dim = 100
+        q = random_hypervector(dim, 0, shape=(5,))
+        m = random_hypervector(dim, 1, shape=(3,))
+        dist = pairwise_hamming(pack_bits(q), pack_bits(m), dim=dim)
+        expected = (q[:, None, :] != m[None, :, :]).sum(axis=-1)
+        assert dist.shape == (5, 3)
+        assert (dist == expected).all()
+
+    def test_nearest_matches_dense_argmin(self):
+        dim = 256
+        q = random_hypervector(dim, 2, shape=(6,))
+        m = random_hypervector(dim, 3, shape=(4,))
+        labels, dist = packed_nearest(pack_bits(q), pack_bits(m), dim=dim)
+        expected = (q[:, None, :] != m[None, :, :]).sum(axis=-1)
+        assert (labels == expected.argmin(axis=1)).all()
+        assert (dist == expected).all()
+
+    def test_single_query_promotes(self):
+        dim = 64
+        q = pack_bits(random_hypervector(dim, 0))
+        m = pack_bits(random_hypervector(dim, 1, shape=(2,)))
+        labels, dist = packed_nearest(q, m, dim=dim)
+        assert dist.shape == (1, 2)
+
+
+class TestPackedClassModel:
+    def _fitted(self, dim=512):
+        from repro.learning.hdc_classifier import HDCClassifier
+        rng = np.random.default_rng(0)
+        protos = random_hypervector(dim, rng, shape=(3,)).astype(np.float64)
+        y = np.arange(42) % 3
+        x = protos[y] + rng.normal(0, 0.5, (42, dim))
+        clf = HDCClassifier(n_classes=3, epochs=2, seed_or_rng=0)
+        clf.fit(x, y)
+        return clf
+
+    def test_matches_binary_engine(self):
+        from repro.learning.binary_inference import BinaryHDCEngine
+        clf = self._fitted()
+        dim = clf.class_hvs_.shape[1]
+        model = PackedClassModel.from_classifier(clf)
+        engine = BinaryHDCEngine(clf)
+        q = random_hypervector(dim, 9, shape=(8,))
+        packed_q = pack_bits(q)
+        assert (model.distances(packed_q) == engine.distances(q)).all()
+        assert (model.predict(packed_q) == engine.predict(q)).all()
+
+    def test_similarities_are_normalized_dot(self):
+        clf = self._fitted(dim=256)
+        model = PackedClassModel.from_classifier(clf)
+        q = random_hypervector(256, 4, shape=(3,))
+        sims = model.similarities(pack_bits(q))
+        signs = np.sign(clf.class_hvs_)
+        signs[signs == 0] = 1
+        expected = q.astype(np.float64) @ signs.T / 256.0
+        assert np.allclose(sims, expected)
+
+    def test_unfitted_raises(self):
+        from repro.learning.hdc_classifier import HDCClassifier
+        with pytest.raises(RuntimeError):
+            PackedClassModel.from_classifier(
+                HDCClassifier(n_classes=2, seed_or_rng=0))
+
+    def test_nbytes_is_packed_footprint(self):
+        model = PackedClassModel(random_hypervector(4096, 0, shape=(2,)))
+        assert model.nbytes == 2 * (4096 // 64) * 8
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            PackedClassModel(np.ones(64, np.int8))

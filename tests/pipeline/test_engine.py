@@ -231,3 +231,124 @@ class TestDetectorEngines:
         for k in range(len(origins)):
             single = face_pipe.classifier.similarities(queries[k : k + 1])
             assert np.allclose(batched[k], single[0])
+
+
+class TestPackedBackend:
+    def test_queries_match_dense_binarized_reference(self, extractor, scene):
+        from repro.core.hypervector import unpack_bits
+        engine = SharedFeatureEngine(extractor, backend="packed")
+        origins = [(0, 0), (12, 12), (8, 20), (24, 24)]
+        packed = engine.window_queries(scene, origins, 24)
+        keys = extractor._keys(3, 3).reshape(-1, extractor.dim)
+        for row, origin in zip(packed, origins):
+            wf = extractor.window_fields(scene, origin, 24)
+            ref = extractor.cell_histograms(wf.mag, wf.bins)
+            signs = np.where(ref.bundles >= 0, 1, -1).astype(np.int64)
+            bound = signs.reshape(-1, extractor.dim) * keys
+            valid = (ref.counts > 0).reshape(-1)
+            total = bound[valid].sum(axis=0)
+            expected = np.where(total >= 0, 1, -1)
+            assert np.array_equal(unpack_bits(row, extractor.dim), expected)
+
+    def test_scan_scores_follow_binary_engine_semantics(self, face_pipe):
+        from repro.core.hypervector import unpack_bits
+        from repro.learning.binary_inference import BinaryHDCEngine
+        scene, _ = make_scene(48, [(12, 12)], window=24, seed_or_rng=4)
+        det = SlidingWindowDetector(face_pipe, window=24, stride=12,
+                                    engine="shared", backend="packed")
+        result = det.scan(scene)
+        origins, grid = det.origins(scene.shape)
+        packed = det.engine.window_queries(scene, origins, 24)
+        queries = unpack_bits(packed, face_pipe.dim)
+        binary = BinaryHDCEngine(face_pipe.classifier)
+        dist = binary.distances(queries)
+        margin = 2.0 * (dist[:, 0] - dist[:, 1]) / face_pipe.dim
+        assert np.allclose(result.scores, margin.reshape(grid))
+        assert np.array_equal(result.detections.ravel(),
+                              binary.predict(queries) == 1)
+
+    def test_packed_entries_are_much_smaller(self, extractor, scene):
+        dense = SharedFeatureEngine(extractor, backend="dense")
+        packed = SharedFeatureEngine(extractor, backend="packed")
+        origins = [(0, 0), (12, 12)]
+        dense.window_queries(scene, origins, 24)
+        packed.window_queries(scene, origins, 24)
+        d, p = dense.cache_info(), packed.cache_info()
+        assert d["backend"] == "dense" and p["backend"] == "packed"
+        assert p["bytes"] * 6 < d["bytes"]
+
+    def test_cache_info_reports_evictions_and_capacity(self, extractor):
+        engine = SharedFeatureEngine(extractor, cache_size=2,
+                                     backend="packed")
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            engine.scene_fields(rng.random((24, 24)))
+        info = engine.cache_info()
+        assert info["capacity"] == 2 and info["entries"] == 2
+        assert info["evictions"] == 1 and info["misses"] == 3
+
+    def test_injector_applies_and_bypasses_cache(self, extractor, scene):
+        engine = SharedFeatureEngine(extractor, backend="packed")
+        clean = engine.window_queries(scene, [(0, 0)], 24)
+        flipped = engine.window_queries(
+            scene, [(0, 0)], 24, injector=lambda hv, stage: ~hv
+            if hv.dtype == np.uint64 else -hv)
+        assert not np.array_equal(clean, flipped)
+        assert engine.cache_info()["entries"] == 1
+        again = engine.window_queries(scene, [(0, 0)], 24)
+        assert np.array_equal(clean, again)
+
+    def test_unknown_backend_raises(self, extractor):
+        with pytest.raises(ValueError):
+            SharedFeatureEngine(extractor, backend="float16")
+
+    def test_packed_requires_shared_engine(self, face_pipe):
+        with pytest.raises(ValueError):
+            SlidingWindowDetector(face_pipe, window=24, engine="legacy",
+                                  backend="packed")
+
+    def test_detector_adopts_engine_backend(self, face_pipe):
+        engine = SharedFeatureEngine(face_pipe.extractor, backend="packed")
+        det = SlidingWindowDetector(face_pipe, window=24, engine=engine)
+        assert det.backend == "packed"
+
+
+class TestConcurrency:
+    def _serial_and_concurrent(self, extractor, backend):
+        from concurrent.futures import ThreadPoolExecutor
+        rng = np.random.default_rng(7)
+        scenes = [rng.random((48, 48)) for _ in range(4)]
+        origins = [(0, 0), (8, 8), (24, 16), (24, 24)]
+        serial = SharedFeatureEngine(extractor, backend=backend)
+        expected = [serial.window_queries(s, origins, 24) for s in scenes]
+        engine = SharedFeatureEngine(extractor, backend=backend)
+        jobs = [s for s in scenes for _ in range(3)]  # deliberate races
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            got = list(pool.map(
+                lambda s: engine.window_queries(s, origins, 24), jobs))
+        for s, q in zip(jobs, got):
+            idx = next(i for i, x in enumerate(scenes) if x is s)
+            assert np.array_equal(q, expected[idx])
+
+    def test_concurrent_queries_bitwise_identical_dense(self, extractor):
+        self._serial_and_concurrent(extractor, "dense")
+
+    def test_concurrent_queries_bitwise_identical_packed(self, extractor):
+        self._serial_and_concurrent(extractor, "packed")
+
+    def test_strip_parallel_fields_bitwise_identical(self, extractor, scene):
+        serial = extractor.extract_fields(scene, strip_rows=7)
+        threaded = extractor.extract_fields(scene, strip_rows=7, workers=3)
+        assert np.array_equal(serial.mag, threaded.mag)
+        assert np.array_equal(serial.bins, threaded.bins)
+
+    def test_engine_workers_bitwise_identical(self, extractor, scene):
+        one = SharedFeatureEngine(extractor, workers=1)
+        many = SharedFeatureEngine(extractor, workers=4)
+        origins = [(0, 0), (12, 12)]
+        assert np.array_equal(one.window_queries(scene, origins, 24),
+                              many.window_queries(scene, origins, 24))
+
+    def test_bad_workers_raises(self, extractor):
+        with pytest.raises(ValueError):
+            SharedFeatureEngine(extractor, workers=0)

@@ -107,3 +107,25 @@ class TestPyramidDetector:
         # the best large detection overlaps the true face region
         truth = Detection(24, 24, 48, 1.0)
         assert max(iou(d, truth) for d in big) > 0.25
+
+
+class TestPyramidWorkers:
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_workers_do_not_change_detections(self, face_data, backend):
+        from repro.pipeline import HDFacePipeline, SlidingWindowDetector, make_scene
+        xtr, ytr, _, _ = face_data
+        pipe = HDFacePipeline(2, dim=1024, cell_size=8, magnitude="l1",
+                              epochs=5, seed_or_rng=0).fit(xtr, ytr)
+        scene, _ = make_scene(72, [(12, 12)], window=24, seed_or_rng=5)
+
+        def run(workers):
+            det = SlidingWindowDetector(pipe, window=24, stride=12,
+                                        engine="shared", backend=backend)
+            pyr = PyramidDetector(det, scale_step=1.5, workers=workers)
+            return pyr.detect(scene)
+
+        assert run(1) == run(4)
+
+    def test_bad_workers_raises(self):
+        with pytest.raises(ValueError):
+            PyramidDetector(object(), workers=0)

@@ -64,7 +64,7 @@ class TestCommands:
         ], out=out)
         text = out.getvalue()
         assert code == 0
-        assert "profile (shared engine)" in text
+        assert "profile (shared engine, dense backend)" in text
         assert "fields" in text and "windows/s" in text
         assert "modeled Cortex-A53" in text
 
@@ -76,9 +76,29 @@ class TestCommands:
                 "--window", "24", "--engine", engine, "--profile",
             ], out=out)
             assert code == 0
-            assert f"profile ({engine} engine)" in out.getvalue()
+            assert f"profile ({engine} engine" in out.getvalue()
         with pytest.raises(SystemExit):
             build_parser().parse_args(["detect", "--engine", "warp"])
+
+    def test_detect_packed_backend_with_workers(self):
+        out = io.StringIO()
+        code = main([
+            "detect", "--dim", "256", "--scene-size", "48",
+            "--window", "24", "--engine", "shared",
+            "--backend", "packed", "--workers", "2", "--profile",
+        ], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "profile (shared engine, packed backend)" in text
+        assert "detection map" in text
+
+    def test_detect_packed_requires_shared(self):
+        with pytest.raises(ValueError):
+            main([
+                "detect", "--dim", "256", "--scene-size", "48",
+                "--window", "24", "--engine", "legacy",
+                "--backend", "packed",
+            ], out=io.StringIO())
 
     def test_report(self):
         out = io.StringIO()
