@@ -11,8 +11,12 @@ Run as ``python -m repro <command>``:
     Load (or quickly train) a face model and scan a generated scene,
     printing the detection map and writing a PGM overlay.
 ``report``
-    Print the hardware-model efficiency report (Fig. 7) and the
-    Sec. 6.3 per-epoch comparison.
+    Print the hardware-model efficiency report (Fig. 7), the Sec. 6.3
+    per-epoch comparison, and the guarded-model protection overhead.
+``robustness``
+    Train a small face model, sweep a bit-error rate through the full
+    detection path (both backends) and write the recall/precision/IoU
+    table to a JSON results file.
 
 All data is synthetic and seeded, so every invocation is reproducible.
 """
@@ -79,6 +83,38 @@ def build_parser():
 
     report = sub.add_parser("report", help="hardware efficiency report")
     report.add_argument("--dim", type=int, default=4096)
+    report.add_argument("--guard-replicas", type=int, default=3,
+                        help="replica count priced in the protection-"
+                             "overhead section")
+
+    robust = sub.add_parser(
+        "robustness", help="detection-level fault-injection campaign")
+    robust.add_argument("--rates", default="0,0.01,0.05",
+                        help="comma-separated bit-error rates to sweep")
+    robust.add_argument("--images", type=int, default=8,
+                        help="number of test scenes")
+    robust.add_argument("--backend", choices=("dense", "packed", "both"),
+                        default="both",
+                        help="backend under test; the dense reference sweep "
+                             "always runs for comparison (dense = dense only)")
+    robust.add_argument("--dim", type=int, default=512)
+    robust.add_argument("--scene-size", type=int, default=48)
+    robust.add_argument("--window", type=int, default=24)
+    robust.add_argument("--stride", type=int, default=None)
+    robust.add_argument("--seed", type=int, default=0)
+    robust.add_argument("--attack", choices=("features", "model", "both"),
+                        default="both", help="fault surface to corrupt")
+    robust.add_argument("--guard-replicas", type=int, default=0,
+                        help="odd replica count: protect the packed model "
+                             "with a GuardedClassModel and corrupt one "
+                             "replica instead of the live model")
+    robust.add_argument("--output", metavar="JSON",
+                        default="benchmarks/results/detection_robustness.json",
+                        help="results file (written via benchmarks.common "
+                             "when available)")
+    robust.add_argument("--max-recall-drop", type=float, default=None,
+                        help="exit non-zero if any backend loses more "
+                             "recall than this vs its clean run")
     return parser
 
 
@@ -175,7 +211,12 @@ def _cmd_detect(args, out):
 
 
 def _cmd_report(args, out):
-    from .hardware import epoch_time_grid, fig7_report, workload_for_dataset
+    from .hardware import (
+        epoch_time_grid,
+        fig7_report,
+        protection_overhead_report,
+        workload_for_dataset,
+    )
     from .hardware.platforms import CORTEX_A53
 
     rows = fig7_report(dim=args.dim)
@@ -190,6 +231,90 @@ def _cmd_report(args, out):
     ratio = dnn[(1024, 1024)] / hd[args.dim]
     print(f"per-epoch (Sec. 6.3): HDFace {hd[args.dim]:.2f}s vs "
           f"DNN {dnn[(1024, 1024)]:.2f}s ({ratio:.1f}x)", file=out)
+    print(f"protection overhead (guarded class model, "
+          f"R={args.guard_replicas}, scrub every query):", file=out)
+    for p in protection_overhead_report(dim=args.dim,
+                                        replicas=args.guard_replicas):
+        print(f"  {p.platform:5s} infer {p.unguarded_cycles:8.0f} -> "
+              f"{p.guarded_cycles:8.0f} cycles ({p.cycle_overhead:5.2f}x)  "
+              f"energy {p.energy_overhead:5.2f}x  "
+              f"repair {p.repair_cycles:8.0f} cycles", file=out)
+    return 0
+
+
+def _random_scenes(n, scene_size, window, seed):
+    """Seeded test scenes with 1-2 non-overlapping faces each."""
+    from .pipeline import make_scene
+
+    rng = np.random.default_rng(seed)
+    margin = scene_size - window
+    scenes = []
+    for i in range(n):
+        spots = [(int(rng.integers(0, margin + 1)),
+                  int(rng.integers(0, margin + 1)))]
+        for _ in range(8):  # second face, if a disjoint spot turns up
+            y, x = (int(rng.integers(0, margin + 1)),
+                    int(rng.integers(0, margin + 1)))
+            if max(abs(y - spots[0][0]), abs(x - spots[0][1])) >= window:
+                spots.append((y, x))
+                break
+        scenes.append(make_scene(scene_size, spots, window=window,
+                                 seed_or_rng=seed + 1 + i))
+    return scenes
+
+
+def _cmd_robustness(args, out):
+    import json
+    import os
+
+    from .datasets import make_face_dataset
+    from .noise import detection_robustness
+    from .pipeline import HDFacePipeline
+
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    backends = ("dense",) if args.backend == "dense" else ("dense", "packed")
+    attack = ("features", "model") if args.attack == "both" else (args.attack,)
+
+    xtr, ytr = make_face_dataset(96, size=args.window, seed_or_rng=args.seed)
+    print(f"training face model (D={args.dim}) ...", file=out)
+    pipe = HDFacePipeline(2, dim=args.dim, cell_size=8, magnitude="l1",
+                          epochs=10, seed_or_rng=args.seed).fit(xtr, ytr)
+    scenes = _random_scenes(args.images, args.scene_size, args.window,
+                            args.seed)
+    n_truth = sum(len(t) for _, t in scenes)
+    print(f"sweeping rates {rates} over {args.images} scenes "
+          f"({n_truth} faces), backends {list(backends)}, "
+          f"attack {list(attack)} ...", file=out)
+    res = detection_robustness(
+        pipe, scenes, rates, window=args.window, stride=args.stride,
+        backends=backends, seed_or_rng=args.seed + 1000, attack=attack,
+        guard_replicas=args.guard_replicas)
+
+    for backend, rate, row in res.rows():
+        print(f"  {backend:6s} rate {rate:5.3f}  "
+              f"recall {row['recall']:.3f}  precision {row['precision']:.3f}  "
+              f"mean IoU {row['mean_iou']:.3f}  "
+              f"({row['n_detections']} detections)", file=out)
+    for backend in backends:
+        print(f"  {backend:6s} worst recall drop vs clean: "
+              f"{res.recall_drop(backend):.3f}", file=out)
+
+    directory = os.path.dirname(args.output)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(args.output, "w") as fh:
+        json.dump(res.payload(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"results written to {args.output}", file=out)
+
+    if args.max_recall_drop is not None:
+        worst = max(res.recall_drop(b) for b in backends)
+        if worst > args.max_recall_drop:
+            print(f"FAIL: recall drop {worst:.3f} exceeds "
+                  f"--max-recall-drop {args.max_recall_drop}", file=out)
+            return 1
+        print(f"recall drop {worst:.3f} within tolerance "
+              f"{args.max_recall_drop}", file=out)
     return 0
 
 
@@ -202,6 +327,7 @@ def main(argv=None, out=None):
         "evaluate": _cmd_evaluate,
         "detect": _cmd_detect,
         "report": _cmd_report,
+        "robustness": _cmd_robustness,
     }[args.command]
     return handler(args, out)
 

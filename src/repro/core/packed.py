@@ -212,6 +212,22 @@ class PackedClassModel:
         """Stored model size in bytes (the packed hardware footprint)."""
         return int(self.packed.nbytes)
 
+    def corrupted(self, rate, seed_or_rng=None):
+        """Copy of this model with bit errors at ``rate`` in the stored words.
+
+        The fault surface of the robustness campaigns: each of the ``dim``
+        real bits of every class row flips independently
+        (:func:`repro.reliability.faults.flip_packed_words`); pad bits are
+        never touched.  The original model is left intact.
+        """
+        from ..reliability.faults import flip_packed_words
+        clone = object.__new__(PackedClassModel)
+        clone.n_classes = self.n_classes
+        clone.dim = self.dim
+        clone.packed = flip_packed_words(self.packed, self.dim, rate,
+                                         seed_or_rng)
+        return clone
+
     def distances(self, packed_queries):
         """Hamming distance of each packed query to each class: ``(n, k)``."""
         return pairwise_hamming(packed_queries, self.packed, dim=self.dim)

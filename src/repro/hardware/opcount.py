@@ -39,6 +39,9 @@ __all__ = [
     "hdc_infer_profile",
     "packed_infer_profile",
     "packed_assemble_profile",
+    "replica_vote_profile",
+    "scrub_profile",
+    "guarded_infer_profile",
     "encoder_profile",
 ]
 
@@ -384,6 +387,69 @@ def packed_assemble_profile(window, dim, cell_size=8, n_bins=8):
         "mem_bytes": (feats + 1) * w * 8,
     }
     return OperationProfile(counts, label=f"packed_assemble(w{window},D{dim})")
+
+
+def replica_vote_profile(dim, n_classes, replicas=3):
+    """Cost of one bitwise majority vote across ``replicas`` model copies.
+
+    The repair step of :class:`repro.reliability.guard.GuardedClassModel`:
+    for every class row, the ``R`` replica words feed the bit-sliced
+    vertical counters of :func:`repro.core.packed.packed_majority`
+    (``ceil(log2(R + 1))`` planes, one XOR + one AND per plane per
+    feature) followed by the threshold-comparator readout, and the voted
+    row is written back into every replica.
+    """
+    w = float((int(dim) + 63) // 64)
+    k = float(n_classes)
+    r = float(replicas)
+    planes = float(max(int(replicas), 1).bit_length())
+    return OperationProfile(
+        {"word64": k * w * (2 * r * planes + 4 * planes),
+         "mem_bytes": (2 * r + 1) * k * w * 8},  # read R, write back R + vote
+        label=f"replica_vote(D={dim},R={replicas})",
+    )
+
+
+def scrub_profile(dim, n_classes, replicas=3, repair=False):
+    """Cost of one scrub pass over a guarded class model.
+
+    The detection half streams every replica row once through a word-wide
+    mixing digest (model: two word ops per stored word - one mix, one
+    accumulate - matching a hardware CRC/checksum lane) and compares
+    against the ``R * k`` stored golden digests.  With ``repair=True`` the
+    majority-vote restore (:func:`replica_vote_profile`) is included -
+    the worst-case scrub in which corruption was detected.
+    """
+    w = float((int(dim) + 63) // 64)
+    k = float(n_classes)
+    r = float(replicas)
+    prof = OperationProfile(
+        {"word64": 2 * r * k * w + r * k,
+         "mem_bytes": r * k * (w + 1) * 8},
+        label=f"scrub(D={dim},R={replicas})",
+    )
+    if repair:
+        prof = prof + replica_vote_profile(dim, n_classes, replicas)
+        prof.label = f"scrub+repair(D={dim},R={replicas})"
+    return prof
+
+
+def guarded_infer_profile(dim, n_classes, replicas=3, scrub_every=1):
+    """Per-query cost of inference through a guarded class model.
+
+    The Hamming-argmin search itself is unchanged
+    (:func:`packed_infer_profile` against the active replica); protection
+    adds one detection-only scrub pass amortized over ``scrub_every``
+    queries.  Repair cost is excluded - it only triggers on actual
+    corruption, which is rare by assumption; price it separately with
+    ``scrub_profile(..., repair=True)``.
+    """
+    if scrub_every < 1:
+        raise ValueError("scrub_every must be at least 1")
+    prof = (packed_infer_profile(dim, n_classes)
+            + scrub_profile(dim, n_classes, replicas) * (1.0 / scrub_every))
+    prof.label = f"guarded_infer(D={dim},R={replicas},every={scrub_every})"
+    return prof
 
 
 def encoder_profile(dim, n_features):

@@ -24,22 +24,27 @@ from .opcount import (
     OperationProfile,
     dnn_forward_profile,
     dnn_training_profile,
+    guarded_infer_profile,
     hd_hog_profile,
     hdc_infer_profile,
     hdc_learn_profile,
     hog_profile,
+    packed_infer_profile,
+    scrub_profile,
 )
 from .platforms import PLATFORMS
 
 __all__ = [
     "WorkloadSpec",
     "EfficiencyRow",
+    "ProtectionRow",
     "workload_for_dataset",
     "hdface_training_cost",
     "hdface_inference_cost",
     "dnn_training_cost",
     "dnn_inference_cost",
     "fig7_report",
+    "protection_overhead_report",
     "epoch_time_grid",
 ]
 
@@ -170,6 +175,63 @@ def fig7_report(datasets=("EMOTION", "FACE1", "FACE2"), dim=4096,
             ht, he = hdface_inference_cost(w, platform)
             dt, de = dnn_inference_cost(w, platform)
             rows.append(EfficiencyRow(name, key, "inference", ht, dt, he, de))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Active-protection overhead (reliability subsystem)
+# ----------------------------------------------------------------------
+@dataclass
+class ProtectionRow:
+    """Guarded vs unguarded inference cost on one platform."""
+
+    platform: str
+    replicas: int
+    scrub_every: int
+    unguarded_cycles: float
+    guarded_cycles: float
+    unguarded_energy: float
+    guarded_energy: float
+    repair_cycles: float
+    repair_energy: float
+
+    @property
+    def cycle_overhead(self):
+        """Guarded / unguarded cycles (steady state, no corruption)."""
+        return self.guarded_cycles / self.unguarded_cycles
+
+    @property
+    def energy_overhead(self):
+        """Guarded / unguarded energy (steady state, no corruption)."""
+        return self.guarded_energy / self.unguarded_energy
+
+
+def protection_overhead_report(dim=4096, n_classes=2, replicas=3,
+                               scrub_every=1):
+    """Price the guarded class model on every platform.
+
+    Per platform: cycles and energy of one unguarded packed inference
+    (:func:`~repro.hardware.opcount.packed_infer_profile`), of one guarded
+    inference (:func:`~repro.hardware.opcount.guarded_infer_profile`:
+    the same search plus an amortized detection-only scrub), and of the
+    rare worst-case scrub that detects corruption and majority-vote
+    repairs it (:func:`~repro.hardware.opcount.scrub_profile` with
+    ``repair=True``).
+    """
+    plain = packed_infer_profile(dim, n_classes)
+    guarded = guarded_infer_profile(dim, n_classes, replicas, scrub_every)
+    repair = scrub_profile(dim, n_classes, replicas, repair=True)
+    rows = []
+    for key, platform in PLATFORMS.items():
+        rows.append(ProtectionRow(
+            platform=key, replicas=replicas, scrub_every=scrub_every,
+            unguarded_cycles=platform.cycles(plain),
+            guarded_cycles=platform.cycles(guarded),
+            unguarded_energy=platform.energy(plain),
+            guarded_energy=platform.energy(guarded),
+            repair_cycles=platform.cycles(repair),
+            repair_energy=platform.energy(repair),
+        ))
     return rows
 
 

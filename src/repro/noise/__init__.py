@@ -8,7 +8,9 @@ from .bitflip import (
     stuck_at,
 )
 from .campaign import (
+    DetectionRobustnessResult,
     RobustnessResult,
+    detection_robustness,
     dnn_robustness,
     hdface_hyperspace_robustness,
     hdface_original_hog_robustness,
@@ -21,7 +23,9 @@ __all__ = [
     "HypervectorFaultInjector",
     "FixedPointFaultInjector",
     "RobustnessResult",
+    "DetectionRobustnessResult",
     "hdface_hyperspace_robustness",
     "hdface_original_hog_robustness",
     "dnn_robustness",
+    "detection_robustness",
 ]

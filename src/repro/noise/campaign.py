@@ -10,12 +10,22 @@ loss* (accuracy drop versus the clean run, in percentage points):
   runs on the original fixed-point representation (errors there are
   catastrophic), learning still hyperdimensional.
 * :func:`dnn_robustness` - the DNN rows at 16/8/4-bit weight precision.
+* :func:`detection_robustness` - the detection-level analogue of Table 2:
+  bit errors swept through the full sliding-window/pyramid path (feature
+  datapath, packed cell words, stored class model) for the dense and
+  packed engine backends, scored as recall / precision / mean IoU against
+  ground truth instead of single-window accuracy.
 
 All campaigns reuse precomputed clean features where the fault model
-permits, so a full Table 2 sweep stays laptop-scale.
+permits, so a full Table 2 sweep stays laptop-scale.  Every rate of a
+sweep gets its own child generator (spawned off the campaign seed), so a
+rate's result is reproducible independently of which other rates were
+swept before it.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -28,8 +38,22 @@ __all__ = [
     "hdface_hyperspace_robustness",
     "hdface_original_hog_robustness",
     "dnn_robustness",
+    "detection_robustness",
     "RobustnessResult",
+    "DetectionRobustnessResult",
 ]
+
+
+def _rate_rngs(seed_or_rng, rates):
+    """One independent child generator per swept rate.
+
+    A single generator threaded through every rate makes each rate's
+    faults depend on how many variates earlier rates consumed (so adding,
+    removing or reordering sweep points silently changes every later
+    result).  Spawning a child per rate index keeps each point's fault
+    stream self-contained and reproducible from the campaign seed.
+    """
+    return as_rng(seed_or_rng).spawn(len(list(rates)))
 
 
 class RobustnessResult(dict):
@@ -41,16 +65,32 @@ class RobustnessResult(dict):
 
     @property
     def clean_accuracy(self):
-        if 0.0 not in self:
-            raise KeyError("campaign did not include rate 0.0")
-        return self[0.0]
+        """Accuracy of the rate-0 run.
+
+        Falls back to the lowest swept rate (with a warning) when 0.0 was
+        not part of the sweep, so loss tables of partial sweeps stay
+        computable instead of raising.
+        """
+        if 0.0 in self:
+            return self[0.0]
+        if not self:
+            raise KeyError("campaign swept no rates")
+        lowest = min(self)
+        warnings.warn(
+            f"campaign did not include rate 0.0; using the lowest swept "
+            f"rate {lowest} as the clean baseline", stacklevel=2)
+        return self[lowest]
 
     def losses(self):
-        """``{rate: quality loss in percentage points}`` (Table 2 cells)."""
+        """``{rate: quality loss in percentage points}`` (Table 2 cells).
+
+        Rates are returned in ascending order regardless of sweep order.
+        """
         base = self.reference_accuracy
         if base is None:
             base = self.clean_accuracy
-        return {rate: quality_loss(base, acc) for rate, acc in self.items()}
+        return {rate: quality_loss(base, self[rate])
+                for rate in sorted(self)}
 
 
 #: Memory-resident hypervector structures, where physical bit errors live:
@@ -73,11 +113,10 @@ def hdface_hyperspace_robustness(pipeline, images, labels, rates,
     ``stages=repro.noise.bitflip.HD_STAGES`` for the harsher every-stage
     exposure.
     """
-    rng = as_rng(seed_or_rng)
     labels = np.asarray(labels)
     model_clean = pipeline.classifier.class_hvs_
     result = RobustnessResult()
-    for rate in rates:
+    for rate, rng in zip(rates, _rate_rngs(seed_or_rng, rates)):
         rate = float(rate)
         injector = None
         if rate > 0.0:
@@ -97,10 +136,9 @@ def hdface_original_hog_robustness(pipeline, images, labels, rates, bits=16,
     the configuration whose fragility "entirely removes the advantage of
     our hyperdimensional model" (Sec. 6.6).
     """
-    rng = as_rng(seed_or_rng)
     labels = np.asarray(labels)
     result = RobustnessResult()
-    for rate in rates:
+    for rate, rng in zip(rates, _rate_rngs(seed_or_rng, rates)):
         rate = float(rate)
         injector = FixedPointFaultInjector(rate, bits=bits, seed_or_rng=rng) if rate > 0 else None
         pred = pipeline.predict(images, injector=injector)
@@ -116,13 +154,200 @@ def dnn_robustness(mlp, features, labels, rates, bits, reference_accuracy=None,
     *full-precision* model, so the rate-0 row shows the pure quantization
     cost (the paper's 1.6 % / 2.7 % entries for 8- and 4-bit).
     """
-    rng = as_rng(seed_or_rng)
     labels = np.asarray(labels)
     quantized = QuantizedMLP(mlp, bits)
     result = RobustnessResult()
-    for rate in rates:
+    for rate, rng in zip(rates, _rate_rngs(seed_or_rng, rates)):
         rate = float(rate)
         result[rate] = quantized.score(features, labels, rate=rate, seed_or_rng=rng)
     if reference_accuracy is not None:
         result.reference_accuracy = float(reference_accuracy)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Detection-level robustness (the production analogue of Table 2)
+# ----------------------------------------------------------------------
+class DetectionRobustnessResult(dict):
+    """``{backend: {rate: row}}`` of a detection-level fault sweep.
+
+    Each row is a dict with ``recall``, ``precision``, ``mean_iou``,
+    ``n_detections`` and ``n_truth`` aggregated over every scene of the
+    campaign.  ``config`` carries the sweep parameters so serialized
+    results are self-describing.
+    """
+
+    config = None
+
+    def rows(self):
+        """Flat, sorted ``(backend, rate, row)`` triples for tabulation."""
+        out = []
+        for backend in sorted(self):
+            for rate in sorted(self[backend]):
+                out.append((backend, rate, self[backend][rate]))
+        return out
+
+    def clean(self, backend):
+        """The backend's cleanest swept row (rate 0.0 when present)."""
+        sweep = self[backend]
+        return sweep[0.0 if 0.0 in sweep else min(sweep)]
+
+    def recall_drop(self, backend):
+        """Worst recall loss versus the backend's clean run."""
+        clean = self.clean(backend)["recall"]
+        return max(clean - row["recall"] for row in self[backend].values())
+
+    def payload(self):
+        """JSON-ready dict (``config`` + flat rows), for benchmark output."""
+        return {
+            "config": dict(self.config or {}),
+            "rows": [dict(row, backend=backend, rate=rate)
+                     for backend, rate, row in self.rows()],
+        }
+
+
+def _match_detections(detections, truth, iou_match):
+    """IoUs of greedily matched (detection, truth-box) pairs.
+
+    Detections arrive best-score-first (NMS order); each claims the
+    unclaimed truth box it overlaps most, if that overlap reaches
+    ``iou_match``.
+    """
+    from ..pipeline.multiscale import Detection, iou
+    claimed = set()
+    matched = []
+    for det in detections:
+        best_j, best = None, 0.0
+        for j, (ty, tx, tw) in enumerate(truth):
+            if j in claimed:
+                continue
+            overlap = iou(det, Detection(float(ty), float(tx), float(tw), 0.0))
+            if overlap > best:
+                best, best_j = overlap, j
+        if best_j is not None and best >= iou_match:
+            claimed.add(best_j)
+            matched.append(best)
+    return matched
+
+
+def detection_robustness(pipeline, scenes, rates, window, stride=None,
+                         backends=("dense", "packed"), seed_or_rng=None,
+                         scale_step=1.5, score_threshold=0.0,
+                         iou_threshold=0.3, iou_match=0.3,
+                         attack=("features", "model"), guard_replicas=0,
+                         workers=1):
+    """Sweep a bit-error rate through the full detection stack (Table 2 at
+    detection level).
+
+    For every backend and rate, each scene runs through the pyramid
+    sliding-window path (:class:`~repro.pipeline.multiscale.
+    PyramidDetector` over a shared-engine :class:`~repro.pipeline.
+    detector.SlidingWindowDetector`) with faults injected where the
+    hardware stores state:
+
+    * **feature datapath** (``"features"`` in ``attack``) - a
+      :class:`~repro.reliability.faults.DetectionFaultInjector` corrupts
+      the memory-resident extraction buffers (dense bipolar tensors) and,
+      on the packed backend, the bit-packed cell words of window assembly;
+    * **stored class model** (``"model"`` in ``attack``) - the dense
+      class matrix is sign-flipped (:func:`~repro.noise.bitflip.
+      flip_bipolar`) or the packed model's stored words are flipped
+      (:meth:`~repro.core.packed.PackedClassModel.corrupted`) at the same
+      rate.
+
+    ``guard_replicas`` (odd, packed backend only) wraps the class model in
+    a :class:`~repro.reliability.guard.GuardedClassModel` and turns the
+    model attack into corruption of a *single replica*: the sweep then
+    measures the protected configuration (detection + majority-vote
+    repair at inference), which should hold detection quality at the
+    clean level while the unguarded model degrades.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted :class:`~repro.pipeline.hdface.HDFacePipeline`.
+    scenes:
+        Iterable of ``(scene, truth)`` pairs as produced by
+        :func:`~repro.pipeline.detector.make_scene`.
+    rates:
+        Bit-error rates to sweep (include 0.0 for the clean baseline).
+    window, stride, scale_step, score_threshold, iou_threshold:
+        Detector / pyramid configuration.
+    iou_match:
+        Minimum IoU for a detection to count as a true positive.
+    seed_or_rng:
+        Campaign randomness; each rate gets its own spawned child stream.
+
+    Returns
+    -------
+    DetectionRobustnessResult
+        Per-backend, per-rate recall / precision / mean-IoU rows.
+    """
+    from ..pipeline.detector import SlidingWindowDetector
+    from ..pipeline.multiscale import PyramidDetector
+    from ..reliability.faults import DetectionFaultInjector
+    from ..reliability.guard import GuardedClassModel
+
+    scenes = list(scenes)
+    rates = [float(r) for r in rates]
+    attack = tuple(attack)
+    unknown = set(attack) - {"features", "model"}
+    if unknown:
+        raise ValueError(f"unknown attack surfaces: {sorted(unknown)}")
+    if guard_replicas and guard_replicas % 2 == 0:
+        raise ValueError("guard_replicas must be odd")
+
+    result = DetectionRobustnessResult()
+    result.config = {
+        "rates": rates, "window": int(window),
+        "stride": int(stride) if stride else max(int(window) // 2, 1),
+        "backends": list(backends), "scale_step": float(scale_step),
+        "iou_match": float(iou_match), "attack": list(attack),
+        "guard_replicas": int(guard_replicas), "n_scenes": len(scenes),
+        "dim": int(pipeline.dim),
+    }
+    base_rng = as_rng(seed_or_rng)
+    for backend in backends:
+        detector = SlidingWindowDetector(pipeline, window=window,
+                                         stride=stride, engine="shared",
+                                         backend=backend, workers=workers)
+        pyr = PyramidDetector(detector, scale_step=scale_step,
+                              score_threshold=score_threshold,
+                              iou_threshold=iou_threshold)
+        sweep = {}
+        for rate, rng in zip(rates, _rate_rngs(base_rng, rates)):
+            injector = None
+            if rate > 0.0 and "features" in attack:
+                injector = DetectionFaultInjector(rate, pipeline.dim,
+                                                  seed_or_rng=rng)
+            model = None
+            if rate > 0.0 and "model" in attack:
+                if backend == "packed" and guard_replicas:
+                    model = GuardedClassModel(detector.packed_model(),
+                                              replicas=guard_replicas,
+                                              seed_or_rng=rng)
+                    model.replicas[1 % guard_replicas] = \
+                        detector.packed_model().corrupted(rate, rng).packed
+                elif backend == "packed":
+                    model = detector.packed_model().corrupted(rate, rng)
+                else:
+                    model = flip_bipolar(
+                        pipeline.classifier.class_hvs_, rate, rng)
+            tp, n_det, n_truth = 0, 0, 0
+            matched_ious = []
+            for scene, truth in scenes:
+                detections = pyr.detect(scene, injector=injector, model=model)
+                matched = _match_detections(detections, truth, iou_match)
+                tp += len(matched)
+                n_det += len(detections)
+                n_truth += len(truth)
+                matched_ious.extend(matched)
+            sweep[rate] = {
+                "recall": tp / n_truth if n_truth else 1.0,
+                "precision": tp / n_det if n_det else 1.0,
+                "mean_iou": float(np.mean(matched_ious)) if matched_ious else 0.0,
+                "n_detections": int(n_det),
+                "n_truth": int(n_truth),
+            }
+        result[backend] = sweep
     return result

@@ -103,13 +103,19 @@ class SlidingWindowDetector:
     workers:
         Thread count for the strip-parallel fields pass inside the shared
         engine.  1 = serial; results are bitwise identical either way.
+    scrub:
+        Enable the shared engine's cache scrubber: cached scene entries
+        are digest-verified on every hit and recomputed on mismatch
+        instead of being served corrupt (see
+        :meth:`~repro.pipeline.engine.SharedFeatureEngine.corrupt_cache`).
     profiler:
         Optional :class:`repro.profiling.Profiler`; scan stages are timed
         and op-counted on it (and on the engine, for shared mode).
     """
 
     def __init__(self, pipeline, window, stride=None, face_class=1,
-                 engine="auto", profiler=None, backend="dense", workers=1):
+                 engine="auto", profiler=None, backend="dense", workers=1,
+                 scrub=False):
         self.pipeline = pipeline
         self.window = int(window)
         self.stride = int(stride) if stride else max(self.window // 2, 1)
@@ -142,7 +148,8 @@ class SlidingWindowDetector:
                 self.engine = SharedFeatureEngine(pipeline.extractor,
                                                   profiler=self.profiler,
                                                   backend=backend,
-                                                  workers=workers)
+                                                  workers=workers,
+                                                  scrub=scrub)
 
     def packed_model(self):
         """Sign-quantized packed class model (cached until the model refits).
@@ -203,7 +210,7 @@ class SlidingWindowDetector:
         )
         return queries
 
-    def scan(self, scene, injector=None):
+    def scan(self, scene, injector=None, model=None):
         """Classify every window; returns a :class:`DetectionMap`.
 
         Shared and per-window engines produce bitwise-identical scores
@@ -213,10 +220,21 @@ class SlidingWindowDetector:
         :class:`~repro.learning.binary_inference.BinaryHDCEngine` - margins
         are ``(d_other - d_face) * 2 / D``, sign-compatible with the dense
         cosine margins.
+
+        ``model`` substitutes the stored class model for this scan (the
+        fault campaigns' model-attack surface, mirroring
+        ``HDFacePipeline.predict(model=)``): a ``(n_classes, D)`` matrix
+        for the dense backend, or a :class:`~repro.core.packed.
+        PackedClassModel` / :class:`~repro.reliability.guard.
+        GuardedClassModel` (anything with ``similarities``) for the
+        packed backend.
         """
         scene = np.asarray(scene, dtype=np.float64)
         prof = self.profiler
         if self.mode == "legacy":
+            if model is not None:
+                raise ValueError("model substitution requires the shared or "
+                                 "perwindow engine")
             with prof.stage("legacy_scan"):
                 crops, (n_wy, n_wx) = self.windows(scene)
                 sims = self.pipeline.similarities(crops, injector=injector)
@@ -225,7 +243,10 @@ class SlidingWindowDetector:
             origins, (n_wy, n_wx) = self.origins(scene.shape)
             queries = self._window_queries(scene, origins, injector)
             if self.backend == "packed":
-                model = self.packed_model()
+                if model is None:
+                    model = self.packed_model()
+                elif not hasattr(model, "similarities"):
+                    model = PackedClassModel(model)
                 with prof.stage("classify"):
                     sims = model.similarities(queries)
                 prof.add_profile(
@@ -235,8 +256,10 @@ class SlidingWindowDetector:
                     items=len(origins),
                 )
             else:
+                clf = self.pipeline.classifier if model is None \
+                    else self.pipeline.classifier.with_model(model)
                 with prof.stage("classify"):
-                    sims = self.pipeline.classifier.similarities(queries)
+                    sims = clf.similarities(queries)
                 prof.add_profile(
                     "classify",
                     hdc_infer_profile(self.pipeline.dim,

@@ -61,11 +61,12 @@ from collections import OrderedDict
 
 import numpy as np
 
-from ..core.hypervector import pack_bits, packed_words, unpack_bits
+from ..core.hypervector import as_rng, pack_bits, packed_words, unpack_bits
 from ..core.packed import packed_majority
 from ..features.hog_hd import HDHOGFields, HDHOGResult
 from ..hardware.opcount import hd_hog_fields_profile, packed_assemble_profile
 from ..profiling import NULL_PROFILER
+from ..reliability.integrity import digest_arrays
 
 __all__ = ["SharedFeatureEngine", "scene_key", "BACKENDS"]
 
@@ -127,14 +128,36 @@ class _PackedGrid:
         return int(self.packed.nbytes + self.counts.nbytes)
 
 
+def _fields_digest(fields):
+    """Content digest of a cache entry's fields payload (either backend)."""
+    if isinstance(fields, _PackedFields):
+        return digest_arrays(fields.mag_packed, fields.bins)
+    return digest_arrays(fields.mag, fields.bins)
+
+
+def _grid_digest(grid):
+    """Content digest of a cached cell grid (either backend)."""
+    if isinstance(grid, _PackedGrid):
+        return digest_arrays(grid.packed, grid.counts)
+    return digest_arrays(grid.bundles, grid.counts)
+
+
 class _CacheEntry:
-    """Fields for one scene plus the cell grids already derived from them."""
+    """Fields for one scene plus the cell grids already derived from them.
 
-    __slots__ = ("fields", "grids")
+    When the owning engine scrubs, ``fields_digest`` / ``grid_digests``
+    hold the content digests taken at insert time; a digest mismatch on a
+    later hit means the cached words were corrupted in memory and the
+    entry must be recomputed instead of served.
+    """
 
-    def __init__(self, fields):
+    __slots__ = ("fields", "grids", "fields_digest", "grid_digests")
+
+    def __init__(self, fields, digest=None):
         self.fields = fields
         self.grids = {}
+        self.fields_digest = digest
+        self.grid_digests = {}
 
     def nbytes(self):
         """True byte footprint of the entry, whatever the backend stores."""
@@ -171,6 +194,12 @@ class SharedFeatureEngine:
         Thread count for the strip-parallel fields pass (the stochastic
         per-pixel stages release the GIL inside NumPy).  1 = serial.
         Results are bitwise independent of the worker count.
+    scrub:
+        When True, every cache entry carries a content digest taken at
+        insert time and re-checked on every hit; a mismatch (memory
+        corruption, see :meth:`corrupt_cache`) recomputes the entry
+        instead of serving corrupt features.  Mismatches are counted in
+        :meth:`cache_info` (``scrub_checks`` / ``scrub_mismatches``).
 
     Examples
     --------
@@ -185,7 +214,7 @@ class SharedFeatureEngine:
     """
 
     def __init__(self, extractor, cache_size=8, profiler=None,
-                 backend="dense", workers=1):
+                 backend="dense", workers=1, scrub=False):
         self.extractor = extractor
         self.cache_size = int(cache_size)
         if self.cache_size < 1:
@@ -198,12 +227,15 @@ class SharedFeatureEngine:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.scrub = bool(scrub)
         self._cache = OrderedDict()
         self._lock = threading.RLock()
         self._packed_keys = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.scrub_checks = 0
+        self.scrub_mismatches = 0
 
     # ------------------------------------------------------------------
     # scene-fields cache
@@ -219,6 +251,13 @@ class SharedFeatureEngine:
         key = scene_key(scene)
         with self._lock:
             entry = self._cache.get(key)
+            if entry is not None and self.scrub:
+                self.scrub_checks += 1
+                if _fields_digest(entry.fields) != entry.fields_digest:
+                    # corrupt cached fields: recompute instead of serving
+                    self.scrub_mismatches += 1
+                    del self._cache[key]
+                    entry = None
             if entry is not None:
                 self.hits += 1
                 self._cache.move_to_end(key)
@@ -227,10 +266,11 @@ class SharedFeatureEngine:
         fields = self._extract_fields(scene)
         if self.backend == "packed":
             fields = _PackedFields(fields, self.extractor.dim)
+        digest = _fields_digest(fields) if self.scrub else None
         with self._lock:
             entry = self._cache.get(key)
             if entry is None:
-                entry = _CacheEntry(fields)
+                entry = _CacheEntry(fields, digest)
                 self._cache[key] = entry
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
@@ -276,12 +316,54 @@ class SharedFeatureEngine:
                 "entries": len(self._cache),
                 "capacity": self.cache_size,
                 "bytes": sum(e.nbytes() for e in self._cache.values()),
+                "scrub": self.scrub,
+                "scrub_checks": self.scrub_checks,
+                "scrub_mismatches": self.scrub_mismatches,
             }
 
     def clear(self):
         """Drop every cached scene (counters keep accumulating)."""
         with self._lock:
             self._cache.clear()
+
+    def corrupt_cache(self, rate, seed_or_rng=None):
+        """Flip stored bits of every cached buffer in place (fault surface).
+
+        Models memory corruption of the resident scene cache: each real
+        bit of every cached fields tensor and cell grid flips
+        independently with ``rate`` (packed entries via
+        :func:`repro.reliability.faults.flip_packed_words`, which never
+        touches pad bits; dense entries via sign flips on the bipolar
+        magnitude field and negation of histogram counters, matching
+        :func:`repro.noise.bitflip.flip_bipolar` conventions).  Digests
+        taken at insert time are deliberately *not* refreshed, so a
+        scrubbing engine detects the corruption on the next hit while a
+        non-scrubbing engine serves it.  Returns the number of corrupted
+        buffers.
+        """
+        from ..noise.bitflip import flip_bipolar
+        from ..reliability.faults import flip_packed_words
+        rng = as_rng(seed_or_rng)
+        dim = self.extractor.dim
+        corrupted = 0
+        with self._lock:
+            for entry in self._cache.values():
+                fields = entry.fields
+                if isinstance(fields, _PackedFields):
+                    fields.mag_packed[...] = flip_packed_words(
+                        fields.mag_packed, dim, rate, rng)
+                else:
+                    fields.mag[...] = flip_bipolar(fields.mag, rate, rng)
+                corrupted += 1
+                for grid in entry.grids.values():
+                    if isinstance(grid, _PackedGrid):
+                        grid.packed[...] = flip_packed_words(
+                            grid.packed, dim, rate, rng)
+                    else:
+                        grid.bundles[...] = flip_bipolar(
+                            grid.bundles, rate, rng)
+                    corrupted += 1
+        return corrupted
 
     # ------------------------------------------------------------------
     # window queries
@@ -311,16 +393,24 @@ class SharedFeatureEngine:
         )
         return grid
 
-    def _grid(self, entry_fields, grids, ys, xs):
+    def _grid(self, entry_fields, grids, ys, xs, digests=None):
         """Cell grid at the anchor union (cached per scene entry).
 
         For the packed backend the dense box-filter result is
         sign-quantized and packed before it enters the cache; the dense
-        intermediates are transient.
+        intermediates are transient.  ``digests`` - the owning entry's
+        grid-digest store when scrubbing - is checked on every cached-grid
+        hit; a mismatch recomputes the grid instead of serving it.
         """
         gkey = (ys.tobytes(), xs.tobytes())
         with self._lock:
             grid = grids.get(gkey)
+            if grid is not None and self.scrub and digests is not None:
+                self.scrub_checks += 1
+                if _grid_digest(grid) != digests.get(gkey):
+                    self.scrub_mismatches += 1
+                    del grids[gkey]
+                    grid = None
         if grid is not None:
             return grid
         if isinstance(entry_fields, _PackedFields):
@@ -329,8 +419,10 @@ class SharedFeatureEngine:
         else:
             grid = self._dense_grid(entry_fields, ys, xs)
         with self._lock:
-            grids.setdefault(gkey, grid)
-            return grids[gkey]
+            stored = grids.setdefault(gkey, grid)
+            if stored is grid and self.scrub and digests is not None:
+                digests[gkey] = _grid_digest(grid)
+            return stored
 
     def _pack_grid(self, dense_grid):
         """Sign-quantize (``0 -> +1``) and bit-pack a dense cell grid."""
@@ -371,12 +463,13 @@ class SharedFeatureEngine:
         if injector is None:
             entry = self._entry(scene)
             fields, grids = entry.fields, entry.grids
+            digests = entry.grid_digests
         else:
-            fields, grids = self._extract_fields(scene, injector), {}
+            fields, grids, digests = self._extract_fields(scene, injector), {}, None
             if self.backend == "packed":
                 fields = _PackedFields(fields, self.extractor.dim)
         ys, xs, n = self._anchors(origins, window)
-        grid = self._grid(fields, grids, ys, xs)
+        grid = self._grid(fields, grids, ys, xs, digests)
         if self.backend == "packed":
             return self._assemble_packed(grid, origins, ys, xs, n, injector)
         return self._assemble_dense(grid, origins, ys, xs, n, injector)

@@ -124,22 +124,32 @@ class PyramidDetector:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
 
-    def _scan_levels(self, levels):
+    def _scan_levels(self, levels, injector=None, model=None):
         """Detection map per level, in level order."""
         scan = self.detector.scan
         if self.workers > 1 and getattr(self.detector, "mode", "") != "legacy":
             from concurrent.futures import ThreadPoolExecutor
             workers = min(self.workers, len(levels))
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(lambda lf: scan(lf[0]), levels))
-        return [scan(level) for level, _ in levels]
+                return list(pool.map(
+                    lambda lf: scan(lf[0], injector=injector, model=model),
+                    levels))
+        return [scan(level, injector=injector, model=model)
+                for level, _ in levels]
 
-    def detect(self, scene):
-        """All-scale detections after NMS, best score first."""
+    def detect(self, scene, injector=None, model=None):
+        """All-scale detections after NMS, best score first.
+
+        ``injector`` and ``model`` are forwarded to every level's
+        :meth:`~repro.pipeline.detector.SlidingWindowDetector.scan` - the
+        fault-campaign hooks for corrupting the feature datapath and the
+        stored class model through the full pyramid path.
+        """
         window = self.detector.window
         levels = list(pyramid(scene, self.scale_step, min_size=window))
         raw = []
-        for (level, factor), dmap in zip(levels, self._scan_levels(levels)):
+        for (level, factor), dmap in zip(
+                levels, self._scan_levels(levels, injector, model)):
             for iy, ix in np.argwhere(dmap.scores > self.score_threshold):
                 y, x = dmap.window_origin(int(iy), int(ix))
                 raw.append(Detection(y * factor, x * factor, window * factor,

@@ -1,0 +1,42 @@
+"""Reliability layer: packed-word fault models and active protection.
+
+The paper's robustness claim (Sec. 6.6, Table 2) is that holographic
+redundancy keeps HDFace accurate under bit errors that are catastrophic
+for fixed-point HOG and quantized DNNs.  :mod:`repro.noise` exercises that
+claim at the single-window classifier level; this package extends it to
+the production detection stack:
+
+* :mod:`repro.reliability.faults` - word-level bit-flip and stuck-at
+  models over the bit-packed ``uint64`` buffers where physical faults
+  actually land (scene cache entries, the window-assembly datapath, the
+  stored class model), provably equivalent to the dense bipolar models.
+* :mod:`repro.reliability.integrity` - content digests for fault
+  *detection*: the scene-cache scrubber and the class-model checksums.
+* :mod:`repro.reliability.guard` - :class:`GuardedClassModel`, an
+  actively protected class model (R replicas + per-class checksums +
+  bitwise majority-vote repair) whose cycle/energy overhead is priced by
+  :mod:`repro.hardware.opcount`.
+
+The detection-level campaign that sweeps these fault models through the
+full sliding-window/pyramid path lives in
+:func:`repro.noise.campaign.detection_robustness`.
+"""
+
+from .faults import (
+    DetectionFaultInjector,
+    PackedFaultInjector,
+    flip_packed_words,
+    stuck_at_packed,
+)
+from .guard import GuardedClassModel
+from .integrity import digest_array, digest_arrays
+
+__all__ = [
+    "flip_packed_words",
+    "stuck_at_packed",
+    "PackedFaultInjector",
+    "DetectionFaultInjector",
+    "GuardedClassModel",
+    "digest_array",
+    "digest_arrays",
+]

@@ -1,0 +1,195 @@
+"""Word-level fault models over bit-packed ``uint64`` hypervector buffers.
+
+The dense fault models in :mod:`repro.noise.bitflip` operate on bipolar
+``int8`` arrays - the *representation* view.  The production detection
+stack stores hypervectors bit-packed 64 components per ``uint64`` word
+(scene cache, window-assembly datapath, :class:`~repro.core.packed.
+PackedClassModel`), and that packed memory layout is exactly where
+physical faults land on the hardware the paper targets.  This module
+provides the packed-domain counterparts:
+
+* :func:`flip_packed_words` - independent per-bit flips, the packed
+  analogue of :func:`repro.noise.bitflip.flip_bipolar`;
+* :func:`stuck_at_packed` - stuck-at-1 / stuck-at-0 cells, the packed
+  analogue of :func:`repro.noise.bitflip.stuck_at`;
+* :class:`PackedFaultInjector` - the pluggable ``injector(words, stage)``
+  callback for packed pipeline stages;
+* :class:`DetectionFaultInjector` - a dtype-dispatching injector for the
+  mixed dense/packed detection path (dense extraction stages, packed
+  assembly stages), so one fault model covers both engine backends.
+
+**Equivalence guarantee.**  Both packed models draw their fault positions
+over the *component* axis (``dim`` draws per vector, in the same order as
+the dense models), then pack the selection into a word mask.  Handed the
+same generator state, ``flip_packed_words(pack_bits(x), dim, p, rng)`` is
+therefore *bit-identical* to ``pack_bits(flip_bipolar(x, p, rng))`` - not
+merely equal in distribution - and pad bits beyond ``dim`` are never
+touched (the mask is zero there by construction).  The property tests in
+``tests/reliability/test_faults.py`` pin both facts down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng, packed_tail_mask, packed_words
+
+__all__ = [
+    "flip_packed_words",
+    "stuck_at_packed",
+    "PackedFaultInjector",
+    "DetectionFaultInjector",
+]
+
+#: Stages of the shared-engine detection path that are memory-resident
+#: (and therefore fault-exposed): the pixel-codebook output buffer during
+#: the fields pass and the cell-histogram words during window assembly.
+DETECTION_STAGES = ("pixels", "histogram")
+
+
+def _check_packed(words, dim):
+    """Validate a packed buffer against ``dim`` and return it as uint64."""
+    arr = np.asarray(words)
+    if arr.dtype != np.uint64:
+        raise TypeError(f"expected uint64 packed words, got {arr.dtype}")
+    if arr.ndim < 1 or arr.shape[-1] != packed_words(dim):
+        raise ValueError(
+            f"dim {dim} needs {packed_words(dim)} words per vector, "
+            f"got shape {arr.shape}")
+    return arr
+
+
+def _event_mask(shape, dim, rate, rng):
+    """Packed uint64 mask with each *real* bit set iid with ``rate``.
+
+    Draws ``dim`` float32 variates per vector - the same count, order and
+    dtype as the dense models in :mod:`repro.noise.bitflip` - so packed
+    and dense fault positions coincide for equal generator state.  Pad
+    bits are zero by construction.
+    """
+    batch = shape[:-1]
+    events = rng.random(batch + (int(dim),), dtype=np.float32) < rate
+    pad = (-int(dim)) % 64
+    if pad:
+        events = np.concatenate(
+            [events, np.zeros(batch + (pad,), dtype=bool)], axis=-1)
+    mask = np.packbits(events, axis=-1, bitorder="little")
+    if not mask.flags["C_CONTIGUOUS"]:
+        mask = np.ascontiguousarray(mask)
+    return mask.view(np.uint64)
+
+
+def flip_packed_words(words, dim, rate, seed_or_rng=None):
+    """Flip each stored bit independently with probability ``rate``.
+
+    The packed-domain analogue of :func:`repro.noise.bitflip.flip_bipolar`
+    (a flipped sign bit *is* a negated bipolar component).  Only the
+    ``dim`` real bits of each vector are exposed; pad bits of the last
+    word are never flipped, so results remain interchangeable with
+    :func:`~repro.core.hypervector.pack_bits` output and popcounts stay
+    truthful without re-masking.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    arr = _check_packed(words, dim)
+    if rate == 0.0:
+        return arr.copy()
+    rng = as_rng(seed_or_rng)
+    return arr ^ _event_mask(arr.shape, dim, rate, rng)
+
+
+def stuck_at_packed(words, dim, rate, value=1, seed_or_rng=None):
+    """Pin each stored bit to ``value`` with probability ``rate``.
+
+    ``value`` follows the bipolar convention of
+    :func:`repro.noise.bitflip.stuck_at`: ``+1`` is a stuck-at-1 cell
+    (bit forced high), ``-1`` a stuck-at-0 cell.  A stuck cell only
+    corrupts components that disagreed with it, so expected damage is
+    half a flip's at equal rate.  Pad bits are never modified.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if value not in (-1, 1):
+        raise ValueError("stuck value must be +1 or -1")
+    arr = _check_packed(words, dim)
+    if rate == 0.0:
+        return arr.copy()
+    rng = as_rng(seed_or_rng)
+    mask = _event_mask(arr.shape, dim, rate, rng)
+    if value == 1:
+        return arr | mask
+    return arr & ~mask
+
+
+class PackedFaultInjector:
+    """Stage callback flipping packed-word bits at a fixed rate.
+
+    The packed counterpart of :class:`repro.noise.bitflip.
+    HypervectorFaultInjector`: plug it into any pipeline stage that hands
+    packed ``uint64`` buffers to its injector (the shared engine's packed
+    assembly stage, cache corruption, model corruption).
+
+    Parameters
+    ----------
+    rate:
+        Per-bit fault probability.
+    dim:
+        Real component count of the packed vectors (pad bits beyond it
+        are never faulted).
+    stages:
+        Which stages to corrupt (default: the memory-resident detection
+        stages).
+    model:
+        ``"flip"`` (default) or ``"stuck"``; stuck-at polarity comes from
+        ``stuck_value``.
+    seed_or_rng:
+        Fault randomness.
+    """
+
+    def __init__(self, rate, dim, stages=DETECTION_STAGES, model="flip",
+                 stuck_value=1, seed_or_rng=None):
+        if model not in ("flip", "stuck"):
+            raise ValueError(f"unknown fault model {model!r}")
+        self.rate = float(rate)
+        self.dim = int(dim)
+        self.stages = tuple(stages)
+        self.model = model
+        self.stuck_value = int(stuck_value)
+        self._rng = as_rng(seed_or_rng)
+        self.calls = 0
+
+    def _corrupt(self, words):
+        if self.model == "stuck":
+            return stuck_at_packed(words, self.dim, self.rate,
+                                   self.stuck_value, self._rng)
+        return flip_packed_words(words, self.dim, self.rate, self._rng)
+
+    def __call__(self, words, stage):
+        if stage not in self.stages or self.rate == 0.0:
+            return words
+        self.calls += 1
+        return self._corrupt(words)
+
+
+class DetectionFaultInjector(PackedFaultInjector):
+    """Dtype-dispatching injector for the mixed dense/packed detection path.
+
+    The shared engine's extraction stages carry dense bipolar tensors for
+    *both* backends (the stochastic fields pass is dense), while the
+    packed backend's assembly stage hands over ``uint64`` cell words.
+    This injector applies :func:`flip_packed_words` to packed buffers and
+    :func:`repro.noise.bitflip.flip_bipolar` to everything else, so one
+    fault model (one rate, one stream) sweeps either backend end to end.
+    """
+
+    def __call__(self, arr, stage):
+        if stage not in self.stages or self.rate == 0.0:
+            return arr
+        self.calls += 1
+        a = np.asarray(arr)
+        if a.dtype == np.uint64:
+            return self._corrupt(a)
+        from ..noise.bitflip import flip_bipolar, stuck_at
+        if self.model == "stuck":
+            return stuck_at(a, self.rate, self.stuck_value, self._rng)
+        return flip_bipolar(a, self.rate, self._rng)

@@ -1,0 +1,219 @@
+"""Self-repairing class model: replication, checksums, majority-vote repair.
+
+The packed class model is the smallest and longest-lived hypervector
+structure in the detection stack (a few KB held for the process
+lifetime), which makes it both the cheapest thing to protect and the
+worst thing to lose: a corrupted class row biases *every* window of every
+scene scanned afterwards.  :class:`GuardedClassModel` protects it with
+the classic TMR recipe, priced in
+:func:`repro.hardware.opcount.guarded_infer_profile`:
+
+1. **Replication** - ``R`` (odd) copies of the packed class matrix.
+2. **Detection** - a per-class checksum (golden digest taken at build
+   time) re-checked before inference, or the cheaper *similarity canary*
+   (a fixed probe vector whose clean class distances are recorded; any
+   drift marks the active replica corrupt).
+3. **Repair** - bitwise majority vote across replicas
+   (:func:`repro.core.packed.packed_majority` over the replica axis)
+   rewrites every replica of a corrupted class; a vote that still fails
+   its checksum (a majority of replicas corrupted in the same words) is
+   *unrepairable*: the class is flagged in :attr:`degraded_classes`, the
+   voted row is adopted as the new reference, and inference continues -
+   graceful degradation instead of serving silently wrong similarities.
+
+Inference reads replica 0, so the steady-state overhead is the scrub
+pass, not the vote (which only runs on detected corruption).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import as_rng, packed_tail_mask, packed_words
+from ..core.packed import PackedClassModel, packed_majority, pairwise_hamming
+from .integrity import digest_array
+
+__all__ = ["GuardedClassModel"]
+
+CHECKS = ("checksum", "canary")
+
+
+class GuardedClassModel:
+    """Replicated, checksummed, self-repairing packed class model.
+
+    Drop-in for :class:`repro.core.packed.PackedClassModel` on the
+    inference side (``distances`` / ``similarities`` / ``predict`` with
+    identical clean semantics), with a scrub-and-repair pass in front.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.core.packed.PackedClassModel` or a
+        ``(n_classes, D)`` bipolar matrix to build one from.
+    replicas:
+        Odd replica count ``R`` (default 3: classic TMR).  ``R = 1``
+        degrades to detection-only (any corruption is unrepairable).
+    check:
+        ``"checksum"`` (default) verifies every replica row's digest on
+        each scrub; ``"canary"`` first probes the active replica with a
+        fixed random query and only falls back to the full checksum scrub
+        when the canary distances drift (cheaper, but blind to corruption
+        that leaves the canary distances unchanged on non-active
+        replicas).
+    scrub_every:
+        Scrub once per this many inference calls (1 = every call).
+    seed_or_rng:
+        Randomness for the canary probe vector.
+    """
+
+    def __init__(self, model, replicas=3, check="checksum", scrub_every=1,
+                 seed_or_rng=None):
+        base = model if isinstance(model, PackedClassModel) \
+            else PackedClassModel(model)
+        r = int(replicas)
+        if r < 1 or r % 2 == 0:
+            raise ValueError(f"replicas must be odd and >= 1, got {replicas}")
+        if check not in CHECKS:
+            raise ValueError(f"unknown check {check!r}; expected one of {CHECKS}")
+        self.dim = base.dim
+        self.n_classes = base.n_classes
+        self.n_replicas = r
+        self.check = check
+        self.scrub_every = max(int(scrub_every), 1)
+        #: ``(R, n_classes, W)`` stored replica words.  Tests and fault
+        #: campaigns corrupt this array directly (or via
+        #: :meth:`corrupt_replica`).
+        self.replicas = np.repeat(base.packed[None, ...], r, axis=0).copy()
+        self._golden = [digest_array(base.packed[c])
+                        for c in range(self.n_classes)]
+        rng = as_rng(seed_or_rng)
+        canary_bits = rng.integers(0, 2**64, size=packed_words(self.dim),
+                                   dtype=np.uint64) & packed_tail_mask(self.dim)
+        self._canary = canary_bits
+        self._canary_golden = pairwise_hamming(canary_bits, base.packed,
+                                               dim=self.dim)[0]
+        #: Classes whose corruption could not be repaired (majority of
+        #: replicas agreed on wrong words); inference continues on the
+        #: voted rows.
+        self.degraded_classes = set()
+        self._calls = 0
+        self.scrubs = 0
+        self.checks = 0
+        self.detected = 0
+        self.repaired = 0
+        self.unrepairable = 0
+        self.canary_checks = 0
+        self.canary_misses = 0
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self):
+        """Protected model footprint (R replicas of the packed matrix)."""
+        return int(self.replicas.nbytes)
+
+    def canary_ok(self):
+        """True if the active replica still answers the canary cleanly."""
+        self.canary_checks += 1
+        dists = pairwise_hamming(self._canary, self.replicas[0],
+                                 dim=self.dim)[0]
+        ok = bool(np.array_equal(dists, self._canary_golden))
+        if not ok:
+            self.canary_misses += 1
+        return ok
+
+    def _corrupt_rows(self):
+        """``(replica, class)`` index pairs whose stored digest mismatches."""
+        bad = []
+        for rep in range(self.n_replicas):
+            for c in range(self.n_classes):
+                self.checks += 1
+                if digest_array(self.replicas[rep, c]) != self._golden[c]:
+                    bad.append((rep, c))
+        return bad
+
+    def scrub(self, force=False):
+        """Verify the stored replicas; repair (or flag) corrupted classes.
+
+        Returns the number of corrupted ``(replica, class)`` rows found.
+        With ``check="canary"`` the full digest pass only runs when the
+        canary drifts (or ``force=True``).
+        """
+        if self.check == "canary" and not force and self.canary_ok():
+            return 0
+        self.scrubs += 1
+        bad = self._corrupt_rows()
+        if not bad:
+            return 0
+        self.detected += len(bad)
+        for c in sorted({c for _, c in bad}):
+            voted = packed_majority(self.replicas[:, c, :], self.dim)
+            if digest_array(voted) == self._golden[c]:
+                self.repaired += 1
+            else:
+                # majority corrupted: degrade gracefully on the voted row
+                self.unrepairable += 1
+                self.degraded_classes.add(c)
+                self._golden[c] = digest_array(voted)
+                self._canary_golden[c] = pairwise_hamming(
+                    self._canary, voted[None], dim=self.dim)[0, 0]
+            self.replicas[:, c, :] = voted
+        return len(bad)
+
+    def stats(self):
+        """Counters of the protection machinery (for reports and tests)."""
+        return {
+            "replicas": self.n_replicas,
+            "check": self.check,
+            "scrubs": self.scrubs,
+            "checks": self.checks,
+            "detected": self.detected,
+            "repaired": self.repaired,
+            "unrepairable": self.unrepairable,
+            "canary_checks": self.canary_checks,
+            "canary_misses": self.canary_misses,
+            "degraded_classes": sorted(self.degraded_classes),
+        }
+
+    # ------------------------------------------------------------------
+    # fault surface
+    # ------------------------------------------------------------------
+    def corrupt_replica(self, index, word_rate, seed_or_rng=None):
+        """Overwrite a fraction of one replica's words with random garbage.
+
+        The word-granular corruption model of a failed memory burst: each
+        word of replica ``index`` is independently replaced with random
+        bits with probability ``word_rate`` (pad bits stay clear so rows
+        remain comparable).  Returns the number of words corrupted.
+        """
+        if not 0.0 <= word_rate <= 1.0:
+            raise ValueError(f"word_rate must be in [0, 1], got {word_rate}")
+        rng = as_rng(seed_or_rng)
+        rep = self.replicas[index]
+        hit = rng.random(rep.shape) < word_rate
+        garbage = rng.integers(0, 2**64, size=rep.shape, dtype=np.uint64)
+        garbage &= packed_tail_mask(self.dim)
+        rep[hit] = garbage[hit]
+        return int(hit.sum())
+
+    # ------------------------------------------------------------------
+    # inference (PackedClassModel-compatible)
+    # ------------------------------------------------------------------
+    def _active(self):
+        self._calls += 1
+        if self._calls % self.scrub_every == 0:
+            self.scrub()
+        return self.replicas[0]
+
+    def distances(self, packed_queries):
+        """Hamming distance of each packed query to each class: ``(n, k)``."""
+        return pairwise_hamming(packed_queries, self._active(), dim=self.dim)
+
+    def similarities(self, packed_queries):
+        """Normalized similarities ``1 - 2 * hamming / D`` in ``[-1, 1]``."""
+        return 1.0 - 2.0 * self.distances(packed_queries) / float(self.dim)
+
+    def predict(self, packed_queries):
+        """Label of the Hamming-nearest class per packed query."""
+        return self.distances(packed_queries).argmin(axis=1)

@@ -1,0 +1,38 @@
+"""Content digests for fault detection (cache scrubbing, model checksums).
+
+Detection is the cheap half of active protection: a short digest of the
+stored words, computed at write time and re-checked on read, turns silent
+data corruption into an explicit *mismatch* event that the caller can
+repair (majority vote across replicas) or recover from (recompute the
+cached value).  On hardware this is a CRC/parity tree streamed alongside
+the words; here we use BLAKE2s over the raw bytes, which is collision-
+safe at any corruption rate and cheap enough for cache-hit paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["digest_array", "digest_arrays"]
+
+#: Digest width in bytes.  8 bytes keeps per-row checksum storage
+#: negligible next to the packed rows they protect.
+DIGEST_SIZE = 8
+
+
+def digest_array(arr):
+    """Short content digest of one array's raw bytes."""
+    data = np.ascontiguousarray(arr)
+    return hashlib.blake2s(data.tobytes(), digest_size=DIGEST_SIZE).digest()
+
+
+def digest_arrays(*arrays):
+    """One digest over several arrays (shape-delimited, order-sensitive)."""
+    h = hashlib.blake2s(digest_size=DIGEST_SIZE)
+    for arr in arrays:
+        data = np.ascontiguousarray(arr)
+        h.update(repr((data.shape, data.dtype.str)).encode())
+        h.update(data.tobytes())
+    return h.digest()

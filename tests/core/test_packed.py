@@ -204,3 +204,30 @@ class TestPackedClassModel:
     def test_bad_shape_raises(self):
         with pytest.raises(ValueError):
             PackedClassModel(np.ones(64, np.int8))
+
+
+class TestCorruptedModel:
+    def test_original_left_intact(self):
+        model = PackedClassModel(random_hypervector(1024, 0, shape=(2,)))
+        before = model.packed.copy()
+        bad = model.corrupted(0.3, seed_or_rng=0)
+        assert (model.packed == before).all()
+        assert (bad.packed != before).any()
+        assert bad.n_classes == model.n_classes and bad.dim == model.dim
+
+    def test_pad_bits_never_corrupted(self):
+        dim = 70
+        model = PackedClassModel(random_hypervector(dim, 0, shape=(3,)))
+        bad = model.corrupted(1.0, seed_or_rng=0)
+        assert (bad.packed & ~packed_tail_mask(dim) == 0).all()
+
+    def test_similarity_degrades_with_rate(self):
+        model = PackedClassModel(random_hypervector(4096, 0, shape=(2,)))
+        q = pack_bits(random_hypervector(4096, 1))
+        drift = [
+            np.abs(model.corrupted(rate, 5).similarities(q)
+                   - model.similarities(q)).max()
+            for rate in (0.0, 0.05, 0.3)
+        ]
+        assert drift[0] == 0.0
+        assert drift[0] < drift[1] < drift[2]

@@ -140,3 +140,41 @@ class TestDetectionProfiles:
         from repro.hardware.opcount import shared_detection_profile
         with pytest.raises(ValueError):
             shared_detection_profile((16, 16), 24, 8, 1024)
+
+
+class TestProtectionProfiles:
+    def test_scrub_streams_every_replica_word(self):
+        from repro.hardware.opcount import scrub_profile
+        prof = scrub_profile(4096, 2, replicas=3)
+        w = 4096 // 64
+        assert prof.get("word64") == 2 * 3 * 2 * w + 3 * 2
+        assert prof.get("mem_bytes") == 3 * 2 * (w + 1) * 8
+
+    def test_scrub_with_repair_adds_vote(self):
+        from repro.hardware.opcount import replica_vote_profile, scrub_profile
+        plain = scrub_profile(4096, 2, replicas=3)
+        repair = scrub_profile(4096, 2, replicas=3, repair=True)
+        vote = replica_vote_profile(4096, 2, replicas=3)
+        assert repair.get("word64") == plain.get("word64") + vote.get("word64")
+
+    def test_vote_cost_grows_with_replicas(self):
+        from repro.hardware.opcount import replica_vote_profile
+        assert (replica_vote_profile(4096, 2, replicas=5).total_ops()
+                > replica_vote_profile(4096, 2, replicas=3).total_ops())
+
+    def test_guarded_infer_amortizes_scrub(self):
+        from repro.hardware.opcount import (
+            guarded_infer_profile,
+            packed_infer_profile,
+        )
+        plain = packed_infer_profile(4096, 2)
+        every = guarded_infer_profile(4096, 2, replicas=3, scrub_every=1)
+        rare = guarded_infer_profile(4096, 2, replicas=3, scrub_every=100)
+        assert plain.total_ops() < rare.total_ops() < every.total_ops()
+        # with a 100-query scrub period the overhead is a few percent
+        assert rare.total_ops() < plain.total_ops() * 1.1
+
+    def test_guarded_infer_rejects_bad_period(self):
+        from repro.hardware.opcount import guarded_infer_profile
+        with pytest.raises(ValueError):
+            guarded_infer_profile(4096, 2, scrub_every=0)

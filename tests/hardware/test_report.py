@@ -119,3 +119,21 @@ class TestEpochTimeGrid:
                                   dims=(4096,), hidden_configs=((1024, 1024),))
         ratio = dnn[(1024, 1024)] / hd[4096]
         assert 1.5 < ratio < 40
+
+
+class TestProtectionOverheadReport:
+    def test_rows_for_every_platform(self):
+        from repro.hardware.report import protection_overhead_report
+        rows = protection_overhead_report(dim=4096, replicas=3)
+        assert {r.platform for r in rows} == {"cpu", "fpga"}
+        for r in rows:
+            assert r.guarded_cycles > r.unguarded_cycles
+            assert r.cycle_overhead > 1.0
+            assert r.energy_overhead > 1.0
+            assert r.repair_cycles > 0
+
+    def test_longer_scrub_period_shrinks_overhead(self):
+        from repro.hardware.report import protection_overhead_report
+        every = protection_overhead_report(dim=4096, scrub_every=1)[0]
+        rare = protection_overhead_report(dim=4096, scrub_every=50)[0]
+        assert rare.cycle_overhead < every.cycle_overhead

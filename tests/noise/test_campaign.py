@@ -32,9 +32,33 @@ class TestRobustnessResult:
         res.reference_accuracy = 0.95
         assert res.losses()[0.0] == pytest.approx(5.0)
 
-    def test_missing_clean_raises(self):
+    def test_missing_clean_warns_and_falls_back(self):
+        res = RobustnessResult({0.3: 0.4, 0.1: 0.5})
+        with pytest.warns(UserWarning, match="lowest swept rate"):
+            assert res.clean_accuracy == 0.5
+
+    def test_empty_sweep_raises(self):
         with pytest.raises(KeyError):
-            RobustnessResult({0.1: 0.5}).clean_accuracy
+            RobustnessResult().clean_accuracy
+
+    def test_losses_sorted_by_rate(self):
+        res = RobustnessResult({0.3: 0.6, 0.0: 0.9, 0.1: 0.8})
+        assert list(res.losses()) == [0.0, 0.1, 0.3]
+
+    def test_rate_results_independent_of_earlier_rates(self, face_task):
+        # per-rate child generators: a swept point's result must not depend
+        # on how many variates the earlier rates of the sweep consumed
+        # (rate 0 consumes none, 0.1 consumes plenty)
+        xtr, ytr, xte, yte = face_task
+        hog_pipe = HOGPipeline("svm", 2, image_size=24)
+        ftr, fte = hog_pipe.features(xtr), hog_pipe.features(xte)
+        mlp = MLPClassifier(ftr.shape[1], 2, hidden=(16,), epochs=20,
+                            seed_or_rng=0).fit(ftr, ytr)
+        full = dnn_robustness(mlp, fte, yte, rates=(0.0, 0.3), bits=16,
+                              seed_or_rng=5)
+        partial = dnn_robustness(mlp, fte, yte, rates=(0.1, 0.3), bits=16,
+                                 seed_or_rng=5)
+        assert full[0.3] == partial[0.3]
 
 
 class TestHDFaceHyperspace:

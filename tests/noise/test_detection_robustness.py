@@ -1,0 +1,103 @@
+"""Tests for the detection-level fault campaign (noise/campaign.py)."""
+
+import numpy as np
+import pytest
+
+from repro.noise import DetectionRobustnessResult, detection_robustness
+from repro.pipeline import HDFacePipeline
+from repro.pipeline.detector import make_scene
+
+
+@pytest.fixture(scope="module")
+def face_pipe(face_data):
+    xtr, ytr, _, _ = face_data
+    return HDFacePipeline(2, dim=512, cell_size=8, magnitude="l1",
+                          epochs=10, seed_or_rng=0).fit(xtr, ytr)
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    return [make_scene(48, [(4, 4), (22, 20)], 24, seed_or_rng=10 + i)
+            for i in range(3)]
+
+
+@pytest.fixture(scope="module")
+def sweep(face_pipe, scenes):
+    return detection_robustness(face_pipe, scenes, rates=(0.0, 0.05),
+                                window=24, backends=("dense", "packed"),
+                                seed_or_rng=7)
+
+
+class TestSweepStructure:
+    def test_both_backends_and_all_rates(self, sweep):
+        assert set(sweep) == {"dense", "packed"}
+        for backend in sweep:
+            assert set(sweep[backend]) == {0.0, 0.05}
+
+    def test_rows_carry_quality_metrics(self, sweep):
+        for _, _, row in sweep.rows():
+            assert 0.0 <= row["recall"] <= 1.0
+            assert 0.0 <= row["precision"] <= 1.0
+            assert 0.0 <= row["mean_iou"] <= 1.0
+            assert row["n_truth"] == 6  # 3 scenes x 2 faces
+
+    def test_clean_run_finds_faces(self, sweep):
+        for backend in ("dense", "packed"):
+            assert sweep.clean(backend)["recall"] > 0.0
+
+    def test_payload_is_json_ready(self, sweep):
+        import json
+        payload = sweep.payload()
+        assert set(payload) == {"config", "rows"}
+        assert payload["config"]["n_scenes"] == 3
+        assert len(payload["rows"]) == 4
+        json.dumps(payload)  # must serialize
+
+    def test_recall_drop_nonnegative_for_clean(self, sweep):
+        for backend in ("dense", "packed"):
+            assert sweep.recall_drop(backend) >= 0.0
+
+
+class TestValidation:
+    def test_unknown_attack_rejected(self, face_pipe, scenes):
+        with pytest.raises(ValueError):
+            detection_robustness(face_pipe, scenes, (0.0,), window=24,
+                                 attack=("voltage",))
+
+    def test_even_guard_replicas_rejected(self, face_pipe, scenes):
+        with pytest.raises(ValueError):
+            detection_robustness(face_pipe, scenes, (0.0,), window=24,
+                                 guard_replicas=2)
+
+
+class TestGuardedSweep:
+    def test_guard_absorbs_model_corruption(self, face_pipe, scenes):
+        # model-only attack with a guard: one corrupted replica is repaired
+        # at inference, so every rate reproduces the clean detections
+        res = detection_robustness(
+            face_pipe, scenes, rates=(0.0, 0.1), window=24,
+            backends=("packed",), seed_or_rng=7, attack=("model",),
+            guard_replicas=3)
+        clean = res["packed"][0.0]
+        assert res["packed"][0.1] == clean
+        assert res.recall_drop("packed") == 0.0
+
+
+class TestResultHelpers:
+    def test_clean_prefers_rate_zero(self):
+        res = DetectionRobustnessResult(
+            {"dense": {0.0: {"recall": 0.9}, 0.01: {"recall": 0.5}}})
+        assert res.clean("dense")["recall"] == 0.9
+
+    def test_clean_falls_back_to_lowest_rate(self):
+        res = DetectionRobustnessResult(
+            {"dense": {0.05: {"recall": 0.7}, 0.01: {"recall": 0.8}}})
+        assert res.clean("dense")["recall"] == 0.8
+
+    def test_rows_sorted(self):
+        res = DetectionRobustnessResult({
+            "packed": {0.05: {"recall": 1.0}, 0.0: {"recall": 1.0}},
+            "dense": {0.0: {"recall": 1.0}},
+        })
+        assert [(b, r) for b, r, _ in res.rows()] == [
+            ("dense", 0.0), ("packed", 0.0), ("packed", 0.05)]

@@ -1,0 +1,177 @@
+"""Tests for the packed-word fault models (reliability/faults.py).
+
+The two load-bearing guarantees: pad bits beyond ``dim`` are *never*
+touched, and - given equal generator state - the packed flip model is
+bit-identical to the dense :func:`repro.noise.bitflip.flip_bipolar` on the
+unpacked view (not merely equal in distribution).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypervector import (
+    pack_bits,
+    packed_tail_mask,
+    packed_words,
+    random_hypervector,
+    unpack_bits,
+)
+from repro.noise.bitflip import flip_bipolar, stuck_at
+from repro.reliability import (
+    DetectionFaultInjector,
+    PackedFaultInjector,
+    flip_packed_words,
+    stuck_at_packed,
+)
+
+dims = st.integers(min_value=1, max_value=200)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+rates = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestFlipPackedWords:
+    def test_rate_zero_is_copy(self):
+        packed = pack_bits(random_hypervector(256, 0))
+        out = flip_packed_words(packed, 256, 0.0)
+        assert (out == packed).all()
+        assert out is not packed
+
+    def test_rate_one_flips_every_real_bit(self):
+        hv = random_hypervector(100, 0)
+        out = flip_packed_words(pack_bits(hv), 100, 1.0, 0)
+        assert (unpack_bits(out, 100) == -hv).all()
+
+    def test_flip_fraction(self):
+        dim = 50000
+        packed = pack_bits(random_hypervector(dim, 0))
+        out = flip_packed_words(packed, dim, 0.1, 1)
+        flipped = np.bitwise_count(out ^ packed).sum()
+        assert abs(flipped / dim - 0.1) < 0.01
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            flip_packed_words(pack_bits(np.ones(4, np.int8)), 4, 1.5)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            flip_packed_words(np.ones(4, np.int8), 4, 0.1)
+
+    def test_rejects_wrong_word_count(self):
+        packed = pack_bits(random_hypervector(64, 0))
+        with pytest.raises(ValueError):
+            flip_packed_words(packed, 100, 0.1)  # needs 2 words, got 1
+
+    def test_reproducible(self):
+        packed = pack_bits(random_hypervector(1000, 0))
+        a = flip_packed_words(packed, 1000, 0.2, 9)
+        b = flip_packed_words(packed, 1000, 0.2, 9)
+        assert (a == b).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(dim=dims, seed=seeds, rate=rates)
+    def test_pad_bits_never_flipped(self, dim, seed, rate):
+        # rate 1.0 flips every real bit; pads must still come back zero
+        packed = pack_bits(random_hypervector(dim, seed, shape=(3,)))
+        out = flip_packed_words(packed, dim, rate, seed)
+        assert (out & ~packed_tail_mask(dim) == 0).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(dim=dims, seed=seeds, rate=st.floats(min_value=0.01, max_value=0.99))
+    def test_bit_identical_to_dense_flips(self, dim, seed, rate):
+        # same generator state => identical fault positions, including in
+        # the tail word of odd dimensionalities
+        hv = random_hypervector(dim, seed, shape=(2,))
+        packed_out = flip_packed_words(
+            pack_bits(hv), dim, rate, np.random.default_rng(seed))
+        dense_out = flip_bipolar(hv, rate, np.random.default_rng(seed))
+        assert (packed_out == pack_bits(dense_out)).all()
+
+    def test_flip_count_distribution_matches_dense(self):
+        # chi-squared over per-vector flip counts: packed and dense draws
+        # at the same rate come from the same binomial (odd D exercises
+        # the tail word)
+        from scipy.stats import chisquare
+        dim, n, rate = 101, 4000, 0.25
+        hv = random_hypervector(dim, 0, shape=(n,))
+        packed = pack_bits(hv)
+        dense_counts = (flip_bipolar(hv, rate, 1) != hv).sum(axis=1)
+        corrupted = flip_packed_words(packed, dim, rate, 2)
+        packed_counts = np.bitwise_count(corrupted ^ packed).sum(axis=1)
+        edges = np.array([0, 18, 21, 23, 25, 27, 29, 32, dim + 1])
+        dense_hist = np.histogram(dense_counts, bins=edges)[0]
+        packed_hist = np.histogram(packed_counts, bins=edges)[0]
+        expected = dense_hist * (packed_hist.sum() / dense_hist.sum())
+        assert chisquare(packed_hist, expected).pvalue > 1e-4
+
+
+class TestStuckAtPacked:
+    @pytest.mark.parametrize("value", [1, -1])
+    def test_matches_dense_stuck_at(self, value):
+        dim = 137
+        hv = random_hypervector(dim, 3, shape=(2,))
+        packed_out = stuck_at_packed(pack_bits(hv), dim, 0.3, value,
+                                     np.random.default_rng(5))
+        dense_out = stuck_at(hv, 0.3, value, np.random.default_rng(5))
+        assert (packed_out == pack_bits(dense_out)).all()
+
+    def test_stuck_low_clears_pads_only_virtually(self):
+        dim = 70
+        packed = pack_bits(random_hypervector(dim, 0))
+        out = stuck_at_packed(packed, dim, 1.0, -1, 0)
+        assert (out == 0).all()  # every real bit pinned low, pads already 0
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError):
+            stuck_at_packed(pack_bits(np.ones(4, np.int8)), 4, 0.1, value=0)
+
+
+class TestPackedFaultInjector:
+    def test_only_listed_stages_corrupted(self):
+        packed = pack_bits(random_hypervector(256, 0))
+        inj = PackedFaultInjector(0.5, 256, stages=("histogram",),
+                                  seed_or_rng=0)
+        assert inj(packed, "pixels") is packed
+        assert (inj(packed, "histogram") != packed).any()
+        assert inj.calls == 1
+
+    def test_rate_zero_is_identity(self):
+        packed = pack_bits(random_hypervector(64, 0))
+        inj = PackedFaultInjector(0.0, 64)
+        assert inj(packed, "histogram") is packed
+        assert inj.calls == 0
+
+    def test_stuck_model(self):
+        packed = pack_bits(random_hypervector(64, 0))
+        inj = PackedFaultInjector(1.0, 64, model="stuck", stuck_value=1,
+                                  seed_or_rng=0)
+        out = inj(packed, "histogram")
+        assert (out == packed_tail_mask(64)).all()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            PackedFaultInjector(0.1, 64, model="burst")
+
+
+class TestDetectionFaultInjector:
+    def test_dispatches_on_dtype(self):
+        dim = 128
+        inj = DetectionFaultInjector(1.0, dim, seed_or_rng=0)
+        hv = random_hypervector(dim, 0)
+        assert (inj(hv, "pixels") == -hv).all()          # dense path
+        packed = pack_bits(hv)
+        out = inj(packed, "histogram")                    # packed path
+        assert out.dtype == np.uint64
+        assert (unpack_bits(out, dim) == -hv).all()
+        assert inj.calls == 2
+
+    def test_dense_path_handles_integer_bundles(self):
+        inj = DetectionFaultInjector(1.0, 4, seed_or_rng=0)
+        bundle = np.array([5, -3, 0, 7], dtype=np.int16)
+        assert (inj(bundle, "histogram") == -bundle).all()
+
+    def test_skips_unlisted_stage(self):
+        inj = DetectionFaultInjector(1.0, 64, stages=("pixels",))
+        packed = pack_bits(random_hypervector(64, 0))
+        assert inj(packed, "histogram") is packed

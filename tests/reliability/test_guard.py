@@ -1,0 +1,168 @@
+"""Tests for the self-repairing guarded class model (reliability/guard.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import pack_bits, random_hypervector
+from repro.core.packed import PackedClassModel
+from repro.reliability import GuardedClassModel
+
+
+def make_model(dim=257, n_classes=4, seed=0):
+    return PackedClassModel(random_hypervector(dim, seed, shape=(n_classes,)))
+
+
+def make_queries(model, n=32, seed=1):
+    return pack_bits(random_hypervector(model.dim, seed, shape=(n,)))
+
+
+class TestConstruction:
+    def test_accepts_packed_model_and_bipolar_matrix(self):
+        base = make_model()
+        from_packed = GuardedClassModel(base, seed_or_rng=0)
+        from_dense = GuardedClassModel(
+            random_hypervector(64, 0, shape=(2,)), seed_or_rng=0)
+        assert from_packed.n_replicas == 3
+        assert from_dense.n_classes == 2
+
+    def test_even_or_nonpositive_replicas_rejected(self):
+        base = make_model()
+        for bad in (0, 2, 4, -1):
+            with pytest.raises(ValueError):
+                GuardedClassModel(base, replicas=bad)
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ValueError):
+            GuardedClassModel(make_model(), check="parity")
+
+    def test_footprint_scales_with_replicas(self):
+        base = make_model()
+        guarded = GuardedClassModel(base, replicas=5)
+        assert guarded.nbytes == 5 * base.nbytes
+
+
+class TestCleanSemantics:
+    def test_matches_unguarded_model_exactly(self):
+        base = make_model()
+        guarded = GuardedClassModel(base, seed_or_rng=0)
+        queries = make_queries(base)
+        assert (guarded.distances(queries) == base.distances(queries)).all()
+        assert np.allclose(guarded.similarities(queries),
+                           base.similarities(queries))
+        assert (guarded.predict(queries) == base.predict(queries)).all()
+
+    def test_clean_scrub_detects_nothing(self):
+        guarded = GuardedClassModel(make_model(), seed_or_rng=0)
+        assert guarded.scrub(force=True) == 0
+        assert guarded.stats()["detected"] == 0
+
+
+class TestRepair:
+    def test_three_replicas_restore_exact_clean_predictions(self):
+        # the acceptance scenario: 5% of one replica's words replaced with
+        # garbage; inference through the guard must equal the clean model
+        base = make_model(dim=1024, n_classes=3)
+        queries = make_queries(base, n=64)
+        clean = base.predict(queries)
+        guarded = GuardedClassModel(base, replicas=3, seed_or_rng=0)
+        corrupted = guarded.corrupt_replica(0, word_rate=0.05, seed_or_rng=7)
+        assert corrupted > 0
+        assert (guarded.predict(queries) == clean).all()
+        assert (guarded.replicas == base.packed[None]).all()  # fully healed
+        stats = guarded.stats()
+        assert stats["repaired"] > 0 and stats["unrepairable"] == 0
+        assert not guarded.degraded_classes
+
+    def test_repair_survives_two_distinct_corrupt_replicas(self):
+        # different replicas corrupted in different words: majority still
+        # recovers every bit
+        base = make_model(dim=512, n_classes=2)
+        guarded = GuardedClassModel(base, replicas=3, seed_or_rng=0)
+        guarded.corrupt_replica(0, 0.3, seed_or_rng=1)
+        guarded.corrupt_replica(2, 0.3, seed_or_rng=2)
+        guarded.scrub()
+        assert (guarded.replicas == base.packed[None]).all()
+
+    def test_majority_corruption_degrades_gracefully(self):
+        # same words trashed identically in 2 of 3 replicas: vote adopts
+        # the wrong bits; the class is flagged, inference keeps running
+        base = make_model(dim=256, n_classes=2)
+        guarded = GuardedClassModel(base, replicas=3, seed_or_rng=0)
+        garbage = guarded.replicas[0].copy()
+        garbage[0] ^= np.uint64(0xFF)
+        guarded.replicas[0] = garbage
+        guarded.replicas[1] = garbage
+        guarded.scrub()
+        assert guarded.degraded_classes == {0}
+        assert guarded.stats()["unrepairable"] == 1
+        # the voted (wrong) row is now the stable reference: a further
+        # scrub is quiet and predictions stay well-formed
+        assert guarded.scrub(force=True) == 0
+        preds = guarded.predict(make_queries(base))
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_single_replica_is_detection_only(self):
+        base = make_model(dim=128, n_classes=2)
+        guarded = GuardedClassModel(base, replicas=1, seed_or_rng=0)
+        guarded.corrupt_replica(0, 0.5, seed_or_rng=3)
+        guarded.scrub()
+        assert guarded.stats()["unrepairable"] >= 1
+        assert guarded.degraded_classes
+
+
+class TestScrubCadence:
+    def test_scrub_every_n_calls(self):
+        guarded = GuardedClassModel(make_model(), scrub_every=3, seed_or_rng=0)
+        queries = make_queries(guarded)
+        for _ in range(6):
+            guarded.predict(queries)
+        assert guarded.scrubs == 2
+
+    def test_corruption_between_scrubs_is_visible_then_healed(self):
+        base = make_model(dim=1024, n_classes=2)
+        queries = make_queries(base, n=16)
+        clean = base.distances(queries)
+        guarded = GuardedClassModel(base, replicas=3, scrub_every=2,
+                                    seed_or_rng=0)
+        guarded.corrupt_replica(0, 0.5, seed_or_rng=4)
+        first = guarded.distances(queries)   # call 1: no scrub yet
+        assert (first != clean).any()
+        second = guarded.distances(queries)  # call 2: scrub repairs first
+        assert (second == clean).all()
+
+
+class TestCanary:
+    def test_canary_detects_active_replica_corruption(self):
+        guarded = GuardedClassModel(make_model(dim=512), check="canary",
+                                    seed_or_rng=0)
+        assert guarded.canary_ok()
+        guarded.corrupt_replica(0, 0.5, seed_or_rng=5)
+        assert not guarded.canary_ok()
+
+    def test_canary_scrub_short_circuits_when_clean(self):
+        guarded = GuardedClassModel(make_model(), check="canary",
+                                    seed_or_rng=0)
+        assert guarded.scrub() == 0
+        assert guarded.stats()["scrubs"] == 0       # digest pass skipped
+        assert guarded.stats()["canary_checks"] == 1
+
+    def test_canary_triggers_full_repair(self):
+        base = make_model(dim=1024, n_classes=2)
+        guarded = GuardedClassModel(base, replicas=3, check="canary",
+                                    seed_or_rng=0)
+        guarded.corrupt_replica(0, 0.5, seed_or_rng=6)
+        assert guarded.scrub() > 0
+        assert (guarded.replicas == base.packed[None]).all()
+
+
+class TestCorruptReplica:
+    def test_bad_word_rate(self):
+        guarded = GuardedClassModel(make_model(), seed_or_rng=0)
+        with pytest.raises(ValueError):
+            guarded.corrupt_replica(0, 1.5)
+
+    def test_pad_bits_stay_clear(self):
+        from repro.core.hypervector import packed_tail_mask
+        guarded = GuardedClassModel(make_model(dim=70), seed_or_rng=0)
+        guarded.corrupt_replica(1, 1.0, seed_or_rng=0)
+        assert (guarded.replicas[1] & ~packed_tail_mask(70) == 0).all()

@@ -1,0 +1,81 @@
+"""Tests for the shared-engine scene-cache scrubber.
+
+A corrupted cache entry must never be served silently: with ``scrub=True``
+the engine digest-verifies entries on hit, throws corrupted ones away and
+recomputes, restoring bitwise-clean detection scores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.detector import SlidingWindowDetector, make_scene
+from repro.pipeline.hdface import HDFacePipeline
+
+
+@pytest.fixture(scope="module")
+def face_pipe(face_data):
+    xtr, ytr, _, _ = face_data
+    return HDFacePipeline(2, dim=512, cell_size=8, magnitude="l1",
+                          epochs=5, seed_or_rng=0).fit(xtr, ytr)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    out, _ = make_scene(48, [(8, 16)], window=24, seed_or_rng=3)
+    return out
+
+
+@pytest.mark.parametrize("backend", ["dense", "packed"])
+class TestCacheScrubber:
+    def test_corrupted_entry_recomputed_on_hit(self, face_pipe, scene,
+                                               backend):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8,
+                                    backend=backend, scrub=True)
+        clean = det.scan(scene).scores
+        corrupted = det.engine.corrupt_cache(0.3, seed_or_rng=0)
+        assert corrupted > 0
+        again = det.scan(scene).scores
+        assert np.array_equal(again, clean)
+        info = det.engine.cache_info()
+        assert info["scrub"] is True
+        assert info["scrub_mismatches"] > 0
+        assert info["scrub_checks"] >= info["scrub_mismatches"]
+
+    def test_without_scrub_corruption_is_served(self, face_pipe, scene,
+                                                backend):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8,
+                                    backend=backend, scrub=False)
+        clean = det.scan(scene).scores
+        # heavy corruption so at least one window's score must move
+        assert det.engine.corrupt_cache(0.5, seed_or_rng=0) > 0
+        assert not np.array_equal(det.scan(scene).scores, clean)
+
+    def test_scrubbed_rescan_costs_one_recompute(self, face_pipe, scene,
+                                                 backend):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8,
+                                    backend=backend, scrub=True)
+        det.scan(scene)
+        det.engine.corrupt_cache(0.3, seed_or_rng=1)
+        det.scan(scene)
+        misses_after_repair = det.engine.cache_info()["misses"]
+        det.scan(scene)  # entry was recomputed and re-cached: clean hit now
+        info = det.engine.cache_info()
+        assert info["misses"] == misses_after_repair
+        mismatches = info["scrub_mismatches"]
+        det.scan(scene)
+        assert det.engine.cache_info()["scrub_mismatches"] == mismatches
+
+
+class TestCorruptCache:
+    def test_empty_cache_reports_zero(self, face_pipe):
+        det = SlidingWindowDetector(face_pipe, window=24, backend="dense",
+                                    scrub=True)
+        assert det.engine.corrupt_cache(0.5, seed_or_rng=0) == 0
+
+    def test_rate_zero_leaves_scores_clean_without_scrub(self, face_pipe,
+                                                         scene):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8,
+                                    backend="packed", scrub=False)
+        clean = det.scan(scene).scores
+        det.engine.corrupt_cache(0.0, seed_or_rng=0)
+        assert np.array_equal(det.scan(scene).scores, clean)

@@ -105,3 +105,64 @@ class TestCommands:
         assert main(["report", "--dim", "2048"], out=out) == 0
         text = out.getvalue()
         assert "speedup" in text and "per-epoch" in text
+
+
+class TestRobustnessCommand:
+    def test_sweep_writes_json_and_prints_table(self, tmp_path):
+        import json
+        output = tmp_path / "robustness.json"
+        out = io.StringIO()
+        code = main([
+            "robustness", "--rates", "0,0.05", "--images", "2",
+            "--dim", "256", "--scene-size", "48", "--window", "24",
+            "--output", str(output),
+        ], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert output.exists()
+        assert "recall" in text and "worst recall drop" in text
+        payload = json.loads(output.read_text())
+        backends = {row["backend"] for row in payload["rows"]}
+        assert backends == {"dense", "packed"}
+        rates = {row["rate"] for row in payload["rows"]}
+        assert rates == {0.0, 0.05}
+
+    def test_recall_drop_gate(self, tmp_path):
+        # an impossible tolerance must fail the gate unless the sweep is
+        # perfectly clean; a generous one must pass - same tiny campaign
+        common = ["robustness", "--rates", "0,0.4", "--images", "2",
+                  "--dim", "256", "--scene-size", "48", "--window", "24",
+                  "--attack", "model",
+                  "--output", str(tmp_path / "r.json")]
+        out = io.StringIO()
+        code = main(common + ["--max-recall-drop", "1.0"], out=out)
+        assert code == 0
+        assert "within tolerance" in out.getvalue()
+
+    def test_dense_only_backend(self, tmp_path):
+        import json
+        output = tmp_path / "dense.json"
+        out = io.StringIO()
+        code = main([
+            "robustness", "--rates", "0", "--images", "1", "--dim", "256",
+            "--backend", "dense", "--output", str(output),
+        ], out=out)
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert {row["backend"] for row in payload["rows"]} == {"dense"}
+
+    def test_guarded_model_attack(self, tmp_path):
+        out = io.StringIO()
+        code = main([
+            "robustness", "--rates", "0,0.1", "--images", "2",
+            "--dim", "256", "--attack", "model", "--guard-replicas", "3",
+            "--max-recall-drop", "0.0",
+            "--output", str(tmp_path / "g.json"),
+        ], out=out)
+        # guard repairs the corrupted replica: zero drop tolerance holds
+        assert code == 0
+
+    def test_report_prints_protection_overhead(self):
+        out = io.StringIO()
+        assert main(["report", "--dim", "1024"], out=out) == 0
+        assert "protection overhead" in out.getvalue()
