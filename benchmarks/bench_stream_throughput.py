@@ -1,0 +1,131 @@
+"""Streaming detection: frame-delta reuse vs full per-frame re-extraction.
+
+The streaming subsystem's claim is that on video, where consecutive
+frames share most pixels, ``SharedFeatureEngine.delta_update`` turns the
+dominant per-pixel stochastic stages into work proportional to the
+*motion*, not the frame.  This bench pins that with a moving-face video
+at several motion fractions (the face's dilated bounding box as a share
+of the frame): frames/sec of the incremental stream vs the same stream
+with ``incremental=False`` (full re-extraction every frame), per-frame
+detections asserted identical between the two runs.
+
+Acceptance: >= 2x frames/sec at <= 25% frame motion (asserted on the
+largest swept fraction, ~0.25, for both backends).
+
+Results land in ``benchmarks/results/stream_throughput.{txt,json}``.
+"""
+
+import time
+
+import pytest
+
+from common import SCALE, fmt_row, write_json, write_report
+
+from repro.datasets.synth import moving_face_sequence
+from repro.pipeline import (
+    HDFacePipeline,
+    PyramidDetector,
+    SlidingWindowDetector,
+    VideoStreamDetector,
+)
+
+DIM = 1024 if SCALE == "smoke" else 2048
+SCENE = 96
+WINDOW = 24
+STRIDE = 8
+STEP = 2
+N_FRAMES = 8 if SCALE == "smoke" else 24
+# face side per motion point: dirty bbox ~= (side + STEP)^2 pixels
+MOTION_FACES = {0.05: 19, 0.12: 31, 0.25: 46}
+BACKENDS = ("dense", "packed")
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    from repro.datasets import make_face_dataset
+    xtr, ytr = make_face_dataset(96, size=WINDOW, seed_or_rng=0)
+    return HDFacePipeline(2, dim=DIM, cell_size=8, magnitude="l1",
+                          epochs=10, seed_or_rng=0).fit(xtr, ytr)
+
+
+def _run(pipe, frames, backend, incremental):
+    det = SlidingWindowDetector(pipe, window=WINDOW, stride=STRIDE,
+                                backend=backend)
+    stream = VideoStreamDetector(
+        PyramidDetector(det, score_threshold=0.0), incremental=incremental)
+    start = time.perf_counter()
+    results = list(stream.run(frames))
+    elapsed = time.perf_counter() - start
+    # steady-state fps: the first frame is the unavoidable cold extraction
+    warm = sum(r.latency for r in results[1:])
+    fps = (len(results) - 1) / warm if warm > 0 else 0.0
+    return results, stream.stats(), fps, elapsed
+
+
+@pytest.fixture(scope="module")
+def measurements(pipe):
+    out = {}
+    for fraction, face_side in MOTION_FACES.items():
+        frames, _ = moving_face_sequence(SCENE, N_FRAMES, window=face_side,
+                                         step=STEP, seed_or_rng=11)
+        for backend in BACKENDS:
+            inc_results, inc_stats, inc_fps, _ = _run(
+                pipe, frames, backend, incremental=True)
+            full_results, _, full_fps, _ = _run(
+                pipe, frames, backend, incremental=False)
+            for a, b in zip(inc_results, full_results):
+                assert a.detections == b.detections, (
+                    f"delta path diverged ({backend}, motion {fraction}, "
+                    f"frame {a.index})")
+            out[(fraction, backend)] = {
+                "motion_fraction": fraction,
+                "face_side": face_side,
+                "backend": backend,
+                "fps_incremental": inc_fps,
+                "fps_full": full_fps,
+                "speedup": inc_fps / full_fps if full_fps else 0.0,
+                "reused_pixel_fraction": inc_stats["reused_pixel_fraction"],
+                "delta_patched": inc_stats["delta_patched"],
+                "delta_full": inc_stats["delta_full"],
+            }
+    return out
+
+
+def test_stream_throughput_report(measurements):
+    widths = (8, 7, 9, 8, 8, 8, 8)
+    lines = [f"scene {SCENE}x{SCENE}, window {WINDOW}, stride {STRIDE}, "
+             f"D={DIM}, {N_FRAMES} frames, face step {STEP}px; fps excludes "
+             f"the cold first frame",
+             fmt_row(("backend", "motion", "face_px", "fps_inc", "fps_full",
+                      "speedup", "reuse"), widths)]
+    rows = []
+    for row in measurements.values():
+        lines.append(fmt_row(
+            (row["backend"], f"{row['motion_fraction']:.2f}",
+             row["face_side"], f"{row['fps_incremental']:.2f}",
+             f"{row['fps_full']:.2f}", f"{row['speedup']:.2f}x",
+             f"{row['reused_pixel_fraction']:.2f}"), widths))
+        rows.append(row)
+    write_report("stream_throughput", lines)
+    write_json("stream_throughput", {
+        "config": {"scene": SCENE, "window": WINDOW, "stride": STRIDE,
+                   "dim": DIM, "frames": N_FRAMES, "step": STEP},
+        "rows": rows,
+    })
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_at_least_2x_at_quarter_frame_motion(measurements, backend):
+    """The acceptance criterion: >= 2x fps at <= 25% frame motion."""
+    row = measurements[(0.25, backend)]
+    assert row["speedup"] >= 2.0, (
+        f"{backend}: {row['speedup']:.2f}x at motion 0.25 "
+        f"({row['fps_incremental']:.2f} vs {row['fps_full']:.2f} fps)")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_speedup_grows_as_motion_shrinks(measurements, backend):
+    speedups = [measurements[(f, backend)]["speedup"]
+                for f in sorted(MOTION_FACES)]
+    assert speedups[0] > speedups[-1], (
+        f"{backend}: less motion should mean more reuse, got {speedups}")

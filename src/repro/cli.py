@@ -17,6 +17,10 @@ Run as ``python -m repro <command>``:
     Train a small face model, sweep a bit-error rate through the full
     detection path (both backends) and write the recall/precision/IoU
     table to a JSON results file.
+``stream``
+    Run the streaming detector over a synthetic moving-face video:
+    frame-delta feature reuse, temporal tracking, and per-frame
+    latency / cache-reuse reporting.
 
 All data is synthetic and seeded, so every invocation is reproducible.
 """
@@ -115,6 +119,29 @@ def build_parser():
     robust.add_argument("--max-recall-drop", type=float, default=None,
                         help="exit non-zero if any backend loses more "
                              "recall than this vs its clean run")
+
+    stream = sub.add_parser(
+        "stream", help="streaming detection over a synthetic video")
+    stream.add_argument("--frames", type=int, default=12,
+                        help="number of synthetic video frames")
+    stream.add_argument("--dim", type=int, default=1024)
+    stream.add_argument("--scene-size", type=int, default=64)
+    stream.add_argument("--window", type=int, default=24)
+    stream.add_argument("--stride", type=int, default=None,
+                        help="window step in pixels (default: window / 3)")
+    stream.add_argument("--step", type=int, default=2,
+                        help="face displacement per frame in pixels")
+    stream.add_argument("--seed", type=int, default=7)
+    stream.add_argument("--backend", choices=("dense", "packed"),
+                        default="dense")
+    stream.add_argument("--no-incremental", action="store_true",
+                        help="disable frame-delta reuse (full re-extraction "
+                             "per frame, the baseline)")
+    stream.add_argument("--queue-size", type=int, default=4)
+    stream.add_argument("--policy", choices=("drop_oldest", "block"),
+                        default="drop_oldest")
+    stream.add_argument("--profile", action="store_true",
+                        help="print the stage table incl. the delta stages")
     return parser
 
 
@@ -318,6 +345,57 @@ def _cmd_robustness(args, out):
     return 0
 
 
+def _cmd_stream(args, out):
+    from .datasets import make_face_dataset
+    from .datasets.synth import moving_face_sequence
+    from .pipeline import (HDFacePipeline, PyramidDetector,
+                           SlidingWindowDetector, VideoStreamDetector)
+
+    xtr, ytr = make_face_dataset(96, size=args.window, seed_or_rng=args.seed)
+    print(f"training face model (D={args.dim}) ...", file=out)
+    pipe = HDFacePipeline(2, dim=args.dim, cell_size=8, magnitude="l1",
+                          epochs=10, seed_or_rng=args.seed).fit(xtr, ytr)
+    frames, truth = moving_face_sequence(
+        args.scene_size, args.frames, window=args.window, step=args.step,
+        seed_or_rng=args.seed)
+    profiler = None
+    if args.profile:
+        from .profiling import Profiler
+        profiler = Profiler()
+    detector = SlidingWindowDetector(pipe, window=args.window,
+                                     stride=args.stride or args.window // 3,
+                                     backend=args.backend)
+    stream = VideoStreamDetector(
+        PyramidDetector(detector, score_threshold=0.0),
+        incremental=not args.no_incremental, queue_size=args.queue_size,
+        policy=args.policy, profiler=profiler)
+    print(f"streaming {args.frames} frames "
+          f"({args.scene_size}px scene, face step {args.step}px, "
+          f"{args.backend} backend, "
+          f"incremental={'off' if args.no_incremental else 'on'}) ...",
+          file=out)
+    for result, (ty, tx, _) in zip(stream.run(frames), truth):
+        top = result.tracks[0] if result.tracks else None
+        where = (f"track {top.track_id} at ({top.y:5.1f},{top.x:5.1f}) "
+                 f"score {top.score:+.3f}" if top else "no confirmed track")
+        print(f"  frame {result.index:3d}  truth ({ty:3d},{tx:3d})  "
+              f"{result.reuse['mode']:5s}  "
+              f"{result.latency * 1e3:6.1f} ms  {where}", file=out)
+    s = stream.stats()
+    print(f"throughput: {s['fps']:.2f} frames/s  "
+          f"(latency p50 {s['latency_p50'] * 1e3:.1f} ms, "
+          f"max {s['latency_max'] * 1e3:.1f} ms)", file=out)
+    print(f"delta updates: {s['delta_patched']} patched, "
+          f"{s['delta_full']} full, {s['delta_reused']} reused; "
+          f"pixel reuse {s['reused_pixel_fraction']:.1%}", file=out)
+    print(f"tracks: {s['tracks_confirmed']} confirmed of "
+          f"{s['tracks_alive']} alive", file=out)
+    if profiler is not None:
+        print(profiler.table(f"stream profile ({args.backend} backend)"),
+              file=out)
+    return 0
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -328,6 +406,7 @@ def main(argv=None, out=None):
         "detect": _cmd_detect,
         "report": _cmd_report,
         "robustness": _cmd_robustness,
+        "stream": _cmd_stream,
     }[args.command]
     return handler(args, out)
 

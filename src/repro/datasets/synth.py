@@ -18,6 +18,7 @@ from scipy.ndimage import gaussian_filter, rotate
 __all__ = [
     "blank",
     "normalize01",
+    "moving_face_sequence",
     "add_ellipse",
     "add_stroke",
     "add_curve",
@@ -173,3 +174,56 @@ def add_sensor_noise(img, sigma, rng):
 def rotate_image(img, angle_deg):
     """Small in-plane rotation with edge-value padding (pose jitter)."""
     return normalize01(rotate(img, angle_deg, reshape=False, mode="nearest", order=1))
+
+
+def moving_face_sequence(size, n_frames, window=24, step=2, jitter=0.6,
+                         noise_sigma=0.0, seed_or_rng=None):
+    """Synthetic video: one face drifting over a static clutter background.
+
+    The background and the face patch are drawn once; each frame pastes
+    the *same* patch at a new position along a bouncing linear path, so
+    consecutive frames differ only where the face was and where it now is
+    - the workload the streaming detector's frame-delta reuse targets.
+    ``step`` is the per-frame displacement in pixels along each axis
+    (``step=2`` with ``window=24`` on a 64px scene dirties roughly 10-20%
+    of the frame).  ``noise_sigma > 0`` adds fresh sensor noise per frame,
+    which touches every pixel and forces the detector back to full
+    re-extraction - useful as a worst-case setting, off by default.
+
+    Returns ``(frames, truth)``: a list of ``(size, size)`` float images
+    in ``[0, 1]`` and the per-frame ground-truth ``(y, x, window)`` of the
+    pasted face.
+    """
+    from ..core.hypervector import as_rng
+    from .faces import draw_face, draw_nonface, random_face_params
+
+    if n_frames < 1:
+        raise ValueError("n_frames must be at least 1")
+    if window > size:
+        raise ValueError("window must fit the scene")
+    rng = as_rng(seed_or_rng)
+    background = draw_nonface(size, rng, kind="smooth")
+    face = draw_face(window, random_face_params(rng, jitter), rng)
+    span = size - window
+    y = float(rng.integers(0, span + 1))
+    x = float(rng.integers(0, span + 1))
+    vy = float(step) * (1 if rng.random() < 0.5 else -1)
+    vx = float(step) * (1 if rng.random() < 0.5 else -1)
+    frames, truth = [], []
+    for _ in range(n_frames):
+        frame = background.copy()
+        iy, ix = int(round(y)), int(round(x))
+        frame[iy:iy + window, ix:ix + window] = face
+        if noise_sigma > 0:
+            frame = add_sensor_noise(frame, noise_sigma, rng)
+        frames.append(frame)
+        truth.append((iy, ix, int(window)))
+        y += vy
+        x += vx
+        if not 0 <= y <= span:
+            vy = -vy
+            y = min(max(y, 0.0), float(span))
+        if not 0 <= x <= span:
+            vx = -vx
+            x = min(max(x, 0.0), float(span))
+    return frames, truth

@@ -32,6 +32,7 @@ __all__ = [
     "hd_hog_aggregate_profile",
     "shared_detection_profile",
     "perwindow_detection_profile",
+    "incremental_extract_profile",
     "hog_profile",
     "dnn_forward_profile",
     "dnn_training_profile",
@@ -266,6 +267,47 @@ def perwindow_detection_profile(scene_shape, window, stride, dim, n_classes=2,
            + hdc_infer_profile(dim, n_classes))
     prof = per * n_windows
     prof.label = f"perwindow_detect{scene_shape}w{window}s{stride}xD{dim}"
+    return prof
+
+
+def incremental_extract_profile(scene_shape, dirty_shape, dim, n_bins=8,
+                                magnitude="l2_scaled", sqrt_iters=8,
+                                gamma=True, cell_size=8):
+    """Modeled op counts of one frame-delta incremental extraction.
+
+    Prices the :meth:`repro.pipeline.engine.SharedFeatureEngine.
+    delta_update` patch path for one pyramid level: a whole-frame pixel
+    diff (integer compares over both frames), stages 1-4 re-run over the
+    padded dirty rectangle only (:func:`hd_hog_fields_profile` on
+    ``dirty_shape``), and the cell-grid re-bundle over the cell-aligned
+    cover of that rectangle - the region path bundles per bin, so the
+    re-bundle is priced per (bin, pixel) like the engine's measured
+    ``delta_grid`` stage.  ``dirty_shape`` is the dilated dirty rect
+    (rows, cols); the cell cover allows one extra ``cell_size`` row and
+    column of misalignment.  An empty dirty rect prices the diff alone.
+    """
+    h, w = scene_shape
+    dh, dw = dirty_shape
+    if not 0 <= dh <= h or not 0 <= dw <= w:
+        raise ValueError("dirty_shape must fit inside scene_shape")
+    px = float(h * w)
+    d = float(dim)
+    prof = OperationProfile(
+        {"int_add": px, "mem_bytes": 16.0 * px}, label="frame_diff")
+    if dh and dw:
+        prof = prof + hd_hog_fields_profile(
+            (dh, dw), dim, n_bins=n_bins, magnitude=magnitude,
+            sqrt_iters=sqrt_iters, gamma=gamma)
+        cover_h = min(h, (-(-dh // cell_size) + 1) * cell_size)
+        cover_w = min(w, (-(-dw // cell_size) + 1) * cell_size)
+        cover_px = float(cover_h * cover_w)
+        prof = prof + OperationProfile(
+            {"bit": n_bins * cover_px * d,
+             "int_add": 2 * n_bins * cover_px * d,
+             "mem_bytes": n_bins * cover_px * d / 4},
+            label="delta_grid",
+        )
+    prof.label = f"incremental{scene_shape}dirty{dirty_shape}xD{dim}"
     return prof
 
 

@@ -5,6 +5,8 @@ from .detector import DetectionMap, SlidingWindowDetector, make_scene
 from .engine import SharedFeatureEngine
 from .hdface import HDFacePipeline
 from .multiscale import Detection, PyramidDetector, non_max_suppression, pyramid
+from .stream import (FrameQueue, StreamFrameResult, TemporalTracker, Track,
+                     VideoStreamDetector)
 
 __all__ = [
     "HDFacePipeline",
@@ -17,4 +19,9 @@ __all__ = [
     "PyramidDetector",
     "non_max_suppression",
     "pyramid",
+    "VideoStreamDetector",
+    "TemporalTracker",
+    "Track",
+    "FrameQueue",
+    "StreamFrameResult",
 ]

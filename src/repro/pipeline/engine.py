@@ -44,7 +44,19 @@ Two compute backends execute stages 2-3:
 Scene fields (and the grids derived from them) are kept in a small LRU
 cache keyed by the scene contents, so an image-pyramid detector that
 revisits levels - or any caller that rescans the same scene - skips
-straight to assembly.  The cache and counters are guarded by a lock and
+straight to assembly.
+
+For video streams the cache grows a third reuse tier beyond hit/miss:
+**frame-delta incremental extraction** (:meth:`SharedFeatureEngine.
+delta_update`).  A new frame is diffed against the cached previous frame,
+the changed pixels are dilated by the one-pixel gradient receptive field
+into a dirty rectangle, and only that rectangle's per-pixel fields - plus
+the cell-grid cells whose ``cell_size``-square receptive fields intersect
+it - are recomputed and patched into the cached entry, which is then
+re-keyed to the new frame.  Because the extraction stages draw
+position-keyed noise, the patched entry is *bitwise identical* to a full
+re-extraction of the new frame on both backends - the property the
+streaming equivalence tests pin down.  The cache and counters are guarded by a lock and
 the extraction stages are pure, so concurrent ``window_queries`` calls
 from a worker pool (see :class:`repro.pipeline.multiscale.
 PyramidDetector`) are safe and return bitwise-identical results to serial
@@ -236,6 +248,13 @@ class SharedFeatureEngine:
         self.evictions = 0
         self.scrub_checks = 0
         self.scrub_mismatches = 0
+        # frame-delta reuse counters (see delta_update)
+        self.delta_updates = 0
+        self.delta_reused = 0
+        self.delta_patched = 0
+        self.delta_full = 0
+        self.delta_pixels = 0
+        self.delta_dirty_pixels = 0
 
     # ------------------------------------------------------------------
     # scene-fields cache
@@ -319,6 +338,12 @@ class SharedFeatureEngine:
                 "scrub": self.scrub,
                 "scrub_checks": self.scrub_checks,
                 "scrub_mismatches": self.scrub_mismatches,
+                "delta_updates": self.delta_updates,
+                "delta_reused": self.delta_reused,
+                "delta_patched": self.delta_patched,
+                "delta_full": self.delta_full,
+                "delta_pixels": self.delta_pixels,
+                "delta_dirty_pixels": self.delta_dirty_pixels,
             }
 
     def clear(self):
@@ -364,6 +389,230 @@ class SharedFeatureEngine:
                             grid.bundles, rate, rng)
                     corrupted += 1
         return corrupted
+
+    # ------------------------------------------------------------------
+    # frame-delta incremental extraction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dirty_rect(prev, scene, pad=1):
+        """Dirty rectangle ``(y0, y1, x0, x1, n_changed)`` or None.
+
+        The bounding box of the changed pixels, dilated by ``pad`` pixels
+        and clamped to the frame: the per-pixel fields read a one-pixel
+        gradient context ring (clamped at borders exactly like the
+        replicate padding), so every field value outside the dilated box
+        is a pure function of unchanged pixels and unchanged keyed noise.
+        """
+        diff = prev != scene
+        rows = np.flatnonzero(diff.any(axis=1))
+        if rows.size == 0:
+            return None
+        cols = np.flatnonzero(diff.any(axis=0))
+        h, w = diff.shape
+        return (max(int(rows[0]) - pad, 0), min(int(rows[-1]) + 1 + pad, h),
+                max(int(cols[0]) - pad, 0), min(int(cols[-1]) + 1 + pad, w),
+                int(diff.sum()))
+
+    def _region_fields(self, scene, y0, y1, x0, x1):
+        """Profiled stages 1-4 over one rectangle (strip-decomposed).
+
+        Keyed noise makes the result bitwise equal to the matching slice
+        of a whole-scene ``extract_fields`` pass, whatever the strip size.
+        """
+        ext = self.extractor
+        w = x1 - x0
+        strip_rows = max(8, (1 << 21) // max(w * ext.dim, 1))
+        with self.profiler.stage("delta_fields"):
+            parts = [
+                ext._fields_region(scene, (r0, x0),
+                                   (min(strip_rows, y1 - r0), w))
+                for r0 in range(y0, y1, strip_rows)
+            ]
+            if len(parts) == 1:
+                mag, bins = parts[0].mag, parts[0].bins
+            else:
+                mag = np.concatenate([p.mag for p in parts], axis=0)
+                bins = np.concatenate([p.bins for p in parts], axis=0)
+        self.profiler.add_profile(
+            "delta_fields",
+            hd_hog_fields_profile((y1 - y0, w), ext.dim, n_bins=ext.n_bins,
+                                  magnitude=ext.magnitude,
+                                  sqrt_iters=ext.sqrt_iters, gamma=ext.gamma),
+            items=(y1 - y0) * w,
+        )
+        return mag, bins
+
+    @staticmethod
+    def _clone_entry(entry):
+        """Deep copy of a cache entry (the ``keep_prev`` delta path)."""
+        fields = entry.fields
+        if isinstance(fields, _PackedFields):
+            clone_fields = _PackedFields.__new__(_PackedFields)
+            clone_fields.mag_packed = fields.mag_packed.copy()
+            clone_fields.bins = fields.bins.copy()
+            clone_fields.dim = fields.dim
+        else:
+            clone_fields = HDHOGFields(fields.mag.copy(), fields.bins.copy())
+        clone = _CacheEntry(clone_fields, entry.fields_digest)
+        for gkey, grid in entry.grids.items():
+            if isinstance(grid, _PackedGrid):
+                clone.grids[gkey] = _PackedGrid(grid.packed.copy(),
+                                                grid.counts.copy())
+            else:
+                clone.grids[gkey] = HDHOGResult(grid.bundles.copy(),
+                                                grid.counts.copy(),
+                                                grid.cell_pixels)
+        clone.grid_digests = dict(entry.grid_digests)
+        return clone
+
+    def _patch_grids(self, entry, y0, y1, x0, x1):
+        """Recompute the cached grids' cells overlapping the dirty rect.
+
+        A (cell, bin) bundle reads exactly the ``cell_size``-square pixel
+        block at its anchor, so only cells whose block intersects
+        ``[y0, y1) x [x0, x1)`` can change; the rest keep their cached
+        words.  Returns ``(cells_total, cells_recomputed)``.
+        """
+        ext = self.extractor
+        c = ext.cell_size
+        fields = entry.fields
+        total = dirty = 0
+        for gkey, grid in entry.grids.items():
+            ys = np.frombuffer(gkey[0], dtype=np.int64)
+            xs = np.frombuffer(gkey[1], dtype=np.int64)
+            total += ys.size * xs.size
+            di = np.flatnonzero((ys < y1) & (ys + c > y0))
+            dj = np.flatnonzero((xs < x1) & (xs + c > x0))
+            if di.size == 0 or dj.size == 0:
+                continue
+            dirty += di.size * dj.size
+            ra, rb = int(ys[di[0]]), int(ys[di[-1]]) + c
+            ca, cb = int(xs[dj[0]]), int(xs[dj[-1]]) + c
+            if isinstance(fields, _PackedFields):
+                crop = HDHOGFields(
+                    unpack_bits(fields.mag_packed[ra:rb, ca:cb], ext.dim),
+                    fields.bins[ra:rb, ca:cb])
+            else:
+                crop = HDHOGFields(fields.mag[ra:rb, ca:cb],
+                                   fields.bins[ra:rb, ca:cb])
+            with self.profiler.stage("delta_grid"):
+                sub = ext.cell_grid_at(crop, ys[di] - ra, xs[dj] - ca)
+                if isinstance(grid, _PackedGrid):
+                    sub = self._pack_grid(sub)
+                    grid.packed[np.ix_(di, dj)] = sub.packed
+                else:
+                    grid.bundles[np.ix_(di, dj)] = sub.bundles
+                grid.counts[np.ix_(di, dj)] = sub.counts
+            px_d = float((rb - ra) * (cb - ca)) * ext.dim
+            self.profiler.add_ops(
+                "delta_grid", items=di.size * dj.size,
+                bit=ext.n_bins * px_d, int_add=2 * ext.n_bins * px_d,
+                mem_bytes=ext.n_bins * px_d / 4,
+            )
+            if self.scrub:
+                entry.grid_digests[gkey] = _grid_digest(grid)
+        return total, dirty
+
+    def delta_update(self, prev_scene, scene, keep_prev=False,
+                     full_fraction=0.85):
+        """Re-key ``prev_scene``'s cached entry to ``scene``, patching deltas.
+
+        The streaming fast path: instead of extracting ``scene`` from
+        scratch, diff it against ``prev_scene`` (whose fields must already
+        be cached for reuse to happen), recompute stages 1-4 over the
+        dirty rectangle only, patch the rectangle and the dirty grid cells
+        into the cached entry, and re-insert it under ``scene``'s cache
+        key.  A subsequent ``window_queries(scene, ...)`` then hits the
+        cache - with results *bitwise identical* to a cold full
+        re-extraction, on both backends, because the stochastic stages
+        draw position-keyed noise.
+
+        Parameters
+        ----------
+        prev_scene, scene:
+            The previous and the incoming frame (same shape).
+        keep_prev:
+            When False (default) the previous frame's entry is *moved*:
+            patched in place and removed from the cache, which is the
+            single-consumer video regime.  True deep-copies the entry so
+            the previous frame stays cached (costs one fields-size copy).
+        full_fraction:
+            When the dirty rectangle covers at least this fraction of the
+            frame, fall back to the strip-parallel full extraction pass
+            (the patch path's bookkeeping would only add overhead).
+
+        Returns
+        -------
+        dict with the reuse accounting: ``mode`` (``"reused"`` - frame
+        content already cached; ``"full"`` - cold or near-whole-frame
+        recompute; ``"patched"`` - the incremental path), ``pixels``,
+        ``dirty_pixels``, ``dirty_rect``, ``cells`` / ``dirty_cells``
+        (cached-grid cells total / recomputed).
+        """
+        prev = np.ascontiguousarray(prev_scene, dtype=np.float64)
+        new = np.ascontiguousarray(scene, dtype=np.float64)
+        if prev.shape != new.shape:
+            raise ValueError(f"frame shape changed: {prev.shape} -> "
+                             f"{new.shape}; delta reuse needs equal shapes")
+        stats = {"mode": "patched", "pixels": int(new.size),
+                 "dirty_pixels": 0, "dirty_rect": None,
+                 "cells": 0, "dirty_cells": 0}
+        with self._lock:
+            self.delta_updates += 1
+            self.delta_pixels += new.size
+        new_key = scene_key(new)
+        with self._lock:
+            if new_key in self._cache:
+                # unchanged frame (or already-seen content): nothing to do
+                self._cache.move_to_end(new_key)
+                self.hits += 1
+                self.delta_reused += 1
+                stats["mode"] = "reused"
+                return stats
+            entry = self._cache.get(scene_key(prev))
+        rect = None if entry is None else self._dirty_rect(prev, new)
+        if rect is not None:
+            y0, y1, x0, x1, n_changed = rect
+            stats["dirty_pixels"] = n_changed
+            stats["dirty_rect"] = (y0, y1, x0, x1)
+            with self._lock:
+                self.delta_dirty_pixels += n_changed
+        if rect is None or \
+                (y1 - y0) * (x1 - x0) >= full_fraction * new.size:
+            # cold start (no cached base) or near-whole-frame change: the
+            # plain extraction path is at least as good as patching
+            if entry is not None and not keep_prev:
+                with self._lock:
+                    self._cache.pop(scene_key(prev), None)
+            self._entry(new)
+            with self._lock:
+                self.delta_full += 1
+            stats["mode"] = "full"
+            return stats
+        if keep_prev:
+            entry = self._clone_entry(entry)
+        else:
+            with self._lock:
+                self._cache.pop(scene_key(prev), None)
+        mag, bins = self._region_fields(new, y0, y1, x0, x1)
+        fields = entry.fields
+        if isinstance(fields, _PackedFields):
+            fields.mag_packed[y0:y1, x0:x1] = pack_bits(mag)
+        else:
+            fields.mag[y0:y1, x0:x1] = mag
+        fields.bins[y0:y1, x0:x1] = bins
+        stats["cells"], stats["dirty_cells"] = \
+            self._patch_grids(entry, y0, y1, x0, x1)
+        if self.scrub:
+            entry.fields_digest = _fields_digest(fields)
+        with self._lock:
+            self._cache.setdefault(new_key, entry)
+            self._cache.move_to_end(new_key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self.evictions += 1
+            self.delta_patched += 1
+        return stats
 
     # ------------------------------------------------------------------
     # window queries

@@ -71,15 +71,38 @@ def iou(a, b):
 
 
 def non_max_suppression(detections, iou_threshold=0.3):
-    """Greedy NMS: keep the best-scoring box, drop overlaps, repeat."""
+    """Greedy NMS: keep the best-scoring box, drop overlaps, repeat.
+
+    Vectorized over the candidate set: one stable descending sort (exact
+    score ties keep their input order), then per kept box one array pass
+    suppressing its overlaps - semantically identical to the greedy
+    pairwise reference, including the zero-area guard (a zero-size box
+    never overlaps anything, and two coincident zero-size boxes get IoU
+    0, not 0/0).
+    """
     if not 0.0 <= iou_threshold <= 1.0:
         raise ValueError("iou_threshold must be in [0, 1]")
-    remaining = sorted(detections, key=lambda d: d.score, reverse=True)
+    dets = list(detections)
+    if not dets:
+        return []
+    scores = np.asarray([d.score for d in dets], dtype=np.float64)
+    y0 = np.asarray([d.y for d in dets], dtype=np.float64)
+    x0 = np.asarray([d.x for d in dets], dtype=np.float64)
+    size = np.asarray([d.size for d in dets], dtype=np.float64)
+    y1, x1, areas = y0 + size, x0 + size, size * size
+    order = np.argsort(-scores, kind="stable")
     kept = []
-    while remaining:
-        best = remaining.pop(0)
-        kept.append(best)
-        remaining = [d for d in remaining if iou(best, d) < iou_threshold]
+    while order.size:
+        i = int(order[0])
+        kept.append(dets[i])
+        rest = order[1:]
+        ih = np.minimum(y1[i], y1[rest]) - np.maximum(y0[i], y0[rest])
+        iw = np.minimum(x1[i], x1[rest]) - np.maximum(x0[i], x0[rest])
+        inter = np.clip(ih, 0.0, None) * np.clip(iw, 0.0, None)
+        union = areas[i] + areas[rest] - inter
+        ious = np.zeros(rest.size)
+        np.divide(inter, union, out=ious, where=union > 0)
+        order = rest[ious < iou_threshold]
     return kept
 
 
@@ -137,16 +160,21 @@ class PyramidDetector:
         return [scan(level, injector=injector, model=model)
                 for level, _ in levels]
 
-    def detect(self, scene, injector=None, model=None):
+    def detect(self, scene, injector=None, model=None, levels=None):
         """All-scale detections after NMS, best score first.
 
         ``injector`` and ``model`` are forwarded to every level's
         :meth:`~repro.pipeline.detector.SlidingWindowDetector.scan` - the
         fault-campaign hooks for corrupting the feature datapath and the
-        stored class model through the full pyramid path.
+        stored class model through the full pyramid path.  ``levels``
+        substitutes precomputed ``(scaled_image, factor)`` pairs for the
+        pyramid of ``scene`` - the streaming path builds them once for
+        the frame-delta update and passes them here instead of
+        downscaling twice per frame.
         """
         window = self.detector.window
-        levels = list(pyramid(scene, self.scale_step, min_size=window))
+        if levels is None:
+            levels = list(pyramid(scene, self.scale_step, min_size=window))
         raw = []
         for (level, factor), dmap in zip(
                 levels, self._scan_levels(levels, injector, model)):

@@ -134,3 +134,41 @@ class TestPhotometric:
         out = synth.rotate_image(img, 15.0)
         assert out.shape == img.shape
         assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestMovingFaceSequence:
+    def test_shapes_truth_and_determinism(self):
+        frames, truth = synth.moving_face_sequence(48, 6, window=24, step=2,
+                                                   seed_or_rng=3)
+        assert len(frames) == len(truth) == 6
+        assert all(f.shape == (48, 48) for f in frames)
+        assert all(0.0 <= f.min() and f.max() <= 1.0 for f in frames)
+        for y, x, w in truth:
+            assert w == 24 and 0 <= y <= 24 and 0 <= x <= 24
+        again, truth2 = synth.moving_face_sequence(48, 6, window=24, step=2,
+                                                   seed_or_rng=3)
+        assert truth == truth2
+        assert all(np.array_equal(a, b) for a, b in zip(frames, again))
+
+    def test_consecutive_frames_share_most_pixels(self):
+        frames, _ = synth.moving_face_sequence(96, 5, window=24, step=2,
+                                               seed_or_rng=0)
+        for prev, cur in zip(frames, frames[1:]):
+            changed = (prev != cur).mean()
+            assert 0.0 < changed < 0.25  # motion, but mostly static
+
+    def test_face_moves_along_the_path(self):
+        _, truth = synth.moving_face_sequence(64, 8, window=24, step=3,
+                                              seed_or_rng=1)
+        assert len({(y, x) for y, x, _ in truth}) > 1
+
+    def test_noise_touches_every_frame(self):
+        frames, _ = synth.moving_face_sequence(48, 3, window=24, step=0,
+                                               noise_sigma=0.05, seed_or_rng=2)
+        assert (frames[0] != frames[1]).mean() > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth.moving_face_sequence(32, 0, window=24)
+        with pytest.raises(ValueError):
+            synth.moving_face_sequence(16, 3, window=24)

@@ -142,6 +142,45 @@ class TestDetectionProfiles:
             shared_detection_profile((16, 16), 24, 8, 1024)
 
 
+class TestIncrementalExtractProfile:
+    def test_small_delta_far_cheaper_than_full_extraction(self):
+        from repro.hardware.opcount import (
+            incremental_extract_profile,
+            shared_detection_profile,
+        )
+        # a 26x26 dirty patch on a 128px frame (~4% of pixels)
+        inc = incremental_extract_profile((128, 128), (26, 26), 2048)
+        full = shared_detection_profile((128, 128), 24, 8, 2048)
+        assert inc.total_ops() < full.total_ops() / 5
+
+    def test_cost_grows_with_dirty_area(self):
+        from repro.hardware.opcount import incremental_extract_profile
+        small = incremental_extract_profile((96, 96), (16, 16), 1024)
+        large = incremental_extract_profile((96, 96), (64, 64), 1024)
+        assert small.total_ops() < large.total_ops()
+
+    def test_empty_delta_prices_only_the_diff(self):
+        from repro.hardware.opcount import incremental_extract_profile
+        prof = incremental_extract_profile((64, 64), (0, 0), 1024)
+        assert prof.get("int_add") == 64 * 64
+        assert prof.get("bit") == 0 and prof.get("rng_bit") == 0
+        assert prof.get("mem_bytes") == 16 * 64 * 64
+
+    def test_whole_frame_delta_covers_fields_cost(self):
+        from repro.hardware.opcount import (
+            hd_hog_fields_profile,
+            incremental_extract_profile,
+        )
+        inc = incremental_extract_profile((64, 64), (64, 64), 1024)
+        fields = hd_hog_fields_profile((64, 64), 1024)
+        assert inc.total_ops() > fields.total_ops()
+
+    def test_dirty_rect_must_fit(self):
+        from repro.hardware.opcount import incremental_extract_profile
+        with pytest.raises(ValueError):
+            incremental_extract_profile((48, 48), (64, 8), 1024)
+
+
 class TestProtectionProfiles:
     def test_scrub_streams_every_replica_word(self):
         from repro.hardware.opcount import scrub_profile

@@ -1,0 +1,133 @@
+"""Golden regression tests for the detection stack.
+
+Small committed JSON fixtures pin the *numeric* output of the two
+user-facing detection entry points on a fixed seeded scene:
+
+* ``SlidingWindowDetector.scan`` - the per-window score grid and the
+  boolean detection map;
+* ``PyramidDetector.detect`` - the NMS-filtered detection boxes/scores;
+
+on both the ``dense`` and ``packed`` backends.  Any change that shifts a
+score by more than ``ATOL`` (or moves/adds/drops a box) fails here, so
+refactors of the extractor, engine, NMS or classifier must either be
+exactly output-preserving or consciously regenerate the fixtures.
+
+Regenerating (after an *intentional* behavior change)::
+
+    PYTHONPATH=src python -m tests.pipeline.test_goldens
+
+rewrites every JSON under ``tests/pipeline/goldens/``; review the diff and
+commit it with the change that caused it.  The same builders produce the
+fixtures and the test expectations, so the two cannot drift apart.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+BACKENDS = ("dense", "packed")
+# scores: identical code must reproduce them to float noise (BLAS
+# reassociation across environments), not bit-for-bit; boxes: exact.
+ATOL = 1e-6
+
+
+def _pipeline():
+    from repro.datasets import make_face_dataset
+    from repro.pipeline import HDFacePipeline
+    xtr, ytr = make_face_dataset(48, size=24, seed_or_rng=0)
+    return HDFacePipeline(2, dim=512, cell_size=8, magnitude="l1",
+                          epochs=5, seed_or_rng=0).fit(xtr, ytr)
+
+
+def _scan_case(pipe, backend):
+    from repro.pipeline import SlidingWindowDetector, make_scene
+    scene, _ = make_scene(48, [(8, 16)], window=24, seed_or_rng=3)
+    det = SlidingWindowDetector(pipe, window=24, stride=8, backend=backend)
+    result = det.scan(scene)
+    return {
+        "scores": [[float(s) for s in row] for row in result.scores],
+        "detections": [[bool(d) for d in row] for row in result.detections],
+    }
+
+
+def _detect_case(pipe, backend):
+    from repro.pipeline import PyramidDetector, SlidingWindowDetector, make_scene
+    scene, _ = make_scene(64, [(12, 20)], window=24, seed_or_rng=9)
+    det = SlidingWindowDetector(pipe, window=24, stride=8, backend=backend)
+    pyr = PyramidDetector(det, scale_step=1.5, score_threshold=0.0)
+    return {
+        "detections": [
+            {"y": d.y, "x": d.x, "size": d.size, "score": float(d.score)}
+            for d in pyr.detect(scene)
+        ],
+    }
+
+
+def build_cases():
+    """Case name -> freshly computed payload (used by test and regen)."""
+    pipe = _pipeline()
+    cases = {}
+    for backend in BACKENDS:
+        cases[f"scan_{backend}"] = _scan_case(pipe, backend)
+        cases[f"detect_{backend}"] = _detect_case(pipe, backend)
+    return cases
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return build_cases()
+
+
+def _golden(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.fail(f"missing golden {path}; regenerate with "
+                    f"PYTHONPATH=src python -m tests.pipeline.test_goldens")
+    with open(path) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestScanGoldens:
+    def test_scores_match(self, computed, backend):
+        got = np.asarray(computed[f"scan_{backend}"]["scores"])
+        want = np.asarray(_golden(f"scan_{backend}")["scores"])
+        assert got.shape == want.shape
+        np.testing.assert_allclose(got, want, rtol=0, atol=ATOL)
+
+    def test_detection_map_matches(self, computed, backend):
+        got = computed[f"scan_{backend}"]["detections"]
+        want = _golden(f"scan_{backend}")["detections"]
+        assert got == want
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDetectGoldens:
+    def test_boxes_and_scores_match(self, computed, backend):
+        got = computed[f"detect_{backend}"]["detections"]
+        want = _golden(f"detect_{backend}")["detections"]
+        assert len(got) == len(want), (
+            f"{backend}: {len(got)} detections vs golden {len(want)}")
+        for i, (g, w) in enumerate(zip(got, want)):
+            assert (g["y"], g["x"], g["size"]) == (w["y"], w["x"], w["size"]), (
+                f"{backend} detection {i} box drifted")
+            assert abs(g["score"] - w["score"]) <= ATOL, (
+                f"{backend} detection {i} score drifted: "
+                f"{g['score']} vs {w['score']}")
+
+
+def main():  # pragma: no cover - the documented regeneration entry point
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, payload in build_cases().items():
+        path = GOLDEN_DIR / f"{name}.json"
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

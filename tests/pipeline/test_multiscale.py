@@ -63,6 +63,18 @@ class TestIoU:
         b = Detection(0, 5, 10, 1.0)
         assert iou(a, b) == pytest.approx(50 / 150)
 
+    def test_zero_size_boxes_give_zero_not_nan(self):
+        """Two coincident zero-area boxes hit the 0/0 guard."""
+        a = Detection(5, 5, 0, 1.0)
+        assert iou(a, a) == 0.0
+        assert iou(a, Detection(5, 5, 10, 1.0)) == 0.0
+
+    def test_fully_nested_boxes(self):
+        outer = Detection(0, 0, 20, 1.0)
+        inner = Detection(5, 5, 10, 0.5)
+        assert iou(outer, inner) == pytest.approx(100 / 400)
+        assert iou(inner, outer) == pytest.approx(100 / 400)
+
 
 class TestNMS:
     def test_keeps_best_of_cluster(self):
@@ -87,6 +99,56 @@ class TestNMS:
                 Detection(0, 50, 5, 0.5)]
         kept = non_max_suppression(dets)
         assert [d.score for d in kept] == [0.9, 0.5, 0.2]
+
+    def test_exact_ties_keep_input_order(self):
+        """Equal scores must not reshuffle: the sort is stable."""
+        dets = [Detection(0, 0, 5, 0.5), Detection(100, 0, 5, 0.5),
+                Detection(0, 100, 5, 0.5)]
+        assert non_max_suppression(dets) == dets
+
+    def test_tied_overlapping_keeps_first(self):
+        first = Detection(0, 0, 10, 0.5)
+        second = Detection(1, 1, 10, 0.5)
+        assert non_max_suppression([first, second], 0.3) == [first]
+
+    def test_zero_size_detections_all_survive(self):
+        """Zero-area boxes never overlap anything (IoU 0, not 0/0)."""
+        dets = [Detection(5, 5, 0, 0.9), Detection(5, 5, 0, 0.8),
+                Detection(5, 5, 10, 0.7)]
+        assert non_max_suppression(dets, 0.3) == dets
+
+    def test_fully_nested_box_suppressed_above_threshold(self):
+        outer = Detection(0, 0, 20, 0.9)
+        inner = Detection(5, 5, 10, 0.8)  # IoU 0.25 with outer
+        assert non_max_suppression([outer, inner], 0.2) == [outer]
+        assert non_max_suppression([outer, inner], 0.3) == [outer, inner]
+
+
+def _greedy_reference_nms(detections, iou_threshold=0.3):
+    """The pre-vectorization O(n^2) list-rebuild loop, kept as the oracle."""
+    remaining = sorted(detections, key=lambda d: d.score, reverse=True)
+    kept = []
+    while remaining:
+        best = remaining.pop(0)
+        kept.append(best)
+        remaining = [d for d in remaining if iou(best, d) < iou_threshold]
+    return kept
+
+
+class TestNMSMatchesGreedyReference:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("threshold", [0.1, 0.3, 0.6])
+    def test_random_inputs(self, seed, threshold):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        # quantized coords/sizes so overlaps and exact score ties occur
+        dets = [Detection(float(rng.integers(0, 12) * 4),
+                          float(rng.integers(0, 12) * 4),
+                          float(rng.integers(0, 4) * 8),
+                          float(rng.integers(0, 6)) / 4.0)
+                for _ in range(n)]
+        assert (non_max_suppression(dets, threshold)
+                == _greedy_reference_nms(dets, threshold))
 
 
 class TestPyramidDetector:

@@ -107,6 +107,36 @@ class TestCommands:
         assert "speedup" in text and "per-epoch" in text
 
 
+class TestStreamCommand:
+    def test_stream_reports_reuse_and_tracks(self):
+        out = io.StringIO()
+        code = main([
+            "stream", "--frames", "4", "--dim", "256", "--scene-size", "48",
+            "--window", "24", "--profile",
+        ], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "streaming 4 frames" in text
+        assert "delta" in text and "pixel reuse" in text
+        assert "frames/s" in text
+        assert "delta_fields" in text  # profiler table includes delta stages
+
+    def test_stream_no_incremental_runs_full(self):
+        out = io.StringIO()
+        code = main([
+            "stream", "--frames", "3", "--dim", "256", "--scene-size", "48",
+            "--window", "24", "--no-incremental", "--backend", "packed",
+        ], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "incremental=off" in text
+        assert "0 patched" in text
+
+    def test_stream_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--policy", "newest"])
+
+
 class TestRobustnessCommand:
     def test_sweep_writes_json_and_prints_table(self, tmp_path):
         import json
