@@ -21,6 +21,11 @@ Run as ``python -m repro <command>``:
     Run the streaming detector over a synthetic moving-face video:
     frame-delta feature reuse, temporal tracking, and per-frame
     latency / cache-reuse reporting.
+``serve``
+    Run the resilient serving runtime over a synthetic video - deadline
+    scheduler with the degradation ladder, watchdog recovery, input
+    quarantine - optionally under an injected chaos scenario (stalls,
+    poison frames, packed bit faults), with gated exit status for CI.
 
 All data is synthetic and seeded, so every invocation is reproducible.
 """
@@ -142,6 +147,51 @@ def build_parser():
                         default="drop_oldest")
     stream.add_argument("--profile", action="store_true",
                         help="print the stage table incl. the delta stages")
+
+    serve = sub.add_parser(
+        "serve", help="resilient serving runtime over a synthetic video")
+    serve.add_argument("--frames", type=int, default=24,
+                       help="number of synthetic video frames")
+    serve.add_argument("--dim", type=int, default=1024)
+    serve.add_argument("--scene-size", type=int, default=64)
+    serve.add_argument("--window", type=int, default=24)
+    serve.add_argument("--stride", type=int, default=None,
+                       help="window step in pixels (default: window / 3)")
+    serve.add_argument("--step", type=int, default=2,
+                       help="face displacement per frame in pixels")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--backend", choices=("dense", "packed"),
+                       default="packed")
+    serve.add_argument("--budget", type=float, default=None,
+                       help="per-frame latency budget in seconds (default: "
+                            "adaptive, 3x the measured clean median)")
+    serve.add_argument("--stall-timeout", type=float, default=None,
+                       help="watchdog stall timeout in seconds (default: "
+                            "4x the budget)")
+    serve.add_argument("--queue-size", type=int, default=4)
+    serve.add_argument("--chaos", action="store_true",
+                       help="inject the standard chaos scenario: a soft "
+                            "stall, a hard stall, poison frames, and "
+                            "packed datapath bit faults")
+    serve.add_argument("--fault-rate", type=float, default=0.001,
+                       help="packed bit-fault rate for the chaos datapath "
+                            "injection")
+    serve.add_argument("--stall", type=float, default=None,
+                       help="injected stall duration in seconds (default: "
+                            "3x the stall timeout)")
+    serve.add_argument("--p95-tolerance", type=float, default=3.0,
+                       help="chaos gate: p95 must stay within "
+                            "budget * tolerance")
+    serve.add_argument("--max-recall-drop", type=float, default=0.05,
+                       help="chaos gate: served recall may trail the "
+                            "rung-pinned clean run by at most this")
+    serve.add_argument("--checkpoint", metavar="NPZ",
+                       help="save the runtime state checkpoint here at the "
+                            "end of the run")
+    serve.add_argument("--output", metavar="JSON",
+                       help="write the chaos report / serve stats JSON here")
+    serve.add_argument("--profile", action="store_true",
+                       help="print the stage table with latency percentiles")
     return parser
 
 
@@ -396,6 +446,139 @@ def _cmd_stream(args, out):
     return 0
 
 
+def _cmd_serve(args, out):
+    import json
+    import os
+    import time
+
+    from .datasets import make_face_dataset
+    from .datasets.synth import moving_face_sequence
+    from .pipeline import (HDFacePipeline, PyramidDetector,
+                           SlidingWindowDetector)
+    from .runtime import (ChaosScenario, ResilientVideoDetector, run_chaos,
+                          save_runtime)
+
+    xtr, ytr = make_face_dataset(96, size=args.window, seed_or_rng=args.seed)
+    print(f"training face model (D={args.dim}) ...", file=out)
+    pipe = HDFacePipeline(2, dim=args.dim, cell_size=8, magnitude="l1",
+                          epochs=10, seed_or_rng=args.seed).fit(xtr, ytr)
+    frames, truth = moving_face_sequence(
+        args.scene_size, args.frames, window=args.window, step=args.step,
+        seed_or_rng=args.seed)
+    stride = args.stride or args.window // 3
+
+    def make_detector():
+        det = SlidingWindowDetector(pipe, window=args.window, stride=stride,
+                                    backend=args.backend)
+        return PyramidDetector(det, score_threshold=0.0)
+
+    budget = args.budget
+    if budget is None:
+        # adaptive: 3x the median clean full-rung frame time on this
+        # machine, sampled on *distinct* frames so the engine's scene
+        # cache cannot fake a near-zero baseline
+        cal = make_detector()
+        samples = []
+        for frame in frames[: min(3, len(frames))]:
+            t0 = time.perf_counter()
+            cal.detect(frame)
+            samples.append(time.perf_counter() - t0)
+        budget = 3.0 * sorted(samples)[len(samples) // 2]
+        print(f"calibrated budget: {budget * 1e3:.1f} ms/frame "
+              f"(3x clean median)", file=out)
+    stall_timeout = args.stall_timeout or 4.0 * budget
+    made = []
+
+    def make_runtime(ladder=None, budget_override=None, **kwargs):
+        kwargs.setdefault("budget", budget_override or budget)
+        runtime = ResilientVideoDetector(
+            make_detector(), ladder=ladder, stall_timeout=stall_timeout,
+            queue_size=args.queue_size, policy="block", **kwargs)
+        made.append(runtime)
+        return runtime
+
+    report = None
+    if args.chaos:
+        n = args.frames
+        stall = args.stall or 3.0 * stall_timeout
+        scenario = ChaosScenario(
+            "cli-serve",
+            stalls={max(n // 4, 1): stall},
+            hard_stalls={max(n // 2, 2): stall},
+            poison={max(n // 3, 1): "nan", max(2 * n // 3, 3): "shape"},
+            fault_rate=args.fault_rate,
+            seed=args.seed)
+        print(f"chaos scenario: soft stall @{max(n // 4, 1)}, hard stall "
+              f"@{max(n // 2, 2)}, poison @{sorted(scenario.poison)}, "
+              f"datapath fault rate {args.fault_rate}", file=out)
+        report = run_chaos(
+            lambda ladder=None, budget=None: make_runtime(ladder, budget),
+            frames, [[t] for t in truth], scenario,
+            max_recall_drop=args.max_recall_drop,
+            p95_tolerance=args.p95_tolerance)
+        runtime = made[0]
+        s = report["stats"]
+        print(f"served {s['frames']} frames ({s['predicted']} predicted, "
+              f"{s['cancelled']} cancelled, {s['quarantined']} quarantined, "
+              f"{s['crashes']} crashes)", file=out)
+        print(f"latency p50/p95/p99: {s['latency_p50'] * 1e3:.1f} / "
+              f"{s['latency_p95'] * 1e3:.1f} / {s['latency_p99'] * 1e3:.1f} "
+              f"ms submit-to-done; processing p95 {s['proc_p95'] * 1e3:.1f} "
+              f"ms (budget {budget * 1e3:.1f} ms)", file=out)
+        print(f"watchdog: {s['watchdog']['cancels']} cancels, "
+              f"{s['watchdog']['restarts']} restarts; deepest rung "
+              f"{report['deepest_rung_name']}", file=out)
+        print(f"recall: chaos {report['recall_chaos']:.3f} vs rung-pinned "
+              f"clean {report['recall_clean']:.3f} "
+              f"(drop {report['recall_drop']:+.3f}, unserved "
+              f"{report['frames_unserved']})", file=out)
+        for gate, ok in report["gates"].items():
+            print(f"  gate {gate:20s} {'PASS' if ok else 'FAIL'}", file=out)
+    else:
+        runtime = make_runtime()
+        runtime.start()
+        for i, frame in enumerate(frames):
+            runtime.submit(frame, meta={"frame": i})
+        runtime.stop()
+        for r in runtime.completed:
+            top = r.tracks[0] if r.tracks else None
+            where = (f"track {top.track_id} at ({top.y:5.1f},{top.x:5.1f})"
+                     if top else "no confirmed track")
+            print(f"  frame {r.index:3d}  {r.mode:9s}  rung {r.rung:9s}  "
+                  f"{r.latency * 1e3:6.1f} ms  {where}", file=out)
+        s = runtime.stats()
+        print(f"served {s['frames']} frames at {s['fps']:.2f} fps; "
+              f"latency p50/p95/p99: {s['latency_p50'] * 1e3:.1f} / "
+              f"{s['latency_p95'] * 1e3:.1f} / {s['latency_p99'] * 1e3:.1f} "
+              f"ms (budget {budget * 1e3:.1f} ms, "
+              f"{s['deadline_misses']} misses)", file=out)
+        if s["rung_transitions"]:
+            print(f"rung transitions: {s['rung_transitions']}", file=out)
+        if s["incidents"]:
+            print(f"incidents: {s['incidents']}", file=out)
+
+    if args.checkpoint and made:
+        save_runtime(made[0], args.checkpoint)
+        print(f"runtime checkpoint saved to {args.checkpoint}", file=out)
+    if args.profile and made:
+        print(made[0].profiler.table(
+            f"serve profile ({args.backend} backend)"), file=out)
+    if args.output:
+        payload = report if report is not None else made[0].stats()
+        directory = os.path.dirname(args.output)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=float)
+            fh.write("\n")
+        print(f"results written to {args.output}", file=out)
+    if report is not None and not report["passed"]:
+        failed = [g for g, ok in report["gates"].items() if not ok]
+        print(f"FAIL: chaos gates failed: {failed}", file=out)
+        return 1
+    return 0
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -407,6 +590,7 @@ def main(argv=None, out=None):
         "report": _cmd_report,
         "robustness": _cmd_robustness,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args, out)
 

@@ -43,6 +43,7 @@ __all__ = [
     "pairwise_hamming",
     "packed_nearest",
     "PackedClassModel",
+    "TruncatedClassModel",
 ]
 
 _ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -228,6 +229,23 @@ class PackedClassModel:
                                          seed_or_rng)
         return clone
 
+    @property
+    def n_words(self):
+        """Packed words per class row (``ceil(dim / 64)``)."""
+        return packed_words(self.dim)
+
+    def truncated(self, words):
+        """A :class:`TruncatedClassModel` view scoring the first ``words`` words.
+
+        The holographic accuracy dial: information is spread uniformly over
+        the components, so any word-prefix of the model is itself a valid
+        (lower-dimensional) model and classification quality degrades
+        smoothly - not catastrophically - as the prefix shrinks.  With
+        ``words >= n_words`` the view is bitwise identical to the full
+        model.
+        """
+        return TruncatedClassModel(self, words)
+
     def distances(self, packed_queries):
         """Hamming distance of each packed query to each class: ``(n, k)``."""
         return pairwise_hamming(packed_queries, self.packed, dim=self.dim)
@@ -243,4 +261,67 @@ class PackedClassModel:
 
     def predict(self, packed_queries):
         """Label of the Hamming-nearest class per packed query."""
+        return self.distances(packed_queries).argmin(axis=1)
+
+
+class TruncatedClassModel:
+    """Word-prefix view of a :class:`PackedClassModel`: fewer words, same API.
+
+    Scores queries against only the first ``words`` ``uint64`` words of
+    each class row (and of each query), i.e. against a ``min(64 * words,
+    D)``-component prefix of the holographic representation.  Because HDC
+    spreads information uniformly across components (the uHD runtime-
+    scaling observation), the prefix is itself a well-formed class model:
+    accuracy falls smoothly as ``words`` shrinks while the XOR + popcount
+    classification cost falls linearly - the degradation ladder's
+    truncated-dimension rung.
+
+    Exposes ``distances`` / ``similarities`` / ``predict`` with the same
+    conventions as the full model (``dim`` is the *effective* prefix
+    dimension, so similarity normalization stays honest), which makes it a
+    drop-in ``model=`` substitute for
+    :meth:`repro.pipeline.detector.SlidingWindowDetector.scan`.
+
+    **Consistency guarantee:** when ``words`` covers every word of the
+    base model, results are *bitwise identical* to the base model's - the
+    prefix mask equals the base pad mask, so every popcount sees exactly
+    the same bits.
+    """
+
+    def __init__(self, model, words):
+        if not isinstance(model, PackedClassModel):
+            model = PackedClassModel(model)
+        total = packed_words(model.dim)
+        w = int(words)
+        if not 1 <= w <= total:
+            raise ValueError(
+                f"words must be in [1, {total}] for dim {model.dim}, got {words}")
+        self.base = model
+        self.words = w
+        self.n_classes = model.n_classes
+        #: Effective component count of the prefix (pads never counted).
+        self.dim = min(64 * w, model.dim)
+
+    @property
+    def nbytes(self):
+        """Bytes of model actually read per inference pass."""
+        return int(self.base.packed[:, : self.words].nbytes)
+
+    def distances(self, packed_queries):
+        """Prefix Hamming distances ``(n, k)``: XOR + popcount on ``words`` words.
+
+        Queries may carry their full word count (the prefix is sliced off)
+        or arrive already truncated.
+        """
+        q = np.atleast_2d(np.asarray(packed_queries, dtype=np.uint64))
+        return pairwise_hamming(q[:, : self.words],
+                                self.base.packed[:, : self.words],
+                                dim=self.dim)
+
+    def similarities(self, packed_queries):
+        """Normalized similarities ``1 - 2 * hamming / dim_effective``."""
+        return 1.0 - 2.0 * self.distances(packed_queries) / float(self.dim)
+
+    def predict(self, packed_queries):
+        """Label of the prefix-Hamming-nearest class per packed query."""
         return self.distances(packed_queries).argmin(axis=1)

@@ -5,8 +5,8 @@ from .detector import DetectionMap, SlidingWindowDetector, make_scene
 from .engine import SharedFeatureEngine
 from .hdface import HDFacePipeline
 from .multiscale import Detection, PyramidDetector, non_max_suppression, pyramid
-from .stream import (FrameQueue, StreamFrameResult, TemporalTracker, Track,
-                     VideoStreamDetector)
+from .stream import (FrameQueue, QueueClosedError, StreamFrameResult,
+                     TemporalTracker, Track, VideoStreamDetector)
 
 __all__ = [
     "HDFacePipeline",
@@ -23,5 +23,6 @@ __all__ = [
     "TemporalTracker",
     "Track",
     "FrameQueue",
+    "QueueClosedError",
     "StreamFrameResult",
 ]

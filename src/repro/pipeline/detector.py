@@ -170,13 +170,21 @@ class SlidingWindowDetector:
         return (hasattr(extractor, "extract_fields")
                 and hasattr(self.pipeline, "classifier"))
 
-    def origins(self, scene_shape):
-        """Window origins and grid shape: ``(list[(y, x)], (n_wy, n_wx))``."""
+    def origins(self, scene_shape, stride=None):
+        """Window origins and grid shape: ``(list[(y, x)], (n_wy, n_wx))``.
+
+        ``stride`` overrides the configured stride for this call - the
+        serving runtime's degradation ladder coarsens the scan grid under
+        load without rebuilding the detector.
+        """
+        stride = int(stride) if stride else self.stride
+        if stride < 1:
+            raise ValueError(f"stride must be at least 1, got {stride}")
         h, w = scene_shape
         if h < self.window or w < self.window:
             raise ValueError("scene smaller than the detection window")
-        ys = range(0, h - self.window + 1, self.stride)
-        xs = range(0, w - self.window + 1, self.stride)
+        ys = range(0, h - self.window + 1, stride)
+        xs = range(0, w - self.window + 1, stride)
         return [(y, x) for y in ys for x in xs], (len(ys), len(xs))
 
     def windows(self, scene):
@@ -210,7 +218,7 @@ class SlidingWindowDetector:
         )
         return queries
 
-    def scan(self, scene, injector=None, model=None):
+    def scan(self, scene, injector=None, model=None, stride=None):
         """Classify every window; returns a :class:`DetectionMap`.
 
         Shared and per-window engines produce bitwise-identical scores
@@ -228,6 +236,10 @@ class SlidingWindowDetector:
         PackedClassModel` / :class:`~repro.reliability.guard.
         GuardedClassModel` (anything with ``similarities``) for the
         packed backend.
+
+        ``stride`` overrides the scan stride for this call only (shared /
+        perwindow engines; the returned map records the stride actually
+        used) - the degradation ladder's coarse-grid rung.
         """
         scene = np.asarray(scene, dtype=np.float64)
         prof = self.profiler
@@ -235,12 +247,15 @@ class SlidingWindowDetector:
             if model is not None:
                 raise ValueError("model substitution requires the shared or "
                                  "perwindow engine")
+            if stride is not None and int(stride) != self.stride:
+                raise ValueError("stride override requires the shared or "
+                                 "perwindow engine")
             with prof.stage("legacy_scan"):
                 crops, (n_wy, n_wx) = self.windows(scene)
                 sims = self.pipeline.similarities(crops, injector=injector)
             prof.add_ops("legacy_scan", items=n_wy * n_wx)
         else:
-            origins, (n_wy, n_wx) = self.origins(scene.shape)
+            origins, (n_wy, n_wx) = self.origins(scene.shape, stride)
             queries = self._window_queries(scene, origins, injector)
             if self.backend == "packed":
                 if model is None:
@@ -269,7 +284,8 @@ class SlidingWindowDetector:
         sims = np.atleast_2d(np.asarray(sims))
         margin = sims[:, self.face_class] - np.delete(sims, self.face_class, axis=1).max(axis=1)
         scores = margin.reshape(n_wy, n_wx)
-        return DetectionMap(scores, scores > 0, self.stride, self.window)
+        used = int(stride) if stride else self.stride
+        return DetectionMap(scores, scores > 0, used, self.window)
 
 
 def make_scene(size, face_positions, window, seed_or_rng=None, jitter=0.6):

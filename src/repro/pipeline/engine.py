@@ -80,7 +80,7 @@ from ..hardware.opcount import hd_hog_fields_profile, packed_assemble_profile
 from ..profiling import NULL_PROFILER
 from ..reliability.integrity import digest_arrays
 
-__all__ = ["SharedFeatureEngine", "scene_key", "BACKENDS"]
+__all__ = ["SharedFeatureEngine", "scene_key", "validate_scene", "BACKENDS"]
 
 BACKENDS = ("dense", "packed")
 
@@ -90,6 +90,39 @@ def scene_key(scene):
     arr = np.ascontiguousarray(scene, dtype=np.float64)
     digest = hashlib.blake2s(arr.tobytes(), digest_size=16).digest()
     return (arr.shape, digest)
+
+
+def validate_scene(scene, name="scene"):
+    """Boundary check for frames entering the engine; returns the array.
+
+    Garbage that reaches the extraction stages does not crash - it
+    silently poisons the scene cache (NaNs propagate through the float
+    stages, then the poisoned entry is *served* to every later scan of
+    the same content).  So the properties are checked once at entry and
+    violations raise :class:`ValueError` naming the offending property:
+
+    * ``dtype`` - must be real-numeric (no complex, object, bool, str);
+    * ``ndim`` - must be a 2-D (H, W) grayscale frame;
+    * ``empty`` - must contain at least one pixel;
+    * ``nan`` / ``inf`` - every value must be finite.
+    """
+    arr = np.asarray(scene)
+    if arr.dtype == object or not (np.issubdtype(arr.dtype, np.floating)
+                                   or np.issubdtype(arr.dtype, np.integer)):
+        raise ValueError(
+            f"{name} dtype must be real-numeric, got {arr.dtype}")
+    if arr.ndim != 2:
+        raise ValueError(
+            f"{name} ndim must be 2 (H, W grayscale), got {arr.ndim} "
+            f"(shape {arr.shape})")
+    if arr.size == 0:
+        raise ValueError(f"{name} is empty (shape {arr.shape})")
+    if np.issubdtype(arr.dtype, np.floating):
+        if np.isnan(arr).any():
+            raise ValueError(f"{name} contains NaN values")
+        if np.isinf(arr).any():
+            raise ValueError(f"{name} contains infinite values")
+    return arr
 
 
 class _PackedFields:
@@ -322,7 +355,7 @@ class SharedFeatureEngine:
         the packed backend returns its packed cache payload (call
         ``.dense()`` for the bipolar reconstruction).
         """
-        return self._entry(scene).fields
+        return self._entry(validate_scene(scene)).fields
 
     def cache_info(self):
         """Cache statistics: backend, hit/miss/eviction counters, true bytes."""
@@ -549,6 +582,8 @@ class SharedFeatureEngine:
         ``dirty_pixels``, ``dirty_rect``, ``cells`` / ``dirty_cells``
         (cached-grid cells total / recomputed).
         """
+        validate_scene(prev_scene, "prev_scene")
+        validate_scene(scene)
         prev = np.ascontiguousarray(prev_scene, dtype=np.float64)
         new = np.ascontiguousarray(scene, dtype=np.float64)
         if prev.shape != new.shape:
@@ -706,6 +741,7 @@ class SharedFeatureEngine:
         the same scene are unaffected.
         """
         window = int(window)
+        scene = validate_scene(scene)
         origins = [(int(y), int(x)) for y, x in origins]
         if not origins:
             raise ValueError("need at least one window origin")

@@ -147,7 +147,7 @@ class PyramidDetector:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
 
-    def _scan_levels(self, levels, injector=None, model=None):
+    def _scan_levels(self, levels, injector=None, model=None, stride=None):
         """Detection map per level, in level order."""
         scan = self.detector.scan
         if self.workers > 1 and getattr(self.detector, "mode", "") != "legacy":
@@ -155,12 +155,14 @@ class PyramidDetector:
             workers = min(self.workers, len(levels))
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(
-                    lambda lf: scan(lf[0], injector=injector, model=model),
+                    lambda lf: scan(lf[0], injector=injector, model=model,
+                                    stride=stride),
                     levels))
-        return [scan(level, injector=injector, model=model)
+        return [scan(level, injector=injector, model=model, stride=stride)
                 for level, _ in levels]
 
-    def detect(self, scene, injector=None, model=None, levels=None):
+    def detect(self, scene, injector=None, model=None, levels=None,
+               stride=None, max_levels=None):
         """All-scale detections after NMS, best score first.
 
         ``injector`` and ``model`` are forwarded to every level's
@@ -171,13 +173,25 @@ class PyramidDetector:
         pyramid of ``scene`` - the streaming path builds them once for
         the frame-delta update and passes them here instead of
         downscaling twice per frame.
+
+        ``stride`` and ``max_levels`` are the load-shedding knobs of the
+        serving runtime's degradation ladder: a per-call stride override
+        coarsens every level's scan grid, and ``max_levels`` scans only
+        the first N pyramid levels (finest first - the deep, cheap levels
+        contribute the large-face coverage that a temporal tracker coasts
+        through anyway).
         """
         window = self.detector.window
         if levels is None:
             levels = list(pyramid(scene, self.scale_step, min_size=window))
+        if max_levels is not None:
+            if int(max_levels) < 1:
+                raise ValueError(
+                    f"max_levels must be at least 1, got {max_levels}")
+            levels = levels[: int(max_levels)]
         raw = []
         for (level, factor), dmap in zip(
-                levels, self._scan_levels(levels, injector, model)):
+                levels, self._scan_levels(levels, injector, model, stride)):
             for iy, ix in np.argwhere(dmap.scores > self.score_threshold):
                 y, x = dmap.window_origin(int(iy), int(ix))
                 raw.append(Detection(y * factor, x * factor, window * factor,

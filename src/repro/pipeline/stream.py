@@ -44,10 +44,18 @@ import numpy as np
 
 from .multiscale import PyramidDetector, iou, pyramid
 
-__all__ = ["Track", "TemporalTracker", "FrameQueue", "StreamFrameResult",
-           "VideoStreamDetector", "QUEUE_POLICIES"]
+__all__ = ["Track", "TemporalTracker", "FrameQueue", "QueueClosedError",
+           "StreamFrameResult", "VideoStreamDetector", "QUEUE_POLICIES"]
 
 QUEUE_POLICIES = ("drop_oldest", "block")
+
+
+class QueueClosedError(ValueError):
+    """Raised by :meth:`FrameQueue.put` once the queue has been closed.
+
+    Subclasses :class:`ValueError` for backwards compatibility with
+    callers that caught the old generic error.
+    """
 
 
 @dataclass
@@ -191,17 +199,32 @@ class FrameQueue:
         with self._cond:
             return len(self._items)
 
+    @property
+    def closed(self):
+        """True once :meth:`close` has been called."""
+        with self._cond:
+            return self._closed
+
     def put(self, item, timeout=None):
-        """Enqueue; returns False only on a ``block``-policy timeout."""
+        """Enqueue; returns False only on a ``block``-policy timeout.
+
+        Raises :class:`QueueClosedError` if the queue is (or becomes,
+        while this call is blocked) closed - a put can never succeed after
+        close, so silently accepting one would lose the frame.
+        """
         with self._cond:
             if self._closed:
-                raise ValueError("queue is closed")
+                raise QueueClosedError(
+                    "put on a closed FrameQueue: the consumer has shut "
+                    "down and will never drain this frame")
             if self.policy == "block":
                 ok = self._cond.wait_for(
                     lambda: len(self._items) < self.maxsize or self._closed,
                     timeout)
                 if self._closed:
-                    raise ValueError("queue closed while blocked on put")
+                    raise QueueClosedError(
+                        "FrameQueue closed while this put was blocked; "
+                        "the frame was not enqueued")
                 if not ok:
                     return False
             elif len(self._items) >= self.maxsize:
@@ -212,7 +235,13 @@ class FrameQueue:
             return True
 
     def get(self, timeout=None):
-        """Dequeue the oldest frame; None once closed and drained."""
+        """Dequeue the oldest frame; None once closed and drained.
+
+        Safe to call concurrently from several consumers after
+        :meth:`close`: every blocked getter is woken and either drains a
+        remaining frame or observes the close and returns None - no
+        getter is left waiting forever.
+        """
         with self._cond:
             ok = self._cond.wait_for(
                 lambda: self._items or self._closed, timeout)
@@ -225,7 +254,12 @@ class FrameQueue:
             return None
 
     def close(self):
-        """Stop intake; queued frames remain gettable, then get() -> None."""
+        """Stop intake; queued frames remain gettable, then get() -> None.
+
+        Idempotent.  Wakes every waiter: blocked getters proceed to drain
+        or observe end-of-stream, blocked putters raise
+        :class:`QueueClosedError`.
+        """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
@@ -295,6 +329,7 @@ class VideoStreamDetector:
         self.completed = []
         self.frames_in = 0
         self.frames_done = 0
+        self.rejected = 0
         self._latencies = []
         self._prev_levels = None
         self._thread = None
@@ -349,9 +384,22 @@ class VideoStreamDetector:
     # asynchronous path (bounded queue between producer and consumer)
     # ------------------------------------------------------------------
     def submit(self, frame, timeout=None):
-        """Producer side: enqueue a frame (the policy decides if full)."""
-        self.frames_in += 1
-        return self.queue.put((frame, time.perf_counter()), timeout)
+        """Producer side: enqueue a frame (the policy decides if full).
+
+        Returns True when enqueued, False on a ``block``-policy timeout
+        *or* when the stream has already been stopped (the race between a
+        still-running producer and :meth:`stop` is expected during
+        shutdown; rejected frames are counted in ``rejected``, and the
+        producer should stop submitting once it sees False after a stop).
+        """
+        try:
+            ok = self.queue.put((frame, time.perf_counter()), timeout)
+        except QueueClosedError:
+            self.rejected += 1
+            return False
+        if ok:
+            self.frames_in += 1
+        return ok
 
     def start(self):
         """Start the consumer thread; results accumulate in ``completed``."""
@@ -391,10 +439,13 @@ class VideoStreamDetector:
             "frames": self.frames_done,
             "submitted": self.frames_in,
             "dropped": self.queue.dropped,
+            "rejected": self.rejected,
             "seconds": total,
             "fps": self.frames_done / total if total > 0 else 0.0,
             "latency_mean": float(lat.mean()) if lat.size else 0.0,
             "latency_p50": float(np.median(lat)) if lat.size else 0.0,
+            "latency_p95": float(np.percentile(lat, 95)) if lat.size else 0.0,
+            "latency_p99": float(np.percentile(lat, 99)) if lat.size else 0.0,
             "latency_max": float(lat.max()) if lat.size else 0.0,
             "delta_updates": info["delta_updates"],
             "delta_patched": info["delta_patched"],

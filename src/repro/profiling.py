@@ -25,11 +25,18 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["Profiler", "StageStats", "NULL_PROFILER"]
+__all__ = ["Profiler", "StageStats", "NULL_PROFILER", "PERCENTILES"]
+
+#: Latency percentiles every stage reports (see :meth:`StageStats.percentiles`).
+PERCENTILES = (50, 95, 99)
+
+#: Per-stage sample window: enough for stable tail estimates, bounded so a
+#: long-running serving process cannot grow the profiler without limit.
+_SAMPLE_WINDOW = 4096
 
 
 @dataclass
@@ -40,10 +47,29 @@ class StageStats:
     seconds: float = 0.0
     items: float = 0.0
     ops: dict = field(default_factory=dict)
+    #: Recent per-call durations (bounded window) for percentile readouts.
+    samples: deque = field(
+        default_factory=lambda: deque(maxlen=_SAMPLE_WINDOW))
 
     def total_ops(self):
         """All counted operations except memory traffic."""
         return sum(v for k, v in self.ops.items() if k != "mem_bytes")
+
+    def percentiles(self, window=None):
+        """Latency percentiles over the recent samples: ``{"p50": ..., ...}``.
+
+        ``window`` restricts the estimate to the newest N samples (the
+        deadline scheduler's view of *current* load); the default uses the
+        whole retained window.  All-zero when no call was ever timed.
+        """
+        import numpy as np
+        sel = list(self.samples)
+        if window is not None:
+            sel = sel[-int(window):]
+        if not sel:
+            return {f"p{q}": 0.0 for q in PERCENTILES}
+        arr = np.asarray(sel, dtype=np.float64)
+        return {f"p{q}": float(np.percentile(arr, q)) for q in PERCENTILES}
 
 
 class Profiler:
@@ -96,6 +122,31 @@ class Profiler:
                 stat = self._get(name)
                 stat.calls += 1
                 stat.seconds += elapsed
+                stat.samples.append(elapsed)
+
+    def record(self, name, seconds, items=0.0):
+        """Record an externally timed duration as one call of ``name``.
+
+        The serving runtime measures frame latency from *submit* time
+        (queue wait included), which no ``stage`` context can see; this
+        feeds such measurements into the same percentile machinery.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            stat = self._get(name)
+            stat.calls += 1
+            stat.seconds += float(seconds)
+            stat.samples.append(float(seconds))
+            stat.items += float(items)
+
+    def percentiles(self, name, window=None):
+        """Latency percentiles for one stage (zeros if it never ran)."""
+        with self._lock:
+            stat = self.stats.get(name)
+            if stat is None:
+                return {f"p{q}": 0.0 for q in PERCENTILES}
+            return stat.percentiles(window)
 
     def add_ops(self, name, items=0.0, **counts):
         """Attribute operation counts (opcount classes) to a stage."""
@@ -132,13 +183,16 @@ class Profiler:
     def table(self, title="profile"):
         """Human-readable per-stage report (the CLI's ``--profile`` output)."""
         lines = [f"{title}:"]
-        header = f"  {'stage':<18} {'calls':>6} {'seconds':>9} {'items':>10} {'ops':>12}"
+        header = (f"  {'stage':<18} {'calls':>6} {'seconds':>9} "
+                  f"{'p50ms':>8} {'p95ms':>8} {'items':>10} {'ops':>12}")
         lines.append(header)
         for name, stat in self.stats.items():
             ops = stat.total_ops()
             ops_s = f"{ops:.3g}" if ops else "-"
             items_s = f"{stat.items:.0f}" if stat.items else "-"
+            pct = stat.percentiles()
             lines.append(f"  {name:<18} {stat.calls:>6d} {stat.seconds:>9.4f} "
+                         f"{pct['p50'] * 1e3:>8.2f} {pct['p95'] * 1e3:>8.2f} "
                          f"{items_s:>10} {ops_s:>12}")
         lines.append(f"  {'total':<18} {'':>6} {self.total_seconds():>9.4f}")
         return "\n".join(lines)

@@ -29,6 +29,7 @@ from .faults import (
     stuck_at_packed,
 )
 from .guard import GuardedClassModel
+from .incidents import Incident, IncidentLog
 from .integrity import digest_array, digest_arrays
 
 __all__ = [
@@ -37,6 +38,8 @@ __all__ = [
     "PackedFaultInjector",
     "DetectionFaultInjector",
     "GuardedClassModel",
+    "Incident",
+    "IncidentLog",
     "digest_array",
     "digest_arrays",
 ]

@@ -1,0 +1,106 @@
+"""Structured incident recording for the serving runtime.
+
+Fault *injection* (:mod:`repro.reliability.faults`) and fault *masking*
+(:mod:`repro.reliability.guard`) answer "does the model survive?"; a
+production serving loop additionally has to answer "what happened, when,
+and how often?" - watchdog recoveries, quarantined inputs, deadline
+misses and degradation-rung changes all need a durable, queryable trail
+that outlives the thread that observed them.  :class:`IncidentLog` is
+that trail: an append-only, thread-safe record of typed incidents with
+monotonic timestamps, per-kind counters, and a JSON-ready payload for
+the chaos harness and the CLI report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Incident", "IncidentLog", "INCIDENT_KINDS"]
+
+#: The incident vocabulary of the serving runtime.  ``detail`` is free-form
+#: per kind; new kinds may be added, unknown kinds are rejected to catch
+#: typos at the call site rather than in a dashboard three weeks later.
+INCIDENT_KINDS = (
+    "stall_cancelled",     # watchdog cancelled a stuck frame cooperatively
+    "consumer_restarted",  # watchdog abandoned a hung consumer and respawned
+    "stale_result",        # an abandoned consumer's late result was discarded
+    "poison_frame",        # input quarantine rejected a frame
+    "deadline_miss",       # a frame finished over its latency budget
+    "rung_degraded",       # ladder stepped down (shed work)
+    "rung_recovered",      # ladder climbed back up
+    "checkpoint_saved",    # runtime state persisted
+    "checkpoint_restored", # runtime state restored
+    "fault_injected",      # chaos harness armed a fault surface
+    "crash",               # frame processing raised; loop survived
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One recorded event: what, when (monotonic seconds), and context."""
+
+    kind: str
+    timestamp: float
+    frame: int = -1
+    detail: dict = field(default_factory=dict)
+
+    def payload(self):
+        """JSON-safe dict view."""
+        return {"kind": self.kind, "timestamp": self.timestamp,
+                "frame": self.frame, "detail": dict(self.detail)}
+
+
+class IncidentLog:
+    """Append-only, thread-safe incident trail with per-kind counters.
+
+    Parameters
+    ----------
+    clock:
+        Timestamp source (default ``time.monotonic``); injectable so tests
+        and the chaos harness get deterministic timelines.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._incidents = []
+
+    def record(self, kind, frame=-1, **detail):
+        """Append one incident; returns it.  Unknown kinds raise."""
+        if kind not in INCIDENT_KINDS:
+            raise ValueError(f"unknown incident kind {kind!r}; "
+                             f"expected one of {INCIDENT_KINDS}")
+        incident = Incident(kind, float(self._clock()), int(frame), detail)
+        with self._lock:
+            self._incidents.append(incident)
+        return incident
+
+    def __len__(self):
+        with self._lock:
+            return len(self._incidents)
+
+    def all(self, kind=None):
+        """Snapshot of recorded incidents, optionally filtered by kind."""
+        with self._lock:
+            items = list(self._incidents)
+        if kind is not None:
+            items = [i for i in items if i.kind == kind]
+        return items
+
+    def count(self, kind=None):
+        """Number of incidents (of ``kind``, or total)."""
+        return len(self.all(kind))
+
+    def counts(self):
+        """Per-kind incident counters (only kinds that occurred)."""
+        out = {}
+        for incident in self.all():
+            out[incident.kind] = out.get(incident.kind, 0) + 1
+        return out
+
+    def payload(self):
+        """JSON-safe view: counters plus the full ordered trail."""
+        return {"counts": self.counts(),
+                "incidents": [i.payload() for i in self.all()]}

@@ -1,0 +1,41 @@
+"""Resilient serving runtime: keep detection alive, on time, and honest.
+
+The streaming stack (:mod:`repro.pipeline.stream`) makes detection
+*fast*; this package makes it *survivable*.  It wraps the pyramid
+detector in a serving loop that holds a per-frame latency budget under
+overload by shedding work along an explicit degradation ladder (exploiting
+HDFace's holographic truncated-dimension dial), recovers from stalls with
+a two-stage watchdog, rejects poison inputs at a quarantine gate before
+they can contaminate the feature cache, checkpoints its mutable state,
+and ships with a chaos harness that injects all of the above and gates on
+the recall/latency contract.  See ``docs/runtime.md``.
+"""
+
+from .chaos import ChaosInjector, ChaosScenario, poison_frame, run_chaos
+from .checkpoint import (load_runtime_state, restore_runtime, runtime_state,
+                         save_runtime)
+from .ladder import DeadlineScheduler, DegradationLadder, Rung, default_ladder
+from .quarantine import InputQuarantine, PoisonFrameError
+from .serving import ResilientVideoDetector, ServeFrameResult
+from .watchdog import FrameCancelled, Watchdog
+
+__all__ = [
+    "ResilientVideoDetector",
+    "ServeFrameResult",
+    "Rung",
+    "DegradationLadder",
+    "DeadlineScheduler",
+    "default_ladder",
+    "Watchdog",
+    "FrameCancelled",
+    "InputQuarantine",
+    "PoisonFrameError",
+    "ChaosScenario",
+    "ChaosInjector",
+    "poison_frame",
+    "run_chaos",
+    "runtime_state",
+    "load_runtime_state",
+    "save_runtime",
+    "restore_runtime",
+]

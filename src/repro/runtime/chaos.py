@@ -1,0 +1,345 @@
+"""Chaos harness: inject failures into the serving runtime, gate on SLOs.
+
+Reliability claims that are only exercised by unit tests die in
+production, so the runtime ships with its own adversary.  A
+:class:`ChaosScenario` scripts a deterministic failure timeline over a
+frame stream - processing stalls (soft ones that honor the cancel flag
+and hard ones that wedge the consumer), poison frames, packed bit faults
+in the feature datapath, corrupted stored class models, and load spikes -
+and :func:`run_chaos` drives the runtime through it end to end, then
+checks the contract:
+
+* the loop never crashes (``crashes == 0``);
+* every stall is recovered by the watchdog (cancel or restart);
+* every poison frame is quarantined, and none of them contaminated the
+  engine's content-addressed scene cache;
+* served recall stays within ``max_recall_drop`` of a *clean* run pinned
+  at the deepest degradation rung the chaos run reached (degrading under
+  attack is the design; detecting worse than the rung explains is a bug);
+* the p95 of served frame *processing* latency stays within the budget
+  (times an explicit tolerance) - processing cost is what the ladder
+  controls, so this is the "degradation bought back the deadline" check;
+  submit-to-done latency (which also carries the queue wait frames
+  inherit from an upstream stall) is reported alongside, ungated.
+
+The verdict plus the full incident trail is returned JSON-ready for
+``benchmarks/bench_runtime_resilience.py`` and the CI chaos-smoke job.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..noise.campaign import _match_detections
+from ..pipeline.engine import scene_key
+from ..reliability.faults import DetectionFaultInjector
+from .ladder import DegradationLadder
+from .watchdog import FrameCancelled
+
+__all__ = ["ChaosScenario", "ChaosInjector", "poison_frame", "run_chaos",
+           "POISON_KINDS"]
+
+#: Poison payloads the harness can forge (quarantine reason they trip).
+POISON_KINDS = ("nan", "inf", "constant", "shape", "ndim", "dtype")
+
+
+def poison_frame(kind, shape=(64, 64), rng=None):
+    """Forge one poison frame of the given kind (see :data:`POISON_KINDS`)."""
+    h, w = shape
+    base = (rng.random((h, w)) if rng is not None
+            else np.linspace(0.0, 1.0, h * w).reshape(h, w))
+    if kind == "nan":
+        bad = base.copy()
+        bad[:: max(h // 8, 1)] = np.nan
+        return bad
+    if kind == "inf":
+        bad = base.copy()
+        bad[h // 2, :] = np.inf
+        return bad
+    if kind == "constant":
+        return np.full((h, w), 0.5)
+    if kind == "shape":
+        return base[: h // 2, : w // 2]
+    if kind == "ndim":
+        return base[None, ...]
+    if kind == "dtype":
+        return np.full((h, w), "x", dtype=object)
+    raise ValueError(f"unknown poison kind {kind!r}; "
+                     f"expected one of {POISON_KINDS}")
+
+
+@dataclass
+class ChaosScenario:
+    """A scripted failure timeline, keyed by *submitted* frame number.
+
+    Attributes
+    ----------
+    name:
+        Scenario label for the report.
+    stalls:
+        ``{frame: seconds}`` soft stalls - the injected delay polls the
+        watchdog's cancel flag, modelling a slow-but-cooperative
+        dependency.
+    hard_stalls:
+        ``{frame: seconds}`` hard stalls - the delay ignores the cancel
+        flag, modelling a wedged native call; only the watchdog's
+        consumer restart recovers these.
+    poison:
+        ``{frame: kind}`` frames replaced with :func:`poison_frame`
+        payloads at submit time.
+    spikes:
+        ``{frame: seconds}`` load spikes - extra per-frame latency
+        (contention from a noisy neighbour) that the ladder must absorb;
+        unlike stalls, spikes are *served* frames and count toward the
+        latency gates.
+    fault_rate:
+        Packed bit-fault rate armed in the feature datapath
+        (:class:`~repro.reliability.faults.DetectionFaultInjector`)
+        during ``fault_frames``.
+    fault_frames:
+        ``(start, end)`` half-open submitted-frame window for the
+        datapath faults; None arms them for the whole run.
+    model_fault_rate:
+        When positive, the stored packed class model is corrupted at this
+        per-bit rate for the entire run
+        (:meth:`~repro.core.packed.PackedClassModel.corrupted`).
+    seed:
+        Randomness for fault positions.
+    """
+
+    name: str
+    stalls: dict = field(default_factory=dict)
+    hard_stalls: dict = field(default_factory=dict)
+    poison: dict = field(default_factory=dict)
+    spikes: dict = field(default_factory=dict)
+    fault_rate: float = 0.0
+    fault_frames: tuple | None = None
+    model_fault_rate: float = 0.0
+    seed: int = 0
+
+    def payload(self):
+        """JSON-safe scenario description for the report."""
+        return {
+            "name": self.name,
+            "stalls": {int(k): float(v) for k, v in self.stalls.items()},
+            "hard_stalls": {int(k): float(v)
+                            for k, v in self.hard_stalls.items()},
+            "poison": {int(k): str(v) for k, v in self.poison.items()},
+            "spikes": {int(k): float(v) for k, v in self.spikes.items()},
+            "fault_rate": self.fault_rate,
+            "fault_frames": (list(self.fault_frames)
+                             if self.fault_frames else None),
+            "model_fault_rate": self.model_fault_rate,
+            "seed": self.seed,
+        }
+
+
+class ChaosInjector:
+    """The runtime's ``pre_frame`` hook, acting out one scenario.
+
+    Runs in the consumer thread immediately before a frame's detection
+    work, so its stalls occupy exactly the processing slot the watchdog
+    monitors, and its per-frame arming of the datapath injector is
+    synchronous with the frame it targets.
+    """
+
+    def __init__(self, scenario, runtime):
+        self.scenario = scenario
+        self.runtime = runtime
+        self.injector = None
+        if scenario.fault_rate > 0.0:
+            self.injector = DetectionFaultInjector(
+                scenario.fault_rate, runtime.base.pipeline.dim,
+                seed_or_rng=scenario.seed)
+        self.stalled = []
+
+    def _frame_number(self, index, meta):
+        if meta and "frame" in meta:
+            return int(meta["frame"])
+        return int(index)
+
+    def __call__(self, index, frame, meta, cancel):
+        sc = self.scenario
+        i = self._frame_number(index, meta)
+        if self.injector is not None:
+            lo, hi = sc.fault_frames or (0, float("inf"))
+            self.runtime.injector = (self.injector if lo <= i < hi else None)
+        hard = sc.hard_stalls.get(i)
+        if hard is not None:
+            self.stalled.append(i)
+            time.sleep(hard)  # ignores the cancel flag: a wedged call
+        soft = sc.stalls.get(i)
+        if soft is not None:
+            self.stalled.append(i)
+            deadline = time.monotonic() + soft
+            while time.monotonic() < deadline:
+                if cancel is not None and cancel.is_set():
+                    raise FrameCancelled(f"soft stall at frame {i} cancelled")
+                time.sleep(0.005)
+        spike = sc.spikes.get(i)
+        if spike is not None:
+            time.sleep(spike)  # served load: counts toward latency gates
+
+
+def _served_recall(results, truth_by_frame, iou_match=0.25):
+    """Mean per-frame recall of what the runtime *served*, plus unserved.
+
+    Detected frames are scored on their detections; predicted (tracker
+    coasting) and quarantined/cancelled frames on their confirmed tracks -
+    that is the output a consumer of the serving API actually sees.
+    Frames the runtime never produced a result for (queue-dropped, or
+    discarded as stale after a consumer restart) are *excluded* from the
+    recall mean and counted separately - they are already gated through
+    the stall-recovery and crash gates, and folding them in as zeros
+    would make the recall gate measure injection count, not detection
+    quality.  Returns ``(recall, n_scored, n_unserved)``.
+    """
+    recalls, unserved = [], 0
+    for frame_no, truth in truth_by_frame.items():
+        if not truth:
+            continue
+        result = results.get(frame_no)
+        if result is None:
+            unserved += 1
+            continue
+        boxes = result.detections if result.mode == "detected" \
+            else result.tracks
+        matched = _match_detections(boxes, truth, iou_match)
+        recalls.append(len(matched) / len(truth))
+    recall = float(np.mean(recalls)) if recalls else 1.0
+    return recall, len(recalls), unserved
+
+
+def run_chaos(make_runtime, frames, truth, scenario, pace=0.0,
+              max_recall_drop=0.05, p95_tolerance=1.0, iou_match=0.25,
+              stop_timeout=30.0):
+    """Drive a runtime through a chaos scenario and gate the outcome.
+
+    Parameters
+    ----------
+    make_runtime:
+        Zero-config factory returning a fresh, un-started
+        :class:`~repro.runtime.serving.ResilientVideoDetector`; also
+        called with ``ladder=``/``budget=`` overrides to build the
+        rung-pinned clean twin the recall gate compares against.
+    frames:
+        The clean frame sequence (poison substitutions happen here).
+    truth:
+        Per-frame ground-truth boxes ``[(y, x, size), ...]`` (one list
+        per frame) for recall scoring.
+    scenario:
+        The :class:`ChaosScenario` to act out.
+    pace:
+        Producer inter-frame sleep in seconds (0 = submit full speed;
+        combined with the bounded queue this is itself a load spike).
+    max_recall_drop:
+        Gate: served recall may trail the rung-pinned clean run by at
+        most this much (absolute).
+    p95_tolerance:
+        Gate: served p95 *processing* latency must stay within
+        ``budget * p95_tolerance``.
+    stop_timeout:
+        Drain deadline handed to ``runtime.stop``.
+
+    Returns
+    -------
+    dict:
+        JSON-ready report: scenario, runtime stats, incident trail,
+        recall comparison, and per-gate verdicts under ``"gates"`` with
+        the overall ``"passed"``.
+    """
+    frames = [np.asarray(f) for f in frames]
+    truth_by_frame = {i: list(t) for i, t in enumerate(truth)}
+
+    runtime = make_runtime()
+    injector = ChaosInjector(scenario, runtime)
+    runtime.pre_frame = injector
+    if runtime.quarantine.expect_shape is None and frames:
+        # streams have a fixed camera geometry; arming the expectation
+        # makes wrong-shape poison rejectable
+        runtime.quarantine.expect_shape = tuple(frames[0].shape)
+    if scenario.fault_rate > 0.0:
+        runtime.incidents.record("fault_injected", surface="datapath",
+                                 rate=scenario.fault_rate)
+    if scenario.model_fault_rate > 0.0:
+        clean_model = runtime.base.packed_model()
+        runtime.model_override = clean_model.corrupted(
+            scenario.model_fault_rate, seed_or_rng=scenario.seed)
+        runtime.incidents.record("fault_injected", surface="model",
+                                 rate=scenario.model_fault_rate)
+
+    poison_keys = set()
+    runtime.start()
+    try:
+        for i, frame in enumerate(frames):
+            payload = frame
+            kind = scenario.poison.get(i)
+            if kind is not None:
+                payload = poison_frame(kind, frame.shape)
+                if kind in ("nan", "inf", "constant"):
+                    poison_keys.add(scene_key(
+                        np.asarray(payload, dtype=np.float64)))
+            runtime.submit(payload, meta={"frame": i})
+            if pace:
+                time.sleep(pace)
+    finally:
+        runtime.stop(timeout=stop_timeout)
+    stats = runtime.stats()
+
+    # --- rung-pinned clean twin for the recall comparison -------------
+    ladder = runtime.scheduler.ladder
+    deepest = stats["max_rung"]
+    clean = make_runtime(
+        ladder=DegradationLadder([ladder.rungs[deepest]]), budget=1e9)
+    clean_results = {}
+    for i, frame in enumerate(frames):
+        clean_results[i] = clean.step(frame, meta={"frame": i})
+
+    served = {r.meta["frame"]: r for r in runtime.completed
+              if r.meta and "frame" in r.meta}
+    recall_chaos, n_scored, unserved = _served_recall(
+        served, truth_by_frame, iou_match)
+    recall_clean, _, _ = _served_recall(clean_results, truth_by_frame,
+                                        iou_match)
+    recall_drop = recall_clean - recall_chaos
+
+    # --- gates --------------------------------------------------------
+    n_stalls = len(scenario.stalls) + len(scenario.hard_stalls)
+    wd = stats["watchdog"]
+    cache_contaminated = any(key in runtime.engine._cache
+                             for key in poison_keys)
+    budget = runtime.scheduler.budget
+    gates = {
+        "no_crashes": stats["crashes"] == 0,
+        "stalls_recovered": wd["cancels"] + wd["restarts"] >= n_stalls,
+        "poison_quarantined":
+            stats["quarantined"] == len(scenario.poison),
+        "poison_not_cached": not cache_contaminated,
+        "recall_within_bound": recall_drop <= max_recall_drop,
+        "p95_within_budget":
+            stats["proc_p95"] <= budget * p95_tolerance,
+    }
+    return {
+        "scenario": scenario.payload(),
+        "n_frames": len(frames),
+        "pace": pace,
+        "budget": budget,
+        "p95_tolerance": p95_tolerance,
+        "max_recall_drop": max_recall_drop,
+        "stats": {k: v for k, v in stats.items()
+                  if k != "rung_transitions"},
+        "rung_transitions": stats["rung_transitions"],
+        "deepest_rung": deepest,
+        "deepest_rung_name": ladder.rungs[deepest].name,
+        "incidents": runtime.incidents.payload(),
+        "recall_chaos": recall_chaos,
+        "recall_clean": recall_clean,
+        "recall_drop": recall_drop,
+        "frames_scored": n_scored,
+        "frames_unserved": unserved,
+        "gates": gates,
+        "passed": all(gates.values()),
+    }

@@ -1,0 +1,173 @@
+"""Checkpoint/restore for the resilient serving runtime.
+
+The *model* already serializes (:mod:`repro.pipeline.serialization`); what
+dies with a crashed worker is the *runtime* state: which faces are being
+tracked and with what lifecycle counters, which degradation rung the
+scheduler had settled on, and how many frames/misses/incidents have been
+counted.  A replacement worker restored from the checkpoint resumes
+exactly there - its tracker reports the same confirmed faces on the next
+frame, its ladder does not restart at ``full`` under the very overload
+that killed its predecessor, and its counters keep the fleet dashboard
+monotone.
+
+The format follows :mod:`repro.pipeline.serialization`: one compressed
+``.npz``, array-first (tracks are a single ``(n, 8)`` float matrix),
+``allow_pickle=False`` on load, and an explicit format version.  Restore
+is *exact*: ``save -> restore -> save`` round-trips bitwise, and a
+restored runtime produces identical detections on the same frame tail
+(its first frame falls back to full extraction, which the engine
+guarantees is bitwise-identical to the delta path it replaces).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..pipeline.stream import Track
+
+__all__ = ["runtime_state", "load_runtime_state", "save_runtime",
+           "restore_runtime"]
+
+_FORMAT_VERSION = 1
+
+#: Column layout of the packed track matrix.
+_TRACK_FIELDS = ("track_id", "y", "x", "size", "score", "hits", "misses",
+                 "age")
+
+
+def _tracks_matrix(tracks):
+    """Pack tracks into ``(n, 8)`` floats + a confirmed bitmask."""
+    mat = np.zeros((len(tracks), len(_TRACK_FIELDS)), dtype=np.float64)
+    confirmed = np.zeros(len(tracks), dtype=np.bool_)
+    for i, t in enumerate(tracks):
+        mat[i] = [t.track_id, t.y, t.x, t.size, t.score, t.hits, t.misses,
+                  t.age]
+        confirmed[i] = t.confirmed
+    return mat, confirmed
+
+
+def runtime_state(runtime):
+    """Snapshot a :class:`~repro.runtime.serving.ResilientVideoDetector`.
+
+    Returns a JSON-safe dict (tracks as lists) capturing every piece of
+    mutable state a replacement worker needs: tracker tracks and id
+    counter, scheduler rung + run counters + miss total, frame counters,
+    and the quarantine accounting.  The engine's scene cache is *not*
+    checkpointed - it is a content-addressed cache, repopulated with
+    bitwise-identical entries on the first frame after restore.
+    """
+    with runtime._state_lock:
+        sched = runtime.scheduler
+        return {
+            "format_version": _FORMAT_VERSION,
+            "tracks": [[t.track_id, t.y, t.x, t.size, t.score, t.hits,
+                        t.misses, t.age, int(t.confirmed)]
+                       for t in runtime.tracker.tracks],
+            "tracker_next_id": runtime.tracker._next_id,
+            "tracker_frames": runtime.tracker.frames,
+            "rung": sched.rung,
+            "over_run": sched.over_run,
+            "under_run": sched.under_run,
+            "deadline_misses": sched.deadline_misses,
+            "next_index": runtime._next_index,
+            "frames_in": runtime.frames_in,
+            "frames_done": runtime.frames_done,
+            "predicted": runtime.predicted,
+            "cancelled": runtime.cancelled,
+            "crashes": runtime.crashes,
+            "quarantine_passed": runtime.quarantine.passed,
+            "quarantine_rejected": dict(runtime.quarantine.rejected),
+        }
+
+
+def load_runtime_state(runtime, state, frame=-1):
+    """Install a :func:`runtime_state` snapshot into ``runtime``.
+
+    The tracker, scheduler and counters are overwritten; the engine cache
+    and completed-results list are left alone (the former repopulates
+    identically, the latter belongs to the worker that produced it).
+    Records a ``checkpoint_restored`` incident.
+    """
+    version = int(state["format_version"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported runtime checkpoint v{version}")
+    with runtime._state_lock:
+        runtime.tracker.tracks = [
+            Track(int(r[0]), float(r[1]), float(r[2]), float(r[3]),
+                  float(r[4]), hits=int(r[5]), misses=int(r[6]),
+                  age=int(r[7]), confirmed=bool(r[8]))
+            for r in state["tracks"]]
+        runtime.tracker._next_id = int(state["tracker_next_id"])
+        runtime.tracker.frames = int(state["tracker_frames"])
+        sched = runtime.scheduler
+        sched.rung = sched.ladder.clamp(int(state["rung"]))
+        sched.over_run = int(state["over_run"])
+        sched.under_run = int(state["under_run"])
+        sched.deadline_misses = int(state["deadline_misses"])
+        runtime._next_index = int(state["next_index"])
+        runtime.frames_in = int(state["frames_in"])
+        runtime.frames_done = int(state["frames_done"])
+        runtime.predicted = int(state["predicted"])
+        runtime.cancelled = int(state["cancelled"])
+        runtime.crashes = int(state["crashes"])
+        runtime.quarantine.passed = int(state["quarantine_passed"])
+        runtime.quarantine.rejected = {
+            k: int(v) for k, v in state["quarantine_rejected"].items()}
+        runtime._prev_levels = None  # next frame re-extracts (bit-identical)
+    runtime.incidents.record("checkpoint_restored", frame=frame,
+                             rung=sched.current.name,
+                             tracks=len(runtime.tracker.tracks))
+    return runtime
+
+
+def save_runtime(runtime, path, frame=-1):
+    """Persist the runtime state to one compressed ``.npz``.
+
+    Records a ``checkpoint_saved`` incident and returns the state dict
+    that was written.
+    """
+    state = runtime_state(runtime)
+    mat, confirmed = _tracks_matrix(runtime.tracker.tracks)
+    scalars = {k: v for k, v in state.items()
+               if k not in ("tracks", "quarantine_rejected")}
+    np.savez_compressed(
+        path,
+        tracks=mat,
+        tracks_confirmed=confirmed,
+        quarantine_rejected=np.bytes_(
+            json.dumps(state["quarantine_rejected"]).encode()),
+        **scalars,
+    )
+    runtime.incidents.record("checkpoint_saved", frame=frame,
+                             tracks=len(runtime.tracker.tracks),
+                             rung=runtime.scheduler.current.name)
+    return state
+
+
+def restore_runtime(runtime, path, frame=-1):
+    """Load a :func:`save_runtime` checkpoint into ``runtime``.
+
+    Returns the state dict that was installed (identical to what a
+    subsequent :func:`runtime_state` reports).
+    """
+    with np.load(path, allow_pickle=False) as data:
+        mat = np.atleast_2d(np.asarray(data["tracks"], dtype=np.float64))
+        confirmed = np.asarray(data["tracks_confirmed"], dtype=np.bool_)
+        tracks = [[int(r[0]), float(r[1]), float(r[2]), float(r[3]),
+                   float(r[4]), int(r[5]), int(r[6]), int(r[7]), int(c)]
+                  for r, c in zip(mat, confirmed) if r.size]
+        state = {
+            "format_version": int(data["format_version"]),
+            "tracks": tracks,
+            "quarantine_rejected": json.loads(
+                bytes(data["quarantine_rejected"]).decode()),
+        }
+        for key in ("tracker_next_id", "tracker_frames", "rung", "over_run",
+                    "under_run", "deadline_misses", "next_index", "frames_in",
+                    "frames_done", "predicted", "cancelled", "crashes",
+                    "quarantine_passed"):
+            state[key] = int(data[key])
+    load_runtime_state(runtime, state, frame=frame)
+    return state

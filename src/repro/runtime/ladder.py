@@ -1,0 +1,238 @@
+"""Deadline-aware degradation ladder: shed work rung by rung, climb back.
+
+HDFace's holographic representation gives the serving layer something a
+DNN detector does not have: *continuous* accuracy dials.  Every rung of
+the ladder below trades a measured amount of recall for a measured amount
+of latency, and every rung is reversible the moment load drops:
+
+====  ===============  ====================================================
+rung  name             what is shed
+====  ===============  ====================================================
+0     ``full``         nothing - configured stride, all pyramid levels,
+                       full-dimension classification
+1     ``coarse``       scan-grid density: stride doubled, deepest pyramid
+                       levels dropped (the tracker coasts large faces)
+2     ``truncated``    classification dimension: windows are scored
+                       against a *word-prefix* of the packed class model
+                       (:class:`repro.core.packed.TruncatedClassModel`) -
+                       the holographic accuracy dial, linear cost in words
+3     ``skip``         whole frames: only every ``keyframe_every``-th
+                       frame is detected (at rung-2 cost); the frames in
+                       between are *predicted* from the temporal tracker's
+                       coasting state
+====  ===============  ====================================================
+
+The :class:`DeadlineScheduler` moves along the ladder from observed
+latency: a run of frames over the budget steps down one rung
+(``degrade_after`` consecutive misses, so one GC pause does not shed
+work), and a run of frames comfortably under budget
+(``recover_after`` below ``headroom * budget``) climbs back up one rung -
+asymmetric hysteresis, because degrading late blows the latency SLO while
+recovering early just re-degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.hypervector import packed_words
+
+__all__ = ["Rung", "DegradationLadder", "DeadlineScheduler",
+           "default_ladder"]
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One ladder position: the knob settings for a frame at this load.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, reported in stats and incidents.
+    stride_scale:
+        Multiplier on the detector's configured stride (1 = full grid).
+    max_levels:
+        Scan only the first N pyramid levels (None = all).
+    prefix_fraction:
+        Fraction of the packed class model's words used for
+        classification (1.0 = full dimension; packed backend only).
+    keyframe_every:
+        Detect every k-th frame and predict the rest from the tracker
+        (1 = detect every frame).
+    """
+
+    name: str
+    stride_scale: int = 1
+    max_levels: int | None = None
+    prefix_fraction: float = 1.0
+    keyframe_every: int = 1
+
+    def __post_init__(self):
+        if self.stride_scale < 1:
+            raise ValueError("stride_scale must be at least 1")
+        if self.max_levels is not None and self.max_levels < 1:
+            raise ValueError("max_levels must be at least 1 or None")
+        if not 0.0 < self.prefix_fraction <= 1.0:
+            raise ValueError("prefix_fraction must be in (0, 1]")
+        if self.keyframe_every < 1:
+            raise ValueError("keyframe_every must be at least 1")
+
+    def prefix_words(self, dim):
+        """Model words this rung scores against, for dimension ``dim``."""
+        total = packed_words(dim)
+        if self.prefix_fraction >= 1.0:
+            return total
+        return max(1, int(round(self.prefix_fraction * total)))
+
+
+def default_ladder(backend="packed"):
+    """The standard four-rung ladder (truncation rungs need ``packed``).
+
+    The dense backend has no word-prefix dial, so its ladder substitutes
+    a second grid-coarsening rung - the shape (4 rungs, monotone cost
+    shedding) is identical, only the mechanism differs.
+    """
+    if backend == "packed":
+        return DegradationLadder([
+            Rung("full"),
+            Rung("coarse", stride_scale=2, max_levels=3),
+            Rung("truncated", stride_scale=2, max_levels=3,
+                 prefix_fraction=0.5),
+            Rung("skip", stride_scale=2, max_levels=2,
+                 prefix_fraction=0.25, keyframe_every=3),
+        ])
+    return DegradationLadder([
+        Rung("full"),
+        Rung("coarse", stride_scale=2, max_levels=3),
+        Rung("coarser", stride_scale=3, max_levels=2),
+        Rung("skip", stride_scale=3, max_levels=2, keyframe_every=3),
+    ])
+
+
+class DegradationLadder:
+    """An ordered list of rungs, cheapest-last, with transition recording."""
+
+    def __init__(self, rungs):
+        rungs = list(rungs)
+        if not rungs:
+            raise ValueError("ladder needs at least one rung")
+        names = [r.name for r in rungs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rung names: {names}")
+        self.rungs = rungs
+        self.transitions = []
+
+    def __len__(self):
+        return len(self.rungs)
+
+    def __getitem__(self, index):
+        return self.rungs[index]
+
+    def clamp(self, index):
+        """Nearest valid rung index."""
+        return max(0, min(int(index), len(self.rungs) - 1))
+
+    def record_transition(self, frame, old, new):
+        """Remember one rung change (for stats and the chaos report)."""
+        self.transitions.append(
+            {"frame": int(frame), "from": self.rungs[old].name,
+             "to": self.rungs[new].name})
+
+
+class DeadlineScheduler:
+    """Latency-budget feedback controller over a :class:`DegradationLadder`.
+
+    Parameters
+    ----------
+    budget:
+        Per-frame latency budget in seconds (submit-to-done, queue wait
+        included).  The p95 the chaos harness gates on is measured
+        against this number.
+    ladder:
+        The rungs to move along.
+    degrade_after:
+        Consecutive over-budget frames before stepping down one rung.
+    recover_after:
+        Consecutive frames under ``headroom * budget`` before climbing
+        back up one rung.
+    headroom:
+        Recovery threshold fraction - climbing exactly at the budget
+        boundary would oscillate, so recovery requires real slack.
+
+    The controller is deliberately memoryless beyond the two run
+    counters: p95-style statistics are *reported* (via the profiler's
+    percentile window) but the control law acts on consecutive runs,
+    which reacts in ``degrade_after`` frames instead of waiting for a
+    percentile window to turn over.
+    """
+
+    def __init__(self, budget, ladder, degrade_after=2, recover_after=10,
+                 headroom=0.6):
+        if budget <= 0:
+            raise ValueError("budget must be positive seconds")
+        if degrade_after < 1 or recover_after < 1:
+            raise ValueError("degrade_after / recover_after must be >= 1")
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        self.budget = float(budget)
+        self.ladder = ladder
+        self.degrade_after = int(degrade_after)
+        self.recover_after = int(recover_after)
+        self.headroom = float(headroom)
+        self.rung = 0
+        self.over_run = 0
+        self.under_run = 0
+        self.deadline_misses = 0
+
+    @property
+    def current(self):
+        """The active :class:`Rung`."""
+        return self.ladder[self.rung]
+
+    def observe(self, latency, frame=-1):
+        """Feed one frame's latency; returns the (possibly new) rung index.
+
+        A latency over the budget counts toward degradation *and* resets
+        the recovery run (and vice versa), so one controller state is
+        always a pure run length.
+        """
+        latency = float(latency)
+        if latency > self.budget:
+            self.deadline_misses += 1
+            self.over_run += 1
+            self.under_run = 0
+            if (self.over_run >= self.degrade_after
+                    and self.rung < len(self.ladder) - 1):
+                old, self.rung = self.rung, self.rung + 1
+                self.ladder.record_transition(frame, old, self.rung)
+                self.over_run = 0
+        elif latency <= self.headroom * self.budget:
+            self.under_run += 1
+            self.over_run = 0
+            if self.under_run >= self.recover_after and self.rung > 0:
+                old, self.rung = self.rung, self.rung - 1
+                self.ladder.record_transition(frame, old, self.rung)
+                self.under_run = 0
+        else:
+            # inside the hysteresis band: hold position, decay both runs
+            self.over_run = 0
+            self.under_run = 0
+        return self.rung
+
+    def set_rung(self, index, frame=-1):
+        """Force a rung (checkpoint restore, operator override)."""
+        index = self.ladder.clamp(index)
+        if index != self.rung:
+            self.ladder.record_transition(frame, self.rung, index)
+        self.rung = index
+        self.over_run = 0
+        self.under_run = 0
+        return self.rung
+
+    def stats(self):
+        """Controller state snapshot for reports and checkpoints."""
+        return {"budget": self.budget, "rung": self.rung,
+                "rung_name": self.current.name,
+                "deadline_misses": self.deadline_misses,
+                "over_run": self.over_run, "under_run": self.under_run,
+                "transitions": list(self.ladder.transitions)}

@@ -1,0 +1,120 @@
+"""Input quarantine: reject poison frames before they reach the engine.
+
+The engine's scene cache is content-addressed, so a frame full of NaNs is
+worse than a crash: the garbage features it produces are *cached* and
+served to every later query of the same content, and the frame-delta path
+would happily splice them into the next frame's entry.  The quarantine
+gate runs the full property check once per incoming frame and raises a
+structured :class:`PoisonFrameError` - with the offending property named
+and machine-readable - before any engine state is touched.
+
+The checks deliberately mirror (and extend) the engine-boundary
+validation in :func:`repro.pipeline.engine.validate_scene`; the gate
+exists so the *serving* layer can count, classify and report rejections
+instead of unwinding through the detector stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PoisonFrameError", "InputQuarantine", "POISON_REASONS"]
+
+#: Machine-readable rejection reasons, in check order.
+POISON_REASONS = ("dtype", "ndim", "empty", "shape", "nan", "inf",
+                  "constant", "range")
+
+
+class PoisonFrameError(ValueError):
+    """A frame failed the quarantine checks.
+
+    Attributes
+    ----------
+    reason:
+        One of :data:`POISON_REASONS` - the first property that failed.
+    detail:
+        Human-readable specifics (offending dtype, shape, value count...).
+    """
+
+    def __init__(self, reason, detail):
+        if reason not in POISON_REASONS:
+            raise ValueError(f"unknown poison reason {reason!r}")
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"poison frame ({reason}): {detail}")
+
+
+class InputQuarantine:
+    """Per-frame validation gate with rejection accounting.
+
+    Parameters
+    ----------
+    expect_shape:
+        When given, every frame must match this exact (H, W) shape -
+        streams have a fixed camera geometry, and a shape change would
+        silently disable the frame-delta reuse path.
+    value_range:
+        Optional ``(lo, hi)`` closed interval every pixel must lie in
+        (the pipeline's frames are normalized to [0, 1]; a frame of
+        raw 0-255 bytes indicates an upstream conversion bug).  None
+        disables the range check.
+    reject_constant:
+        Reject frames whose pixels are all identical (a dead or covered
+        sensor; gradients and histograms over such a frame carry zero
+        signal but full compute cost).
+    """
+
+    def __init__(self, expect_shape=None, value_range=None,
+                 reject_constant=True):
+        self.expect_shape = tuple(expect_shape) if expect_shape else None
+        self.value_range = tuple(value_range) if value_range else None
+        self.reject_constant = bool(reject_constant)
+        self.passed = 0
+        self.rejected = {}
+
+    def _reject(self, reason, detail):
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        raise PoisonFrameError(reason, detail)
+
+    def check(self, frame):
+        """Validate one frame; returns it as float64 or raises.
+
+        Checks run cheapest-first and stop at the first violation; the
+        raised :class:`PoisonFrameError` names the property.
+        """
+        arr = np.asarray(frame)
+        if arr.dtype == object or not (
+                np.issubdtype(arr.dtype, np.floating)
+                or np.issubdtype(arr.dtype, np.integer)):
+            self._reject("dtype", f"non-numeric dtype {arr.dtype}")
+        if arr.ndim != 2:
+            self._reject("ndim", f"expected 2-D (H, W) frame, got "
+                                 f"{arr.ndim}-D shape {arr.shape}")
+        if arr.size == 0:
+            self._reject("empty", f"frame has zero pixels (shape {arr.shape})")
+        if self.expect_shape is not None and arr.shape != self.expect_shape:
+            self._reject("shape", f"expected {self.expect_shape}, "
+                                  f"got {arr.shape}")
+        if np.issubdtype(arr.dtype, np.floating):
+            n_nan = int(np.isnan(arr).sum())
+            if n_nan:
+                self._reject("nan", f"{n_nan} NaN pixels")
+            n_inf = int(np.isinf(arr).sum())
+            if n_inf:
+                self._reject("inf", f"{n_inf} infinite pixels")
+        lo, hi = float(arr.min()), float(arr.max())
+        if self.reject_constant and lo == hi:
+            self._reject("constant", f"all pixels equal {lo}")
+        if self.value_range is not None:
+            vlo, vhi = self.value_range
+            if lo < vlo or hi > vhi:
+                self._reject("range", f"values in [{lo:g}, {hi:g}] outside "
+                                      f"[{vlo:g}, {vhi:g}]")
+        self.passed += 1
+        return np.asarray(arr, dtype=np.float64)
+
+    def stats(self):
+        """Accounting: frames passed and per-reason rejection counts."""
+        return {"passed": self.passed,
+                "rejected": dict(self.rejected),
+                "rejected_total": sum(self.rejected.values())}

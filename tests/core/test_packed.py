@@ -19,6 +19,7 @@ from repro.core.hypervector import (
 )
 from repro.core.packed import (
     PackedClassModel,
+    TruncatedClassModel,
     packed_bind,
     packed_majority,
     packed_nearest,
@@ -231,3 +232,77 @@ class TestCorruptedModel:
         ]
         assert drift[0] == 0.0
         assert drift[0] < drift[1] < drift[2]
+
+
+class TestTruncatedClassModel:
+    def _model(self, dim=512, n_classes=3):
+        return PackedClassModel(random_hypervector(dim, 0,
+                                                   shape=(n_classes,)))
+
+    def test_full_prefix_is_bitwise_identical(self):
+        model = self._model()
+        view = model.truncated(model.n_words)
+        q = pack_bits(random_hypervector(512, 1, shape=(16,)))
+        assert (view.distances(q) == model.distances(q)).all()
+        assert (view.predict(q) == model.predict(q)).all()
+        assert (view.similarities(q) == model.similarities(q)).all()
+        assert view.dim == model.dim
+
+    def test_full_prefix_identical_with_pad_bits(self):
+        # dim 100 leaves 28 pad bits in the last word: the prefix mask
+        # must equal the pad mask, not count the pads
+        model = self._model(dim=100)
+        view = model.truncated(model.n_words)
+        q = pack_bits(random_hypervector(100, 1, shape=(8,)))
+        assert (view.distances(q) == model.distances(q)).all()
+        assert view.dim == 100
+
+    def test_effective_dim_and_footprint_shrink(self):
+        model = self._model(dim=512)
+        view = model.truncated(2)
+        assert view.dim == 128
+        assert view.nbytes == model.nbytes // 4
+        assert view.words == 2 and view.n_classes == model.n_classes
+
+    def test_last_word_prefix_caps_dim_at_model_dim(self):
+        model = self._model(dim=100)  # 2 words, 100 real bits
+        assert model.truncated(2).dim == 100
+        assert model.truncated(1).dim == 64
+
+    def test_prefix_distance_matches_manual_slice(self):
+        model = self._model(dim=512)
+        words = 3
+        view = model.truncated(words)
+        q = pack_bits(random_hypervector(512, 2, shape=(5,)))
+        manual = pairwise_hamming(q[:, :words], model.packed[:, :words],
+                                  dim=64 * words)
+        assert (view.distances(q) == manual).all()
+
+    def test_accepts_already_truncated_queries(self):
+        model = self._model()
+        view = model.truncated(4)
+        q = pack_bits(random_hypervector(512, 3, shape=(4,)))
+        assert (view.distances(q[:, :4]) == view.distances(q)).all()
+
+    def test_similarities_normalized_by_effective_dim(self):
+        model = self._model()
+        view = model.truncated(4)
+        q = pack_bits(random_hypervector(512, 5, shape=(6,)))
+        sims = view.similarities(q)
+        assert (np.abs(sims) <= 1.0).all()
+        assert np.allclose(sims,
+                           1.0 - 2.0 * view.distances(q) / float(view.dim))
+
+    def test_word_bounds_validated(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.truncated(0)
+        with pytest.raises(ValueError):
+            model.truncated(model.n_words + 1)
+
+    def test_wraps_raw_model_arrays(self):
+        raw = random_hypervector(256, 0, shape=(2,))
+        view = TruncatedClassModel(raw, 2)
+        ref = PackedClassModel(raw).truncated(2)
+        q = pack_bits(random_hypervector(256, 1, shape=(3,)))
+        assert (view.distances(q) == ref.distances(q)).all()

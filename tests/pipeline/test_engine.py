@@ -302,6 +302,58 @@ class TestPackedBackend:
         with pytest.raises(ValueError):
             SharedFeatureEngine(extractor, backend="float16")
 
+
+class TestSceneValidation:
+    """Engine-boundary checks: garbage must raise, not poison the cache."""
+
+    def _bad_scenes(self):
+        nan = np.ones((24, 24))
+        nan[3, 3] = np.nan
+        inf = np.ones((24, 24))
+        inf[0, 0] = np.inf
+        return {
+            "dtype": (np.full((24, 24), "x", dtype=object), "dtype"),
+            "complex": (np.zeros((24, 24), dtype=complex), "dtype"),
+            "ndim": (np.zeros((2, 24, 24)), "ndim"),
+            "empty": (np.zeros((0, 24)), "empty"),
+            "nan": (nan, "NaN"),
+            "inf": (inf, "infinite"),
+        }
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_scene_fields_rejects_garbage_naming_the_property(
+            self, extractor, backend):
+        engine = SharedFeatureEngine(extractor, backend=backend)
+        for scene, needle in self._bad_scenes().values():
+            with pytest.raises(ValueError, match=needle):
+                engine.scene_fields(scene)
+        assert engine.cache_info()["entries"] == 0
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_window_queries_reject_garbage(self, extractor, backend):
+        engine = SharedFeatureEngine(extractor, backend=backend)
+        bad = np.ones((24, 24))
+        bad[5, 5] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            engine.window_queries(bad, [(0, 0)], 16)
+        assert engine.cache_info()["entries"] == 0
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_delta_update_validates_both_frames(self, extractor, scene,
+                                                backend):
+        engine = SharedFeatureEngine(extractor, backend=backend)
+        bad = scene.copy()
+        bad[1, 1] = np.inf
+        with pytest.raises(ValueError, match="scene.*infinite"):
+            engine.delta_update(scene, bad)
+        with pytest.raises(ValueError, match="prev_scene.*infinite"):
+            engine.delta_update(bad, scene)
+
+    def test_integer_scenes_still_accepted(self, extractor):
+        engine = SharedFeatureEngine(extractor, backend="packed")
+        engine.scene_fields(np.arange(24 * 24).reshape(24, 24) % 2)
+        assert engine.cache_info()["entries"] == 1
+
     def test_packed_requires_shared_engine(self, face_pipe):
         with pytest.raises(ValueError):
             SlidingWindowDetector(face_pipe, window=24, engine="legacy",

@@ -17,6 +17,7 @@ from repro.pipeline.engine import SharedFeatureEngine
 from repro.pipeline.multiscale import Detection, PyramidDetector
 from repro.pipeline.stream import (
     FrameQueue,
+    QueueClosedError,
     TemporalTracker,
     Track,
     VideoStreamDetector,
@@ -250,6 +251,75 @@ class TestFrameQueue:
             FrameQueue(policy="newest")
 
 
+class TestFrameQueueShutdown:
+    def test_put_after_close_raises_structured_error(self):
+        q = FrameQueue(maxsize=2)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.put("late")
+        assert len(q) == 0 and q.dropped == 0
+
+    def test_close_is_idempotent_and_observable(self):
+        q = FrameQueue(maxsize=2)
+        assert q.closed is False
+        q.close()
+        q.close()
+        assert q.closed is True
+
+    def test_close_wakes_blocked_getter_with_none(self):
+        import threading
+        q = FrameQueue(maxsize=2)
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.get()))
+        t.start()
+        q.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive() and got == [None]
+
+    def test_close_wakes_blocked_putter_with_error(self):
+        import threading
+        q = FrameQueue(maxsize=1, policy="block")
+        q.put("fills the queue")
+        caught = []
+
+        def blocked_put():
+            try:
+                q.put("stuck")
+            except QueueClosedError as err:
+                caught.append(err)
+
+        t = threading.Thread(target=blocked_put)
+        t.start()
+        q.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive() and len(caught) == 1
+
+    def test_concurrent_getters_all_released_after_close(self):
+        import threading
+        q = FrameQueue(maxsize=4)
+        q.put("a")
+        q.put("b")
+        got = []
+        lock = threading.Lock()
+
+        def drain():
+            while True:
+                item = q.get()
+                if item is None:
+                    return
+                with lock:
+                    got.append(item)
+
+        threads = [threading.Thread(target=drain) for _ in range(3)]
+        for t in threads:
+            t.start()
+        q.close()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert all(not t.is_alive() for t in threads)
+        assert sorted(got) == ["a", "b"]
+
+
 @pytest.fixture(scope="module")
 def stream_setup(face_data):
     from repro.datasets.synth import moving_face_sequence
@@ -309,6 +379,35 @@ class TestVideoStreamDetector:
             VideoStreamDetector(PyramidDetector(det))
         with pytest.raises(ValueError):
             VideoStreamDetector(det)  # not a PyramidDetector
+
+    def test_submit_after_stop_rejected_and_counted(self, stream_setup):
+        pipe, frames, _ = stream_setup
+        stream = _make_stream(pipe, queue_size=2, policy="block")
+        stream.start()
+        assert stream.submit(frames[0]) is True
+        stream.stop()
+        # the shutdown race: a still-running producer sees False, not an
+        # exception, and the rejection is accounted
+        assert stream.submit(frames[1]) is False
+        assert stream.rejected == 1
+        assert stream.frames_in == 1
+
+    def test_stop_drains_frames_submitted_before_close(self, stream_setup):
+        pipe, frames, _ = stream_setup
+        stream = _make_stream(pipe, queue_size=len(frames), policy="block")
+        for f in frames:  # queued before the consumer even starts
+            stream.submit(f)
+        stream.start()
+        results = stream.stop()
+        assert len(results) == len(frames)
+
+    def test_stop_twice_is_safe(self, stream_setup):
+        pipe, frames, _ = stream_setup
+        stream = _make_stream(pipe)
+        stream.start()
+        stream.submit(frames[0])
+        first = stream.stop()
+        assert stream.stop() is first
 
     def test_tracker_follows_the_moving_face(self, stream_setup):
         pipe, frames, truth = stream_setup

@@ -1,0 +1,50 @@
+"""Shared fixtures for the serving-runtime tests.
+
+One trained pipeline and one short moving-face clip are built per
+package; each test gets a fresh runtime from the ``make_runtime``
+factory (watchdog off and a huge budget by default, so the sync tests
+are deterministic).
+"""
+
+import pytest
+
+from repro.datasets.synth import moving_face_sequence
+from repro.pipeline import (
+    HDFacePipeline,
+    PyramidDetector,
+    SlidingWindowDetector,
+)
+from repro.runtime import ResilientVideoDetector
+
+WINDOW = 24
+STRIDE = 8
+
+
+@pytest.fixture(scope="package")
+def serve_pipe(face_data):
+    xtr, ytr, _, _ = face_data
+    return HDFacePipeline(2, dim=512, cell_size=8, magnitude="l1",
+                          epochs=5, seed_or_rng=0).fit(xtr, ytr)
+
+
+@pytest.fixture(scope="package")
+def video():
+    frames, truth = moving_face_sequence(48, 6, window=WINDOW, step=2,
+                                         seed_or_rng=3)
+    return frames, [[t] for t in truth]
+
+
+def make_detector(pipe, backend="packed"):
+    det = SlidingWindowDetector(pipe, window=WINDOW, stride=STRIDE,
+                                backend=backend)
+    return PyramidDetector(det, score_threshold=0.0)
+
+
+@pytest.fixture
+def make_runtime(serve_pipe):
+    def factory(backend="packed", **kwargs):
+        kwargs.setdefault("budget", 10.0)
+        kwargs.setdefault("stall_timeout", None)
+        return ResilientVideoDetector(make_detector(serve_pipe, backend),
+                                      **kwargs)
+    return factory

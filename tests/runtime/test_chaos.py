@@ -1,0 +1,108 @@
+"""Tests for the chaos harness: poison forging, scenarios, end-to-end gates.
+
+The full campaign lives in ``benchmarks/bench_runtime_resilience.py``;
+here the harness itself is under test - every poison kind trips the
+quarantine reason it claims, scenario payloads are JSON-clean, and a
+small ``run_chaos`` pass produces a well-formed, passing report.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ChaosScenario,
+    InputQuarantine,
+    PoisonFrameError,
+    ResilientVideoDetector,
+    poison_frame,
+    run_chaos,
+)
+from repro.runtime.chaos import POISON_KINDS
+
+from .conftest import make_detector
+
+
+class TestPoisonFrames:
+    @pytest.mark.parametrize("kind", POISON_KINDS)
+    def test_each_kind_trips_its_quarantine_reason(self, kind):
+        gate = InputQuarantine(expect_shape=(64, 64))
+        with pytest.raises(PoisonFrameError) as exc:
+            gate.check(poison_frame(kind, (64, 64)))
+        assert exc.value.reason == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            poison_frame("glitter")
+
+    def test_deterministic_without_rng(self):
+        assert np.array_equal(poison_frame("inf"), poison_frame("inf"),
+                              equal_nan=True)
+
+
+class TestScenario:
+    def test_payload_is_json_safe(self):
+        scenario = ChaosScenario("s", stalls={1: 0.5}, hard_stalls={2: 1.0},
+                                 poison={3: "nan"}, spikes={4: 0.1},
+                                 fault_rate=0.01, fault_frames=(0, 5),
+                                 model_fault_rate=0.001, seed=7)
+        payload = json.loads(json.dumps(scenario.payload()))
+        assert payload["name"] == "s"
+        assert payload["poison"] == {"3": "nan"}
+        assert payload["fault_frames"] == [0, 5]
+
+    def test_defaults_are_empty(self):
+        payload = ChaosScenario("quiet").payload()
+        assert payload["stalls"] == {} and payload["fault_rate"] == 0.0
+
+
+class TestRunChaos:
+    @pytest.fixture
+    def factory(self, serve_pipe):
+        from repro.pipeline.stream import TemporalTracker
+
+        def make_runtime(ladder=None, budget=None):
+            return ResilientVideoDetector(
+                make_detector(serve_pipe),
+                budget=budget if budget else 10.0, ladder=ladder,
+                tracker=TemporalTracker(min_hits=1),
+                stall_timeout=0.5, queue_size=8, policy="block")
+        return make_runtime
+
+    def test_poison_scenario_passes_its_gates(self, factory, video):
+        frames, truth = video
+        # poison lands after the track is established, so the quarantined
+        # frames are served from coasting - the recall gate stays tight
+        scenario = ChaosScenario("poison", poison={3: "nan", 4: "shape"})
+        report = run_chaos(factory, frames, truth, scenario)
+        assert report["passed"], report["gates"]
+        assert report["stats"]["quarantined"] == 2
+        assert report["stats"]["crashes"] == 0
+        assert report["frames_unserved"] == 0
+        assert set(report["gates"]) == {
+            "no_crashes", "stalls_recovered", "poison_quarantined",
+            "poison_not_cached", "recall_within_bound", "p95_within_budget"}
+        json.dumps(report)  # the whole report must be JSON-ready
+
+    def test_soft_stall_is_cancelled_and_gated(self, factory, video):
+        frames, truth = video
+        scenario = ChaosScenario("stall", stalls={1: 2.0})
+        report = run_chaos(factory, frames, truth, scenario)
+        assert report["gates"]["stalls_recovered"], report
+        assert report["stats"]["watchdog"]["cancels"] >= 1
+        assert report["stats"]["incidents"].get("stall_cancelled", 0) >= 1
+
+    def test_poison_never_reaches_the_scene_cache(self, factory, video):
+        frames, truth = video
+        scenario = ChaosScenario("poison", poison={2: "constant"})
+        report = run_chaos(factory, frames, truth, scenario)
+        assert report["gates"]["poison_not_cached"]
+
+    def test_recall_gate_compares_against_clean_twin(self, factory, video):
+        frames, truth = video
+        report = run_chaos(factory, frames, truth, ChaosScenario("quiet"))
+        # nothing injected: both runs are clean at the full rung
+        assert report["deepest_rung_name"] == "full"
+        assert report["recall_chaos"] == report["recall_clean"]
+        assert report["recall_drop"] == 0.0

@@ -1,0 +1,137 @@
+"""Tests for the degradation ladder and the deadline scheduler."""
+
+import pytest
+
+from repro.core.hypervector import packed_words
+from repro.runtime import (
+    DeadlineScheduler,
+    DegradationLadder,
+    Rung,
+    default_ladder,
+)
+
+
+class TestRung:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rung("bad", stride_scale=0)
+        with pytest.raises(ValueError):
+            Rung("bad", max_levels=0)
+        with pytest.raises(ValueError):
+            Rung("bad", prefix_fraction=0.0)
+        with pytest.raises(ValueError):
+            Rung("bad", prefix_fraction=1.5)
+        with pytest.raises(ValueError):
+            Rung("bad", keyframe_every=0)
+
+    def test_prefix_words(self):
+        assert Rung("full").prefix_words(512) == packed_words(512)
+        assert Rung("half", prefix_fraction=0.5).prefix_words(512) == 4
+        # tiny fractions never round down to zero words
+        assert Rung("sliver", prefix_fraction=0.001).prefix_words(512) == 1
+
+    def test_rungs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            Rung("full").stride_scale = 2
+
+
+class TestDefaultLadder:
+    def test_packed_ladder_uses_the_truncation_dial(self):
+        ladder = default_ladder("packed")
+        names = [r.name for r in ladder.rungs]
+        assert names == ["full", "coarse", "truncated", "skip"]
+        fractions = [r.prefix_fraction for r in ladder.rungs]
+        assert fractions[0] == 1.0
+        assert fractions[2] < 1.0 and fractions[3] < fractions[2]
+        assert ladder.rungs[-1].keyframe_every > 1
+
+    def test_dense_ladder_has_no_truncation(self):
+        ladder = default_ladder("dense")
+        assert len(ladder) == 4
+        assert all(r.prefix_fraction == 1.0 for r in ladder.rungs)
+
+
+class TestDegradationLadder:
+    def test_needs_rungs_and_unique_names(self):
+        with pytest.raises(ValueError):
+            DegradationLadder([])
+        with pytest.raises(ValueError):
+            DegradationLadder([Rung("a"), Rung("a")])
+
+    def test_clamp(self):
+        ladder = default_ladder()
+        assert ladder.clamp(-3) == 0
+        assert ladder.clamp(99) == len(ladder) - 1
+
+    def test_record_transition(self):
+        ladder = default_ladder()
+        ladder.record_transition(7, 0, 1)
+        assert ladder.transitions == [
+            {"frame": 7, "from": "full", "to": "coarse"}]
+
+
+class TestDeadlineScheduler:
+    def _sched(self, **kwargs):
+        kwargs.setdefault("degrade_after", 2)
+        kwargs.setdefault("recover_after", 3)
+        return DeadlineScheduler(1.0, default_ladder(), **kwargs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineScheduler(0.0, default_ladder())
+        with pytest.raises(ValueError):
+            DeadlineScheduler(1.0, default_ladder(), degrade_after=0)
+        with pytest.raises(ValueError):
+            DeadlineScheduler(1.0, default_ladder(), headroom=0.0)
+
+    def test_degrades_after_consecutive_misses_only(self):
+        s = self._sched()
+        assert s.observe(2.0) == 0          # one miss: hold
+        assert s.observe(0.1) == 0          # run broken
+        assert s.observe(2.0) == 0
+        assert s.observe(2.0) == 1          # two consecutive: degrade
+        assert s.deadline_misses == 3
+
+    def test_recovers_after_sustained_headroom(self):
+        s = self._sched()
+        s.set_rung(2)
+        s.observe(0.5)
+        s.observe(0.5)
+        assert s.rung == 2
+        assert s.observe(0.5) == 1          # third under-headroom frame
+        assert s.ladder.transitions[-1]["to"] == "coarse"
+
+    def test_hysteresis_band_holds_and_resets_runs(self):
+        s = self._sched()
+        s.set_rung(1)
+        s.observe(0.5)
+        s.observe(0.5)
+        s.observe(0.8)                      # in (headroom, budget]: hold
+        assert s.rung == 1 and s.under_run == 0
+        s.observe(0.5)
+        s.observe(0.5)
+        assert s.rung == 1                  # the band reset the run
+
+    def test_saturates_at_the_ends(self):
+        s = self._sched()
+        for _ in range(20):
+            s.observe(5.0)
+        assert s.rung == len(s.ladder) - 1
+        for _ in range(40):
+            s.observe(0.01)
+        assert s.rung == 0
+
+    def test_set_rung_clamps_and_records(self):
+        s = self._sched()
+        assert s.set_rung(99) == len(s.ladder) - 1
+        assert s.ladder.transitions[-1]["to"] == "skip"
+        assert s.set_rung(s.rung) == s.rung  # no-op records nothing new
+        assert len(s.ladder.transitions) == 1
+
+    def test_stats_snapshot(self):
+        s = self._sched()
+        s.observe(2.0)
+        stats = s.stats()
+        assert stats["rung_name"] == "full"
+        assert stats["deadline_misses"] == 1
+        assert stats["over_run"] == 1

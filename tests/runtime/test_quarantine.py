@@ -1,0 +1,112 @@
+"""Tests for the input quarantine gate."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import InputQuarantine, PoisonFrameError
+from repro.runtime.quarantine import POISON_REASONS
+
+
+def good_frame(shape=(16, 16)):
+    return np.linspace(0.0, 1.0, shape[0] * shape[1]).reshape(shape)
+
+
+class TestRejection:
+    def _reason(self, gate, frame):
+        with pytest.raises(PoisonFrameError) as exc:
+            gate.check(frame)
+        return exc.value.reason
+
+    def test_object_dtype(self):
+        assert self._reason(InputQuarantine(),
+                            np.full((4, 4), "x", dtype=object)) == "dtype"
+
+    def test_complex_dtype(self):
+        assert self._reason(InputQuarantine(),
+                            np.zeros((4, 4), dtype=complex)) == "dtype"
+
+    def test_wrong_ndim(self):
+        assert self._reason(InputQuarantine(),
+                            good_frame()[None, ...]) == "ndim"
+
+    def test_empty(self):
+        assert self._reason(InputQuarantine(),
+                            np.zeros((0, 4))) == "empty"
+
+    def test_shape_mismatch(self):
+        gate = InputQuarantine(expect_shape=(16, 16))
+        assert self._reason(gate, good_frame((8, 8))) == "shape"
+
+    def test_nan(self):
+        bad = good_frame()
+        bad[3, 3] = np.nan
+        assert self._reason(InputQuarantine(), bad) == "nan"
+
+    def test_inf(self):
+        bad = good_frame()
+        bad[3, 3] = np.inf
+        assert self._reason(InputQuarantine(), bad) == "inf"
+
+    def test_constant(self):
+        assert self._reason(InputQuarantine(),
+                            np.full((8, 8), 0.5)) == "constant"
+
+    def test_out_of_range(self):
+        gate = InputQuarantine(value_range=(0.0, 1.0))
+        assert self._reason(gate, good_frame() * 255.0) == "range"
+
+    def test_error_is_structured(self):
+        with pytest.raises(PoisonFrameError) as exc:
+            InputQuarantine(expect_shape=(16, 16)).check(good_frame((8, 8)))
+        err = exc.value
+        assert err.reason in POISON_REASONS
+        assert "(16, 16)" in err.detail and "(8, 8)" in err.detail
+        assert isinstance(err, ValueError)
+
+    def test_unknown_reason_rejected(self):
+        with pytest.raises(ValueError):
+            PoisonFrameError("haunted", "boo")
+
+
+class TestAcceptance:
+    def test_good_frame_passes_as_float64(self):
+        gate = InputQuarantine()
+        out = gate.check(good_frame().astype(np.float32))
+        assert out.dtype == np.float64
+        assert gate.passed == 1
+
+    def test_integer_frames_accepted(self):
+        gate = InputQuarantine()
+        out = gate.check(np.arange(16).reshape(4, 4))
+        assert out.dtype == np.float64
+
+    def test_constant_allowed_when_configured(self):
+        gate = InputQuarantine(reject_constant=False)
+        gate.check(np.full((8, 8), 0.5))
+        assert gate.passed == 1
+
+    def test_range_check_disabled_by_default(self):
+        InputQuarantine().check(good_frame() * 255.0)
+
+
+class TestAccounting:
+    def test_stats_count_per_reason(self):
+        gate = InputQuarantine(expect_shape=(16, 16))
+        gate.check(good_frame())
+        for bad in (good_frame((8, 8)), good_frame((8, 8)),
+                    np.full((16, 16), 0.5)):
+            with pytest.raises(PoisonFrameError):
+                gate.check(bad)
+        stats = gate.stats()
+        assert stats["passed"] == 1
+        assert stats["rejected"] == {"shape": 2, "constant": 1}
+        assert stats["rejected_total"] == 3
+
+    def test_checks_stop_at_first_violation(self):
+        # a wrong-shape frame full of NaN trips "shape", not "nan":
+        # the checks run cheapest-first
+        gate = InputQuarantine(expect_shape=(16, 16))
+        bad = np.full((8, 8), np.nan)
+        with pytest.raises(PoisonFrameError) as exc:
+            gate.check(bad)
+        assert exc.value.reason == "shape"

@@ -1,0 +1,123 @@
+"""Tests for the stall watchdog's two-stage escalation state machine.
+
+All timing is driven through an injected fake clock, so the escalation
+sequence is exercised deterministically - no sleeps, no flakes.
+"""
+
+import pytest
+
+from repro.runtime import Watchdog
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_watchdog(clock, **kwargs):
+    fired = {"cancel": [], "restart": []}
+    wd = Watchdog(stall_timeout=1.0, grace=1.0, clock=clock,
+                  on_cancel=fired["cancel"].append,
+                  on_restart=fired["restart"].append, **kwargs)
+    return wd, fired
+
+
+class TestEscalation:
+    def test_idle_polls_fire_nothing(self, clock):
+        wd, fired = make_watchdog(clock)
+        clock.now = 100.0
+        assert wd.poll() is None
+        assert fired == {"cancel": [], "restart": []}
+
+    def test_fast_frame_never_escalates(self, clock):
+        wd, fired = make_watchdog(clock)
+        token = wd.frame_started(0)
+        clock.now = 0.5
+        assert wd.poll() is None
+        wd.frame_finished(token)
+        clock.now = 50.0
+        assert wd.poll() is None
+
+    def test_cancel_then_restart_sequence(self, clock):
+        wd, fired = make_watchdog(clock)
+        wd.frame_started(7)
+        clock.now = 1.5                      # past stall_timeout
+        assert wd.poll() == "cancel"
+        assert fired["cancel"] == [7]
+        assert wd.poll() is None             # cancel fires once
+        clock.now = 1.9                      # still inside the grace
+        assert wd.poll() is None
+        clock.now = 2.5                      # past stall_timeout + grace
+        assert wd.poll() == "restart"
+        assert fired["restart"] == [7]
+        assert wd.stats() == {"cancels": 1, "restarts": 1}
+
+    def test_restart_abandons_the_frame(self, clock):
+        wd, _ = make_watchdog(clock)
+        wd.frame_started(3)
+        clock.now = 1.5
+        wd.poll()
+        clock.now = 2.5
+        wd.poll()
+        clock.now = 99.0                     # the wedged frame is forgotten
+        assert wd.poll() is None
+
+    def test_cancel_cleared_when_frame_finishes_in_grace(self, clock):
+        wd, fired = make_watchdog(clock)
+        token = wd.frame_started(0)
+        clock.now = 1.5
+        assert wd.poll() == "cancel"
+        wd.frame_finished(token)             # the frame honored the cancel
+        clock.now = 10.0
+        assert wd.poll() is None
+        assert fired["restart"] == []
+
+
+class TestTokens:
+    def test_stale_token_cannot_clear_the_next_frame(self, clock):
+        wd, _ = make_watchdog(clock)
+        stale = wd.frame_started(0)
+        wd.frame_started(1)                  # replacement consumer's frame
+        wd.frame_finished(stale)             # the abandoned thread finishes
+        clock.now = 1.5
+        assert wd.poll() == "cancel"         # frame 1 is still watched
+
+    def test_current_token_clears(self, clock):
+        wd, _ = make_watchdog(clock)
+        token = wd.frame_started(0)
+        wd.frame_finished(token)
+        clock.now = 5.0
+        assert wd.poll() is None
+
+
+class TestLifecycle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Watchdog(stall_timeout=0.0)
+        with pytest.raises(ValueError):
+            Watchdog(stall_timeout=1.0, grace=-1.0)
+
+    def test_grace_defaults_to_stall_timeout(self):
+        assert Watchdog(stall_timeout=2.0).grace == 2.0
+
+    def test_start_stop_idempotent(self):
+        wd = Watchdog(stall_timeout=0.05, interval=0.01)
+        wd.start()
+        wd.start()                           # second start is a no-op
+        wd.stop()
+        wd.stop()
+        assert wd._thread is None
+
+    def test_stop_clears_the_heartbeat(self):
+        wd = Watchdog(stall_timeout=10.0)
+        wd.frame_started(0)
+        wd.stop()
+        assert wd.poll() is None

@@ -68,7 +68,59 @@ class TestProfiler:
         prof = Profiler(enabled=False)
         with prof.stage("a"):
             prof.add_ops("a", bit=5)
+        prof.record("a", 1.0)
         assert prof.stats == {}
+
+
+class TestPercentiles:
+    def test_record_feeds_the_percentile_window(self):
+        prof = Profiler()
+        values = [0.01 * i for i in range(1, 101)]
+        for v in values:
+            prof.record("frame", v)
+        pct = prof.percentiles("frame")
+        assert pct["p50"] == pytest.approx(np.percentile(values, 50))
+        assert pct["p95"] == pytest.approx(np.percentile(values, 95))
+        assert pct["p99"] == pytest.approx(np.percentile(values, 99))
+        assert prof.stats["frame"].calls == 100
+        assert prof.stats["frame"].seconds == pytest.approx(sum(values))
+
+    def test_record_accumulates_items(self):
+        prof = Profiler()
+        prof.record("frame", 0.5, items=3)
+        prof.record("frame", 0.5, items=2)
+        assert prof.stats["frame"].items == 5
+
+    def test_window_restricts_to_recent_samples(self):
+        prof = Profiler()
+        for _ in range(10):
+            prof.record("frame", 0.0)
+        for _ in range(5):
+            prof.record("frame", 1.0)
+        assert prof.percentiles("frame", window=5)["p50"] == 1.0
+        assert prof.percentiles("frame")["p50"] == 0.0
+
+    def test_unknown_stage_reports_zeros(self):
+        assert Profiler().percentiles("nope") == \
+            {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_empty_stage_reports_zeros(self):
+        prof = Profiler()
+        prof.add_ops("ops_only", bit=5)  # counted but never timed
+        assert prof.percentiles("ops_only")["p95"] == 0.0
+
+    def test_stage_context_feeds_the_same_window(self):
+        prof = Profiler()
+        with prof.stage("s"):
+            pass
+        assert prof.percentiles("s")["p50"] >= 0.0
+        assert len(prof.stats["s"].samples) == 1
+
+    def test_table_includes_percentile_columns(self):
+        prof = Profiler()
+        prof.record("frame", 0.25)
+        text = prof.table()
+        assert "p50ms" in text and "p95ms" in text and "250.00" in text
 
     def test_null_profiler_is_disabled(self):
         assert NULL_PROFILER.enabled is False
