@@ -1,0 +1,210 @@
+"""Cascade early-exit scan vs the flat packed backend on the Fig. 6 scene.
+
+The packed backend made warm scans assembly + classification; the cascade
+makes them *sublinear* in that product: windows can be rejected after the
+first 16 of 64 model words (a calibrated prefix bound), and only every
+third grid position is even seeded (the dense re-scan opens locally
+around positive seeds).  This bench pins the PR's acceptance gate on the
+Fig. 6 scene (96x96, window 24, D=4096) at a dense stride-2 grid:
+
+* **warm-scan speedup** - calibrated cascade >= 5x the flat packed scan
+  (both warm: median of cached rescans, fields pass amortized);
+* **equal recall** - the cascade's window-level recall against the pasted
+  faces matches the flat packed scan's (and the cascade never invents a
+  detection, so precision cannot drop);
+* **escalation accounting** - the measured per-stage survivor fractions
+  (the numbers ``docs/cascade.md`` quotes and
+  ``repro.hardware.opcount.cascade_scan_profile`` prices).
+
+Calibration is *truth-anchored* (``CascadeCalibrator.calibrate(truth=)``):
+the fn budget protects ground-truth face windows on held-out scenes, so
+borderline background windows cannot drag the prefix bound loose.  The
+stage schedule [16, 64] skips narrower prefixes - on this model the
+margin noise at 4-8 words swamps the face/clutter separation, so a
+4-word stage would be pure overhead (docs/cascade.md walks the math).
+
+Results land in ``benchmarks/results/cascade_scan.{txt,json}``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from common import write_json, write_report
+
+from repro.pipeline import (
+    CascadeCalibrator,
+    HDFacePipeline,
+    SlidingWindowDetector,
+    make_scene,
+)
+
+DIM = 4096
+WINDOW = 24
+SCENE = 96
+STRIDE = 2  # dense overlapping grid: 37x37 = 1369 windows
+FACE_SPOTS = ((0, 24), (48, 60))
+WARM_REPS = 5
+FN_BUDGET = 0.02
+STAGE_WORDS = (16, 64)
+SEED_FACTOR = 3
+REFINE_BAND = 0.0  # refine only around strictly-positive seeds
+
+
+@pytest.fixture(scope="module")
+def scene_truth():
+    return make_scene(SCENE, FACE_SPOTS, window=WINDOW, seed_or_rng=7)
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    from repro.datasets import make_face_dataset
+    xtr, ytr = make_face_dataset(96, size=WINDOW, seed_or_rng=0)
+    return HDFacePipeline(2, dim=DIM, cell_size=8, magnitude="l1",
+                          epochs=10, seed_or_rng=0).fit(xtr, ytr)
+
+
+@pytest.fixture(scope="module")
+def calibration(pipe):
+    """Truth-anchored thresholds fitted on held-out scenes."""
+    det = SlidingWindowDetector(pipe, window=WINDOW, stride=STRIDE,
+                                engine="shared", backend="packed")
+    spots = (((12, 12), (60, 36)), ((0, 60), (36, 0)), ((24, 48),),
+             ((60, 60), (12, 36)), ((48, 12),), ((0, 0), (48, 48)),
+             ((36, 60),), ((72, 24), (12, 72)))
+    scenes, truths = [], []
+    for seed, sp in enumerate(spots, start=101):
+        scene, truth = make_scene(SCENE, sp, window=WINDOW, seed_or_rng=seed)
+        scenes.append(scene)
+        truths.append(truth)
+    return CascadeCalibrator(det, words=list(STAGE_WORDS),
+                             fn_budget=FN_BUDGET).calibrate(scenes,
+                                                            truth=truths)
+
+
+def _warm_scan(det, scene):
+    """Cold scan once, then the median of WARM_REPS cached rescans."""
+    dmap = det.scan(scene)
+    times = []
+    for _ in range(WARM_REPS):
+        start = time.perf_counter()
+        rescan = det.scan(scene)
+        times.append(time.perf_counter() - start)
+        assert np.array_equal(rescan.scores, dmap.scores)
+    return dmap, float(np.median(times))
+
+
+def _window_truth(truth, n_wy, n_wx):
+    """Windows essentially coincident with a pasted face (>= 90% overlap)."""
+    hits = np.zeros((n_wy, n_wx), dtype=bool)
+    for iy in range(n_wy):
+        for ix in range(n_wx):
+            y, x = iy * STRIDE, ix * STRIDE
+            for ty, tx, tw in truth:
+                oy = max(0, min(y + WINDOW, ty + tw) - max(y, ty))
+                ox = max(0, min(x + WINDOW, tx + tw) - max(x, tx))
+                if oy * ox >= 0.9 * WINDOW * WINDOW:
+                    hits[iy, ix] = True
+    return hits
+
+
+def _recall(detections, hits):
+    tp = float(np.logical_and(detections, hits).sum())
+    return tp / max(float(hits.sum()), 1.0)
+
+
+@pytest.fixture(scope="module")
+def measurements(pipe, scene_truth, calibration):
+    scene, _ = scene_truth
+    flat = SlidingWindowDetector(pipe, window=WINDOW, stride=STRIDE,
+                                 engine="shared", backend="packed")
+    cascade = SlidingWindowDetector(
+        pipe, window=WINDOW, stride=STRIDE, engine="shared",
+        backend="packed",
+        cascade={"calibration": calibration, "seed_factor": SEED_FACTOR,
+                 "refine_band": REFINE_BAND})
+    flat_map, flat_warm = _warm_scan(flat, scene)
+    cascade_map, cascade_warm = _warm_scan(cascade, scene)
+    stats = cascade.cascade_scanner().last_stats
+    return {"flat": (flat_map, flat_warm),
+            "cascade": (cascade_map, cascade_warm, stats)}
+
+
+def test_cascade_scan_report(measurements, scene_truth, calibration):
+    _, truth = scene_truth
+    flat_map, flat_warm = measurements["flat"]
+    cascade_map, cascade_warm, stats = measurements["cascade"]
+    hits = _window_truth(truth, *flat_map.scores.shape)
+    n = flat_map.scores.size
+    speedup = flat_warm / cascade_warm
+    lines = [
+        f"scene {SCENE}x{SCENE}, window {WINDOW}, stride {STRIDE}, "
+        f"D={DIM} ({(DIM + 63) // 64} words), warm = median of "
+        f"{WARM_REPS} cached rescans",
+        f"calibration: fn_budget {FN_BUDGET} over {calibration.accepted} "
+        f"truth-window positives ({calibration.windows} windows, 8 "
+        f"held-out scenes)",
+        f"{'scan':>8} {'warm_s':>9} {'win/s':>9} {'recall':>7}",
+        f"{'flat':>8} {flat_warm:>9.4f} {n / flat_warm:>9.0f} "
+        f"{_recall(flat_map.detections, hits):>7.2f}",
+        f"{'cascade':>8} {cascade_warm:>9.4f} {n / cascade_warm:>9.0f} "
+        f"{_recall(cascade_map.detections, hits):>7.2f}",
+        f"warm speedup {speedup:.1f}x",
+        f"window grid: {stats['seeded']} seeded + {stats['refined']} "
+        f"refined of {stats['windows']} ({stats['skipped']} never scored)",
+        f"{'stage':>6} {'words':>6} {'threshold':>10} {'evaluated':>10} "
+        f"{'rejected':>9} {'survive':>8}",
+    ]
+    stage_rows = []
+    for si, st in enumerate(stats["stages"]):
+        ev, rej = st["evaluated"], st["rejected"]
+        survive = (ev - rej) / ev if ev else 0.0
+        lines.append(f"{si:>6} {st['words']:>6} {st['threshold']:>10.4f} "
+                     f"{ev:>10} {rej:>9} {survive:>8.2f}")
+        stage_rows.append({"stage": si, "words": st["words"],
+                           "threshold": st["threshold"], "evaluated": ev,
+                           "rejected": rej, "survive_fraction": survive})
+    write_report("cascade_scan", lines)
+    write_json("cascade_scan", {
+        "config": {"scene": SCENE, "window": WINDOW, "stride": STRIDE,
+                   "dim": DIM, "warm_reps": WARM_REPS,
+                   "fn_budget": FN_BUDGET, "seed_factor": SEED_FACTOR,
+                   "refine_band": REFINE_BAND},
+        "calibration": calibration.to_dict(),
+        "flat": {"warm_seconds": flat_warm,
+                 "recall": _recall(flat_map.detections, hits)},
+        "cascade": {"warm_seconds": cascade_warm,
+                    "recall": _recall(cascade_map.detections, hits),
+                    "seeded": stats["seeded"], "refined": stats["refined"],
+                    "skipped": stats["skipped"], "stages": stage_rows},
+        "warm_speedup": speedup,
+    })
+
+
+def test_cascade_warm_scan_at_least_5x_faster(measurements):
+    flat_warm = measurements["flat"][1]
+    cascade_warm = measurements["cascade"][1]
+    assert cascade_warm * 5.0 <= flat_warm, (
+        f"cascade warm {cascade_warm:.4f}s vs flat warm {flat_warm:.4f}s "
+        f"({flat_warm / cascade_warm:.1f}x)")
+
+
+def test_cascade_recall_matches_flat_scan(measurements, scene_truth):
+    _, truth = scene_truth
+    flat_map, _ = measurements["flat"]
+    cascade_map = measurements["cascade"][0]
+    hits = _window_truth(truth, *flat_map.scores.shape)
+    assert _recall(cascade_map.detections, hits) >= \
+        _recall(flat_map.detections, hits)
+    # early exit can only reject: the cascade never invents a detection
+    assert not (cascade_map.detections & ~flat_map.detections).any()
+
+
+def test_majority_of_windows_never_reach_full_width(measurements):
+    """The sublinearity claim: most grid windows are either never seeded
+    (coarse grid, no promising neighbor) or rejected on a word prefix -
+    only a minority is ever scored against the full 64-word model."""
+    stats = measurements["cascade"][2]
+    full_stage = stats["stages"][-1]
+    assert full_stage["evaluated"] <= 0.5 * stats["windows"]

@@ -9,7 +9,13 @@ Run as ``python -m repro <command>``:
     Load a saved model and score it on freshly generated data.
 ``detect``
     Load (or quickly train) a face model and scan a generated scene,
-    printing the detection map and writing a PGM overlay.
+    printing the detection map and writing a PGM overlay.  With
+    ``--cascade`` the scan runs the multi-stage early-exit cascade
+    (packed backend), optionally with a ``--calibration`` file.
+``calibrate``
+    Fit cascade rejection thresholds on held-out synthetic scenes and
+    write the calibration JSON that ``detect --cascade --calibration``
+    and the serving runtime consume.
 ``report``
     Print the hardware-model efficiency report (Fig. 7), the Sec. 6.3
     per-epoch comparison, and the guarded-model protection overhead.
@@ -85,10 +91,41 @@ def build_parser():
     detect.add_argument("--workers", type=int, default=1,
                         help="threads for the strip-parallel fields pass "
                              "(shared engine)")
+    detect.add_argument("--cascade", action="store_true",
+                        help="multi-stage early-exit cascade scan "
+                             "(requires --backend packed)")
+    detect.add_argument("--calibration", metavar="JSON",
+                        help="cascade calibration from `repro calibrate` "
+                             "(default: analytic Hoeffding bounds)")
     detect.add_argument("--profile", action="store_true",
                         help="print stage timings, op counts and the modeled "
                              "Cortex-A53 time for the scan")
     detect.add_argument("--output", metavar="PGM", help="overlay image path")
+
+    calibrate = sub.add_parser(
+        "calibrate", help="fit cascade rejection thresholds")
+    calibrate.add_argument("--model",
+                           help="saved model (trains one if omitted)")
+    calibrate.add_argument("--dim", type=int, default=2048)
+    calibrate.add_argument("--window", type=int, default=24)
+    calibrate.add_argument("--scene-size", type=int, default=96)
+    calibrate.add_argument("--scenes", type=int, default=6,
+                           help="held-out calibration scenes")
+    calibrate.add_argument("--stride", type=int, default=None,
+                           help="window step in pixels (default: window / 2)")
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.add_argument("--fn-budget", type=float, default=0.01,
+                           help="per-stage false-negative budget")
+    calibrate.add_argument("--method", choices=("empirical", "hoeffding"),
+                           default="empirical",
+                           help="data-fitted quantile bound, or the "
+                                "distribution-free analytic bound")
+    calibrate.add_argument("--words", default=None,
+                           help="comma-separated cumulative stage word "
+                                "budgets (default: geometric schedule)")
+    calibrate.add_argument("--output", metavar="JSON",
+                           default="cascade_calibration.json",
+                           help="calibration file to write")
 
     report = sub.add_parser("report", help="hardware efficiency report")
     report.add_argument("--dim", type=int, default=4096)
@@ -257,15 +294,35 @@ def _cmd_detect(args, out):
     if args.profile:
         from .profiling import Profiler
         profiler = Profiler()
+    cascade = None
+    if args.cascade:
+        if args.backend != "packed" or args.engine != "shared":
+            print("error: --cascade requires --backend packed with the "
+                  "shared engine", file=out)
+            return 2
+        if args.calibration:
+            from .pipeline import CascadeCalibration
+            cascade = CascadeCalibration.load(args.calibration)
+        else:
+            cascade = True
     detector = SlidingWindowDetector(pipe, window=args.window,
                                      stride=args.stride or args.window // 2,
                                      engine=args.engine, profiler=profiler,
                                      backend=args.backend,
-                                     workers=args.workers)
+                                     workers=args.workers, cascade=cascade)
     result = detector.scan(scene)
     print(f"faces pasted at {truth}", file=out)
     print("detection map (# = face window):", file=out)
     print(ascii_map(result.detections), file=out)
+    if cascade is not None:
+        stats = detector.cascade_scanner().last_stats
+        print(f"cascade: {stats['seeded']} seeded + {stats['refined']} "
+              f"refined of {stats['windows']} windows "
+              f"({stats['skipped']} skipped)", file=out)
+        for i, st in enumerate(stats["stages"]):
+            print(f"  stage {i}: {st['words']:3d} words  threshold "
+                  f"{st['threshold']:+.4f}  evaluated {st['evaluated']:4d}  "
+                  f"rejected {st['rejected']:4d}", file=out)
     if profiler is not None:
         n_windows = result.scores.size
         seconds = profiler.total_seconds()
@@ -284,6 +341,43 @@ def _cmd_detect(args, out):
     if args.output:
         write_pgm(args.output, render_detection(scene, result))
         print(f"overlay written to {args.output}", file=out)
+    return 0
+
+
+def _cmd_calibrate(args, out):
+    from .pipeline import (CascadeCalibrator, HDFacePipeline,
+                           SlidingWindowDetector)
+
+    if args.model:
+        from .pipeline.serialization import load_pipeline
+        pipe = load_pipeline(args.model, seed_or_rng=args.seed)
+    else:
+        from .datasets import make_face_dataset
+        xtr, ytr = make_face_dataset(96, size=args.window,
+                                     seed_or_rng=args.seed)
+        print(f"training face model (D={args.dim}) ...", file=out)
+        pipe = HDFacePipeline(2, dim=args.dim, cell_size=8, magnitude="l1",
+                              epochs=10, seed_or_rng=args.seed)
+        pipe.fit(xtr, ytr)
+    detector = SlidingWindowDetector(pipe, window=args.window,
+                                     stride=args.stride or args.window // 2,
+                                     backend="packed")
+    words = None
+    if args.words:
+        words = [int(w) for w in args.words.split(",") if w.strip()]
+    scenes = [s for s, _ in _random_scenes(args.scenes, args.scene_size,
+                                           args.window, args.seed + 500)]
+    print(f"calibrating on {len(scenes)} held-out scenes "
+          f"(fn budget {args.fn_budget}, method {args.method}) ...", file=out)
+    cal = CascadeCalibrator(detector, words=words, fn_budget=args.fn_budget,
+                            method=args.method).calibrate(scenes)
+    print(f"measured {cal.windows} windows ({cal.accepted} accepted by the "
+          f"full model):", file=out)
+    for i, (stage, esc) in enumerate(zip(cal.stages, cal.escalation)):
+        print(f"  stage {i}: {stage.words:3d} words  threshold "
+              f"{stage.threshold:+.4f}  escalation {esc:.3f}", file=out)
+    cal.save(args.output)
+    print(f"calibration written to {args.output}", file=out)
     return 0
 
 
@@ -587,6 +681,7 @@ def main(argv=None, out=None):
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "detect": _cmd_detect,
+        "calibrate": _cmd_calibrate,
         "report": _cmd_report,
         "robustness": _cmd_robustness,
         "stream": _cmd_stream,

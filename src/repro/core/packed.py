@@ -42,6 +42,7 @@ __all__ = [
     "packed_majority",
     "pairwise_hamming",
     "packed_nearest",
+    "block_dim",
     "PackedClassModel",
     "TruncatedClassModel",
 ]
@@ -162,6 +163,23 @@ def pairwise_hamming(queries, model, dim=None):
     return packed_hamming_distance(q[:, None, :], m[None, :, :], dim=dim)
 
 
+def block_dim(dim, word_start, word_stop):
+    """Real component count of the word block ``[word_start, word_stop)``.
+
+    Words before the last hold 64 components each; the final word of a
+    ``dim``-component vector holds only the tail.  The cascade scanner
+    scores one block at a time, so its partial Hamming counts need the
+    honest per-block denominator.
+    """
+    total = packed_words(dim)
+    w0, w1 = int(word_start), int(word_stop)
+    if not 0 <= w0 < w1 <= total:
+        raise ValueError(
+            f"word block [{word_start}, {word_stop}) out of range for "
+            f"dim {dim} ({total} words)")
+    return min(64 * w1, int(dim)) - 64 * w0
+
+
 def packed_nearest(queries, model, dim=None):
     """Hamming-nearest model row per query: ``(labels, distances)``.
 
@@ -249,6 +267,29 @@ class PackedClassModel:
     def distances(self, packed_queries):
         """Hamming distance of each packed query to each class: ``(n, k)``."""
         return pairwise_hamming(packed_queries, self.packed, dim=self.dim)
+
+    def distance_block(self, packed_queries, word_start, word_stop):
+        """Partial Hamming distances over words ``[word_start, word_stop)``.
+
+        The cascade scanner's incremental rescoring kernel: because Hamming
+        distance is a sum over disjoint word blocks, the distance already
+        paid for on a narrow prefix never has to be recomputed when a
+        window escalates - the next stage scores only the *new* words and
+        adds the counts:
+
+        ``distances(q) == sum(distance_block(q, a, b) over a partition)``
+
+        ``packed_queries`` may carry the block's words alone (shape
+        ``(n, word_stop - word_start)``, as produced by the engine's
+        prefix assembly) or the full query width (the block is sliced
+        out).  Pad bits are masked when the block covers the final word.
+        """
+        w0, w1 = int(word_start), int(word_stop)
+        bdim = block_dim(self.dim, w0, w1)
+        q = np.atleast_2d(np.asarray(packed_queries, dtype=np.uint64))
+        if q.shape[-1] != w1 - w0:
+            q = q[:, w0:w1]
+        return pairwise_hamming(q, self.packed[:, w0:w1], dim=bdim)
 
     def similarities(self, packed_queries):
         """Normalized similarities ``1 - 2 * hamming / D`` in ``[-1, 1]``.

@@ -40,6 +40,8 @@ __all__ = [
     "hdc_infer_profile",
     "packed_infer_profile",
     "packed_assemble_profile",
+    "cascade_stage_profile",
+    "cascade_scan_profile",
     "replica_vote_profile",
     "scrub_profile",
     "guarded_infer_profile",
@@ -429,6 +431,74 @@ def packed_assemble_profile(window, dim, cell_size=8, n_bins=8):
         "mem_bytes": (feats + 1) * w * 8,
     }
     return OperationProfile(counts, label=f"packed_assemble(w{window},D{dim})")
+
+
+def cascade_stage_profile(window, dim, word_start, word_stop, n_classes=2,
+                          cell_size=8, n_bins=8):
+    """Per-window cost of one cascade escalation stage.
+
+    A stage assembles only the new word block ``[word_start, word_stop)``
+    of the query (:func:`packed_assemble_profile` at the block's real
+    component count) and adds the block's XOR+popcount Hamming distances
+    onto the accumulated per-class popcounts - one XOR word op plus one
+    popcount reduction per block word per class, plus one narrow add per
+    class for the accumulate.  Stage 1 is ``word_start=0``; the sum of a
+    full escalation chain's stages equals one full-width assembly plus
+    :func:`packed_infer_profile`, which is the no-double-work property of
+    the incremental rescoring.
+    """
+    w0, w1 = int(word_start), int(word_stop)
+    total = (int(dim) + 63) // 64
+    if not 0 <= w0 < w1 <= total:
+        raise ValueError(f"word block [{w0}, {w1}) out of range for "
+                         f"{total} words")
+    bdim = min(64 * w1, int(dim)) - 64 * w0
+    words = float(w1 - w0)
+    prof = packed_assemble_profile(window, bdim, cell_size=cell_size,
+                                   n_bins=n_bins)
+    prof = prof + OperationProfile(
+        {"word64": 2 * n_classes * words, "int_add": float(n_classes),
+         "mem_bytes": (n_classes + 1) * words * 8},
+    )
+    prof.label = f"cascade_stage(w{window},D{dim},[{w0},{w1}))"
+    return prof
+
+
+def cascade_scan_profile(scene_shape, window, stride, dim, stage_words,
+                         escalation=None, n_classes=2, cell_size=8,
+                         n_bins=8, seed_fraction=1.0):
+    """Expected op counts of one cascade scan of a scene.
+
+    ``stage_words`` is the ascending cumulative word schedule;
+    ``escalation[i]`` the fraction of candidate windows evaluated *at*
+    stage ``i`` (``escalation[0]`` is normally 1.0; feed the measured
+    rates from :class:`repro.pipeline.cascade.CascadeCalibration` - the
+    default assumes 5% survive each rejection).  ``seed_fraction``
+    scales the candidate set for coarse-seed-then-refine scans
+    (``~1/seed_factor^2`` plus the refined neighborhoods).  Expected
+    work is the sum over stages of the per-window stage cost times the
+    windows expected to reach it.
+    """
+    words = [int(w) for w in stage_words]
+    if words != sorted(set(words)) or not words:
+        raise ValueError(f"stage_words must be strictly increasing, "
+                         f"got {stage_words}")
+    if escalation is None:
+        escalation = [1.0] + [0.05] * (len(words) - 1)
+    if len(escalation) != len(words):
+        raise ValueError("escalation must give one rate per stage")
+    n_wy, n_wx = _window_grid(scene_shape, window, stride)
+    candidates = n_wy * n_wx * float(seed_fraction)
+    prof = OperationProfile({})
+    w_prev = 0
+    for w1, rate in zip(words, escalation):
+        prof = prof + cascade_stage_profile(
+            window, dim, w_prev, w1, n_classes=n_classes,
+            cell_size=cell_size, n_bins=n_bins) * (rate * candidates)
+        w_prev = w1
+    prof.label = (f"cascade_scan{tuple(scene_shape)}w{window}s{stride}"
+                  f"xD{dim}{tuple(words)}")
+    return prof
 
 
 def replica_vote_profile(dim, n_classes, replicas=3):

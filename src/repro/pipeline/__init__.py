@@ -1,6 +1,8 @@
 """End-to-end pipelines: HDFace, baselines and the sliding-window detector."""
 
 from .baselines import HOGPipeline
+from .cascade import (CascadeCalibration, CascadeCalibrator, CascadeScanner,
+                      CascadeStage, default_word_schedule, hoeffding_threshold)
 from .detector import DetectionMap, SlidingWindowDetector, make_scene
 from .engine import SharedFeatureEngine
 from .hdface import HDFacePipeline
@@ -15,6 +17,12 @@ __all__ = [
     "SharedFeatureEngine",
     "DetectionMap",
     "make_scene",
+    "CascadeStage",
+    "CascadeCalibration",
+    "CascadeCalibrator",
+    "CascadeScanner",
+    "default_word_schedule",
+    "hoeffding_threshold",
     "Detection",
     "PyramidDetector",
     "non_max_suppression",

@@ -111,11 +111,19 @@ class SlidingWindowDetector:
     profiler:
         Optional :class:`repro.profiling.Profiler`; scan stages are timed
         and op-counted on it (and on the engine, for shared mode).
+    cascade:
+        Route scans through the multi-stage early-exit cascade
+        (:class:`repro.pipeline.cascade.CascadeScanner`; shared engine +
+        packed backend only).  ``True`` builds a default cascade with
+        analytic Hoeffding bounds; a
+        :class:`~repro.pipeline.cascade.CascadeCalibration` uses its
+        fitted stage schedule; a dict is passed as ``CascadeScanner``
+        keyword arguments; a ready ``CascadeScanner`` is adopted as-is.
     """
 
     def __init__(self, pipeline, window, stride=None, face_class=1,
                  engine="auto", profiler=None, backend="dense", workers=1,
-                 scrub=False):
+                 scrub=False, cascade=None):
         self.pipeline = pipeline
         self.window = int(window)
         self.stride = int(stride) if stride else max(self.window // 2, 1)
@@ -123,6 +131,8 @@ class SlidingWindowDetector:
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.engine = None
         self._packed_model = None
+        self.cascade = cascade if cascade else None
+        self._cascade_scanner = None
         if isinstance(engine, SharedFeatureEngine):
             self.mode = "shared"
             self.engine = engine
@@ -150,6 +160,28 @@ class SlidingWindowDetector:
                                                   backend=backend,
                                                   workers=workers,
                                                   scrub=scrub)
+        if self.cascade is not None and (self.mode != "shared"
+                                         or self.backend != "packed"):
+            raise ValueError("cascade scanning requires the shared engine "
+                             "with backend='packed' (got engine="
+                             f"{self.mode!r}, backend={self.backend!r})")
+
+    def cascade_scanner(self):
+        """The scanner behind ``cascade=`` (built lazily; None if unset)."""
+        if self.cascade is None:
+            return None
+        if self._cascade_scanner is None:
+            from .cascade import CascadeCalibration, CascadeScanner
+            c = self.cascade
+            if isinstance(c, CascadeScanner):
+                self._cascade_scanner = c
+            elif isinstance(c, CascadeCalibration):
+                self._cascade_scanner = CascadeScanner(self, calibration=c)
+            elif isinstance(c, dict):
+                self._cascade_scanner = CascadeScanner(self, **c)
+            else:
+                self._cascade_scanner = CascadeScanner(self)
+        return self._cascade_scanner
 
     def packed_model(self):
         """Sign-quantized packed class model (cached until the model refits).
@@ -218,7 +250,8 @@ class SlidingWindowDetector:
         )
         return queries
 
-    def scan(self, scene, injector=None, model=None, stride=None):
+    def scan(self, scene, injector=None, model=None, stride=None,
+             max_words=None):
         """Classify every window; returns a :class:`DetectionMap`.
 
         Shared and per-window engines produce bitwise-identical scores
@@ -240,9 +273,27 @@ class SlidingWindowDetector:
         ``stride`` overrides the scan stride for this call only (shared /
         perwindow engines; the returned map records the stride actually
         used) - the degradation ladder's coarse-grid rung.
+
+        ``max_words`` caps the packed classification at a word-prefix of
+        the model (the ladder's ``word_budget`` dial): cascade scans cap
+        their escalation depth, plain packed scans score against the
+        matching :meth:`~repro.core.packed.PackedClassModel.truncated`
+        view.  Scores at a cap are the truncated model's margins.
         """
         scene = np.asarray(scene, dtype=np.float64)
         prof = self.profiler
+        if self.cascade is not None and \
+                (model is None or hasattr(model, "distance_block")):
+            return self.cascade_scanner().scan(
+                scene, injector=injector, model=model, stride=stride,
+                max_words=max_words)
+        if max_words is not None:
+            if self.backend != "packed":
+                raise ValueError("max_words requires the packed backend")
+            base = model if model is not None else self.packed_model()
+            if hasattr(base, "truncated") and \
+                    int(max_words) < getattr(base, "n_words", 0):
+                model = base.truncated(int(max_words))
         if self.mode == "legacy":
             if model is not None:
                 raise ValueError("model substitution requires the shared or "

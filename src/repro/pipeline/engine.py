@@ -74,7 +74,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..core.hypervector import as_rng, pack_bits, packed_words, unpack_bits
-from ..core.packed import packed_majority
+from ..core.packed import block_dim, packed_majority
 from ..features.hog_hd import HDHOGFields, HDHOGResult
 from ..hardware.opcount import hd_hog_fields_profile, packed_assemble_profile
 from ..profiling import NULL_PROFILER
@@ -288,6 +288,10 @@ class SharedFeatureEngine:
         self.delta_full = 0
         self.delta_pixels = 0
         self.delta_dirty_pixels = 0
+        # cascade prefix-assembly counters (see window_queries_prefix)
+        self.prefix_assembles = 0
+        self.prefix_windows = 0
+        self.prefix_words = 0
 
     # ------------------------------------------------------------------
     # scene-fields cache
@@ -377,6 +381,9 @@ class SharedFeatureEngine:
                 "delta_full": self.delta_full,
                 "delta_pixels": self.delta_pixels,
                 "delta_dirty_pixels": self.delta_dirty_pixels,
+                "prefix_assembles": self.prefix_assembles,
+                "prefix_windows": self.prefix_windows,
+                "prefix_words": self.prefix_words,
             }
 
     def clear(self):
@@ -740,6 +747,44 @@ class SharedFeatureEngine:
         fields are computed fresh and never stored, so later clean scans of
         the same scene are unaffected.
         """
+        return self._queries(scene, origins, window, injector, None)
+
+    def window_queries_prefix(self, scene, origins, window,
+                              word_start, word_stop, injector=None,
+                              anchors=None):
+        """Packed query *word block* ``[word_start, word_stop)`` only.
+
+        The cascade scanner's assembly primitive (packed backend only):
+        returns uint64 ``(n_windows, word_stop - word_start)`` - bitwise
+        identical to the same word slice of :meth:`window_queries`,
+        because :func:`~repro.core.packed.packed_majority` votes each
+        word lane independently and the empty-bin mask is per-feature,
+        not per-word.  Assembling a short prefix therefore costs only
+        the prefix's fraction of the full bind+majority work, which is
+        what makes stage-1 cascade rejection cheap.
+
+        Work is recorded under the profiler stage ``assemble_prefix``
+        (not ``assemble``) and counted in :meth:`cache_info` under
+        ``prefix_assembles`` / ``prefix_windows`` / ``prefix_words``, so
+        cascade reuse stays attributable in benchmarks.
+
+        ``anchors=(ys, xs)`` substitutes a precomputed cell-anchor union
+        (a superset of the origins' own anchors, e.g. the whole cascade
+        pass's union) so successive escalation stages over shrinking
+        survivor sets share one cached cell grid instead of deriving a
+        new grid per subset.
+        """
+        if self.backend != "packed":
+            raise ValueError(
+                "window_queries_prefix requires backend='packed'; the dense "
+                "backend has no word-prefix axis")
+        w0, w1 = int(word_start), int(word_stop)
+        block_dim(self.extractor.dim, w0, w1)  # validates the range
+        return self._queries(scene, origins, window, injector, (w0, w1),
+                             anchors)
+
+    def _queries(self, scene, origins, window, injector, word_range,
+                 anchors=None):
         window = int(window)
         scene = validate_scene(scene)
         origins = [(int(y), int(x)) for y, x in origins]
@@ -753,10 +798,15 @@ class SharedFeatureEngine:
             fields, grids, digests = self._extract_fields(scene, injector), {}, None
             if self.backend == "packed":
                 fields = _PackedFields(fields, self.extractor.dim)
-        ys, xs, n = self._anchors(origins, window)
+        if anchors is None:
+            ys, xs, n = self._anchors(origins, window)
+        else:
+            ys, xs = (np.asarray(a, dtype=np.int64) for a in anchors)
+            n = window // self.extractor.cell_size
         grid = self._grid(fields, grids, ys, xs, digests)
         if self.backend == "packed":
-            return self._assemble_packed(grid, origins, ys, xs, n, injector)
+            return self._assemble_packed(grid, origins, ys, xs, n, injector,
+                                         word_range)
         return self._assemble_dense(grid, origins, ys, xs, n, injector)
 
     def _assemble_dense(self, grid, origins, ys, xs, n, injector):
@@ -781,37 +831,54 @@ class SharedFeatureEngine:
                               int_add=feats_d * len(origins))
         return queries
 
-    def _assemble_packed(self, grid, origins, ys, xs, n, injector):
+    def _assemble_packed(self, grid, origins, ys, xs, n, injector,
+                         word_range=None):
         """Packed assembly: gather cells, XNOR-bind keys, majority-bundle.
 
         Fully vectorized over windows; the only per-feature work is the
         bit-sliced vertical-counter accumulation inside
         :func:`~repro.core.packed.packed_majority`.  ``injector`` (stage
         ``"histogram"``) corrupts the packed cell words before binding.
+
+        ``word_range=(w0, w1)`` restricts gather, bind and majority to
+        that word block: the majority votes word lanes independently, so
+        the result equals ``full_queries[:, w0:w1]`` bit for bit while
+        touching only ``(w1 - w0) / W`` of the words.
         """
         ext = self.extractor
         dim = ext.dim
+        if word_range is None:
+            w0, w1 = 0, packed_words(dim)
+            bdim, stage = dim, "assemble"
+        else:
+            w0, w1 = word_range
+            bdim, stage = block_dim(dim, w0, w1), "assemble_prefix"
         c = ext.cell_size
         offsets = c * np.arange(n, dtype=np.int64)
         oy = np.asarray([y for y, _ in origins], dtype=np.int64)
         ox = np.asarray([x for _, x in origins], dtype=np.int64)
-        with self.profiler.stage("assemble"):
+        with self.profiler.stage(stage):
             ri = np.searchsorted(ys, oy[:, None] + offsets[None, :])
             ci = np.searchsorted(xs, ox[:, None] + offsets[None, :])
-            cells = grid.packed[ri[:, :, None], ci[:, None, :]]
+            cells = grid.packed[ri[:, :, None], ci[:, None, :], :, w0:w1]
             counts = grid.counts[ri[:, :, None], ci[:, None, :]]
             if injector is not None:
                 cells = injector(cells, "histogram")
-            keys = self._window_keys_packed(n)
+            keys = self._window_keys_packed(n)[..., w0:w1]
             bound = ~np.bitwise_xor(cells, keys[None])
             n_feat = n * n * ext.n_bins
-            flat = bound.reshape(len(origins), n_feat, packed_words(dim))
+            flat = bound.reshape(len(origins), n_feat, w1 - w0)
             valid = (counts > 0).reshape(len(origins), n_feat)
-            queries = packed_majority(flat, dim, valid=valid)
+            queries = packed_majority(flat, bdim, valid=valid)
         self.profiler.add_profile(
-            "assemble",
-            packed_assemble_profile(n * c, dim, cell_size=c,
+            stage,
+            packed_assemble_profile(n * c, bdim, cell_size=c,
                                     n_bins=ext.n_bins) * len(origins),
             items=len(origins),
         )
+        if word_range is not None:
+            with self._lock:
+                self.prefix_assembles += 1
+                self.prefix_windows += len(origins)
+                self.prefix_words += (w1 - w0) * len(origins)
         return queries

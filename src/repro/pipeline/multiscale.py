@@ -147,7 +147,8 @@ class PyramidDetector:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
 
-    def _scan_levels(self, levels, injector=None, model=None, stride=None):
+    def _scan_levels(self, levels, injector=None, model=None, stride=None,
+                     max_words=None):
         """Detection map per level, in level order."""
         scan = self.detector.scan
         if self.workers > 1 and getattr(self.detector, "mode", "") != "legacy":
@@ -156,13 +157,14 @@ class PyramidDetector:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(
                     lambda lf: scan(lf[0], injector=injector, model=model,
-                                    stride=stride),
+                                    stride=stride, max_words=max_words),
                     levels))
-        return [scan(level, injector=injector, model=model, stride=stride)
+        return [scan(level, injector=injector, model=model, stride=stride,
+                     max_words=max_words)
                 for level, _ in levels]
 
     def detect(self, scene, injector=None, model=None, levels=None,
-               stride=None, max_levels=None):
+               stride=None, max_levels=None, max_words=None):
         """All-scale detections after NMS, best score first.
 
         ``injector`` and ``model`` are forwarded to every level's
@@ -174,12 +176,14 @@ class PyramidDetector:
         the frame-delta update and passes them here instead of
         downscaling twice per frame.
 
-        ``stride`` and ``max_levels`` are the load-shedding knobs of the
-        serving runtime's degradation ladder: a per-call stride override
-        coarsens every level's scan grid, and ``max_levels`` scans only
-        the first N pyramid levels (finest first - the deep, cheap levels
-        contribute the large-face coverage that a temporal tracker coasts
-        through anyway).
+        ``stride``, ``max_levels`` and ``max_words`` are the load-shedding
+        knobs of the serving runtime's degradation ladder: a per-call
+        stride override coarsens every level's scan grid, ``max_levels``
+        scans only the first N pyramid levels (finest first - the deep,
+        cheap levels contribute the large-face coverage that a temporal
+        tracker coasts through anyway), and ``max_words`` caps the packed
+        classification depth per window (cascade escalation depth, or the
+        truncated-model prefix on plain packed scans).
         """
         window = self.detector.window
         if levels is None:
@@ -191,7 +195,8 @@ class PyramidDetector:
             levels = levels[: int(max_levels)]
         raw = []
         for (level, factor), dmap in zip(
-                levels, self._scan_levels(levels, injector, model, stride)):
+                levels, self._scan_levels(levels, injector, model, stride,
+                                          max_words)):
             for iy, ix in np.argwhere(dmap.scores > self.score_threshold):
                 y, x = dmap.window_origin(int(iy), int(ix))
                 raw.append(Detection(y * factor, x * factor, window * factor,

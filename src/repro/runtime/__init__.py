@@ -14,7 +14,8 @@ the recall/latency contract.  See ``docs/runtime.md``.
 from .chaos import ChaosInjector, ChaosScenario, poison_frame, run_chaos
 from .checkpoint import (load_runtime_state, restore_runtime, runtime_state,
                          save_runtime)
-from .ladder import DeadlineScheduler, DegradationLadder, Rung, default_ladder
+from .ladder import (DeadlineScheduler, DegradationLadder, Rung,
+                     cascade_ladder, default_ladder)
 from .quarantine import InputQuarantine, PoisonFrameError
 from .serving import ResilientVideoDetector, ServeFrameResult
 from .watchdog import FrameCancelled, Watchdog
@@ -26,6 +27,7 @@ __all__ = [
     "DegradationLadder",
     "DeadlineScheduler",
     "default_ladder",
+    "cascade_ladder",
     "Watchdog",
     "FrameCancelled",
     "InputQuarantine",

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from ..core.hypervector import packed_words
 
 __all__ = ["Rung", "DegradationLadder", "DeadlineScheduler",
-           "default_ladder"]
+           "default_ladder", "cascade_ladder"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,13 @@ class Rung:
     keyframe_every:
         Detect every k-th frame and predict the rest from the tracker
         (1 = detect every frame).
+    word_budget:
+        Absolute model-word cap for classification (packed backend
+        only); takes precedence over ``prefix_fraction``.  The natural
+        unit for cascade-aware ladders: a rung's budget matches a
+        cascade stage's cumulative word count, so degrading one rung
+        sheds exactly one escalation stage
+        (:func:`cascade_ladder`).
     """
 
     name: str
@@ -66,6 +73,7 @@ class Rung:
     max_levels: int | None = None
     prefix_fraction: float = 1.0
     keyframe_every: int = 1
+    word_budget: int | None = None
 
     def __post_init__(self):
         if self.stride_scale < 1:
@@ -76,10 +84,14 @@ class Rung:
             raise ValueError("prefix_fraction must be in (0, 1]")
         if self.keyframe_every < 1:
             raise ValueError("keyframe_every must be at least 1")
+        if self.word_budget is not None and self.word_budget < 1:
+            raise ValueError("word_budget must be at least 1 or None")
 
     def prefix_words(self, dim):
         """Model words this rung scores against, for dimension ``dim``."""
         total = packed_words(dim)
+        if self.word_budget is not None:
+            return max(1, min(int(self.word_budget), total))
         if self.prefix_fraction >= 1.0:
             return total
         return max(1, int(round(self.prefix_fraction * total)))
@@ -107,6 +119,34 @@ def default_ladder(backend="packed"):
         Rung("coarser", stride_scale=3, max_levels=2),
         Rung("skip", stride_scale=3, max_levels=2, keyframe_every=3),
     ])
+
+
+def cascade_ladder(stage_words, max_levels=3, keyframe_every=3):
+    """A ladder whose truncation rungs reuse a cascade's word schedule.
+
+    Instead of forking the degradation planner for cascade-mode
+    detectors, the cascade's own stage budgets *become* the ladder's
+    word budgets: degrading one rung caps the escalation depth at the
+    next-narrower stage (``max_words`` through :meth:`repro.pipeline.
+    multiscale.PyramidDetector.detect`), so the serving path and the
+    cascade share one notion of "how many words this frame gets".
+    ``stage_words`` is the ascending cumulative schedule (e.g.
+    ``[s.words for s in scanner.stages]``); the widest stage is the
+    ``full`` rung, each narrower stage gets a ``cascade{w}`` rung, and
+    the narrowest also powers the final skip-and-predict rung.
+    """
+    words = sorted({int(w) for w in stage_words})
+    if not words or words[0] < 1:
+        raise ValueError(f"stage_words must be positive, got {stage_words}")
+    rungs = [Rung("full"),
+             Rung("coarse", stride_scale=2, max_levels=max_levels)]
+    for w in reversed(words[:-1]):
+        rungs.append(Rung(f"cascade{w}", stride_scale=2,
+                          max_levels=max_levels, word_budget=w))
+    rungs.append(Rung("skip", stride_scale=2,
+                      max_levels=max(1, max_levels - 1),
+                      word_budget=words[0], keyframe_every=keyframe_every))
+    return DegradationLadder(rungs)
 
 
 class DegradationLadder:

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..core.hypervector import packed_words
 from ..pipeline.multiscale import PyramidDetector, pyramid
 from ..pipeline.stream import FrameQueue, TemporalTracker, VideoStreamDetector
 from ..profiling import Profiler
@@ -234,9 +235,23 @@ class ResilientVideoDetector:
         self._check_cancel(cancel)
         stride = self.base.stride * rung.stride_scale \
             if rung.stride_scale > 1 else None
-        detections = self.pyramid.detect(
-            frame, levels=levels, stride=stride,
-            model=self._serving_model(rung), injector=self.injector)
+        if getattr(self.base, "cascade", None) is not None \
+                and self.backend == "packed":
+            # cascade-mode base: the rung's word budget caps the
+            # escalation depth instead of substituting a truncated model,
+            # so the cascade's staged rejection and the ladder's
+            # load-shedding compose (see repro.runtime.ladder.cascade_ladder)
+            words = rung.prefix_words(self.base.pipeline.dim)
+            max_words = words if words < packed_words(
+                self.base.pipeline.dim) else None
+            detections = self.pyramid.detect(
+                frame, levels=levels, stride=stride,
+                model=self.model_override, injector=self.injector,
+                max_words=max_words)
+        else:
+            detections = self.pyramid.detect(
+                frame, levels=levels, stride=stride,
+                model=self._serving_model(rung), injector=self.injector)
         return detections, levels, reuse
 
     def _process(self, frame, index, rung, meta, cancel):

@@ -306,3 +306,107 @@ class TestTruncatedClassModel:
         ref = PackedClassModel(raw).truncated(2)
         q = pack_bits(random_hypervector(256, 1, shape=(3,)))
         assert (view.distances(q) == ref.distances(q)).all()
+
+
+class TestPrefixMonotonicity:
+    """Prefix scores converge to the full-model scores as words grow.
+
+    The deterministic envelope: a word-prefix of ``n`` of ``D`` components
+    can move each class similarity by at most the mass of the unseen
+    suffix, so ``|sim_prefix - sim_full| <= 2 (D - n) / D`` at every
+    width - the concentration argument behind the cascade's early exit,
+    with the probabilistic bound replaced by its worst case.
+    """
+
+    @given(seed=seeds, dim=st.integers(min_value=65, max_value=600))
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_similarity_within_suffix_envelope(self, seed, dim):
+        model = PackedClassModel(random_hypervector(dim, seed, shape=(3,)))
+        q = pack_bits(random_hypervector(dim, seed + 1, shape=(4,)))
+        full = model.similarities(q)
+        for words in range(1, model.n_words + 1):
+            view = model.truncated(words)
+            n = view.dim
+            envelope = 2.0 * (dim - n) / dim + 1e-12
+            # prefix sim is over n of D components; compare on the full-D
+            # scale (sim = 1 - 2 d / D after rescaling by n / D)
+            prefix_full_scale = 1.0 - 2.0 * view.distances(q) / dim
+            suffix_gap = np.abs(prefix_full_scale - full)
+            assert (suffix_gap <= envelope).all()
+
+    @given(seed=seeds, dim=st.integers(min_value=65, max_value=600))
+    @settings(max_examples=25, deadline=None)
+    def test_gap_shrinks_to_zero_at_full_width(self, seed, dim):
+        model = PackedClassModel(random_hypervector(dim, seed, shape=(2,)))
+        q = pack_bits(random_hypervector(dim, seed + 2, shape=(3,)))
+        full = model.similarities(q)
+        worst = [
+            np.abs(1.0 - 2.0 * model.truncated(w).distances(q) / dim
+                   - full).max()
+            for w in range(1, model.n_words + 1)
+        ]
+        # the deterministic envelope shrinks with the unseen suffix, so
+        # the worst observed gap at each width must fit under it, and the
+        # final width is exact
+        assert worst[-1] == 0.0
+        for w, g in zip(range(1, model.n_words + 1), worst):
+            n = model.truncated(w).dim
+            assert g <= 2.0 * (dim - n) / dim + 1e-12
+
+    def test_prediction_stabilizes_once_margin_clears_envelope(self):
+        dim = 4096
+        model = PackedClassModel(random_hypervector(dim, 0, shape=(2,)))
+        q = model.packed[:1].copy()  # the face prototype itself
+        full_margin = 2.0  # sim 1 vs sim ~0
+        for words in range(1, model.n_words + 1):
+            n = model.truncated(words).dim
+            if full_margin > 4.0 * (dim - n) / dim:
+                # margin exceeds twice the per-class envelope: no wider
+                # prefix can flip the argmin
+                assert model.truncated(words).predict(q)[0] == 0
+
+
+class TestBlockDim:
+    def test_interior_blocks_are_word_sized(self):
+        from repro.core.packed import block_dim
+        assert block_dim(4096, 0, 4) == 256
+        assert block_dim(4096, 4, 16) == 768
+
+    def test_tail_block_counts_real_bits_only(self):
+        from repro.core.packed import block_dim
+        assert block_dim(100, 1, 2) == 36
+        assert block_dim(100, 0, 2) == 100
+
+    def test_bounds_validated(self):
+        from repro.core.packed import block_dim
+        for w0, w1 in [(-1, 2), (2, 2), (3, 1), (0, 99)]:
+            with pytest.raises(ValueError):
+                block_dim(128, w0, w1)
+
+
+class TestDistanceBlock:
+    @given(seed=seeds, dim=st.integers(min_value=65, max_value=400))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_sums_to_full_distance(self, seed, dim):
+        model = PackedClassModel(random_hypervector(dim, seed, shape=(3,)))
+        q = pack_bits(random_hypervector(dim, seed + 3, shape=(5,)))
+        full = model.distances(q)
+        rng = np.random.default_rng(seed)
+        w = model.n_words
+        cuts = sorted({0, w, *rng.integers(1, max(2, w), size=2).tolist()})
+        acc = sum(model.distance_block(q, a, b)
+                  for a, b in zip(cuts, cuts[1:]))
+        assert (acc == full).all()
+
+    def test_accepts_pre_sliced_queries(self):
+        model = PackedClassModel(random_hypervector(512, 0, shape=(2,)))
+        q = pack_bits(random_hypervector(512, 1, shape=(4,)))
+        whole = model.distance_block(q, 2, 5)
+        sliced = model.distance_block(q[:, 2:5], 2, 5)
+        assert (whole == sliced).all()
+
+    def test_single_word_prefix_matches_truncated(self):
+        model = PackedClassModel(random_hypervector(256, 0, shape=(2,)))
+        q = pack_bits(random_hypervector(256, 1, shape=(4,)))
+        assert (model.distance_block(q, 0, 1)
+                == model.truncated(1).distances(q)).all()

@@ -1,0 +1,135 @@
+"""Docs stay true: links resolve, code references exist, CLI is real.
+
+The documentation link-checker the CI runs on every push.  Three layers:
+
+* every intra-repo markdown link points at a file that exists;
+* every ``repro.x.y`` dotted reference and every ``*.py`` path reference
+  in the docs resolves to an importable object / a file in the tree;
+* every CLI invocation in a docs code block names a real subcommand and
+  only real flags, and every subcommand is documented in the README.
+"""
+
+import glob
+import importlib
+import re
+from argparse import _SubParsersAction
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO / "README.md", REPO / "DESIGN.md", REPO / "EXPERIMENTS.md",
+     REPO / "ROADMAP.md"] + list((REPO / "docs").glob("*.md")))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+DOTTED_RE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z_0-9]*)+)`")
+PYFILE_RE = re.compile(r"`([A-Za-z_0-9./-]+\.py)`")
+FENCE_RE = re.compile(r"```(?:bash|console|sh)\n(.*?)```", re.S)
+CLI_RE = re.compile(
+    r"(?:python -m repro|^[ \t]*repro)[ \t]+([a-z-]+)((?:[ \t]+\S+)*)",
+    re.M)
+
+
+def doc_ids(paths):
+    return [str(p.relative_to(REPO)) for p in paths]
+
+
+def subcommands():
+    """{name: subparser} from the real CLI parser."""
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, _SubParsersAction):
+            return dict(action.choices)
+    raise AssertionError("CLI parser has no subcommands")
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids(DOC_FILES))
+    def test_intra_repo_links_resolve(self, doc):
+        text = doc.read_text(encoding="utf-8")
+        broken = []
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#")[0]
+            if not path:
+                continue
+            if not (doc.parent / path).exists():
+                broken.append(target)
+        assert not broken, f"{doc.name}: broken links {broken}"
+
+
+class TestCodeReferences:
+    @staticmethod
+    def _resolve_dotted(ref):
+        """Import the longest module prefix, then walk attributes."""
+        parts = ref.split(".")
+        for cut in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:cut]))
+            except ImportError:
+                continue
+            try:
+                for attr in parts[cut:]:
+                    obj = getattr(obj, attr)
+            except AttributeError:
+                return False
+            return True
+        return False
+
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids(DOC_FILES))
+    def test_dotted_references_importable(self, doc):
+        text = doc.read_text(encoding="utf-8")
+        bad = [ref for ref in set(DOTTED_RE.findall(text))
+               if not self._resolve_dotted(ref)]
+        assert not bad, f"{doc.name}: unresolvable references {sorted(bad)}"
+
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids(DOC_FILES))
+    def test_python_file_references_exist(self, doc):
+        text = doc.read_text(encoding="utf-8")
+        missing = []
+        for ref in set(PYFILE_RE.findall(text)):
+            if "/" in ref:
+                candidates = [REPO / ref, REPO / "src" / ref,
+                              REPO / "src" / "repro" / ref]
+                if not any(c.exists() for c in candidates):
+                    missing.append(ref)
+            else:
+                pattern = str(REPO / "**" / ref)
+                if not glob.glob(pattern, recursive=True):
+                    missing.append(ref)
+        assert not missing, f"{doc.name}: missing files {sorted(missing)}"
+
+
+class TestCliReferences:
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=doc_ids(DOC_FILES))
+    def test_documented_commands_and_flags_exist(self, doc):
+        subs = subcommands()
+        text = doc.read_text(encoding="utf-8")
+        problems = []
+        for block in FENCE_RE.findall(text):
+            for cmd, rest in CLI_RE.findall(block):
+                if cmd not in subs:
+                    problems.append(f"unknown subcommand {cmd!r}")
+                    continue
+                known = set(subs[cmd]._option_string_actions)
+                for flag in re.findall(r"(--[a-z][a-z-]*)", rest):
+                    if flag not in known:
+                        problems.append(f"{cmd}: unknown flag {flag}")
+        assert not problems, f"{doc.name}: {problems}"
+
+    def test_readme_documents_every_subcommand(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        undocumented = [name for name in subcommands()
+                        if not re.search(rf"repro {name}\b", readme)]
+        assert not undocumented, \
+            f"README.md does not document: {undocumented}"
+
+    def test_docs_index_links_every_page(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        missing = [p.name for p in sorted((REPO / "docs").glob("*.md"))
+                   if f"docs/{p.name}" not in readme]
+        assert not missing, f"README.md docs index is missing: {missing}"
