@@ -32,6 +32,9 @@ Run as ``python -m repro <command>``:
     scheduler with the degradation ladder, watchdog recovery, input
     quarantine - optionally under an injected chaos scenario (stalls,
     poison frames, packed bit faults), with gated exit status for CI.
+    With ``--streams N`` the runtime serves a fleet of N concurrent
+    streams through one shared packed datapath with cross-stream window
+    batching and fleet-aware shedding.
 
 All data is synthetic and seeded, so every invocation is reproducible.
 """
@@ -206,6 +209,12 @@ def build_parser():
                        help="watchdog stall timeout in seconds (default: "
                             "4x the budget)")
     serve.add_argument("--queue-size", type=int, default=4)
+    serve.add_argument("--streams", type=int, default=1,
+                       help="number of concurrent streams; > 1 serves a "
+                            "fleet with cross-stream window batching")
+    serve.add_argument("--batch-window", type=float, default=0.002,
+                       help="fleet batch-gate wait in seconds (collects "
+                            "other streams' windows before one packed pass)")
     serve.add_argument("--chaos", action="store_true",
                        help="inject the standard chaos scenario: a soft "
                             "stall, a hard stall, poison frames, and "
@@ -581,6 +590,9 @@ def _cmd_serve(args, out):
         print(f"calibrated budget: {budget * 1e3:.1f} ms/frame "
               f"(3x clean median)", file=out)
     stall_timeout = args.stall_timeout or 4.0 * budget
+    if args.streams > 1:
+        return _serve_fleet(args, out, frames, truth, make_detector,
+                            budget, stall_timeout)
     made = []
 
     def make_runtime(ladder=None, budget_override=None, **kwargs):
@@ -669,6 +681,85 @@ def _cmd_serve(args, out):
     if report is not None and not report["passed"]:
         failed = [g for g, ok in report["gates"].items() if not ok]
         print(f"FAIL: chaos gates failed: {failed}", file=out)
+        return 1
+    return 0
+
+
+def _serve_fleet(args, out, frames, truth, make_detector, budget,
+                 stall_timeout):
+    """The ``serve --streams N`` path: fleet dispatcher + batch gate."""
+    import json
+    import os
+
+    from .runtime import ChaosScenario, FleetDispatcher, run_fleet_chaos
+
+    fleet = FleetDispatcher(
+        make_detector, budget=budget, max_streams=args.streams,
+        batch_window=args.batch_window, stall_timeout=stall_timeout,
+        queue_size=args.queue_size, policy="block")
+    names = [f"cam{i}" for i in range(args.streams)]
+    for i, name in enumerate(names):
+        fleet.add_stream(name, priority=float(i))
+    print(f"fleet: {args.streams} streams sharing one packed datapath "
+          f"(batch window {args.batch_window * 1e3:.1f} ms, budget "
+          f"{budget * 1e3:.1f} ms/frame)", file=out)
+
+    report = None
+    if args.chaos:
+        n = args.frames
+        stall = args.stall or 3.0 * stall_timeout
+        victim = names[0]
+        scenario = ChaosScenario(
+            "cli-fleet",
+            stalls={max(n // 3, 1): stall},
+            poison={max(n // 2, 2): "nan"},
+            fault_rate=args.fault_rate,
+            seed=args.seed)
+        print(f"fleet chaos: victim {victim} (soft stall "
+              f"@{max(n // 3, 1)}, poison @{max(n // 2, 2)}, fault rate "
+              f"{args.fault_rate}); {args.streams - 1} healthy streams "
+              f"must hold p95", file=out)
+        report = run_fleet_chaos(fleet, frames, [[t] for t in truth],
+                                 {victim: scenario},
+                                 p95_tolerance=args.p95_tolerance)
+        for name, s in report["streams"].items():
+            print(f"  {name:6s} {s['role']:7s}  {s['frames']:3d} frames  "
+                  f"proc p95 {s['proc_p95'] * 1e3:7.1f} ms  recall "
+                  f"{s['recall']:.3f}  watchdog "
+                  f"{s['watchdog']['cancels']}c/"
+                  f"{s['watchdog']['restarts']}r", file=out)
+        for gate, ok in report["gates"].items():
+            print(f"  gate {gate:20s} {'PASS' if ok else 'FAIL'}", file=out)
+    else:
+        fleet.start()
+        for i, frame in enumerate(frames):
+            for name in names:
+                fleet.submit(name, frame, meta={"frame": i})
+        fleet.stop()
+
+    stats = fleet.stats()
+    f = stats["fleet"]
+    print(f"fleet served {f['frames']} frames at {f['aggregate_fps']:.2f} "
+          f"aggregate fps; gate: {f['gate']['batches']} batches, "
+          f"{f['gate']['mean_requests']:.1f} scans/batch (max "
+          f"{f['gate']['max_bundles']} streams together)", file=out)
+    actions = f["scheduler"]["actions"]
+    if actions:
+        print(f"fleet scheduler actions: {actions}", file=out)
+    if args.profile:
+        print(f["profile_table"], file=out)
+    if args.output:
+        payload = report if report is not None else stats
+        directory = os.path.dirname(args.output)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=float)
+            fh.write("\n")
+        print(f"results written to {args.output}", file=out)
+    if report is not None and not report["passed"]:
+        failed = [g for g, ok in report["gates"].items() if not ok]
+        print(f"FAIL: fleet chaos gates failed: {failed}", file=out)
         return 1
     return 0
 

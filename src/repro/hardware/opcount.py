@@ -40,6 +40,7 @@ __all__ = [
     "hdc_infer_profile",
     "packed_infer_profile",
     "packed_assemble_profile",
+    "batched_stage_profile",
     "cascade_stage_profile",
     "cascade_scan_profile",
     "replica_vote_profile",
@@ -461,6 +462,28 @@ def cascade_stage_profile(window, dim, word_start, word_stop, n_classes=2,
          "mem_bytes": (n_classes + 1) * words * 8},
     )
     prof.label = f"cascade_stage(w{window},D{dim},[{w0},{w1}))"
+    return prof
+
+
+def batched_stage_profile(window, dim, word_start, word_stop, n_windows,
+                          n_classes=2, cell_size=8, n_bins=8):
+    """Cost of one *cross-stream batched* cascade stage over ``n_windows``.
+
+    The fleet batcher pools the live windows of many streams into one
+    majority + one block-Hamming call; the abstract op count is exactly
+    ``n_windows`` times the per-window :func:`cascade_stage_profile` -
+    batching changes constant factors (call overhead, cache locality),
+    never the operation count, which is how the profiler keeps batched
+    and solo runs comparable in the same table.
+    """
+    n = int(n_windows)
+    if n < 1:
+        raise ValueError(f"n_windows must be at least 1, got {n_windows}")
+    prof = cascade_stage_profile(window, dim, word_start, word_stop,
+                                 n_classes=n_classes, cell_size=cell_size,
+                                 n_bins=n_bins) * n
+    prof.label = (f"batched_stage(w{window},D{dim},"
+                  f"[{int(word_start)},{int(word_stop)})x{n})")
     return prof
 
 

@@ -1,6 +1,7 @@
 """End-to-end pipelines: HDFace, baselines and the sliding-window detector."""
 
 from .baselines import HOGPipeline
+from .batcher import CrossStreamBatcher, ScanRequest
 from .cascade import (CascadeCalibration, CascadeCalibrator, CascadeScanner,
                       CascadeStage, default_word_schedule, hoeffding_threshold)
 from .detector import DetectionMap, SlidingWindowDetector, make_scene
@@ -33,4 +34,6 @@ __all__ = [
     "FrameQueue",
     "QueueClosedError",
     "StreamFrameResult",
+    "CrossStreamBatcher",
+    "ScanRequest",
 ]

@@ -426,6 +426,44 @@ class CascadeScanner:
         eff.append(CascadeStage(cap, 0.0))
         return eff
 
+    def seed_indices(self, n_wy, n_wx):
+        """Flat indices of the coarse seed grid; None = scan every window.
+
+        The window-axis plan of one scan, shared verbatim by the
+        cross-stream batcher so batched and solo scans visit identical
+        window sets.  Every ``seed_factor``-th row/column plus the last
+        of each, so the grid borders are always probed.
+        """
+        r = self.seed_factor
+        if r <= 1 or (n_wy <= r and n_wx <= r):
+            return None
+        sy = np.unique(np.append(np.arange(0, n_wy, r), n_wy - 1))
+        sx = np.unique(np.append(np.arange(0, n_wx, r), n_wx - 1))
+        return (sy[:, None] * n_wx + sx[None, :]).ravel()
+
+    def refine_indices(self, scores, seed_idx, n_wy, n_wx):
+        """Unvisited neighbors of promising seeds, due for the dense pass.
+
+        A seed scoring above ``-refine_band`` opens its ``seed_factor -
+        1``-neighborhood (clipped to the grid); positions already seeded
+        are excluded.  Deterministic in ``scores``, so the batcher's
+        refine sets match the solo scanner's exactly.
+        """
+        r = self.seed_factor
+        visited = np.zeros(n_wy * n_wx, dtype=bool)
+        visited[seed_idx] = True
+        promising = seed_idx[scores[seed_idx] > -self.refine_band]
+        if not promising.size:
+            return np.empty(0, dtype=np.int64)
+        neigh = np.zeros((n_wy, n_wx), dtype=bool)
+        py, px = promising // n_wx, promising % n_wx
+        for dy in range(-(r - 1), r):
+            for dx in range(-(r - 1), r):
+                ny = np.clip(py + dy, 0, n_wy - 1)
+                nx = np.clip(px + dx, 0, n_wx - 1)
+                neigh[ny, nx] = True
+        return np.flatnonzero(neigh.ravel() & ~visited)
+
     def scan(self, scene, injector=None, model=None, stride=None,
              max_words=None):
         """Cascade-classify the window grid; returns a
@@ -458,38 +496,24 @@ class CascadeScanner:
                             for s in stages],
                  "windows": n_wy * n_wx, "seeded": 0, "refined": 0,
                  "skipped": 0, "seed_factor": self.seed_factor}
-        r = self.seed_factor
-        if r <= 1 or (n_wy <= r and n_wx <= r):
+        seed_idx = self.seed_indices(n_wy, n_wx)
+        if seed_idx is None:
             idx = np.arange(n_wy * n_wx)
             scores[idx] = self._cascade_pass(
                 scene, origins, idx, model, injector, stages, stats)
             stats["seeded"] = idx.size
         else:
-            sy = np.unique(np.append(np.arange(0, n_wy, r), n_wy - 1))
-            sx = np.unique(np.append(np.arange(0, n_wx, r), n_wx - 1))
-            seed_idx = (sy[:, None] * n_wx + sx[None, :]).ravel()
             scores[seed_idx] = self._cascade_pass(
                 scene, origins, seed_idx, model, injector, stages, stats)
             stats["seeded"] = seed_idx.size
-            visited = np.zeros(n_wy * n_wx, dtype=bool)
-            visited[seed_idx] = True
-            promising = seed_idx[scores[seed_idx] > -self.refine_band]
-            if promising.size:
-                neigh = np.zeros((n_wy, n_wx), dtype=bool)
-                py, px = promising // n_wx, promising % n_wx
-                for dy in range(-(r - 1), r):
-                    for dx in range(-(r - 1), r):
-                        ny = np.clip(py + dy, 0, n_wy - 1)
-                        nx = np.clip(px + dx, 0, n_wx - 1)
-                        neigh[ny, nx] = True
-                refine_idx = np.flatnonzero(neigh.ravel() & ~visited)
-                if refine_idx.size:
-                    scores[refine_idx] = self._cascade_pass(
-                        scene, origins, refine_idx, model, injector, stages,
-                        stats)
-                    visited[refine_idx] = True
-                stats["refined"] = int(refine_idx.size)
-            stats["skipped"] = int((~visited).sum())
+            refine_idx = self.refine_indices(scores, seed_idx, n_wy, n_wx)
+            if refine_idx.size:
+                scores[refine_idx] = self._cascade_pass(
+                    scene, origins, refine_idx, model, injector, stages,
+                    stats)
+            stats["refined"] = int(refine_idx.size)
+            stats["skipped"] = int(
+                n_wy * n_wx - seed_idx.size - refine_idx.size)
         scores = scores.reshape(n_wy, n_wx)
         used = int(stride) if stride else det.stride
         self.last_stats = stats

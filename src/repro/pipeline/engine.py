@@ -275,6 +275,7 @@ class SharedFeatureEngine:
         self.scrub = bool(scrub)
         self._cache = OrderedDict()
         self._lock = threading.RLock()
+        self._inflight = {}
         self._packed_keys = {}
         self.hits = 0
         self.misses = 0
@@ -300,40 +301,59 @@ class SharedFeatureEngine:
         """Cached fields for ``scene``, extracting (and evicting) as needed.
 
         Thread-safe: the dict and counters are touched under the lock, the
-        slow extraction runs outside it.  If two threads race on the same
-        uncached scene both extract (the keyed noise makes their results
-        bitwise identical) and the first insert wins.
+        slow extraction runs outside it.  Extraction is *single-flight*:
+        when several threads miss on the same uncached scene (the fleet
+        regime - N lockstepped streams serving the same content), one
+        claims the key in ``_inflight`` and extracts while the rest wait
+        on its marker and then serve the cached result, instead of all
+        redundantly extracting.  (The keyed noise would make the
+        redundant results bitwise identical - the stampede costs time,
+        never correctness.)
         """
         key = scene_key(scene)
-        with self._lock:
-            entry = self._cache.get(key)
-            if entry is not None and self.scrub:
-                self.scrub_checks += 1
-                if _fields_digest(entry.fields) != entry.fields_digest:
-                    # corrupt cached fields: recompute instead of serving
-                    self.scrub_mismatches += 1
-                    del self._cache[key]
-                    entry = None
-            if entry is not None:
-                self.hits += 1
-                self._cache.move_to_end(key)
+        while True:
+            with self._lock:
+                entry = self._cache.get(key)
+                if entry is not None and self.scrub:
+                    self.scrub_checks += 1
+                    if _fields_digest(entry.fields) != entry.fields_digest:
+                        # corrupt cached fields: recompute, don't serve
+                        self.scrub_mismatches += 1
+                        del self._cache[key]
+                        entry = None
+                if entry is not None:
+                    self.hits += 1
+                    self._cache.move_to_end(key)
+                    return entry
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+                    self.misses += 1
+                    break
+            # another thread is extracting this exact scene: wait for its
+            # insert, then loop (a re-miss - eviction, scrub - re-claims)
+            waiter.wait()
+        try:
+            fields = self._extract_fields(scene)
+            if self.backend == "packed":
+                fields = _PackedFields(fields, self.extractor.dim)
+            digest = _fields_digest(fields) if self.scrub else None
+            with self._lock:
+                entry = self._cache.get(key)
+                if entry is None:
+                    entry = _CacheEntry(fields, digest)
+                    self._cache[key] = entry
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+                        self.evictions += 1
+                else:
+                    self._cache.move_to_end(key)
                 return entry
-            self.misses += 1
-        fields = self._extract_fields(scene)
-        if self.backend == "packed":
-            fields = _PackedFields(fields, self.extractor.dim)
-        digest = _fields_digest(fields) if self.scrub else None
-        with self._lock:
-            entry = self._cache.get(key)
-            if entry is None:
-                entry = _CacheEntry(fields, digest)
-                self._cache[key] = entry
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
-                    self.evictions += 1
-            else:
-                self._cache.move_to_end(key)
-            return entry
+        finally:
+            with self._lock:
+                waiter = self._inflight.pop(key, None)
+            if waiter is not None:
+                waiter.set()
 
     def _extract_fields(self, scene, injector=None):
         ext = self.extractor
@@ -603,58 +623,75 @@ class SharedFeatureEngine:
             self.delta_updates += 1
             self.delta_pixels += new.size
         new_key = scene_key(new)
-        with self._lock:
-            if new_key in self._cache:
-                # unchanged frame (or already-seen content): nothing to do
-                self._cache.move_to_end(new_key)
-                self.hits += 1
-                self.delta_reused += 1
-                stats["mode"] = "reused"
-                return stats
-            entry = self._cache.get(scene_key(prev))
-        rect = None if entry is None else self._dirty_rect(prev, new)
-        if rect is not None:
-            y0, y1, x0, x1, n_changed = rect
-            stats["dirty_pixels"] = n_changed
-            stats["dirty_rect"] = (y0, y1, x0, x1)
+        # single-flight per target frame: lockstepped streams all diffing
+        # toward the same content (the fleet regime) patch once - the
+        # claimer computes, the rest wait and then take the "reused" hit
+        token = ("delta", new_key)
+        while True:
             with self._lock:
-                self.delta_dirty_pixels += n_changed
-        if rect is None or \
-                (y1 - y0) * (x1 - x0) >= full_fraction * new.size:
-            # cold start (no cached base) or near-whole-frame change: the
-            # plain extraction path is at least as good as patching
-            if entry is not None and not keep_prev:
+                if new_key in self._cache:
+                    # unchanged frame (or already-seen content): no work
+                    self._cache.move_to_end(new_key)
+                    self.hits += 1
+                    self.delta_reused += 1
+                    stats["mode"] = "reused"
+                    return stats
+                waiter = self._inflight.get(token)
+                if waiter is None:
+                    self._inflight[token] = threading.Event()
+                    break
+            waiter.wait()
+        try:
+            with self._lock:
+                entry = self._cache.get(scene_key(prev))
+            rect = None if entry is None else self._dirty_rect(prev, new)
+            if rect is not None:
+                y0, y1, x0, x1, n_changed = rect
+                stats["dirty_pixels"] = n_changed
+                stats["dirty_rect"] = (y0, y1, x0, x1)
+                with self._lock:
+                    self.delta_dirty_pixels += n_changed
+            if rect is None or \
+                    (y1 - y0) * (x1 - x0) >= full_fraction * new.size:
+                # cold start (no cached base) or near-whole-frame change:
+                # the plain extraction path beats patching
+                if entry is not None and not keep_prev:
+                    with self._lock:
+                        self._cache.pop(scene_key(prev), None)
+                self._entry(new)
+                with self._lock:
+                    self.delta_full += 1
+                stats["mode"] = "full"
+                return stats
+            if keep_prev:
+                entry = self._clone_entry(entry)
+            else:
                 with self._lock:
                     self._cache.pop(scene_key(prev), None)
-            self._entry(new)
+            mag, bins = self._region_fields(new, y0, y1, x0, x1)
+            fields = entry.fields
+            if isinstance(fields, _PackedFields):
+                fields.mag_packed[y0:y1, x0:x1] = pack_bits(mag)
+            else:
+                fields.mag[y0:y1, x0:x1] = mag
+            fields.bins[y0:y1, x0:x1] = bins
+            stats["cells"], stats["dirty_cells"] = \
+                self._patch_grids(entry, y0, y1, x0, x1)
+            if self.scrub:
+                entry.fields_digest = _fields_digest(fields)
             with self._lock:
-                self.delta_full += 1
-            stats["mode"] = "full"
+                self._cache.setdefault(new_key, entry)
+                self._cache.move_to_end(new_key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+                    self.evictions += 1
+                self.delta_patched += 1
             return stats
-        if keep_prev:
-            entry = self._clone_entry(entry)
-        else:
+        finally:
             with self._lock:
-                self._cache.pop(scene_key(prev), None)
-        mag, bins = self._region_fields(new, y0, y1, x0, x1)
-        fields = entry.fields
-        if isinstance(fields, _PackedFields):
-            fields.mag_packed[y0:y1, x0:x1] = pack_bits(mag)
-        else:
-            fields.mag[y0:y1, x0:x1] = mag
-        fields.bins[y0:y1, x0:x1] = bins
-        stats["cells"], stats["dirty_cells"] = \
-            self._patch_grids(entry, y0, y1, x0, x1)
-        if self.scrub:
-            entry.fields_digest = _fields_digest(fields)
-        with self._lock:
-            self._cache.setdefault(new_key, entry)
-            self._cache.move_to_end(new_key)
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-                self.evictions += 1
-            self.delta_patched += 1
-        return stats
+                waiter = self._inflight.pop(token, None)
+            if waiter is not None:
+                waiter.set()
 
     # ------------------------------------------------------------------
     # window queries
@@ -783,8 +820,13 @@ class SharedFeatureEngine:
         return self._queries(scene, origins, window, injector, (w0, w1),
                              anchors)
 
-    def _queries(self, scene, origins, window, injector, word_range,
-                 anchors=None):
+    def _prepare(self, scene, origins, window, injector, anchors=None):
+        """Validate inputs and resolve the cell grid one assembly needs.
+
+        Returns ``(grid, origins, ys, xs, n)``: the cached (or injector-
+        fresh) cell grid at the anchor union plus the normalized origins.
+        Shared by the query assembly paths and :meth:`window_gather`.
+        """
         window = int(window)
         scene = validate_scene(scene)
         origins = [(int(y), int(x)) for y, x in origins]
@@ -804,10 +846,52 @@ class SharedFeatureEngine:
             ys, xs = (np.asarray(a, dtype=np.int64) for a in anchors)
             n = window // self.extractor.cell_size
         grid = self._grid(fields, grids, ys, xs, digests)
+        return grid, origins, ys, xs, n
+
+    def _queries(self, scene, origins, window, injector, word_range,
+                 anchors=None):
+        grid, origins, ys, xs, n = self._prepare(scene, origins, window,
+                                                 injector, anchors)
         if self.backend == "packed":
             return self._assemble_packed(grid, origins, ys, xs, n, injector,
                                          word_range)
         return self._assemble_dense(grid, origins, ys, xs, n, injector)
+
+    def window_gather(self, scene, origins, window, word_start=None,
+                      word_stop=None, injector=None, anchors=None):
+        """Bound-but-unbundled packed window features (the batching primitive).
+
+        Returns ``(flat, valid)``: ``flat`` is uint64 ``(n_windows,
+        n_features, words)`` - every window's packed cell words already
+        XNOR-bound to the positional keys - and ``valid`` is the per-
+        feature non-empty-bin mask.  This is exactly the input
+        :func:`~repro.core.packed.packed_majority` bundles into queries,
+        exposed separately so a cross-stream batcher can *concatenate*
+        the gathers of many scenes and run one majority + one XOR+popcount
+        classification over all of them.  Because the majority votes each
+        window row independently, the batched results are bitwise
+        identical to per-scene :meth:`window_queries` /
+        :meth:`window_queries_prefix` calls.
+
+        ``word_start`` / ``word_stop`` restrict the gather to a word
+        block (both None = full width); ``anchors`` substitutes a
+        precomputed cell-anchor union as in
+        :meth:`window_queries_prefix`.
+        """
+        if self.backend != "packed":
+            raise ValueError(
+                "window_gather requires backend='packed'; the dense backend "
+                "has no concatenation-safe batched path")
+        dim = self.extractor.dim
+        w0 = 0 if word_start is None else int(word_start)
+        w1 = packed_words(dim) if word_stop is None else int(word_stop)
+        block_dim(dim, w0, w1)  # validates the range
+        grid, origins, ys, xs, n = self._prepare(scene, origins, window,
+                                                 injector, anchors)
+        with self.profiler.stage("gather"):
+            flat, valid = self._gather_packed(grid, origins, ys, xs, n,
+                                              injector, w0, w1)
+        return flat, valid
 
     def _assemble_dense(self, grid, origins, ys, xs, n, injector):
         """Float reference assembly: slice, bind, weight, accumulate."""
@@ -854,21 +938,9 @@ class SharedFeatureEngine:
             w0, w1 = word_range
             bdim, stage = block_dim(dim, w0, w1), "assemble_prefix"
         c = ext.cell_size
-        offsets = c * np.arange(n, dtype=np.int64)
-        oy = np.asarray([y for y, _ in origins], dtype=np.int64)
-        ox = np.asarray([x for _, x in origins], dtype=np.int64)
         with self.profiler.stage(stage):
-            ri = np.searchsorted(ys, oy[:, None] + offsets[None, :])
-            ci = np.searchsorted(xs, ox[:, None] + offsets[None, :])
-            cells = grid.packed[ri[:, :, None], ci[:, None, :], :, w0:w1]
-            counts = grid.counts[ri[:, :, None], ci[:, None, :]]
-            if injector is not None:
-                cells = injector(cells, "histogram")
-            keys = self._window_keys_packed(n)[..., w0:w1]
-            bound = ~np.bitwise_xor(cells, keys[None])
-            n_feat = n * n * ext.n_bins
-            flat = bound.reshape(len(origins), n_feat, w1 - w0)
-            valid = (counts > 0).reshape(len(origins), n_feat)
+            flat, valid = self._gather_packed(grid, origins, ys, xs, n,
+                                              injector, w0, w1)
             queries = packed_majority(flat, bdim, valid=valid)
         self.profiler.add_profile(
             stage,
@@ -882,3 +954,31 @@ class SharedFeatureEngine:
                 self.prefix_windows += len(origins)
                 self.prefix_words += (w1 - w0) * len(origins)
         return queries
+
+    def _gather_packed(self, grid, origins, ys, xs, n, injector, w0, w1):
+        """Gather and XNOR-bind the packed cells for ``origins``.
+
+        Returns ``(flat, valid)`` ready for
+        :func:`~repro.core.packed.packed_majority`: ``flat`` is uint64
+        ``(n_windows, n_features, w1 - w0)``, ``valid`` the non-empty-bin
+        mask.  Window rows are independent, so gathers from different
+        scenes may be concatenated before one shared majority - the
+        invariant the cross-stream batcher builds on.
+        """
+        ext = self.extractor
+        c = ext.cell_size
+        offsets = c * np.arange(n, dtype=np.int64)
+        oy = np.asarray([y for y, _ in origins], dtype=np.int64)
+        ox = np.asarray([x for _, x in origins], dtype=np.int64)
+        ri = np.searchsorted(ys, oy[:, None] + offsets[None, :])
+        ci = np.searchsorted(xs, ox[:, None] + offsets[None, :])
+        cells = grid.packed[ri[:, :, None], ci[:, None, :], :, w0:w1]
+        counts = grid.counts[ri[:, :, None], ci[:, None, :]]
+        if injector is not None:
+            cells = injector(cells, "histogram")
+        keys = self._window_keys_packed(n)[..., w0:w1]
+        bound = ~np.bitwise_xor(cells, keys[None])
+        n_feat = n * n * ext.n_bins
+        flat = bound.reshape(len(origins), n_feat, w1 - w0)
+        valid = (counts > 0).reshape(len(origins), n_feat)
+        return flat, valid

@@ -193,10 +193,23 @@ class PyramidDetector:
                 raise ValueError(
                     f"max_levels must be at least 1, got {max_levels}")
             levels = levels[: int(max_levels)]
+        return self.collect(levels, self._scan_levels(levels, injector, model,
+                                                      stride, max_words))
+
+    def collect(self, levels, maps):
+        """Threshold + NMS over precomputed per-level detection maps.
+
+        ``maps`` is one :class:`~repro.pipeline.detector.DetectionMap` per
+        ``(scaled_image, factor)`` pair in ``levels``, in level order -
+        exactly what :meth:`detect` produces internally.  Exposed so a
+        caller that scanned the levels elsewhere (the cross-stream
+        batcher, which pools windows from many streams into one packed
+        classification pass) can reuse the identical coordinate mapping
+        and suppression tail.
+        """
+        window = self.detector.window
         raw = []
-        for (level, factor), dmap in zip(
-                levels, self._scan_levels(levels, injector, model, stride,
-                                          max_words)):
+        for (level, factor), dmap in zip(levels, maps):
             for iy, ix in np.argwhere(dmap.scores > self.score_threshold):
                 y, x = dmap.window_origin(int(iy), int(ix))
                 raw.append(Detection(y * factor, x * factor, window * factor,

@@ -163,6 +163,39 @@ class Profiler:
         """Attribute an :class:`OperationProfile`'s counts to a stage."""
         self.add_ops(name, items=items, **profile.counts)
 
+    def merge(self, other):
+        """Fold another profiler's stats into this one; returns ``self``.
+
+        The fleet dispatcher's aggregation primitive: each worker runtime
+        keeps its own profiler (so per-stream percentiles stay honest),
+        and the fleet-level table is the merge of all of them.  Calls,
+        seconds, items and op counts add; the bounded sample windows
+        concatenate (oldest samples fall off the deque first, so the
+        merged percentiles describe the most recent work, like any single
+        profiler's do).  ``other`` is left untouched; merging a profiler
+        into itself is a no-op.
+        """
+        if other is self or not getattr(other, "enabled", False):
+            return self
+        with other._lock:
+            snapshot = [
+                (name, stat.calls, stat.seconds, stat.items,
+                 dict(stat.ops), list(stat.samples))
+                for name, stat in other.stats.items()
+            ]
+        if not self.enabled:
+            return self
+        with self._lock:
+            for name, calls, seconds, items, ops, samples in snapshot:
+                stat = self._get(name)
+                stat.calls += calls
+                stat.seconds += seconds
+                stat.items += items
+                for op, n in ops.items():
+                    stat.ops[op] = stat.ops.get(op, 0.0) + n
+                stat.samples.extend(samples)
+        return self
+
     # ------------------------------------------------------------------
     def total_seconds(self):
         """Wall-clock total across stages (stages are assumed disjoint)."""

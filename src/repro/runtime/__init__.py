@@ -11,11 +11,13 @@ and ships with a chaos harness that injects all of the above and gates on
 the recall/latency contract.  See ``docs/runtime.md``.
 """
 
-from .chaos import ChaosInjector, ChaosScenario, poison_frame, run_chaos
+from .chaos import (ChaosInjector, ChaosScenario, poison_frame, run_chaos,
+                    run_fleet_chaos)
 from .checkpoint import (load_runtime_state, restore_runtime, runtime_state,
                          save_runtime)
-from .ladder import (DeadlineScheduler, DegradationLadder, Rung,
-                     cascade_ladder, default_ladder)
+from .fleet import AdmissionError, BatchGate, FleetDispatcher
+from .ladder import (DeadlineScheduler, DegradationLadder, FleetScheduler,
+                     Rung, cascade_ladder, default_ladder)
 from .quarantine import InputQuarantine, PoisonFrameError
 from .serving import ResilientVideoDetector, ServeFrameResult
 from .watchdog import FrameCancelled, Watchdog
@@ -36,6 +38,11 @@ __all__ = [
     "ChaosInjector",
     "poison_frame",
     "run_chaos",
+    "run_fleet_chaos",
+    "FleetDispatcher",
+    "FleetScheduler",
+    "BatchGate",
+    "AdmissionError",
     "runtime_state",
     "load_runtime_state",
     "save_runtime",

@@ -40,7 +40,7 @@ from .ladder import DegradationLadder
 from .watchdog import FrameCancelled
 
 __all__ = ["ChaosScenario", "ChaosInjector", "poison_frame", "run_chaos",
-           "POISON_KINDS"]
+           "run_fleet_chaos", "POISON_KINDS"]
 
 #: Poison payloads the harness can forge (quarantine reason they trip).
 POISON_KINDS = ("nan", "inf", "constant", "shape", "ndim", "dtype")
@@ -342,4 +342,171 @@ def run_chaos(make_runtime, frames, truth, scenario, pace=0.0,
         "frames_unserved": unserved,
         "gates": gates,
         "passed": all(gates.values()),
+    }
+
+
+def _arm_stream(runtime, scenario, frames):
+    """Wire one stream's chaos scenario into its runtime (pre-start)."""
+    injector = ChaosInjector(scenario, runtime)
+    runtime.pre_frame = injector
+    if runtime.quarantine.expect_shape is None and frames:
+        runtime.quarantine.expect_shape = tuple(frames[0].shape)
+    if scenario.fault_rate > 0.0:
+        runtime.incidents.record("fault_injected", surface="datapath",
+                                 rate=scenario.fault_rate)
+    if scenario.model_fault_rate > 0.0:
+        clean_model = runtime.base.packed_model()
+        runtime.model_override = clean_model.corrupted(
+            scenario.model_fault_rate, seed_or_rng=scenario.seed)
+        runtime.incidents.record("fault_injected", surface="model",
+                                 rate=scenario.model_fault_rate)
+
+
+def run_fleet_chaos(fleet, frames, truth, scenarios, pace=0.0,
+                    p95_tolerance=1.5, min_recall=None, iou_match=0.25,
+                    stop_timeout=30.0):
+    """Drive a multi-stream fleet through per-stream chaos; gate isolation.
+
+    The fleet-level reliability contract is *blast-radius containment*:
+    when one stream stalls, goes poison, or gets a corrupted datapath,
+    the *other* streams - which share the engine, the batch gate and the
+    CPU - must keep serving inside their latency budgets.  The
+    single-stream harness (:func:`run_chaos`) already proves each stream
+    survives its own chaos; this one proves the streams survive *each
+    other's*.
+
+    Parameters
+    ----------
+    fleet:
+        An un-started :class:`~repro.runtime.fleet.FleetDispatcher` with
+        its streams already admitted.
+    frames, truth:
+        One clean frame sequence with per-frame ground-truth boxes;
+        every stream is fed the same sequence (chaos substitutions are
+        per stream), so per-stream results stay comparable.
+    scenarios:
+        ``{stream_name: ChaosScenario}`` for the victim streams; streams
+        absent from the mapping run clean and carry the healthy-stream
+        gates.  At least one healthy stream is required - a fleet where
+        everything is under attack has no isolation claim to check.
+    pace:
+        Producer sleep between frame *rounds* (each round submits one
+        frame to every stream).
+    p95_tolerance:
+        Gate: every healthy stream's served p95 processing latency must
+        stay within ``budget * p95_tolerance`` while the victims are
+        under chaos.
+    min_recall:
+        Optional absolute served-recall floor gated on healthy streams
+        (recall is always reported).
+    stop_timeout:
+        Drain deadline handed to ``fleet.stop``.
+
+    Returns a JSON-ready report with per-stream summaries, the fleet
+    rollup, per-gate verdicts and the overall ``"passed"``.
+    """
+    frames = [np.asarray(f) for f in frames]
+    truth_by_frame = {i: list(t) for i, t in enumerate(truth)}
+    scenarios = dict(scenarios)
+    names = list(fleet.streams)
+    unknown = set(scenarios) - set(names)
+    if unknown:
+        raise ValueError(f"scenarios name unadmitted streams: "
+                         f"{sorted(unknown)}")
+    healthy = [n for n in names if n not in scenarios]
+    if not healthy:
+        raise ValueError("fleet chaos needs at least one healthy stream "
+                         "to gate isolation on")
+
+    poison_keys = set()
+    for name, scenario in scenarios.items():
+        _arm_stream(fleet[name], scenario, frames)
+    for name in healthy:
+        if fleet[name].quarantine.expect_shape is None and frames:
+            fleet[name].quarantine.expect_shape = tuple(frames[0].shape)
+
+    fleet.start()
+    try:
+        for i, frame in enumerate(frames):
+            for name in names:
+                payload = frame
+                scenario = scenarios.get(name)
+                kind = scenario.poison.get(i) if scenario else None
+                if kind is not None:
+                    payload = poison_frame(kind, frame.shape)
+                    if kind in ("nan", "inf", "constant"):
+                        poison_keys.add(scene_key(
+                            np.asarray(payload, dtype=np.float64)))
+                fleet.submit(name, payload, meta={"frame": i})
+            if pace:
+                time.sleep(pace)
+    finally:
+        fleet.stop(timeout=stop_timeout)
+
+    report_streams = {}
+    per_gate = {"no_crashes": True, "stalls_recovered": True,
+                "poison_quarantined": True, "healthy_p95": True}
+    if min_recall is not None:
+        per_gate["healthy_recall"] = True
+    for name in names:
+        runtime = fleet[name]
+        stats = runtime.stats()
+        scenario = scenarios.get(name)
+        served = {r.meta["frame"]: r for r in runtime.completed
+                  if r.meta and "frame" in r.meta}
+        recall, n_scored, unserved = _served_recall(served, truth_by_frame,
+                                                    iou_match)
+        budget = runtime.scheduler.budget
+        entry = {
+            "role": "victim" if scenario else "healthy",
+            "scenario": scenario.payload() if scenario else None,
+            "frames": stats["frames"],
+            "crashes": stats["crashes"],
+            "quarantined": stats["quarantined"],
+            "proc_p95": stats["proc_p95"],
+            "latency_p95": stats["latency_p95"],
+            "budget": budget,
+            "rung_name": stats["rung_name"],
+            "max_rung": stats["max_rung"],
+            "min_rung": runtime.scheduler.min_rung,
+            "watchdog": stats["watchdog"],
+            "recall": recall,
+            "frames_scored": n_scored,
+            "frames_unserved": unserved,
+        }
+        per_gate["no_crashes"] &= stats["crashes"] == 0
+        if scenario:
+            n_stalls = len(scenario.stalls) + len(scenario.hard_stalls)
+            wd = stats["watchdog"]
+            entry["stalls_recovered"] = \
+                wd["cancels"] + wd["restarts"] >= n_stalls
+            per_gate["stalls_recovered"] &= entry["stalls_recovered"]
+            entry["poison_quarantined"] = \
+                stats["quarantined"] == len(scenario.poison)
+            per_gate["poison_quarantined"] &= entry["poison_quarantined"]
+        else:
+            entry["p95_within_budget"] = \
+                stats["proc_p95"] <= budget * p95_tolerance
+            per_gate["healthy_p95"] &= entry["p95_within_budget"]
+            if min_recall is not None:
+                entry["recall_ok"] = recall >= min_recall
+                per_gate["healthy_recall"] &= entry["recall_ok"]
+        report_streams[name] = entry
+
+    engine = fleet.template.detector.engine
+    per_gate["poison_not_cached"] = not any(key in engine._cache
+                                            for key in poison_keys)
+    fleet_stats = fleet.stats()["fleet"]
+    return {
+        "n_frames": len(frames),
+        "pace": pace,
+        "p95_tolerance": p95_tolerance,
+        "min_recall": min_recall,
+        "healthy_streams": healthy,
+        "victim_streams": sorted(scenarios),
+        "streams": report_streams,
+        "fleet": {k: v for k, v in fleet_stats.items()
+                  if k != "profile_table"},
+        "gates": per_gate,
+        "passed": all(per_gate.values()),
     }

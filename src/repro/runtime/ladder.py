@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from ..core.hypervector import packed_words
 
 __all__ = ["Rung", "DegradationLadder", "DeadlineScheduler",
-           "default_ladder", "cascade_ladder"]
+           "FleetScheduler", "default_ladder", "cascade_ladder"]
 
 
 @dataclass(frozen=True)
@@ -220,6 +220,7 @@ class DeadlineScheduler:
         self.recover_after = int(recover_after)
         self.headroom = float(headroom)
         self.rung = 0
+        self.min_rung = 0
         self.over_run = 0
         self.under_run = 0
         self.deadline_misses = 0
@@ -249,7 +250,8 @@ class DeadlineScheduler:
         elif latency <= self.headroom * self.budget:
             self.under_run += 1
             self.over_run = 0
-            if self.under_run >= self.recover_after and self.rung > 0:
+            if self.under_run >= self.recover_after \
+                    and self.rung > self.min_rung:
                 old, self.rung = self.rung, self.rung - 1
                 self.ladder.record_transition(frame, old, self.rung)
                 self.under_run = 0
@@ -269,10 +271,153 @@ class DeadlineScheduler:
         self.under_run = 0
         return self.rung
 
+    def set_min_rung(self, index, frame=-1):
+        """Set a degradation *floor*: recovery never climbs above it.
+
+        The fleet scheduler's per-stream handle: raising a stream's floor
+        sheds its work even while its own latencies look healthy (they
+        would - the machine-wide overload shows up on *other* streams'
+        queues first), and lowering the floor lets the ordinary recovery
+        hysteresis climb back.  Raising the floor above the current rung
+        degrades immediately.
+        """
+        index = self.ladder.clamp(index)
+        self.min_rung = index
+        if self.rung < index:
+            old, self.rung = self.rung, index
+            self.ladder.record_transition(frame, old, self.rung)
+            self.over_run = 0
+            self.under_run = 0
+        return self.min_rung
+
     def stats(self):
         """Controller state snapshot for reports and checkpoints."""
         return {"budget": self.budget, "rung": self.rung,
                 "rung_name": self.current.name,
+                "min_rung": self.min_rung,
                 "deadline_misses": self.deadline_misses,
                 "over_run": self.over_run, "under_run": self.under_run,
                 "transitions": list(self.ladder.transitions)}
+
+
+class FleetScheduler:
+    """Fleet-wide shedding policy over many per-stream schedulers.
+
+    Each stream keeps its own :class:`DeadlineScheduler` (per-stream
+    latency feedback stays honest), but on one machine the streams share
+    CPU: when the *fleet* is behind, any stream's shed work frees cycles
+    for every other stream.  A uniform response (degrade everyone) sheds
+    far more quality than needed, so this controller degrades
+    *selectively*: under sustained pressure it raises the degradation
+    floor (:meth:`DeadlineScheduler.set_min_rung`) of the cheapest
+    stream first - lowest ``priority``, then least-behind, so the
+    latency-critical and already-struggling streams keep their quality -
+    and restores floors in the opposite order once the fleet is calm.
+
+    Parameters
+    ----------
+    priorities:
+        Optional ``{stream: float}``; higher = more important = shed
+        last, restored first.  Unlisted streams default to 0.
+    pressure_threshold:
+        Fraction of streams over budget that counts as fleet pressure.
+    degrade_after / recover_after:
+        Consecutive pressured / fully-calm ticks before one floor is
+        raised / lowered - the same asymmetric hysteresis as the
+        per-stream controller, one action per trigger so the fleet
+        sheds in measured steps.
+
+    Drive it with :meth:`tick` once per batching round (the
+    :class:`repro.runtime.fleet.FleetDispatcher` does this), feeding
+    each stream's recent latency-to-budget ratio.
+    """
+
+    def __init__(self, priorities=None, pressure_threshold=0.5,
+                 degrade_after=2, recover_after=6):
+        if not 0.0 < pressure_threshold <= 1.0:
+            raise ValueError("pressure_threshold must be in (0, 1]")
+        if degrade_after < 1 or recover_after < 1:
+            raise ValueError("degrade_after / recover_after must be >= 1")
+        self.schedulers = {}
+        self.priorities = dict(priorities or {})
+        self.pressure_threshold = float(pressure_threshold)
+        self.degrade_after = int(degrade_after)
+        self.recover_after = int(recover_after)
+        self.hot_run = 0
+        self.calm_run = 0
+        self.ticks = 0
+        self.actions = []
+
+    def register(self, name, scheduler, priority=None):
+        """Attach one stream's :class:`DeadlineScheduler`."""
+        self.schedulers[str(name)] = scheduler
+        if priority is not None:
+            self.priorities[str(name)] = float(priority)
+
+    def _rank(self, name, loads):
+        return (self.priorities.get(name, 0.0),
+                float(loads.get(name, 0.0)), name)
+
+    def tick(self, loads):
+        """Feed one round of per-stream load ratios (latency / budget).
+
+        Returns the action taken this tick (``{"action": "shed" |
+        "restore", "stream": ..., "min_rung": ...}``) or None.
+        """
+        self.ticks += 1
+        if not loads:
+            return None
+        over = sum(1 for r in loads.values() if float(r) > 1.0)
+        pressure = over / len(loads)
+        if pressure >= self.pressure_threshold:
+            self.hot_run += 1
+            self.calm_run = 0
+            if self.hot_run >= self.degrade_after:
+                self.hot_run = 0
+                return self._shed(loads)
+        elif over == 0:
+            self.calm_run += 1
+            self.hot_run = 0
+            if self.calm_run >= self.recover_after:
+                self.calm_run = 0
+                return self._restore(loads)
+        else:
+            # some streams behind but below fleet pressure: hold position
+            self.hot_run = 0
+            self.calm_run = 0
+        return None
+
+    def _shed(self, loads):
+        candidates = [n for n, s in self.schedulers.items()
+                      if s.min_rung < len(s.ladder) - 1]
+        if not candidates:
+            return None
+        name = min(candidates, key=lambda n: self._rank(n, loads))
+        sched = self.schedulers[name]
+        floor = sched.set_min_rung(sched.min_rung + 1, frame=-self.ticks)
+        action = {"tick": self.ticks, "action": "shed", "stream": name,
+                  "min_rung": int(floor)}
+        self.actions.append(action)
+        return action
+
+    def _restore(self, loads):
+        candidates = [n for n, s in self.schedulers.items()
+                      if s.min_rung > 0]
+        if not candidates:
+            return None
+        name = max(candidates, key=lambda n: self._rank(n, loads))
+        sched = self.schedulers[name]
+        floor = sched.set_min_rung(sched.min_rung - 1, frame=-self.ticks)
+        action = {"tick": self.ticks, "action": "restore", "stream": name,
+                  "min_rung": int(floor)}
+        self.actions.append(action)
+        return action
+
+    def stats(self):
+        """Controller snapshot: floors, runs, and the action log."""
+        return {"ticks": self.ticks, "hot_run": self.hot_run,
+                "calm_run": self.calm_run,
+                "pressure_threshold": self.pressure_threshold,
+                "floors": {n: int(s.min_rung)
+                           for n, s in self.schedulers.items()},
+                "actions": list(self.actions)}

@@ -157,6 +157,10 @@ class ResilientVideoDetector:
         self.pre_frame = None     # callable(index, frame, meta, cancel_event)
         self.injector = None      # stage injector forwarded to every scan
         self.model_override = None  # substitute class model (fault campaigns)
+        # fleet hook (see repro.runtime.fleet): callable(requests, cancel)
+        # returning one DetectionMap per request; when set, per-level scans
+        # go through the cross-stream batch gate (injector scans stay solo)
+        self.batch_scan = None
 
         self.completed = []
         self.frames_in = 0
@@ -244,14 +248,26 @@ class ResilientVideoDetector:
             words = rung.prefix_words(self.base.pipeline.dim)
             max_words = words if words < packed_words(
                 self.base.pipeline.dim) else None
-            detections = self.pyramid.detect(
-                frame, levels=levels, stride=stride,
-                model=self.model_override, injector=self.injector,
-                max_words=max_words)
+            model = self.model_override
+        else:
+            max_words = None
+            model = self._serving_model(rung)
+        if self.batch_scan is not None and self.injector is None:
+            # fleet path: hand the per-level scans to the cross-stream
+            # batch gate (which pools them with other streams' windows)
+            # and keep only the threshold+NMS tail local.  Bitwise the
+            # same detections as the direct pyramid call below.
+            from ..pipeline.batcher import ScanRequest
+            requests = [ScanRequest(level, stride=stride,
+                                    max_words=max_words, model=model)
+                        for level, _ in levels]
+            maps = self.batch_scan(requests, cancel)
+            self._check_cancel(cancel)
+            detections = self.pyramid.collect(levels, maps)
         else:
             detections = self.pyramid.detect(
-                frame, levels=levels, stride=stride,
-                model=self._serving_model(rung), injector=self.injector)
+                frame, levels=levels, stride=stride, model=model,
+                injector=self.injector, max_words=max_words)
         return detections, levels, reuse
 
     def _process(self, frame, index, rung, meta, cancel):

@@ -217,3 +217,25 @@ class TestProtectionProfiles:
         from repro.hardware.opcount import guarded_infer_profile
         with pytest.raises(ValueError):
             guarded_infer_profile(4096, 2, scrub_every=0)
+
+
+class TestBatchedStageProfile:
+    def test_is_n_windows_times_the_solo_stage(self):
+        from repro.hardware.opcount import (batched_stage_profile,
+                                            cascade_stage_profile)
+        solo = cascade_stage_profile(24, 1024, 0, 4)
+        batched = batched_stage_profile(24, 1024, 0, 4, n_windows=7)
+        for op, count in solo.counts.items():
+            assert batched.counts[op] == count * 7
+
+    def test_one_window_matches_solo_counts(self):
+        from repro.hardware.opcount import (batched_stage_profile,
+                                            cascade_stage_profile)
+        solo = cascade_stage_profile(24, 512, 4, 8)
+        batched = batched_stage_profile(24, 512, 4, 8, n_windows=1)
+        assert batched.counts == solo.counts
+
+    def test_rejects_empty_batch(self):
+        from repro.hardware.opcount import batched_stage_profile
+        with pytest.raises(ValueError):
+            batched_stage_profile(24, 512, 0, 4, n_windows=0)

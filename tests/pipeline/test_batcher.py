@@ -1,0 +1,191 @@
+"""Tests for the cross-stream window batcher (pipeline/batcher.py).
+
+The load-bearing property is bitwise equivalence: pooling many scenes'
+windows into one packed majority + one classify call must produce
+exactly the scores each scene's solo :meth:`SlidingWindowDetector.scan`
+would - on the flat path, the cascade path, under per-request stride /
+``max_words`` / model overrides, and with the dense / injector solo
+fallbacks mixed into the same batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.batcher import CrossStreamBatcher, ScanRequest
+from repro.pipeline.cascade import CascadeStage
+from repro.pipeline.detector import SlidingWindowDetector, make_scene
+from repro.pipeline.hdface import HDFacePipeline
+from repro.reliability.faults import DetectionFaultInjector
+
+DIM = 1024
+WINDOW = 24
+
+
+@pytest.fixture(scope="module")
+def face_pipe(face_data):
+    xtr, ytr, _, _ = face_data
+    return HDFacePipeline(2, dim=DIM, cell_size=8, magnitude="l1",
+                          epochs=10, seed_or_rng=0).fit(xtr, ytr)
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    out = []
+    for seed, size, faces in ((3, 64, [(6, 6)]), (4, 72, [(0, 0), (40, 30)]),
+                              (5, 56, [(20, 12)])):
+        scene, _ = make_scene(size, faces, window=WINDOW, seed_or_rng=seed)
+        out.append(scene)
+    return out
+
+
+def shared_detector(pipe, **kw):
+    return SlidingWindowDetector(pipe, window=WINDOW, stride=8,
+                                 backend="packed", **kw)
+
+
+def assert_maps_equal(got, want):
+    assert got.stride == want.stride and got.window == want.window
+    np.testing.assert_array_equal(got.scores, want.scores)
+    np.testing.assert_array_equal(got.detections, want.detections)
+
+
+class TestValidation:
+    def test_requires_shared_engine(self, face_pipe):
+        det = SlidingWindowDetector(face_pipe, window=WINDOW, stride=8,
+                                    backend="dense", engine="legacy")
+        with pytest.raises(ValueError):
+            CrossStreamBatcher(det)
+
+    def test_empty_batch(self, face_pipe):
+        batcher = CrossStreamBatcher(shared_detector(face_pipe))
+        assert batcher.scan_many([]) == []
+
+
+class TestFlatPath:
+    def test_batched_matches_solo_per_scene(self, face_pipe, scenes):
+        det = shared_detector(face_pipe)
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many([ScanRequest(s) for s in scenes])
+        assert batcher.last_stats["flat"] == len(scenes)
+        assert batcher.last_stats["solo"] == 0
+        assert batcher.last_stats["groups"] == 1
+        for got, scene in zip(maps, scenes):
+            assert_maps_equal(got, det.scan(scene))
+
+    def test_stride_override_per_request(self, face_pipe, scenes):
+        det = shared_detector(face_pipe)
+        batcher = CrossStreamBatcher(det)
+        strides = [6, 8, 12]
+        maps = batcher.scan_many([ScanRequest(s, stride=st)
+                                  for s, st in zip(scenes, strides)])
+        for got, scene, st in zip(maps, scenes, strides):
+            assert_maps_equal(got, det.scan(scene, stride=st))
+
+    def test_max_words_groups_and_matches(self, face_pipe, scenes):
+        det = shared_detector(face_pipe)
+        batcher = CrossStreamBatcher(det)
+        requests = [ScanRequest(scenes[0], max_words=4),
+                    ScanRequest(scenes[1], max_words=4),
+                    ScanRequest(scenes[2])]
+        maps = batcher.scan_many(requests)
+        # truncated and full-width requests classify under different
+        # models, so they must not share a group
+        assert batcher.last_stats["groups"] == 2
+        assert_maps_equal(maps[0], det.scan(scenes[0], max_words=4))
+        assert_maps_equal(maps[1], det.scan(scenes[1], max_words=4))
+        assert_maps_equal(maps[2], det.scan(scenes[2]))
+
+    def test_model_override_matches_solo(self, face_pipe, scenes):
+        det = shared_detector(face_pipe)
+        override = det.packed_model().corrupted(0.02, seed_or_rng=11)
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many(
+            [ScanRequest(s, model=override) for s in scenes[:2]])
+        for got, scene in zip(maps, scenes[:2]):
+            assert_maps_equal(got, det.scan(scene, model=override))
+
+    def test_mixed_models_keep_request_order(self, face_pipe, scenes):
+        det = shared_detector(face_pipe)
+        override = det.packed_model().corrupted(0.05, seed_or_rng=2)
+        requests = [ScanRequest(scenes[0]),
+                    ScanRequest(scenes[1], model=override),
+                    ScanRequest(scenes[2])]
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many(requests)
+        assert batcher.last_stats["groups"] == 2
+        assert_maps_equal(maps[0], det.scan(scenes[0]))
+        assert_maps_equal(maps[1], det.scan(scenes[1], model=override))
+        assert_maps_equal(maps[2], det.scan(scenes[2]))
+
+
+class TestSoloFallbacks:
+    def test_dense_backend_scans_solo(self, face_pipe, scenes):
+        det = SlidingWindowDetector(face_pipe, window=WINDOW, stride=8,
+                                    backend="dense")
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many([ScanRequest(s) for s in scenes])
+        assert batcher.last_stats["solo"] == len(scenes)
+        assert batcher.last_stats["groups"] == 0
+        for got, scene in zip(maps, scenes):
+            assert_maps_equal(got, det.scan(scene))
+
+    def test_injector_request_scans_solo(self, face_pipe, scenes):
+        det = shared_detector(face_pipe)
+        injector = DetectionFaultInjector(0.01, DIM, seed_or_rng=5)
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many([ScanRequest(scenes[0]),
+                                  ScanRequest(scenes[1], injector=injector)])
+        assert batcher.last_stats["solo"] == 1
+        assert batcher.last_stats["flat"] == 1
+        assert_maps_equal(maps[0], det.scan(scenes[0]))
+        # fault injection is stochastic, so only the shape is checked
+        want = det.scan(scenes[1])
+        assert maps[1].scores.shape == want.scores.shape
+
+
+class TestCascadePath:
+    def test_batched_cascade_matches_solo(self, face_pipe, scenes):
+        det = shared_detector(face_pipe, cascade=True)
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many([ScanRequest(s) for s in scenes])
+        assert batcher.last_stats["cascade"] == len(scenes)
+        for got, scene in zip(maps, scenes):
+            assert_maps_equal(got, det.scan(scene))
+
+    def test_batched_cascade_with_max_words(self, face_pipe, scenes):
+        det = shared_detector(face_pipe, cascade=True)
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many(
+            [ScanRequest(s, max_words=4) for s in scenes])
+        for got, scene in zip(maps, scenes):
+            assert_maps_equal(got, det.scan(scene, max_words=4))
+
+    def test_explicit_stages_exercise_rejection(self, face_pipe, scenes):
+        # an aggressive stage-0 threshold makes the prefix cascade
+        # actually reject windows, so survivor bookkeeping is exercised
+        stages = [CascadeStage(2, -0.35), CascadeStage(DIM // 64, 0.0)]
+        det = shared_detector(face_pipe, cascade={"stages": stages})
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many([ScanRequest(s) for s in scenes])
+        for got, scene in zip(maps, scenes):
+            assert_maps_equal(got, det.scan(scene))
+
+    def test_cascade_and_flat_mix(self, face_pipe, scenes):
+        det = shared_detector(face_pipe, cascade=True)
+        override = det.packed_model()  # has distance_block -> cascade route
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many([ScanRequest(scenes[0]),
+                                  ScanRequest(scenes[1], model=override)])
+        assert batcher.last_stats["cascade"] == 2
+        assert_maps_equal(maps[0], det.scan(scenes[0]))
+        assert_maps_equal(maps[1], det.scan(scenes[1], model=override))
+
+
+class TestStats:
+    def test_window_count_totals(self, face_pipe, scenes):
+        det = shared_detector(face_pipe)
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many([ScanRequest(s) for s in scenes])
+        total = sum(m.scores.size for m in maps)
+        assert batcher.last_stats["windows"] == total
+        assert batcher.last_stats["requests"] == len(scenes)

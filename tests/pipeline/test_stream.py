@@ -7,6 +7,8 @@ frame, on both backends, for any dirty region - empty, partial or the
 whole frame.
 """
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -318,6 +320,137 @@ class TestFrameQueueShutdown:
             t.join(timeout=5.0)
         assert all(not t.is_alive() for t in threads)
         assert sorted(got) == ["a", "b"]
+
+
+class TestFrameQueueHammer:
+    """Multi-producer stress: the fleet regime (N streams, one intake).
+
+    The contract under load: no frame is lost or duplicated (every item
+    is either consumed or its put observably failed), every producer
+    blocked across close raises :class:`QueueClosedError` exactly once,
+    and no thread is left wedged.
+    """
+
+    def test_many_producers_no_lost_or_duplicated_frames(self):
+        import threading
+        n_producers, per_producer = 6, 40
+        q = FrameQueue(maxsize=3, policy="block")
+        consumed = []
+
+        def produce(pid):
+            for i in range(per_producer):
+                assert q.put((pid, i), timeout=10.0)
+
+        def consume():
+            while True:
+                item = q.get(timeout=10.0)
+                if item is None:
+                    return
+                consumed.append(item)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        producers = [threading.Thread(target=produce, args=(p,))
+                     for p in range(n_producers)]
+        for t in producers:
+            t.start()
+        for t in producers:
+            t.join(timeout=30.0)
+        assert all(not t.is_alive() for t in producers)
+        q.close()
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive()
+        assert q.dropped == 0
+        # exactly-once delivery of every frame, per-producer order intact
+        assert len(consumed) == n_producers * per_producer
+        assert len(set(consumed)) == len(consumed)
+        for p in range(n_producers):
+            mine = [i for pid, i in consumed if pid == p]
+            assert mine == sorted(mine)
+
+    def test_close_under_load_fails_each_blocked_putter_once(self):
+        import threading
+        n_producers = 5
+        q = FrameQueue(maxsize=1, policy="block")
+        q.put("plug")                       # every producer blocks
+        started = threading.Barrier(n_producers + 1)
+        outcomes = []
+        lock = threading.Lock()
+
+        def produce(pid):
+            started.wait(timeout=10.0)
+            errors = 0
+            try:
+                ok = q.put(pid, timeout=10.0)
+            except QueueClosedError:
+                errors += 1
+                ok = None
+            with lock:
+                outcomes.append((pid, ok, errors))
+
+        producers = [threading.Thread(target=produce, args=(p,))
+                     for p in range(n_producers)]
+        for t in producers:
+            t.start()
+        started.wait(timeout=10.0)
+        time.sleep(0.1)                     # let every putter block
+        q.close()
+        for t in producers:
+            t.join(timeout=10.0)
+        assert all(not t.is_alive() for t in producers)
+        # every producer failed by exception, exactly once, no timeouts
+        assert sorted(p for p, _, _ in outcomes) == list(range(n_producers))
+        assert all(ok is None and errors == 1 for _, ok, errors in outcomes)
+        # the pre-close frame is still drainable, then end-of-stream
+        assert q.get(timeout=1.0) == "plug"
+        assert q.get(timeout=1.0) is None
+
+    def test_producers_and_consumers_race_close(self):
+        import threading
+        q = FrameQueue(maxsize=2, policy="block")
+        consumed, refused = [], []
+        lock = threading.Lock()
+
+        def produce(pid):
+            i = 0
+            while True:
+                try:
+                    if not q.put((pid, i), timeout=0.05):
+                        continue            # full: retry, frame not lost
+                except QueueClosedError:
+                    with lock:
+                        refused.append((pid, i))
+                    return
+                i += 1
+
+        def consume():
+            while True:
+                try:
+                    item = q.get(timeout=0.05)
+                except TimeoutError:
+                    continue
+                if item is None:
+                    return
+                with lock:
+                    consumed.append(item)
+
+        producers = [threading.Thread(target=produce, args=(p,))
+                     for p in range(4)]
+        consumers = [threading.Thread(target=consume) for _ in range(2)]
+        for t in producers + consumers:
+            t.start()
+        time.sleep(0.3)
+        q.close()
+        for t in producers + consumers:
+            t.join(timeout=10.0)
+        assert all(not t.is_alive() for t in producers + consumers)
+        # each producer stopped at its refused frame; everything it put
+        # before that was delivered downstream exactly once
+        assert len(refused) == 4
+        assert len(set(consumed)) == len(consumed)
+        for pid, stop in refused:
+            mine = sorted(i for p, i in consumed if p == pid)
+            assert mine == list(range(stop))
 
 
 @pytest.fixture(scope="module")

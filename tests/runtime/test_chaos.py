@@ -106,3 +106,54 @@ class TestRunChaos:
         assert report["deepest_rung_name"] == "full"
         assert report["recall_chaos"] == report["recall_clean"]
         assert report["recall_drop"] == 0.0
+
+
+class TestRunFleetChaos:
+    @pytest.fixture
+    def fleet(self, serve_pipe):
+        from repro.runtime import FleetDispatcher
+
+        fleet = FleetDispatcher(
+            lambda: make_detector(serve_pipe), budget=10.0, max_streams=4,
+            batch_window=0.01, stall_timeout=0.5, queue_size=8,
+            policy="block")
+        for name in ("cam0", "cam1", "cam2"):
+            fleet.add_stream(name)
+        return fleet
+
+    def test_victim_chaos_contained_and_report_json_safe(self, fleet, video):
+        from repro.runtime import run_fleet_chaos
+
+        frames, truth = video
+        scenario = ChaosScenario("victim", stalls={2: 2.0},
+                                 poison={4: "nan"})
+        report = run_fleet_chaos(fleet, frames, truth, {"cam0": scenario})
+        assert report["passed"], report["gates"]
+        assert report["victim_streams"] == ["cam0"]
+        assert sorted(report["healthy_streams"]) == ["cam1", "cam2"]
+        assert report["streams"]["cam0"]["role"] == "victim"
+        assert report["streams"]["cam0"]["stalls_recovered"]
+        assert report["streams"]["cam0"]["poison_quarantined"]
+        for name in ("cam1", "cam2"):
+            entry = report["streams"][name]
+            assert entry["role"] == "healthy"
+            assert entry["p95_within_budget"]
+            assert entry["frames"] == len(frames)
+        json.dumps(report)  # the whole report must be JSON-ready
+
+    def test_requires_a_healthy_stream(self, fleet, video):
+        from repro.runtime import run_fleet_chaos
+
+        frames, truth = video
+        scenarios = {n: ChaosScenario("all-out")
+                     for n in ("cam0", "cam1", "cam2")}
+        with pytest.raises(ValueError):
+            run_fleet_chaos(fleet, frames, truth, scenarios)
+
+    def test_unknown_victim_rejected(self, fleet, video):
+        from repro.runtime import run_fleet_chaos
+
+        frames, truth = video
+        with pytest.raises(ValueError):
+            run_fleet_chaos(fleet, frames, truth,
+                            {"nope": ChaosScenario("x")})

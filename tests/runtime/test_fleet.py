@@ -1,0 +1,268 @@
+"""Tests for fleet-scale multi-stream serving (runtime/fleet.py).
+
+The contract under test: the dispatcher admits streams inside its
+envelope and refuses the rest; the batch gate merges concurrent scan
+calls without changing a single score (fleet detections are bitwise the
+solo runtime's); the gate never wedges a waiter - errors re-raise in
+every participating stream and a watchdog cancel aborts a follower.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    AdmissionError,
+    BatchGate,
+    FleetDispatcher,
+    FrameCancelled,
+    ResilientVideoDetector,
+)
+
+from .conftest import make_detector
+
+
+class FakeBatcher:
+    """Stands in for CrossStreamBatcher: echoes requests, logs batches."""
+
+    def __init__(self, delay=0.0, fail=False):
+        self.delay = delay
+        self.fail = fail
+        self.batches = []
+
+    def scan_many(self, requests):
+        if self.delay:
+            time.sleep(self.delay)
+        if self.fail:
+            raise RuntimeError("batch exploded")
+        self.batches.append(len(requests))
+        return [("scanned", r) for r in requests]
+
+
+class TestBatchGate:
+    def test_single_caller_gets_its_results(self):
+        gate = BatchGate(FakeBatcher(), batch_window=0.0)
+        assert gate.scan(["a", "b"]) == [("scanned", "a"), ("scanned", "b")]
+        assert gate.stats()["batches"] == 1
+
+    def test_concurrent_callers_share_one_batch(self):
+        batcher = FakeBatcher(delay=0.01)
+        gate = BatchGate(batcher, batch_window=0.05)
+        results = {}
+
+        def worker(name):
+            results[name] = gate.scan([name])
+
+        threads = [threading.Thread(target=worker, args=(f"s{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert all(not t.is_alive() for t in threads)
+        for i in range(4):
+            assert results[f"s{i}"] == [("scanned", f"s{i}")]
+        stats = gate.stats()
+        # every request served, and at least one true multi-stream batch
+        assert stats["batched_requests"] == 4
+        assert stats["max_bundles"] >= 2
+
+    def test_batch_failure_raises_in_every_caller(self):
+        gate = BatchGate(FakeBatcher(fail=True), batch_window=0.02)
+        errors = []
+
+        def worker():
+            try:
+                gate.scan(["x"])
+            except RuntimeError as err:
+                errors.append(str(err))
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert errors == ["batch exploded"] * 3
+        assert gate.stats()["batches"] == 0
+
+    def test_cancelled_follower_aborts_without_wedging(self):
+        release = threading.Event()
+
+        class SlowBatcher(FakeBatcher):
+            def scan_many(self, requests):
+                release.wait(10.0)
+                return super().scan_many(requests)
+
+        gate = BatchGate(SlowBatcher(), batch_window=0.2, poll=0.01)
+        cancel = threading.Event()
+        outcome = {}
+
+        def leader():
+            outcome["leader"] = gate.scan(["lead"])
+
+        def follower():
+            try:
+                gate.scan(["follow"], cancel=cancel)
+            except FrameCancelled:
+                outcome["follower"] = "cancelled"
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        time.sleep(0.05)                    # join the leader's window
+        t2 = threading.Thread(target=follower)
+        t2.start()
+        time.sleep(0.05)
+        cancel.set()                        # watchdog fires on the follower
+        t2.join(timeout=5.0)
+        assert outcome.get("follower") == "cancelled"
+        release.set()                       # leader's batch completes
+        t1.join(timeout=5.0)
+        assert outcome["leader"] == [("scanned", "lead")]
+
+    def test_on_batch_callback_fires(self):
+        seen = []
+        gate = BatchGate(FakeBatcher(), batch_window=0.0,
+                         on_batch=lambda b, r: seen.append((b, r)))
+        gate.scan(["a", "b"])
+        assert seen == [(1, 2)]
+
+
+class TestAdmission:
+    def test_max_streams_enforced(self, serve_pipe):
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, max_streams=2,
+                                stall_timeout=None)
+        fleet.add_stream("a")
+        fleet.add_stream("b")
+        with pytest.raises(AdmissionError):
+            fleet.add_stream("c")
+
+    def test_capacity_fps_enforced(self, serve_pipe):
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, max_streams=8,
+                                capacity_fps=30.0, stall_timeout=None)
+        fleet.add_stream("a", fps=20.0)
+        with pytest.raises(AdmissionError):
+            fleet.add_stream("b", fps=15.0)
+        fleet.add_stream("c", fps=10.0)     # fits exactly
+
+    def test_duplicate_name_rejected(self, serve_pipe):
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, stall_timeout=None)
+        fleet.add_stream("a")
+        with pytest.raises(ValueError):
+            fleet.add_stream("a")
+
+    def test_requires_pyramid_with_shared_engine(self):
+        with pytest.raises(ValueError):
+            FleetDispatcher(lambda: object())
+
+
+class TestSharedDatapath:
+    def test_streams_share_detector_and_engine(self, serve_pipe):
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, stall_timeout=None)
+        a = fleet.add_stream("a")
+        b = fleet.add_stream("b")
+        assert a.base is b.base
+        assert a.base.engine is b.base.engine
+        assert a.pyramid is not b.pyramid   # per-stream wrapper
+
+    def test_engine_cache_grows_with_admissions(self, serve_pipe):
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, cache_per_stream=8,
+                                stall_timeout=None)
+        fleet.add_stream("a")
+        first = fleet.template.detector.engine.cache_size
+        fleet.add_stream("b")
+        assert fleet.template.detector.engine.cache_size >= first
+        assert fleet.template.detector.engine.cache_size >= 16
+
+
+class TestFleetVsSolo:
+    def test_fleet_detections_bitwise_equal_solo(self, serve_pipe, video):
+        frames, _ = video
+        solo = ResilientVideoDetector(make_detector(serve_pipe),
+                                      budget=10.0, stall_timeout=None)
+        want = [solo.step(f, meta={"i": i}) for i, f in enumerate(frames)]
+
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, max_streams=3,
+                                batch_window=0.01, stall_timeout=None,
+                                policy="block")
+        names = ["cam0", "cam1", "cam2"]
+        for name in names:
+            fleet.add_stream(name)
+        fleet.start()
+        for i, frame in enumerate(frames):
+            for name in names:
+                fleet.submit(name, frame, meta={"i": i})
+        results = fleet.stop()
+
+        for name in names:
+            got = results[name]
+            assert len(got) == len(want)
+            for g, w in zip(got, want):
+                assert g.mode == "detected" and w.mode == "detected"
+                assert g.detections == w.detections
+
+    def test_gate_actually_batches_across_streams(self, serve_pipe, video):
+        frames, _ = video
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, max_streams=3,
+                                batch_window=0.05, stall_timeout=None,
+                                policy="block")
+        for name in ("a", "b", "c"):
+            fleet.add_stream(name)
+        fleet.start()
+        for frame in frames[:4]:
+            for name in ("a", "b", "c"):
+                fleet.submit(name, frame)
+        fleet.stop()
+        assert fleet.gate.stats()["max_bundles"] >= 2
+
+    def test_batching_off_scans_solo(self, serve_pipe, video):
+        frames, _ = video
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, batching=False,
+                                stall_timeout=None)
+        rt = fleet.add_stream("a")
+        assert fleet.gate is None and rt.batch_scan is None
+        result = fleet.step("a", frames[0])
+        assert result.mode == "detected"
+
+
+class TestReporting:
+    def test_stats_rollup_and_merged_profile(self, serve_pipe, video):
+        frames, _ = video
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, stall_timeout=None)
+        for name in ("a", "b"):
+            fleet.add_stream(name)
+        for frame in frames[:3]:
+            fleet.step("a", frame)
+            fleet.step("b", frame)
+        stats = fleet.stats()
+        assert stats["fleet"]["streams"] == 2
+        assert stats["fleet"]["frames"] == 6
+        assert set(stats["streams"]) == {"a", "b"}
+        # the merged table covers both the shared datapath stages (fleet
+        # profiler) and the per-stream frame stages (stream profilers)
+        table = stats["fleet"]["profile_table"]
+        assert "frame_proc" in table
+        merged = fleet.merged_profiler()
+        assert merged.stats["frame_proc"].calls == 6
+
+    def test_scheduler_ticks_on_load(self, serve_pipe, video):
+        frames, _ = video
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, stall_timeout=None)
+        fleet.add_stream("a", priority=1.0)
+        fleet.step("a", frames[0])          # gate ticks once per batch
+        before = fleet.scheduler.ticks
+        assert before >= 1
+        assert fleet.tick() is None         # healthy: no action
+        assert fleet.scheduler.ticks == before + 1
+        assert fleet.scheduler.priorities["a"] == 1.0

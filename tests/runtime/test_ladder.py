@@ -135,3 +135,108 @@ class TestDeadlineScheduler:
         assert stats["rung_name"] == "full"
         assert stats["deadline_misses"] == 1
         assert stats["over_run"] == 1
+
+
+class TestMinRungFloor:
+    def _sched(self, **kwargs):
+        kwargs.setdefault("recover_after", 2)
+        return DeadlineScheduler(1.0, default_ladder(), **kwargs)
+
+    def test_raising_floor_degrades_immediately(self):
+        s = self._sched()
+        assert s.set_min_rung(2) == 2
+        assert s.rung == 2
+        assert s.ladder.transitions[-1]["to"] == s.ladder.rungs[2].name
+
+    def test_recovery_stops_at_the_floor(self):
+        s = self._sched()
+        s.set_min_rung(2)
+        for _ in range(50):
+            s.observe(0.01)
+        assert s.rung == 2                  # healthy, but floored
+        s.set_min_rung(0)
+        for _ in range(50):
+            s.observe(0.01)
+        assert s.rung == 0                  # floor lowered: climbs home
+
+    def test_floor_below_current_rung_is_passive(self):
+        s = self._sched()
+        s.set_rung(3)
+        before = len(s.ladder.transitions)
+        assert s.set_min_rung(1) == 1
+        assert s.rung == 3                  # no forced change
+        assert len(s.ladder.transitions) == before
+
+    def test_floor_clamps_and_reports(self):
+        s = self._sched()
+        assert s.set_min_rung(99) == len(s.ladder) - 1
+        assert s.stats()["min_rung"] == len(s.ladder) - 1
+
+
+class TestFleetScheduler:
+    def _fleet(self, names, **kwargs):
+        from repro.runtime import FleetScheduler
+        kwargs.setdefault("degrade_after", 2)
+        kwargs.setdefault("recover_after", 3)
+        fleet = FleetScheduler(**kwargs)
+        scheds = {}
+        for name in names:
+            scheds[name] = DeadlineScheduler(1.0, default_ladder())
+            fleet.register(name, scheds[name])
+        return fleet, scheds
+
+    def test_validation(self):
+        from repro.runtime import FleetScheduler
+        with pytest.raises(ValueError):
+            FleetScheduler(pressure_threshold=0.0)
+        with pytest.raises(ValueError):
+            FleetScheduler(degrade_after=0)
+
+    def test_sheds_lowest_priority_least_behind_first(self):
+        fleet, scheds = self._fleet(["a", "b", "c"])
+        fleet.priorities["c"] = 1.0         # most important: shed last
+        hot = {"a": 1.2, "b": 2.0, "c": 1.5}
+        assert fleet.tick(hot) is None      # hysteresis: not yet
+        action = fleet.tick(hot)
+        assert action == {"tick": 2, "action": "shed", "stream": "a",
+                          "min_rung": 1}
+        assert scheds["a"].min_rung == 1
+        assert scheds["b"].min_rung == 0 and scheds["c"].min_rung == 0
+
+    def test_restores_highest_rank_first_when_calm(self):
+        fleet, scheds = self._fleet(["a", "b"])
+        scheds["a"].set_min_rung(1)
+        scheds["b"].set_min_rung(1)
+        fleet.priorities["b"] = 1.0
+        calm = {"a": 0.2, "b": 0.2}
+        actions = [fleet.tick(calm) for _ in range(6)]
+        restored = [a for a in actions if a]
+        assert [a["stream"] for a in restored] == ["b", "a"]
+        assert scheds["a"].min_rung == 0 and scheds["b"].min_rung == 0
+
+    def test_mixed_load_resets_both_runs(self):
+        fleet, _ = self._fleet(["a", "b", "c"])
+        hot = {"a": 2.0, "b": 2.0, "c": 2.0}
+        fleet.tick(hot)
+        assert fleet.hot_run == 1
+        # one stream behind, below the 50% pressure threshold: hold
+        fleet.tick({"a": 2.0, "b": 0.5, "c": 0.5})
+        assert fleet.hot_run == 0 and fleet.calm_run == 0
+
+    def test_shed_saturates_at_ladder_bottom(self):
+        fleet, scheds = self._fleet(["a"], degrade_after=1)
+        bottom = len(scheds["a"].ladder) - 1
+        for _ in range(bottom + 5):
+            fleet.tick({"a": 3.0})
+        assert scheds["a"].min_rung == bottom
+        # every floor maxed: shed becomes a no-op, not an error
+        assert fleet.tick({"a": 3.0}) is None
+
+    def test_stats_snapshot(self):
+        fleet, scheds = self._fleet(["a", "b"], degrade_after=1)
+        fleet.tick({"a": 2.0, "b": 2.0})
+        stats = fleet.stats()
+        assert stats["ticks"] == 1
+        assert stats["floors"] == {"a": 1, "b": 0} or \
+            stats["floors"] == {"a": 0, "b": 1}
+        assert len(stats["actions"]) == 1

@@ -138,3 +138,46 @@ class TestOpcountBridge:
     def test_unknown_op_class_rejected(self):
         with pytest.raises(ValueError):
             profile_from_counts({"quantum_flops": 1.0})
+
+
+class TestProfilerMerge:
+    def test_counts_and_samples_add(self):
+        a, b = Profiler(), Profiler()
+        a.add_ops("x", items=2, bit=10)
+        a.record("frame", 0.1)
+        b.add_ops("x", items=3, bit=5, int_add=7)
+        b.record("frame", 0.3)
+        b.record("only_b", 0.2)
+        assert a.merge(b) is a
+        assert a.stats["x"].items == 5
+        assert a.stats["x"].ops == {"bit": 15.0, "int_add": 7.0}
+        assert a.stats["frame"].calls == 2
+        assert list(a.stats["frame"].samples) == [0.1, 0.3]
+        assert a.stats["only_b"].calls == 1
+
+    def test_other_profiler_untouched(self):
+        a, b = Profiler(), Profiler()
+        b.add_ops("x", items=1, bit=4)
+        a.merge(b)
+        a.add_ops("x", items=1, bit=1)
+        assert b.stats["x"].items == 1 and b.stats["x"].ops == {"bit": 4.0}
+
+    def test_self_and_null_merges_are_noops(self):
+        a = Profiler()
+        a.record("frame", 0.1)
+        assert a.merge(a) is a
+        assert a.stats["frame"].calls == 1
+        a.merge(NULL_PROFILER)
+        assert a.stats["frame"].calls == 1
+        assert NULL_PROFILER.merge(a) is NULL_PROFILER
+
+    def test_merged_percentiles_cover_both_windows(self):
+        a, b = Profiler(), Profiler()
+        for _ in range(4):
+            a.record("frame", 0.1)
+        for _ in range(4):
+            b.record("frame", 0.5)
+        a.merge(b)
+        pct = a.percentiles("frame")
+        assert pct["p50"] == pytest.approx(0.3)
+        assert pct["p95"] == pytest.approx(0.5, rel=0.1)
