@@ -1,0 +1,295 @@
+"""Online-adaptation benchmark: guarded continual learning under drift.
+
+The self-healing story of the online-learning stack, gated end to end:
+
+* **Drift gate** - a labeled drifting patch stream
+  (:func:`repro.datasets.drifting_face_patches`: fresh face identities
+  every step, shrinking to half the window and defocusing along a
+  monotone ramp) is classified by two copies of the same trained model.
+  The *frozen* copy's recall must decay along the ramp (the drift is
+  real); the *adaptive* copy - an
+  :class:`~repro.reliability.AdaptiveGuardedModel` fed its own confident
+  predictions through the same drift-gated snapshot/propose/rollback
+  discipline :class:`~repro.runtime.adapt.OnlineAdapter` uses in the
+  serving loop - must hold final-quarter recall at or above
+  ``ADAPTIVE_FLOOR`` while the frozen copy falls below
+  ``FROZEN_CEILING``.
+
+* **Specificity gate** - after riding the ramp, the adapted model must
+  still *reject* non-face clutter: self-training on confident positives
+  must not collapse the face class onto everything.
+
+* **Static-serving gate** - zero regression when nothing drifts: a
+  serving runtime with ``adapt=True`` run over a static-appearance
+  moving-face clip must propose nothing, leave the model rows bitwise
+  untouched, and serve detections identical to a frozen runtime's.
+
+The model is trained in the *binary query domain* (``fit_queries`` on
+the engine's packed window queries): the engine sign-quantizes per
+(cell, bin) before bundling, so a dense-trained classifier and the
+packed queries it serves against live in measurably different feature
+distributions - domain alignment is what gives the clean-stream margins
+the headroom the drift signal consumes.
+
+Results land in ``benchmarks/results/online_drift.{txt,json}``.
+"""
+
+import numpy as np
+import pytest
+
+from common import SCALE, fmt_row, write_json, write_report
+
+from repro.core.hypervector import as_rng, unpack_bits
+from repro.datasets import (
+    drifting_face_patches,
+    make_face_dataset,
+    moving_face_sequence,
+)
+from repro.datasets.faces import draw_nonface
+from repro.learning.online import OnlineUpdate
+from repro.pipeline import HDFacePipeline, PyramidDetector, SlidingWindowDetector
+from repro.reliability import AdaptiveGuardedModel
+from repro.runtime import ResilientVideoDetector
+from repro.runtime.adapt import DriftDetector
+from repro.runtime.checkpoint import load_model_state, model_state
+
+DIM = 2048 if SCALE == "smoke" else 4096
+WINDOW = 24
+STRIDE = 8
+TRAIN = 96 if SCALE == "smoke" else 160
+N_STEPS = 48 if SCALE == "smoke" else 64
+BATCH = 6 if SCALE == "smoke" else 8
+WARMUP = N_STEPS // 4          # undrifted steps before the ramp starts
+MIN_SCALE = 0.5                # the face shrinks to half the window ...
+MAX_BLUR = 1.5                 # ... and defocuses up to this sigma
+SCENE = 48
+N_FRAMES = 16 if SCALE == "smoke" else 32
+
+#: Guard / drift configuration under test.  Small ``max_planes`` gives
+#: the online counters fast exponential forgetting (old appearance
+#: decays as new appearance accumulates); ``max_step_frac`` bounds how
+#: far any single committed update may move a class row.
+GUARD = dict(prior=4, max_planes=5, max_step_frac=0.15)
+DRIFT = dict(window=6, warmup=6, drift_threshold=0.08, freeze_threshold=0.95)
+
+ADAPTIVE_FLOOR = 0.9     # final-quarter recall with guarded updates
+FROZEN_CEILING = 0.5     # final-quarter recall without any updates
+SPECIFICITY_FLOOR = 0.9  # non-face rejection after riding the ramp
+
+
+@pytest.fixture(scope="module")
+def aligned():
+    """Detector whose classifier is trained in the packed query domain."""
+    xtr, ytr = make_face_dataset(TRAIN, size=WINDOW, seed_or_rng=0)
+    pipe = HDFacePipeline(2, dim=DIM, cell_size=8, magnitude="l1",
+                          epochs=10, seed_or_rng=0).fit(xtr, ytr)
+    det = SlidingWindowDetector(pipe, window=WINDOW, stride=STRIDE,
+                                backend="packed")
+    queries = _patch_queries(det, list(xtr))
+    pipe.fit_queries(unpack_bits(queries, DIM).astype(np.float32), ytr)
+    return det
+
+
+def _patch_queries(det, patches):
+    """Each window-sized patch as one packed engine query."""
+    return np.concatenate([det.engine.window_queries(p, [(0, 0)], WINDOW)
+                           for p in patches])
+
+
+def _margins(model, queries, face):
+    sims = model.similarities(queries)
+    others = np.delete(sims, face, axis=1).max(axis=1)
+    return sims[:, face] - others
+
+
+def _quarters(values):
+    n = len(values)
+    return [float(np.mean(values[q * n // 4:(q + 1) * n // 4]))
+            for q in range(4)]
+
+
+def _run_stream(det, adapt):
+    """Classify the drifting stream; optionally self-train through the guard.
+
+    The adaptive arm mirrors :class:`repro.runtime.adapt.OnlineAdapter`
+    exactly - margin drift signal, drift-gated proposals, snapshot /
+    propose / rollback - but feeds the model its own confident positives
+    instead of tracker output, isolating the classifier-level question:
+    can guarded self-training follow the ramp?
+    """
+    face = det.face_class
+    batches, progress = drifting_face_patches(
+        N_STEPS, BATCH, size=WINDOW, warmup=WARMUP, min_scale=MIN_SCALE,
+        max_blur=MAX_BLUR, seed_or_rng=7)
+    model = AdaptiveGuardedModel(det.packed_model(), seed_or_rng=0, **GUARD)
+    drift = DriftDetector(**DRIFT)
+    recalls, applied, rejected, rollbacks = [], 0, 0, 0
+    for i, batch in enumerate(batches):
+        queries = _patch_queries(det, batch)
+        margins = _margins(model, queries, face)
+        recalls.append(float(np.mean(margins > 0)))
+        if not adapt:
+            continue
+        state = drift.observe(float(np.mean(margins)))
+        confident = queries[margins > 0]
+        if state == "drifting" and len(confident):
+            snapshot = model_state(model)
+            verdict = model.propose(OnlineUpdate(face, confident, frame=i))
+            if verdict["applied"]:
+                applied += 1
+            else:
+                rejected += 1
+                load_model_state(model, snapshot)
+                rollbacks += 1
+    return {
+        "recalls": recalls,
+        "quarters": _quarters(recalls),
+        "progress": progress,
+        "applied": applied,
+        "rejected": rejected,
+        "rollbacks": rollbacks,
+        "drift": drift.stats(),
+        "model": model,
+    }
+
+
+@pytest.fixture(scope="module")
+def frozen_run(aligned):
+    return _run_stream(aligned, adapt=False)
+
+
+@pytest.fixture(scope="module")
+def adaptive_run(aligned):
+    return _run_stream(aligned, adapt=True)
+
+
+def _make_runtime(det, adapt):
+    from repro.pipeline.stream import TemporalTracker
+
+    return ResilientVideoDetector(
+        PyramidDetector(det, score_threshold=0.0), budget=10.0,
+        tracker=TemporalTracker(min_hits=1), stall_timeout=None,
+        queue_size=8, policy="block", adapt=adapt,
+        adapt_kwargs={"seed_or_rng": 0} if adapt else None)
+
+
+@pytest.fixture(scope="module")
+def static_serving(aligned):
+    """Frozen vs adaptive serving runs over a static-appearance clip."""
+    frames, _ = moving_face_sequence(SCENE, N_FRAMES, window=WINDOW, step=2,
+                                     seed_or_rng=11)
+    adaptive = _make_runtime(aligned, adapt=True)
+    frozen = _make_runtime(aligned, adapt=False)
+    clean_rows = adaptive.adapter.model.replicas.copy()
+    results = {
+        "adaptive": list(adaptive.run(frames)),
+        "frozen": list(frozen.run(frames)),
+        "clean_rows": clean_rows,
+        "adaptive_rt": adaptive,
+    }
+    return results
+
+
+class TestDriftGate:
+    def test_frozen_recall_decays(self, frozen_run):
+        quarters = frozen_run["quarters"]
+        assert quarters[0] > ADAPTIVE_FLOOR      # the task starts solved
+        assert quarters[-1] < FROZEN_CEILING, quarters
+
+    def test_adaptive_recall_holds(self, adaptive_run):
+        quarters = adaptive_run["quarters"]
+        assert quarters[-1] >= ADAPTIVE_FLOOR, quarters
+
+    def test_adaptation_beats_frozen_late_in_the_ramp(self, frozen_run,
+                                                      adaptive_run):
+        for q in (2, 3):
+            assert adaptive_run["quarters"][q] >= frozen_run["quarters"][q]
+
+    def test_updates_were_committed_through_the_guard(self, adaptive_run):
+        assert adaptive_run["applied"] >= 1
+        # nothing on this clean (unpoisoned) stream should be vetoed
+        assert adaptive_run["rejected"] == 0
+        assert adaptive_run["rollbacks"] == 0
+
+    def test_drift_detector_saw_the_ramp(self, adaptive_run):
+        kinds = {(a, b) for _, a, b in adaptive_run["drift"]["transitions"]}
+        assert ("stable", "drifting") in kinds
+        # adaptation kept margins off the floor: never escalated to frozen
+        assert all(b != "frozen" for _, _, b in
+                   adaptive_run["drift"]["transitions"])
+
+
+class TestSpecificityGate:
+    def test_adapted_model_still_rejects_clutter(self, aligned, adaptive_run):
+        rng = as_rng(99)
+        nonfaces = [draw_nonface(WINDOW, rng) for _ in range(24)]
+        queries = _patch_queries(aligned, nonfaces)
+        margins = _margins(adaptive_run["model"], queries, aligned.face_class)
+        specificity = float(np.mean(margins < 0))
+        assert specificity >= SPECIFICITY_FLOOR, specificity
+
+
+class TestStaticServingGate:
+    def test_detections_bitwise_match_frozen(self, static_serving):
+        pairs = zip(static_serving["adaptive"], static_serving["frozen"])
+        for a, f in pairs:
+            assert a.detections == f.detections
+            assert a.mode == f.mode
+
+    def test_no_proposals_and_model_untouched(self, static_serving):
+        stats = static_serving["adaptive_rt"].stats()["adapt"]
+        assert stats["proposals"] == 0
+        assert stats["applied"] == 0
+        model = static_serving["adaptive_rt"].adapter.model
+        assert np.array_equal(model.replicas, static_serving["clean_rows"])
+
+
+def test_write_results(frozen_run, adaptive_run, static_serving, aligned):
+    widths = (9, 10, 8, 8)
+    lines = [
+        f"Online drift adaptation (scale={SCALE}, dim={DIM}, "
+        f"steps={N_STEPS}x{BATCH}, warmup={WARMUP})",
+        f"ramp: shrink to {MIN_SCALE} of window, defocus to "
+        f"sigma {MAX_BLUR}",
+        "",
+        fmt_row(("quarter", "progress", "frozen", "adaptive"), widths),
+    ]
+    for q in range(4):
+        seg = slice(q * N_STEPS // 4, (q + 1) * N_STEPS // 4)
+        prog = float(np.mean(frozen_run["progress"][seg]))
+        lines.append(fmt_row(
+            (f"Q{q + 1}", f"{prog:.2f}", f"{frozen_run['quarters'][q]:.3f}",
+             f"{adaptive_run['quarters'][q]:.3f}"), widths))
+    drift = adaptive_run["drift"]
+    model_stats = adaptive_run["model"].stats()
+    lines += [
+        "",
+        f"guarded updates: applied={adaptive_run['applied']} "
+        f"rejected={adaptive_run['rejected']} "
+        f"rollbacks={adaptive_run['rollbacks']} "
+        f"counter_decays={model_stats['counter_decays']}",
+        f"drift detector: state={drift['state']} "
+        f"shift={drift['shift']:.3f} "
+        f"transitions={len(drift['transitions'])}",
+        f"static serving: frames={N_FRAMES} proposals=0 "
+        "detections bitwise-equal frozen",
+    ]
+    write_report("online_drift", lines)
+    write_json("online_drift", {
+        "dim": DIM,
+        "steps": N_STEPS,
+        "batch": BATCH,
+        "warmup": WARMUP,
+        "min_scale": MIN_SCALE,
+        "max_blur": MAX_BLUR,
+        "guard": GUARD,
+        "drift_detector": DRIFT,
+        "frozen_quarters": frozen_run["quarters"],
+        "adaptive_quarters": adaptive_run["quarters"],
+        "applied": adaptive_run["applied"],
+        "rejected": adaptive_run["rejected"],
+        "rollbacks": adaptive_run["rollbacks"],
+        "counter_decays": model_stats["counter_decays"],
+        "drift": {k: v for k, v in drift.items() if k != "transitions"},
+        "static_frames": N_FRAMES,
+    })

@@ -219,6 +219,13 @@ def build_parser():
                        help="inject the standard chaos scenario: a soft "
                             "stall, a hard stall, poison frames, and "
                             "packed datapath bit faults")
+    serve.add_argument("--adapt", action="store_true",
+                       help="arm guarded online adaptation (packed backend "
+                            "only): drift-gated harvesting of confirmed "
+                            "tracks into a replicated, vetted class model; "
+                            "with --chaos the scenario also injects a "
+                            "label-poisoning update that must be detected "
+                            "and rolled back")
     serve.add_argument("--fault-rate", type=float, default=0.001,
                        help="packed bit-fault rate for the chaos datapath "
                             "injection")
@@ -597,6 +604,9 @@ def _cmd_serve(args, out):
 
     def make_runtime(ladder=None, budget_override=None, **kwargs):
         kwargs.setdefault("budget", budget_override or budget)
+        if args.adapt:
+            kwargs.setdefault("adapt", True)
+            kwargs.setdefault("adapt_kwargs", {"seed_or_rng": args.seed})
         runtime = ResilientVideoDetector(
             make_detector(), ladder=ladder, stall_timeout=stall_timeout,
             queue_size=args.queue_size, policy="block", **kwargs)
@@ -607,16 +617,20 @@ def _cmd_serve(args, out):
     if args.chaos:
         n = args.frames
         stall = args.stall or 3.0 * stall_timeout
+        label_poison = {max(3 * n // 4, 3): "label"} if args.adapt else {}
         scenario = ChaosScenario(
             "cli-serve",
             stalls={max(n // 4, 1): stall},
             hard_stalls={max(n // 2, 2): stall},
             poison={max(n // 3, 1): "nan", max(2 * n // 3, 3): "shape"},
+            label_poison=label_poison,
             fault_rate=args.fault_rate,
             seed=args.seed)
         print(f"chaos scenario: soft stall @{max(n // 4, 1)}, hard stall "
               f"@{max(n // 2, 2)}, poison @{sorted(scenario.poison)}, "
-              f"datapath fault rate {args.fault_rate}", file=out)
+              f"datapath fault rate {args.fault_rate}"
+              + (f", label poison @{sorted(label_poison)}"
+                 if label_poison else ""), file=out)
         report = run_chaos(
             lambda ladder=None, budget=None: make_runtime(ladder, budget),
             frames, [[t] for t in truth], scenario,
@@ -663,6 +677,14 @@ def _cmd_serve(args, out):
         if s["incidents"]:
             print(f"incidents: {s['incidents']}", file=out)
 
+    adapt_stats = made[0].stats().get("adapt") if made else None
+    if adapt_stats:
+        drift = adapt_stats["drift"]
+        print(f"adapt: state {drift['state']} (shift {drift['shift']:+.3f}); "
+              f"{adapt_stats['proposals']} proposals, "
+              f"{adapt_stats['applied']} applied, "
+              f"{adapt_stats['rejected']} rejected, "
+              f"{adapt_stats['rollbacks']} rollbacks", file=out)
     if args.checkpoint and made:
         save_runtime(made[0], args.checkpoint)
         print(f"runtime checkpoint saved to {args.checkpoint}", file=out)
@@ -696,7 +718,8 @@ def _serve_fleet(args, out, frames, truth, make_detector, budget,
     fleet = FleetDispatcher(
         make_detector, budget=budget, max_streams=args.streams,
         batch_window=args.batch_window, stall_timeout=stall_timeout,
-        queue_size=args.queue_size, policy="block")
+        queue_size=args.queue_size, policy="block", adapt=args.adapt,
+        guard_kwargs={"seed_or_rng": args.seed} if args.adapt else None)
     names = [f"cam{i}" for i in range(args.streams)]
     for i, name in enumerate(names):
         fleet.add_stream(name, priority=float(i))
@@ -709,15 +732,20 @@ def _serve_fleet(args, out, frames, truth, make_detector, budget,
         n = args.frames
         stall = args.stall or 3.0 * stall_timeout
         victim = names[0]
+        label_poison = {max(2 * n // 3, 3): "label"} if args.adapt else {}
         scenario = ChaosScenario(
             "cli-fleet",
             stalls={max(n // 3, 1): stall},
             poison={max(n // 2, 2): "nan"},
+            label_poison=label_poison,
             fault_rate=args.fault_rate,
             seed=args.seed)
         print(f"fleet chaos: victim {victim} (soft stall "
               f"@{max(n // 3, 1)}, poison @{max(n // 2, 2)}, fault rate "
-              f"{args.fault_rate}); {args.streams - 1} healthy streams "
+              f"{args.fault_rate}"
+              + (f", label poison @{sorted(label_poison)}"
+                 if label_poison else "")
+              + f"); {args.streams - 1} healthy streams "
               f"must hold p95", file=out)
         report = run_fleet_chaos(fleet, frames, [[t] for t in truth],
                                  {victim: scenario},

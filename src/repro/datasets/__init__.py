@@ -10,6 +10,12 @@ from .faces import (
     random_face_params,
 )
 from .registry import SPECS, DatasetSpec, load, names
+from .synth import (
+    drifting_face_patches,
+    drifting_face_sequence,
+    moving_face_sequence,
+    shrink_patch,
+)
 
 __all__ = [
     "FaceParams",
@@ -25,4 +31,8 @@ __all__ = [
     "SPECS",
     "load",
     "names",
+    "shrink_patch",
+    "moving_face_sequence",
+    "drifting_face_sequence",
+    "drifting_face_patches",
 ]

@@ -13,12 +13,15 @@ given a :class:`numpy.random.Generator`.
 from __future__ import annotations
 
 import numpy as np
-from scipy.ndimage import gaussian_filter, rotate
+from scipy.ndimage import gaussian_filter, rotate, zoom
 
 __all__ = [
     "blank",
     "normalize01",
+    "shrink_patch",
     "moving_face_sequence",
+    "drifting_face_sequence",
+    "drifting_face_patches",
     "add_ellipse",
     "add_stroke",
     "add_curve",
@@ -176,6 +179,36 @@ def rotate_image(img, angle_deg):
     return normalize01(rotate(img, angle_deg, reshape=False, mode="nearest", order=1))
 
 
+def shrink_patch(patch, scale, fill=0.5):
+    """Scale a square patch down in place, centered on a flat surround.
+
+    The patch is resampled to ``scale`` of its side (bilinear), pasted
+    centered into a ``fill``-gray canvas of the original size, and the
+    canvas returned.  This is the *distance* drift: the subject walks
+    away from the camera while the detector keeps scanning the same
+    window size, so the face occupies ever fewer HOG cells and the
+    surround contributes flat, gradient-free cells.  Unlike rotation
+    (which recovers at symmetric angles) or illumination (which per-cell
+    l1 normalization cancels), the margin loss is monotone in ``scale``
+    - the property the online-adaptation benchmark relies on.
+
+    The inner size is floored at 8 px so the resampled face keeps enough
+    structure to be drawable at all; ``scale == 1`` returns the patch
+    unchanged.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    n = patch.shape[0]
+    k = min(max(int(round(n * scale)), 8), n)
+    if k >= n:
+        return patch
+    small = zoom(patch, k / n, order=1)[:k, :k]
+    out = np.full_like(patch, float(fill))
+    off = (n - k) // 2
+    out[off:off + k, off:off + k] = small
+    return out
+
+
 def moving_face_sequence(size, n_frames, window=24, step=2, jitter=0.6,
                          noise_sigma=0.0, seed_or_rng=None):
     """Synthetic video: one face drifting over a static clutter background.
@@ -227,3 +260,160 @@ def moving_face_sequence(size, n_frames, window=24, step=2, jitter=0.6,
             vx = -vx
             x = min(max(x, 0.0), float(span))
     return frames, truth
+
+
+def drifting_face_sequence(size, n_frames, window=24, step=2, jitter=0.6,
+                           warmup=0, max_rotation=12.0,
+                           max_illumination=0.9, max_contrast_drop=0.45,
+                           max_inversion=0.0, min_scale=1.0, max_blur=0.0,
+                           align=1, seed_or_rng=None):
+    """Synthetic video whose *face appearance* drifts away over time.
+
+    Same bouncing-path construction as :func:`moving_face_sequence` (one
+    face patch over one static clutter background, so the frame-delta
+    machinery still applies), but the pasted patch is re-rendered per
+    frame with a monotone appearance ramp: in-plane rotation up to
+    ``max_rotation`` degrees, a directional illumination gradient up to
+    ``max_illumination``, a contrast fade toward mid-gray by up to
+    ``max_contrast_drop``, a polarity crossfade toward the negative
+    image by up to ``max_inversion`` (the sensor-change drift - think a
+    camera switching to near-IR - and the only ramp here that actually
+    *defeats* the HOG front end: per-cell l1 normalization cancels
+    illumination and contrast outright, while inversion flips gradient
+    polarity and drives the face margin through zero), a shrink toward
+    ``min_scale`` of the window (the subject walking away - see
+    :func:`shrink_patch`), and a defocus blur up to ``max_blur`` sigma.
+    The first
+    ``warmup`` frames are served undrifted (ramp progress 0), giving an
+    online learner a clean reference window before the distribution
+    starts sliding.
+
+    ``align`` snaps the start position to a multiple of ``align``
+    pixels; with ``step`` also a multiple, every pasted position stays
+    on that grid.  Matching it to the detector's stride keeps the face
+    window identical to a scanned window each frame, so the margin
+    signal measures the *appearance* ramp alone instead of mixing in
+    sub-stride alignment jitter.
+
+    This is the covariate-shift workload for the online-adaptation gate
+    (``benchmarks/bench_online_drift.py``): a frozen model's margins
+    decay along the ramp while a guarded adaptive model folds the
+    tracker's confirmed windows back in and holds recall.
+
+    Returns ``(frames, truth)`` exactly like :func:`moving_face_sequence`.
+    """
+    from ..core.hypervector import as_rng
+    from .faces import draw_face, draw_nonface, random_face_params
+
+    if n_frames < 1:
+        raise ValueError("n_frames must be at least 1")
+    if window > size:
+        raise ValueError("window must fit the scene")
+    if not 0 <= warmup < n_frames:
+        raise ValueError("warmup must be in [0, n_frames)")
+    if int(align) < 1:
+        raise ValueError("align must be a positive pixel grid")
+    if not 0.0 < min_scale <= 1.0:
+        raise ValueError("min_scale must be in (0, 1]")
+    if max_blur < 0:
+        raise ValueError("max_blur must be non-negative")
+    align = int(align)
+    rng = as_rng(seed_or_rng)
+    background = draw_nonface(size, rng, kind="smooth")
+    face = draw_face(window, random_face_params(rng, jitter), rng)
+    light_angle = float(rng.uniform(0.0, 2.0 * np.pi))
+    span = size - window
+    y = float((int(rng.integers(0, span + 1)) // align) * align)
+    x = float((int(rng.integers(0, span + 1)) // align) * align)
+    vy = float(step) * (1 if rng.random() < 0.5 else -1)
+    vx = float(step) * (1 if rng.random() < 0.5 else -1)
+    hi = float((span // align) * align)  # grid-aligned bounce wall
+    ramp_len = max(n_frames - 1 - warmup, 1)
+    frames, truth = [], []
+    for i in range(n_frames):
+        progress = max(i - warmup, 0) / ramp_len
+        patch = face
+        if progress > 0.0:
+            if max_rotation:
+                patch = rotate_image(patch, progress * max_rotation)
+            if max_contrast_drop:
+                patch = normalize01(
+                    0.5 + (patch - 0.5)
+                    * (1.0 - progress * max_contrast_drop))
+            if max_illumination:
+                patch = illumination_gradient(
+                    patch, progress * max_illumination, light_angle)
+            if max_inversion:
+                alpha = progress * max_inversion
+                patch = normalize01(patch * (1.0 - alpha)
+                                    + (1.0 - patch) * alpha)
+            if min_scale < 1.0:
+                patch = shrink_patch(
+                    patch, 1.0 + (min_scale - 1.0) * progress)
+            if max_blur:
+                patch = normalize01(
+                    gaussian_filter(patch, progress * max_blur))
+        frame = background.copy()
+        iy, ix = int(round(y)), int(round(x))
+        frame[iy:iy + window, ix:ix + window] = patch
+        frames.append(frame)
+        truth.append((iy, ix, int(window)))
+        y += vy
+        x += vx
+        if not 0 <= y <= hi:
+            vy = -vy
+            y = min(max(y, 0.0), hi)
+        if not 0 <= x <= hi:
+            vx = -vx
+            x = min(max(x, 0.0), hi)
+    return frames, truth
+
+
+def drifting_face_patches(n_steps, batch, size=24, jitter=0.6, warmup=0,
+                          min_scale=0.5, max_blur=1.5, seed_or_rng=None):
+    """Labeled drifting patch stream for classifier-level online learning.
+
+    Where :func:`drifting_face_sequence` drifts one face inside a
+    cluttered scene (exercising the full tracker + adapter loop), this
+    stream isolates the *classifier's* side of the problem: each step
+    draws ``batch`` fresh faces - new identities, full ``jitter``
+    diversity - and renders them at the step's ramp progress, shrinking
+    toward ``min_scale`` of the window (:func:`shrink_patch`) and
+    defocusing up to ``max_blur`` sigma.  A frozen model's margin on
+    these batches decays monotonically along the ramp; a guarded online
+    learner that folds its confident predictions back in tracks it.
+    The first ``warmup`` steps are served undrifted.
+
+    Returns ``(batches, progress)``: ``batches[i]`` is a list of
+    ``batch`` float images in ``[0, 1]`` and ``progress[i]`` the ramp
+    position in ``[0, 1]`` they were rendered at.
+    """
+    from ..core.hypervector import as_rng
+    from .faces import draw_face, random_face_params
+
+    if n_steps < 1:
+        raise ValueError("n_steps must be at least 1")
+    if batch < 1:
+        raise ValueError("batch must be at least 1")
+    if not 0 <= warmup < n_steps:
+        raise ValueError("warmup must be in [0, n_steps)")
+    if not 0.0 < min_scale <= 1.0:
+        raise ValueError("min_scale must be in (0, 1]")
+    if max_blur < 0:
+        raise ValueError("max_blur must be non-negative")
+    rng = as_rng(seed_or_rng)
+    ramp_len = max(n_steps - 1 - warmup, 1)
+    batches, progress = [], []
+    for i in range(n_steps):
+        p = max(i - warmup, 0) / ramp_len
+        faces = []
+        for _ in range(batch):
+            patch = draw_face(size, random_face_params(rng, jitter), rng)
+            if p > 0.0:
+                patch = shrink_patch(patch, 1.0 + (min_scale - 1.0) * p)
+                if max_blur:
+                    patch = normalize01(gaussian_filter(patch, p * max_blur))
+            faces.append(patch)
+        batches.append(faces)
+        progress.append(p)
+    return batches, progress

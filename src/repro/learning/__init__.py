@@ -5,6 +5,7 @@ from .encoders import LevelIDEncoder, NonlinearEncoder, RandomProjectionEncoder
 from .hdc_classifier import HDCClassifier
 from .metrics import accuracy, confusion_matrix, quality_loss
 from .mlp import MLPClassifier
+from .online import DenseSignAccumulator, OnlineCounters, OnlineUpdate
 from .quantization import QuantizedMLP, dequantize, flip_int_bits, quantize
 from .svm import LinearSVM
 
@@ -23,4 +24,7 @@ __all__ = [
     "accuracy",
     "confusion_matrix",
     "quality_loss",
+    "OnlineCounters",
+    "OnlineUpdate",
+    "DenseSignAccumulator",
 ]

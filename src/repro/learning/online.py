@@ -1,0 +1,319 @@
+"""Online class-vector refinement: packed-domain bundling with bit counters.
+
+The paper trains its class hypervectors offline; uHD (PAPERS.md) argues
+the same memories should keep learning *in deployment*, where the
+appearance of the tracked faces drifts away from the training set.  The
+obstacle is representation: the serving stack stores class vectors
+sign-quantized and bit-packed (:class:`~repro.core.packed.
+PackedClassModel`), and a sign bit alone cannot absorb new evidence - two
++1 votes followed by three -1 votes must end at -1, which requires the
+*count*, not the sign.
+
+:class:`OnlineCounters` keeps that count the way the packed backend keeps
+everything: as **bit-sliced vertical counter planes**.  Plane ``p`` holds
+bit ``p`` of the running "+1 vote" count for 64 components of a word at
+once, so bundling one packed query into a class is a ripple-carry add
+(one XOR + one AND per plane) and never touches an integer tensor.  The
+class row is *rematerialized* from the counters by a bit-sliced
+carry-out comparator - bit ``d`` is 1 iff ``ones_d >= ceil(total / 2)``,
+the exact sign (``0 -> +1``) of the equivalent dense accumulator - so
+the packed model and the counters can never disagree.  Memory is bounded:
+the planes saturate at ``max_planes`` and then *decay* (halve every
+count), which keeps the counters a fixed ``n_classes x max_planes x W``
+words forever while acting as an exponential forget - old evidence fades,
+which is what an adapting tracker wants anyway.
+
+:class:`DenseSignAccumulator` is the reference twin: the classic dense
+sign-accumulator update rule (integer per-component accumulator,
+``sign(acc)`` with ``0 -> +1``) expressed over the same (ones, total)
+counters, so the property tests can pin the packed update *bitwise* equal
+to the dense rule after every step, decays included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypervector import (
+    pack_bits,
+    packed_tail_mask,
+    packed_words,
+    unpack_bits,
+)
+from ..core.packed import PackedClassModel
+
+__all__ = ["OnlineCounters", "DenseSignAccumulator", "OnlineUpdate"]
+
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ZERO = np.uint64(0)
+
+
+def _as_packed(model):
+    """Coerce to a :class:`PackedClassModel` (accepts bipolar matrices)."""
+    if isinstance(model, PackedClassModel):
+        return model
+    return PackedClassModel(model)
+
+
+class OnlineUpdate:
+    """One proposed online update: packed weak-label queries for one class.
+
+    ``queries`` is ``(n, W)`` uint64 packed windows (the engine's
+    ``window_queries`` output) all carrying the same weak ``label``.
+    ``replica_payloads`` optionally substitutes the payload one replica of
+    an :class:`~repro.reliability.guard.AdaptiveGuardedModel` sees -
+    the delivery-corruption fault surface the chaos harness exercises
+    (``{replica_index: queries}``).
+    """
+
+    __slots__ = ("label", "queries", "source", "frame", "replica_payloads")
+
+    def __init__(self, label, queries, source="tracker", frame=None,
+                 replica_payloads=None):
+        self.label = int(label)
+        self.queries = np.atleast_2d(np.asarray(queries, dtype=np.uint64))
+        self.source = str(source)
+        self.frame = frame
+        self.replica_payloads = dict(replica_payloads or {})
+
+    def payload_for(self, replica):
+        """The queries replica ``replica`` receives (poisoned or clean)."""
+        q = self.replica_payloads.get(int(replica))
+        if q is None:
+            return self.queries
+        return np.atleast_2d(np.asarray(q, dtype=np.uint64))
+
+    def __len__(self):
+        return self.queries.shape[0]
+
+
+class OnlineCounters:
+    """Per-class bundling counters, stored and updated in the packed domain.
+
+    Parameters
+    ----------
+    model:
+        The starting :class:`~repro.core.packed.PackedClassModel` (or a
+        bipolar ``(n_classes, D)`` matrix).  Its sign bits seed the
+        counters with ``prior`` votes each, so the materialized model
+        starts bitwise equal to it and fresh evidence must accumulate
+        ``prior`` net votes to flip a component.
+    prior:
+        Vote weight of the offline-trained model (>= 1).  Small priors
+        adapt fast but forget the training set fast; the default keeps a
+        single bad frame from flipping anything.
+    max_planes:
+        Counter width in bit planes.  Totals that would overflow
+        ``2**max_planes - 1`` trigger a *decay* (every count halves),
+        bounding memory at ``max_planes * n_classes * W`` words.
+    """
+
+    def __init__(self, model, prior=32, max_planes=16):
+        base = _as_packed(model)
+        self.dim = base.dim
+        self.n_classes = base.n_classes
+        self.n_words = packed_words(base.dim)
+        self.prior = int(prior)
+        if self.prior < 1:
+            raise ValueError(f"prior must be >= 1, got {prior}")
+        self.max_planes = int(max_planes)
+        if self.max_planes < self.prior.bit_length() + 1:
+            raise ValueError(
+                f"max_planes {max_planes} cannot hold prior {prior}")
+        self._tail = packed_tail_mask(self.dim)
+        n_planes = self.prior.bit_length()
+        #: ``(n_planes, n_classes, W)`` vertical counter planes: plane
+        #: ``p`` carries bit ``p`` of every component's "+1 vote" count.
+        self.planes = np.zeros((n_planes, self.n_classes, self.n_words),
+                               dtype=np.uint64)
+        for p in range(n_planes):
+            if (self.prior >> p) & 1:
+                self.planes[p] = base.packed
+        #: Votes bundled per class (prior included).
+        self.totals = np.full(self.n_classes, self.prior, dtype=np.int64)
+        self.updates = 0
+        self.decays = 0
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+    @property
+    def n_planes(self):
+        return self.planes.shape[0]
+
+    @property
+    def nbytes(self):
+        """Counter footprint (bounded by ``max_planes`` planes)."""
+        return int(self.planes.nbytes + self.totals.nbytes)
+
+    def _grow(self):
+        self.planes = np.concatenate(
+            [self.planes, np.zeros((1,) + self.planes.shape[1:],
+                                   dtype=np.uint64)])
+
+    def _decay(self, class_id):
+        """Halve one class's counts: drop the LSB plane, halve the total."""
+        self.planes[:-1, class_id] = self.planes[1:, class_id]
+        self.planes[-1, class_id] = _ZERO
+        self.totals[class_id] >>= 1
+        self.decays += 1
+
+    def _ensure_capacity(self, class_id, n_new):
+        cap = (1 << self.max_planes) - 1
+        if n_new > cap:
+            raise ValueError(
+                f"cannot bundle {n_new} votes at once into {self.max_planes} "
+                f"planes (capacity {cap})")
+        while self.totals[class_id] + n_new > (1 << self.n_planes) - 1:
+            if self.n_planes < self.max_planes:
+                self._grow()
+            else:
+                self._decay(class_id)
+
+    # ------------------------------------------------------------------
+    # the bundling update
+    # ------------------------------------------------------------------
+    def add(self, class_id, packed_queries):
+        """Bundle packed bipolar votes into one class's counters.
+
+        Each row of ``packed_queries`` (``(n, W)`` uint64, ``+1 -> 1``
+        bits) is one vote per component: a set bit increments that
+        component's ones-count, a clear bit only increments the total -
+        exactly the dense rule ``acc += query`` expressed over
+        ``acc = 2 * ones - total``.  Returns the number of votes bundled.
+        """
+        c = int(class_id)
+        if not 0 <= c < self.n_classes:
+            raise ValueError(f"class {class_id} out of range")
+        q = np.atleast_2d(np.asarray(packed_queries, dtype=np.uint64))
+        if q.shape[-1] != self.n_words:
+            raise ValueError(
+                f"queries must be (n, {self.n_words}) words, got {q.shape}")
+        n = q.shape[0]
+        if n == 0:
+            return 0
+        self._ensure_capacity(c, n)
+        q = q & self._tail
+        for row in q:
+            carry = row
+            for p in range(self.n_planes):
+                plane = self.planes[p, c]
+                # evaluate both before writing: ``plane`` views the buffer
+                carry, self.planes[p, c] = plane & carry, plane ^ carry
+                if not carry.any():
+                    break
+        self.totals[c] += n
+        self.updates += n
+        return n
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    def materialize(self):
+        """Rematerialize the packed class rows from the counters.
+
+        Bit ``d`` of class ``c`` is 1 iff ``ones >= ceil(total / 2)``,
+        i.e. the sign (``0 -> +1``) of the dense accumulator
+        ``2 * ones - total`` - computed as a bit-sliced carry-out
+        comparator: adding the constant ``2**P - threshold`` to the
+        counter planes carries out of plane ``P`` exactly when the count
+        reaches the threshold.  Returns ``(n_classes, W)`` uint64.
+        """
+        p_total = self.n_planes
+        thresh = (self.totals + 1) >> 1  # ceil(total / 2), >= 1
+        const = (np.uint64(1) << np.uint64(p_total)) - thresh.astype(np.uint64)
+        carry = np.zeros((self.n_classes, self.n_words), dtype=np.uint64)
+        for p in range(p_total):
+            k_bit = ((const >> np.uint64(p)) & np.uint64(1)).astype(bool)
+            k_mask = np.where(k_bit[:, None], _ONES, _ZERO)
+            plane = self.planes[p]
+            carry = (plane & k_mask) | (plane & carry) | (k_mask & carry)
+        return carry & self._tail
+
+    def as_model(self):
+        """The current counters as a :class:`PackedClassModel` (no copy-in)."""
+        clone = object.__new__(PackedClassModel)
+        clone.n_classes = self.n_classes
+        clone.dim = self.dim
+        clone.packed = self.materialize()
+        return clone
+
+    def counts(self):
+        """Dense ``(n_classes, dim)`` ones-counts (tests, introspection)."""
+        total = np.zeros((self.n_classes, self.dim), dtype=np.int64)
+        for p in range(self.n_planes):
+            plane_bits = unpack_bits(self.planes[p], self.dim) > 0
+            total += plane_bits.astype(np.int64) << p
+        return total
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state(self):
+        """Snapshot for rollback / checkpointing (arrays are copies)."""
+        return {
+            "planes": self.planes.copy(),
+            "totals": self.totals.copy(),
+            "prior": self.prior,
+            "updates": self.updates,
+            "decays": self.decays,
+        }
+
+    def load_state(self, state):
+        """Restore a :meth:`state` snapshot bitwise."""
+        planes = np.asarray(state["planes"], dtype=np.uint64)
+        totals = np.asarray(state["totals"], dtype=np.int64)
+        if planes.shape[1:] != (self.n_classes, self.n_words):
+            raise ValueError(
+                f"state planes {planes.shape} do not match "
+                f"({self.n_classes}, {self.n_words}) counters")
+        self.planes = planes.copy()
+        self.totals = totals.copy()
+        self.prior = int(state["prior"])
+        self.updates = int(state["updates"])
+        self.decays = int(state["decays"])
+        return self
+
+
+class DenseSignAccumulator:
+    """Reference dense sign-accumulator with the same decay semantics.
+
+    The classic online-HDC update - an integer accumulator per component,
+    class bit = ``sign(acc)`` with ``0 -> +1`` - carried as
+    ``(ones, total)`` so the bounded-memory decay (halve both) matches
+    :class:`OnlineCounters` exactly.  Property tests drive both through
+    identical vote streams and require bitwise-equal materialized models
+    at every step.
+    """
+
+    def __init__(self, model, prior=32):
+        base = _as_packed(model)
+        self.dim = base.dim
+        self.n_classes = base.n_classes
+        self.prior = int(prior)
+        bits = (unpack_bits(base.packed, base.dim) > 0).astype(np.int64)
+        self.ones = bits * self.prior
+        self.totals = np.full(self.n_classes, self.prior, dtype=np.int64)
+
+    @property
+    def acc(self):
+        """The bipolar accumulator ``2 * ones - total`` per component."""
+        return 2 * self.ones - self.totals[:, None]
+
+    def add(self, class_id, bipolar_rows):
+        """Accumulate bipolar ``(n, D)`` votes into one class."""
+        rows = np.atleast_2d(np.asarray(bipolar_rows))
+        c = int(class_id)
+        self.ones[c] += (rows > 0).sum(axis=0)
+        self.totals[c] += rows.shape[0]
+
+    def decay(self, class_id):
+        """Halve one class's counts (the bounded-memory forget step)."""
+        c = int(class_id)
+        self.ones[c] >>= 1
+        self.totals[c] >>= 1
+
+    def materialize(self):
+        """Packed sign bits of the accumulator (``0 -> +1``)."""
+        signs = np.where(self.acc >= 0, 1, -1).astype(np.int8)
+        return pack_bits(signs)

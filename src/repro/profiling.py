@@ -94,6 +94,12 @@ class Profiler:
     def __init__(self, enabled=True):
         self.enabled = bool(enabled)
         self.stats = OrderedDict()
+        #: Free-form named counters (guard scrubs, online updates applied /
+        #: rejected, drift state, ...) - everything worth a line in
+        #: :meth:`table` that is not a timed stage.  Numeric values sum on
+        #: :meth:`merge`; strings (e.g. a drift state) keep the merged-in
+        #: value.
+        self.counters = OrderedDict()
         # counter updates are guarded so concurrent pipeline workers
         # (PyramidDetector / SharedFeatureEngine threads) don't lose ticks
         self._lock = threading.Lock()
@@ -163,6 +169,26 @@ class Profiler:
         """Attribute an :class:`OperationProfile`'s counts to a stage."""
         self.add_ops(name, items=items, **profile.counts)
 
+    def count(self, name, n=1):
+        """Increment a named counter (numeric; created at 0)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_counter(self, name, value):
+        """Set a named counter to an absolute value (numeric or string).
+
+        The guard/adaptation surfaces report their ledgers this way (the
+        model keeps the authoritative counts; the profiler mirrors the
+        latest snapshot), and states like the drift detector's land here
+        as strings.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counters[name] = value
+
     def merge(self, other):
         """Fold another profiler's stats into this one; returns ``self``.
 
@@ -183,6 +209,7 @@ class Profiler:
                  dict(stat.ops), list(stat.samples))
                 for name, stat in other.stats.items()
             ]
+            counter_snapshot = dict(getattr(other, "counters", {}))
         if not self.enabled:
             return self
         with self._lock:
@@ -194,6 +221,15 @@ class Profiler:
                 for op, n in ops.items():
                     stat.ops[op] = stat.ops.get(op, 0.0) + n
                 stat.samples.extend(samples)
+            for name, value in counter_snapshot.items():
+                mine = self.counters.get(name)
+                if isinstance(value, (int, float)) \
+                        and isinstance(mine, (int, float)):
+                    self.counters[name] = mine + value
+                else:
+                    # strings (drift states) and first sightings: merged-in
+                    # value wins, like any latest snapshot would
+                    self.counters[name] = value
         return self
 
     # ------------------------------------------------------------------
@@ -212,6 +248,7 @@ class Profiler:
     def reset(self):
         """Drop all collected stats (counters start over)."""
         self.stats.clear()
+        self.counters.clear()
 
     def table(self, title="profile"):
         """Human-readable per-stage report (the CLI's ``--profile`` output)."""
@@ -228,6 +265,12 @@ class Profiler:
                          f"{pct['p50'] * 1e3:>8.2f} {pct['p95'] * 1e3:>8.2f} "
                          f"{items_s:>10} {ops_s:>12}")
         lines.append(f"  {'total':<18} {'':>6} {self.total_seconds():>9.4f}")
+        if self.counters:
+            lines.append("  counters:")
+            for name, value in self.counters.items():
+                if isinstance(value, float):
+                    value = f"{value:.4g}"
+                lines.append(f"    {name:<24} {value}")
         return "\n".join(lines)
 
 

@@ -28,7 +28,7 @@ from .faults import (
     flip_packed_words,
     stuck_at_packed,
 )
-from .guard import GuardedClassModel
+from .guard import AdaptiveGuardedModel, GuardedClassModel
 from .incidents import Incident, IncidentLog
 from .integrity import digest_array, digest_arrays
 
@@ -38,6 +38,7 @@ __all__ = [
     "PackedFaultInjector",
     "DetectionFaultInjector",
     "GuardedClassModel",
+    "AdaptiveGuardedModel",
     "Incident",
     "IncidentLog",
     "digest_array",

@@ -27,13 +27,20 @@ pass, not the vote (which only runs on detected corruption).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..core.hypervector import as_rng, packed_tail_mask, packed_words
-from ..core.packed import PackedClassModel, packed_majority, pairwise_hamming
+from ..core.packed import (
+    PackedClassModel,
+    block_dim,
+    packed_majority,
+    pairwise_hamming,
+)
 from .integrity import digest_array
 
-__all__ = ["GuardedClassModel"]
+__all__ = ["GuardedClassModel", "AdaptiveGuardedModel"]
 
 CHECKS = ("checksum", "canary")
 
@@ -206,9 +213,37 @@ class GuardedClassModel:
             self.scrub()
         return self.replicas[0]
 
+    @property
+    def n_words(self):
+        """Packed words per class row (``ceil(dim / 64)``).
+
+        Exposing the packed geometry lets guarded models flow through
+        every ``model=`` substitution surface that truncates or cascades
+        on word counts (the fleet batcher's grouping, the cascade
+        scanner's stage schedule).
+        """
+        return packed_words(self.dim)
+
     def distances(self, packed_queries):
         """Hamming distance of each packed query to each class: ``(n, k)``."""
         return pairwise_hamming(packed_queries, self._active(), dim=self.dim)
+
+    def distance_block(self, packed_queries, word_start, word_stop):
+        """Partial Hamming distances over words ``[word_start, word_stop)``.
+
+        The cascade scanner's incremental-rescoring kernel, served from
+        the scrub-checked active replica - so cascade-mode fleets scan
+        against the *guarded* model instead of the raw packed rows.
+        Semantics match :meth:`repro.core.packed.PackedClassModel.
+        distance_block` exactly (block queries or full-width queries,
+        pads masked on the final word).
+        """
+        w0, w1 = int(word_start), int(word_stop)
+        bdim = block_dim(self.dim, w0, w1)
+        q = np.atleast_2d(np.asarray(packed_queries, dtype=np.uint64))
+        if q.shape[-1] != w1 - w0:
+            q = q[:, w0:w1]
+        return pairwise_hamming(q, self._active()[:, w0:w1], dim=bdim)
 
     def similarities(self, packed_queries):
         """Normalized similarities ``1 - 2 * hamming / D`` in ``[-1, 1]``."""
@@ -217,3 +252,239 @@ class GuardedClassModel:
     def predict(self, packed_queries):
         """Label of the Hamming-nearest class per packed query."""
         return self.distances(packed_queries).argmin(axis=1)
+
+
+class AdaptiveGuardedModel(GuardedClassModel):
+    """A guarded class model that accepts vetted *online updates*.
+
+    The continual-learning half of the reliability story: tracker-
+    confirmed detections become weak labels
+    (:class:`~repro.learning.online.OnlineUpdate`) that refine the class
+    rows while serving - but an update is itself a fault surface (label
+    poisoning, corrupted delivery), so every proposal runs the full TMR
+    treatment before it can touch inference:
+
+    1. **Propose to all replicas.**  Each of the ``R`` replicas keeps its
+       own :class:`~repro.learning.online.OnlineCounters` and applies the
+       update payload *it* received, then rematerializes its row.
+    2. **Outvote divergence.**  A replica whose rematerialized row
+       disagrees with the bitwise majority saw a different (corrupted /
+       poisoned) payload: it is outvoted - its counters are overwritten
+       from a majority replica - and counted in :attr:`outvoted`.
+    3. **Vet the voted row.**  The surviving candidate must pass the
+       *similarity canary* (the fixed probe's distance may move at most
+       ``max_step_frac * dim`` bits per proposal - gradual drift passes,
+       a bulk rewrite cannot) and the *held-out probe check* (perturbed
+       copies of every class row, re-anchored after each accepted update,
+       must still classify to their classes).
+    4. **Commit or reject.**  A committed update rewrites every replica's
+       row and refreshes the golden digests + canary baselines (the model
+       legitimately changed; the scrubber must not "repair" it back).  A
+       rejected proposal leaves the served rows untouched but the
+       counters *dirty*: the caller must restore the pre-proposal
+       snapshot - the serving adapter does exactly that through
+       :func:`repro.runtime.checkpoint.model_state` /
+       :func:`~repro.runtime.checkpoint.load_model_state`, which is the
+       same machinery that persists the model across worker restarts.
+
+    Inference (``distances`` / ``similarities`` / ``predict``) snapshots
+    the active replica under the update lock, so fleet streams can scan
+    while another stream's proposal is mid-flight; proposals themselves
+    are serialized on :attr:`_lock`.
+    """
+
+    def __init__(self, model, replicas=3, check="checksum", scrub_every=1,
+                 seed_or_rng=None, prior=32, max_planes=16,
+                 max_step_frac=0.05, probe_flip=0.1, probes_per_class=4,
+                 min_probe_accuracy=1.0):
+        from ..learning.online import OnlineCounters
+        base = model if isinstance(model, PackedClassModel) \
+            else PackedClassModel(model)
+        super().__init__(base, replicas=replicas, check=check,
+                         scrub_every=scrub_every, seed_or_rng=seed_or_rng)
+        self._lock = threading.RLock()
+        self.counters = [OnlineCounters(base, prior=prior,
+                                        max_planes=max_planes)
+                         for _ in range(self.n_replicas)]
+        self.prior = int(prior)
+        self.max_step_bits = max(1, int(round(float(max_step_frac)
+                                              * self.dim)))
+        self.probe_flip = float(probe_flip)
+        self.probes_per_class = int(probes_per_class)
+        self.min_probe_accuracy = float(min_probe_accuracy)
+        self._probe_rng = as_rng(seed_or_rng)
+        self.applied = 0
+        self.rejected = 0
+        self.outvoted = 0
+        self._probes, self._probe_labels = self._make_probes()
+
+    # ------------------------------------------------------------------
+    # held-out probes
+    # ------------------------------------------------------------------
+    def _probe_rows(self, class_id):
+        from .faults import flip_packed_words
+        row = self.replicas[0, class_id]
+        return np.stack([
+            flip_packed_words(row, self.dim, self.probe_flip,
+                              self._probe_rng)
+            for _ in range(self.probes_per_class)])
+
+    def _make_probes(self):
+        probes = np.concatenate([self._probe_rows(c)
+                                 for c in range(self.n_classes)])
+        labels = np.repeat(np.arange(self.n_classes), self.probes_per_class)
+        return probes, labels
+
+    def _refresh_probes(self, class_id):
+        """Re-anchor one class's probes on its (just committed) row."""
+        lo = class_id * self.probes_per_class
+        self._probes[lo:lo + self.probes_per_class] = \
+            self._probe_rows(class_id)
+
+    def _probe_accuracy(self, candidate_rows):
+        preds = pairwise_hamming(self._probes, candidate_rows,
+                                 dim=self.dim).argmin(axis=1)
+        return float((preds == self._probe_labels).mean())
+
+    # ------------------------------------------------------------------
+    # the guarded update
+    # ------------------------------------------------------------------
+    def propose(self, update):
+        """Run one :class:`~repro.learning.online.OnlineUpdate` through
+        the propose / outvote / vet / commit pipeline.
+
+        Returns a verdict dict: ``applied`` (bool), ``reason`` (None or
+        ``"step_bound"`` / ``"probe_check"``), ``step_bits``,
+        ``canary_step``, ``probe_accuracy``, ``diverged`` (outvoted
+        replica indices).  On ``applied=False`` the stored rows and
+        goldens are untouched but the replica counters carry the rejected
+        votes - restore a pre-proposal
+        :func:`~repro.runtime.checkpoint.model_state` snapshot to roll
+        them back (see the class docstring).
+        """
+        with self._lock:
+            c = int(update.label)
+            if not 0 <= c < self.n_classes:
+                raise ValueError(f"update label {update.label} out of range")
+            old_row = self.replicas[0, c].copy()
+            rows = []
+            for r in range(self.n_replicas):
+                self.counters[r].add(c, update.payload_for(r))
+                rows.append(self.counters[r].materialize()[c])
+            rows = np.stack(rows)
+            voted = packed_majority(rows, self.dim)
+            diverged = [r for r in range(self.n_replicas)
+                        if not np.array_equal(rows[r], voted)]
+            if diverged:
+                self.outvoted += len(diverged)
+                healthy = next(r for r in range(self.n_replicas)
+                               if r not in diverged)
+                for r in diverged:
+                    self.counters[r].load_state(
+                        self.counters[healthy].state())
+            step_bits = int(pairwise_hamming(voted, old_row[None],
+                                             dim=self.dim)[0, 0])
+            canary_new = int(pairwise_hamming(self._canary, voted[None],
+                                              dim=self.dim)[0, 0])
+            canary_step = abs(canary_new - int(self._canary_golden[c]))
+            candidate = self.replicas[0].copy()
+            candidate[c] = voted
+            probe_accuracy = self._probe_accuracy(candidate)
+            reason = None
+            if step_bits > self.max_step_bits or \
+                    canary_step > self.max_step_bits:
+                reason = "step_bound"
+            elif probe_accuracy < self.min_probe_accuracy:
+                reason = "probe_check"
+            verdict = {
+                "applied": reason is None,
+                "reason": reason,
+                "label": c,
+                "votes": len(update),
+                "step_bits": step_bits,
+                "canary_step": canary_step,
+                "probe_accuracy": probe_accuracy,
+                "diverged": diverged,
+            }
+            if reason is not None:
+                self.rejected += 1
+                return verdict
+            self.replicas[:, c, :] = voted
+            self._golden[c] = digest_array(voted)
+            self._canary_golden[c] = canary_new
+            self._refresh_probes(c)
+            self.applied += 1
+            return verdict
+
+    # ------------------------------------------------------------------
+    # checkpoint surface (see repro.runtime.checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Bitwise snapshot of everything a proposal can mutate."""
+        with self._lock:
+            return {
+                "replicas": self.replicas.copy(),
+                "golden": list(self._golden),
+                "canary_golden": self._canary_golden.copy(),
+                "counters": [cnt.state() for cnt in self.counters],
+                "probes": self._probes.copy(),
+                "probe_labels": self._probe_labels.copy(),
+                "applied": self.applied,
+                "rejected": self.rejected,
+                "outvoted": self.outvoted,
+                "degraded_classes": set(self.degraded_classes),
+            }
+
+    def load_state_dict(self, state):
+        """Restore a :meth:`state_dict` snapshot bitwise; returns self."""
+        with self._lock:
+            replicas = np.asarray(state["replicas"], dtype=np.uint64)
+            if replicas.shape != self.replicas.shape:
+                raise ValueError(
+                    f"state replicas {replicas.shape} do not match "
+                    f"{self.replicas.shape}")
+            self.replicas[...] = replicas
+            self._golden = list(state["golden"])
+            self._canary_golden = np.asarray(state["canary_golden"]).copy()
+            for cnt, snap in zip(self.counters, state["counters"]):
+                cnt.load_state(snap)
+            self._probes = np.asarray(state["probes"],
+                                      dtype=np.uint64).copy()
+            self._probe_labels = np.asarray(state["probe_labels"]).copy()
+            self.applied = int(state["applied"])
+            self.rejected = int(state["rejected"])
+            self.outvoted = int(state["outvoted"])
+            self.degraded_classes = set(state["degraded_classes"])
+            return self
+
+    # ------------------------------------------------------------------
+    # locked inference / scrub (fleet streams read while updates land)
+    # ------------------------------------------------------------------
+    def scrub(self, force=False):
+        with self._lock:
+            return super().scrub(force)
+
+    def distances(self, packed_queries):
+        with self._lock:
+            active = self._active().copy()
+        return pairwise_hamming(packed_queries, active, dim=self.dim)
+
+    def distance_block(self, packed_queries, word_start, word_stop):
+        with self._lock:
+            return super().distance_block(packed_queries, word_start,
+                                          word_stop)
+
+    def stats(self):
+        """Protection counters plus the adaptation ledger."""
+        base = super().stats()
+        with self._lock:
+            base.update({
+                "updates_applied": self.applied,
+                "updates_rejected": self.rejected,
+                "replicas_outvoted": self.outvoted,
+                "counter_decays": sum(cnt.decays for cnt in self.counters),
+                "counter_nbytes": sum(cnt.nbytes for cnt in self.counters),
+                "prior": self.prior,
+                "max_step_bits": self.max_step_bits,
+            })
+        return base

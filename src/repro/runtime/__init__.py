@@ -13,7 +13,10 @@ the recall/latency contract.  See ``docs/runtime.md``.
 
 from .chaos import (ChaosInjector, ChaosScenario, poison_frame, run_chaos,
                     run_fleet_chaos)
-from .checkpoint import (load_runtime_state, restore_runtime, runtime_state,
+from .adapt import DriftDetector, OnlineAdapter
+from .checkpoint import (CheckpointVersionError, load_model_state,
+                         load_runtime_state, model_state, restore_model,
+                         restore_runtime, runtime_state, save_model,
                          save_runtime)
 from .fleet import AdmissionError, BatchGate, FleetDispatcher
 from .ladder import (DeadlineScheduler, DegradationLadder, FleetScheduler,
@@ -47,4 +50,11 @@ __all__ = [
     "load_runtime_state",
     "save_runtime",
     "restore_runtime",
+    "CheckpointVersionError",
+    "model_state",
+    "load_model_state",
+    "save_model",
+    "restore_model",
+    "DriftDetector",
+    "OnlineAdapter",
 ]

@@ -1,0 +1,371 @@
+"""Online adaptation in the serving loop: drift detection + guarded updates.
+
+The serving runtime keeps detection *alive*; this module keeps it
+*accurate* as the scene drifts away from the training set (ROADMAP item
+2: illumination/pose drift over long-lived streams).  Two pieces:
+
+* :class:`DriftDetector` - a windowed score-distribution shift monitor
+  over the tracker's confirmed-track margins.  Adaptation is not free
+  (every update risks absorbing a bad label), so the adapter only
+  proposes updates while the detector says ``drifting``: scores have
+  slipped relative to the frozen warm-up reference, but not so far that
+  the tracker itself is untrustworthy (``frozen``).  On a static scene
+  the state stays ``stable``, zero updates are proposed, and served
+  detections remain *bitwise* what a frozen model serves.
+
+* :class:`OnlineAdapter` - the loop closing tracker output back into the
+  class model.  Confirmed tracks (``min_hits`` survivors - detections
+  the temporal hysteresis already vouched for) are harvested as weak
+  labels: their windows re-assembled into packed queries through the
+  engine's cached scene fields (cheap - the frame was just scanned) and
+  proposed to an :class:`~repro.reliability.guard.AdaptiveGuardedModel`
+  as bundling updates.  Every proposal is bracketed by the checkpoint
+  machinery: snapshot before, restore on rejection - so a vetoed update
+  (label poisoning, update storm, class collapse) leaves the model
+  bitwise untouched and counted in :attr:`rollbacks`.
+
+The chaos harness arms :meth:`OnlineAdapter.poison_next` /
+:meth:`OnlineAdapter.storm_next` to turn the next harvest into an
+attack; the gates in :mod:`repro.runtime.chaos` then require the guard
+to detect, outvote and roll back without losing clean recall.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..core.hypervector import packed_tail_mask
+from ..learning.online import OnlineUpdate
+from .checkpoint import load_model_state, model_state
+
+__all__ = ["DriftDetector", "OnlineAdapter"]
+
+#: Drift-detector states, in escalation order.
+DRIFT_STATES = ("warmup", "stable", "drifting", "frozen")
+
+
+class DriftDetector:
+    """Windowed score-distribution shift over the serving margins.
+
+    The first ``warmup`` observations freeze the *reference* - what
+    "trained-distribution" margins look like on this stream.  After
+    that, each observation lands in a bounded recent window and the
+    relative drop ``(ref_mean - recent_mean) / max(|ref_mean|, eps)``
+    classifies the stream:
+
+    * ``stable`` - drop below ``drift_threshold``: the model still fits;
+      adapting would only absorb label noise, so the adapter holds.
+    * ``drifting`` - drop in ``[drift_threshold, freeze_threshold)``:
+      scores are sliding but tracking still works; adapt.
+    * ``frozen`` - drop at/above ``freeze_threshold``: the tracker's own
+      output is no longer trustworthy as labels; freeze the model and
+      ride it out (better a stale model than one trained on garbage).
+
+    A recovering stream walks back down the same thresholds, so the
+    states are re-entrant in both directions.
+    """
+
+    def __init__(self, window=30, warmup=10, drift_threshold=0.1,
+                 freeze_threshold=0.8, eps=1e-6):
+        if int(warmup) < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        if not 0.0 < float(drift_threshold) < float(freeze_threshold):
+            raise ValueError(
+                "need 0 < drift_threshold < freeze_threshold, got "
+                f"{drift_threshold} / {freeze_threshold}")
+        self.warmup = int(warmup)
+        self.drift_threshold = float(drift_threshold)
+        self.freeze_threshold = float(freeze_threshold)
+        self.eps = float(eps)
+        self.reference = []
+        self.recent = deque(maxlen=int(window))
+        self.observed = 0
+        self.transitions = []
+
+    @property
+    def state(self):
+        """Current state: one of :data:`DRIFT_STATES`."""
+        if len(self.reference) < self.warmup:
+            return "warmup"
+        s = self.shift()
+        if s >= self.freeze_threshold:
+            return "frozen"
+        if s >= self.drift_threshold:
+            return "drifting"
+        return "stable"
+
+    def shift(self):
+        """Relative drop of the recent mean below the reference mean.
+
+        Positive = scores have fallen (drift); zero/negative = at or
+        above reference.  Zero until both windows have data.
+        """
+        if len(self.reference) < self.warmup or not self.recent:
+            return 0.0
+        ref = float(np.mean(self.reference))
+        rec = float(np.mean(self.recent))
+        return (ref - rec) / max(abs(ref), self.eps)
+
+    def observe(self, score):
+        """Feed one frame's score signal; returns the new state."""
+        self.observed += 1
+        before = self.state
+        if len(self.reference) < self.warmup:
+            self.reference.append(float(score))
+        else:
+            self.recent.append(float(score))
+        after = self.state
+        if after != before:
+            self.transitions.append((self.observed, before, after))
+        return after
+
+    def stats(self):
+        return {
+            "state": self.state,
+            "shift": self.shift(),
+            "observed": self.observed,
+            "reference_mean": float(np.mean(self.reference))
+            if self.reference else 0.0,
+            "recent_mean": float(np.mean(self.recent))
+            if self.recent else 0.0,
+            "transitions": list(self.transitions),
+        }
+
+
+class OnlineAdapter:
+    """Closes the tracker -> class-model loop with guarded updates.
+
+    Parameters
+    ----------
+    runtime:
+        The owning :class:`~repro.runtime.serving.ResilientVideoDetector`
+        (packed backend).  The adapter reads its engine, base detector
+        and profiler; the runtime calls :meth:`observe` once per
+        detected frame, after the tracker update.
+    model:
+        The :class:`~repro.reliability.guard.AdaptiveGuardedModel`
+        serving this stream (usually also installed as the runtime's
+        ``model_override``).  Shared across streams in a fleet - the
+        model's own lock serializes cross-stream proposals.
+    drift:
+        A :class:`DriftDetector` (default-configured if omitted).  Fleet
+        streams each get their own, so one stream's drift cannot push
+        another stream's updates through.
+    label:
+        Class id the harvested windows vote for (default: the base
+        detector's ``face_class``).
+    max_updates_per_frame:
+        Proposal budget per frame; harvests beyond it are *suppressed*
+        (counted, not proposed) - the update-storm throttle.
+    """
+
+    def __init__(self, runtime, model, drift=None, label=None,
+                 max_updates_per_frame=2):
+        self.runtime = runtime
+        self.model = model
+        self.drift = drift if drift is not None else DriftDetector()
+        base = runtime.base
+        self.label = int(label) if label is not None else base.face_class
+        self.max_updates_per_frame = int(max_updates_per_frame)
+        self.harvested = 0
+        self.proposals = 0
+        self.applied = 0
+        self.rejected = 0
+        self.rollbacks = 0
+        self.outvoted = 0
+        self.stable_skips = 0
+        self.frozen_skips = 0
+        self.storm_suppressed = 0
+        self.poison_injected = 0
+        self.poison_rejected = 0
+        self.poison_outvoted = 0
+        self._poison_kind = None
+        self._storm = 0
+
+    # ------------------------------------------------------------------
+    # chaos arming (see repro.runtime.chaos)
+    # ------------------------------------------------------------------
+    def poison_next(self, kind="label"):
+        """Arm the next observed frame with a poisoned update.
+
+        ``"label"`` - the whole update is adversarial: complement-of-row
+        votes at twice the model's prior, enough to rewrite the class if
+        unguarded.  Every replica sees it, so the step/probe vetting is
+        the only defense - the gate expects *rejected + rolled back*.
+
+        ``"replica"`` - delivery corruption: replica 1 alone receives
+        the poisoned payload while the others see the clean harvest -
+        the gate expects *outvoted* (and the clean majority to commit).
+        """
+        if kind not in ("label", "replica"):
+            raise ValueError(f"unknown poison kind {kind!r}")
+        self._poison_kind = kind
+
+    def storm_next(self, n):
+        """Arm the next observed frame with ``n`` back-to-back updates.
+
+        The update-storm scenario: everything past the per-frame budget
+        must be suppressed, and what is proposed must still pass the
+        per-proposal vetting.
+        """
+        self._storm = max(int(n), 0)
+
+    # ------------------------------------------------------------------
+    # the per-frame hook
+    # ------------------------------------------------------------------
+    def _poison_rows(self, n):
+        """Complement-of-row votes: the strongest wrong-label payload."""
+        row = np.asarray(self.model.replicas[0, self.label])
+        poison = row ^ packed_tail_mask(self.model.dim)
+        return np.repeat(poison[None], n, axis=0)
+
+    def _confirmed_queries(self, frame, tracks):
+        """Packed queries of the confirmed native-size tracks' windows."""
+        window = self.runtime.base.window
+        h, w = frame.shape
+        if h < window or w < window:
+            return None
+        origins = []
+        for t in tracks:
+            if not t.confirmed or abs(t.size - window) > 0.5:
+                continue  # scaled pyramid levels: coordinates are not
+                # base-window cells; harvest only native-size tracks
+            y = min(max(int(round(t.y)), 0), h - window)
+            x = min(max(int(round(t.x)), 0), w - window)
+            origins.append((y, x))
+        if not origins:
+            return None
+        return self.runtime.engine.window_queries(frame, origins, window)
+
+    def _margin_signal(self, queries):
+        """Mean model margin of the tracked windows - the drift signal.
+
+        Computed from the tracks' *window queries* against the current
+        model, not from the tracker's detection scores: detection scores
+        are censored at the detector's threshold (a window that slid
+        below it produced no detection, so its decay would be invisible
+        to the drift monitor), while a confirmed track's window can be
+        re-scored every frame, including while it coasts.
+        """
+        sims = self.model.similarities(queries)
+        label = sims[:, self.label]
+        others = np.delete(sims, self.label, axis=1).max(axis=1)
+        return float(np.mean(label - others))
+
+    def _harvest(self, queries, index):
+        """Confirmed-track queries -> one packed bundling update."""
+        if queries is None:
+            return None
+        self.harvested += len(queries)
+        return OnlineUpdate(self.label, queries, frame=index)
+
+    def _propose(self, update):
+        """Snapshot -> propose -> restore-on-reject; returns the verdict."""
+        snapshot = model_state(self.model)
+        verdict = self.model.propose(update)
+        self.proposals += 1
+        self.outvoted += len(verdict["diverged"])
+        if verdict["applied"]:
+            self.applied += 1
+        else:
+            self.rejected += 1
+            load_model_state(self.model, snapshot)
+            self.rollbacks += 1
+        if update.source == "poison":
+            if not verdict["applied"]:
+                self.poison_rejected += 1
+            if verdict["diverged"]:
+                self.poison_outvoted += 1
+        return verdict
+
+    def observe(self, frame, tracks, index=-1):
+        """Per-frame adaptation step; returns the proposal verdicts.
+
+        Called by the runtime after the tracker update of a detected
+        frame (under its state lock - proposals here serialize with the
+        model's own lock as well, so fleet-shared models stay
+        consistent).  Feeds the drift detector, decides adapt vs. freeze,
+        harvests confirmed tracks, and runs any armed chaos payloads.
+        """
+        queries = self._confirmed_queries(frame, tracks)
+        if queries is not None:
+            state = self.drift.observe(self._margin_signal(queries))
+        else:
+            state = self.drift.state
+        armed = self._poison_kind is not None or self._storm > 0
+        verdicts = []
+        if state == "drifting" or armed:
+            clean = self._harvest(queries, index)
+            verdicts.extend(self._run_proposals(clean, state, index))
+        elif state == "frozen":
+            self.frozen_skips += 1
+        elif state == "stable":
+            self.stable_skips += 1
+        self._publish(state)
+        return verdicts
+
+    def _run_proposals(self, clean, state, index):
+        """Order the frame's proposals: armed chaos first, then clean."""
+        updates = []
+        if self._poison_kind is not None:
+            kind, self._poison_kind = self._poison_kind, None
+            poison = self._poison_rows(2 * self.model.prior)
+            if kind == "label":
+                updates.append(OnlineUpdate(self.label, poison,
+                                            source="poison", frame=index))
+            else:
+                base_payload = clean.queries if clean is not None else \
+                    np.asarray(self.model.replicas[:1, self.label])
+                updates.append(OnlineUpdate(
+                    self.label, base_payload, source="poison", frame=index,
+                    replica_payloads={1: poison}))
+            self.poison_injected += 1
+        if self._storm > 0 and clean is not None:
+            storm, self._storm = self._storm, 0
+            updates.extend(
+                OnlineUpdate(clean.label, clean.queries, source="storm",
+                             frame=index)
+                for _ in range(storm))
+        elif clean is not None and state == "drifting":
+            updates.append(clean)
+        verdicts = []
+        for update in updates:
+            if len(verdicts) >= self.max_updates_per_frame:
+                self.storm_suppressed += len(updates) - len(verdicts)
+                break
+            verdicts.append(self._propose(update))
+        return verdicts
+
+    def _publish(self, state):
+        """Mirror the adaptation ledger into the runtime's profiler."""
+        prof = self.runtime.profiler
+        prof.set_counter("adapt_state", state)
+        prof.set_counter("adapt_proposals", self.proposals)
+        prof.set_counter("adapt_applied", self.applied)
+        prof.set_counter("adapt_rejected", self.rejected)
+        prof.set_counter("adapt_rollbacks", self.rollbacks)
+        prof.set_counter("adapt_outvoted", self.outvoted)
+        prof.set_counter("guard_scrubs", self.model.scrubs)
+        prof.set_counter("guard_repaired", self.model.repaired)
+
+    def stats(self):
+        """The adaptation ledger plus the drift detector's view."""
+        return {
+            "label": self.label,
+            "harvested": self.harvested,
+            "proposals": self.proposals,
+            "applied": self.applied,
+            "rejected": self.rejected,
+            "rollbacks": self.rollbacks,
+            "outvoted": self.outvoted,
+            "stable_skips": self.stable_skips,
+            "frozen_skips": self.frozen_skips,
+            "storm_suppressed": self.storm_suppressed,
+            "poison_injected": self.poison_injected,
+            "poison_rejected": self.poison_rejected,
+            "poison_outvoted": self.poison_outvoted,
+            "drift": self.drift.stats(),
+            "model": self.model.stats(),
+        }

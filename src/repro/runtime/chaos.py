@@ -20,7 +20,12 @@ checks the contract:
   (times an explicit tolerance) - processing cost is what the ladder
   controls, so this is the "degradation bought back the deadline" check;
   submit-to-done latency (which also carries the queue wait frames
-  inherit from an upstream stall) is reported alongside, ungated.
+  inherit from an upstream stall) is reported alongside, ungated;
+* on adapting runtimes (``adapt=True``), scripted online-learning
+  attacks (``label_poison``, ``update_storm``) must be caught at the
+  model's door: poisoned updates detected (rejected or outvoted) and
+  rolled back, storms throttled to the proposal budget - with the recall
+  gate proving clean recall survived the attack.
 
 The verdict plus the full incident trail is returned JSON-ready for
 ``benchmarks/bench_runtime_resilience.py`` and the CI chaos-smoke job.
@@ -106,6 +111,19 @@ class ChaosScenario:
         When positive, the stored packed class model is corrupted at this
         per-bit rate for the entire run
         (:meth:`~repro.core.packed.PackedClassModel.corrupted`).
+    label_poison:
+        ``{frame: kind}`` online-learning attacks (``adapt=True``
+        runtimes): at the given frame the adapter's *next* harvested
+        update is replaced with a poisoned one -
+        :meth:`~repro.runtime.adapt.OnlineAdapter.poison_next` kinds
+        ``"label"`` (adversarial votes, must be rejected + rolled back)
+        or ``"replica"`` (one replica's payload corrupted in delivery,
+        must be outvoted).
+    update_storm:
+        ``{frame: n}`` update storms: the adapter is armed to propose
+        ``n`` back-to-back copies of its next harvest
+        (:meth:`~repro.runtime.adapt.OnlineAdapter.storm_next`); the
+        per-frame proposal budget must suppress the excess.
     seed:
         Randomness for fault positions.
     """
@@ -118,6 +136,8 @@ class ChaosScenario:
     fault_rate: float = 0.0
     fault_frames: tuple | None = None
     model_fault_rate: float = 0.0
+    label_poison: dict = field(default_factory=dict)
+    update_storm: dict = field(default_factory=dict)
     seed: int = 0
 
     def payload(self):
@@ -133,6 +153,10 @@ class ChaosScenario:
             "fault_frames": (list(self.fault_frames)
                              if self.fault_frames else None),
             "model_fault_rate": self.model_fault_rate,
+            "label_poison": {int(k): str(v)
+                             for k, v in self.label_poison.items()},
+            "update_storm": {int(k): int(v)
+                             for k, v in self.update_storm.items()},
             "seed": self.seed,
         }
 
@@ -167,6 +191,14 @@ class ChaosInjector:
         if self.injector is not None:
             lo, hi = sc.fault_frames or (0, float("inf"))
             self.runtime.injector = (self.injector if lo <= i < hi else None)
+        adapter = getattr(self.runtime, "adapter", None)
+        if adapter is not None:
+            kind = sc.label_poison.get(i)
+            if kind is not None:
+                adapter.poison_next(kind)
+            storm = sc.update_storm.get(i)
+            if storm is not None:
+                adapter.storm_next(storm)
         hard = sc.hard_stalls.get(i)
         if hard is not None:
             self.stalled.append(i)
@@ -182,6 +214,42 @@ class ChaosInjector:
         spike = sc.spikes.get(i)
         if spike is not None:
             time.sleep(spike)  # served load: counts toward latency gates
+
+
+def _adapt_gates(runtime, scenario):
+    """Online-learning chaos gates (armed scenarios, adapting runtimes).
+
+    * ``poison_update_detected`` - every consumed poisoned update was
+      caught by the guard: rejected by the vetting (label kind) or its
+      diverging replica outvoted (replica kind).
+    * ``poison_update_rolled_back`` - every rejected poison was restored
+      from the pre-proposal snapshot (the adapter's rollback ledger
+      covers it); clean-recall preservation is the existing
+      ``recall_within_bound`` / healthy-stream gates.
+    * ``storm_throttled`` - the proposal budget suppressed everything an
+      update storm pushed past ``max_updates_per_frame``.
+    """
+    adapter = getattr(runtime, "adapter", None)
+    if adapter is None or not (scenario.label_poison
+                               or scenario.update_storm):
+        return {}
+    a = adapter.stats()
+    gates = {}
+    if scenario.label_poison:
+        injected = a["poison_injected"]
+        gates["poison_update_detected"] = (
+            injected >= 1
+            and a["poison_rejected"] + a["poison_outvoted"] >= injected)
+        if any(k == "label" for k in scenario.label_poison.values()):
+            gates["poison_update_rolled_back"] = (
+                a["poison_rejected"] >= 1
+                and a["rollbacks"] >= a["poison_rejected"])
+    if scenario.update_storm:
+        budget = adapter.max_updates_per_frame
+        expected = sum(max(int(n) - budget, 0)
+                       for n in scenario.update_storm.values())
+        gates["storm_throttled"] = a["storm_suppressed"] >= expected
+    return gates
 
 
 def _served_recall(results, truth_by_frame, iou_match=0.25):
@@ -322,6 +390,7 @@ def run_chaos(make_runtime, frames, truth, scenario, pace=0.0,
         "p95_within_budget":
             stats["proc_p95"] <= budget * p95_tolerance,
     }
+    gates.update(_adapt_gates(runtime, scenario))
     return {
         "scenario": scenario.payload(),
         "n_frames": len(frames),
@@ -335,6 +404,8 @@ def run_chaos(make_runtime, frames, truth, scenario, pace=0.0,
         "deepest_rung": deepest,
         "deepest_rung_name": ladder.rungs[deepest].name,
         "incidents": runtime.incidents.payload(),
+        "adapt": (runtime.adapter.stats()
+                  if getattr(runtime, "adapter", None) is not None else None),
         "recall_chaos": recall_chaos,
         "recall_clean": recall_clean,
         "recall_drop": recall_drop,
@@ -474,6 +545,8 @@ def run_fleet_chaos(fleet, frames, truth, scenarios, pace=0.0,
             "frames_scored": n_scored,
             "frames_unserved": unserved,
         }
+        if getattr(runtime, "adapter", None) is not None:
+            entry["adapt"] = runtime.adapter.stats()
         per_gate["no_crashes"] &= stats["crashes"] == 0
         if scenario:
             n_stalls = len(scenario.stalls) + len(scenario.hard_stalls)
@@ -484,6 +557,13 @@ def run_fleet_chaos(fleet, frames, truth, scenarios, pace=0.0,
             entry["poison_quarantined"] = \
                 stats["quarantined"] == len(scenario.poison)
             per_gate["poison_quarantined"] &= entry["poison_quarantined"]
+            # online-learning attack gates: the victim's poisoned /
+            # storming updates must be caught at the shared model's door
+            # (the healthy streams' recall/p95 gates then prove the
+            # blast radius stopped there)
+            for key, ok in _adapt_gates(runtime, scenario).items():
+                entry[key] = ok
+                per_gate[key] = per_gate.get(key, True) & ok
         else:
             entry["p95_within_budget"] = \
                 stats["proc_p95"] <= budget * p95_tolerance

@@ -27,10 +27,40 @@ import numpy as np
 
 from ..pipeline.stream import Track
 
-__all__ = ["runtime_state", "load_runtime_state", "save_runtime",
-           "restore_runtime"]
+__all__ = ["CheckpointVersionError", "runtime_state", "load_runtime_state",
+           "save_runtime", "restore_runtime", "model_state",
+           "load_model_state", "save_model", "restore_model"]
 
-_FORMAT_VERSION = 1
+#: v1: runtime-state payloads keyed ``format_version``.
+#: v2: explicit ``version`` schema field on every payload (runtime and
+#: model checkpoints) with :class:`CheckpointVersionError` on mismatch.
+_FORMAT_VERSION = 2
+
+
+class CheckpointVersionError(ValueError):
+    """A checkpoint payload is missing its schema version or carries one
+    this build cannot restore.  Raised *before* any field is touched, so a
+    half-compatible payload can never install a torn state."""
+
+
+def _check_version(payload, kind):
+    """Validate the ``version`` field of a checkpoint payload (dict or
+    npz mapping); returns the version.  ``format_version`` (the v1 key)
+    is recognized so old payloads fail with "unsupported v1", not
+    "missing version"."""
+    if "version" in payload:
+        version = int(payload["version"])
+    elif "format_version" in payload:
+        version = int(payload["format_version"])
+    else:
+        raise CheckpointVersionError(
+            f"{kind} checkpoint has no schema version field "
+            f"(expected 'version'); not a v{_FORMAT_VERSION} checkpoint")
+    if version != _FORMAT_VERSION:
+        raise CheckpointVersionError(
+            f"unsupported {kind} checkpoint v{version} "
+            f"(this build reads v{_FORMAT_VERSION})")
+    return version
 
 #: Column layout of the packed track matrix.
 _TRACK_FIELDS = ("track_id", "y", "x", "size", "score", "hits", "misses",
@@ -61,7 +91,7 @@ def runtime_state(runtime):
     with runtime._state_lock:
         sched = runtime.scheduler
         return {
-            "format_version": _FORMAT_VERSION,
+            "version": _FORMAT_VERSION,
             "tracks": [[t.track_id, t.y, t.x, t.size, t.score, t.hits,
                         t.misses, t.age, int(t.confirmed)]
                        for t in runtime.tracker.tracks],
@@ -90,9 +120,7 @@ def load_runtime_state(runtime, state, frame=-1):
     identically, the latter belongs to the worker that produced it).
     Records a ``checkpoint_restored`` incident.
     """
-    version = int(state["format_version"])
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported runtime checkpoint v{version}")
+    _check_version(state, "runtime")
     with runtime._state_lock:
         runtime.tracker.tracks = [
             Track(int(r[0]), float(r[1]), float(r[2]), float(r[3]),
@@ -153,13 +181,14 @@ def restore_runtime(runtime, path, frame=-1):
     subsequent :func:`runtime_state` reports).
     """
     with np.load(path, allow_pickle=False) as data:
+        version = _check_version(data, "runtime")
         mat = np.atleast_2d(np.asarray(data["tracks"], dtype=np.float64))
         confirmed = np.asarray(data["tracks_confirmed"], dtype=np.bool_)
         tracks = [[int(r[0]), float(r[1]), float(r[2]), float(r[3]),
                    float(r[4]), int(r[5]), int(r[6]), int(r[7]), int(c)]
                   for r, c in zip(mat, confirmed) if r.size]
         state = {
-            "format_version": int(data["format_version"]),
+            "version": version,
             "tracks": tracks,
             "quarantine_rejected": json.loads(
                 bytes(data["quarantine_rejected"]).decode()),
@@ -170,4 +199,102 @@ def restore_runtime(runtime, path, frame=-1):
                     "quarantine_passed"):
             state[key] = int(data[key])
     load_runtime_state(runtime, state, frame=frame)
+    return state
+
+
+# ----------------------------------------------------------------------
+# adaptive-model checkpoints
+# ----------------------------------------------------------------------
+# An online-adapting class model is runtime state too: its replica rows,
+# golden digests and bundling counters change while serving, and the
+# adapter snapshots/restores them around every proposed update (the
+# rejection-rollback contract of
+# :class:`repro.reliability.guard.AdaptiveGuardedModel`).  The same
+# payload persisted to disk lets a replacement worker resume with the
+# *adapted* model instead of the offline-trained one.
+
+def model_state(model):
+    """Versioned in-memory snapshot of an adaptive guarded model.
+
+    Thin wrapper over ``model.state_dict()`` that stamps the checkpoint
+    schema version, so snapshots taken for rollback and payloads written
+    by :func:`save_model` validate identically on the way back in.
+    """
+    state = model.state_dict()
+    state["version"] = _FORMAT_VERSION
+    return state
+
+
+def load_model_state(model, state):
+    """Install a :func:`model_state` snapshot bitwise; returns ``model``."""
+    _check_version(state, "model")
+    model.load_state_dict(state)
+    return model
+
+
+def save_model(model, path):
+    """Persist an adaptive guarded model to one compressed ``.npz``.
+
+    Array-first like :func:`save_runtime`: replica words, probes and the
+    per-replica counter planes are stored as native arrays; digests and
+    scalar ledgers ride in one JSON blob.  Returns the state dict.
+    """
+    state = model_state(model)
+    counters = state["counters"]
+    arrays = {
+        "version": state["version"],
+        "replicas": state["replicas"],
+        "canary_golden": state["canary_golden"],
+        "probes": state["probes"],
+        "probe_labels": state["probe_labels"],
+    }
+    for r, snap in enumerate(counters):
+        arrays[f"counter_planes_{r}"] = snap["planes"]
+        arrays[f"counter_totals_{r}"] = snap["totals"]
+    meta = {
+        "golden": [bytes(d).hex() for d in state["golden"]],
+        "counters": [{k: int(snap[k]) for k in ("prior", "updates", "decays")}
+                     for snap in counters],
+        "applied": state["applied"],
+        "rejected": state["rejected"],
+        "outvoted": state["outvoted"],
+        "degraded_classes": sorted(state["degraded_classes"]),
+    }
+    np.savez_compressed(path, meta=np.bytes_(json.dumps(meta).encode()),
+                        **arrays)
+    return state
+
+
+def restore_model(model, path):
+    """Load a :func:`save_model` checkpoint into ``model``.
+
+    Returns the installed state dict (identical to what a subsequent
+    :func:`model_state` reports, version stamp included).
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = _check_version(data, "model")
+        meta = json.loads(bytes(data["meta"]).decode())
+        counters = []
+        for r, scalars in enumerate(meta["counters"]):
+            counters.append({
+                "planes": np.asarray(data[f"counter_planes_{r}"],
+                                     dtype=np.uint64),
+                "totals": np.asarray(data[f"counter_totals_{r}"],
+                                     dtype=np.int64),
+                **scalars,
+            })
+        state = {
+            "version": version,
+            "replicas": np.asarray(data["replicas"], dtype=np.uint64),
+            "golden": [bytes.fromhex(d) for d in meta["golden"]],
+            "canary_golden": np.asarray(data["canary_golden"]),
+            "counters": counters,
+            "probes": np.asarray(data["probes"], dtype=np.uint64),
+            "probe_labels": np.asarray(data["probe_labels"]),
+            "applied": int(meta["applied"]),
+            "rejected": int(meta["rejected"]),
+            "outvoted": int(meta["outvoted"]),
+            "degraded_classes": set(meta["degraded_classes"]),
+        }
+    load_model_state(model, state)
     return state

@@ -20,7 +20,13 @@ the three things worth sharing on one machine:
 * **the shedding policy** - a :class:`~repro.runtime.ladder.
   FleetScheduler` watches every stream's latency-to-budget ratio and,
   under machine-wide pressure, raises the degradation *floor* of the
-  cheapest / least-behind streams first instead of degrading everyone.
+  cheapest / least-behind streams first instead of degrading everyone;
+* **the class model** (``guard=`` / ``adapt=``) - one fleet-shared
+  :class:`~repro.reliability.guard.GuardedClassModel` (or its
+  online-learning :class:`~repro.reliability.guard.
+  AdaptiveGuardedModel` extension) serves every stream, so a scrubbed
+  bit-flip heals fleet-wide and every stream's vetted online updates
+  land in - and are contained away from - the same replicated rows.
 
 Admission control keeps the fleet inside its envelope: streams beyond
 ``max_streams`` (or whose declared fps would exceed ``capacity_fps``)
@@ -39,6 +45,7 @@ from ..pipeline.batcher import CrossStreamBatcher
 from ..pipeline.multiscale import PyramidDetector
 from ..pipeline.stream import VideoStreamDetector
 from ..profiling import Profiler
+from ..reliability.guard import AdaptiveGuardedModel, GuardedClassModel
 from .ladder import FleetScheduler
 from .serving import ResilientVideoDetector
 
@@ -182,6 +189,26 @@ class FleetDispatcher:
         Engine cache entries to provision per admitted stream (pyramid
         levels x a safety factor); the engine cache is grown, never
         shrunk.
+    guard:
+        Serve every stream against one fleet-shared
+        :class:`~repro.reliability.guard.GuardedClassModel` (replicated
+        rows, scrub-and-repair) instead of the raw packed model.  All
+        streams install the same model as their ``model_override``, so
+        the batch gate still groups their windows into one batch and a
+        repaired bit heals for the whole fleet at once.  Packed backend
+        only.
+    adapt:
+        Guarded *online learning*, fleet-wide: the shared model is an
+        :class:`~repro.reliability.guard.AdaptiveGuardedModel` and every
+        stream runs its own :class:`~repro.runtime.adapt.OnlineAdapter`
+        with its own drift detector.  Updates from all streams serialize
+        on the shared model's lock and pass the same vetting; a
+        poisoned stream's proposals are rejected/outvoted before they
+        can touch what the other streams serve (blast-radius
+        containment).  Implies ``guard``.
+    guard_kwargs:
+        Options for the shared model (``replicas``, ``seed_or_rng``,
+        ``prior``, ``max_step_frac``, ...).
     runtime_kwargs:
         Defaults forwarded to every stream's
         :class:`~repro.runtime.serving.ResilientVideoDetector`
@@ -191,6 +218,7 @@ class FleetDispatcher:
     def __init__(self, make_detector, budget=0.25, max_streams=8,
                  capacity_fps=None, batch_window=0.002, batching=True,
                  scheduler=None, profiler=None, cache_per_stream=8,
+                 guard=False, adapt=False, guard_kwargs=None,
                  **runtime_kwargs):
         if max_streams < 1:
             raise ValueError("max_streams must be at least 1")
@@ -218,6 +246,16 @@ class FleetDispatcher:
             raise ValueError("fleet serving requires the shared-feature "
                              "engine (engine='shared')")
         self.template = template
+        self.adapt = bool(adapt)
+        self.shared_model = None
+        if adapt or guard:
+            if template.detector.backend != "packed":
+                raise ValueError("guard/adapt fleets require the packed "
+                                 "backend (the guarded models replicate "
+                                 "packed rows)")
+            cls = AdaptiveGuardedModel if adapt else GuardedClassModel
+            self.shared_model = cls(template.detector.packed_model(),
+                                    **dict(guard_kwargs or {}))
         self.batcher = CrossStreamBatcher(template.detector)
         self.gate = BatchGate(self.batcher, batch_window=batch_window,
                               on_batch=self._on_batch) if self.batching \
@@ -263,9 +301,24 @@ class FleetDispatcher:
                                       workers=t.workers)
             kwargs = dict(self.runtime_kwargs)
             kwargs.update(runtime_kwargs)
+            if self.shared_model is not None and self.adapt:
+                # every stream closes its own tracker -> model loop (own
+                # adapter + drift detector) against the one shared model;
+                # proposals serialize on the model's lock and a per-stream
+                # attack is vetted before it can touch the fleet's rows
+                akw = dict(kwargs.pop("adapt_kwargs", None) or {})
+                if "model" in akw:
+                    raise ValueError(
+                        "fleet adapt streams share the dispatcher's model; "
+                        "per-stream model= is not allowed")
+                akw["model"] = self.shared_model
+                kwargs["adapt"] = True
+                kwargs["adapt_kwargs"] = akw
             runtime = ResilientVideoDetector(
                 pyr, budget=self.budget if budget is None else float(budget),
                 ladder=ladder, **kwargs)
+            if self.shared_model is not None and not self.adapt:
+                runtime.model_override = self.shared_model
             # every runtime's __init__ points the *shared* detector and
             # engine at its own profiler; the shared datapath belongs to
             # the fleet, so re-point it at the fleet profiler (the
@@ -349,6 +402,19 @@ class FleetDispatcher:
         merged.merge(self.profiler)
         for s in self.streams.values():
             merged.merge(s["runtime"].profiler)
+        if self.shared_model is not None:
+            # per-stream profilers each mirror the *shared* model's scrub
+            # ledger, so the summed merge overcounts it; overwrite with
+            # the authoritative fleet-wide numbers (adapt_* counters stay
+            # summed - they are genuinely per-stream adapter ledgers)
+            stats = self.shared_model.stats()
+            merged.set_counter("guard_scrubs", stats["scrubs"])
+            merged.set_counter("guard_repaired", stats["repaired"])
+            if self.adapt:
+                merged.set_counter("adapt_applied", stats["updates_applied"])
+                merged.set_counter("adapt_rejected", stats["updates_rejected"])
+                merged.set_counter("adapt_outvoted",
+                                   stats["replicas_outvoted"])
         return merged
 
     def stats(self):
@@ -378,6 +444,8 @@ class FleetDispatcher:
                 else {"batches": 0, "batched_requests": 0,
                       "max_bundles": 0, "mean_requests": 0.0},
                 "scheduler": self.scheduler.stats(),
+                "guard": self.shared_model.stats()
+                if self.shared_model is not None else None,
                 "profile_table": merged.table("fleet profile"),
             }
             return {"fleet": fleet, "streams": per_stream}

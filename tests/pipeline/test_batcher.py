@@ -181,6 +181,37 @@ class TestCascadePath:
         assert_maps_equal(maps[1], det.scan(scenes[1], model=override))
 
 
+class TestGuardedModels:
+    """Guarded / adaptive models ride the batched paths like any model."""
+
+    def test_guarded_model_groups_and_matches_flat(self, face_pipe, scenes):
+        from repro.reliability import GuardedClassModel
+        det = shared_detector(face_pipe)
+        guarded = GuardedClassModel(det.packed_model(), seed_or_rng=0)
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many(
+            [ScanRequest(s, model=guarded) for s in scenes])
+        # one shared guarded model -> one group, full batching preserved
+        assert batcher.last_stats["groups"] == 1
+        assert batcher.last_stats["flat"] == len(scenes)
+        for got, scene in zip(maps, scenes):
+            assert_maps_equal(got, det.scan(scene, model=guarded))
+            assert_maps_equal(got, det.scan(scene))  # replica 0 == base
+
+    def test_adaptive_model_takes_cascade_route(self, face_pipe, scenes):
+        from repro.reliability import AdaptiveGuardedModel
+        det = shared_detector(face_pipe, cascade=True)
+        model = AdaptiveGuardedModel(det.packed_model(), seed_or_rng=0)
+        batcher = CrossStreamBatcher(det)
+        maps = batcher.scan_many(
+            [ScanRequest(s, model=model) for s in scenes])
+        # distance_block is what routes a model through the cascade
+        assert batcher.last_stats["cascade"] == len(scenes)
+        assert batcher.last_stats["groups"] == 1
+        for got, scene in zip(maps, scenes):
+            assert_maps_equal(got, det.scan(scene, model=model))
+
+
 class TestStats:
     def test_window_count_totals(self, face_pipe, scenes):
         det = shared_detector(face_pipe)

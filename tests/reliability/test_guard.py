@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.hypervector import pack_bits, random_hypervector
+from repro.core.hypervector import pack_bits, random_hypervector, unpack_bits
 from repro.core.packed import PackedClassModel
-from repro.reliability import GuardedClassModel
+from repro.learning.online import OnlineUpdate
+from repro.reliability import AdaptiveGuardedModel, GuardedClassModel
 
 
 def make_model(dim=257, n_classes=4, seed=0):
@@ -14,6 +15,22 @@ def make_model(dim=257, n_classes=4, seed=0):
 
 def make_queries(model, n=32, seed=1):
     return pack_bits(random_hypervector(model.dim, seed, shape=(n,)))
+
+
+def near_votes(base, class_id, n, flip_frac=0.03, seed=0):
+    """Packed votes that mostly agree with one class row (gradual drift)."""
+    rng = np.random.default_rng(seed)
+    row = unpack_bits(base.packed[class_id], base.dim)
+    target = row.copy()
+    flips = rng.random(base.dim) < flip_frac
+    target[flips] = -target[flips]
+    return pack_bits(np.repeat(target[None], n, axis=0))
+
+
+def complement_votes(base, class_id, n):
+    """Packed votes opposing every bit of one class row (label poison)."""
+    row = unpack_bits(base.packed[class_id], base.dim)
+    return pack_bits(np.repeat(-row[None], n, axis=0))
 
 
 class TestConstruction:
@@ -166,3 +183,181 @@ class TestCorruptReplica:
         guarded = GuardedClassModel(make_model(dim=70), seed_or_rng=0)
         guarded.corrupt_replica(1, 1.0, seed_or_rng=0)
         assert (guarded.replicas[1] & ~packed_tail_mask(70) == 0).all()
+
+
+class TestPackedCompatSurface:
+    """Guarded models must walk the same model= paths as PackedClassModel."""
+
+    def test_n_words_matches_base(self):
+        base = make_model(dim=257)
+        assert GuardedClassModel(base, seed_or_rng=0).n_words == base.n_words
+
+    def test_distance_block_matches_base(self):
+        base = make_model(dim=300, n_classes=3)
+        guarded = GuardedClassModel(base, seed_or_rng=0)
+        queries = make_queries(base, n=8)
+        for w0, w1 in [(0, 2), (1, 4), (0, base.n_words), (3, base.n_words)]:
+            assert np.array_equal(guarded.distance_block(queries, w0, w1),
+                                  base.distance_block(queries, w0, w1))
+
+    def test_distance_block_accepts_block_slices(self):
+        base = make_model(dim=300, n_classes=3)
+        guarded = GuardedClassModel(base, seed_or_rng=0)
+        queries = make_queries(base, n=8)
+        assert np.array_equal(guarded.distance_block(queries[:, 1:4], 1, 4),
+                              base.distance_block(queries, 1, 4))
+
+    def test_distance_block_scrubs_corruption(self):
+        base = make_model(dim=1024, n_classes=2)
+        guarded = GuardedClassModel(base, replicas=3, seed_or_rng=0)
+        guarded.corrupt_replica(0, 0.5, seed_or_rng=9)
+        got = guarded.distance_block(make_queries(base, n=4), 0, 4)
+        assert np.array_equal(got, base.distance_block(make_queries(base,
+                                                                    n=4),
+                                                       0, 4))
+
+
+class TestAdaptiveClean:
+    def test_small_clean_update_is_applied(self):
+        base = make_model(dim=1024)
+        adaptive = AdaptiveGuardedModel(base, seed_or_rng=0, prior=32)
+        votes = near_votes(base, 0, n=4, seed=1)
+        verdict = adaptive.propose(OnlineUpdate(0, votes))
+        assert verdict["applied"] and verdict["reason"] is None
+        assert verdict["diverged"] == []
+        assert adaptive.applied == 1 and adaptive.rejected == 0
+
+    def test_committed_update_changes_served_rows_and_stays_scrubbed(self):
+        # prior 4, 6 consistent near-votes: the served row moves to the
+        # vote target; golden digests follow, so the scrubber is quiet
+        base = make_model(dim=1024)
+        adaptive = AdaptiveGuardedModel(base, seed_or_rng=0, prior=4,
+                                        max_step_frac=0.06)
+        votes = near_votes(base, 1, n=6, flip_frac=0.03, seed=2)
+        verdict = adaptive.propose(OnlineUpdate(1, votes))
+        assert verdict["applied"]
+        assert verdict["step_bits"] > 0
+        assert not np.array_equal(adaptive.replicas[0, 1], base.packed[1])
+        assert adaptive.scrub(force=True) == 0
+        # served rows stay bitwise equal to the counters' rematerialization
+        assert np.array_equal(adaptive.replicas[0],
+                              adaptive.counters[0].materialize())
+
+    def test_inference_tracks_committed_updates(self):
+        base = make_model(dim=1024)
+        adaptive = AdaptiveGuardedModel(base, seed_or_rng=0, prior=4,
+                                        max_step_frac=0.06)
+        adaptive.propose(OnlineUpdate(0, near_votes(base, 0, 6, seed=3)))
+        queries = make_queries(base, n=16)
+        direct = adaptive.counters[0].as_model()
+        assert np.array_equal(adaptive.distances(queries),
+                              direct.distances(queries))
+
+    def test_gradual_drift_keeps_passing(self):
+        # many small steps, each within the bound: all commit; the probe
+        # set re-anchors after each commit so drift never strands it
+        base = make_model(dim=1024)
+        adaptive = AdaptiveGuardedModel(base, seed_or_rng=0, prior=4,
+                                        max_step_frac=0.06)
+        for step in range(8):
+            current = adaptive.counters[0].as_model()
+            votes = near_votes(current, 0, n=5, flip_frac=0.02,
+                               seed=10 + step)
+            verdict = adaptive.propose(OnlineUpdate(0, votes))
+            assert verdict["applied"], verdict
+        assert adaptive.applied == 8
+
+    def test_out_of_range_label_rejected(self):
+        adaptive = AdaptiveGuardedModel(make_model(), seed_or_rng=0)
+        with pytest.raises(ValueError):
+            adaptive.propose(OnlineUpdate(9, make_queries(adaptive, n=2)))
+
+
+class TestAdaptivePoison:
+    def test_label_poison_rejected_and_rows_untouched(self):
+        # 2x-prior complement votes would rewrite the whole class row -
+        # far past the per-proposal step bound, so the proposal is vetoed
+        base = make_model(dim=1024)
+        adaptive = AdaptiveGuardedModel(base, seed_or_rng=0, prior=32)
+        poison = complement_votes(base, 0, n=64)
+        verdict = adaptive.propose(OnlineUpdate(0, poison))
+        assert not verdict["applied"]
+        assert verdict["reason"] == "step_bound"
+        assert verdict["step_bits"] > adaptive.max_step_bits
+        assert adaptive.rejected == 1
+        # served rows never saw the poison
+        assert np.array_equal(adaptive.replicas[0], base.packed)
+        assert adaptive.scrub(force=True) == 0
+
+    def test_poisoned_replica_outvoted_and_counters_healed(self):
+        # the delivery-corruption case: replica 1 receives a poisoned
+        # payload; its rematerialized row diverges, the majority outvotes
+        # it and its counters are restored from a healthy replica
+        base = make_model(dim=1024)
+        adaptive = AdaptiveGuardedModel(base, seed_or_rng=0, prior=4,
+                                        max_step_frac=0.06)
+        clean = near_votes(base, 0, n=6, seed=4)
+        poison = complement_votes(base, 0, n=6)
+        verdict = adaptive.propose(
+            OnlineUpdate(0, clean, replica_payloads={1: poison}))
+        assert verdict["diverged"] == [1]
+        assert adaptive.outvoted == 1
+        assert verdict["applied"]  # the clean majority still commits
+        for r in range(adaptive.n_replicas):
+            assert np.array_equal(adaptive.counters[r].materialize(),
+                                  adaptive.counters[0].materialize())
+        assert np.array_equal(adaptive.replicas[0],
+                              adaptive.counters[0].materialize())
+
+    def test_rejection_rolls_back_through_state_dict(self):
+        # the caller-side contract: snapshot before propose, restore on
+        # rejection -> the whole model (counters included) is bitwise back
+        base = make_model(dim=1024)
+        adaptive = AdaptiveGuardedModel(base, seed_or_rng=0, prior=32)
+        adaptive.propose(OnlineUpdate(0, near_votes(base, 0, 4, seed=5)))
+        snap = adaptive.state_dict()
+        materialized = [cnt.materialize() for cnt in adaptive.counters]
+        verdict = adaptive.propose(
+            OnlineUpdate(1, complement_votes(base, 1, n=64)))
+        assert not verdict["applied"]
+        # counters are dirty until the rollback lands
+        assert not np.array_equal(adaptive.counters[0].materialize(),
+                                  materialized[0])
+        adaptive.load_state_dict(snap)
+        for cnt, want in zip(adaptive.counters, materialized):
+            assert np.array_equal(cnt.materialize(), want)
+        assert adaptive.rejected == snap["rejected"]
+        assert adaptive.scrub(force=True) == 0
+
+    def test_probe_check_rejects_class_collapse(self):
+        # two near-identical classes: pulling class 0 onto class 1 within
+        # the step bound still strands class 1's probes -> probe veto
+        bip = random_hypervector(1024, 3, shape=(2,))
+        bip[1] = bip[0]
+        flip = np.zeros(1024, dtype=bool)
+        flip[:40] = True
+        bip[1, flip] = -bip[1, flip]
+        base = PackedClassModel(bip)
+        adaptive = AdaptiveGuardedModel(base, seed_or_rng=0, prior=2,
+                                        max_step_frac=0.08,
+                                        probe_flip=0.004)
+        votes = pack_bits(np.repeat(
+            unpack_bits(base.packed[1], 1024)[None], 4, axis=0))
+        verdict = adaptive.propose(OnlineUpdate(0, votes))
+        assert not verdict["applied"]
+        assert verdict["reason"] == "probe_check"
+
+
+class TestAdaptiveStats:
+    def test_stats_extend_guard_counters(self):
+        adaptive = AdaptiveGuardedModel(make_model(dim=512), seed_or_rng=0,
+                                        prior=4, max_step_frac=0.06)
+        base = adaptive.counters[0].as_model()
+        adaptive.propose(OnlineUpdate(0, near_votes(base, 0, 5, seed=6)))
+        adaptive.propose(OnlineUpdate(1, complement_votes(base, 1, 16)))
+        stats = adaptive.stats()
+        assert stats["updates_applied"] == 1
+        assert stats["updates_rejected"] == 1
+        assert stats["replicas_outvoted"] == 0
+        assert "detected" in stats and "degraded_classes" in stats
+        assert stats["max_step_bits"] == adaptive.max_step_bits

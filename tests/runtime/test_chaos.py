@@ -108,6 +108,101 @@ class TestRunChaos:
         assert report["recall_drop"] == 0.0
 
 
+class TestAdaptChaos:
+    """Online-learning attacks: detected, rolled back, recall preserved."""
+
+    @pytest.fixture
+    def factory(self, serve_pipe):
+        from repro.pipeline.stream import TemporalTracker
+
+        def make_runtime(ladder=None, budget=None):
+            return ResilientVideoDetector(
+                make_detector(serve_pipe),
+                budget=budget if budget else 10.0, ladder=ladder,
+                tracker=TemporalTracker(min_hits=1),
+                stall_timeout=0.5, queue_size=8, policy="block",
+                adapt=True)
+        return make_runtime
+
+    def test_label_poison_detected_and_rolled_back(self, factory, video):
+        frames, truth = video
+        scenario = ChaosScenario("label-poison", label_poison={3: "label"})
+        report = run_chaos(factory, frames, truth, scenario)
+        assert report["passed"], report["gates"]
+        assert report["gates"]["poison_update_detected"]
+        assert report["gates"]["poison_update_rolled_back"]
+        assert report["gates"]["recall_within_bound"]
+        assert report["adapt"]["poison_injected"] == 1
+        assert report["adapt"]["poison_rejected"] == 1
+        assert report["adapt"]["rollbacks"] >= 1
+        json.dumps(report)
+
+    def test_replica_poison_outvoted(self, factory, video):
+        frames, truth = video
+        scenario = ChaosScenario("replica-poison",
+                                 label_poison={3: "replica"})
+        report = run_chaos(factory, frames, truth, scenario)
+        assert report["passed"], report["gates"]
+        assert report["gates"]["poison_update_detected"]
+        # replica corruption is outvoted, not rejected: no rollback gate
+        assert "poison_update_rolled_back" not in report["gates"]
+        assert report["adapt"]["poison_outvoted"] == 1
+
+    def test_update_storm_throttled(self, factory, video):
+        frames, truth = video
+        scenario = ChaosScenario("storm", update_storm={3: 10})
+        report = run_chaos(factory, frames, truth, scenario)
+        assert report["passed"], report["gates"]
+        assert report["gates"]["storm_throttled"]
+        assert report["adapt"]["storm_suppressed"] >= 8
+
+    def test_frozen_runtime_skips_adapt_gates(self, serve_pipe, video):
+        from repro.pipeline.stream import TemporalTracker
+
+        def make_runtime(ladder=None, budget=None):
+            return ResilientVideoDetector(
+                make_detector(serve_pipe),
+                budget=budget if budget else 10.0, ladder=ladder,
+                tracker=TemporalTracker(min_hits=1),
+                stall_timeout=0.5, queue_size=8, policy="block")
+
+        frames, truth = video
+        scenario = ChaosScenario("unarmed", label_poison={3: "label"})
+        report = run_chaos(make_runtime, frames, truth, scenario)
+        # no adapter: the scenario's arming is inert and ungated
+        assert "poison_update_detected" not in report["gates"]
+        assert report["adapt"] is None
+
+    def test_fleet_label_poison_contained_to_victim(self, serve_pipe, video):
+        from repro.runtime import FleetDispatcher, run_fleet_chaos
+
+        frames, truth = video
+        fleet = FleetDispatcher(
+            lambda: make_detector(serve_pipe), budget=10.0, max_streams=4,
+            batch_window=0.01, stall_timeout=0.5, queue_size=8,
+            policy="block", adapt=True, guard_kwargs={"seed_or_rng": 0})
+        for name in ("cam0", "cam1", "cam2"):
+            fleet.add_stream(name)
+        clean_rows = fleet.shared_model.replicas.copy()
+        scenario = ChaosScenario("victim-poison", label_poison={3: "label"})
+        # every stream scores 5/6 on this clip (frame 0 has no track yet),
+        # so 0.8 is a tight floor: any poison absorption would break it
+        report = run_fleet_chaos(fleet, frames, truth, {"cam0": scenario},
+                                 min_recall=0.8)
+        assert report["passed"], report["gates"]
+        assert report["gates"]["poison_update_detected"]
+        assert report["gates"]["poison_update_rolled_back"]
+        victim = report["streams"]["cam0"]
+        assert victim["poison_update_detected"]
+        assert victim["adapt"]["poison_rejected"] == 1
+        # the shared model never absorbed the victim's poison, so the
+        # healthy streams' recall gate proves blast-radius containment
+        assert np.array_equal(fleet.shared_model.replicas, clean_rows)
+        for name in ("cam1", "cam2"):
+            assert report["streams"][name]["recall_ok"]
+        json.dumps(report)
+
+
 class TestRunFleetChaos:
     @pytest.fixture
     def fleet(self, serve_pipe):

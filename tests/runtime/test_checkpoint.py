@@ -10,10 +10,19 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core.hypervector import random_hypervector
+from repro.core.packed import PackedClassModel
+from repro.learning.online import OnlineUpdate
+from repro.reliability import AdaptiveGuardedModel
 from repro.runtime import (
+    CheckpointVersionError,
+    load_model_state,
     load_runtime_state,
+    model_state,
+    restore_model,
     restore_runtime,
     runtime_state,
+    save_model,
     save_runtime,
 )
 
@@ -28,7 +37,7 @@ track_row = st.tuples(st.integers(0, 1000), finite, finite,
 def _snapshot_state(n_tracks=2, rung=1, seed=0):
     rng = np.random.default_rng(seed)
     return {
-        "format_version": 1,
+        "version": 2,
         "tracks": [[i, float(rng.random()), float(rng.random()), 24.0,
                     float(rng.random()), 3, 1, 4, 1]
                    for i in range(n_tracks)],
@@ -76,8 +85,22 @@ class TestStateRoundTrip:
 
     def test_unknown_version_rejected(self, make_runtime):
         state = _snapshot_state()
-        state["format_version"] = 99
-        with pytest.raises(ValueError):
+        state["version"] = 99
+        with pytest.raises(CheckpointVersionError):
+            load_runtime_state(make_runtime(), state)
+
+    def test_v1_key_rejected_with_clear_error(self, make_runtime):
+        # a v1 payload names its version "format_version": the error must
+        # say "unsupported v1", not KeyError on a missing field
+        state = _snapshot_state()
+        state["format_version"] = state.pop("version") - 1
+        with pytest.raises(CheckpointVersionError, match="v1"):
+            load_runtime_state(make_runtime(), state)
+
+    def test_missing_version_rejected_with_clear_error(self, make_runtime):
+        state = _snapshot_state()
+        del state["version"]
+        with pytest.raises(CheckpointVersionError, match="version"):
             load_runtime_state(make_runtime(), state)
 
 
@@ -115,6 +138,14 @@ class TestFileRoundTrip:
                     for t in a.tracks] == \
                 [(t.track_id, t.y, t.x, t.size, t.score) for t in b.tracks]
 
+    def test_npz_missing_version_raises_checkpoint_error(self, tmp_path):
+        # a file that never was a checkpoint must fail on the version
+        # gate, not a cryptic KeyError halfway through field reads
+        path = tmp_path / "not_a_checkpoint.npz"
+        np.savez_compressed(path, tracks=np.zeros((0, 8)))
+        with pytest.raises(CheckpointVersionError, match="version"):
+            restore_runtime(None, path)  # fails before touching runtime
+
     def test_tracks_survive_with_lifecycle_counters(self, make_runtime,
                                                     video, tmp_path):
         frames, _ = video
@@ -129,3 +160,72 @@ class TestFileRoundTrip:
             assert (a.track_id, a.hits, a.misses, a.age, a.confirmed) == \
                 (b.track_id, b.hits, b.misses, b.age, b.confirmed)
             assert (a.y, a.x, a.size, a.score) == (b.y, b.x, b.size, b.score)
+
+
+def _adaptive(dim=512, n_classes=3, seed=0, **kw):
+    base = PackedClassModel(random_hypervector(dim, seed, shape=(n_classes,)))
+    kw.setdefault("prior", 4)
+    kw.setdefault("max_step_frac", 0.08)
+    return base, AdaptiveGuardedModel(base, seed_or_rng=seed, **kw)
+
+
+def _drift_update(model, label, n=5, seed=0):
+    from repro.core.hypervector import pack_bits, unpack_bits
+    rng = np.random.default_rng(seed)
+    row = unpack_bits(np.asarray(model.replicas[0, label]), model.dim)
+    flips = rng.random(model.dim) < 0.03
+    row[flips] = -row[flips]
+    return OnlineUpdate(label, pack_bits(np.repeat(row[None], n, axis=0)))
+
+
+class TestModelCheckpoint:
+    def test_state_snapshot_restores_bitwise(self):
+        _, model = _adaptive()
+        model.propose(_drift_update(model, 0, seed=1))
+        snap = model_state(model)
+        want = model.replicas.copy()
+        model.propose(_drift_update(model, 1, seed=2))
+        load_model_state(model, snap)
+        assert np.array_equal(model.replicas, want)
+        assert model.scrub(force=True) == 0
+        # a fresh snapshot of the restored model matches the original
+        again = model_state(model)
+        assert np.array_equal(again["replicas"], snap["replicas"])
+        assert again["golden"] == snap["golden"]
+
+    def test_save_restore_save_is_bitwise(self, tmp_path):
+        base, model = _adaptive()
+        model.propose(_drift_update(model, 0, seed=3))
+        model.propose(OnlineUpdate(1, np.zeros((60, model.n_words),
+                                               dtype=np.uint64)))  # rejected
+        path = tmp_path / "model.npz"
+        saved = save_model(model, path)
+        assert saved["applied"] == 1 and saved["rejected"] == 1
+
+        _, clone = _adaptive()
+        restored = restore_model(clone, path)
+        assert np.array_equal(restored["replicas"], saved["replicas"])
+        assert np.array_equal(clone.replicas, model.replicas)
+        assert clone.applied == 1 and clone.rejected == 1
+        for a, b in zip(clone.counters, model.counters):
+            assert np.array_equal(a.materialize(), b.materialize())
+        queries = random_hypervector(model.dim, 9, shape=(8,))
+        from repro.core.hypervector import pack_bits
+        packed = pack_bits(queries)
+        assert np.array_equal(clone.distances(packed),
+                              model.distances(packed))
+
+    def test_model_version_mismatch_rejected(self):
+        _, model = _adaptive()
+        snap = model_state(model)
+        snap["version"] = 99
+        with pytest.raises(CheckpointVersionError):
+            load_model_state(model, snap)
+
+    def test_model_file_missing_version_rejected(self, tmp_path):
+        path = tmp_path / "bad_model.npz"
+        np.savez_compressed(path, replicas=np.zeros((3, 2, 8),
+                                                    dtype=np.uint64))
+        _, model = _adaptive()
+        with pytest.raises(CheckpointVersionError, match="version"):
+            restore_model(model, path)

@@ -234,6 +234,127 @@ class TestFleetVsSolo:
         assert result.mode == "detected"
 
 
+class TestFleetGuard:
+    def test_guard_shares_one_model_across_streams(self, serve_pipe):
+        from repro.reliability import GuardedClassModel
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, guard=True,
+                                guard_kwargs={"seed_or_rng": 0},
+                                stall_timeout=None)
+        a = fleet.add_stream("a")
+        b = fleet.add_stream("b")
+        assert isinstance(fleet.shared_model, GuardedClassModel)
+        assert a.model_override is fleet.shared_model
+        assert b.model_override is fleet.shared_model
+        assert a.adapter is None and b.adapter is None
+
+    def test_guard_requires_packed_backend(self, serve_pipe):
+        with pytest.raises(ValueError, match="packed"):
+            FleetDispatcher(lambda: make_detector(serve_pipe, "dense"),
+                            budget=10.0, guard=True, stall_timeout=None)
+
+    def test_guarded_detections_match_unguarded(self, serve_pipe, video):
+        frames, _ = video
+        solo = ResilientVideoDetector(make_detector(serve_pipe),
+                                      budget=10.0, stall_timeout=None)
+        want = [solo.step(f) for f in frames[:3]]
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, guard=True,
+                                guard_kwargs={"seed_or_rng": 0},
+                                stall_timeout=None)
+        fleet.add_stream("a")
+        for frame, w in zip(frames[:3], want):
+            got = fleet.step("a", frame)
+            assert got.mode == "detected"
+            assert got.detections == w.detections
+
+    def test_replica_corruption_heals_fleet_wide(self, serve_pipe, video):
+        frames, _ = video
+        fleet = FleetDispatcher(lambda: make_detector(serve_pipe),
+                                budget=10.0, guard=True,
+                                guard_kwargs={"seed_or_rng": 0},
+                                stall_timeout=None)
+        fleet.add_stream("a")
+        fleet.add_stream("b")
+        clean = fleet.shared_model.replicas[0].copy()
+        assert fleet.shared_model.corrupt_replica(1, 0.5, seed_or_rng=7) > 0
+        got = fleet.step("a", frames[0])        # scan scrubs + repairs
+        assert got.mode == "detected"
+        guard = fleet.stats()["fleet"]["guard"]
+        assert guard["repaired"] > 0
+        np.testing.assert_array_equal(fleet.shared_model.replicas[1], clean)
+        # the shared model is healed for *both* streams
+        assert fleet.step("b", frames[0]).mode == "detected"
+        assert fleet.shared_model.scrub(force=True) == 0
+
+
+class TestFleetAdapt:
+    def _adapt_fleet(self, serve_pipe, **kw):
+        return FleetDispatcher(lambda: make_detector(serve_pipe),
+                               budget=10.0, adapt=True,
+                               guard_kwargs={"seed_or_rng": 0},
+                               stall_timeout=None, **kw)
+
+    def test_streams_share_model_but_not_adapters(self, serve_pipe):
+        from repro.reliability import AdaptiveGuardedModel
+        fleet = self._adapt_fleet(serve_pipe)
+        a = fleet.add_stream("a")
+        b = fleet.add_stream("b")
+        assert isinstance(fleet.shared_model, AdaptiveGuardedModel)
+        assert a.adapter.model is fleet.shared_model
+        assert b.adapter.model is fleet.shared_model
+        assert a.model_override is fleet.shared_model
+        assert a.adapter is not b.adapter
+        assert a.adapter.drift is not b.adapter.drift
+
+    def test_per_stream_model_kwarg_rejected(self, serve_pipe):
+        fleet = self._adapt_fleet(serve_pipe)
+        with pytest.raises(ValueError, match="model"):
+            fleet.add_stream("a", adapt_kwargs={"model": object()})
+
+    def test_poisoned_stream_is_contained(self, serve_pipe, video):
+        frames, _ = video
+        solo = ResilientVideoDetector(make_detector(serve_pipe),
+                                      budget=10.0, stall_timeout=None)
+        want = [solo.step(f) for f in frames]
+        fleet = self._adapt_fleet(serve_pipe)
+        fleet.add_stream("victim")
+        fleet.add_stream("healthy")
+        clean_rows = fleet.shared_model.replicas.copy()
+        fleet["victim"].adapter.poison_next("label")
+        healthy = []
+        for frame in frames:
+            fleet.step("victim", frame)
+            healthy.append(fleet.step("healthy", frame))
+        victim = fleet["victim"].adapter
+        assert victim.poison_injected == 1
+        assert victim.poison_rejected == 1
+        assert victim.rollbacks >= 1
+        # the shared rows never absorbed the attack ...
+        np.testing.assert_array_equal(fleet.shared_model.replicas, clean_rows)
+        # ... so the healthy stream's detections are bitwise the frozen
+        # baseline's: the blast radius ends at the victim's ledger
+        for got, w in zip(healthy, want):
+            assert got.detections == w.detections
+
+    def test_adapt_counters_in_merged_profile(self, serve_pipe, video):
+        frames, _ = video
+        fleet = self._adapt_fleet(serve_pipe)
+        fleet.add_stream("a")
+        fleet.add_stream("b")
+        for frame in frames[:3]:
+            fleet.step("a", frame)
+            fleet.step("b", frame)
+        merged = fleet.merged_profiler()
+        for name in ("adapt_proposals", "adapt_applied", "adapt_state",
+                     "guard_scrubs", "guard_repaired"):
+            assert name in merged.counters
+        table = fleet.stats()["fleet"]["profile_table"]
+        assert "adapt_applied" in table
+        guard = fleet.stats()["fleet"]["guard"]
+        assert guard["updates_applied"] == 0      # static scenes: no updates
+
+
 class TestReporting:
     def test_stats_rollup_and_merged_profile(self, serve_pipe, video):
         frames, _ = video
