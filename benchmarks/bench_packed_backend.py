@@ -29,7 +29,7 @@ import time
 import numpy as np
 import pytest
 
-from common import write_json, write_report
+from common import fmt_row, write_json, write_report
 
 from repro.pipeline import HDFacePipeline, SlidingWindowDetector, make_scene
 from repro.pipeline.multiscale import PyramidDetector
@@ -188,6 +188,13 @@ def test_pyramid_workers_identical_scores(pipe, scene_truth):
         "cold_seconds": {str(w): t for w, t in times.items()},
         "cpu_count": os.cpu_count(),
     })
+    widths = (10, 14)
+    lines = [f"packed pyramid level-parallel scan (scene {SCENE}px, "
+             f"D={DIM}, {os.cpu_count()} cpus)",
+             fmt_row(("workers", "cold seconds"), widths)]
+    lines += [fmt_row((w, f"{t:.4f}"), widths)
+              for w, t in sorted(times.items())]
+    write_report("packed_pyramid_workers", lines)
     if (os.cpu_count() or 1) >= 2:
         # level scans overlap across threads; on a single-core runner the
         # pool is pure overhead, so the timing claim is multi-core only

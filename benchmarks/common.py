@@ -76,9 +76,15 @@ def write_json(name, payload):
     ``payload`` should carry the run configuration alongside the measured
     rows (wall time, windows/s, backend, ...) so the perf trajectory can be
     diffed across commits; the scale knob is stamped in automatically.
+
+    The payload is canonicalized first (keys stringified via a JSON
+    round-trip, then sorted), so the committed file is byte-identical to
+    re-encoding its own parse - ``tests/test_bench_results.py`` holds
+    every committed result to that and to having a ``.txt`` twin from
+    :func:`write_report`.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    payload = dict(payload)
+    payload = json.loads(json.dumps(payload, sort_keys=True, default=float))
     payload.setdefault("scale", SCALE)
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -100,6 +100,14 @@ def build_parser():
     detect.add_argument("--calibration", metavar="JSON",
                         help="cascade calibration from `repro calibrate` "
                              "(default: analytic Hoeffding bounds)")
+    detect.add_argument("--plan", choices=("auto",), default=None,
+                        help="'auto': let the cost-model execution planner "
+                             "pick the scan knobs under --deadline and run "
+                             "the scene through the planned pyramid path")
+    detect.add_argument("--deadline", type=float, default=0.1,
+                        help="frame deadline in seconds for --plan auto "
+                             "(the planner picks the highest-quality plan "
+                             "whose predicted cost fits)")
     detect.add_argument("--profile", action="store_true",
                         help="print stage timings, op counts and the modeled "
                              "Cortex-A53 time for the scan")
@@ -226,6 +234,14 @@ def build_parser():
                             "with --chaos the scenario also injects a "
                             "label-poisoning update that must be detected "
                             "and rolled back")
+    serve.add_argument("--planner", action="store_true",
+                       help="derive the degradation ladder from the cost-"
+                            "model execution planner (rungs become planner-"
+                            "chosen Plans under a shrinking budget) and "
+                            "autotune it from live profiler measurements")
+    serve.add_argument("--replan-every", type=int, default=None,
+                       help="with --planner: refit the cost model and "
+                            "replan the ladder every N frames")
     serve.add_argument("--fault-rate", type=float, default=0.001,
                        help="packed bit-fault rate for the chaos datapath "
                             "injection")
@@ -246,6 +262,27 @@ def build_parser():
     serve.add_argument("--profile", action="store_true",
                        help="print the stage table with latency percentiles")
     return parser
+
+
+def _write_results_json(path, payload, out):
+    """Write a results JSON in ``benchmarks.common.write_json``'s format.
+
+    Canonical encoding (string keys, sorted, 2-space indent, trailing
+    newline) plus the bench scale stamp, so CLI-written artifacts that
+    land in ``benchmarks/results/`` satisfy the same consistency bar as
+    the benchmark harness's own (``tests/test_bench_results.py``).
+    """
+    import json
+    import os
+
+    payload = json.loads(json.dumps(payload, sort_keys=True, default=float))
+    payload.setdefault("scale", os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"results written to {path}", file=out)
 
 
 def _make_data(task, n, size, seed):
@@ -326,6 +363,8 @@ def _cmd_detect(args, out):
                                      engine=args.engine, profiler=profiler,
                                      backend=args.backend,
                                      workers=args.workers, cascade=cascade)
+    if args.plan:
+        return _detect_planned(args, out, detector, scene, truth)
     result = detector.scan(scene)
     print(f"faces pasted at {truth}", file=out)
     print("detection map (# = face window):", file=out)
@@ -357,6 +396,39 @@ def _cmd_detect(args, out):
     if args.output:
         write_pgm(args.output, render_detection(scene, result))
         print(f"overlay written to {args.output}", file=out)
+    return 0
+
+
+def _detect_planned(args, out, detector, scene, truth):
+    """The ``detect --plan auto`` path: cost-model planner + execute_plan."""
+    import time
+
+    from .pipeline import PyramidDetector, execute_plan
+    from .runtime import ExecutionPlanner
+
+    base = PyramidDetector(detector, score_threshold=0.0)
+    planner = ExecutionPlanner.from_detector(base, frame_shape=scene.shape)
+    plan = planner.plan(args.deadline, frame_shape=scene.shape,
+                        name="cli-auto")
+    predicted = planner.estimate(plan, scene.shape)
+    print(f"plan: {plan.describe()}", file=out)
+    print(f"predicted cost {predicted * 1e3:.3f} ms against deadline "
+          f"{args.deadline * 1e3:.1f} ms "
+          f"({len(planner.candidates(scene.shape))} candidates)", file=out)
+    t0 = time.perf_counter()
+    detections = execute_plan(base, scene, plan)
+    elapsed = time.perf_counter() - t0
+    print(f"faces pasted at {truth}", file=out)
+    print(f"{len(detections)} detections in {elapsed * 1e3:.1f} ms:",
+          file=out)
+    for d in detections:
+        print(f"  ({d.y:5.1f},{d.x:5.1f}) size {d.size:4.1f} "
+              f"score {d.score:+.4f}", file=out)
+    if args.profile:
+        prof = detector.profiler
+        if prof is not None:
+            print(prof.table(f"planned scan ({args.engine} engine, "
+                             f"{args.backend} backend)"), file=out)
     return 0
 
 
@@ -451,9 +523,6 @@ def _random_scenes(n, scene_size, window, seed):
 
 
 def _cmd_robustness(args, out):
-    import json
-    import os
-
     from .datasets import make_face_dataset
     from .noise import detection_robustness
     from .pipeline import HDFacePipeline
@@ -486,13 +555,7 @@ def _cmd_robustness(args, out):
         print(f"  {backend:6s} worst recall drop vs clean: "
               f"{res.recall_drop(backend):.3f}", file=out)
 
-    directory = os.path.dirname(args.output)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(args.output, "w") as fh:
-        json.dump(res.payload(), fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"results written to {args.output}", file=out)
+    _write_results_json(args.output, res.payload(), out)
 
     if args.max_recall_drop is not None:
         worst = max(res.recall_drop(b) for b in backends)
@@ -557,8 +620,6 @@ def _cmd_stream(args, out):
 
 
 def _cmd_serve(args, out):
-    import json
-    import os
     import time
 
     from .datasets import make_face_dataset
@@ -604,6 +665,9 @@ def _cmd_serve(args, out):
 
     def make_runtime(ladder=None, budget_override=None, **kwargs):
         kwargs.setdefault("budget", budget_override or budget)
+        if args.planner:
+            kwargs.setdefault("planner", True)
+            kwargs.setdefault("replan_every", args.replan_every)
         if args.adapt:
             kwargs.setdefault("adapt", True)
             kwargs.setdefault("adapt_kwargs", {"seed_or_rng": args.seed})
@@ -676,6 +740,10 @@ def _cmd_serve(args, out):
             print(f"rung transitions: {s['rung_transitions']}", file=out)
         if s["incidents"]:
             print(f"incidents: {s['incidents']}", file=out)
+        if args.planner:
+            rungs = runtime.scheduler.ladder.rungs
+            print(f"planner ladder: {', '.join(r.name for r in rungs)} "
+                  f"({s['replans']} replans)", file=out)
 
     adapt_stats = made[0].stats().get("adapt") if made else None
     if adapt_stats:
@@ -693,13 +761,7 @@ def _cmd_serve(args, out):
             f"serve profile ({args.backend} backend)"), file=out)
     if args.output:
         payload = report if report is not None else made[0].stats()
-        directory = os.path.dirname(args.output)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(args.output, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True, default=float)
-            fh.write("\n")
-        print(f"results written to {args.output}", file=out)
+        _write_results_json(args.output, payload, out)
     if report is not None and not report["passed"]:
         failed = [g for g, ok in report["gates"].items() if not ok]
         print(f"FAIL: chaos gates failed: {failed}", file=out)
@@ -710,15 +772,13 @@ def _cmd_serve(args, out):
 def _serve_fleet(args, out, frames, truth, make_detector, budget,
                  stall_timeout):
     """The ``serve --streams N`` path: fleet dispatcher + batch gate."""
-    import json
-    import os
-
     from .runtime import ChaosScenario, FleetDispatcher, run_fleet_chaos
 
     fleet = FleetDispatcher(
         make_detector, budget=budget, max_streams=args.streams,
         batch_window=args.batch_window, stall_timeout=stall_timeout,
         queue_size=args.queue_size, policy="block", adapt=args.adapt,
+        planner=args.planner,
         guard_kwargs={"seed_or_rng": args.seed} if args.adapt else None)
     names = [f"cam{i}" for i in range(args.streams)]
     for i, name in enumerate(names):
@@ -778,13 +838,7 @@ def _serve_fleet(args, out, frames, truth, make_detector, budget,
         print(f["profile_table"], file=out)
     if args.output:
         payload = report if report is not None else stats
-        directory = os.path.dirname(args.output)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(args.output, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True, default=float)
-            fh.write("\n")
-        print(f"results written to {args.output}", file=out)
+        _write_results_json(args.output, payload, out)
     if report is not None and not report["passed"]:
         failed = [g for g, ok in report["gates"].items() if not ok]
         print(f"FAIL: fleet chaos gates failed: {failed}", file=out)

@@ -7,7 +7,9 @@ from .cascade import (CascadeCalibration, CascadeCalibrator, CascadeScanner,
 from .detector import DetectionMap, SlidingWindowDetector, make_scene
 from .engine import SharedFeatureEngine
 from .hdface import HDFacePipeline
-from .multiscale import Detection, PyramidDetector, non_max_suppression, pyramid
+from .multiscale import (Detection, PyramidDetector, execute_plan,
+                         non_max_suppression, pyramid)
+from .plan import Plan
 from .stream import (FrameQueue, QueueClosedError, StreamFrameResult,
                      TemporalTracker, Track, VideoStreamDetector)
 
@@ -25,6 +27,8 @@ __all__ = [
     "default_word_schedule",
     "hoeffding_threshold",
     "Detection",
+    "Plan",
+    "execute_plan",
     "PyramidDetector",
     "non_max_suppression",
     "pyramid",

@@ -8,7 +8,11 @@ This module extends the sliding-window detector with the standard tooling:
 * :class:`PyramidDetector` - runs a fixed-window detector at every pyramid
   level and maps hits back to original coordinates;
 * :func:`non_max_suppression` - greedy IoU-based suppression of
-  overlapping detections.
+  overlapping detections;
+* :func:`execute_plan` - the single frame-scan code path: every caller
+  (``PyramidDetector.detect``, the serving runtime, the fleet batch gate,
+  the CLI) describes *what* to scan with a
+  :class:`~repro.pipeline.plan.Plan` and this function runs it.
 """
 
 from __future__ import annotations
@@ -18,8 +22,10 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.ndimage import zoom
 
+from .plan import Plan
+
 __all__ = ["Detection", "downscale", "pyramid", "non_max_suppression",
-           "PyramidDetector"]
+           "PyramidDetector", "execute_plan"]
 
 
 @dataclass(frozen=True)
@@ -106,6 +112,73 @@ def non_max_suppression(detections, iou_threshold=0.3):
     return kept
 
 
+def execute_plan(detector, scene, plan, *, injector=None, model=None,
+                 levels=None, batch_scan=None, cancel=None):
+    """Scan one frame exactly as a :class:`~repro.pipeline.plan.Plan` says.
+
+    This is *the* frame-scan code path: ``PyramidDetector.detect``
+    translates its per-call knobs into an ad-hoc plan and lands here, the
+    serving runtime executes its rung's plan here, and the planner's
+    chosen plans run through here unchanged - so the bitwise conformance
+    matrix (``tests/test_conformance.py``) covers every caller at once.
+
+    Parameters
+    ----------
+    detector:
+        A :class:`PyramidDetector`.  The plan's ``backend`` and
+        ``engine`` must match the wrapped detector's (a plan is a
+        complete description; running it on a mismatched detector would
+        silently produce a different route).
+    scene, injector, model:
+        As :meth:`PyramidDetector.detect`.
+    levels:
+        Precomputed ``(scaled_image, factor)`` pairs (the streaming path
+        builds them once per frame); ``plan.max_levels`` still applies.
+    batch_scan:
+        Optional ``callable(requests, cancel) -> maps`` routing the
+        per-level scans through a cross-stream batch gate
+        (:class:`repro.runtime.fleet.BatchGate`); bitwise-identical to
+        the solo path.  Injector scans always stay solo.
+    cancel:
+        Cooperative-cancel event forwarded to ``batch_scan``.
+
+    Returns the NMS-suppressed detections, best score first.
+    """
+    base = detector.detector
+    if plan.backend != base.backend:
+        raise ValueError(f"plan backend {plan.backend!r} does not match "
+                         f"detector backend {base.backend!r}")
+    if plan.engine != base.mode:
+        raise ValueError(f"plan engine {plan.engine!r} does not match "
+                         f"detector engine {base.mode!r}")
+    window = base.window
+    if levels is None:
+        levels = list(pyramid(scene, detector.scale_step, min_size=window))
+    if plan.max_levels is not None:
+        levels = levels[: plan.max_levels]
+    strides = [plan.stride_for(i) for i in range(len(levels))]
+    if batch_scan is not None and injector is None:
+        from .batcher import ScanRequest
+        requests = [ScanRequest(level, stride=strides[i],
+                                max_words=plan.max_words, model=model)
+                    for i, (level, _) in enumerate(levels)]
+        maps = batch_scan(requests, cancel)
+    elif plan.workers > 1 and base.mode != "legacy" and len(levels) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+        workers = min(plan.workers, len(levels))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            maps = list(pool.map(
+                lambda iv: base.scan(iv[1][0], injector=injector, model=model,
+                                     stride=strides[iv[0]],
+                                     max_words=plan.max_words),
+                enumerate(levels)))
+    else:
+        maps = [base.scan(level, injector=injector, model=model,
+                          stride=strides[i], max_words=plan.max_words)
+                for i, (level, _) in enumerate(levels)]
+    return detector.collect(levels, maps)
+
+
 class PyramidDetector:
     """Fixed-window detector applied across an image pyramid.
 
@@ -147,22 +220,6 @@ class PyramidDetector:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
 
-    def _scan_levels(self, levels, injector=None, model=None, stride=None,
-                     max_words=None):
-        """Detection map per level, in level order."""
-        scan = self.detector.scan
-        if self.workers > 1 and getattr(self.detector, "mode", "") != "legacy":
-            from concurrent.futures import ThreadPoolExecutor
-            workers = min(self.workers, len(levels))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(
-                    lambda lf: scan(lf[0], injector=injector, model=model,
-                                    stride=stride, max_words=max_words),
-                    levels))
-        return [scan(level, injector=injector, model=model, stride=stride,
-                     max_words=max_words)
-                for level, _ in levels]
-
     def detect(self, scene, injector=None, model=None, levels=None,
                stride=None, max_levels=None, max_words=None):
         """All-scale detections after NMS, best score first.
@@ -184,17 +241,24 @@ class PyramidDetector:
         tracker coasts through anyway), and ``max_words`` caps the packed
         classification depth per window (cascade escalation depth, or the
         truncated-model prefix on plain packed scans).
+
+        The per-call knobs are packaged into an ad-hoc
+        :class:`~repro.pipeline.plan.Plan` and run through
+        :func:`execute_plan` - the one frame-scan code path shared with
+        the planner and the serving runtime.
         """
-        window = self.detector.window
-        if levels is None:
-            levels = list(pyramid(scene, self.scale_step, min_size=window))
-        if max_levels is not None:
-            if int(max_levels) < 1:
-                raise ValueError(
-                    f"max_levels must be at least 1, got {max_levels}")
-            levels = levels[: int(max_levels)]
-        return self.collect(levels, self._scan_levels(levels, injector, model,
-                                                      stride, max_words))
+        base = self.detector
+        plan = Plan(name="adhoc", backend=base.backend, engine=base.mode,
+                    stride=None if stride is None else int(stride),
+                    max_levels=None if max_levels is None else int(max_levels),
+                    max_words=None if max_words is None or
+                    base.backend != "packed" else int(max_words),
+                    workers=self.workers)
+        if max_words is not None and base.backend != "packed":
+            # keep the historical error surface: scan() rejects the knob
+            raise ValueError("max_words requires the packed backend")
+        return execute_plan(self, scene, plan, injector=injector, model=model,
+                            levels=levels)
 
     def collect(self, levels, maps):
         """Threshold + NMS over precomputed per-level detection maps.

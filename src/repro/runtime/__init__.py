@@ -20,7 +20,8 @@ from .checkpoint import (CheckpointVersionError, load_model_state,
                          save_runtime)
 from .fleet import AdmissionError, BatchGate, FleetDispatcher
 from .ladder import (DeadlineScheduler, DegradationLadder, FleetScheduler,
-                     Rung, cascade_ladder, default_ladder)
+                     PlannerLadder, Rung, cascade_ladder, default_ladder)
+from .planner import CostModel, ExecutionPlanner
 from .quarantine import InputQuarantine, PoisonFrameError
 from .serving import ResilientVideoDetector, ServeFrameResult
 from .watchdog import FrameCancelled, Watchdog
@@ -30,9 +31,12 @@ __all__ = [
     "ServeFrameResult",
     "Rung",
     "DegradationLadder",
+    "PlannerLadder",
     "DeadlineScheduler",
     "default_ladder",
     "cascade_ladder",
+    "CostModel",
+    "ExecutionPlanner",
     "Watchdog",
     "FrameCancelled",
     "InputQuarantine",

@@ -209,6 +209,14 @@ class FleetDispatcher:
     guard_kwargs:
         Options for the shared model (``replicas``, ``seed_or_rng``,
         ``prior``, ``max_step_frac``, ...).
+    planner:
+        Plan every stream's degradation ladder from one fleet-shared
+        :class:`~repro.runtime.planner.ExecutionPlanner` (``True``
+        builds one from the template detector; or pass a ready
+        planner).  Each admitted stream without an explicit ``ladder``
+        gets a planner-generated ladder at its own budget, and the
+        shared cost model means one stream's refit benefits the whole
+        fleet.
     runtime_kwargs:
         Defaults forwarded to every stream's
         :class:`~repro.runtime.serving.ResilientVideoDetector`
@@ -218,7 +226,7 @@ class FleetDispatcher:
     def __init__(self, make_detector, budget=0.25, max_streams=8,
                  capacity_fps=None, batch_window=0.002, batching=True,
                  scheduler=None, profiler=None, cache_per_stream=8,
-                 guard=False, adapt=False, guard_kwargs=None,
+                 guard=False, adapt=False, guard_kwargs=None, planner=None,
                  **runtime_kwargs):
         if max_streams < 1:
             raise ValueError("max_streams must be at least 1")
@@ -256,6 +264,14 @@ class FleetDispatcher:
             cls = AdaptiveGuardedModel if adapt else GuardedClassModel
             self.shared_model = cls(template.detector.packed_model(),
                                     **dict(guard_kwargs or {}))
+        self.planner = None
+        if planner:
+            from .planner import ExecutionPlanner
+            self.planner = planner if isinstance(planner, ExecutionPlanner) \
+                else ExecutionPlanner.from_detector(
+                    template,
+                    delta_reuse=bool(self.runtime_kwargs.get(
+                        "incremental", True)))
         self.batcher = CrossStreamBatcher(template.detector)
         self.gate = BatchGate(self.batcher, batch_window=batch_window,
                               on_batch=self._on_batch) if self.batching \
@@ -301,6 +317,10 @@ class FleetDispatcher:
                                       workers=t.workers)
             kwargs = dict(self.runtime_kwargs)
             kwargs.update(runtime_kwargs)
+            if self.planner is not None:
+                # one fleet-shared planner: every stream's ladder is the
+                # planner under its own shrinking budget schedule
+                kwargs.setdefault("planner", self.planner)
             if self.shared_model is not None and self.adapt:
                 # every stream closes its own tracker -> model loop (own
                 # adapter + drift detector) against the one shared model;

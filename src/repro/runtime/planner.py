@@ -1,0 +1,465 @@
+"""Cost-model-driven execution planning: measure -> refit -> replan.
+
+The hardware layer (:mod:`repro.hardware.opcount`) prices every stage of
+the detection stack in abstract operation counts, and the platform models
+turn counts into seconds.  This module closes the loop and makes those
+prices *drive execution*:
+
+* :class:`CostModel` - a refittable time model: platform-derived op-class
+  throughput plus one fitted scale per profiler stage, so predictions
+  start from first principles and converge to the machine actually
+  serving (:meth:`CostModel.refit` reads stage seconds and op counts off
+  a :class:`repro.profiling.Profiler`).
+* :class:`ExecutionPlanner` - enumerates candidate
+  :class:`~repro.pipeline.plan.Plan` knob assignments for a frame shape,
+  prices each against the cost model, and under a per-frame deadline
+  returns the highest-quality plan whose predicted cost fits
+  (:meth:`ExecutionPlanner.plan`).  When nothing fits it returns the
+  cheapest candidate - serving must ship *something*.
+* :meth:`ExecutionPlanner.ladder` - the degradation ladder re-expressed
+  as "planner under a shrinking budget": a
+  :class:`~repro.runtime.ladder.PlannerLadder` whose rung *i* is the
+  plan chosen at ``budget * shrink^i``, so the
+  :class:`~repro.runtime.ladder.DeadlineScheduler` adjusts the planning
+  budget instead of indexing a hand-tuned table, and
+  ``ladder.replan()`` after a refit is the autotuning loop.
+
+Every plan the planner emits executes through
+:func:`repro.pipeline.multiscale.execute_plan` and is held to the
+bitwise conformance matrix in ``tests/test_conformance.py``: planning
+changes *what work runs*, never *what the work computes*.
+"""
+
+from __future__ import annotations
+
+from ..core.hypervector import packed_words
+from ..hardware.opcount import (
+    OperationProfile,
+    cascade_scan_profile,
+    hd_hog_fields_profile,
+    hdc_infer_profile,
+    incremental_extract_profile,
+    packed_assemble_profile,
+    packed_infer_profile,
+    perwindow_detection_profile,
+    profile_from_counts,
+)
+from ..hardware.platforms import CORTEX_A53
+from ..pipeline.plan import Plan
+from .ladder import PlannerLadder, Rung
+
+__all__ = ["CostModel", "ExecutionPlanner", "DEFAULT_FRAME_SHAPE"]
+
+#: Frame shape assumed when the planner has not seen a frame yet.
+DEFAULT_FRAME_SHAPE = (128, 128)
+
+#: Dirty-rect fraction (per side) assumed when pricing delta-reuse scans.
+_DELTA_DIRTY_FRACTION = 0.5
+
+
+class CostModel:
+    """Refittable seconds model over :class:`OperationProfile` stages.
+
+    Prediction starts from a :class:`~repro.hardware.platforms.Platform`
+    (op-class throughput tables), then applies one multiplicative scale
+    per profiler stage name - ``seconds = platform_time(profile) *
+    scale[stage]``.  :meth:`refit` fits those scales from measurements:
+    for every profiler stage that recorded both wall-clock seconds and
+    op counts, the scale is simply ``measured / modeled``.  Stages the
+    profiler has not measured fall back to ``default_scale``, itself
+    refitted as the seconds-weighted mean of the fitted scales.
+
+    Refitting is deterministic and idempotent: the fitted scales are a
+    pure function of the measurements and the platform tables, so
+    ``refit`` with an unchanged profiler is a fixed point (the planner
+    property tests pin this).
+    """
+
+    def __init__(self, platform=CORTEX_A53, stage_scale=None,
+                 default_scale=1.0, stochastic=True):
+        self.platform = platform
+        self.stage_scale = dict(stage_scale or {})
+        self.default_scale = float(default_scale)
+        self.stochastic = bool(stochastic)
+        self.refits = 0
+
+    def raw_time(self, profile):
+        """Platform-modeled seconds for a profile, before any fitted scale."""
+        return self.platform.time(profile, stochastic=self.stochastic)
+
+    def time(self, profile, stage=None):
+        """Predicted seconds for ``profile`` attributed to ``stage``."""
+        scale = self.stage_scale.get(stage, self.default_scale)
+        return self.raw_time(profile) * scale
+
+    def refit(self, profiler, min_seconds=1e-6):
+        """Fit per-stage scales from a profiler's measurements.
+
+        Returns the ``{stage: scale}`` dict fitted this call (empty when
+        the profiler holds no usable measurements, in which case nothing
+        changes).
+        """
+        fitted = {}
+        weights = {}
+        for name, stat in getattr(profiler, "stats", {}).items():
+            if not stat.ops or stat.seconds < min_seconds:
+                continue
+            raw = self.raw_time(profile_from_counts(stat.ops, name))
+            if raw <= 0.0:
+                continue
+            fitted[name] = stat.seconds / raw
+            weights[name] = stat.seconds
+        if fitted:
+            self.stage_scale.update(fitted)
+            total = sum(weights.values())
+            self.default_scale = sum(
+                fitted[n] * weights[n] for n in fitted) / total
+            self.refits += 1
+        return fitted
+
+    def state(self):
+        """Snapshot for reports: fitted scales and the fallback."""
+        return {"platform": self.platform.name,
+                "default_scale": self.default_scale,
+                "stage_scale": dict(self.stage_scale),
+                "refits": self.refits}
+
+
+class ExecutionPlanner:
+    """Choose a :class:`~repro.pipeline.plan.Plan` to fit a frame deadline.
+
+    Parameters
+    ----------
+    window, stride, dim:
+        The executing detector's window side, configured stride and
+        hypervector dimension.
+    backend, engine:
+        Route the candidate plans must describe (must match the
+        executing detector).
+    n_classes:
+        Classifier width (margin classification needs >= 2).
+    scale_step:
+        Pyramid downscale ratio (sizes the per-level cost sum).
+    stage_words:
+        Cascade cumulative word schedule when the detector scans in
+        cascade mode (None = flat scans).
+    seed_fraction:
+        Fraction of the window grid a cascade scan actually seeds
+        (``~1/seed_factor^2`` plus refinement slack).
+    workers:
+        Level-parallel worker count candidate plans inherit.
+    delta_reuse:
+        Whether candidate plans assume frame-delta feature reuse (the
+        serving loop's steady state) - a cost assumption only, results
+        are bitwise identical either way.
+    cost_model:
+        A :class:`CostModel` (fresh platform-derived one if omitted).
+    frame_shape:
+        Default frame shape used when ``plan()`` is not given one.
+
+    Use :meth:`from_detector` to derive every parameter from a live
+    :class:`~repro.pipeline.multiscale.PyramidDetector`.
+    """
+
+    def __init__(self, window, stride, dim, *, backend="packed",
+                 engine="shared", n_classes=2, scale_step=1.5,
+                 stage_words=None, seed_fraction=1.0, workers=1,
+                 delta_reuse=False, cost_model=None,
+                 frame_shape=DEFAULT_FRAME_SHAPE, extractor_kwargs=None):
+        self.window = int(window)
+        self.stride = int(stride)
+        self.dim = int(dim)
+        self.backend = backend
+        self.engine = engine
+        self.n_classes = int(n_classes)
+        self.scale_step = float(scale_step)
+        self.stage_words = tuple(int(w) for w in stage_words) \
+            if stage_words else None
+        self.seed_fraction = float(seed_fraction)
+        self.workers = int(workers)
+        self.delta_reuse = bool(delta_reuse)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.frame_shape = tuple(frame_shape)
+        self.extractor_kwargs = dict(extractor_kwargs or {})
+        if self.window < 1 or self.stride < 1 or self.dim < 1:
+            raise ValueError("window, stride and dim must be positive")
+        if self.scale_step <= 1.0:
+            raise ValueError("scale_step must exceed 1")
+        if not 0.0 < self.seed_fraction <= 1.0:
+            raise ValueError("seed_fraction must be in (0, 1]")
+        self.plans_chosen = 0
+
+    @classmethod
+    def from_detector(cls, detector, cost_model=None,
+                      frame_shape=DEFAULT_FRAME_SHAPE, delta_reuse=False):
+        """Derive a planner from a live pyramid detector."""
+        from ..pipeline.multiscale import PyramidDetector
+        if not isinstance(detector, PyramidDetector):
+            raise ValueError("from_detector expects a PyramidDetector")
+        base = detector.detector
+        stage_words = None
+        seed_fraction = 1.0
+        if getattr(base, "cascade", None) is not None:
+            scanner = base.cascade_scanner()
+            stage_words = [s.words for s in scanner.stages]
+            seed_fraction = min(
+                1.0, 1.5 / float(scanner.seed_factor) ** 2) \
+                if scanner.seed_factor > 1 else 1.0
+        ext = getattr(base.pipeline, "extractor", None)
+        ext_kwargs = {}
+        for attr in ("n_bins", "cell_size", "magnitude", "sqrt_iters",
+                     "gamma"):
+            if hasattr(ext, attr):
+                ext_kwargs[attr] = getattr(ext, attr)
+        return cls(base.window, base.stride, base.pipeline.dim,
+                   backend=base.backend, engine=base.mode,
+                   n_classes=getattr(base.pipeline, "n_classes", 2),
+                   scale_step=detector.scale_step, stage_words=stage_words,
+                   seed_fraction=seed_fraction, workers=detector.workers,
+                   delta_reuse=delta_reuse, cost_model=cost_model,
+                   frame_shape=frame_shape, extractor_kwargs=ext_kwargs)
+
+    # ------------------------------------------------------------------
+    # candidate enumeration
+    # ------------------------------------------------------------------
+    def level_shapes(self, frame_shape=None, max_levels=None):
+        """Approximate per-level shapes of the pyramid over ``frame_shape``."""
+        h, w = frame_shape if frame_shape is not None else self.frame_shape
+        shapes = []
+        factor = 1.0
+        while min(h, w) / factor >= self.window:
+            shapes.append((max(self.window, int(round(h / factor))),
+                           max(self.window, int(round(w / factor)))))
+            factor *= self.scale_step
+        if max_levels is not None:
+            shapes = shapes[: int(max_levels)]
+        return shapes
+
+    def _word_options(self):
+        """Descending word budgets: full first, then cascade-stage prefixes."""
+        if self.backend != "packed":
+            return [None]
+        total = packed_words(self.dim)
+        if self.stage_words is not None:
+            schedule = [w for w in self.stage_words if w < total]
+        else:
+            from ..pipeline.cascade import default_word_schedule
+            schedule = [w for w in default_word_schedule(total)if w < total]
+        return [None] + sorted(set(schedule), reverse=True)
+
+    def candidates(self, frame_shape=None):
+        """Every plan the planner will consider, highest quality first.
+
+        The lattice crosses stride scale {1, 2, 3} x pyramid depth
+        {all, 3, 2} x word budget {full + cascade-stage prefixes} x
+        keyframe cadence {1, 3}; ordering (and therefore tie-breaking)
+        is deterministic, which the monotone-quality property relies on.
+        """
+        n_levels = len(self.level_shapes(frame_shape))
+        level_options = [None] + [n for n in (3, 2) if n < n_levels]
+        plans = []
+        for scale in (1, 2, 3):
+            stride = None if scale == 1 else self.stride * scale
+            for max_levels in level_options:
+                for words in self._word_options():
+                    for keyframe in (1, 3):
+                        plans.append(Plan(
+                            name="candidate", backend=self.backend,
+                            engine=self.engine, stride=stride,
+                            max_levels=max_levels, max_words=words,
+                            stage_words=self._plan_stage_words(words),
+                            delta_reuse=self.delta_reuse,
+                            workers=self.workers, keyframe_every=keyframe))
+        plans.sort(key=self._quality_key, reverse=True)
+        return plans
+
+    def _plan_stage_words(self, max_words):
+        if self.stage_words is None:
+            return None
+        words = [w for w in self.stage_words
+                 if max_words is None or w <= max_words]
+        return tuple(words) or (self.stage_words[0],)
+
+    def quality(self, plan, frame_shape=None):
+        """Scan quality in (0, 1]: 1 = full grid, all levels, full words.
+
+        A deterministic multiplicative score over the shed fractions -
+        word prefix, grid density, pyramid depth, keyframe cadence -
+        weighted so the dials the recall measurements care most about
+        (words, grid) dominate.  Total order over candidates; the
+        planner maximizes it subject to the deadline.
+        """
+        n_levels = max(1, len(self.level_shapes(frame_shape)))
+        if self.backend == "packed":
+            wfrac = plan.prefix_words(self.dim) / packed_words(self.dim)
+        else:
+            wfrac = 1.0
+        stride = plan.stride if plan.stride is not None else self.stride
+        gfrac = (self.stride / float(stride)) ** 2
+        lfrac = min(plan.max_levels or n_levels, n_levels) / n_levels
+        kfrac = 1.0 / plan.keyframe_every
+        return (wfrac ** 0.35) * (gfrac ** 0.3) * (lfrac ** 0.15) \
+            * (kfrac ** 0.2)
+
+    def _quality_key(self, plan):
+        stride = plan.stride if plan.stride is not None else self.stride
+        return (self.quality(plan), plan.prefix_words(self.dim),
+                -stride, plan.max_levels is None, plan.max_levels or 0,
+                -plan.keyframe_every)
+
+    # ------------------------------------------------------------------
+    # pricing
+    # ------------------------------------------------------------------
+    def plan_profiles(self, plan, frame_shape=None):
+        """Stage-labelled :class:`OperationProfile` s one scan of ``plan`` runs.
+
+        Stage keys match the profiler stage names the real code paths
+        record (``fields``, ``cell_grid``, ``assemble``, ``classify``,
+        ``delta_fields``, ``cascade``, ``perwindow``), so a refitted
+        cost model prices each stage with its measured constant.
+        """
+        ek = self.extractor_kwargs
+        n_bins = ek.get("n_bins", 8)
+        cell = ek.get("cell_size", 8)
+        profs = {}
+
+        def add(stage, profile):
+            profs[stage] = profs.get(stage, OperationProfile({})) + profile
+
+        for i, shape in enumerate(
+                self.level_shapes(frame_shape, plan.max_levels)):
+            stride = plan.stride_for(i) or self.stride
+            n_wy = (shape[0] - self.window) // stride + 1
+            n_wx = (shape[1] - self.window) // stride + 1
+            n = n_wy * n_wx
+            if self.engine == "perwindow":
+                add("perwindow", perwindow_detection_profile(
+                    shape, self.window, stride, self.dim,
+                    n_classes=self.n_classes, **ek))
+                continue
+            if self.engine == "legacy":
+                add("legacy_scan", perwindow_detection_profile(
+                    shape, self.window, stride, self.dim,
+                    n_classes=self.n_classes))
+                continue
+            # shared engine: whole-level extraction (full or delta) ...
+            if plan.delta_reuse:
+                dirty = (int(shape[0] * _DELTA_DIRTY_FRACTION),
+                         int(shape[1] * _DELTA_DIRTY_FRACTION))
+                add("delta_fields", incremental_extract_profile(
+                    shape, dirty, self.dim, **ek))
+            else:
+                add("fields", hd_hog_fields_profile(shape, self.dim, **{
+                    k: v for k, v in ek.items() if k != "cell_size"}))
+                px = float(shape[0] * shape[1])
+                add("cell_grid", OperationProfile(
+                    {"bit": n_bins * px * self.dim,
+                     "int_add": 2 * n_bins * px * self.dim,
+                     "mem_bytes": n_bins * px * self.dim / 4}))
+            # ... then assembly + classification per window
+            if self.backend == "packed":
+                schedule = plan.stage_words
+                if schedule is not None and len(schedule) > 1:
+                    add("cascade", cascade_scan_profile(
+                        shape, self.window, stride, self.dim, schedule,
+                        n_classes=self.n_classes, cell_size=cell,
+                        n_bins=n_bins, seed_fraction=self.seed_fraction))
+                else:
+                    add("assemble", packed_assemble_profile(
+                        self.window, self.dim, cell_size=cell,
+                        n_bins=n_bins) * n)
+                    eff_dim = min(64 * plan.prefix_words(self.dim), self.dim)
+                    add("classify", packed_infer_profile(
+                        eff_dim, self.n_classes) * n)
+            else:
+                feats = (self.window // cell) ** 2 * n_bins
+                add("assemble", OperationProfile(
+                    {"bit": feats * float(self.dim),
+                     "int_add": feats * float(self.dim)}) * n)
+                add("classify", hdc_infer_profile(
+                    self.dim, self.n_classes) * n)
+        return profs
+
+    def estimate(self, plan, frame_shape=None):
+        """Predicted per-frame seconds (keyframe skipping amortized)."""
+        total = sum(self.cost_model.time(profile, stage=stage)
+                    for stage, profile in
+                    self.plan_profiles(plan, frame_shape).items())
+        return total / plan.keyframe_every
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    #: When the budget is below what any candidate can attain, the plan
+    #: search floor is ``escape_slack x`` the cheapest candidate's cost
+    #: instead of the budget.  Near the cost floor, extraction dominates
+    #: and a few percent of predicted cost buys back large quality (full
+    #: words + native stride over a blunt grid), so shipping the strict
+    #: cost minimum would trade ~0.5 quality for ~2% cost - the recall
+    #: cliff ``benchmarks/bench_planner.py`` measured before this slack.
+    escape_slack = 1.05
+
+    def plan(self, budget, frame_shape=None, name=None):
+        """The highest-quality candidate whose predicted cost fits ``budget``.
+
+        When no candidate fits, the serving loop must still ship a
+        frame: the search threshold falls back to ``escape_slack x`` the
+        cheapest candidate's cost and the highest-quality plan under
+        *that* is returned.  The threshold ``max(budget, slack floor)``
+        is non-decreasing in the budget, which keeps chosen-plan quality
+        monotone (property-tested) across the feasible/infeasible
+        boundary.
+        """
+        budget = float(budget)
+        if budget <= 0:
+            raise ValueError("budget must be positive seconds")
+        cands = self.candidates(frame_shape)
+        costed = [(self.estimate(p, frame_shape), p) for p in cands]
+        threshold = max(budget,
+                        self.escape_slack * min(c for c, _ in costed))
+        # candidates are quality-sorted, so the first eligible wins
+        chosen = next(p for c, p in costed if c <= threshold)
+        self.plans_chosen += 1
+        return chosen.with_name(name) if name is not None else chosen
+
+    def rung_from_plan(self, plan):
+        """Express a plan as a ladder :class:`Rung` (plan attached)."""
+        stride = plan.stride if plan.stride is not None else self.stride
+        scale = max(1, int(round(stride / float(self.stride))))
+        return Rung(plan.name, stride_scale=scale, max_levels=plan.max_levels,
+                    keyframe_every=plan.keyframe_every,
+                    word_budget=plan.max_words, plan=plan)
+
+    def rungs_for_budgets(self, budgets, frame_shape=None):
+        """One planner-chosen rung per budget (stable ``plan{i}`` names)."""
+        return [self.rung_from_plan(
+            self.plan(b, frame_shape, name=f"plan{i}"))
+            for i, b in enumerate(budgets)]
+
+    def ladder(self, budget, frame_shape=None, steps=4, shrink=0.45):
+        """Degradation ladder = this planner under a shrinking budget.
+
+        Rung *i* executes the plan chosen at ``budget * shrink^i``; see
+        :class:`~repro.runtime.ladder.PlannerLadder` for the in-place
+        ``replan()`` that completes the autotuning loop.
+        """
+        if steps < 1:
+            raise ValueError("steps must be at least 1")
+        if not 0.0 < shrink < 1.0:
+            raise ValueError("shrink must be in (0, 1)")
+        budgets = [float(budget) * shrink ** i for i in range(int(steps))]
+        return PlannerLadder(self, budgets, frame_shape)
+
+    # ------------------------------------------------------------------
+    # autotuning
+    # ------------------------------------------------------------------
+    def refit(self, profiler, min_seconds=1e-6):
+        """Update the cost model's per-stage constants from measurements."""
+        return self.cost_model.refit(profiler, min_seconds=min_seconds)
+
+    def stats(self):
+        """Planner snapshot for reports."""
+        return {"backend": self.backend, "engine": self.engine,
+                "window": self.window, "stride": self.stride,
+                "dim": self.dim, "plans_chosen": self.plans_chosen,
+                "cost_model": self.cost_model.state()}

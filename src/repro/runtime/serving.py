@@ -40,7 +40,8 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..core.hypervector import packed_words
-from ..pipeline.multiscale import PyramidDetector, pyramid
+from ..pipeline.multiscale import PyramidDetector, execute_plan, pyramid
+from ..pipeline.plan import Plan
 from ..pipeline.stream import FrameQueue, TemporalTracker, VideoStreamDetector
 from ..profiling import Profiler
 from ..reliability.incidents import IncidentLog
@@ -126,6 +127,17 @@ class ResilientVideoDetector:
         :class:`~repro.runtime.adapt.OnlineAdapter`; everything else
         (``prior``, ``max_step_frac``, ``replicas``, ...) goes to the
         :class:`~repro.reliability.guard.AdaptiveGuardedModel`.
+    planner:
+        Plan the degradation ladder instead of hand-tuning it: ``True``
+        builds an :class:`~repro.runtime.planner.ExecutionPlanner` from
+        the detector (or pass a ready planner) and, when no explicit
+        ``ladder`` is given, generates the ladder as "planner under a
+        shrinking budget" (:meth:`~repro.runtime.planner.
+        ExecutionPlanner.ladder`).  Enables :meth:`replan`, the
+        measure -> refit -> replan autotuning loop.
+    replan_every:
+        With a planner: automatically run :meth:`replan` every N
+        completed frames (None = only on explicit calls).
     scheduler_kwargs:
         Extra keyword arguments for the
         :class:`~repro.runtime.ladder.DeadlineScheduler`
@@ -136,7 +148,7 @@ class ResilientVideoDetector:
                  incremental=True, queue_size=8, policy="drop_oldest",
                  stall_timeout=2.0, watchdog_grace=None, quarantine=None,
                  profiler=None, adapt=False, adapt_kwargs=None,
-                 **scheduler_kwargs):
+                 planner=None, replan_every=None, **scheduler_kwargs):
         if isinstance(detector, VideoStreamDetector):
             if tracker is None:
                 tracker = detector.tracker
@@ -161,9 +173,19 @@ class ResilientVideoDetector:
         self.profiler = profiler if profiler is not None else Profiler()
         base.profiler = self.profiler
         self.engine.profiler = self.profiler
-        self.scheduler = DeadlineScheduler(
-            budget, ladder if ladder is not None
-            else default_ladder(self.backend), **scheduler_kwargs)
+        self.planner = None
+        self.replan_every = int(replan_every) if replan_every else None
+        self.replans = 0
+        if planner:
+            from .planner import ExecutionPlanner
+            self.planner = planner if isinstance(planner, ExecutionPlanner) \
+                else ExecutionPlanner.from_detector(
+                    detector, delta_reuse=bool(incremental))
+        if ladder is None:
+            ladder = self.planner.ladder(budget) if self.planner is not None \
+                else default_ladder(self.backend)
+        self.scheduler = DeadlineScheduler(budget, ladder,
+                                           **scheduler_kwargs)
         self.watchdog = None
         if stall_timeout is not None:
             self.watchdog = Watchdog(stall_timeout, grace=watchdog_grace,
@@ -232,7 +254,8 @@ class ResilientVideoDetector:
             else self.base.packed_model()
         words = rung.prefix_words(getattr(base_model, "dim", 0) or
                                   self.base.pipeline.dim)
-        if rung.prefix_fraction >= 1.0 or not hasattr(base_model, "truncated"):
+        full = rung.word_budget is None and rung.prefix_fraction >= 1.0
+        if full or not hasattr(base_model, "truncated"):
             return base_model
         if words >= base_model.n_words:
             return base_model
@@ -247,6 +270,31 @@ class ResilientVideoDetector:
         """Skip-and-predict: the tracker's confirmed tracks, coasting."""
         return [replace(t) for t in self.tracker.active()]
 
+    def replan(self, frame_shape=None):
+        """One autotuning turn: refit the cost model, replan the rungs.
+
+        Reads every measured stage's seconds/op-counts off the runtime's
+        profiler into the planner's cost model
+        (:meth:`~repro.runtime.planner.ExecutionPlanner.refit`), then
+        regenerates the ladder's rung plans in place under the same
+        shrinking budget schedule
+        (:meth:`~repro.runtime.ladder.PlannerLadder.replan`).  Rung
+        count, names and the scheduler position survive; only the knob
+        assignments move.  Returns a summary dict.
+        """
+        if self.planner is None:
+            raise RuntimeError("replan() requires the runtime to be "
+                               "constructed with planner=")
+        with self._state_lock:
+            fitted = self.planner.refit(self.profiler)
+            ladder = self.scheduler.ladder
+            changed = ladder.replan(frame_shape) \
+                if hasattr(ladder, "replan") else 0
+            self.replans += 1
+            self.profiler.set_counter("replans", self.replans)
+            return {"fitted_stages": sorted(fitted),
+                    "rungs_changed": int(changed)}
+
     # ------------------------------------------------------------------
     # one frame, end to end
     # ------------------------------------------------------------------
@@ -254,17 +302,35 @@ class ResilientVideoDetector:
         if cancel is not None and cancel.is_set():
             raise FrameCancelled("frame cancelled by watchdog")
 
+    def _frame_plan(self, rung):
+        """The :class:`~repro.pipeline.plan.Plan` this rung executes.
+
+        Planner-generated rungs carry their plan; hand-tuned rungs are
+        translated from their relative knobs.  Either way the scan runs
+        through the one :func:`~repro.pipeline.multiscale.execute_plan`
+        code path.
+        """
+        plan = getattr(rung, "plan", None)
+        if plan is None:
+            plan = Plan.from_rung(
+                rung, backend=self.backend, base_stride=self.base.stride,
+                dim=self.base.pipeline.dim, engine=self.base.mode,
+                workers=self.pyramid.workers, delta_reuse=self.incremental)
+        return plan
+
     def _detect(self, frame, rung, cancel):
-        """Quarantine-checked detection at the rung's settings."""
+        """Quarantine-checked detection at the rung's plan."""
+        plan = self._frame_plan(rung)
         window = self.base.window
         levels = list(pyramid(frame, self.pyramid.scale_step,
                               min_size=window))
-        if rung.max_levels is not None:
-            levels = levels[: rung.max_levels]
+        if plan.max_levels is not None:
+            levels = levels[: plan.max_levels]
         reuse = {"mode": "cold", "levels": len(levels), "patched_levels": 0,
                  "pixels": 0, "dirty_pixels": 0}
         prev = self._prev_levels
-        if (self.incremental and prev is not None and len(prev) >= len(levels)
+        if (self.incremental and plan.delta_reuse and prev is not None
+                and len(prev) >= len(levels)
                 and prev[0][0].shape == levels[0][0].shape):
             reuse["mode"] = "delta"
             for (prev_level, _), (level, _) in zip(prev, levels):
@@ -274,37 +340,32 @@ class ResilientVideoDetector:
                 reuse["dirty_pixels"] += stats["dirty_pixels"]
                 reuse["patched_levels"] += stats["mode"] == "patched"
         self._check_cancel(cancel)
-        stride = self.base.stride * rung.stride_scale \
-            if rung.stride_scale > 1 else None
         if getattr(self.base, "cascade", None) is not None \
                 and self.backend == "packed":
-            # cascade-mode base: the rung's word budget caps the
+            # cascade-mode base: the plan's word budget caps the
             # escalation depth instead of substituting a truncated model,
             # so the cascade's staged rejection and the ladder's
             # load-shedding compose (see repro.runtime.ladder.cascade_ladder)
-            words = rung.prefix_words(self.base.pipeline.dim)
+            words = plan.prefix_words(self.base.pipeline.dim)
             max_words = words if words < packed_words(
                 self.base.pipeline.dim) else None
             model = self.model_override
         else:
+            # flat route: the word budget is realized as a cached
+            # truncated-model view instead of a per-scan truncation
             max_words = None
             model = self._serving_model(rung)
-        if self.batch_scan is not None and self.injector is None:
-            # fleet path: hand the per-level scans to the cross-stream
-            # batch gate (which pools them with other streams' windows)
-            # and keep only the threshold+NMS tail local.  Bitwise the
-            # same detections as the direct pyramid call below.
-            from ..pipeline.batcher import ScanRequest
-            requests = [ScanRequest(level, stride=stride,
-                                    max_words=max_words, model=model)
-                        for level, _ in levels]
-            maps = self.batch_scan(requests, cancel)
-            self._check_cancel(cancel)
-            detections = self.pyramid.collect(levels, maps)
-        else:
-            detections = self.pyramid.detect(
-                frame, levels=levels, stride=stride, model=model,
-                injector=self.injector, max_words=max_words)
+        exec_plan = replace(plan, max_words=max_words,
+                            workers=self.pyramid.workers)
+        # fleet path: execute_plan hands the per-level scans to the
+        # cross-stream batch gate (pooled with other streams' windows)
+        # and keeps only the threshold+NMS tail local - bitwise the same
+        # detections as the solo path (injector scans stay solo).
+        detections = execute_plan(
+            self.pyramid, frame, exec_plan, injector=self.injector,
+            model=model, levels=levels, batch_scan=self.batch_scan,
+            cancel=cancel)
+        self._check_cancel(cancel)
         return detections, levels, reuse
 
     def _process(self, frame, index, rung, meta, cancel):
@@ -377,6 +438,9 @@ class ResilientVideoDetector:
                                       proc_latency)
             self.completed.append(result)
             self.frames_done += 1
+            if (self.planner is not None and self.replan_every
+                    and self.frames_done % self.replan_every == 0):
+                self.replan()
             return result
 
     def _handle(self, frame, submitted_at, meta, generation):
@@ -575,4 +639,7 @@ class ResilientVideoDetector:
                 "tracks_confirmed": len(self.tracker.active()),
                 "adapt": (self.adapter.stats() if self.adapter is not None
                           else None),
+                "planner": (self.planner.stats() if self.planner is not None
+                            else None),
+                "replans": self.replans,
             }

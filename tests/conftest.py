@@ -2,13 +2,36 @@
 
 Session-scoped fixtures hold the expensive objects (large codecs, generated
 datasets) so the suite stays fast; tests must not mutate them.
+
+Determinism: every test starts from a seed derived from its own node id
+(global NumPy and ``random`` state), and Hypothesis runs derandomized -
+so a failure reproduces on the next run and one test's draws cannot
+shift another's.
 """
+
+import random
+import zlib
 
 import numpy as np
 import pytest
 
 from repro.core import StochasticCodec
 from repro.datasets import make_emotion_dataset, make_face_dataset
+
+try:
+    from hypothesis import settings
+    settings.register_profile("repro", derandomize=True, deadline=None)
+    settings.load_profile("repro")
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_seed(request):
+    """Seed the global RNGs per test, stably derived from the node id."""
+    seed = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    np.random.seed(seed & 0xFFFFFFFF)
+    random.seed(seed)
 
 
 @pytest.fixture

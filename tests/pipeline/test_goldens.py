@@ -27,6 +27,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.tier1
+
 GOLDEN_DIR = Path(__file__).parent / "goldens"
 BACKENDS = ("dense", "packed")
 # scores: identical code must reproduce them to float noise (BLAS

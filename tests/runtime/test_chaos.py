@@ -23,6 +23,8 @@ from repro.runtime.chaos import POISON_KINDS
 
 from .conftest import make_detector
 
+pytestmark = pytest.mark.tier1
+
 
 class TestPoisonFrames:
     @pytest.mark.parametrize("kind", POISON_KINDS)

@@ -1,0 +1,322 @@
+"""Planner tests: properties of plan choice, cost refit, and the ladder.
+
+The Hypothesis section pins the planner's contract for *random*
+deadlines and cost tables:
+
+* feasibility - the chosen plan's predicted cost never exceeds the
+  budget when any feasible candidate exists (the over-budget escape
+  hatch fires only when every candidate is over);
+* monotonicity - plan quality never decreases as the budget grows;
+* refit is a fixed point - refitting from unchanged measurements
+  changes nothing, so the measure -> refit -> replan loop converges.
+"""
+
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.opcount import OP_CLASSES
+from repro.pipeline.plan import Plan
+from repro.runtime import (CostModel, DeadlineScheduler, ExecutionPlanner,
+                           PlannerLadder, Rung)
+
+pytestmark = pytest.mark.tier1
+
+WINDOW = 24
+STRIDE = 8
+
+
+def make_planner(dim=512, stage_scale=None, default_scale=1.0,
+                 frame=(96, 96), **kw):
+    model = CostModel(stage_scale=stage_scale, default_scale=default_scale)
+    return ExecutionPlanner(WINDOW, STRIDE, dim, cost_model=model,
+                            frame_shape=frame, **kw)
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+STAGES = ("fields", "cell_grid", "assemble", "classify", "delta_fields",
+          "cascade", "perwindow", "legacy_scan")
+
+scales = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False,
+                   allow_infinity=False)
+cost_tables = st.fixed_dictionaries(
+    {}, optional={name: scales for name in STAGES})
+budgets = st.floats(min_value=1e-9, max_value=10.0, allow_nan=False,
+                    allow_infinity=False)
+dims = st.sampled_from((256, 512, 1024))
+frames = st.integers(min_value=WINDOW, max_value=192).map(lambda s: (s, s))
+
+op_counts = st.dictionaries(
+    st.sampled_from(OP_CLASSES),
+    st.floats(min_value=1.0, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=4)
+measurements = st.dictionaries(
+    st.sampled_from(STAGES),
+    st.tuples(st.floats(min_value=1e-5, max_value=10.0, allow_nan=False),
+              op_counts),
+    min_size=1, max_size=5)
+
+
+def fake_profiler(measured):
+    """A Profiler stand-in: ``stats`` of (seconds, ops) per stage."""
+    return SimpleNamespace(stats={
+        name: SimpleNamespace(seconds=sec, ops=dict(ops))
+        for name, (sec, ops) in measured.items()})
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+class TestPlannerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(budget=budgets, table=cost_tables, scale=scales, dim=dims,
+           frame=frames)
+    def test_budget_respected_when_feasible(self, budget, table, scale,
+                                            dim, frame):
+        planner = make_planner(dim, stage_scale=table, default_scale=scale,
+                               frame=frame)
+        costs = [planner.estimate(p, frame) for p in planner.candidates(frame)]
+        chosen = planner.plan(budget, frame)
+        cost = planner.estimate(chosen, frame)
+        floor = planner.escape_slack * min(costs)
+        if budget >= floor:
+            # attainable budget: the chosen plan must fit it
+            assert cost <= budget
+        else:
+            # escape hatch: ship the best plan near the cost floor
+            assert cost <= floor
+
+    @settings(max_examples=30, deadline=None)
+    @given(b1=budgets, b2=budgets, table=cost_tables, scale=scales, dim=dims)
+    def test_quality_monotone_in_budget(self, b1, b2, table, scale, dim):
+        lo, hi = sorted((b1, b2))
+        planner = make_planner(dim, stage_scale=table, default_scale=scale)
+        q_lo = planner.quality(planner.plan(lo))
+        q_hi = planner.quality(planner.plan(hi))
+        assert q_lo <= q_hi + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(measured=measurements)
+    def test_refit_is_a_fixed_point(self, measured):
+        model = CostModel()
+        prof = fake_profiler(measured)
+        first = model.refit(prof)
+        scale_after_one = dict(model.stage_scale)
+        default_after_one = model.default_scale
+        second = model.refit(prof)
+        assert second == first
+        assert model.stage_scale == scale_after_one
+        assert model.default_scale == default_after_one
+        for name, scale in first.items():
+            assert math.isfinite(scale) and scale > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(budget=budgets, measured=measurements, dim=dims)
+    def test_replan_after_noop_refit_changes_nothing(self, budget, measured,
+                                                     dim):
+        planner = make_planner(dim)
+        planner.refit(fake_profiler(measured))
+        ladder = planner.ladder(budget, steps=3)
+        before = [r.plan for r in ladder.rungs]
+        planner.refit(fake_profiler(measured))
+        assert ladder.replan() == 0
+        assert [r.plan for r in ladder.rungs] == before
+
+    @settings(max_examples=30, deadline=None)
+    @given(budget=budgets, table=cost_tables, dim=dims)
+    def test_chosen_plan_is_deterministic(self, budget, table, dim):
+        a = make_planner(dim, stage_scale=table).plan(budget)
+        b = make_planner(dim, stage_scale=table).plan(budget)
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# deterministic unit tests
+# ----------------------------------------------------------------------
+class TestCostModel:
+    def test_refit_scales_toward_measurements(self):
+        model = CostModel()
+        prof = fake_profiler({"classify": (2.0, {"word64": 1e9})})
+        raw = model.raw_time(
+            __import__("repro.hardware.opcount", fromlist=["x"])
+            .profile_from_counts({"word64": 1e9}, "classify"))
+        fitted = model.refit(prof)
+        assert fitted["classify"] == pytest.approx(2.0 / raw)
+        assert model.stage_scale["classify"] == fitted["classify"]
+        assert model.refits == 1
+
+    def test_empty_profiler_is_noop(self):
+        model = CostModel()
+        assert model.refit(SimpleNamespace(stats={})) == {}
+        assert model.refits == 0 and model.default_scale == 1.0
+
+    def test_state_snapshot(self):
+        state = CostModel(stage_scale={"fields": 2.0}).state()
+        assert state["stage_scale"] == {"fields": 2.0}
+        assert state["refits"] == 0
+
+
+class TestExecutionPlanner:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            make_planner().plan(0.0)
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ValueError):
+            ExecutionPlanner(0, STRIDE, 512)
+        with pytest.raises(ValueError):
+            ExecutionPlanner(WINDOW, STRIDE, 512, scale_step=1.0)
+
+    def test_candidates_quality_sorted(self):
+        planner = make_planner()
+        cands = planner.candidates()
+        qualities = [planner.quality(p) for p in cands]
+        assert qualities == sorted(qualities, reverse=True)
+        assert qualities[0] == 1.0  # full-fidelity plan leads
+
+    def test_loose_budget_picks_full_quality(self):
+        planner = make_planner()
+        plan = planner.plan(1e9)
+        assert planner.quality(plan) == 1.0
+        assert plan.stride is None and plan.max_words is None
+
+    def test_tight_budget_sheds_work(self):
+        planner = make_planner()
+        plan = planner.plan(1e-9)
+        assert planner.quality(plan) < 1.0
+
+    def test_unattainable_budget_ships_best_near_floor(self):
+        """The escape hatch maximizes quality within slack of the floor.
+
+        With extraction-dominated costs the strict cost minimum is a
+        blunt plan (coarse stride, truncated words) only ~2% cheaper
+        than a near-full-quality keyframe plan; an unattainably small
+        budget must ship the latter, not the former.
+        """
+        planner = make_planner()
+        costed = [(planner.estimate(p), p) for p in planner.candidates()]
+        floor = planner.escape_slack * min(c for c, _ in costed)
+        chosen = planner.plan(1e-12)
+        assert planner.estimate(chosen) <= floor
+        best_near_floor = max((planner.quality(p) for c, p in costed
+                               if c <= floor))
+        assert planner.quality(chosen) == best_near_floor
+        bluntest = min(costed, key=lambda cp: cp[0])[1]
+        assert planner.quality(chosen) >= planner.quality(bluntest)
+
+    def test_dense_candidates_never_truncate(self):
+        planner = make_planner(backend="dense")
+        assert all(p.max_words is None for p in planner.candidates())
+
+    def test_from_detector_requires_pyramid(self):
+        with pytest.raises(ValueError):
+            ExecutionPlanner.from_detector(object())
+
+    def test_rung_from_plan_round_trip(self):
+        planner = make_planner()
+        plan = Plan(name="r", backend="packed", engine="shared",
+                    stride=2 * STRIDE, max_levels=2, max_words=4,
+                    keyframe_every=3)
+        rung = planner.rung_from_plan(plan)
+        assert isinstance(rung, Rung)
+        assert rung.stride_scale == 2 and rung.max_levels == 2
+        assert rung.word_budget == 4 and rung.keyframe_every == 3
+        assert rung.plan is plan
+
+    def test_stats(self):
+        planner = make_planner()
+        planner.plan(1.0)
+        s = planner.stats()
+        assert s["plans_chosen"] == 1 and s["dim"] == 512
+
+
+class TestPlannerLadder:
+    def test_budgets_must_shrink(self):
+        planner = make_planner()
+        with pytest.raises(ValueError):
+            PlannerLadder(planner, [0.1, 0.2])
+        with pytest.raises(ValueError):
+            PlannerLadder(planner, [])
+        with pytest.raises(ValueError):
+            PlannerLadder(planner, [0.1, -0.1])
+
+    def test_ladder_rungs_degrade(self):
+        planner = make_planner()
+        ladder = planner.ladder(1e-3, steps=4)
+        assert len(ladder) == 4
+        qualities = [planner.quality(r.plan) for r in ladder.rungs]
+        assert qualities == sorted(qualities, reverse=True)
+        assert [r.name for r in ladder.rungs] == \
+            [f"plan{i}" for i in range(4)]
+
+    def test_replan_updates_rungs_after_refit(self):
+        planner = make_planner()
+        ladder = planner.ladder(1e-3, steps=4)
+        # a 100x slower machine: everything must shed harder (or stay)
+        planner.cost_model.stage_scale.clear()
+        planner.cost_model.default_scale *= 100.0
+        changed = ladder.replan()
+        assert changed >= 0
+        new_q = [planner.quality(r.plan) for r in ladder.rungs]
+        assert new_q == sorted(new_q, reverse=True)
+
+    def test_scheduler_plan_budget(self):
+        planner = make_planner()
+        ladder = planner.ladder(1e-3, steps=3)
+        sched = DeadlineScheduler(1e-3, ladder)
+        assert sched.plan_budget(0) == pytest.approx(1e-3)
+        assert sched.plan_budget(2) == pytest.approx(1e-3 * 0.45 ** 2)
+        assert sched.plan_budget() == sched.plan_budget(sched.rung)
+
+    def test_plan_budget_none_for_hand_ladders(self):
+        from repro.runtime import default_ladder
+        sched = DeadlineScheduler(1e-3, default_ladder("packed"))
+        assert sched.plan_budget() is None
+
+
+class TestPlanDataclass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Plan(backend="quantum")
+        with pytest.raises(ValueError):
+            Plan(backend="dense", max_words=4)
+        with pytest.raises(ValueError):
+            Plan(backend="packed", stage_words=(4, 4))
+        with pytest.raises(ValueError):
+            Plan(workers=0)
+
+    def test_dict_round_trip(self):
+        plan = Plan(name="p", backend="packed", stride=16,
+                    level_strides=(8, None, 24), max_levels=2, max_words=4,
+                    stage_words=(2, 4), keyframe_every=3, workers=2)
+        again = Plan.from_dict(plan.to_dict())
+        assert again == plan
+
+    def test_stride_for_and_prefix_words(self):
+        plan = Plan(backend="packed", stride=16, level_strides=(8, None),
+                    max_words=4)
+        assert plan.stride_for(0) == 8
+        assert plan.stride_for(1) == 16  # None falls back to stride
+        assert plan.stride_for(5) == 16  # beyond the list too
+        assert plan.prefix_words(512) == 4
+        assert Plan(backend="packed").prefix_words(512) == 8
+
+    def test_from_rung(self):
+        rung = Rung("deep", stride_scale=2, max_levels=2, word_budget=4,
+                    keyframe_every=3)
+        plan = Plan.from_rung(rung, backend="packed", base_stride=STRIDE,
+                              dim=512)
+        assert plan.name == "deep" and plan.stride == 2 * STRIDE
+        assert plan.max_levels == 2 and plan.max_words == 4
+        assert plan.keyframe_every == 3
+
+    def test_describe_mentions_sheds(self):
+        text = Plan(backend="packed", stride=16, max_words=4).describe()
+        assert "stride=16" in text and "max_words=4" in text

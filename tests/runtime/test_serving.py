@@ -17,6 +17,8 @@ from repro.runtime import DegradationLadder, ResilientVideoDetector, Rung
 
 from .conftest import make_detector
 
+pytestmark = pytest.mark.tier1
+
 
 class TestConstruction:
     def test_requires_shared_engine(self, serve_pipe):

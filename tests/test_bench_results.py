@@ -1,0 +1,41 @@
+"""Committed benchmark results stay consistent.
+
+Every ``benchmarks/results/*.json`` must parse, round-trip through the
+same canonical encoding ``benchmarks.common.write_json`` uses, and have
+a human-readable ``.txt`` twin written by the same benchmark (the repo's
+convention: machine-readable and human-readable views of one run, so a
+results diff is reviewable).  A JSON without a twin means a benchmark's
+writers drifted apart.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+JSONS = sorted(RESULTS.glob("*.json"))
+
+
+def test_results_directory_is_populated():
+    assert JSONS, f"no committed results under {RESULTS}"
+
+
+@pytest.mark.parametrize("path", JSONS, ids=lambda p: p.stem)
+def test_json_round_trips(path):
+    text = path.read_text()
+    payload = json.loads(text)
+    assert isinstance(payload, dict)
+    assert "scale" in payload, "write_json stamps the scale knob"
+    canonical = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    assert text == canonical, \
+        f"{path.name} was not written by benchmarks.common.write_json"
+
+
+@pytest.mark.parametrize("path", JSONS, ids=lambda p: p.stem)
+def test_json_has_text_twin(path):
+    twin = path.with_suffix(".txt")
+    assert twin.exists(), \
+        f"{path.name} has no {twin.name}: the benchmark calls write_json " \
+        f"but not write_report"
+    assert twin.read_text().strip(), f"{twin.name} is empty"
