@@ -140,6 +140,9 @@ def build_parser():
 
     report = sub.add_parser("report", help="hardware efficiency report")
     report.add_argument("--dim", type=int, default=4096)
+    report.add_argument("--incidents", metavar="JSON",
+                        help="serving/chaos output JSON (from serve "
+                             "--output); prints per-kind incident counters")
     report.add_argument("--guard-replicas", type=int, default=3,
                         help="replica count priced in the protection-"
                              "overhead section")
@@ -165,6 +168,11 @@ def build_parser():
                         help="odd replica count: protect the packed model "
                              "with a GuardedClassModel and corrupt one "
                              "replica instead of the live model")
+    robust.add_argument("--surfaces", default=None,
+                        help="comma-separated extra memory surfaces to "
+                             "corrupt at each rate: 'items' (base/pixel/bin "
+                             "hypervector tables) and/or 'cache' (the "
+                             "shared-feature scene cache)")
     robust.add_argument("--output", metavar="JSON",
                         default="benchmarks/results/detection_robustness.json",
                         help="results file (written via benchmarks.common "
@@ -210,6 +218,10 @@ def build_parser():
     serve.add_argument("--seed", type=int, default=7)
     serve.add_argument("--backend", choices=("dense", "packed"),
                        default="packed")
+    serve.add_argument("--scrub-budget", type=int, default=None,
+                       help="background memory-RAS scrubber budget in bytes "
+                            "swept per frame (0 = full sweep every frame; "
+                            "omit to disable the scrubber)")
     serve.add_argument("--budget", type=float, default=None,
                        help="per-frame latency budget in seconds (default: "
                             "adaptive, 3x the measured clean median)")
@@ -498,7 +510,67 @@ def _cmd_report(args, out):
               f"{p.guarded_cycles:8.0f} cycles ({p.cycle_overhead:5.2f}x)  "
               f"energy {p.energy_overhead:5.2f}x  "
               f"repair {p.repair_cycles:8.0f} cycles", file=out)
+    from .hardware import memory_protection_report
+
+    mem_rows = memory_protection_report(dim=args.dim,
+                                        tmr_replicas=max(args.guard_replicas,
+                                                         3))
+    tmr_bytes = {r.platform: r.resident_bytes
+                 for r in mem_rows if r.scheme == "tmr"}
+    print("memory protection schemes (resident bytes + scrub ops):",
+          file=out)
+    for m in mem_rows:
+        ratio = tmr_bytes[m.platform] / m.resident_bytes
+        print(f"  {m.platform:5s} {m.scheme:10s} R={m.replicas}  "
+              f"{m.resident_bytes:8d} B ({ratio:5.2f}x lighter than TMR)  "
+              f"scrub {m.scrub_cycles:8.0f} cycles  "
+              f"repair {m.repair_cycles:8.0f} cycles", file=out)
+    if args.incidents:
+        counts = _incident_counts_from_json(args.incidents)
+        print(f"incident counters ({args.incidents}):", file=out)
+        if not counts:
+            print("  (no incidents recorded)", file=out)
+        for kind in sorted(counts):
+            print(f"  {kind:20s} {counts[kind]:6d}", file=out)
     return 0
+
+
+def _incident_counts_from_json(path):
+    """Aggregate per-kind incident counters from a serving/chaos JSON.
+
+    Accepts every shape the runtime writes: plain ``stats()`` payloads
+    (``incidents`` is already a counts dict), chaos reports
+    (``incidents`` is an ``IncidentLog.payload()`` with a ``counts``
+    key), and fleet payloads (per-stream stats nested under ``streams``).
+    Counters from every nesting level are summed.
+    """
+    import json
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    totals = {}
+
+    def absorb(counts):
+        for kind, n in counts.items():
+            if isinstance(n, (int, float)):
+                totals[kind] = totals.get(kind, 0) + int(n)
+
+    def walk(node):
+        if isinstance(node, dict):
+            inc = node.get("incidents")
+            if isinstance(inc, dict):
+                counts = inc.get("counts", inc)
+                if isinstance(counts, dict):
+                    absorb(counts)
+            for key, value in node.items():
+                if key != "incidents":
+                    walk(value)
+        elif isinstance(node, list):
+            for item in node:
+                walk(item)
+
+    walk(payload)
+    return totals
 
 
 def _random_scenes(n, scene_size, window, seed):
@@ -530,6 +602,8 @@ def _cmd_robustness(args, out):
     rates = [float(r) for r in args.rates.split(",") if r.strip()]
     backends = ("dense",) if args.backend == "dense" else ("dense", "packed")
     attack = ("features", "model") if args.attack == "both" else (args.attack,)
+    surfaces = tuple(s.strip() for s in (args.surfaces or "").split(",")
+                     if s.strip())
 
     xtr, ytr = make_face_dataset(96, size=args.window, seed_or_rng=args.seed)
     print(f"training face model (D={args.dim}) ...", file=out)
@@ -540,11 +614,13 @@ def _cmd_robustness(args, out):
     n_truth = sum(len(t) for _, t in scenes)
     print(f"sweeping rates {rates} over {args.images} scenes "
           f"({n_truth} faces), backends {list(backends)}, "
-          f"attack {list(attack)} ...", file=out)
+          f"attack {list(attack)}"
+          + (f", surfaces {list(surfaces)}" if surfaces else "")
+          + " ...", file=out)
     res = detection_robustness(
         pipe, scenes, rates, window=args.window, stride=args.stride,
         backends=backends, seed_or_rng=args.seed + 1000, attack=attack,
-        guard_replicas=args.guard_replicas)
+        guard_replicas=args.guard_replicas, surfaces=surfaces)
 
     for backend, rate, row in res.rows():
         print(f"  {backend:6s} rate {rate:5.3f}  "
@@ -665,6 +741,7 @@ def _cmd_serve(args, out):
 
     def make_runtime(ladder=None, budget_override=None, **kwargs):
         kwargs.setdefault("budget", budget_override or budget)
+        kwargs.setdefault("scrub_budget", args.scrub_budget)
         if args.planner:
             kwargs.setdefault("planner", True)
             kwargs.setdefault("replan_every", args.replan_every)
@@ -745,6 +822,14 @@ def _cmd_serve(args, out):
             print(f"planner ladder: {', '.join(r.name for r in rungs)} "
                   f"({s['replans']} replans)", file=out)
 
+    scrub_stats = made[0].stats().get("scrubber") if made else None
+    if scrub_stats:
+        print(f"scrubber: {scrub_stats['ticks']} ticks scanned "
+              f"{scrub_stats['bytes_scanned']} B over "
+              f"{len(scrub_stats['targets'])} surfaces; "
+              f"{scrub_stats['detected']} detected, "
+              f"{scrub_stats['repaired']} repaired, "
+              f"{scrub_stats['unrepairable']} unrepairable", file=out)
     adapt_stats = made[0].stats().get("adapt") if made else None
     if adapt_stats:
         drift = adapt_stats["drift"]
@@ -778,7 +863,7 @@ def _serve_fleet(args, out, frames, truth, make_detector, budget,
         make_detector, budget=budget, max_streams=args.streams,
         batch_window=args.batch_window, stall_timeout=stall_timeout,
         queue_size=args.queue_size, policy="block", adapt=args.adapt,
-        planner=args.planner,
+        planner=args.planner, scrub_budget=args.scrub_budget,
         guard_kwargs={"seed_or_rng": args.seed} if args.adapt else None)
     names = [f"cam{i}" for i in range(args.streams)]
     for i, name in enumerate(names):
@@ -834,6 +919,12 @@ def _serve_fleet(args, out, frames, truth, make_detector, budget,
     actions = f["scheduler"]["actions"]
     if actions:
         print(f"fleet scheduler actions: {actions}", file=out)
+    if f.get("scrubber"):
+        sc = f["scrubber"]
+        print(f"fleet scrubber: {sc['ticks']} ticks scanned "
+              f"{sc['bytes_scanned']} B over {len(sc['targets'])} shared "
+              f"surfaces; {sc['detected']} detected, {sc['repaired']} "
+              f"repaired, {sc['unrepairable']} unrepairable", file=out)
     if args.profile:
         print(f["profile_table"], file=out)
     if args.output:

@@ -13,7 +13,7 @@ from .capacity import (
     measure_member_similarity,
     measure_recall_accuracy,
 )
-from .keyed_noise import KeyedNoise
+from .keyed_noise import KeyedNoise, RematerializingItemMemory, replay_generator
 from .hypervector import (
     DEFAULT_DIM,
     as_rng,
@@ -72,6 +72,8 @@ __all__ = [
     "LevelMemory",
     "StochasticCodec",
     "KeyedNoise",
+    "RematerializingItemMemory",
+    "replay_generator",
     "capacity_estimate",
     "expected_member_similarity",
     "measure_member_similarity",

@@ -30,7 +30,8 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["KeyedNoise", "stage_key"]
+__all__ = ["KeyedNoise", "RematerializingItemMemory", "replay_generator",
+           "stage_key"]
 
 _MASK63 = (1 << 63) - 1
 _MASK64 = (1 << 64) - 1
@@ -118,3 +119,174 @@ class KeyedNoise:
             gen = self._row_generator(stage, int(row0) + i)
             buf[i] = gen.random(row_elems, dtype=np.float32)
         return buf
+
+
+def replay_generator(state):
+    """Fresh :class:`numpy.random.Generator` replaying a captured state.
+
+    ``state`` is a ``bit_generator.state`` dict captured *before* some draw;
+    the returned generator reproduces that draw bitwise.  This is the
+    primitive behind rematerializable item memories: capture the state,
+    let the original generator advance, regenerate on demand.
+    """
+    bitgen = getattr(np.random, state["bit_generator"])()
+    bitgen.state = state
+    return np.random.Generator(bitgen)
+
+
+class RematerializingItemMemory:
+    """An item memory that can be *recomputed* instead of trusted.
+
+    HDC item memories (base / level / position hypervectors) are pure
+    functions of their generator seed, so keeping them resident is a
+    choice, not a necessity.  This wrapper holds the zero-argument
+    ``regen`` closure that reproduces the array bitwise and offers three
+    store policies:
+
+    ``store``
+        Resident array, no protection - the classic baseline.  Bit errors
+        persist until someone else notices.
+    ``verify``
+        Resident array plus an 8-byte content digest.  :meth:`scrub`
+        detects corruption and repairs it by exact regeneration.
+    ``remat``
+        Nothing resident beyond the digest: every :meth:`array` call
+        regenerates.  ~0 resident bytes, and corruption is structurally
+        impossible - there is no long-lived copy to corrupt.
+
+    All three policies return bitwise-identical arrays (test-enforced),
+    so the policy is purely a memory/compute trade.
+    """
+
+    POLICIES = ("store", "verify", "remat")
+
+    def __init__(self, regen, policy="store", name="item", golden=None,
+                 on_repair=None):
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {self.POLICIES}")
+        self._regen = regen
+        self.policy = policy
+        self.name = str(name)
+        self._on_repair = on_repair
+        # ``golden`` lets a caller hand over an already-materialized copy
+        # (e.g. one built by the live generator whose state ``regen``
+        # replays) instead of paying a second regeneration here.
+        golden = np.asarray(regen() if golden is None else golden)
+        self.shape = golden.shape
+        self.dtype = golden.dtype
+        self._digest = self._hash(golden)
+        self._resident = golden if policy in ("store", "verify") else None
+        self.accesses = 0
+        self.remats = 0
+        self.scrub_checks = 0
+        self.scrub_repairs = 0
+
+    @classmethod
+    def from_array(cls, arr, policy="store", name="item", on_repair=None):
+        """Adopt an externally produced array (e.g. a deserialized table).
+
+        A pristine private copy becomes the regeneration source, so the
+        ``verify`` / ``remat`` policies work for memories whose generator
+        state was not captured - at the cost of keeping that copy
+        resident inside the closure.
+        """
+        pristine = np.array(arr, copy=True)
+        pristine.setflags(write=False)
+        return cls(lambda: pristine.copy(), policy=policy, name=name,
+                   on_repair=on_repair)
+
+    @staticmethod
+    def _hash(arr):
+        return hashlib.blake2s(np.ascontiguousarray(arr).tobytes(),
+                               digest_size=8).digest()
+
+    def array(self):
+        """The item memory's contents (resident copy or regenerated)."""
+        self.accesses += 1
+        if self._resident is not None:
+            return self._resident
+        self.remats += 1
+        return np.asarray(self._regen())
+
+    @property
+    def nbytes(self):
+        """Resident bytes (0 under the ``remat`` policy)."""
+        return 0 if self._resident is None else int(self._resident.nbytes)
+
+    def verify(self):
+        """True when the resident copy (if any) matches its golden digest."""
+        if self._resident is None:
+            return True
+        return self._hash(self._resident) == self._digest
+
+    def scrub(self):
+        """One scrub pass: digest-check and repair by regeneration.
+
+        Only the ``verify`` policy both detects and repairs; ``store``
+        deliberately has no detection contract, and ``remat`` has nothing
+        resident to check.  Returns per-pass counts.
+        """
+        checked = repaired = 0
+        if self.policy == "verify" and self._resident is not None:
+            checked = 1
+            self.scrub_checks += 1
+            if not self.verify():
+                regenerated = np.asarray(self._regen())
+                if self._hash(regenerated) != self._digest:
+                    raise RuntimeError(
+                        f"item memory {self.name!r}: regeneration no longer "
+                        f"matches the golden digest - regen closure corrupt")
+                # in-place write so aliases of the resident array (e.g. a
+                # codec's basis vector) see the repair too
+                self._resident[...] = regenerated
+                self.remats += 1
+                self.scrub_repairs += 1
+                repaired = 1
+                if self._on_repair is not None:
+                    self._on_repair(self._resident)
+        return {"name": self.name, "policy": self.policy,
+                "checked": checked, "repaired": repaired,
+                "bytes": self.nbytes}
+
+    def restore(self):
+        """Regenerate and write back the resident copy unconditionally.
+
+        The fault-campaign cleanup primitive: unlike :meth:`scrub` it
+        works under every policy (including ``store``, which has no
+        detection contract) and never checks first.  No-op under
+        ``remat``.
+        """
+        if self._resident is None:
+            return
+        self._resident[...] = np.asarray(self._regen())
+        self.remats += 1
+        if self._on_repair is not None:
+            self._on_repair(self._resident)
+
+    def corrupt(self, rate, seed_or_rng=None):
+        """Inject bit errors into the resident copy (fault surface for tests).
+
+        Bipolar ``int8`` memories get sign flips (the dense fault model);
+        any other dtype gets low-bit flips through a byte view.  Returns
+        the number of corrupted elements (0 under ``remat``: nothing
+        resident to corrupt).
+        """
+        if self._resident is None:
+            return 0
+        rng = (seed_or_rng if isinstance(seed_or_rng, np.random.Generator)
+               else np.random.default_rng(seed_or_rng))
+        if self._resident.dtype == np.int8:
+            mask = rng.random(self._resident.shape) < rate
+            self._resident[mask] = -self._resident[mask]
+            return int(mask.sum())
+        view = self._resident.reshape(-1).view(np.uint8)
+        mask = rng.random(view.shape) < rate
+        view[mask] ^= np.uint8(1)
+        return int(mask.sum())
+
+    def stats(self):
+        return {"name": self.name, "policy": self.policy,
+                "nbytes": self.nbytes, "accesses": self.accesses,
+                "remats": self.remats, "scrub_checks": self.scrub_checks,
+                "scrub_repairs": self.scrub_repairs}

@@ -41,7 +41,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.hypervector import as_rng, random_hypervector
-from ..core.keyed_noise import KeyedNoise
+from ..core.keyed_noise import (KeyedNoise, RematerializingItemMemory,
+                                replay_generator)
 from ..core.stochastic import StochasticCodec, _bitselect, _bool_mask
 from .gradients import cell_grid
 
@@ -249,12 +250,17 @@ class HDHOGExtractor:
 
     def __init__(self, dim=4096, cell_size=8, n_bins=8, levels=256,
                  magnitude="l2_scaled", sqrt_iters=8, gamma=True,
-                 seed_or_rng=None, codec=None):
+                 seed_or_rng=None, codec=None, store_policy="store"):
         if n_bins % 4 != 0:
             raise ValueError("n_bins must be divisible by 4 (quadrant binning)")
         if magnitude not in ("l2_scaled", "l1"):
             raise ValueError(f"unknown magnitude mode {magnitude!r}")
+        if store_policy not in RematerializingItemMemory.POLICIES:
+            raise ValueError(
+                f"unknown store_policy {store_policy!r}; expected one of "
+                f"{RematerializingItemMemory.POLICIES}")
         rng = as_rng(seed_or_rng)
+        basis_state = rng.bit_generator.state if codec is None else None
         self.codec = codec if codec is not None else StochasticCodec(dim, rng)
         self.dim = self.codec.dim
         self.cell_size = int(cell_size)
@@ -263,20 +269,94 @@ class HDHOGExtractor:
         self.magnitude = magnitude
         self.sqrt_iters = int(sqrt_iters)
         self.gamma = bool(gamma)
+        self.store_policy = store_policy
         self._rng = rng
         self._keyed_noise = None
         # Deterministic per-intensity codebook: the paper's base hypervector
         # generation assigns *one* hypervector per pixel value (Fig. 1a).
+        # Both item memories are pure functions of generator states captured
+        # right before their construction draws, which is what makes them
+        # rematerializable bitwise (the live stream still advances exactly
+        # as before, so downstream consumers of ``rng`` are unaffected).
         grid = np.linspace(0.0, 1.0, self.levels)
-        self._pixel_table = self.codec.construct(grid)
+        pixel_state = self.codec.rng.bit_generator.state
+        pixel_table = self.codec.construct(grid)
+        self._pixel_memory = RematerializingItemMemory(
+            self._pixel_regen(pixel_state, grid),
+            policy=store_policy, name="pixel_table", golden=pixel_table)
         # One random key per orientation bin; cell position is bound in by
         # rotating the bin key (the rho primitive), so any grid size works.
-        self._bin_keys = random_hypervector(self.dim, rng, shape=(self.n_bins,))
+        key_state = rng.bit_generator.state
+        bin_keys = random_hypervector(self.dim, rng, shape=(self.n_bins,))
+        self._bin_key_memory = RematerializingItemMemory(
+            lambda: random_hypervector(self.dim, replay_generator(key_state),
+                                       shape=(self.n_bins,)),
+            policy=store_policy, name="bin_keys", golden=bin_keys,
+            on_repair=lambda _: self._key_cache.clear())
+        # The codec basis (the base hypervector V_1) must stay resident -
+        # every stochastic primitive binds against it - so under protective
+        # policies it gets digest-verify + regenerate-repair instead of
+        # full rematerialization.  Only possible when we created the codec.
+        self._basis_memory = None
+        if basis_state is not None:
+            basis_policy = "store" if store_policy == "store" else "verify"
+            self._basis_memory = RematerializingItemMemory(
+                lambda: random_hypervector(self.dim,
+                                           replay_generator(basis_state)),
+                policy=basis_policy, name="basis", golden=self.codec.basis,
+                on_repair=self._rebind_basis)
         self._key_cache = {}
         # Interior bin boundaries within the first-quadrant fold, as tangents.
         per_quad = self.n_bins // 4
         angles = (np.arange(1, per_quad)) * (2.0 * np.pi / self.n_bins)
         self._boundary_tans = np.tan(angles)
+
+    def _pixel_regen(self, state, grid):
+        """Closure regenerating the pixel codebook from a captured rng state."""
+        def regen():
+            clone = StochasticCodec(self.dim, replay_generator(state),
+                                    basis=self.codec.basis)
+            return clone.construct(grid)
+        return regen
+
+    def _rebind_basis(self, basis):
+        """Refresh derived basis state after an in-place basis repair."""
+        self.codec._neg_basis = (-basis).astype(np.int8)
+
+    @property
+    def _pixel_table(self):
+        return self._pixel_memory.array()
+
+    @_pixel_table.setter
+    def _pixel_table(self, value):
+        # adopt an external table (deserialization): the saved array itself
+        # becomes the regeneration source
+        self._pixel_memory = RematerializingItemMemory.from_array(
+            value, policy=self.store_policy, name="pixel_table")
+
+    @property
+    def _bin_keys(self):
+        return self._bin_key_memory.array()
+
+    @_bin_keys.setter
+    def _bin_keys(self, value):
+        self._bin_key_memory = RematerializingItemMemory.from_array(
+            value, policy=self.store_policy, name="bin_keys",
+            on_repair=lambda _: self._key_cache.clear())
+
+    def item_memories(self):
+        """The extractor's long-lived item memories, for scrub registration.
+
+        The basis comes first: the pixel-table regen closure binds against
+        it, so a scrubber sweeping in order repairs the basis before any
+        memory whose regeneration depends on it.
+        """
+        out = {}
+        if self._basis_memory is not None:
+            out["basis"] = self._basis_memory
+        out["pixel_table"] = self._pixel_memory
+        out["bin_keys"] = self._bin_key_memory
+        return out
 
     # ------------------------------------------------------------------
     # stage 1: base hypervector generation

@@ -46,6 +46,10 @@ __all__ = [
     "replica_vote_profile",
     "scrub_profile",
     "guarded_infer_profile",
+    "ecc_encode_profile",
+    "ecc_scrub_profile",
+    "remat_profile",
+    "cache_scrub_profile",
     "encoder_profile",
 ]
 
@@ -584,6 +588,94 @@ def guarded_infer_profile(dim, n_classes, replicas=3, scrub_every=1):
     prof = (packed_infer_profile(dim, n_classes)
             + scrub_profile(dim, n_classes, replicas) * (1.0 / scrub_every))
     prof.label = f"guarded_infer(D={dim},R={replicas},every={scrub_every})"
+    return prof
+
+
+def ecc_encode_profile(n_words):
+    """Cost of SEC-DED-encoding ``n_words`` packed 64-bit words.
+
+    The Hamming(72,64) encoder of :mod:`repro.reliability.ecc`: each word
+    is ANDed against the seven check-bit coverage masks and each product
+    popcounted (two word ops per mask), plus one whole-word popcount and
+    one combine for the overall-parity bit.  One parity byte is written
+    back per word (the 12.5% sidecar).
+    """
+    n = float(n_words)
+    return OperationProfile(
+        {"word64": n * 16, "mem_bytes": n * 9},  # read 8B, write 1B parity
+        label=f"ecc_encode(W={n_words})",
+    )
+
+
+def ecc_scrub_profile(n_words, repair_fraction=0.0):
+    """Cost of one SEC-DED check pass over ``n_words`` protected words.
+
+    The syndrome recompute is the encoder datapath again (seven masked
+    popcounts plus overall parity) followed by an XOR against the stored
+    parity byte.  ``repair_fraction`` is the fraction of words found
+    corrupted: each costs a syndrome-to-position decode, one single-bit
+    XOR correction and a word write-back.  At ``repair_fraction=0`` this
+    is the steady-state patrol-scrub cost.
+    """
+    if not 0.0 <= repair_fraction <= 1.0:
+        raise ValueError("repair_fraction must be in [0, 1]")
+    n = float(n_words)
+    f = float(repair_fraction)
+    prof = OperationProfile(
+        {"word64": n * (17 + f * 3),
+         "mem_bytes": n * (9 + f * 9)},  # read word+parity; repaired: rewrite
+        label=f"ecc_scrub(W={n_words})",
+    )
+    if f > 0.0:
+        prof.label = f"ecc_scrub+repair(W={n_words},f={repair_fraction})"
+    return prof
+
+
+def remat_profile(n_elems, elem_bytes=1, bits_per_elem=1):
+    """Cost of rematerializing an ``n_elems``-element item memory.
+
+    :class:`repro.core.keyed_noise.RematerializingItemMemory` repairs by
+    exact regeneration: ``bits_per_elem`` pseudorandom bits per element
+    (one fair coin per bipolar lane; raise it for multi-bit draws), a
+    digest pass over the regenerated bytes (two word ops per 8 bytes,
+    the same mixing-digest lane :func:`scrub_profile` models), and the
+    write-back.  This is the compute half of the recompute-as-repair
+    trade: ``verify``/``remat`` policies swap resident-byte cost for
+    exactly this profile per repair or access.
+    """
+    n = float(n_elems)
+    nbytes = n * float(elem_bytes)
+    words = (nbytes + 7.0) // 8.0
+    return OperationProfile(
+        {"rng_bit": n * float(bits_per_elem),
+         "word64": 2 * words,
+         "mem_bytes": 2 * nbytes},  # write regenerated + digest read
+        label=f"remat(N={n_elems})",
+    )
+
+
+def cache_scrub_profile(cache_bytes, repair_fraction=0.0):
+    """Cost of one background sweep over ``cache_bytes`` of scene cache.
+
+    The shared-feature engine's scrubber digests every cached buffer (two
+    word ops per 8 bytes through the mixing-digest lane) and, for the
+    ``repair_fraction`` of bytes whose digest mismatched, runs the
+    SEC-DED correct pass (:func:`ecc_scrub_profile`) to repair in place
+    instead of evicting and recomputing.
+    """
+    if not 0.0 <= repair_fraction <= 1.0:
+        raise ValueError("repair_fraction must be in [0, 1]")
+    words = (float(cache_bytes) + 7.0) // 8.0
+    prof = OperationProfile(
+        {"word64": 2 * words,
+         "mem_bytes": float(cache_bytes) * 1.125},  # data + parity sidecar
+        label=f"cache_scrub(B={cache_bytes})",
+    )
+    if repair_fraction > 0.0:
+        prof = prof + ecc_scrub_profile(words * repair_fraction,
+                                        repair_fraction=1.0)
+        prof.label = (f"cache_scrub+repair(B={cache_bytes},"
+                      f"f={repair_fraction})")
     return prof
 
 

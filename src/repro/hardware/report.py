@@ -24,12 +24,14 @@ from .opcount import (
     OperationProfile,
     dnn_forward_profile,
     dnn_training_profile,
+    ecc_scrub_profile,
     guarded_infer_profile,
     hd_hog_profile,
     hdc_infer_profile,
     hdc_learn_profile,
     hog_profile,
     packed_infer_profile,
+    remat_profile,
     scrub_profile,
 )
 from .platforms import PLATFORMS
@@ -38,6 +40,7 @@ __all__ = [
     "WorkloadSpec",
     "EfficiencyRow",
     "ProtectionRow",
+    "MemoryProtectionRow",
     "workload_for_dataset",
     "hdface_training_cost",
     "hdface_inference_cost",
@@ -45,6 +48,7 @@ __all__ = [
     "dnn_inference_cost",
     "fig7_report",
     "protection_overhead_report",
+    "memory_protection_report",
     "epoch_time_grid",
 ]
 
@@ -232,6 +236,83 @@ def protection_overhead_report(dim=4096, n_classes=2, replicas=3,
             repair_cycles=platform.cycles(repair),
             repair_energy=platform.energy(repair),
         ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Memory-RAS scheme comparison (bytes and ops per protection scheme)
+# ----------------------------------------------------------------------
+@dataclass
+class MemoryProtectionRow:
+    """One protection scheme's resident footprint and scrub cost.
+
+    Bytes follow :meth:`repro.reliability.guard.GuardedClassModel.nbytes`
+    exactly: ``replicas * n_classes * words * 8`` for the replica arrays
+    plus one parity byte per stored word when the SEC-DED sidecar is
+    present.  ``scrub_*`` is the steady-state patrol pass (no corruption);
+    ``repair_*`` the worst-case pass in which every protected word needed
+    its repair rung (majority vote for TMR, ECC-correct plus one row
+    rematerialization for ECC+remat).
+    """
+
+    scheme: str
+    platform: str
+    replicas: int
+    resident_bytes: int
+    scrub_cycles: float
+    scrub_energy: float
+    repair_cycles: float
+    repair_energy: float
+
+    def bytes_ratio(self, other):
+        """``other.resident_bytes / resident_bytes`` (>1: this is leaner)."""
+        return other.resident_bytes / self.resident_bytes
+
+
+def memory_protection_report(dim=4096, n_classes=2, tmr_replicas=3):
+    """Compare unguarded / TMR / ECC+remat class-model protection.
+
+    The recompute-as-repair argument in numbers: modular redundancy pays
+    ``R``x resident bytes to repair by vote, while SEC-DED plus
+    rematerializable rows pays a 12.5% parity sidecar on a *single*
+    replica and repairs by correction or exact recomputation.  Rows are
+    returned per platform per scheme:
+
+    * ``unguarded`` - one replica, no detection, no repair (bit errors
+      persist silently);
+    * ``tmr`` - ``tmr_replicas`` copies, digest scrub, majority-vote
+      repair (:func:`~repro.hardware.opcount.scrub_profile`);
+    * ``ecc_remat`` - one replica plus parity, SEC-DED patrol scrub
+      (:func:`~repro.hardware.opcount.ecc_scrub_profile`), worst-case
+      repair = correct every word then rematerialize one class row from
+      its training counters (:func:`~repro.hardware.opcount.remat_profile`).
+    """
+    words = (int(dim) + 63) // 64
+    k = int(n_classes)
+    row_bytes = k * words * 8
+    ecc_words = k * words
+    zero = OperationProfile({}, label="unprotected")
+    schemes = [
+        ("unguarded", 1, row_bytes, zero, zero),
+        ("tmr", int(tmr_replicas), int(tmr_replicas) * row_bytes,
+         scrub_profile(dim, k, tmr_replicas),
+         scrub_profile(dim, k, tmr_replicas, repair=True)),
+        ("ecc_remat", 1, row_bytes + ecc_words,
+         ecc_scrub_profile(ecc_words),
+         ecc_scrub_profile(ecc_words, repair_fraction=1.0)
+         + remat_profile(dim, elem_bytes=0.125)),
+    ]
+    rows = []
+    for key, platform in PLATFORMS.items():
+        for name, replicas, nbytes, scrub, repair in schemes:
+            rows.append(MemoryProtectionRow(
+                scheme=name, platform=key, replicas=replicas,
+                resident_bytes=int(nbytes),
+                scrub_cycles=platform.cycles(scrub),
+                scrub_energy=platform.energy(scrub),
+                repair_cycles=platform.cycles(repair),
+                repair_energy=platform.energy(repair),
+            ))
     return rows
 
 

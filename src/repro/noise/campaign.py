@@ -235,7 +235,7 @@ def detection_robustness(pipeline, scenes, rates, window, stride=None,
                          scale_step=1.5, score_threshold=0.0,
                          iou_threshold=0.3, iou_match=0.3,
                          attack=("features", "model"), guard_replicas=0,
-                         workers=1):
+                         surfaces=(), workers=1):
     """Sweep a bit-error rate through the full detection stack (Table 2 at
     detection level).
 
@@ -261,6 +261,23 @@ def detection_robustness(pipeline, scenes, rates, window, stride=None,
     measures the protected configuration (detection + majority-vote
     repair at inference), which should hold detection quality at the
     clean level while the unguarded model degrades.
+
+    ``surfaces`` extends the sweep beyond the datapath/model pair to the
+    *other* long-lived memory surfaces of the serving stack:
+
+    * ``"items"`` - the extractor's resident item memories (pixel
+      codebook, bin keys, codec basis) are corrupted at the swept rate
+      before each scene and restored by exact regeneration afterwards
+      (:meth:`~repro.core.keyed_noise.RematerializingItemMemory.
+      restore`); derived key caches the detector built *before* the
+      corruption are deliberately left alone, matching what stale
+      corruption looks like in a real process;
+    * ``"cache"`` - each scene is scanned once to prime the engine's
+      scene cache, the cached buffers are corrupted in place
+      (:meth:`~repro.pipeline.engine.SharedFeatureEngine.corrupt_cache`),
+      and the measured scan then *hits* that corrupted cache (the engine
+      is built without scrubbing here - this sweep measures raw
+      sensitivity, the RAS bench measures the protected configuration).
 
     Parameters
     ----------
@@ -294,6 +311,11 @@ def detection_robustness(pipeline, scenes, rates, window, stride=None,
     unknown = set(attack) - {"features", "model"}
     if unknown:
         raise ValueError(f"unknown attack surfaces: {sorted(unknown)}")
+    surfaces = tuple(surfaces)
+    unknown = set(surfaces) - {"items", "cache"}
+    if unknown:
+        raise ValueError(f"unknown memory surfaces: {sorted(unknown)}; "
+                         f"expected among ('items', 'cache')")
     if guard_replicas and guard_replicas % 2 == 0:
         raise ValueError("guard_replicas must be odd")
 
@@ -303,7 +325,8 @@ def detection_robustness(pipeline, scenes, rates, window, stride=None,
         "stride": int(stride) if stride else max(int(window) // 2, 1),
         "backends": list(backends), "scale_step": float(scale_step),
         "iou_match": float(iou_match), "attack": list(attack),
-        "guard_replicas": int(guard_replicas), "n_scenes": len(scenes),
+        "guard_replicas": int(guard_replicas), "surfaces": list(surfaces),
+        "n_scenes": len(scenes),
         "dim": int(pipeline.dim),
     }
     base_rng = as_rng(seed_or_rng)
@@ -333,15 +356,32 @@ def detection_robustness(pipeline, scenes, rates, window, stride=None,
                 else:
                     model = flip_bipolar(
                         pipeline.classifier.class_hvs_, rate, rng)
+            item_memories = []
+            if "items" in surfaces and rate > 0.0:
+                memories = getattr(pipeline.extractor, "item_memories", None)
+                if memories is not None:
+                    item_memories = list(memories().values())
             tp, n_det, n_truth = 0, 0, 0
             matched_ious = []
             for scene, truth in scenes:
+                if "cache" in surfaces and rate > 0.0:
+                    # prime the scene cache, then corrupt it resident: the
+                    # measured scan below hits the corrupted entries
+                    pyr.detect(scene)
+                    detector.engine.corrupt_cache(rate, rng)
+                for memory in item_memories:
+                    memory.corrupt(rate, rng)
                 detections = pyr.detect(scene, injector=injector, model=model)
                 matched = _match_detections(detections, truth, iou_match)
                 tp += len(matched)
                 n_det += len(detections)
                 n_truth += len(truth)
                 matched_ious.extend(matched)
+                for memory in item_memories:
+                    memory.restore()
+                if surfaces and rate > 0.0:
+                    # isolate scenes (and rates) from each other's faults
+                    detector.engine.clear()
             sweep[rate] = {
                 "recall": tp / n_truth if n_truth else 1.0,
                 "precision": tp / n_det if n_det else 1.0,

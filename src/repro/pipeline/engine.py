@@ -78,6 +78,7 @@ from ..core.packed import block_dim, packed_majority
 from ..features.hog_hd import HDHOGFields, HDHOGResult
 from ..hardware.opcount import hd_hog_fields_profile, packed_assemble_profile
 from ..profiling import NULL_PROFILER
+from ..reliability.ecc import ecc_correct_array, ecc_encode_array
 from ..reliability.integrity import digest_arrays
 
 __all__ = ["SharedFeatureEngine", "scene_key", "validate_scene", "BACKENDS"]
@@ -173,36 +174,62 @@ class _PackedGrid:
         return int(self.packed.nbytes + self.counts.nbytes)
 
 
+def _fields_arrays(fields):
+    """The long-lived buffers of a fields payload (either backend)."""
+    if isinstance(fields, _PackedFields):
+        return (fields.mag_packed, fields.bins)
+    return (fields.mag, fields.bins)
+
+
+def _grid_arrays(grid):
+    """The long-lived buffers of a cached cell grid (either backend)."""
+    if isinstance(grid, _PackedGrid):
+        return (grid.packed, grid.counts)
+    return (grid.bundles, grid.counts)
+
+
 def _fields_digest(fields):
     """Content digest of a cache entry's fields payload (either backend)."""
-    if isinstance(fields, _PackedFields):
-        return digest_arrays(fields.mag_packed, fields.bins)
-    return digest_arrays(fields.mag, fields.bins)
+    return digest_arrays(*_fields_arrays(fields))
 
 
 def _grid_digest(grid):
     """Content digest of a cached cell grid (either backend)."""
-    if isinstance(grid, _PackedGrid):
-        return digest_arrays(grid.packed, grid.counts)
-    return digest_arrays(grid.bundles, grid.counts)
+    return digest_arrays(*_grid_arrays(grid))
+
+
+def _fields_parity(fields):
+    """SEC-DED parity sidecars for a fields payload (one per buffer)."""
+    return tuple(ecc_encode_array(a) for a in _fields_arrays(fields))
+
+
+def _grid_parity(grid):
+    """SEC-DED parity sidecars for a cached cell grid (one per buffer)."""
+    return tuple(ecc_encode_array(a) for a in _grid_arrays(grid))
 
 
 class _CacheEntry:
     """Fields for one scene plus the cell grids already derived from them.
 
     When the owning engine scrubs, ``fields_digest`` / ``grid_digests``
-    hold the content digests taken at insert time; a digest mismatch on a
-    later hit means the cached words were corrupted in memory and the
-    entry must be recomputed instead of served.
+    hold the content digests taken at insert time and ``fields_parity`` /
+    ``grid_parities`` the SEC-DED parity sidecars over the same buffers.
+    A digest mismatch on a later hit means the cached words were corrupted
+    in memory; the engine then tries an ECC correction in place (one byte
+    of parity per ``uint64`` word corrects any single-bit error) and only
+    falls back to a full recompute when the digest still disagrees.
     """
 
-    __slots__ = ("fields", "grids", "fields_digest", "grid_digests")
+    __slots__ = ("fields", "grids", "fields_digest", "grid_digests",
+                 "fields_parity", "grid_parities")
 
-    def __init__(self, fields, digest=None):
+    def __init__(self, fields, digest=None, parity=None):
         self.fields = fields
         self.grids = {}
         self.fields_digest = digest
         self.grid_digests = {}
+        self.fields_parity = parity
+        self.grid_parities = {}
 
     def nbytes(self):
         """True byte footprint of the entry, whatever the backend stores."""
@@ -212,6 +239,10 @@ class _CacheEntry:
                 total += grid.nbytes()
             else:
                 total += int(grid.bundles.nbytes + grid.counts.nbytes)
+        if self.fields_parity is not None:
+            total += sum(int(p.nbytes) for p in self.fields_parity)
+        for parity in self.grid_parities.values():
+            total += sum(int(p.nbytes) for p in parity)
         return total
 
 
@@ -240,11 +271,17 @@ class SharedFeatureEngine:
         per-pixel stages release the GIL inside NumPy).  1 = serial.
         Results are bitwise independent of the worker count.
     scrub:
-        When True, every cache entry carries a content digest taken at
-        insert time and re-checked on every hit; a mismatch (memory
-        corruption, see :meth:`corrupt_cache`) recomputes the entry
-        instead of serving corrupt features.  Mismatches are counted in
-        :meth:`cache_info` (``scrub_checks`` / ``scrub_mismatches``).
+        When True, every cache entry carries a content digest *and* a
+        SEC-DED parity sidecar taken at insert time; the digest is
+        re-checked on every hit.  A mismatch (memory corruption, see
+        :meth:`corrupt_cache`) walks a repair ladder: ECC-correct the
+        buffers in place (any single-bit error per 64-bit word, digest-
+        verified), else recompute the entry - corrupt features are never
+        served either way.  :meth:`scrub_cache` runs the same ladder as
+        a background sweep so corruption is repaired before the unlucky
+        hit, not on it.  Outcomes are counted in :meth:`cache_info`
+        (``scrub_checks`` / ``scrub_mismatches`` / ``scrub_repairs`` /
+        ``scrub_evictions``).
 
     Examples
     --------
@@ -282,6 +319,10 @@ class SharedFeatureEngine:
         self.evictions = 0
         self.scrub_checks = 0
         self.scrub_mismatches = 0
+        self.scrub_repairs = 0
+        self.scrub_evictions = 0
+        self.ecc_corrected_words = 0
+        self.ecc_detected_words = 0
         # frame-delta reuse counters (see delta_update)
         self.delta_updates = 0
         self.delta_reused = 0
@@ -317,10 +358,19 @@ class SharedFeatureEngine:
                 if entry is not None and self.scrub:
                     self.scrub_checks += 1
                     if _fields_digest(entry.fields) != entry.fields_digest:
-                        # corrupt cached fields: recompute, don't serve
+                        # corrupt cached fields: ECC-repair in place if the
+                        # damage is within SEC-DED reach, else recompute -
+                        # either way, never serve corrupt features
                         self.scrub_mismatches += 1
-                        del self._cache[key]
-                        entry = None
+                        if self._try_ecc(_fields_arrays(entry.fields),
+                                         entry.fields_parity,
+                                         entry.fields_digest, _fields_digest,
+                                         entry.fields):
+                            self.scrub_repairs += 1
+                        else:
+                            del self._cache[key]
+                            self.scrub_evictions += 1
+                            entry = None
                 if entry is not None:
                     self.hits += 1
                     self._cache.move_to_end(key)
@@ -338,10 +388,11 @@ class SharedFeatureEngine:
             if self.backend == "packed":
                 fields = _PackedFields(fields, self.extractor.dim)
             digest = _fields_digest(fields) if self.scrub else None
+            parity = _fields_parity(fields) if self.scrub else None
             with self._lock:
                 entry = self._cache.get(key)
                 if entry is None:
-                    entry = _CacheEntry(fields, digest)
+                    entry = _CacheEntry(fields, digest, parity)
                     self._cache[key] = entry
                     while len(self._cache) > self.cache_size:
                         self._cache.popitem(last=False)
@@ -395,6 +446,10 @@ class SharedFeatureEngine:
                 "scrub": self.scrub,
                 "scrub_checks": self.scrub_checks,
                 "scrub_mismatches": self.scrub_mismatches,
+                "scrub_repairs": self.scrub_repairs,
+                "scrub_evictions": self.scrub_evictions,
+                "ecc_corrected_words": self.ecc_corrected_words,
+                "ecc_detected_words": self.ecc_detected_words,
                 "delta_updates": self.delta_updates,
                 "delta_reused": self.delta_reused,
                 "delta_patched": self.delta_patched,
@@ -405,6 +460,89 @@ class SharedFeatureEngine:
                 "prefix_windows": self.prefix_windows,
                 "prefix_words": self.prefix_words,
             }
+
+    def cache_nbytes(self):
+        """Resident bytes of the scene cache (payloads + parity sidecars)."""
+        with self._lock:
+            return sum(e.nbytes() for e in self._cache.values())
+
+    def _try_ecc(self, arrays, parity, golden, digest_fn, container):
+        """ECC-correct ``arrays`` in place; True when the digest is clean.
+
+        ``parity`` is the insert-time sidecar tuple (None when the entry
+        predates scrubbing), ``golden`` the insert-time digest the repaired
+        ``container`` must hash back to - a miscorrection (3+ flipped bits
+        aliasing to a valid-looking syndrome) therefore cannot pass as a
+        repair.  Caller holds the lock.
+        """
+        if parity is None:
+            return False
+        for arr, par in zip(arrays, parity):
+            corrected, detected = ecc_correct_array(arr, par)
+            self.ecc_corrected_words += corrected
+            self.ecc_detected_words += detected
+        return digest_fn(container) == golden
+
+    def scrub_cache(self):
+        """Background sweep: verify and repair every cached buffer now.
+
+        The push half of cache scrubbing (the hit-time check is the pull
+        half): digest-checks every cached fields payload and derived grid
+        without waiting for an access, ECC-corrects mismatches in place,
+        and evicts what SEC-DED cannot bring back (a later access then
+        recomputes it - recompute-as-repair).  Called by
+        :class:`repro.reliability.scrubber.MemoryScrubber` under its byte
+        budget.  Returns the sweep report.
+        """
+        checked = mismatches = repaired = evicted = 0
+        swept = 0
+        with self._lock:
+            if self.scrub:
+                for key in list(self._cache.keys()):
+                    entry = self._cache[key]
+                    swept += entry.nbytes()
+                    checked += 1
+                    self.scrub_checks += 1
+                    if _fields_digest(entry.fields) != entry.fields_digest:
+                        mismatches += 1
+                        self.scrub_mismatches += 1
+                        if self._try_ecc(_fields_arrays(entry.fields),
+                                         entry.fields_parity,
+                                         entry.fields_digest, _fields_digest,
+                                         entry.fields):
+                            repaired += 1
+                            self.scrub_repairs += 1
+                        else:
+                            # fields beyond ECC reach: the derived grids are
+                            # suspect too, drop the whole entry
+                            del self._cache[key]
+                            evicted += 1
+                            self.scrub_evictions += 1
+                            continue
+                    for gkey in list(entry.grids.keys()):
+                        grid = entry.grids[gkey]
+                        checked += 1
+                        self.scrub_checks += 1
+                        if _grid_digest(grid) == entry.grid_digests.get(gkey):
+                            continue
+                        mismatches += 1
+                        self.scrub_mismatches += 1
+                        if self._try_ecc(_grid_arrays(grid),
+                                         entry.grid_parities.get(gkey),
+                                         entry.grid_digests.get(gkey),
+                                         _grid_digest, grid):
+                            repaired += 1
+                            self.scrub_repairs += 1
+                        else:
+                            del entry.grids[gkey]
+                            entry.grid_digests.pop(gkey, None)
+                            entry.grid_parities.pop(gkey, None)
+                            evicted += 1
+                            self.scrub_evictions += 1
+            else:
+                swept = sum(e.nbytes() for e in self._cache.values())
+        return {"checked": checked, "mismatches": mismatches,
+                "repaired": repaired, "evicted": evicted, "bytes": swept}
 
     def clear(self):
         """Drop every cached scene (counters keep accumulating)."""
@@ -421,8 +559,9 @@ class SharedFeatureEngine:
         touches pad bits; dense entries via sign flips on the bipolar
         magnitude field and negation of histogram counters, matching
         :func:`repro.noise.bitflip.flip_bipolar` conventions).  Digests
-        taken at insert time are deliberately *not* refreshed, so a
-        scrubbing engine detects the corruption on the next hit while a
+        and ECC parity taken at insert time are deliberately *not*
+        refreshed, so a scrubbing engine detects the corruption on the
+        next hit (or :meth:`scrub_cache` sweep) and repairs it, while a
         non-scrubbing engine serves it.  Returns the number of corrupted
         buffers.
         """
@@ -502,6 +641,43 @@ class SharedFeatureEngine:
         )
         return mag, bins
 
+    def _verify_delta_base(self, entry, prev):
+        """Integrity-check a delta-reuse base entry; repair or reject it.
+
+        Corrupted fields are ECC-corrected in place or the entry is
+        dropped (None return = the caller takes the full-extraction
+        path); corrupted grids are ECC-corrected or individually evicted
+        (they recompute on demand).  Caller holds the lock.
+        """
+        self.scrub_checks += 1
+        if _fields_digest(entry.fields) != entry.fields_digest:
+            self.scrub_mismatches += 1
+            if self._try_ecc(_fields_arrays(entry.fields),
+                             entry.fields_parity, entry.fields_digest,
+                             _fields_digest, entry.fields):
+                self.scrub_repairs += 1
+            else:
+                self._cache.pop(scene_key(prev), None)
+                self.scrub_evictions += 1
+                return None
+        for gkey in list(entry.grids.keys()):
+            grid = entry.grids[gkey]
+            self.scrub_checks += 1
+            if _grid_digest(grid) == entry.grid_digests.get(gkey):
+                continue
+            self.scrub_mismatches += 1
+            if self._try_ecc(_grid_arrays(grid),
+                             entry.grid_parities.get(gkey),
+                             entry.grid_digests.get(gkey), _grid_digest,
+                             grid):
+                self.scrub_repairs += 1
+            else:
+                del entry.grids[gkey]
+                entry.grid_digests.pop(gkey, None)
+                entry.grid_parities.pop(gkey, None)
+                self.scrub_evictions += 1
+        return entry
+
     @staticmethod
     def _clone_entry(entry):
         """Deep copy of a cache entry (the ``keep_prev`` delta path)."""
@@ -523,6 +699,12 @@ class SharedFeatureEngine:
                                                 grid.counts.copy(),
                                                 grid.cell_pixels)
         clone.grid_digests = dict(entry.grid_digests)
+        if entry.fields_parity is not None:
+            clone.fields_parity = tuple(p.copy()
+                                        for p in entry.fields_parity)
+        clone.grid_parities = {
+            gkey: tuple(p.copy() for p in parity)
+            for gkey, parity in entry.grid_parities.items()}
         return clone
 
     def _patch_grids(self, entry, y0, y1, x0, x1):
@@ -571,6 +753,7 @@ class SharedFeatureEngine:
             )
             if self.scrub:
                 entry.grid_digests[gkey] = _grid_digest(grid)
+                entry.grid_parities[gkey] = _grid_parity(grid)
         return total, dirty
 
     def delta_update(self, prev_scene, scene, keep_prev=False,
@@ -644,6 +827,12 @@ class SharedFeatureEngine:
         try:
             with self._lock:
                 entry = self._cache.get(scene_key(prev))
+                if entry is not None and self.scrub:
+                    # the delta path *refreshes* digests after patching, so
+                    # reusing a corrupted base would launder the corruption
+                    # into the new frame's golden digest - verify (and
+                    # repair) the base before trusting it
+                    entry = self._verify_delta_base(entry, prev)
             rect = None if entry is None else self._dirty_rect(prev, new)
             if rect is not None:
                 y0, y1, x0, x1, n_changed = rect
@@ -679,6 +868,7 @@ class SharedFeatureEngine:
                 self._patch_grids(entry, y0, y1, x0, x1)
             if self.scrub:
                 entry.fields_digest = _fields_digest(fields)
+                entry.fields_parity = _fields_parity(fields)
             with self._lock:
                 self._cache.setdefault(new_key, entry)
                 self._cache.move_to_end(new_key)
@@ -721,14 +911,17 @@ class SharedFeatureEngine:
         )
         return grid
 
-    def _grid(self, entry_fields, grids, ys, xs, digests=None):
+    def _grid(self, entry_fields, grids, ys, xs, digests=None,
+              parities=None):
         """Cell grid at the anchor union (cached per scene entry).
 
         For the packed backend the dense box-filter result is
         sign-quantized and packed before it enters the cache; the dense
-        intermediates are transient.  ``digests`` - the owning entry's
-        grid-digest store when scrubbing - is checked on every cached-grid
-        hit; a mismatch recomputes the grid instead of serving it.
+        intermediates are transient.  ``digests`` / ``parities`` - the
+        owning entry's grid-digest and parity stores when scrubbing - are
+        checked on every cached-grid hit; a mismatch is ECC-corrected in
+        place when possible, else the grid is recomputed from the (itself
+        digest-checked) cached fields.
         """
         gkey = (ys.tobytes(), xs.tobytes())
         with self._lock:
@@ -737,8 +930,17 @@ class SharedFeatureEngine:
                 self.scrub_checks += 1
                 if _grid_digest(grid) != digests.get(gkey):
                     self.scrub_mismatches += 1
-                    del grids[gkey]
-                    grid = None
+                    if self._try_ecc(
+                            _grid_arrays(grid),
+                            None if parities is None else parities.get(gkey),
+                            digests.get(gkey), _grid_digest, grid):
+                        self.scrub_repairs += 1
+                    else:
+                        del grids[gkey]
+                        if parities is not None:
+                            parities.pop(gkey, None)
+                        self.scrub_evictions += 1
+                        grid = None
         if grid is not None:
             return grid
         if isinstance(entry_fields, _PackedFields):
@@ -750,6 +952,8 @@ class SharedFeatureEngine:
             stored = grids.setdefault(gkey, grid)
             if stored is grid and self.scrub and digests is not None:
                 digests[gkey] = _grid_digest(grid)
+                if parities is not None:
+                    parities[gkey] = _grid_parity(grid)
             return stored
 
     def _pack_grid(self, dense_grid):
@@ -835,9 +1039,10 @@ class SharedFeatureEngine:
         if injector is None:
             entry = self._entry(scene)
             fields, grids = entry.fields, entry.grids
-            digests = entry.grid_digests
+            digests, parities = entry.grid_digests, entry.grid_parities
         else:
-            fields, grids, digests = self._extract_fields(scene, injector), {}, None
+            fields, grids = self._extract_fields(scene, injector), {}
+            digests = parities = None
             if self.backend == "packed":
                 fields = _PackedFields(fields, self.extractor.dim)
         if anchors is None:
@@ -845,7 +1050,7 @@ class SharedFeatureEngine:
         else:
             ys, xs = (np.asarray(a, dtype=np.int64) for a in anchors)
             n = window // self.extractor.cell_size
-        grid = self._grid(fields, grids, ys, xs, digests)
+        grid = self._grid(fields, grids, ys, xs, digests, parities)
         return grid, origins, ys, xs, n
 
     def _queries(self, scene, origins, window, injector, word_range,

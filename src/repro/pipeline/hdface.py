@@ -48,11 +48,13 @@ class HDFacePipeline:
 
     def __init__(self, n_classes, dim=4096, cell_size=8, n_bins=8,
                  magnitude="l2_scaled", sqrt_iters=8, gamma=True, epochs=20,
-                 lr=1.0, adaptive=True, seed_or_rng=None):
+                 lr=1.0, adaptive=True, seed_or_rng=None,
+                 store_policy="store"):
         rng = as_rng(seed_or_rng)
         self.extractor = HDHOGExtractor(
             dim=dim, cell_size=cell_size, n_bins=n_bins, magnitude=magnitude,
             sqrt_iters=sqrt_iters, gamma=gamma, seed_or_rng=rng,
+            store_policy=store_policy,
         )
         self.classifier = HDCClassifier(
             n_classes, lr=lr, epochs=epochs, adaptive=adaptive, seed_or_rng=rng,

@@ -14,23 +14,43 @@ the production detection stack:
   *detection*: the scene-cache scrubber and the class-model checksums.
 * :mod:`repro.reliability.guard` - :class:`GuardedClassModel`, an
   actively protected class model (R replicas + per-class checksums +
-  bitwise majority-vote repair) whose cycle/energy overhead is priced by
+  bitwise majority-vote repair, or a single replica under ``check="ecc"``
+  with the ECC-correct -> rematerialize -> vote -> degrade repair
+  ladder) whose cycle/energy overhead is priced by
   :mod:`repro.hardware.opcount`.
+* :mod:`repro.reliability.ecc` - the vectorized SEC-DED Hamming(72,64)
+  codec over packed ``uint64`` words backing that mode and the scene
+  cache's repair-in-place path.
+* :mod:`repro.reliability.scrubber` - :class:`MemoryScrubber`, the
+  background patrol that sweeps every registered memory surface (guard
+  models, scene cache, item memories) under a bytes-per-tick budget.
 
 The detection-level campaign that sweeps these fault models through the
 full sliding-window/pyramid path lives in
-:func:`repro.noise.campaign.detection_robustness`.
+:func:`repro.noise.campaign.detection_robustness`; the sustained-BER
+serving soak in :func:`repro.runtime.chaos.run_ber_soak`.
 """
 
+from .ecc import (
+    ECC_CLEAN,
+    ECC_CORRECTED,
+    ECC_DETECTED,
+    ecc_correct,
+    ecc_correct_array,
+    ecc_encode,
+    ecc_encode_array,
+    ecc_overhead_bytes,
+)
 from .faults import (
     DetectionFaultInjector,
     PackedFaultInjector,
     flip_packed_words,
     stuck_at_packed,
 )
-from .guard import AdaptiveGuardedModel, GuardedClassModel
+from .guard import REPAIR_RUNGS, AdaptiveGuardedModel, GuardedClassModel
 from .incidents import Incident, IncidentLog
 from .integrity import digest_array, digest_arrays
+from .scrubber import MemoryScrubber
 
 __all__ = [
     "flip_packed_words",
@@ -39,8 +59,18 @@ __all__ = [
     "DetectionFaultInjector",
     "GuardedClassModel",
     "AdaptiveGuardedModel",
+    "REPAIR_RUNGS",
     "Incident",
     "IncidentLog",
     "digest_array",
     "digest_arrays",
+    "ECC_CLEAN",
+    "ECC_CORRECTED",
+    "ECC_DETECTED",
+    "ecc_encode",
+    "ecc_correct",
+    "ecc_encode_array",
+    "ecc_correct_array",
+    "ecc_overhead_bytes",
+    "MemoryScrubber",
 ]

@@ -38,11 +38,15 @@ from ..core.packed import (
     packed_majority,
     pairwise_hamming,
 )
+from .ecc import ECC_CORRECTED, ECC_DETECTED, ecc_correct, ecc_encode
 from .integrity import digest_array
 
 __all__ = ["GuardedClassModel", "AdaptiveGuardedModel"]
 
-CHECKS = ("checksum", "canary")
+CHECKS = ("checksum", "canary", "ecc")
+
+#: Repair-ladder rungs of the ``check="ecc"`` mode, cheapest first.
+REPAIR_RUNGS = ("ecc", "remat", "vote", "degrade")
 
 
 class GuardedClassModel:
@@ -91,6 +95,10 @@ class GuardedClassModel:
         #: campaigns corrupt this array directly (or via
         #: :meth:`corrupt_replica`).
         self.replicas = np.repeat(base.packed[None, ...], r, axis=0).copy()
+        #: SEC-DED parity sidecar, ``(R, n_classes, W)`` uint8 - only under
+        #: ``check="ecc"``, where it replaces replication as the first
+        #: repair rung (1/8 overhead instead of Rx).
+        self._parity = ecc_encode(self.replicas) if check == "ecc" else None
         self._golden = [digest_array(base.packed[c])
                         for c in range(self.n_classes)]
         rng = as_rng(seed_or_rng)
@@ -111,14 +119,22 @@ class GuardedClassModel:
         self.unrepairable = 0
         self.canary_checks = 0
         self.canary_misses = 0
+        self.ecc_corrected_words = 0
+        self.ecc_detected_words = 0
+        #: Repairs per ladder rung (``ecc``/``remat`` count rows,
+        #: ``vote``/``degrade`` count classes); populated in ecc mode.
+        self.rungs = {rung: 0 for rung in REPAIR_RUNGS}
 
     # ------------------------------------------------------------------
     # integrity
     # ------------------------------------------------------------------
     @property
     def nbytes(self):
-        """Protected model footprint (R replicas of the packed matrix)."""
-        return int(self.replicas.nbytes)
+        """Protected model footprint: replicas plus the ECC sidecar (if any)."""
+        total = int(self.replicas.nbytes)
+        if self._parity is not None:
+            total += int(self._parity.nbytes)
+        return total
 
     def canary_ok(self):
         """True if the active replica still answers the canary cleanly."""
@@ -154,6 +170,8 @@ class GuardedClassModel:
         if not bad:
             return 0
         self.detected += len(bad)
+        if self.check == "ecc":
+            return self._repair_ladder(bad)
         for c in sorted({c for _, c in bad}):
             voted = packed_majority(self.replicas[:, c, :], self.dim)
             if digest_array(voted) == self._golden[c]:
@@ -168,6 +186,86 @@ class GuardedClassModel:
             self.replicas[:, c, :] = voted
         return len(bad)
 
+    # ------------------------------------------------------------------
+    # ecc repair ladder
+    # ------------------------------------------------------------------
+    def _refresh_parity(self, rep, class_id):
+        if self._parity is not None:
+            self._parity[rep, class_id] = ecc_encode(
+                self.replicas[rep, class_id])
+
+    def _rematerialize_row(self, rep, class_id):
+        """Regenerate one replica row from redundant state, or ``None``.
+
+        The base guard has no recomputable source for a learned row;
+        :class:`AdaptiveGuardedModel` overrides this with its per-replica
+        bit-sliced counters (:meth:`~repro.learning.online.OnlineCounters.
+        materialize`), which encode every committed row exactly.
+        """
+        return None
+
+    def _repair_ladder(self, bad_rows):
+        """``check="ecc"`` repair: correct, rematerialize, vote, degrade.
+
+        Per corrupted row, cheapest rung first: (1) SEC-DED correction of
+        single-bit errors through the parity sidecar; (2) exact row
+        rematerialization from redundant counters (adaptive models); per
+        corrupted *class* if rows remain: (3) bitwise majority vote across
+        replicas; (4) graceful degradation - the best-effort row becomes
+        the new reference and the class is flagged.  Every rung's outcome
+        is digest-verified before it counts as a repair, so nothing wrong
+        is ever silently re-adopted.
+        """
+        by_class = {}
+        for rep, c in bad_rows:
+            by_class.setdefault(c, []).append(rep)
+        for c in sorted(by_class):
+            still_bad = []
+            for rep in by_class[c]:
+                words, parity, status = ecc_correct(self.replicas[rep, c],
+                                                    self._parity[rep, c])
+                self.replicas[rep, c] = words
+                self._parity[rep, c] = parity
+                self.ecc_corrected_words += int(
+                    (status == ECC_CORRECTED).sum())
+                self.ecc_detected_words += int((status == ECC_DETECTED).sum())
+                if digest_array(self.replicas[rep, c]) == self._golden[c]:
+                    self.rungs["ecc"] += 1
+                else:
+                    still_bad.append(rep)
+            unrepaired = []
+            for rep in still_bad:
+                row = self._rematerialize_row(rep, c)
+                if row is not None and digest_array(row) == self._golden[c]:
+                    self.replicas[rep, c] = row
+                    self._refresh_parity(rep, c)
+                    self.rungs["remat"] += 1
+                else:
+                    unrepaired.append(rep)
+            if unrepaired:
+                voted = packed_majority(self.replicas[:, c, :], self.dim) \
+                    if self.n_replicas > 1 else self.replicas[0, c]
+                if digest_array(voted) == self._golden[c]:
+                    for rep in unrepaired:
+                        self.replicas[rep, c] = voted
+                        self._refresh_parity(rep, c)
+                    self.rungs["vote"] += 1
+                else:
+                    # end of the ladder: adopt the best-effort row, flag
+                    # the class - degraded, never silently wrong
+                    self.unrepairable += 1
+                    self.degraded_classes.add(c)
+                    self._golden[c] = digest_array(voted)
+                    self._canary_golden[c] = pairwise_hamming(
+                        self._canary, voted[None], dim=self.dim)[0, 0]
+                    self.replicas[:, c, :] = voted
+                    for rep in range(self.n_replicas):
+                        self._refresh_parity(rep, c)
+                    self.rungs["degrade"] += 1
+                    continue
+            self.repaired += 1
+        return len(bad_rows)
+
     def stats(self):
         """Counters of the protection machinery (for reports and tests)."""
         return {
@@ -180,6 +278,9 @@ class GuardedClassModel:
             "unrepairable": self.unrepairable,
             "canary_checks": self.canary_checks,
             "canary_misses": self.canary_misses,
+            "ecc_corrected_words": self.ecc_corrected_words,
+            "ecc_detected_words": self.ecc_detected_words,
+            "rungs": dict(self.rungs),
             "degraded_classes": sorted(self.degraded_classes),
         }
 
@@ -410,11 +511,17 @@ class AdaptiveGuardedModel(GuardedClassModel):
                 self.rejected += 1
                 return verdict
             self.replicas[:, c, :] = voted
+            if self._parity is not None:
+                self._parity[:, c, :] = ecc_encode(voted)
             self._golden[c] = digest_array(voted)
             self._canary_golden[c] = canary_new
             self._refresh_probes(c)
             self.applied += 1
             return verdict
+
+    def _rematerialize_row(self, rep, class_id):
+        """Exact row regeneration from replica ``rep``'s vertical counters."""
+        return self.counters[rep].materialize()[class_id]
 
     # ------------------------------------------------------------------
     # checkpoint surface (see repro.runtime.checkpoint)
@@ -444,6 +551,8 @@ class AdaptiveGuardedModel(GuardedClassModel):
                     f"state replicas {replicas.shape} do not match "
                     f"{self.replicas.shape}")
             self.replicas[...] = replicas
+            if self._parity is not None:
+                self._parity = ecc_encode(self.replicas)
             self._golden = list(state["golden"])
             self._canary_golden = np.asarray(state["canary_golden"]).copy()
             for cnt, snap in zip(self.counters, state["counters"]):

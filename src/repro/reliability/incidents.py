@@ -34,6 +34,10 @@ INCIDENT_KINDS = (
     "checkpoint_restored", # runtime state restored
     "fault_injected",      # chaos harness armed a fault surface
     "crash",               # frame processing raised; loop survived
+    "adapt_error",         # online adapter raised while observing a frame
+    "memory_scrubbed",     # background scrubber completed a sweep tick
+    "row_repaired",        # scrubber repaired corrupted memory rows
+    "row_unrepairable",    # scrubber had to degrade/evict instead of repair
 )
 
 

@@ -11,8 +11,8 @@ and ships with a chaos harness that injects all of the above and gates on
 the recall/latency contract.  See ``docs/runtime.md``.
 """
 
-from .chaos import (ChaosInjector, ChaosScenario, poison_frame, run_chaos,
-                    run_fleet_chaos)
+from .chaos import (SOAK_SURFACES, ChaosInjector, ChaosScenario,
+                    poison_frame, run_ber_soak, run_chaos, run_fleet_chaos)
 from .adapt import DriftDetector, OnlineAdapter
 from .checkpoint import (CheckpointVersionError, load_model_state,
                          load_runtime_state, model_state, restore_model,
@@ -45,7 +45,9 @@ __all__ = [
     "ChaosInjector",
     "poison_frame",
     "run_chaos",
+    "run_ber_soak",
     "run_fleet_chaos",
+    "SOAK_SURFACES",
     "FleetDispatcher",
     "FleetScheduler",
     "BatchGate",

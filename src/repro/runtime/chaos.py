@@ -45,10 +45,16 @@ from .ladder import DegradationLadder
 from .watchdog import FrameCancelled
 
 __all__ = ["ChaosScenario", "ChaosInjector", "poison_frame", "run_chaos",
-           "run_fleet_chaos", "POISON_KINDS"]
+           "run_ber_soak", "run_fleet_chaos", "POISON_KINDS",
+           "SOAK_SURFACES"]
 
 #: Poison payloads the harness can forge (quarantine reason they trip).
 POISON_KINDS = ("nan", "inf", "constant", "shape", "ndim", "dtype")
+
+#: Memory surfaces the continuous-BER soak can bombard (see
+#: :func:`run_ber_soak`): the engine's scene cache, the extractor's item
+#: memories, and the (guarded) class model.
+SOAK_SURFACES = ("cache", "items", "model")
 
 
 def poison_frame(kind, shape=(64, 64), rng=None):
@@ -411,6 +417,178 @@ def run_chaos(make_runtime, frames, truth, scenario, pace=0.0,
         "recall_drop": recall_drop,
         "frames_scored": n_scored,
         "frames_unserved": unserved,
+        "gates": gates,
+        "passed": all(gates.values()),
+    }
+
+
+def _inject_ber(runtime, surfaces, ber, rng):
+    """One injection round: sustained bit errors across the armed surfaces.
+
+    Returns per-surface injected counts (cache: corrupted buffers; items:
+    flipped elements; model: flipped stored bits).  Digests and parity are
+    never refreshed - detection is the runtime's job.
+    """
+    from ..reliability.faults import flip_packed_words
+    injected = dict.fromkeys(surfaces, 0)
+    if "cache" in surfaces:
+        injected["cache"] += runtime.engine.corrupt_cache(ber, rng)
+    if "items" in surfaces:
+        extractor = getattr(runtime.engine, "extractor", None)
+        if hasattr(extractor, "item_memories"):
+            for memory in extractor.item_memories().values():
+                injected["items"] += memory.corrupt(ber, rng)
+    if "model" in surfaces:
+        model = runtime.model_override
+        if model is not None and hasattr(model, "replicas"):
+            lock = getattr(model, "_lock", None)
+            if lock is not None:
+                lock.acquire()
+            try:
+                flipped = flip_packed_words(model.replicas, model.dim,
+                                            ber, rng)
+                injected["model"] += int(
+                    np.bitwise_count(model.replicas ^ flipped).sum())
+                model.replicas[...] = flipped
+            finally:
+                if lock is not None:
+                    lock.release()
+    return injected
+
+
+def run_ber_soak(make_runtime, frames, truth, ber=1e-4,
+                 surfaces=SOAK_SURFACES, inject_every=1, seed=0,
+                 max_recall_drop=0.02, iou_match=0.25):
+    """Serve under a sustained bit-error rate on every memory surface.
+
+    The memory-RAS endurance test: where :func:`run_chaos` scripts
+    discrete failures, this soak *continuously* flips stored bits - in
+    the engine's scene cache, the extractor's item memories and the
+    (guarded) class model - at rate ``ber`` per frame for the whole run,
+    while the runtime's repair machinery (hit-time ECC + recompute,
+    :class:`~repro.reliability.scrubber.MemoryScrubber` background
+    sweeps, the guard's repair ladder) races to keep serving clean.
+    Frames are stepped synchronously so each frame's injection round is
+    deterministic.
+
+    Gates
+    -----
+    * ``no_crashes`` - the loop survived the whole soak;
+    * ``corruption_detected`` - the injected corruption was *seen*
+      (digest mismatches / guard detections / item-memory repairs > 0);
+    * ``zero_silent_corruption`` - after a final full sweep, every
+      surface is digest-clean or *explicitly* degraded: the cache
+      reports no residual mismatch, every item memory verifies, and the
+      guard scrubs clean (its unrepaired classes are flagged in
+      ``degraded_classes``, never silent);
+    * ``recall_within_bound`` - served recall trails a clean twin
+      (rung-pinned like :func:`run_chaos`) by at most
+      ``max_recall_drop``.
+
+    ``make_runtime`` should enable the protections under test
+    (``scrub_budget=``, engine ``scrub=True``, protective item-memory
+    ``store_policy``, a guarded ``model_override``); an unprotected
+    runtime fails the silent-corruption gate by construction - which is
+    the point.
+    """
+    frames = [np.asarray(f) for f in frames]
+    truth_by_frame = {i: list(t) for i, t in enumerate(truth)}
+    surfaces = tuple(surfaces)
+    unknown = set(surfaces) - set(SOAK_SURFACES)
+    if unknown:
+        raise ValueError(f"unknown soak surfaces {sorted(unknown)}; "
+                         f"expected among {SOAK_SURFACES}")
+    rng = np.random.default_rng(seed)
+
+    runtime = make_runtime()
+    for surface in surfaces:
+        runtime.incidents.record("fault_injected", surface=surface,
+                                 rate=float(ber), mode="soak")
+    injected = dict.fromkeys(surfaces, 0)
+    results = {}
+    for i, frame in enumerate(frames):
+        if i % max(int(inject_every), 1) == 0:
+            for surface, count in _inject_ber(runtime, surfaces, ber,
+                                              rng).items():
+                injected[surface] += count
+        result = runtime.step(frame, meta={"frame": i})
+        if result is not None:
+            results[i] = result
+    # final full sweep: last-round injections must not outlive the run
+    scrubber = getattr(runtime, "scrubber", None)
+    if scrubber is not None:
+        scrubber.sweep(frame=len(frames))
+    stats = runtime.stats()
+
+    # --- residual-state audit (the zero-silent-corruption gate) -------
+    cache_residual = runtime.engine.scrub_cache()
+    item_stats, items_clean = [], True
+    extractor = getattr(runtime.engine, "extractor", None)
+    if hasattr(extractor, "item_memories"):
+        for memory in extractor.item_memories().values():
+            items_clean &= memory.verify()
+            item_stats.append(memory.stats())
+    model = runtime.model_override
+    guard_stats, model_residual = None, 0
+    if model is not None and hasattr(model, "scrub"):
+        model_residual = model.scrub(force=True)
+        guard_stats = model.stats()
+
+    # --- rung-pinned clean twin for the recall comparison -------------
+    ladder = runtime.scheduler.ladder
+    deepest = stats["max_rung"]
+    clean = make_runtime(
+        ladder=DegradationLadder([ladder.rungs[deepest]]), budget=1e9)
+    clean_results = {}
+    for i, frame in enumerate(frames):
+        clean_results[i] = clean.step(frame, meta={"frame": i})
+    recall_soak, n_scored, _ = _served_recall(results, truth_by_frame,
+                                              iou_match)
+    recall_clean, _, _ = _served_recall(clean_results, truth_by_frame,
+                                        iou_match)
+    recall_drop = recall_clean - recall_soak
+
+    info = runtime.engine.cache_info()
+    detections = (info["scrub_mismatches"]
+                  + sum(s["scrub_repairs"] for s in item_stats)
+                  + (guard_stats["detected"] if guard_stats else 0))
+    repairs = (info["scrub_repairs"] + info["scrub_evictions"]
+               + sum(s["scrub_repairs"] for s in item_stats)
+               + (guard_stats["repaired"] + guard_stats["unrepairable"]
+                  if guard_stats else 0))
+    gates = {
+        "no_crashes": stats["crashes"] == 0,
+        "corruption_detected": detections > 0
+        if any(injected.values()) else True,
+        "zero_silent_corruption": (cache_residual["mismatches"] == 0
+                                   and items_clean
+                                   and model_residual == 0),
+        "recall_within_bound": recall_drop <= max_recall_drop,
+    }
+    return {
+        "ber": float(ber),
+        "surfaces": list(surfaces),
+        "inject_every": int(inject_every),
+        "n_frames": len(frames),
+        "injected": injected,
+        "detections": detections,
+        "repairs": repairs,
+        "cache": {k: info[k] for k in
+                  ("scrub_checks", "scrub_mismatches", "scrub_repairs",
+                   "scrub_evictions", "ecc_corrected_words",
+                   "ecc_detected_words")},
+        "cache_residual": cache_residual,
+        "items": item_stats,
+        "guard": guard_stats,
+        "scrubber": scrubber.stats() if scrubber is not None else None,
+        "incidents": runtime.incidents.payload(),
+        "deepest_rung": deepest,
+        "deepest_rung_name": ladder.rungs[deepest].name,
+        "recall_soak": recall_soak,
+        "recall_clean": recall_clean,
+        "recall_drop": recall_drop,
+        "frames_scored": n_scored,
+        "max_recall_drop": max_recall_drop,
         "gates": gates,
         "passed": all(gates.values()),
     }

@@ -217,6 +217,15 @@ class FleetDispatcher:
         gets a planner-generated ladder at its own budget, and the
         shared cost model means one stream's refit benefits the whole
         fleet.
+    scrub_budget:
+        Enable one *fleet-level* :class:`~repro.reliability.scrubber.
+        MemoryScrubber` over the shared surfaces (engine cache, extractor
+        item memories, the shared guarded model), ticked once per batch
+        (or per manual :meth:`tick`).  Bytes per tick; ``0`` =
+        unbudgeted; ``None`` (default) disables.  The shared datapath
+        belongs to the fleet, so scrubbing it is a dispatcher concern -
+        per-stream ``scrub_budget`` in ``runtime_kwargs`` would sweep
+        the same shared memory once per stream.
     runtime_kwargs:
         Defaults forwarded to every stream's
         :class:`~repro.runtime.serving.ResilientVideoDetector`
@@ -227,7 +236,7 @@ class FleetDispatcher:
                  capacity_fps=None, batch_window=0.002, batching=True,
                  scheduler=None, profiler=None, cache_per_stream=8,
                  guard=False, adapt=False, guard_kwargs=None, planner=None,
-                 **runtime_kwargs):
+                 scrub_budget=None, **runtime_kwargs):
         if max_streams < 1:
             raise ValueError("max_streams must be at least 1")
         self.budget = float(budget)
@@ -276,6 +285,22 @@ class FleetDispatcher:
         self.gate = BatchGate(self.batcher, batch_window=batch_window,
                               on_batch=self._on_batch) if self.batching \
             else None
+        # fleet-level memory RAS over the shared surfaces
+        self.scrubber = None
+        self.scrub_incidents = None
+        if scrub_budget is not None:
+            from ..reliability.incidents import IncidentLog
+            from ..reliability.scrubber import MemoryScrubber
+            self.scrub_incidents = IncidentLog()
+            self.scrubber = MemoryScrubber(
+                budget=None if scrub_budget == 0 else int(scrub_budget),
+                incidents=self.scrub_incidents)
+            self.scrubber.add_engine(template.detector.engine)
+            extractor = getattr(template.detector.engine, "extractor", None)
+            if hasattr(extractor, "item_memories"):
+                self.scrubber.add_extractor(extractor)
+            if self.shared_model is not None:
+                self.scrubber.add_guard(self.shared_model)
 
     # ------------------------------------------------------------------
     # admission
@@ -408,9 +433,13 @@ class FleetDispatcher:
 
     def _on_batch(self, n_bundles, n_requests):
         self.scheduler.tick(self._loads())
+        if self.scrubber is not None:
+            self.scrubber.tick()
 
     def tick(self):
         """Manually advance the fleet scheduler (non-batching fleets)."""
+        if self.scrubber is not None:
+            self.scrubber.tick()
         return self.scheduler.tick(self._loads())
 
     # ------------------------------------------------------------------
@@ -466,6 +495,8 @@ class FleetDispatcher:
                 "scheduler": self.scheduler.stats(),
                 "guard": self.shared_model.stats()
                 if self.shared_model is not None else None,
+                "scrubber": self.scrubber.stats()
+                if self.scrubber is not None else None,
                 "profile_table": merged.table("fleet profile"),
             }
             return {"fleet": fleet, "streams": per_stream}

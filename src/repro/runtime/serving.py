@@ -138,6 +138,16 @@ class ResilientVideoDetector:
     replan_every:
         With a planner: automatically run :meth:`replan` every N
         completed frames (None = only on explicit calls).
+    scrub_budget:
+        Enable the background :class:`~repro.reliability.scrubber.
+        MemoryScrubber`: every committed frame ticks one budgeted sweep
+        over the engine scene cache, the extractor item memories and (when
+        adapting) the guarded class model, repairing memory corruption
+        continuously instead of on the unlucky access.  The value is the
+        scrub budget in *bytes per frame* (``0`` = unbudgeted, every
+        surface swept every frame); ``None`` (default) disables the
+        scrubber.  Sweep outcomes land in the incident log
+        (``memory_scrubbed`` / ``row_repaired`` / ``row_unrepairable``).
     scheduler_kwargs:
         Extra keyword arguments for the
         :class:`~repro.runtime.ladder.DeadlineScheduler`
@@ -148,7 +158,8 @@ class ResilientVideoDetector:
                  incremental=True, queue_size=8, policy="drop_oldest",
                  stall_timeout=2.0, watchdog_grace=None, quarantine=None,
                  profiler=None, adapt=False, adapt_kwargs=None,
-                 planner=None, replan_every=None, **scheduler_kwargs):
+                 planner=None, replan_every=None, scrub_budget=None,
+                 **scheduler_kwargs):
         if isinstance(detector, VideoStreamDetector):
             if tracker is None:
                 tracker = detector.tracker
@@ -220,6 +231,19 @@ class ResilientVideoDetector:
                     f"model= given, leftover model kwargs {sorted(kwargs)}")
             self.model_override = model
             self.adapter = OnlineAdapter(self, model, **adapter_kwargs)
+        # background memory RAS (see repro.reliability.scrubber)
+        self.scrubber = None
+        if scrub_budget is not None:
+            from ..reliability.scrubber import MemoryScrubber
+            self.scrubber = MemoryScrubber(
+                budget=None if scrub_budget == 0 else int(scrub_budget),
+                incidents=self.incidents)
+            self.scrubber.add_engine(self.engine)
+            extractor = getattr(self.engine, "extractor", None)
+            if hasattr(extractor, "item_memories"):
+                self.scrubber.add_extractor(extractor)
+            if hasattr(self.model_override, "scrub"):
+                self.scrubber.add_guard(self.model_override)
 
         self.completed = []
         self.frames_in = 0
@@ -438,6 +462,8 @@ class ResilientVideoDetector:
                                       proc_latency)
             self.completed.append(result)
             self.frames_done += 1
+            if self.scrubber is not None:
+                self.scrubber.tick(frame=index)
             if (self.planner is not None and self.replan_every
                     and self.frames_done % self.replan_every == 0):
                 self.replan()
@@ -639,6 +665,8 @@ class ResilientVideoDetector:
                 "tracks_confirmed": len(self.tracker.active()),
                 "adapt": (self.adapter.stats() if self.adapter is not None
                           else None),
+                "scrubber": (self.scrubber.stats()
+                             if self.scrubber is not None else None),
                 "planner": (self.planner.stats() if self.planner is not None
                             else None),
                 "replans": self.replans,

@@ -1,0 +1,107 @@
+"""Tests for rematerializable item memories (core/keyed_noise.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RematerializingItemMemory, replay_generator
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def make_regen(seed, n=64):
+    def regen():
+        return np.random.default_rng(seed).integers(
+            -1, 2, size=n).astype(np.int8)
+    return regen
+
+
+class TestPolicies:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, policy=st.sampled_from(
+        RematerializingItemMemory.POLICIES))
+    def test_every_policy_bitwise_equal_to_regen(self, seed, policy):
+        mem = RematerializingItemMemory(make_regen(seed), policy=policy)
+        assert np.array_equal(mem.array(), make_regen(seed)())
+
+    def test_remat_policy_holds_no_resident_bytes(self):
+        mem = RematerializingItemMemory(make_regen(0), policy="remat")
+        assert mem.nbytes == 0
+        assert mem.array() is not mem.array()  # fresh each access
+        assert mem.remats >= 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            RematerializingItemMemory(make_regen(0), policy="mirror")
+
+
+class TestRepair:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, rate=st.floats(0.01, 0.3))
+    def test_verify_scrub_repairs_any_corruption(self, seed, rate):
+        mem = RematerializingItemMemory(make_regen(seed), policy="verify")
+        golden = mem.array().copy()
+        mem.corrupt(rate, seed_or_rng=seed + 1)
+        report = mem.scrub()
+        assert mem.verify()
+        assert np.array_equal(mem.array(), golden)
+        assert report["checked"] == 1
+
+    def test_store_policy_has_no_detection_contract(self):
+        mem = RematerializingItemMemory(make_regen(3), policy="store")
+        corrupted = mem.corrupt(0.5, seed_or_rng=0)
+        assert corrupted > 0
+        assert mem.scrub()["checked"] == 0  # deliberately blind
+
+    def test_restore_works_under_every_resident_policy(self):
+        for policy in ("store", "verify"):
+            mem = RematerializingItemMemory(make_regen(4), policy=policy)
+            golden = mem.array().copy()
+            assert mem.corrupt(0.5, seed_or_rng=1) > 0
+            mem.restore()
+            assert np.array_equal(mem.array(), golden)
+
+    def test_repair_preserves_aliases(self):
+        mem = RematerializingItemMemory(make_regen(5), policy="verify")
+        alias = mem.array()
+        golden = alias.copy()
+        mem.corrupt(0.5, seed_or_rng=2)
+        mem.scrub()
+        assert np.array_equal(alias, golden)
+
+    def test_on_repair_hook_fires(self):
+        fired = []
+        mem = RematerializingItemMemory(make_regen(6), policy="verify",
+                                        on_repair=fired.append)
+        mem.corrupt(0.5, seed_or_rng=3)
+        mem.scrub()
+        assert len(fired) == 1
+
+
+class TestFromArray:
+    def test_adopted_array_does_not_alias_pristine_copy(self):
+        arr = np.arange(32, dtype=np.int8)
+        mem = RematerializingItemMemory.from_array(arr, policy="verify")
+        mem.corrupt(0.9, seed_or_rng=0)
+        mem.scrub()
+        assert np.array_equal(mem.array(), np.arange(32, dtype=np.int8))
+
+    def test_source_mutation_after_adoption_is_invisible(self):
+        arr = np.arange(32, dtype=np.int8)
+        mem = RematerializingItemMemory.from_array(arr, policy="remat")
+        arr[:] = 0
+        assert np.array_equal(mem.array(), np.arange(32, dtype=np.int8))
+
+
+class TestReplayGenerator:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, skip=st.integers(0, 64))
+    def test_replays_a_draw_bitwise_after_generator_advances(self, seed,
+                                                             skip):
+        live = np.random.default_rng(seed)
+        live.integers(0, 2**32, size=skip)  # arbitrary prior history
+        state = live.bit_generator.state
+        drawn = live.integers(0, 2**32, size=16)
+        replayed = replay_generator(state).integers(0, 2**32, size=16)
+        assert np.array_equal(drawn, replayed)

@@ -1,0 +1,84 @@
+"""Store-policy equivalence for rematerializable item memories.
+
+The ``store | verify | remat`` policies of the HDHOG extractor's item
+memories are purely a memory/compute trade: every policy must produce
+bitwise-identical features, classifier models, and detection scores, on
+both backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_face_dataset
+from repro.features.hog_hd import HDHOGExtractor
+from repro.pipeline.detector import SlidingWindowDetector, make_scene
+from repro.pipeline.hdface import HDFacePipeline
+
+POLICIES = ("store", "verify", "remat")
+
+
+@pytest.fixture(scope="module")
+def images():
+    xtr, _ = make_face_dataset(6, size=24, seed_or_rng=0)
+    return xtr
+
+
+class TestExtractorEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES[1:])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_features_bitwise_equal_to_store(self, images, policy, seed):
+        kwargs = dict(dim=256, cell_size=8, magnitude="l1")
+        ref = HDHOGExtractor(seed_or_rng=seed, store_policy="store",
+                             **kwargs).extract_batch(images)
+        got = HDHOGExtractor(seed_or_rng=seed, store_policy=policy,
+                             **kwargs).extract_batch(images)
+        assert np.array_equal(got, ref)
+
+    def test_remat_keeps_only_the_basis_resident(self, images):
+        stored = HDHOGExtractor(dim=256, seed_or_rng=0,
+                                store_policy="store")
+        remat = HDHOGExtractor(dim=256, seed_or_rng=0, store_policy="remat")
+        stored_bytes = sum(m.nbytes
+                           for m in stored.item_memories().values())
+        memories = remat.item_memories()
+        # the codec basis must stay resident (live aliases bind against
+        # it), so it is clamped to "verify"; everything else drops to 0
+        assert memories["basis"].nbytes > 0
+        others = sum(m.nbytes for k, m in memories.items() if k != "basis")
+        assert others == 0
+        assert stored_bytes > memories["basis"].nbytes
+
+    def test_verify_policy_self_heals_between_extractions(self, images):
+        # the codec's rng is stateful, so equivalent extractors must be
+        # compared draw-for-draw: both do one warm-up extraction, then
+        # one is corrupted and scrubbed before the measured extraction
+        kwargs = dict(dim=256, cell_size=8, magnitude="l1",
+                      store_policy="verify")
+        healed = HDHOGExtractor(seed_or_rng=1, **kwargs)
+        twin = HDHOGExtractor(seed_or_rng=1, **kwargs)
+        assert np.array_equal(healed.extract_batch(images),
+                              twin.extract_batch(images))
+        corrupted = 0
+        for memory in healed.item_memories().values():
+            corrupted += memory.corrupt(0.1, seed_or_rng=2)
+            memory.scrub()
+        assert corrupted > 0
+        assert np.array_equal(healed.extract_batch(images),
+                              twin.extract_batch(images))
+
+
+@pytest.mark.parametrize("backend", ["dense", "packed"])
+class TestDetectionEquivalence:
+    def test_scores_bitwise_equal_across_policies(self, backend):
+        xtr, ytr = make_face_dataset(16, size=24, seed_or_rng=0)
+        scene, _ = make_scene(48, [(8, 16)], window=24, seed_or_rng=3)
+        scores = {}
+        for policy in POLICIES:
+            pipe = HDFacePipeline(2, dim=256, cell_size=8, magnitude="l1",
+                                  epochs=3, seed_or_rng=0,
+                                  store_policy=policy).fit(xtr, ytr)
+            det = SlidingWindowDetector(pipe, window=24, stride=8,
+                                        backend=backend)
+            scores[policy] = det.scan(scene).scores
+        assert np.array_equal(scores["verify"], scores["store"])
+        assert np.array_equal(scores["remat"], scores["store"])

@@ -239,3 +239,61 @@ class TestBatchedStageProfile:
         from repro.hardware.opcount import batched_stage_profile
         with pytest.raises(ValueError):
             batched_stage_profile(24, 512, 0, 4, n_windows=0)
+
+
+class TestEccProfiles:
+    def test_encode_cost_is_linear_in_words(self):
+        from repro.hardware.opcount import ecc_encode_profile
+        one = ecc_encode_profile(10)
+        two = ecc_encode_profile(20)
+        for op, count in one.counts.items():
+            assert two.counts[op] == count * 2
+
+    def test_scrub_repair_fraction_adds_cost(self):
+        from repro.hardware.opcount import ecc_scrub_profile
+        patrol = ecc_scrub_profile(64)
+        worst = ecc_scrub_profile(64, repair_fraction=1.0)
+        assert worst.total_ops() > patrol.total_ops()
+        assert "repair" in worst.label and "repair" not in patrol.label
+
+    def test_scrub_rejects_bad_fraction(self):
+        from repro.hardware.opcount import ecc_scrub_profile
+        with pytest.raises(ValueError):
+            ecc_scrub_profile(64, repair_fraction=1.5)
+
+    def test_parity_sidecar_is_one_eighth_of_data_traffic(self):
+        from repro.hardware.opcount import ecc_encode_profile
+        prof = ecc_encode_profile(100)
+        assert prof.counts["mem_bytes"] == 100 * 9  # 8B word + 1B parity
+
+
+class TestRematProfile:
+    def test_rng_bits_scale_with_elements(self):
+        from repro.hardware.opcount import remat_profile
+        prof = remat_profile(4096)
+        assert prof.counts["rng_bit"] == 4096
+        assert remat_profile(4096, bits_per_elem=8).counts["rng_bit"] \
+            == 4096 * 8
+
+    def test_cheaper_than_keeping_tmr_replicas_scrubbed(self):
+        from repro.hardware.opcount import remat_profile, scrub_profile
+        # a remat repair of one 4096-bit row costs less than a full
+        # 3-replica detection+vote pass over the same model
+        remat = remat_profile(4096, elem_bytes=0.125)
+        tmr = scrub_profile(4096, 2, replicas=3, repair=True)
+        assert remat.total_ops() < tmr.total_ops() * 10
+
+
+class TestCacheScrubProfile:
+    def test_patrol_traffic_includes_parity(self):
+        from repro.hardware.opcount import cache_scrub_profile
+        prof = cache_scrub_profile(8000)
+        assert prof.counts["mem_bytes"] == 8000 * 1.125
+
+    def test_repair_fraction_composes_ecc_pass(self):
+        from repro.hardware.opcount import cache_scrub_profile
+        patrol = cache_scrub_profile(8000)
+        repairing = cache_scrub_profile(8000, repair_fraction=0.25)
+        assert repairing.total_ops() > patrol.total_ops()
+        with pytest.raises(ValueError):
+            cache_scrub_profile(8000, repair_fraction=-0.1)

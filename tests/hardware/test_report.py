@@ -137,3 +137,49 @@ class TestProtectionOverheadReport:
         every = protection_overhead_report(dim=4096, scrub_every=1)[0]
         rare = protection_overhead_report(dim=4096, scrub_every=50)[0]
         assert rare.cycle_overhead < every.cycle_overhead
+
+
+class TestMemoryProtectionReport:
+    def test_schemes_per_platform(self):
+        from repro.hardware.report import memory_protection_report
+        rows = memory_protection_report(dim=4096, n_classes=2)
+        assert {r.platform for r in rows} == {"cpu", "fpga"}
+        per_platform = {r.platform: {s.scheme for s in rows
+                                     if s.platform == r.platform}
+                        for r in rows}
+        for schemes in per_platform.values():
+            assert schemes == {"unguarded", "tmr", "ecc_remat"}
+
+    def test_ecc_remat_beats_tmr_bytes_by_2_5x(self):
+        from repro.hardware.report import memory_protection_report
+        rows = memory_protection_report(dim=257, n_classes=4)
+        tmr = next(r for r in rows if r.scheme == "tmr")
+        ecc = next(r for r in rows if r.scheme == "ecc_remat")
+        assert ecc.bytes_ratio(tmr) >= 2.5
+
+    def test_bytes_match_guarded_model_footprint(self):
+        import numpy as np
+        from repro.core.hypervector import random_hypervector
+        from repro.core.packed import PackedClassModel
+        from repro.hardware.report import memory_protection_report
+        from repro.reliability import GuardedClassModel
+        dim, k = 257, 4
+        base = PackedClassModel(random_hypervector(dim, 0, shape=(k,)))
+        ecc_model = GuardedClassModel(base, replicas=1, check="ecc",
+                                      seed_or_rng=0)
+        tmr_model = GuardedClassModel(base, replicas=3, check="checksum",
+                                      seed_or_rng=0)
+        rows = memory_protection_report(dim=dim, n_classes=k)
+        ecc = next(r for r in rows if r.scheme == "ecc_remat")
+        tmr = next(r for r in rows if r.scheme == "tmr")
+        assert ecc.resident_bytes == ecc_model.nbytes
+        assert tmr.resident_bytes == tmr_model.nbytes
+
+    def test_unguarded_has_no_scrub_cost(self):
+        from repro.hardware.report import memory_protection_report
+        rows = memory_protection_report()
+        for r in rows:
+            if r.scheme == "unguarded":
+                assert r.scrub_cycles == 0 and r.repair_cycles == 0
+            else:
+                assert r.scrub_cycles > 0 and r.repair_cycles > 0

@@ -1,0 +1,133 @@
+"""Tests for the SEC-DED Hamming(72,64) codec (reliability/ecc.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability import (
+    ECC_CLEAN,
+    ECC_CORRECTED,
+    ECC_DETECTED,
+    ecc_correct,
+    ecc_correct_array,
+    ecc_encode,
+    ecc_encode_array,
+    ecc_overhead_bytes,
+)
+
+words64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def as_words(values):
+    return np.asarray(values, dtype=np.uint64)
+
+
+class TestEncode:
+    def test_one_parity_byte_per_word(self):
+        words = as_words([[0, 1, 2**63], [7, 8, 9]])
+        parity = ecc_encode(words)
+        assert parity.dtype == np.uint8
+        assert parity.shape == words.shape
+
+    def test_deterministic(self):
+        words = as_words([0xDEADBEEF, 0, 2**64 - 1])
+        assert np.array_equal(ecc_encode(words), ecc_encode(words))
+
+    def test_overhead_is_one_byte_per_word(self):
+        assert ecc_overhead_bytes(17) == 17
+
+
+class TestCorrect:
+    def test_clean_words_pass_through(self):
+        words = as_words([3, 1 << 40, 2**64 - 1])
+        parity = ecc_encode(words)
+        fixed, _, status = ecc_correct(words.copy(), parity.copy())
+        assert np.array_equal(fixed, words)
+        assert np.all(status == ECC_CLEAN)
+
+    @settings(max_examples=40, deadline=None)
+    @given(word=words64, bit=st.integers(0, 63))
+    def test_every_single_data_bit_flip_corrected(self, word, bit):
+        words = as_words([word])
+        parity = ecc_encode(words)
+        corrupted = words ^ np.uint64(1 << bit)
+        fixed, _, status = ecc_correct(corrupted, parity.copy())
+        assert status[0] == ECC_CORRECTED
+        assert fixed[0] == words[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(word=words64, bit=st.integers(0, 7))
+    def test_every_single_parity_bit_flip_corrected(self, word, bit):
+        words = as_words([word])
+        parity = ecc_encode(words)
+        bad_parity = parity ^ np.uint8(1 << bit)
+        fixed, _, status = ecc_correct(words.copy(), bad_parity)
+        assert status[0] == ECC_CORRECTED
+        assert fixed[0] == words[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(word=words64,
+           bits=st.lists(st.integers(0, 63), min_size=2, max_size=2,
+                         unique=True))
+    def test_every_double_bit_flip_detected_not_miscorrected(self, word,
+                                                             bits):
+        words = as_words([word])
+        parity = ecc_encode(words)
+        corrupted = words.copy()
+        for bit in bits:
+            corrupted ^= np.uint64(1 << bit)
+        _, _, status = ecc_correct(corrupted, parity.copy())
+        assert status[0] == ECC_DETECTED
+
+    def test_mixed_batch_statuses(self):
+        words = as_words([5, 6, 7])
+        parity = ecc_encode(words)
+        corrupted = words.copy()
+        corrupted[1] ^= np.uint64(1)                 # single flip
+        corrupted[2] ^= np.uint64(0b11)              # double flip
+        _, _, status = ecc_correct(corrupted, parity.copy())
+        assert list(status) == [ECC_CLEAN, ECC_CORRECTED, ECC_DETECTED]
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("dtype", [np.int8, np.uint8, np.int32,
+                                       np.float64, np.uint64])
+    def test_roundtrip_any_dtype(self, dtype):
+        rng = np.random.default_rng(0)
+        arr = (rng.integers(0, 100, size=64)
+               .astype(dtype, copy=False).reshape(8, 8))
+        parity = ecc_encode_array(arr)
+        corrected, detected = ecc_correct_array(arr, parity)
+        assert corrected == 0 and detected == 0
+
+    def test_single_bit_flip_repaired_in_place(self):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(0, 2**63, size=32, dtype=np.uint64)
+        golden = arr.copy()
+        parity = ecc_encode_array(arr)
+        arr[5] ^= np.uint64(1 << 17)
+        corrected, detected = ecc_correct_array(arr, parity)
+        assert corrected == 1 and detected == 0
+        assert np.array_equal(arr, golden)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(8, 64),
+           bit=st.integers(0, 63))
+    def test_single_flip_repaired_any_word(self, seed, n, bit):
+        rng = np.random.default_rng(seed)
+        arr = rng.integers(0, 2**63, size=n, dtype=np.uint64)
+        golden = arr.copy()
+        parity = ecc_encode_array(arr)
+        victim = int(rng.integers(0, n))
+        arr[victim] ^= np.uint64(1 << bit)
+        corrected, detected = ecc_correct_array(arr, parity)
+        assert (corrected, detected) == (1, 0)
+        assert np.array_equal(arr, golden)
+
+    def test_double_flip_in_one_word_detected_not_silently_wrong(self):
+        arr = np.arange(16, dtype=np.uint64)
+        parity = ecc_encode_array(arr)
+        arr[3] ^= np.uint64((1 << 2) | (1 << 44))
+        corrected, detected = ecc_correct_array(arr, parity)
+        assert detected == 1 and corrected == 0

@@ -1,14 +1,16 @@
 """Tests for the shared-engine scene-cache scrubber.
 
 A corrupted cache entry must never be served silently: with ``scrub=True``
-the engine digest-verifies entries on hit, throws corrupted ones away and
-recomputes, restoring bitwise-clean detection scores.
+the engine digest-verifies entries on hit, ECC-repairs what SEC-DED can
+correct in place (no recompute), throws the rest away and recomputes,
+restoring bitwise-clean detection scores either way.
 """
 
 import numpy as np
 import pytest
 
 from repro.pipeline.detector import SlidingWindowDetector, make_scene
+from repro.pipeline.engine import _fields_arrays
 from repro.pipeline.hdface import HDFacePipeline
 
 
@@ -64,6 +66,95 @@ class TestCacheScrubber:
         mismatches = info["scrub_mismatches"]
         det.scan(scene)
         assert det.engine.cache_info()["scrub_mismatches"] == mismatches
+
+
+def flip_one_cached_bit(engine):
+    """Flip a single stored bit of the first cached fields buffer."""
+    entry = next(iter(engine._cache.values()))
+    first = _fields_arrays(entry.fields)[0]
+    first.reshape(-1).view(np.uint8)[0] ^= np.uint8(1)
+
+
+@pytest.mark.parametrize("backend", ["dense", "packed"])
+class TestRepairInPlace:
+    def test_single_bit_flip_repaired_without_recompute(self, face_pipe,
+                                                        scene, backend):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8,
+                                    backend=backend, scrub=True)
+        clean = det.scan(scene).scores
+        misses = det.engine.cache_info()["misses"]
+        flip_one_cached_bit(det.engine)
+        assert np.array_equal(det.scan(scene).scores, clean)
+        info = det.engine.cache_info()
+        assert info["misses"] == misses  # repaired in place, no recompute
+        assert info["scrub_repairs"] >= 1
+        assert info["ecc_corrected_words"] >= 1
+        assert info["scrub_evictions"] == 0
+
+    def test_background_sweep_repairs_without_any_access(self, face_pipe,
+                                                         scene, backend):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8,
+                                    backend=backend, scrub=True)
+        clean = det.scan(scene).scores
+        flip_one_cached_bit(det.engine)
+        report = det.engine.scrub_cache()
+        assert report["mismatches"] >= 1
+        assert report["repaired"] >= 1 and report["evicted"] == 0
+        misses = det.engine.cache_info()["misses"]
+        assert np.array_equal(det.scan(scene).scores, clean)
+        assert det.engine.cache_info()["misses"] == misses
+
+    def test_heavy_corruption_falls_back_to_eviction(self, face_pipe, scene,
+                                                     backend):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8,
+                                    backend=backend, scrub=True)
+        clean = det.scan(scene).scores
+        assert det.engine.corrupt_cache(0.3, seed_or_rng=0) > 0
+        report = det.engine.scrub_cache()
+        assert report["mismatches"] >= 1
+        assert np.array_equal(det.scan(scene).scores, clean)
+
+
+@pytest.mark.parametrize("backend", ["dense", "packed"])
+class TestDeltaBaseVerification:
+    """``delta_update`` refreshes digests after patching, so it must not
+    trust a corrupted base entry - that would launder the corruption into
+    the new golden digest and serve it silently forever after."""
+
+    def next_scene(self, scene):
+        out = scene.copy()
+        out[:8, :8] = np.clip(out[:8, :8] + 0.25, 0.0, 1.0)
+        return out
+
+    def test_corrupted_base_not_laundered_through_delta(self, face_pipe,
+                                                        scene, backend):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8,
+                                    backend=backend, scrub=True)
+        det.scan(scene)
+        scene2 = self.next_scene(scene)
+        reference = SlidingWindowDetector(
+            face_pipe, window=24, stride=8, backend=backend,
+            scrub=True).scan(scene2).scores
+        assert det.engine.corrupt_cache(0.3, seed_or_rng=0) > 0
+        det.engine.delta_update(scene, scene2)
+        assert np.array_equal(det.scan(scene2).scores, reference)
+        assert det.engine.cache_info()["scrub_mismatches"] >= 1
+
+    def test_single_bit_base_corruption_repaired_then_delta_reused(
+            self, face_pipe, scene, backend):
+        det = SlidingWindowDetector(face_pipe, window=24, stride=8,
+                                    backend=backend, scrub=True)
+        det.scan(scene)
+        scene2 = self.next_scene(scene)
+        reference = SlidingWindowDetector(
+            face_pipe, window=24, stride=8, backend=backend,
+            scrub=True).scan(scene2).scores
+        flip_one_cached_bit(det.engine)
+        report = det.engine.delta_update(scene, scene2)
+        assert np.array_equal(det.scan(scene2).scores, reference)
+        info = det.engine.cache_info()
+        assert info["scrub_repairs"] >= 1
+        assert info["ecc_corrected_words"] >= 1
 
 
 class TestCorruptCache:

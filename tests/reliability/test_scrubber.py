@@ -1,0 +1,87 @@
+"""Tests for the background memory scrubber (reliability/scrubber.py)."""
+
+import numpy as np
+
+from repro.core import RematerializingItemMemory
+from repro.core.hypervector import random_hypervector
+from repro.core.packed import PackedClassModel
+from repro.reliability import GuardedClassModel, IncidentLog, MemoryScrubber
+
+
+def make_item(n=256, seed=0, policy="verify", name="item"):
+    rng = np.random.default_rng(seed)
+    return RematerializingItemMemory.from_array(
+        rng.integers(-1, 2, size=n).astype(np.int8), policy=policy,
+        name=name)
+
+
+def make_guard(dim=257, n_classes=4, seed=0, check="ecc", replicas=1):
+    base = PackedClassModel(random_hypervector(dim, seed, shape=(n_classes,)))
+    return GuardedClassModel(base, replicas=replicas, check=check,
+                             seed_or_rng=seed)
+
+
+class TestBudgetedSweep:
+    def test_unbudgeted_tick_sweeps_everything(self):
+        scrubber = MemoryScrubber(budget=None)
+        items = [make_item(seed=i, name=f"m{i}") for i in range(3)]
+        for item in items:
+            scrubber.add_item_memory(item)
+        scrubber.tick()
+        assert all(item.scrub_checks == 1 for item in items)
+
+    def test_budget_rations_targets_per_tick(self):
+        items = [make_item(n=512, seed=i, name=f"m{i}") for i in range(4)]
+        scrubber = MemoryScrubber(budget=items[0].nbytes)
+        for item in items:
+            scrubber.add_item_memory(item)
+        scrubber.tick()
+        # one target's worth of budget: not everything was swept yet
+        assert sum(item.scrub_checks for item in items) < len(items)
+        for _ in range(16):
+            scrubber.tick()
+        # ...but round-robin credit reaches every target eventually
+        assert all(item.scrub_checks >= 1 for item in items)
+
+    def test_sweep_ignores_budget(self):
+        items = [make_item(n=512, seed=i, name=f"m{i}") for i in range(4)]
+        scrubber = MemoryScrubber(budget=1)
+        for item in items:
+            scrubber.add_item_memory(item)
+        scrubber.sweep()
+        assert all(item.scrub_checks == 1 for item in items)
+
+
+class TestRepairAndIncidents:
+    def test_corrupted_item_memory_repaired_and_logged(self):
+        log = IncidentLog()
+        item = make_item()
+        golden = item.array().copy()
+        scrubber = MemoryScrubber(budget=None, incidents=log)
+        scrubber.add_item_memory(item)
+        item.corrupt(0.05, seed_or_rng=1)
+        scrubber.sweep()
+        assert np.array_equal(item.array(), golden)
+        assert scrubber.repaired >= 1
+        assert log.count("row_repaired") >= 1
+        assert log.count("memory_scrubbed") >= 1
+
+    def test_guard_target_routes_through_repair_ladder(self):
+        guard = make_guard()
+        scrubber = MemoryScrubber(budget=None)
+        scrubber.add_guard(guard)
+        guard.replicas[0, 0, 0] ^= np.uint64(1)  # single bit: ECC rung
+        scrubber.sweep()
+        assert scrubber.detected >= 1
+        assert scrubber.repaired >= 1
+        assert guard.rungs["ecc"] >= 1
+
+    def test_stats_shape(self):
+        scrubber = MemoryScrubber(budget=64)
+        scrubber.add_item_memory(make_item())
+        scrubber.tick(frame=3)
+        stats = scrubber.stats()
+        assert stats["budget"] == 64
+        assert stats["ticks"] == 1
+        assert len(stats["targets"]) == 1
+        assert stats["targets"][0]["kind"] == "item"

@@ -1,0 +1,69 @@
+"""Tests for the continuous-BER memory-RAS soak (runtime/chaos.py)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import HDFacePipeline, PyramidDetector, SlidingWindowDetector
+from repro.reliability import GuardedClassModel
+from repro.runtime import ResilientVideoDetector, run_ber_soak
+from repro.runtime.chaos import SOAK_SURFACES
+
+WINDOW, STRIDE = 24, 8
+
+
+@pytest.fixture(scope="module")
+def ras_pipe(face_data):
+    xtr, ytr, _, _ = face_data
+    return HDFacePipeline(2, dim=512, cell_size=8, magnitude="l1", epochs=5,
+                          seed_or_rng=0, store_policy="verify").fit(xtr, ytr)
+
+
+@pytest.fixture
+def make_ras_runtime(ras_pipe):
+    def factory(ladder=None, budget=None):
+        det = SlidingWindowDetector(ras_pipe, window=WINDOW, stride=STRIDE,
+                                    backend="packed", scrub=True)
+        runtime = ResilientVideoDetector(
+            PyramidDetector(det, score_threshold=0.0), ladder=ladder,
+            budget=budget if budget else 10.0, stall_timeout=None,
+            scrub_budget=0)
+        guard = GuardedClassModel(runtime.base.packed_model(), replicas=1,
+                                  check="ecc", seed_or_rng=0)
+        runtime.model_override = guard
+        runtime.scrubber.add_guard(guard)
+        return runtime
+    return factory
+
+
+class TestBerSoak:
+    def test_protected_runtime_survives_sustained_ber(self, make_ras_runtime,
+                                                      video):
+        frames, truth = video
+        report = run_ber_soak(make_ras_runtime, frames, truth, ber=2e-4,
+                              seed=0)
+        assert report["passed"], report["gates"]
+        assert sum(report["injected"].values()) > 0
+        assert report["detections"] > 0
+        assert report["repairs"] > 0
+        assert report["cache_residual"]["mismatches"] == 0
+        assert report["recall_drop"] <= report["max_recall_drop"]
+        # the report must be JSON-clean for the bench/CI heredoc gates
+        import json
+        json.dumps(report, default=float)
+
+    def test_surface_subset_only_touches_that_surface(self, make_ras_runtime,
+                                                      video):
+        frames, truth = video
+        report = run_ber_soak(make_ras_runtime, frames, truth, ber=2e-4,
+                              surfaces=("model",), seed=1)
+        assert report["passed"], report["gates"]
+        assert set(report["injected"]) == {"model"}
+
+    def test_unknown_surface_rejected(self, make_ras_runtime, video):
+        frames, truth = video
+        with pytest.raises(ValueError, match="unknown soak surfaces"):
+            run_ber_soak(make_ras_runtime, frames, truth,
+                         surfaces=("cache", "dram"))
+
+    def test_soak_surfaces_vocabulary(self):
+        assert set(SOAK_SURFACES) == {"cache", "items", "model"}
